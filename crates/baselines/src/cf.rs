@@ -1,0 +1,433 @@
+//! Collaborative-filtering recommenders: SVD (matrix factorization), WNMF
+//! (weighted non-negative MF) and NBCF (neighborhood CF).
+//!
+//! The user–item matrix is implicit: author `u` "rated" paper `q` when one
+//! of `u`'s training-era publications cites `q`. Because the benchmark ranks
+//! *new* papers (never observed at training time), each method bootstraps a
+//! new item's representation from its reference list — the only metadata a
+//! pure CF model can consume.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sem_core::eval::Recommender;
+use sem_corpus::{AuthorId, Corpus, PaperId};
+
+/// Implicit interactions: per author, the set of cited training-era papers.
+pub struct Interactions {
+    /// Positive items per user.
+    pub by_user: BTreeMap<AuthorId, Vec<PaperId>>,
+    /// All training-era items (papers published up to the split year).
+    pub items: Vec<PaperId>,
+    /// Dense index of each item.
+    pub item_index: HashMap<PaperId, usize>,
+}
+
+impl Interactions {
+    /// Collects interactions from every author's pre-split publications.
+    pub fn collect(corpus: &Corpus, split_year: u16) -> Self {
+        let items: Vec<PaperId> = corpus
+            .papers
+            .iter()
+            .filter(|p| p.year <= split_year)
+            .map(|p| p.id)
+            .collect();
+        let item_index: HashMap<PaperId, usize> =
+            items.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+        let mut by_user: BTreeMap<AuthorId, Vec<PaperId>> = BTreeMap::new();
+        for a in &corpus.authors {
+            let mut cited: Vec<PaperId> = a
+                .papers
+                .iter()
+                .filter(|&&p| corpus.paper(p).year <= split_year)
+                .flat_map(|&p| corpus.paper(p).references.iter().copied())
+                .filter(|q| item_index.contains_key(q))
+                .collect();
+            cited.sort_unstable();
+            cited.dedup();
+            if !cited.is_empty() {
+                by_user.insert(a.id, cited);
+            }
+        }
+        Interactions { by_user, items, item_index }
+    }
+}
+
+/// Bootstraps a new item's latent vector as the mean of its references'
+/// vectors (`dim`-wide rows of `q` indexed via `item_index`).
+fn bootstrap_item(
+    corpus: &Corpus,
+    item_index: &HashMap<PaperId, usize>,
+    q: &[f32],
+    dim: usize,
+    candidate: PaperId,
+) -> Vec<f32> {
+    let refs = &corpus.paper(candidate).references;
+    let mut v = vec![0.0f32; dim];
+    let mut n = 0usize;
+    for r in refs {
+        if let Some(&i) = item_index.get(r) {
+            for (acc, &x) in v.iter_mut().zip(&q[i * dim..(i + 1) * dim]) {
+                *acc += x;
+            }
+            n += 1;
+        }
+    }
+    if n > 0 {
+        let inv = 1.0 / n as f32;
+        for x in &mut v {
+            *x *= inv;
+        }
+    }
+    v
+}
+
+/// SVD \[46\]: biased matrix factorization trained by SGD on implicit
+/// positives with sampled negatives.
+pub struct SvdRecommender {
+    user_vecs: HashMap<AuthorId, Vec<f32>>,
+    item_vecs: Vec<f32>,
+    item_bias: Vec<f32>,
+    item_index: HashMap<PaperId, usize>,
+    candidate_vecs: HashMap<PaperId, Vec<f32>>,
+    dim: usize,
+}
+
+impl SvdRecommender {
+    /// Trains the factorization and precomputes candidate bootstraps.
+    pub fn fit(
+        corpus: &Corpus,
+        split_year: u16,
+        candidates: &HashSet<PaperId>,
+        dim: usize,
+        epochs: usize,
+        seed: u64,
+    ) -> Self {
+        Self::fit_with_negatives(corpus, split_year, candidates, dim, epochs, 1, seed)
+    }
+
+    /// [`SvdRecommender::fit`] with an explicit negatives-per-positive ratio
+    /// (the Tab. VI knob).
+    pub fn fit_with_negatives(
+        corpus: &Corpus,
+        split_year: u16,
+        candidates: &HashSet<PaperId>,
+        dim: usize,
+        epochs: usize,
+        neg_per_pos: usize,
+        seed: u64,
+    ) -> Self {
+        let inter = Interactions::collect(corpus, split_year);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_items = inter.items.len();
+        let mut item_vecs: Vec<f32> =
+            (0..n_items * dim).map(|_| (rng.gen::<f32>() - 0.5) * 0.1).collect();
+        let mut item_bias = vec![0.0f32; n_items];
+        let mut user_vecs: HashMap<AuthorId, Vec<f32>> = inter
+            .by_user
+            .keys()
+            .map(|&u| (u, (0..dim).map(|_| (rng.gen::<f32>() - 0.5) * 0.1).collect()))
+            .collect();
+        let lr = 0.05f32;
+        let reg = 0.01f32;
+        // deterministic SGD visit order (BTreeMap keys are sorted)
+        let users: Vec<AuthorId> = inter.by_user.keys().copied().collect();
+        for _ in 0..epochs {
+            for &u in &users {
+                let positives = inter.by_user[&u].clone();
+                let pu = user_vecs.get_mut(&u).expect("user exists");
+                for &pos in &positives {
+                    let pi = inter.item_index[&pos];
+                    let mut updates = vec![(pi, 1.0f32)];
+                    for _ in 0..neg_per_pos {
+                        updates.push((rng.gen_range(0..n_items), 0.0f32));
+                    }
+                    for (idx, label) in updates {
+                        let qi = &mut item_vecs[idx * dim..(idx + 1) * dim];
+                        let dot: f32 =
+                            pu.iter().zip(qi.iter()).map(|(a, b)| a * b).sum::<f32>() + item_bias[idx];
+                        let pred = 1.0 / (1.0 + (-dot).exp());
+                        let err = pred - label;
+                        for d in 0..dim {
+                            let (pud, qid) = (pu[d], qi[d]);
+                            pu[d] -= lr * (err * qid + reg * pud);
+                            qi[d] -= lr * (err * pud + reg * qid);
+                        }
+                        item_bias[idx] -= lr * (err + reg * item_bias[idx]);
+                    }
+                }
+            }
+        }
+        let candidate_vecs = candidates
+            .iter()
+            .map(|&c| (c, bootstrap_item(corpus, &inter.item_index, &item_vecs, dim, c)))
+            .collect();
+        SvdRecommender {
+            user_vecs,
+            item_vecs,
+            item_bias,
+            item_index: inter.item_index,
+            candidate_vecs,
+            dim,
+        }
+    }
+}
+
+impl Recommender for SvdRecommender {
+    fn name(&self) -> &str {
+        "SVD"
+    }
+
+    fn score(&self, user: AuthorId, candidate: PaperId) -> f64 {
+        let Some(pu) = self.user_vecs.get(&user) else { return 0.0 };
+        let (qv, bias): (&[f32], f64) = if let Some(&i) = self.item_index.get(&candidate) {
+            (&self.item_vecs[i * self.dim..(i + 1) * self.dim], f64::from(self.item_bias[i]))
+        } else if let Some(v) = self.candidate_vecs.get(&candidate) {
+            (v, 0.0)
+        } else {
+            return 0.0;
+        };
+        pu.iter().zip(qv).map(|(a, b)| f64::from(a * b)).sum::<f64>() + bias
+    }
+}
+
+/// WNMF \[47\]: weighted non-negative matrix factorization by multiplicative
+/// updates (observed cells weight 1, unobserved a small constant), 10
+/// latent features as in the paper.
+pub struct WnmfRecommender {
+    user_vecs: HashMap<AuthorId, Vec<f32>>,
+    item_vecs: Vec<f32>,
+    item_index: HashMap<PaperId, usize>,
+    candidate_vecs: HashMap<PaperId, Vec<f32>>,
+    dim: usize,
+}
+
+impl WnmfRecommender {
+    /// Factorises the implicit matrix.
+    pub fn fit(
+        corpus: &Corpus,
+        split_year: u16,
+        candidates: &HashSet<PaperId>,
+        dim: usize,
+        iters: usize,
+        seed: u64,
+    ) -> Self {
+        let inter = Interactions::collect(corpus, split_year);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let users: Vec<AuthorId> = {
+            let mut u: Vec<AuthorId> = inter.by_user.keys().copied().collect();
+            u.sort_unstable();
+            u
+        };
+        let n_u = users.len();
+        let n_i = inter.items.len();
+        let w_miss = 0.05f32; // weight of unobserved cells
+        let mut u_mat: Vec<f32> = (0..n_u * dim).map(|_| rng.gen::<f32>() * 0.5 + 0.01).collect();
+        let mut v_mat: Vec<f32> = (0..n_i * dim).map(|_| rng.gen::<f32>() * 0.5 + 0.01).collect();
+        // dense weighted multiplicative updates; R is sparse binary
+        let user_pos: Vec<Vec<usize>> = users
+            .iter()
+            .map(|u| inter.by_user[u].iter().map(|p| inter.item_index[p]).collect())
+            .collect();
+        for _ in 0..iters {
+            // update U rows
+            for (ui, pos) in user_pos.iter().enumerate() {
+                let pos_set: HashSet<usize> = pos.iter().copied().collect();
+                let urow = u_mat[ui * dim..(ui + 1) * dim].to_vec();
+                for d in 0..dim {
+                    let mut num = 0.0f32;
+                    let mut den = 1e-9f32;
+                    for ii in 0..n_i {
+                        let w = if pos_set.contains(&ii) { 1.0 } else { w_miss };
+                        let r = if pos_set.contains(&ii) { 1.0 } else { 0.0 };
+                        let pred: f32 = (0..dim)
+                            .map(|e| urow[e] * v_mat[ii * dim + e])
+                            .sum();
+                        num += w * r * v_mat[ii * dim + d];
+                        den += w * pred * v_mat[ii * dim + d];
+                    }
+                    u_mat[ui * dim + d] = urow[d] * num / den;
+                }
+            }
+            // update V rows
+            let item_users: Vec<Vec<usize>> = {
+                let mut iu = vec![Vec::new(); n_i];
+                for (ui, pos) in user_pos.iter().enumerate() {
+                    for &ii in pos {
+                        iu[ii].push(ui);
+                    }
+                }
+                iu
+            };
+            for ii in 0..n_i {
+                let users_set: HashSet<usize> = item_users[ii].iter().copied().collect();
+                let vrow = v_mat[ii * dim..(ii + 1) * dim].to_vec();
+                for d in 0..dim {
+                    let mut num = 0.0f32;
+                    let mut den = 1e-9f32;
+                    for ui in 0..n_u {
+                        let w = if users_set.contains(&ui) { 1.0 } else { w_miss };
+                        let r = if users_set.contains(&ui) { 1.0 } else { 0.0 };
+                        let pred: f32 =
+                            (0..dim).map(|e| u_mat[ui * dim + e] * vrow[e]).sum();
+                        num += w * r * u_mat[ui * dim + d];
+                        den += w * pred * u_mat[ui * dim + d];
+                    }
+                    v_mat[ii * dim + d] = vrow[d] * num / den;
+                }
+            }
+        }
+        let user_vecs = users
+            .iter()
+            .enumerate()
+            .map(|(ui, &u)| (u, u_mat[ui * dim..(ui + 1) * dim].to_vec()))
+            .collect();
+        let candidate_vecs = candidates
+            .iter()
+            .map(|&c| (c, bootstrap_item(corpus, &inter.item_index, &v_mat, dim, c)))
+            .collect();
+        WnmfRecommender {
+            user_vecs,
+            item_vecs: v_mat,
+            item_index: inter.item_index,
+            candidate_vecs,
+            dim,
+        }
+    }
+}
+
+impl Recommender for WnmfRecommender {
+    fn name(&self) -> &str {
+        "WNMF"
+    }
+
+    fn score(&self, user: AuthorId, candidate: PaperId) -> f64 {
+        let Some(pu) = self.user_vecs.get(&user) else { return 0.0 };
+        let qv: &[f32] = if let Some(v) = self.candidate_vecs.get(&candidate) {
+            v
+        } else if let Some(&i) = self.item_index.get(&candidate) {
+            &self.item_vecs[i * self.dim..(i + 1) * self.dim]
+        } else {
+            return 0.0;
+        };
+        pu.iter().zip(qv).map(|(a, b)| f64::from(a * b)).sum()
+    }
+}
+
+/// NBCF \[8\]: neighborhood-based CF. A candidate is scored by the cosine
+/// overlap between its reference list and each of the user's cited papers'
+/// neighbourhoods (the "potential citation papers" idea of the original).
+pub struct NbcfRecommender {
+    cited_by_user: BTreeMap<AuthorId, Vec<PaperId>>,
+    refs: HashMap<PaperId, HashSet<PaperId>>,
+}
+
+impl NbcfRecommender {
+    /// Indexes reference neighbourhoods.
+    pub fn fit(corpus: &Corpus, split_year: u16) -> Self {
+        let inter = Interactions::collect(corpus, split_year);
+        let refs = corpus
+            .papers
+            .iter()
+            .map(|p| (p.id, p.references.iter().copied().collect::<HashSet<_>>()))
+            .collect();
+        NbcfRecommender { cited_by_user: inter.by_user, refs }
+    }
+
+    fn sim(&self, candidate: PaperId, q: PaperId) -> f64 {
+        let Some(c_refs) = self.refs.get(&candidate) else { return 0.0 };
+        let Some(q_refs) = self.refs.get(&q) else { return 0.0 };
+        // q itself counts as part of its neighbourhood
+        let mut inter = c_refs.intersection(q_refs).count();
+        if c_refs.contains(&q) {
+            inter += 1;
+        }
+        inter as f64 / ((c_refs.len() as f64).sqrt() * (1.0 + q_refs.len() as f64).sqrt())
+    }
+}
+
+impl Recommender for NbcfRecommender {
+    fn name(&self) -> &str {
+        "NBCF"
+    }
+
+    fn score(&self, user: AuthorId, candidate: PaperId) -> f64 {
+        let Some(cited) = self.cited_by_user.get(&user) else { return 0.0 };
+        cited.iter().map(|&q| self.sim(candidate, q)).sum::<f64>() / cited.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sem_core::eval::RecTask;
+    use sem_corpus::CorpusConfig;
+
+    fn fixture() -> (Corpus, RecTask, HashSet<PaperId>) {
+        let corpus =
+            Corpus::generate(CorpusConfig { n_papers: 400, n_authors: 120, ..Default::default() });
+        let task = RecTask::build(&corpus, 2014, 8, 40, 1, 3);
+        let candidates: HashSet<PaperId> =
+            task.users.iter().flat_map(|u| u.candidates.iter().copied()).collect();
+        (corpus, task, candidates)
+    }
+
+    #[test]
+    fn interactions_only_contain_training_era() {
+        let (c, _, _) = fixture();
+        let inter = Interactions::collect(&c, 2014);
+        assert!(!inter.by_user.is_empty());
+        for items in inter.by_user.values() {
+            for q in items {
+                assert!(c.paper(*q).year <= 2014);
+            }
+        }
+    }
+
+    #[test]
+    fn svd_beats_random() {
+        let (c, task, cands) = fixture();
+        let svd = SvdRecommender::fit(&c, 2014, &cands, 10, 6, 1);
+        let m = task.evaluate(&svd);
+        let random = task.evaluate(&sem_core::eval::RandomRecommender::new(7));
+        assert!(m.ndcg > random.ndcg, "svd {} vs random {}", m.ndcg, random.ndcg);
+    }
+
+    #[test]
+    fn nbcf_beats_svd() {
+        // NBCF exploits reference overlap directly; on a topical citation
+        // graph it should beat factor bootstrapping (matching Tab. IV order)
+        let (c, task, cands) = fixture();
+        let svd = SvdRecommender::fit(&c, 2014, &cands, 10, 6, 1);
+        let nbcf = NbcfRecommender::fit(&c, 2014);
+        let m_svd = task.evaluate(&svd);
+        let m_nbcf = task.evaluate(&nbcf);
+        assert!(
+            m_nbcf.ndcg > m_svd.ndcg,
+            "nbcf {} vs svd {}",
+            m_nbcf.ndcg,
+            m_svd.ndcg
+        );
+    }
+
+    #[test]
+    fn wnmf_factors_are_nonnegative() {
+        let (c, _, cands) = fixture();
+        let wnmf = WnmfRecommender::fit(&c, 2014, &cands, 6, 4, 2);
+        assert!(wnmf.item_vecs.iter().all(|&v| v >= 0.0));
+        for v in wnmf.user_vecs.values() {
+            assert!(v.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn unknown_user_scores_zero() {
+        let (c, task, cands) = fixture();
+        let svd = SvdRecommender::fit(&c, 2014, &cands, 4, 2, 1);
+        let cand = task.users[0].candidates[0];
+        assert_eq!(svd.score(AuthorId(99_999), cand), 0.0);
+        let nbcf = NbcfRecommender::fit(&c, 2014);
+        assert_eq!(nbcf.score(AuthorId(99_999), cand), 0.0);
+    }
+}

@@ -1,0 +1,254 @@
+//! Whole-paper embedding baselines compared in Fig. 2 — all model the paper
+//! in a *single* semantic space, which is exactly what the ablation
+//! contrasts against SEM's subspaces.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sem_corpus::Corpus;
+use sem_text::{SentenceEncoder, SkipGram, Vocab};
+
+/// SHPE (Kanakia et al. \[34\]): linear combination of the Word2Vec centroid
+/// and a TF-IDF-weighted centroid of the paper's tokens.
+pub struct Shpe;
+
+impl Shpe {
+    /// Embeds every paper: `α · mean(w2v) + (1−α) · tfidf-weighted mean`.
+    pub fn embed_all(corpus: &Corpus, vocab: &Vocab, sg: &SkipGram, alpha: f32) -> Vec<Vec<f32>> {
+        let n_docs = corpus.papers.len() as f64;
+        // document frequency per token id
+        let mut df: HashMap<usize, usize> = HashMap::new();
+        let docs: Vec<Vec<usize>> = corpus
+            .papers
+            .iter()
+            .map(|p| {
+                let ids = vocab.encode(&p.all_tokens());
+                let mut seen: Vec<usize> = ids.clone();
+                seen.sort_unstable();
+                seen.dedup();
+                for &id in &seen {
+                    *df.entry(id).or_insert(0) += 1;
+                }
+                ids
+            })
+            .collect();
+        let d = sg.dim();
+        docs.iter()
+            .map(|ids| {
+                let mut plain = vec![0.0f32; d];
+                let mut weighted = vec![0.0f32; d];
+                let mut wsum = 0.0f32;
+                if ids.is_empty() {
+                    return plain;
+                }
+                // term frequency
+                let mut tf: HashMap<usize, usize> = HashMap::new();
+                for &id in ids {
+                    *tf.entry(id).or_insert(0) += 1;
+                }
+                for (&id, &f) in &tf {
+                    let idf = (n_docs / (1.0 + df[&id] as f64)).ln().max(0.0) as f32;
+                    let w = f as f32 * idf;
+                    for (acc, &e) in weighted.iter_mut().zip(sg.embedding(id)) {
+                        *acc += w * e;
+                    }
+                    wsum += w;
+                    for (acc, &e) in plain.iter_mut().zip(sg.embedding(id)) {
+                        *acc += f as f32 * e;
+                    }
+                }
+                let inv_n = 1.0 / ids.len() as f32;
+                for v in &mut plain {
+                    *v *= inv_n;
+                }
+                if wsum > 0.0 {
+                    for v in &mut weighted {
+                        *v /= wsum;
+                    }
+                }
+                plain
+                    .iter()
+                    .zip(&weighted)
+                    .map(|(p, w)| alpha * p + (1.0 - alpha) * w)
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Doc2Vec (PV-DBOW, \[20\]): a trainable vector per document predicting its
+/// own words with negative sampling.
+pub struct Doc2Vec {
+    vectors: Vec<Vec<f32>>,
+}
+
+impl Doc2Vec {
+    /// Trains document vectors.
+    pub fn train(corpus: &Corpus, vocab: &Vocab, dim: usize, epochs: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let docs: Vec<Vec<usize>> = corpus
+            .papers
+            .iter()
+            .map(|p| vocab.encode(&p.all_tokens()))
+            .collect();
+        let v = vocab.len();
+        let mut doc_vecs: Vec<Vec<f32>> = (0..docs.len())
+            .map(|_| (0..dim).map(|_| (rng.gen::<f32>() - 0.5) / dim as f32).collect())
+            .collect();
+        let mut word_out = vec![0.0f32; v * dim];
+        let lr0 = 0.05f32;
+        let negatives = 4;
+        for epoch in 0..epochs {
+            let lr = lr0 * (1.0 - epoch as f32 / epochs as f32).max(0.2);
+            for (di, words) in docs.iter().enumerate() {
+                for &w in words {
+                    let mut grad = vec![0.0f32; dim];
+                    for k in 0..=negatives {
+                        let (target, label) = if k == 0 {
+                            (w, 1.0f32)
+                        } else {
+                            (rng.gen_range(0..v), 0.0f32)
+                        };
+                        if k > 0 && target == w {
+                            continue;
+                        }
+                        let out = &mut word_out[target * dim..(target + 1) * dim];
+                        let dot: f32 = doc_vecs[di].iter().zip(out.iter()).map(|(a, b)| a * b).sum();
+                        let pred = 1.0 / (1.0 + (-dot).exp());
+                        let err = (pred - label) * lr;
+                        for i in 0..dim {
+                            grad[i] += err * out[i];
+                            out[i] -= err * doc_vecs[di][i];
+                        }
+                    }
+                    for (dv, g) in doc_vecs[di].iter_mut().zip(&grad) {
+                        *dv -= g;
+                    }
+                }
+            }
+        }
+        Doc2Vec { vectors: doc_vecs }
+    }
+
+    /// The trained document vectors (one per paper, corpus order).
+    pub fn vectors(&self) -> &[Vec<f32>] {
+        &self.vectors
+    }
+}
+
+/// "BERT" baseline \[26\]: the frozen sentence encoder applied to every
+/// sentence, averaged — no subspace separation (Fig. 2's strongest
+/// single-space pretrained-LM comparison).
+pub struct BertAvg;
+
+impl BertAvg {
+    /// Embeds every paper as the mean sentence vector.
+    pub fn embed_all(corpus: &Corpus, vocab: &Vocab, sg: &SkipGram, enc: &SentenceEncoder) -> Vec<Vec<f32>> {
+        corpus
+            .papers
+            .iter()
+            .map(|p| {
+                let sents: Vec<Vec<usize>> = p
+                    .sentence_tokens()
+                    .iter()
+                    .map(|t| vocab.encode(t))
+                    .collect();
+                let h = enc.encode_abstract(sg, &sents);
+                let mut mean = vec![0.0f32; enc.dim()];
+                for s in &h {
+                    for (m, v) in mean.iter_mut().zip(s) {
+                        *m += v;
+                    }
+                }
+                let inv = 1.0 / h.len().max(1) as f32;
+                for m in &mut mean {
+                    *m *= inv;
+                }
+                mean
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sem_corpus::CorpusConfig;
+    use sem_text::skipgram::SkipGramConfig;
+
+    fn fixture() -> (Corpus, Vocab, SkipGram) {
+        let corpus =
+            Corpus::generate(CorpusConfig { n_papers: 100, n_authors: 40, ..Default::default() });
+        let toks: Vec<Vec<String>> = corpus.papers.iter().map(|p| p.all_tokens()).collect();
+        let vocab = Vocab::build(toks.iter().map(|t| t.as_slice()), 1);
+        let seqs: Vec<Vec<usize>> = toks.iter().map(|t| vocab.encode(t)).collect();
+        let sg = SkipGram::train(&vocab, &seqs, &SkipGramConfig { dim: 12, epochs: 2, ..Default::default() });
+        (corpus, vocab, sg)
+    }
+
+    #[test]
+    fn shpe_embeds_all_papers() {
+        let (c, v, sg) = fixture();
+        let e = Shpe::embed_all(&c, &v, &sg, 0.5);
+        assert_eq!(e.len(), c.papers.len());
+        assert!(e.iter().all(|x| x.len() == 12 && x.iter().all(|v| v.is_finite())));
+        // alpha=1 reduces to the plain centroid, alpha=0 to the tf-idf one
+        let plain = Shpe::embed_all(&c, &v, &sg, 1.0);
+        let tfidf = Shpe::embed_all(&c, &v, &sg, 0.0);
+        assert_ne!(plain[0], tfidf[0]);
+    }
+
+    #[test]
+    fn doc2vec_separates_disciplines() {
+        let corpus = Corpus::generate(CorpusConfig {
+            n_papers: 120,
+            n_authors: 50,
+            disciplines: vec![
+                sem_corpus::DisciplineProfile::computer_science(),
+                sem_corpus::DisciplineProfile::medicine(),
+            ],
+            ..Default::default()
+        });
+        let toks: Vec<Vec<String>> = corpus.papers.iter().map(|p| p.all_tokens()).collect();
+        let vocab = Vocab::build(toks.iter().map(|t| t.as_slice()), 1);
+        let d2v = Doc2Vec::train(&corpus, &vocab, 12, 8, 3);
+        let vecs = d2v.vectors();
+        // mean cosine within discipline should exceed across
+        let cos = |a: &[f32], b: &[f32]| sem_text::skipgram::cosine(a, b) as f64;
+        let mut within = (0.0, 0);
+        let mut across = (0.0, 0);
+        for i in 0..corpus.papers.len() {
+            for j in (i + 1)..corpus.papers.len() {
+                let c = cos(&vecs[i], &vecs[j]);
+                if corpus.papers[i].discipline == corpus.papers[j].discipline {
+                    within = (within.0 + c, within.1 + 1);
+                } else {
+                    across = (across.0 + c, across.1 + 1);
+                }
+            }
+        }
+        let within = within.0 / within.1 as f64;
+        let across = across.0 / across.1 as f64;
+        assert!(within > across, "within {within} <= across {across}");
+    }
+
+    #[test]
+    fn bert_avg_is_mean_of_sentences() {
+        let (c, v, sg) = fixture();
+        let enc = SentenceEncoder::new(&v, 12, 16, 5);
+        let e = BertAvg::embed_all(&c, &v, &sg, &enc);
+        assert_eq!(e.len(), c.papers.len());
+        assert!(e.iter().all(|x| x.len() == 16));
+        // manual check for one paper
+        let p = &c.papers[0];
+        let sents: Vec<Vec<usize>> = p.sentence_tokens().iter().map(|t| v.encode(t)).collect();
+        let h = enc.encode_abstract(&sg, &sents);
+        let manual: Vec<f32> = (0..16)
+            .map(|d| h.iter().map(|s| s[d]).sum::<f32>() / h.len() as f32)
+            .collect();
+        for (a, b) in e[0].iter().zip(&manual) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+}

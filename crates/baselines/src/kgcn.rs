@@ -1,0 +1,382 @@
+//! KGCN \[19\] and KGCN-LS \[9\]: knowledge-graph convolutional recommenders.
+//!
+//! Unlike NPRec these treat every relation — including citation — as
+//! symmetric, use no text, and represent the user by their author-node
+//! embedding. KGCN-LS adds the label-smoothness regularizer: papers linked
+//! by citation should have nearby representations.
+
+use std::collections::{HashMap, HashSet};
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use sem_core::eval::Recommender;
+use sem_corpus::{AuthorId, Corpus, PaperId};
+use sem_graph::{EntityKind, HeteroGraph, NodeId, Relation};
+use sem_nn::{Adam, Embedding, Linear, Optimizer, ParamStore, Session};
+use sem_tensor::{Shape, Tensor, TensorId};
+
+/// KGCN hyperparameters.
+#[derive(Clone, Debug)]
+pub struct KgcnConfig {
+    /// Embedding width.
+    pub dim: usize,
+    /// Sampled neighborhood size.
+    pub neighbors: usize,
+    /// Convolution depth.
+    pub depth: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Pairs per optimizer step.
+    pub batch: usize,
+    /// Label-smoothness weight (0 = plain KGCN, >0 = KGCN-LS).
+    pub label_smoothness: f32,
+    /// Negative samples per positive (the Tab. VI ratio knob).
+    pub neg_per_pos: usize,
+    /// Cap on training pairs (0 = unlimited); pairs are subsampled uniformly
+    /// so the positive:negative ratio is preserved.
+    pub max_pairs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for KgcnConfig {
+    fn default() -> Self {
+        KgcnConfig {
+            dim: 16,
+            neighbors: 8,
+            depth: 1,
+            lr: 5e-3,
+            epochs: 2,
+            batch: 16,
+            label_smoothness: 0.0,
+            neg_per_pos: 1,
+            max_pairs: 0,
+            seed: 0x6cc,
+        }
+    }
+}
+
+struct KgcnModel {
+    store: ParamStore,
+    node_emb: Embedding,
+    rel_emb: Embedding,
+    layers: Vec<Linear>,
+    config: KgcnConfig,
+}
+
+impl KgcnModel {
+    fn new(n_nodes: usize, config: KgcnConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut store = ParamStore::new();
+        let node_emb = Embedding::new(&mut store, "kgcn.nodes", n_nodes, config.dim, &mut rng);
+        let rel_emb = Embedding::new(&mut store, "kgcn.rels", Relation::COUNT, config.dim, &mut rng);
+        let layers = (0..config.depth)
+            .map(|h| Linear::new(&mut store, &format!("kgcn.conv{h}"), config.dim, config.dim, &mut rng))
+            .collect();
+        KgcnModel { store, node_emb, rel_emb, layers, config }
+    }
+
+    fn base(&self, s: &mut Session<'_>, node: NodeId) -> TensorId {
+        let row = self.node_emb.lookup(s, &[node.index()]);
+        s.tape.reshape(row, Shape::Vector(self.config.dim))
+    }
+
+    /// Symmetric neighborhood: two-way edges plus both citation directions.
+    fn sym_neighbors(graph: &HeteroGraph, node: NodeId) -> Vec<(NodeId, Relation)> {
+        let mut out = graph.neighbors(node).to_vec();
+        if graph.kind(node) == EntityKind::Paper {
+            let p = PaperId::from(graph.local_index(node));
+            out.extend(graph.cites(p).iter().map(|&n| (n, Relation::Cites)));
+            out.extend(graph.cited_by(p).iter().map(|&n| (n, Relation::CitedBy)));
+        }
+        out
+    }
+
+    fn rep(
+        &self,
+        s: &mut Session<'_>,
+        graph: &HeteroGraph,
+        node: NodeId,
+        h: usize,
+        rng: &mut StdRng,
+    ) -> TensorId {
+        let base = self.base(s, node);
+        if h == 0 {
+            return base;
+        }
+        let full = Self::sym_neighbors(graph, node);
+        let sampled = HeteroGraph::sample_neighbors(&full, self.config.neighbors, rng);
+        let self_prev = self.rep(s, graph, node, h - 1, rng);
+        let summed = if sampled.is_empty() {
+            self_prev
+        } else {
+            // vectorised relation-aware attention (one gather per level)
+            let d = self.config.dim;
+            let nbr_idx: Vec<usize> = sampled.iter().map(|(n, _)| n.index()).collect();
+            let rel_idx: Vec<usize> = sampled.iter().map(|(_, r)| r.index()).collect();
+            let nbr_base = self.node_emb.lookup(s, &nbr_idx); // [K, d]
+            let rel_rows = self.rel_emb.lookup(s, &rel_idx); // [K, d]
+            let gated = s.tape.mul(rel_rows, nbr_base);
+            let base_col = s.tape.reshape(base, Shape::Matrix(d, 1));
+            let scores_col = s.tape.matmul(gated, base_col); // [K, 1]
+            let scores_row = s.tape.transpose(scores_col);
+            let alpha = s.tape.row_softmax(scores_row);
+            let nbr_reps = if h == 1 {
+                nbr_base
+            } else {
+                let mut cols: Option<TensorId> = None;
+                for &(nbr, _) in &sampled {
+                    let r = self.rep(s, graph, nbr, h - 1, rng);
+                    let col = s.tape.reshape(r, Shape::Matrix(d, 1));
+                    cols = Some(match cols {
+                        Some(acc) => s.tape.concat_cols(acc, col),
+                        None => col,
+                    });
+                }
+                let t = cols.expect("non-empty");
+                s.tape.transpose(t)
+            };
+            let v_n_m = s.tape.matmul(alpha, nbr_reps);
+            let v_n = s.tape.reshape(v_n_m, Shape::Vector(d));
+            s.tape.add(self_prev, v_n)
+        };
+        let row = s.tape.reshape(summed, Shape::Matrix(1, self.config.dim));
+        let lin = self.layers[h - 1].forward(s, row);
+        let act = s.tape.tanh(lin);
+        s.tape.reshape(act, Shape::Vector(self.config.dim))
+    }
+
+    fn item_vec(&self, graph: &HeteroGraph, p: PaperId, seed: u64) -> Vec<f32> {
+        let mut s = Session::new(&self.store);
+        let mut rng = StdRng::seed_from_u64(seed ^ (p.0 as u64).wrapping_mul(0x9e37));
+        let node = self.rep(&mut s, graph, graph.paper_node(p), self.config.depth, &mut rng);
+        s.tape.value(node).data().to_vec()
+    }
+
+    fn user_vec(&self, graph: &HeteroGraph, a: AuthorId) -> Vec<f32> {
+        let mut s = Session::new(&self.store);
+        let node = self.base(&mut s, graph.node(EntityKind::Author, a.index()));
+        s.tape.value(node).data().to_vec()
+    }
+}
+
+/// Trained KGCN (or KGCN-LS) scorer with cached vectors.
+pub struct KgcnRecommender {
+    name: &'static str,
+    users: HashMap<AuthorId, Vec<f32>>,
+    items: HashMap<PaperId, Vec<f32>>,
+}
+
+impl KgcnRecommender {
+    /// Trains on (author, cited paper) implicit pairs and caches the vectors
+    /// needed by `task`.
+    pub fn fit(
+        corpus: &Corpus,
+        graph: &HeteroGraph,
+        task: &sem_core::eval::RecTask,
+        config: KgcnConfig,
+    ) -> Self {
+        Self::fit_multi(corpus, graph, &[task], config)
+    }
+
+    /// Like [`KgcnRecommender::fit`] but caches vectors for several tasks
+    /// sharing one split year (e.g. the k ∈ {20, 30, 50} candidate sets of
+    /// Tab. IV).
+    ///
+    /// # Panics
+    /// Panics when `tasks` is empty or split years differ.
+    pub fn fit_multi(
+        corpus: &Corpus,
+        graph: &HeteroGraph,
+        tasks: &[&sem_core::eval::RecTask],
+        config: KgcnConfig,
+    ) -> Self {
+        assert!(!tasks.is_empty(), "no tasks given");
+        assert!(
+            tasks.iter().all(|t| t.split_year == tasks[0].split_year),
+            "tasks disagree on split year"
+        );
+        let name = if config.label_smoothness > 0.0 { "KGCN-LS" } else { "KGCN" };
+        let mut model = KgcnModel::new(graph.n_nodes(), config.clone());
+        let split = tasks[0].split_year;
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0xbeef);
+
+        // implicit training pairs; negatives are popularity-matched (drawn
+        // from the multiset of cited papers) so learning cannot collapse to
+        // global popularity
+        let mut all_pos: Vec<PaperId> = Vec::new();
+        for a in &corpus.authors {
+            for &p in &a.papers {
+                if corpus.paper(p).year <= split {
+                    all_pos.extend(corpus.paper(p).references.iter().copied());
+                }
+            }
+        }
+        let mut pairs: Vec<(AuthorId, PaperId, f32)> = Vec::new();
+        for a in &corpus.authors {
+            let cited: HashSet<PaperId> = a
+                .papers
+                .iter()
+                .filter(|&&p| corpus.paper(p).year <= split)
+                .flat_map(|&p| corpus.paper(p).references.iter().copied())
+                .collect();
+            for &p in &a.papers {
+                if corpus.paper(p).year > split {
+                    continue;
+                }
+                for &q in &corpus.paper(p).references {
+                    pairs.push((a.id, q, 1.0));
+                    for _ in 0..config.neg_per_pos {
+                        let mut tries = 0;
+                        loop {
+                            tries += 1;
+                            let neg = all_pos[rng.gen_range(0..all_pos.len())];
+                            if !cited.contains(&neg) || tries >= 20 {
+                                pairs.push((a.id, neg, 0.0));
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // citation-linked paper pairs for the smoothness term
+        let linked: Vec<(PaperId, PaperId)> = corpus
+            .papers
+            .iter()
+            .filter(|p| p.year <= split)
+            .flat_map(|p| p.references.iter().map(move |&q| (p.id, q)))
+            .collect();
+
+        if config.max_pairs > 0 && pairs.len() > config.max_pairs {
+            pairs.shuffle(&mut rng);
+            pairs.truncate(config.max_pairs);
+        }
+        let mut opt = Adam::new(config.lr).with_clip(5.0);
+        let mut order: Vec<usize> = (0..pairs.len()).collect();
+        for _ in 0..config.epochs {
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(config.batch) {
+                let mut s = Session::new(&model.store);
+                let mut logits: Option<TensorId> = None;
+                let mut targets = Vec::with_capacity(chunk.len());
+                for &i in chunk {
+                    let (a, q, label) = pairs[i];
+                    let u = model.base(&mut s, graph.node(EntityKind::Author, a.index()));
+                    let v = model.rep(&mut s, graph, graph.paper_node(q), model.config.depth, &mut rng);
+                    let logit = s.tape.dot(u, v);
+                    let l11 = s.tape.reshape(logit, Shape::Matrix(1, 1));
+                    logits = Some(match logits {
+                        Some(acc) => s.tape.concat_cols(acc, l11),
+                        None => l11,
+                    });
+                    targets.push(label);
+                }
+                let logits = logits.expect("non-empty");
+                let n = targets.len();
+                let mut loss = s
+                    .tape
+                    .bce_with_logits(logits, Tensor::from_vec(targets, Shape::Matrix(1, n)));
+                if model.config.label_smoothness > 0.0 && !linked.is_empty() {
+                    // label smoothness: citation-linked papers get close reps
+                    let mut smooth_terms = Vec::new();
+                    for _ in 0..4 {
+                        let (p, q) = linked[rng.gen_range(0..linked.len())];
+                        let vp = model.rep(&mut s, graph, graph.paper_node(p), model.config.depth, &mut rng);
+                        let vq = model.rep(&mut s, graph, graph.paper_node(q), model.config.depth, &mut rng);
+                        let d = s.tape.sub(vp, vq);
+                        let sq = s.tape.mul(d, d);
+                        smooth_terms.push(s.tape.sum(sq));
+                    }
+                    let total = sem_nn::losses::total(&mut s.tape, &smooth_terms);
+                    let scaled = s.tape.scale(total, model.config.label_smoothness / 4.0);
+                    loss = s.tape.add(loss, scaled);
+                }
+                s.tape.backward(loss);
+                let g = s.grads();
+                opt.step(&mut model.store, &g);
+            }
+        }
+
+        // cache vectors for every task
+        let mut users = HashMap::new();
+        let mut items = HashMap::new();
+        for task in tasks {
+            for u in &task.users {
+                users
+                    .entry(u.user)
+                    .or_insert_with(|| model.user_vec(graph, u.user));
+                for &c in &u.candidates {
+                    items
+                        .entry(c)
+                        .or_insert_with(|| model.item_vec(graph, c, config.seed));
+                }
+            }
+        }
+        KgcnRecommender { name, users, items }
+    }
+}
+
+impl Recommender for KgcnRecommender {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn score(&self, user: AuthorId, candidate: PaperId) -> f64 {
+        let (Some(u), Some(v)) = (self.users.get(&user), self.items.get(&candidate)) else {
+            return 0.0;
+        };
+        let dot: f64 = u.iter().zip(v).map(|(a, b)| f64::from(a * b)).sum();
+        1.0 / (1.0 + (-dot).exp())
+    }
+}
+
+/// Convenience: the set of candidate papers a task needs scored.
+pub fn task_candidates(task: &sem_core::eval::RecTask) -> HashSet<PaperId> {
+    task.users
+        .iter()
+        .flat_map(|u| u.candidates.iter().copied())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sem_core::eval::{RandomRecommender, RecTask};
+    use sem_corpus::CorpusConfig;
+
+    fn fixture() -> (Corpus, HeteroGraph, RecTask) {
+        let corpus =
+            Corpus::generate(CorpusConfig { n_papers: 300, n_authors: 100, ..Default::default() });
+        let graph = HeteroGraph::from_corpus(&corpus, Some(2014));
+        let task = RecTask::build(&corpus, 2014, 6, 20, 1, 3);
+        (corpus, graph, task)
+    }
+
+    #[test]
+    fn kgcn_beats_random() {
+        let (c, g, task) = fixture();
+        let kgcn = KgcnRecommender::fit(&c, &g, &task, KgcnConfig { epochs: 2, ..Default::default() });
+        assert_eq!(kgcn.name(), "KGCN");
+        let m = task.evaluate(&kgcn);
+        let r = task.evaluate(&RandomRecommender::new(11));
+        assert!(m.ndcg > r.ndcg, "kgcn {} vs random {}", m.ndcg, r.ndcg);
+    }
+
+    #[test]
+    fn ls_variant_reports_its_name() {
+        let (c, g, task) = fixture();
+        let ls = KgcnRecommender::fit(
+            &c,
+            &g,
+            &task,
+            KgcnConfig { epochs: 1, label_smoothness: 0.05, ..Default::default() },
+        );
+        assert_eq!(ls.name(), "KGCN-LS");
+        let m = task.evaluate(&ls);
+        assert!(m.ndcg > 0.0);
+    }
+}

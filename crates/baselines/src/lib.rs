@@ -1,0 +1,33 @@
+//! # sem-baselines
+//!
+//! Every comparison method from the paper's evaluation, reimplemented at
+//! laptop scale so the tables and figures can be regenerated:
+//!
+//! * **Paper-quality scorers** (Tab. I): [`quality::Clt`] (readability /
+//!   language quality), [`quality::Csj`] (science-journalism writing
+//!   quality), [`quality::HIndexProxy`] (HP — early-citation h-index proxy).
+//! * **Whole-paper embedding methods** (Fig. 2): [`embed::Shpe`]
+//!   (word2vec + TF-IDF hybrid), [`embed::Doc2Vec`] (PV-DBOW),
+//!   [`embed::BertAvg`] (sentence-encoder mean — the frozen-LM baseline).
+//! * **Recommenders** (Tab. IV–VI, Fig. 6): [`cf::SvdRecommender`],
+//!   [`cf::WnmfRecommender`], [`cf::NbcfRecommender`],
+//!   [`neural::MlpRecommender`] (NCF), [`neural::JtieRecommender`],
+//!   [`kgcn::KgcnRecommender`] (plus its label-smoothness variant) and
+//!   [`ripplenet::RippleNetRecommender`]. All implement
+//!   [`sem_core::eval::Recommender`].
+//!
+//! Cold-start handling: the paper's task ranks *new* papers, which classic
+//! CF never saw at training time. Each CF baseline bootstraps a new item
+//! from its observable metadata (its reference list), mirroring how such
+//! systems are deployed in practice; graph methods reach new papers through
+//! their metadata edges.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod quality;
+pub mod embed;
+pub mod cf;
+pub mod neural;
+pub mod kgcn;
+pub mod ripplenet;

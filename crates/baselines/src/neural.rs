@@ -1,0 +1,407 @@
+//! Neural recommenders: MLP (neural collaborative filtering, He et al. \[12\])
+//! and JTIE (joint text + influence embedding, Xie et al. \[2\]).
+
+use std::collections::{HashMap, HashSet};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sem_core::eval::Recommender;
+use sem_corpus::{AuthorId, Corpus, PaperId};
+use sem_nn::{Activation, Adam, Embedding, Mlp, Optimizer, ParamStore, Session};
+use sem_tensor::{Shape, Tensor};
+
+use crate::cf::Interactions;
+
+/// MLP / NCF \[12\]: user and item embeddings concatenated through an MLP
+/// that learns the non-linear interaction function, trained with BCE on
+/// implicit citations plus sampled negatives.
+///
+/// Cold-start: a new item is scored as the mean of the model's scores of its
+/// in-era references. (Averaging *embeddings* instead would feed the
+/// non-linear MLP an off-manifold "generic" vector, which the negative
+/// sampler has taught it to reject — averaging scores keeps every MLP input
+/// a real trained item.)
+pub struct MlpRecommender {
+    user_vecs: HashMap<AuthorId, Vec<f32>>,
+    item_vecs: Vec<Vec<f32>>,
+    item_index: HashMap<PaperId, usize>,
+    candidate_refs: HashMap<PaperId, Vec<usize>>,
+    store: ParamStore,
+    mlp: Mlp,
+}
+
+impl MlpRecommender {
+    /// Trains the NCF model.
+    pub fn fit(
+        corpus: &Corpus,
+        split_year: u16,
+        candidates: &HashSet<PaperId>,
+        dim: usize,
+        epochs: usize,
+        seed: u64,
+    ) -> Self {
+        Self::fit_with_negatives(corpus, split_year, candidates, dim, epochs, 2, seed)
+    }
+
+    /// [`MlpRecommender::fit`] with an explicit negatives-per-positive ratio
+    /// (the Tab. VI knob).
+    pub fn fit_with_negatives(
+        corpus: &Corpus,
+        split_year: u16,
+        candidates: &HashSet<PaperId>,
+        dim: usize,
+        epochs: usize,
+        neg_per_pos: usize,
+        seed: u64,
+    ) -> Self {
+        let inter = Interactions::collect(corpus, split_year);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let users: Vec<AuthorId> = {
+            let mut u: Vec<AuthorId> = inter.by_user.keys().copied().collect();
+            u.sort_unstable();
+            u
+        };
+        let user_index: HashMap<AuthorId, usize> =
+            users.iter().enumerate().map(|(i, &u)| (u, i)).collect();
+        let n_items = inter.items.len();
+
+        let mut store = ParamStore::new();
+        let user_emb = Embedding::new(&mut store, "ncf.users", users.len(), dim, &mut rng);
+        let item_emb = Embedding::new(&mut store, "ncf.items", n_items, dim, &mut rng);
+        let mlp = Mlp::new(&mut store, "ncf.mlp", &[2 * dim, dim, 1], Activation::Relu, false, &mut rng);
+        let mut opt = Adam::new(5e-3);
+
+        // training pairs; negatives are popularity-matched (drawn from the
+        // multiset of positive items) so the model must learn the user–item
+        // interaction instead of collapsing to global popularity
+        let all_pos: Vec<usize> = inter
+            .by_user
+            .values()
+            .flat_map(|items| items.iter().map(|q| inter.item_index[q]))
+            .collect();
+        let mut pairs: Vec<(usize, usize, f32)> = Vec::new();
+        for (u, items) in &inter.by_user {
+            let ui = user_index[u];
+            let owned: std::collections::HashSet<usize> =
+                items.iter().map(|q| inter.item_index[q]).collect();
+            for q in items {
+                pairs.push((ui, inter.item_index[q], 1.0));
+                let mut placed = 0;
+                let mut tries = 0;
+                while placed < neg_per_pos && tries < 10 * neg_per_pos {
+                    tries += 1;
+                    let neg = all_pos[rng.gen_range(0..all_pos.len())];
+                    if !owned.contains(&neg) {
+                        pairs.push((ui, neg, 0.0));
+                        placed += 1;
+                    }
+                }
+            }
+        }
+        for _ in 0..epochs {
+            use rand::seq::SliceRandom;
+            pairs.shuffle(&mut rng);
+            for chunk in pairs.chunks(64) {
+                let mut s = Session::new(&store);
+                let u_idx: Vec<usize> = chunk.iter().map(|p| p.0).collect();
+                let i_idx: Vec<usize> = chunk.iter().map(|p| p.1).collect();
+                let labels: Vec<f32> = chunk.iter().map(|p| p.2).collect();
+                let u = user_emb.lookup(&mut s, &u_idx);
+                let i = item_emb.lookup(&mut s, &i_idx);
+                let x = s.tape.concat_cols(u, i);
+                let logits = mlp.forward(&mut s, x);
+                let n = labels.len();
+                let loss = s
+                    .tape
+                    .bce_with_logits(logits, Tensor::from_vec(labels, Shape::Matrix(n, 1)));
+                s.tape.backward(loss);
+                let g = s.grads();
+                opt.step(&mut store, &g);
+            }
+        }
+
+        let item_table = store.get(item_emb.param()).clone();
+        let item_vecs: Vec<Vec<f32>> =
+            (0..n_items).map(|i| item_table.row(i).to_vec()).collect();
+        let user_table = store.get(user_emb.param()).clone();
+        let user_vecs: HashMap<AuthorId, Vec<f32>> = users
+            .iter()
+            .enumerate()
+            .map(|(i, &u)| (u, user_table.row(i).to_vec()))
+            .collect();
+        let candidate_refs: HashMap<PaperId, Vec<usize>> = candidates
+            .iter()
+            .map(|&c| {
+                let refs: Vec<usize> = corpus
+                    .paper(c)
+                    .references
+                    .iter()
+                    .filter_map(|r| inter.item_index.get(r).copied())
+                    .collect();
+                (c, refs)
+            })
+            .collect();
+
+        MlpRecommender {
+            user_vecs,
+            item_vecs,
+            item_index: inter.item_index,
+            candidate_refs,
+            store,
+            mlp,
+        }
+    }
+
+    fn forward(&self, u: &[f32], i: &[f32]) -> f64 {
+        let mut s = Session::new(&self.store);
+        let mut x = u.to_vec();
+        x.extend_from_slice(i);
+        let inp = s.tape.leaf(Tensor::matrix(1, x.len(), &x));
+        let out = self.mlp.forward(&mut s, inp);
+        f64::from(s.tape.value(out).data()[0])
+    }
+}
+
+impl Recommender for MlpRecommender {
+    fn name(&self) -> &str {
+        "MLP"
+    }
+
+    fn score(&self, user: AuthorId, candidate: PaperId) -> f64 {
+        let Some(u) = self.user_vecs.get(&user) else { return 0.0 };
+        if let Some(&i) = self.item_index.get(&candidate) {
+            return self.forward(u, &self.item_vecs[i]);
+        }
+        let Some(refs) = self.candidate_refs.get(&candidate) else { return 0.0 };
+        if refs.is_empty() {
+            return 0.0;
+        }
+        refs.iter()
+            .map(|&i| self.forward(u, &self.item_vecs[i]))
+            .sum::<f64>()
+            / refs.len() as f64
+    }
+}
+
+/// JTIE \[2\]: joint embedding of paper text and influence. A logistic model
+/// over observable features of a (user, candidate) pair: text similarity of
+/// the candidate to the user's publication centroid, the candidate venue's
+/// historical citation rate, its authors' historical citation counts, and
+/// reference overlap with the user's cited set.
+pub struct JtieRecommender {
+    /// learned weights + bias
+    w: [f64; 5],
+    user_centroid: HashMap<AuthorId, Vec<f32>>,
+    user_cited: HashMap<AuthorId, HashSet<PaperId>>,
+    text: Vec<Vec<f32>>,
+    /// per paper: (log venue citation rate, log max author citation count)
+    static_feats: Vec<(f64, f64)>,
+    refs: HashMap<PaperId, HashSet<PaperId>>,
+}
+
+impl JtieRecommender {
+    /// Fits the joint model. `text` holds one flat embedding per paper
+    /// (e.g. [`crate::embed::BertAvg`]).
+    pub fn fit(corpus: &Corpus, split_year: u16, text: &[Vec<f32>], epochs: usize, seed: u64) -> Self {
+        Self::fit_with_negatives(corpus, split_year, text, epochs, 1, seed)
+    }
+
+    /// [`JtieRecommender::fit`] with an explicit negatives-per-positive
+    /// ratio (the Tab. VI knob).
+    pub fn fit_with_negatives(
+        corpus: &Corpus,
+        split_year: u16,
+        text: &[Vec<f32>],
+        epochs: usize,
+        neg_per_pos: usize,
+        seed: u64,
+    ) -> Self {
+        let inter = Interactions::collect(corpus, split_year);
+        // observable influence statistics from the training era
+        let mut venue_rate = vec![0.0f64; corpus.venues.len().max(1)];
+        let mut venue_n = vec![0usize; corpus.venues.len().max(1)];
+        let mut author_cites = vec![0.0f64; corpus.authors.len()];
+        for p in &corpus.papers {
+            if p.year > split_year {
+                continue;
+            }
+            let in_era_cites = corpus
+                .cited_by(p.id)
+                .iter()
+                .filter(|&&c| corpus.paper(c).year <= split_year)
+                .count() as f64;
+            if let Some(v) = p.venue {
+                venue_rate[v.index()] += in_era_cites;
+                venue_n[v.index()] += 1;
+            }
+            for a in &p.authors {
+                author_cites[a.index()] += in_era_cites;
+            }
+        }
+        for (r, n) in venue_rate.iter_mut().zip(&venue_n) {
+            if *n > 0 {
+                *r /= *n as f64;
+            }
+        }
+
+        let user_centroid: HashMap<AuthorId, Vec<f32>> = corpus
+            .authors
+            .iter()
+            .filter_map(|a| {
+                let own: Vec<&Vec<f32>> = a
+                    .papers
+                    .iter()
+                    .filter(|&&p| corpus.paper(p).year <= split_year)
+                    .map(|p| &text[p.index()])
+                    .collect();
+                if own.is_empty() {
+                    return None;
+                }
+                let d = own[0].len();
+                let mut c = vec![0.0f32; d];
+                for v in &own {
+                    for (acc, x) in c.iter_mut().zip(*v) {
+                        *acc += x;
+                    }
+                }
+                c.iter_mut().for_each(|x| *x /= own.len() as f32);
+                Some((a.id, c))
+            })
+            .collect();
+        let user_cited: HashMap<AuthorId, HashSet<PaperId>> = inter
+            .by_user
+            .iter()
+            .map(|(&u, v)| (u, v.iter().copied().collect()))
+            .collect();
+        let refs: HashMap<PaperId, HashSet<PaperId>> = corpus
+            .papers
+            .iter()
+            .map(|p| (p.id, p.references.iter().copied().collect()))
+            .collect();
+
+        let static_feats: Vec<(f64, f64)> = corpus
+            .papers
+            .iter()
+            .map(|p| {
+                let venue = p
+                    .venue
+                    .map(|v| (1.0 + venue_rate[v.index()]).ln())
+                    .unwrap_or(0.0);
+                let authority = p
+                    .authors
+                    .iter()
+                    .map(|a| (1.0 + author_cites[a.index()]).ln())
+                    .fold(0.0f64, f64::max);
+                (venue, authority)
+            })
+            .collect();
+
+        let mut me = JtieRecommender {
+            w: [0.0; 5],
+            user_centroid,
+            user_cited,
+            text: text.to_vec(),
+            static_feats,
+            refs,
+        };
+
+        // logistic regression on features of positive/negative pairs
+        let mut rng = StdRng::seed_from_u64(seed);
+        let era = &inter.items;
+        let mut data: Vec<([f64; 4], f64)> = Vec::new();
+        for (u, items) in &inter.by_user {
+            for q in items {
+                data.push((me.features(*u, *q), 1.0));
+                for _ in 0..neg_per_pos {
+                    let neg = era[rng.gen_range(0..era.len())];
+                    data.push((me.features(*u, neg), 0.0));
+                }
+            }
+        }
+        let lr = 0.1;
+        for _ in 0..epochs {
+            for (f, y) in &data {
+                let z = me.w[4] + (0..4).map(|i| me.w[i] * f[i]).sum::<f64>();
+                let pred = 1.0 / (1.0 + (-z).exp());
+                let err = pred - y;
+                for i in 0..4 {
+                    me.w[i] -= lr * err * f[i];
+                }
+                me.w[4] -= lr * err;
+            }
+        }
+        me
+    }
+
+    fn features(&self, user: AuthorId, candidate: PaperId) -> [f64; 4] {
+        let text_sim = self
+            .user_centroid
+            .get(&user)
+            .map(|c| f64::from(sem_text::skipgram::cosine(c, &self.text[candidate.index()])))
+            .unwrap_or(0.0);
+        let (venue, authority) = self.static_feats[candidate.index()];
+        let overlap = match (self.user_cited.get(&user), self.refs.get(&candidate)) {
+            (Some(cited), Some(r)) if !r.is_empty() => {
+                r.intersection(cited).count() as f64 / (r.len() as f64).sqrt()
+            }
+            _ => 0.0,
+        };
+        [text_sim, venue, authority, overlap]
+    }
+}
+
+impl Recommender for JtieRecommender {
+    fn name(&self) -> &str {
+        "JTIE"
+    }
+
+    fn score(&self, user: AuthorId, candidate: PaperId) -> f64 {
+        let f = self.features(user, candidate);
+        let z = self.w[4] + (0..4).map(|i| self.w[i] * f[i]).sum::<f64>();
+        1.0 / (1.0 + (-z).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sem_core::eval::{RandomRecommender, RecTask};
+    use sem_corpus::CorpusConfig;
+
+    fn fixture() -> (Corpus, RecTask, HashSet<PaperId>) {
+        let corpus =
+            Corpus::generate(CorpusConfig { n_papers: 350, n_authors: 120, ..Default::default() });
+        let task = RecTask::build(&corpus, 2014, 8, 30, 1, 3);
+        let candidates: HashSet<PaperId> =
+            task.users.iter().flat_map(|u| u.candidates.iter().copied()).collect();
+        (corpus, task, candidates)
+    }
+
+    #[test]
+    fn mlp_beats_random() {
+        let (c, task, cands) = fixture();
+        let mlp = MlpRecommender::fit(&c, 2014, &cands, 16, 10, 1);
+        let m = task.evaluate(&mlp);
+        let r = task.evaluate(&RandomRecommender::new(3));
+        assert!(m.ndcg > r.ndcg, "mlp {} vs random {}", m.ndcg, r.ndcg);
+    }
+
+    #[test]
+    fn jtie_beats_random_and_uses_text() {
+        let (c, task, _) = fixture();
+        let toks: Vec<Vec<String>> = c.papers.iter().map(|p| p.all_tokens()).collect();
+        let vocab = sem_text::Vocab::build(toks.iter().map(|t| t.as_slice()), 1);
+        let seqs: Vec<Vec<usize>> = toks.iter().map(|t| vocab.encode(t)).collect();
+        let sg = sem_text::SkipGram::train(
+            &vocab,
+            &seqs,
+            &sem_text::skipgram::SkipGramConfig { dim: 12, epochs: 2, ..Default::default() },
+        );
+        let enc = sem_text::SentenceEncoder::new(&vocab, 12, 16, 5);
+        let text = crate::embed::BertAvg::embed_all(&c, &vocab, &sg, &enc);
+        let jtie = JtieRecommender::fit(&c, 2014, &text, 4, 1);
+        let m = task.evaluate(&jtie);
+        let r = task.evaluate(&RandomRecommender::new(3));
+        assert!(m.ndcg > r.ndcg, "jtie {} vs random {}", m.ndcg, r.ndcg);
+    }
+}

@@ -1,0 +1,165 @@
+//! RippleNet \[21\]: user-preference propagation over the citation graph.
+//!
+//! The user's cited papers are seed nodes; preference "ripples" outward
+//! through reference hops with geometric decay. A candidate is scored by how
+//! strongly its own neighbourhood (itself + its references) intersects the
+//! user's ripple sets — the set-based formulation of the original's
+//! propagated-preference inner products, which is what survives at this
+//! corpus scale.
+
+use std::collections::{HashMap, HashSet};
+
+use sem_core::eval::Recommender;
+use sem_corpus::{AuthorId, Corpus, PaperId};
+
+use crate::cf::Interactions;
+
+/// RippleNet hyperparameters.
+#[derive(Clone, Debug)]
+pub struct RippleConfig {
+    /// Number of propagation hops.
+    pub hops: usize,
+    /// Geometric decay per hop.
+    pub decay: f64,
+    /// Per-hop ripple-set size cap (the original's memory size).
+    pub max_set: usize,
+}
+
+impl Default for RippleConfig {
+    fn default() -> Self {
+        RippleConfig { hops: 2, decay: 0.5, max_set: 256 }
+    }
+}
+
+/// Fitted RippleNet scorer.
+pub struct RippleNetRecommender {
+    /// per user: ripple set per hop (hop 0 = cited seeds)
+    ripples: HashMap<AuthorId, Vec<HashSet<PaperId>>>,
+    refs: HashMap<PaperId, Vec<PaperId>>,
+    config: RippleConfig,
+}
+
+impl RippleNetRecommender {
+    /// Builds ripple sets from training-era citations.
+    pub fn fit(corpus: &Corpus, split_year: u16, config: RippleConfig) -> Self {
+        let inter = Interactions::collect(corpus, split_year);
+        let refs: HashMap<PaperId, Vec<PaperId>> = corpus
+            .papers
+            .iter()
+            .map(|p| (p.id, p.references.clone()))
+            .collect();
+        let ripples = inter
+            .by_user
+            .iter()
+            .map(|(&u, seeds)| {
+                let mut sets: Vec<HashSet<PaperId>> = Vec::with_capacity(config.hops + 1);
+                let mut frontier: HashSet<PaperId> = seeds.iter().copied().collect();
+                truncate_set(&mut frontier, config.max_set);
+                sets.push(frontier.clone());
+                for _ in 0..config.hops {
+                    let mut next: HashSet<PaperId> = HashSet::new();
+                    for p in &frontier {
+                        if let Some(r) = refs.get(p) {
+                            next.extend(r.iter().copied());
+                        }
+                    }
+                    truncate_set(&mut next, config.max_set);
+                    sets.push(next.clone());
+                    frontier = next;
+                }
+                (u, sets)
+            })
+            .collect();
+        RippleNetRecommender { ripples, refs, config }
+    }
+}
+
+/// Deterministic truncation (by id order) to the cap.
+fn truncate_set(set: &mut HashSet<PaperId>, cap: usize) {
+    if set.len() <= cap {
+        return;
+    }
+    let mut v: Vec<PaperId> = set.iter().copied().collect();
+    v.sort_unstable();
+    v.truncate(cap);
+    *set = v.into_iter().collect();
+}
+
+impl Recommender for RippleNetRecommender {
+    fn name(&self) -> &str {
+        "RippleNet"
+    }
+
+    fn score(&self, user: AuthorId, candidate: PaperId) -> f64 {
+        let Some(sets) = self.ripples.get(&user) else { return 0.0 };
+        // candidate neighbourhood: itself + its references
+        let mut cand: HashSet<PaperId> = HashSet::from([candidate]);
+        if let Some(r) = self.refs.get(&candidate) {
+            cand.extend(r.iter().copied());
+        }
+        let mut score = 0.0;
+        let mut w = 1.0;
+        for set in sets {
+            if !set.is_empty() {
+                let overlap = cand.intersection(set).count() as f64;
+                score += w * overlap / (set.len() as f64).sqrt() / (cand.len() as f64).sqrt();
+            }
+            w *= self.config.decay;
+        }
+        score
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sem_core::eval::{RandomRecommender, RecTask};
+    use sem_corpus::CorpusConfig;
+
+    fn fixture() -> (Corpus, RecTask) {
+        let corpus =
+            Corpus::generate(CorpusConfig { n_papers: 400, n_authors: 120, ..Default::default() });
+        let task = RecTask::build(&corpus, 2014, 8, 40, 1, 3);
+        (corpus, task)
+    }
+
+    #[test]
+    fn beats_random_comfortably() {
+        let (c, task) = fixture();
+        let rn = RippleNetRecommender::fit(&c, 2014, RippleConfig::default());
+        let m = task.evaluate(&rn);
+        let r = task.evaluate(&RandomRecommender::new(5));
+        assert!(m.ndcg > r.ndcg + 0.05, "ripplenet {} vs random {}", m.ndcg, r.ndcg);
+    }
+
+    #[test]
+    fn propagation_stays_close_to_seed_signal() {
+        let (c, task) = fixture();
+        let h0 = RippleNetRecommender::fit(&c, 2014, RippleConfig { hops: 0, ..Default::default() });
+        let h2 = RippleNetRecommender::fit(&c, 2014, RippleConfig { hops: 2, ..Default::default() });
+        let m0 = task.evaluate(&h0);
+        let m2 = task.evaluate(&h2);
+        // hop-0 carries most of the signal here (seed overlap); deeper hops
+        // add decayed neighbourhood evidence and must not wreck it
+        assert!(m2.ndcg >= m0.ndcg - 0.05, "h2 {} vs h0 {}", m2.ndcg, m0.ndcg);
+        assert!(m2.ndcg > 0.6);
+    }
+
+    #[test]
+    fn ripple_sets_respect_cap() {
+        let (c, _) = fixture();
+        let rn = RippleNetRecommender::fit(&c, 2014, RippleConfig { max_set: 10, ..Default::default() });
+        for sets in rn.ripples.values() {
+            for s in sets {
+                assert!(s.len() <= 10);
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_user_scores_zero() {
+        let (c, task) = fixture();
+        let rn = RippleNetRecommender::fit(&c, 2014, RippleConfig::default());
+        assert_eq!(rn.score(AuthorId(123_456), task.users[0].candidates[0]), 0.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Criterion microbenches for the computational kernels under every
+//! experiment: tensor algebra, autograd, CRF decoding, skip-gram, expert
+//! rules, GMM, LOF and t-SNE.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::{Rng, SeedableRng};
+use sem_corpus::{Corpus, CorpusConfig};
+use sem_stats::gmm::GmmConfig;
+use sem_tensor::{ops, Shape, Tape, Tensor};
+use sem_text::crf::CrfConfig;
+use sem_text::skipgram::SkipGramConfig;
+use sem_text::{LinearChainCrf, SkipGram, Vocab};
+
+fn rng() -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(42)
+}
+
+fn bench_tensor(c: &mut Criterion) {
+    let mut r = rng();
+    let a = Tensor::uniform(Shape::Matrix(64, 64), 1.0, &mut r);
+    let b = Tensor::uniform(Shape::Matrix(64, 64), 1.0, &mut r);
+    c.bench_function("tensor/matmul-64x64", |bench| {
+        bench.iter(|| ops::matmul(black_box(&a), black_box(&b)))
+    });
+    c.bench_function("tensor/softmax-64x64", |bench| {
+        bench.iter(|| ops::row_softmax(black_box(&a)))
+    });
+    let x = Tensor::uniform(Shape::Matrix(32, 48), 0.5, &mut r);
+    let w = Tensor::uniform(Shape::Matrix(48, 32), 0.5, &mut r);
+    c.bench_function("tensor/autograd-step", |bench| {
+        bench.iter(|| {
+            let mut t = Tape::new();
+            let xi = t.leaf(x.clone());
+            let wi = t.leaf(w.clone());
+            let h = t.matmul(xi, wi);
+            let a = t.tanh(h);
+            let s = t.row_softmax(a);
+            let loss = t.mean(s);
+            t.backward(loss);
+            black_box(t.grad(wi))
+        })
+    });
+}
+
+fn bench_text(c: &mut Criterion) {
+    let corpus = Corpus::generate(CorpusConfig { n_papers: 150, n_authors: 60, ..Default::default() });
+    let toks: Vec<Vec<String>> = corpus.papers.iter().map(|p| p.all_tokens()).collect();
+    let vocab = Vocab::build(toks.iter().map(|t| t.as_slice()), 1);
+    let seqs: Vec<Vec<usize>> = toks.iter().map(|t| vocab.encode(t)).collect();
+    c.bench_function("text/sgns-epoch-150-papers", |bench| {
+        bench.iter(|| {
+            SkipGram::train(
+                &vocab,
+                black_box(&seqs),
+                &SkipGramConfig { dim: 16, epochs: 1, ..Default::default() },
+            )
+        })
+    });
+
+    // CRF decode on realistic abstract lengths
+    let mut crf = LinearChainCrf::new(3, 12);
+    let data: Vec<(Vec<Vec<usize>>, Vec<usize>)> = (0..40)
+        .map(|i| {
+            let len = 5 + i % 4;
+            let feats: Vec<Vec<usize>> = (0..len)
+                .map(|t| vec![if t == 0 { 0 } else if t + 1 == len { 2 } else { 1 }, 11])
+                .collect();
+            let labels = (0..len)
+                .map(|t| if t == 0 { 0 } else if t + 1 == len { 2 } else { 1 })
+                .collect();
+            (feats, labels)
+        })
+        .collect();
+    crf.train(&data, &CrfConfig { epochs: 5, ..Default::default() });
+    c.bench_function("text/crf-decode-8-sentences", |bench| {
+        bench.iter(|| crf.decode(black_box(&data[3].0)))
+    });
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let mut r = rng();
+    let points: Vec<Vec<f32>> = (0..200)
+        .map(|i| {
+            let base = if i % 2 == 0 { 0.0f32 } else { 5.0 };
+            (0..16).map(|_| base + r.gen::<f32>()).collect()
+        })
+        .collect();
+    c.bench_function("stats/gmm-fit-k2-200x16", |bench| {
+        bench.iter(|| {
+            sem_stats::GaussianMixture::fit(black_box(&points), 2, &GmmConfig::default())
+        })
+    });
+    c.bench_function("stats/lof-200x16", |bench| {
+        bench.iter(|| sem_stats::lof::local_outlier_factor(black_box(&points), 15))
+    });
+    let small: Vec<Vec<f32>> = points.iter().take(60).cloned().collect();
+    c.bench_function("stats/tsne-60pts-50iters", |bench| {
+        bench.iter(|| {
+            sem_stats::tsne(
+                black_box(&small),
+                &sem_stats::TsneConfig { iters: 50, perplexity: 10.0, ..Default::default() },
+            )
+        })
+    });
+    c.bench_function("stats/tsne-bh-200pts-50iters", |bench| {
+        bench.iter(|| {
+            sem_stats::tsne_barnes_hut(
+                black_box(&points),
+                &sem_stats::TsneConfig { iters: 50, perplexity: 10.0, ..Default::default() },
+                0.5,
+            )
+        })
+    });
+    let xs: Vec<f64> = (0..1000).map(|i| (i * 37 % 999) as f64).collect();
+    let ys: Vec<f64> = (0..1000).map(|i| (i * 61 % 997) as f64).collect();
+    c.bench_function("stats/spearman-1000", |bench| {
+        bench.iter(|| sem_stats::spearman(black_box(&xs), black_box(&ys)))
+    });
+}
+
+fn bench_rules(c: &mut Criterion) {
+    let corpus = Corpus::generate(CorpusConfig { n_papers: 150, n_authors: 60, ..Default::default() });
+    let toks: Vec<Vec<String>> = corpus.papers.iter().map(|p| p.all_tokens()).collect();
+    let vocab = Vocab::build(toks.iter().map(|t| t.as_slice()), 1);
+    let seqs: Vec<Vec<usize>> = toks.iter().map(|t| vocab.encode(t)).collect();
+    let sg = SkipGram::train(&vocab, &seqs, &SkipGramConfig { dim: 16, epochs: 1, ..Default::default() });
+    let enc = sem_text::SentenceEncoder::new(&vocab, 16, 24, 1);
+    let labels: Vec<_> = corpus.papers.iter().map(|p| p.sentence_labels()).collect();
+    let scorer = sem_rules::RuleScorer::new(&corpus, &vocab, &sg, &enc, &labels);
+    c.bench_function("rules/pair-features", |bench| {
+        bench.iter(|| {
+            scorer.normalized(
+                black_box(sem_corpus::PaperId(3)),
+                black_box(sem_corpus::PaperId(77)),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_tensor, bench_text, bench_stats, bench_rules);
+criterion_main!(benches);

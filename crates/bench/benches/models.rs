@@ -1,0 +1,57 @@
+//! Criterion benches for the model-level hot paths: SEM forward/step and
+//! NPRec aggregation/scoring.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sem_bench::{Fixture, Scale};
+use sem_core::nprec::Direction;
+use sem_core::{NpRecConfig, NpRecModel};
+use sem_corpus::{presets, PaperId};
+use sem_graph::HeteroGraph;
+
+fn tiny_fixture() -> Fixture {
+    let mut cfg = presets::acm_like(1);
+    cfg.n_papers = 300;
+    cfg.n_authors = 100;
+    Fixture::build(cfg, Scale::Quick)
+}
+
+fn bench_sem(c: &mut Criterion) {
+    let f = tiny_fixture();
+    let paper = &f.corpus.papers[0];
+    let h = f.pipeline.encode_paper(paper);
+    let labels = paper.sentence_labels();
+    c.bench_function("sem/embed-one-paper", |bench| {
+        bench.iter(|| f.sem.embed(black_box(&h), black_box(&labels)))
+    });
+    c.bench_function("sem/pipeline-encode-paper", |bench| {
+        bench.iter(|| f.pipeline.encode_paper(black_box(paper)))
+    });
+    c.bench_function("sem/crf-label-paper", |bench| {
+        bench.iter(|| f.pipeline.label_paper(black_box(paper)))
+    });
+}
+
+fn bench_nprec(c: &mut Criterion) {
+    let f = tiny_fixture();
+    let graph = HeteroGraph::from_corpus(&f.corpus, Some(2014));
+    let model = NpRecModel::new(
+        graph.n_nodes(),
+        NpRecConfig { text_dim: f.text_dim(), ..Default::default() },
+    );
+    c.bench_function("nprec/interest-vec-H2-K8", |bench| {
+        bench.iter(|| {
+            model.paper_vec(
+                black_box(&graph),
+                Some(&f.text),
+                PaperId(10),
+                Direction::Interest,
+            )
+        })
+    });
+    c.bench_function("nprec/predict-pair", |bench| {
+        bench.iter(|| model.predict(black_box(&graph), Some(&f.text), PaperId(5), PaperId(40)))
+    });
+}
+
+criterion_group!(benches, bench_sem, bench_nprec);
+criterion_main!(benches);

@@ -1,0 +1,149 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! experiments [EXPERIMENT ...] [--quick] [--out DIR]
+//!
+//! EXPERIMENT: table1 fig2 fig3-outliers fig3-clusters table2 table3
+//!             table4 table5 table6 table7 table8 fig5 fig6 all
+//! --quick     reduced scale (smoke test, seconds per experiment)
+//! --out DIR   write JSON results (default: results/)
+//! ```
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use sem_bench::{ablation_exps, analysis_exps, embed_exps, rec_exps, Fixture, Scale, Table};
+
+struct Fixtures {
+    scale: Scale,
+    scopus: Option<Fixture>,
+    acm: Option<Fixture>,
+    rec_acm: Option<Fixture>,
+    rec_scopus: Option<Fixture>,
+}
+
+impl Fixtures {
+    fn new(scale: Scale) -> Self {
+        Fixtures { scale, scopus: None, acm: None, rec_acm: None, rec_scopus: None }
+    }
+
+    fn scopus(&mut self) -> &Fixture {
+        let scale = self.scale;
+        self.scopus.get_or_insert_with(|| {
+            eprintln!("building Scopus-like fixture…");
+            analysis_exps::scopus_fixture(scale)
+        })
+    }
+
+    fn acm(&mut self) -> &Fixture {
+        let scale = self.scale;
+        self.acm.get_or_insert_with(|| {
+            eprintln!("building ACM-like fixture…");
+            analysis_exps::acm_fixture(scale)
+        })
+    }
+
+    fn rec_acm(&mut self) -> &Fixture {
+        let scale = self.scale;
+        self.rec_acm.get_or_insert_with(|| {
+            eprintln!("building ACM-like recommendation fixture…");
+            rec_exps::rec_acm_fixture(scale)
+        })
+    }
+
+    fn rec_scopus(&mut self) -> &Fixture {
+        let scale = self.scale;
+        self.rec_scopus.get_or_insert_with(|| {
+            eprintln!("building Scopus-like recommendation fixture…");
+            rec_exps::rec_scopus_fixture(scale)
+        })
+    }
+}
+
+const ALL: &[&str] = &[
+    "table1",
+    "fig2",
+    "fig3-outliers",
+    "fig3-clusters",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "fig5",
+    "fig6",
+    "ablation-context",
+    "ablation-defuzz",
+];
+
+fn run(id: &str, fx: &mut Fixtures) -> Table {
+    let scale = fx.scale;
+    match id {
+        "table1" => analysis_exps::table1(fx.scopus()),
+        "fig2" => analysis_exps::fig2(fx.scopus()),
+        "fig3-outliers" => analysis_exps::fig3_outliers(fx.scopus()),
+        "fig3-clusters" => analysis_exps::fig3_clusters(fx.acm()),
+        "table2" => analysis_exps::table2(fx.acm()),
+        "table3" => analysis_exps::table3(scale),
+        "table4" => {
+            fx.rec_acm();
+            fx.rec_scopus();
+            rec_exps::table4(fx.rec_acm.as_ref().unwrap(), fx.rec_scopus.as_ref().unwrap(), scale)
+        }
+        "table5" => {
+            fx.rec_acm();
+            fx.rec_scopus();
+            rec_exps::table5(fx.rec_acm.as_ref().unwrap(), fx.rec_scopus.as_ref().unwrap(), scale)
+        }
+        "table6" => {
+            fx.rec_acm();
+            fx.rec_scopus();
+            rec_exps::table6(fx.rec_acm.as_ref().unwrap(), fx.rec_scopus.as_ref().unwrap(), scale)
+        }
+        "table7" => rec_exps::table7(fx.rec_acm(), scale),
+        "table8" => rec_exps::table8(fx.rec_acm(), scale),
+        "fig5" => embed_exps::fig5(fx.rec_acm(), scale),
+        "fig6" => rec_exps::fig6(scale),
+        "ablation-context" => ablation_exps::ablation_context(scale),
+        "ablation-defuzz" => ablation_exps::ablation_defuzz(scale),
+        other => {
+            eprintln!("unknown experiment {other:?}; known: {ALL:?} all");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let mut ids: Vec<String> = Vec::new();
+    let mut scale = Scale::Full;
+    let mut out = PathBuf::from("results");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--out" => out = PathBuf::from(args.next().expect("--out needs a directory")),
+            "--help" | "-h" => {
+                println!("usage: experiments [EXPERIMENT ...] [--quick] [--out DIR]");
+                println!("experiments: {} all", ALL.join(" "));
+                return;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        ids = ALL.iter().map(|s| s.to_string()).collect();
+    }
+
+    let mut fixtures = Fixtures::new(scale);
+    for id in &ids {
+        let t0 = Instant::now();
+        let table = run(id, &mut fixtures);
+        println!("{}", table.render());
+        println!("  [{} finished in {:.1?}]\n", id, t0.elapsed());
+        if let Err(e) = table.write_json(&out) {
+            eprintln!("warning: could not write {id} JSON: {e}");
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Fig. 5: author and paper combined embeddings (content / interest /
+//! influence views) and the cohesion statistics the paper reads off the
+//! t-SNE plots.
+
+use std::collections::HashSet;
+
+use sem_core::nprec::Direction;
+use sem_core::NpRecModel;
+use sem_corpus::{AuthorId, PaperId};
+
+use crate::fixture::{Fixture, Scale};
+use crate::rec_exps::RecBench;
+use crate::table::Table;
+
+fn dist(a: &[f32], b: &[f32]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (f64::from(*x) - f64::from(*y)).powi(2))
+        .sum::<f64>()
+        .sqrt()
+}
+
+fn mean_pair_dist(vecs: &[Vec<f32>], pairs: &[(usize, usize)]) -> f64 {
+    if pairs.is_empty() {
+        return f64::NAN;
+    }
+    pairs.iter().map(|&(i, j)| dist(&vecs[i], &vecs[j])).sum::<f64>() / pairs.len() as f64
+}
+
+/// Fig. 5: cohesion ratios per embedding view. Each cell is the ratio of
+/// mean within-group distance to mean random-pair distance — below 1 means
+/// the group clusters in that view (the paper's visual claims, quantified):
+///
+/// * **co-authors** should cluster in the *content* view;
+/// * **highly cited authors** should cluster in the *influence* view.
+pub fn fig5(acm: &Fixture, scale: Scale) -> Table {
+    let corpus = &acm.corpus;
+    let bench = RecBench::new(acm, 2014, scale);
+    let pairs = bench.pairs(4, true, 12_000, 7);
+    let model: NpRecModel = bench.fit_nprec(&pairs, bench.nprec_config());
+
+    // authors with enough history
+    let authors: Vec<AuthorId> = corpus
+        .authors
+        .iter()
+        .filter(|a| a.papers.len() >= 3)
+        .map(|a| a.id)
+        .take(scale.n(80))
+        .collect();
+    let author_papers = |a: AuthorId| -> Vec<PaperId> {
+        corpus.author(a).papers.iter().copied().take(5).collect()
+    };
+
+    let mean_vec = |vecs: Vec<Vec<f32>>| -> Vec<f32> {
+        let d = vecs[0].len();
+        let mut out = vec![0.0f32; d];
+        for v in &vecs {
+            for (o, x) in out.iter_mut().zip(v) {
+                *o += x;
+            }
+        }
+        out.iter_mut().for_each(|x| *x /= vecs.len() as f32);
+        out
+    };
+
+    // the three views per author
+    let content: Vec<Vec<f32>> = authors
+        .iter()
+        .map(|&a| mean_vec(author_papers(a).iter().map(|p| acm.fused_text(p.index())).collect()))
+        .collect();
+    let interest: Vec<Vec<f32>> = authors
+        .iter()
+        .map(|&a| {
+            mean_vec(
+                author_papers(a)
+                    .iter()
+                    .map(|&p| model.paper_vec(&bench.graph, Some(&acm.text), p, Direction::Interest))
+                    .collect(),
+            )
+        })
+        .collect();
+    let influence: Vec<Vec<f32>> = authors
+        .iter()
+        .map(|&a| {
+            mean_vec(
+                author_papers(a)
+                    .iter()
+                    .map(|&p| model.paper_vec(&bench.graph, Some(&acm.text), p, Direction::Influence))
+                    .collect(),
+            )
+        })
+        .collect();
+
+    // co-author pairs among the selected authors
+    let index_of: std::collections::HashMap<AuthorId, usize> =
+        authors.iter().enumerate().map(|(i, &a)| (a, i)).collect();
+    let mut coauthor_pairs: HashSet<(usize, usize)> = HashSet::new();
+    for p in &corpus.papers {
+        for (ai, &a) in p.authors.iter().enumerate() {
+            for &b in &p.authors[ai + 1..] {
+                if let (Some(&i), Some(&j)) = (index_of.get(&a), index_of.get(&b)) {
+                    coauthor_pairs.insert((i.min(j), i.max(j)));
+                }
+            }
+        }
+    }
+    let coauthor_pairs: Vec<(usize, usize)> = coauthor_pairs.into_iter().collect();
+
+    // highly cited authors: top decile by accumulated citations
+    let mut by_cites: Vec<(usize, u64)> = authors
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| {
+            let total: u64 = corpus
+                .author(a)
+                .papers
+                .iter()
+                .map(|&p| corpus.paper(p).citations_received as u64)
+                .sum();
+            (i, total)
+        })
+        .collect();
+    by_cites.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+    let top: Vec<usize> = by_cites.iter().take(authors.len() / 8 + 2).map(|&(i, _)| i).collect();
+    let mut top_pairs = Vec::new();
+    for (x, &i) in top.iter().enumerate() {
+        for &j in &top[x + 1..] {
+            top_pairs.push((i.min(j), i.max(j)));
+        }
+    }
+
+    // random reference pairs
+    let mut random_pairs = Vec::new();
+    let n = authors.len();
+    for i in 0..n {
+        random_pairs.push((i, (i * 7 + 13) % n));
+    }
+    random_pairs.retain(|&(i, j)| i != j);
+
+    // t-SNE layouts run to validate the figure path end-to-end
+    for view in [&content, &interest, &influence] {
+        let coords = sem_stats::tsne(
+            view,
+            &sem_stats::TsneConfig { iters: 120, perplexity: 12.0, ..Default::default() },
+        );
+        assert_eq!(coords.len(), authors.len());
+    }
+
+    let mut t = Table::new(
+        "fig5",
+        "Author combined embeddings: cohesion ratios (within-group / random-pair distance)",
+        vec!["coauthor-ratio".into(), "highly-cited-ratio".into()],
+    );
+    for (name, view) in [("content", &content), ("interest", &interest), ("influence", &influence)] {
+        let rand_d = mean_pair_dist(view, &random_pairs);
+        t.push_row(
+            name,
+            vec![
+                mean_pair_dist(view, &coauthor_pairs) / rand_d,
+                mean_pair_dist(view, &top_pairs) / rand_d,
+            ],
+        );
+    }
+    t.note("ratio < 1 = the group clusters in that view");
+    t.note("expected shape: co-authors tightest in content view; highly cited authors tightest in influence view");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_helpers() {
+        assert_eq!(dist(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        let vecs = vec![vec![0.0f32], vec![2.0]];
+        assert_eq!(mean_pair_dist(&vecs, &[(0, 1)]), 2.0);
+        assert!(mean_pair_dist(&vecs, &[]).is_nan());
+    }
+}

@@ -1,0 +1,159 @@
+//! Shared dataset fixtures: corpus → text pipeline → SEM model → subspace
+//! embeddings, built once per dataset and reused by the experiments.
+
+use sem_core::nprec::TextVecs;
+use sem_core::{PipelineConfig, SemConfig, SemModel, TextPipeline};
+use sem_corpus::{Corpus, CorpusConfig, Subspace, NUM_SUBSPACES};
+use sem_rules::{RuleScorer, NUM_RULES};
+
+/// Experiment scale: `full` matches DESIGN.md runtimes, `quick` shrinks
+/// corpora and training for smoke tests/CI.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Full experiment scale (minutes per experiment).
+    Full,
+    /// Reduced smoke-test scale (seconds per experiment).
+    Quick,
+}
+
+impl Scale {
+    /// Shrinks a paper/author count under `Quick`.
+    pub fn n(&self, full: usize) -> usize {
+        match self {
+            Scale::Full => full,
+            Scale::Quick => (full / 5).max(120),
+        }
+    }
+
+    /// Shrinks an epoch/iteration count under `Quick`.
+    pub fn epochs(&self, full: usize) -> usize {
+        match self {
+            Scale::Full => full,
+            Scale::Quick => (full / 2).max(1),
+        }
+    }
+
+    /// Caps a training-pair count under `Quick`.
+    pub fn pairs(&self, full: usize) -> usize {
+        match self {
+            Scale::Full => full,
+            Scale::Quick => full / 4,
+        }
+    }
+}
+
+/// A dataset with its fitted text pipeline, trained SEM model and
+/// per-paper subspace embeddings.
+pub struct Fixture {
+    /// The generated corpus.
+    pub corpus: Corpus,
+    /// Fitted (frozen) text pipeline.
+    pub pipeline: TextPipeline,
+    /// CRF-predicted sentence-function labels per paper.
+    pub labels: Vec<Vec<Subspace>>,
+    /// Trained subspace embedding model.
+    pub sem: SemModel,
+    /// `c_p^k` per paper per subspace.
+    pub text: TextVecs,
+    /// Learned rule-fusion weights.
+    pub fusion: [[f64; NUM_RULES]; NUM_SUBSPACES],
+    /// SEM triplet ranking accuracy (diagnostic).
+    pub sem_triplet_accuracy: f64,
+}
+
+impl Fixture {
+    /// Generates the corpus and trains the full SEM stack on it.
+    pub fn build(corpus_config: CorpusConfig, scale: Scale) -> Self {
+        let corpus = Corpus::generate(corpus_config);
+        let pipeline = TextPipeline::fit(&corpus, PipelineConfig::default());
+        let labels = pipeline.label_corpus(&corpus);
+        let scorer = RuleScorer::new(
+            &corpus,
+            &pipeline.vocab,
+            &pipeline.embeddings,
+            &pipeline.encoder,
+            &labels,
+        );
+        let mut sem = SemModel::new(SemConfig {
+            epochs: scale.epochs(8),
+            triplets_per_epoch: scale.n(400),
+            ..Default::default()
+        });
+        let report = sem.train(&pipeline, &corpus, &scorer, &labels);
+        let text = sem.embed_corpus(&pipeline, &corpus, &labels);
+        let fusion = sem.fusion_weights();
+        drop(scorer);
+        Fixture {
+            corpus,
+            pipeline,
+            labels,
+            sem,
+            text,
+            fusion,
+            sem_triplet_accuracy: report.triplet_accuracy,
+        }
+    }
+
+    /// Builds a fresh rule scorer over this fixture (the scorer borrows the
+    /// fixture, so it cannot be stored inside it).
+    pub fn scorer(&self) -> RuleScorer<'_> {
+        RuleScorer::new(
+            &self.corpus,
+            &self.pipeline.vocab,
+            &self.pipeline.embeddings,
+            &self.pipeline.encoder,
+            &self.labels,
+        )
+    }
+
+    /// SEM embedding width per subspace.
+    pub fn text_dim(&self) -> usize {
+        self.sem.embed_dim()
+    }
+
+    /// Fused single-vector paper embedding `c_p = Σ_k λ_k c_p^k` with
+    /// uniform λ (used where a flat SEM vector is needed outside NPRec).
+    pub fn fused_text(&self, paper: usize) -> Vec<f32> {
+        let dim = self.text_dim();
+        let mut out = vec![0.0f32; dim];
+        for k in 0..NUM_SUBSPACES {
+            for (o, v) in out.iter_mut().zip(&self.text[paper][k]) {
+                *o += v / NUM_SUBSPACES as f32;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sem_corpus::presets;
+
+    #[test]
+    fn quick_fixture_builds_consistently() {
+        let mut cfg = presets::pubmed_like(1);
+        cfg.n_papers = 120;
+        cfg.n_authors = 50;
+        let f = Fixture::build(cfg, Scale::Quick);
+        assert_eq!(f.text.len(), f.corpus.papers.len());
+        assert_eq!(f.labels.len(), f.corpus.papers.len());
+        assert!(f.text.iter().all(|t| t.len() == NUM_SUBSPACES));
+        assert!(f.text[0][0].len() == f.text_dim());
+        assert!(f.sem_triplet_accuracy > 0.4, "SEM degenerate: {}", f.sem_triplet_accuracy);
+        // fused vector is the mean across subspaces
+        let fused = f.fused_text(0);
+        let manual: f32 = (0..NUM_SUBSPACES).map(|k| f.text[0][k][3]).sum::<f32>() / 3.0;
+        assert!((fused[3] - manual).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scale_arithmetic() {
+        assert_eq!(Scale::Full.n(1000), 1000);
+        assert_eq!(Scale::Quick.n(1000), 200);
+        assert_eq!(Scale::Quick.n(100), 120);
+        assert_eq!(Scale::Quick.epochs(8), 4);
+        assert_eq!(Scale::Quick.epochs(1), 1);
+        assert_eq!(Scale::Quick.pairs(20000), 5000);
+    }
+}

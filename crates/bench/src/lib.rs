@@ -1,0 +1,19 @@
+//! # sem-bench
+//!
+//! The experiment harness: one function per table/figure of the paper (see
+//! DESIGN.md §4 for the experiment index), shared dataset fixtures, and a
+//! plain-text/JSON table renderer. The `experiments` binary dispatches to
+//! these; criterion benches for the underlying kernels live in `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fixture;
+pub mod table;
+pub mod analysis_exps;
+pub mod rec_exps;
+pub mod embed_exps;
+pub mod ablation_exps;
+
+pub use fixture::{Fixture, Scale};
+pub use table::Table;

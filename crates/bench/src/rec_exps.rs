@@ -1,0 +1,574 @@
+//! Recommendation experiments: Tab. IV (main comparison), Tab. V
+//! (publication-count buckets + MRR/MAP), Tab. VI (positive:negative
+//! ratios), Tab. VII/VIII (NPRec ablations over K and H) and Fig. 6
+//! (patent reusability).
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use sem_baselines::cf::{NbcfRecommender, SvdRecommender, WnmfRecommender};
+use sem_baselines::embed::BertAvg;
+use sem_baselines::kgcn::{KgcnConfig, KgcnRecommender};
+use sem_baselines::neural::{JtieRecommender, MlpRecommender};
+use sem_baselines::ripplenet::{RippleConfig, RippleNetRecommender};
+use sem_core::eval::{RecMetrics, RecTask, Recommender};
+use sem_core::sampling::{build_training_pairs, NegativeStrategy, TrainPair};
+use sem_core::{NpRecConfig, NpRecModel};
+use sem_corpus::{presets, PaperId};
+use sem_graph::HeteroGraph;
+
+use crate::fixture::{Fixture, Scale};
+use crate::table::Table;
+
+/// ACM-like fixture at recommendation scale.
+///
+/// The recommendation experiments run on smaller corpora than the analysis
+/// experiments: the GCN methods train on a CPU-scale pair budget, and at
+/// thousands of papers the entity-embedding tables are undertrained under
+/// that budget, flattering the training-free baselines. ~800 papers gives
+/// every method the coverage the paper's GPU-scale training gives them
+/// (documented in EXPERIMENTS.md).
+pub fn rec_acm_fixture(scale: Scale) -> Fixture {
+    let mut cfg = presets::acm_like(1);
+    cfg.n_papers = scale.n(800);
+    cfg.n_authors = scale.n(260);
+    Fixture::build(cfg, scale)
+}
+
+/// Scopus-like (three-discipline) fixture at recommendation scale.
+pub fn rec_scopus_fixture(scale: Scale) -> Fixture {
+    let mut cfg = presets::scopus_three_disciplines(1);
+    cfg.n_papers = scale.n(700);
+    cfg.n_authors = scale.n(240);
+    Fixture::build(cfg, scale)
+}
+
+/// A recommendation benchmark over one fixture: the split graph plus task
+/// construction and training-pair plumbing.
+pub struct RecBench<'a> {
+    /// The dataset fixture.
+    pub fixture: &'a Fixture,
+    /// Heterogeneous graph with post-split citations hidden.
+    pub graph: HeteroGraph,
+    /// Split year `Y`.
+    pub split_year: u16,
+    scale: Scale,
+}
+
+impl<'a> RecBench<'a> {
+    /// Builds the benchmark over a fixture.
+    pub fn new(fixture: &'a Fixture, split_year: u16, scale: Scale) -> Self {
+        let graph = HeteroGraph::from_corpus(&fixture.corpus, Some(split_year));
+        RecBench { fixture, graph, split_year, scale }
+    }
+
+    /// Builds one evaluation task.
+    pub fn task(&self, k: usize, n_users: usize, seed: u64) -> RecTask {
+        RecTask::build(&self.fixture.corpus, self.split_year, k, n_users, 1, seed)
+    }
+
+    /// NPRec training pairs (optionally de-fuzzed), subsampled to
+    /// `max_pairs`.
+    pub fn pairs(
+        &self,
+        neg_per_pos: usize,
+        defuzz: bool,
+        max_pairs: usize,
+        seed: u64,
+    ) -> Vec<TrainPair> {
+        let scorer = self.fixture.scorer();
+        let strategy = if defuzz {
+            NegativeStrategy::Defuzzed { threshold: 0.0 }
+        } else {
+            NegativeStrategy::Random
+        };
+        let mut pairs = build_training_pairs(
+            &self.fixture.corpus,
+            &scorer,
+            &self.fixture.fusion,
+            self.split_year,
+            neg_per_pos,
+            strategy,
+            seed,
+        );
+        let cap = self.scale.pairs(max_pairs);
+        if pairs.len() > cap {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xcab);
+            pairs.shuffle(&mut rng);
+            pairs.truncate(cap);
+        }
+        pairs
+    }
+
+    /// Trains NPRec (or an ablation variant) on prepared pairs.
+    pub fn fit_nprec(&self, pairs: &[TrainPair], config: NpRecConfig) -> NpRecModel {
+        let mut model = NpRecModel::new(self.graph.n_nodes(), config);
+        let text = model.config().use_text.then_some(&self.fixture.text);
+        model.train(&self.graph, text, pairs);
+        model
+    }
+
+    /// Default full-model NPRec configuration for this fixture.
+    pub fn nprec_config(&self) -> NpRecConfig {
+        NpRecConfig {
+            text_dim: self.fixture.text_dim(),
+            epochs: self.scale.epochs(4),
+            ..Default::default()
+        }
+    }
+
+    /// BertAvg flat text embeddings (JTIE input).
+    pub fn bert_text(&self) -> Vec<Vec<f32>> {
+        BertAvg::embed_all(
+            &self.fixture.corpus,
+            &self.fixture.pipeline.vocab,
+            &self.fixture.pipeline.embeddings,
+            &self.fixture.pipeline.encoder,
+        )
+    }
+
+    fn candidates(tasks: &[&RecTask]) -> HashSet<PaperId> {
+        tasks
+            .iter()
+            .flat_map(|t| t.users.iter().flat_map(|u| u.candidates.iter().copied()))
+            .collect()
+    }
+}
+
+/// The nine compared recommenders of Tab. IV.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MethodKind {
+    /// Matrix factorization \[46\].
+    Svd,
+    /// Weighted NMF \[47\].
+    Wnmf,
+    /// Neighborhood CF \[8\].
+    Nbcf,
+    /// Neural CF \[12\].
+    Mlp,
+    /// Joint text+influence embedding \[2\].
+    Jtie,
+    /// Knowledge-graph convolution \[19\].
+    Kgcn,
+    /// KGCN with label smoothness \[9\].
+    KgcnLs,
+    /// Preference propagation \[21\].
+    RippleNet,
+    /// This paper's model.
+    NpRec,
+}
+
+impl MethodKind {
+    /// All methods in the paper's Tab. IV row order.
+    pub const ALL: [MethodKind; 9] = [
+        MethodKind::Svd,
+        MethodKind::Wnmf,
+        MethodKind::Nbcf,
+        MethodKind::Mlp,
+        MethodKind::Jtie,
+        MethodKind::Kgcn,
+        MethodKind::KgcnLs,
+        MethodKind::RippleNet,
+        MethodKind::NpRec,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MethodKind::Svd => "SVD",
+            MethodKind::Wnmf => "WNMF",
+            MethodKind::Nbcf => "NBCF",
+            MethodKind::Mlp => "MLP",
+            MethodKind::Jtie => "JTIE",
+            MethodKind::Kgcn => "KGCN",
+            MethodKind::KgcnLs => "KGCN-LS",
+            MethodKind::RippleNet => "RippleNet",
+            MethodKind::NpRec => "NPRec",
+        }
+    }
+
+    /// True when the method has a negatives-per-positive knob (Tab. VI).
+    pub fn has_ratio_knob(&self) -> bool {
+        !matches!(self, MethodKind::Wnmf | MethodKind::Nbcf | MethodKind::RippleNet)
+    }
+}
+
+/// Fits `method` on the benchmark and evaluates it on every task. The
+/// `neg_ratio` feeds the Tab. VI knob where the method has one.
+pub fn fit_and_eval(
+    bench: &RecBench<'_>,
+    tasks: &[&RecTask],
+    method: MethodKind,
+    neg_ratio: usize,
+) -> Vec<RecMetrics> {
+    let corpus = &bench.fixture.corpus;
+    let split = bench.split_year;
+    let scale = bench.scale;
+    let cands = RecBench::candidates(tasks);
+    let boxed: Box<dyn Recommender> = match method {
+        MethodKind::Svd => Box::new(SvdRecommender::fit_with_negatives(
+            corpus, split, &cands, 8, scale.epochs(4), neg_ratio, 11,
+        )),
+        MethodKind::Wnmf => Box::new(WnmfRecommender::fit(
+            corpus, split, &cands, 10, scale.epochs(6), 12,
+        )),
+        MethodKind::Nbcf => Box::new(NbcfRecommender::fit(corpus, split)),
+        MethodKind::Mlp => Box::new(MlpRecommender::fit_with_negatives(
+            corpus, split, &cands, 16, scale.epochs(8), neg_ratio.max(2), 13,
+        )),
+        MethodKind::Jtie => {
+            let text = bench.bert_text();
+            Box::new(JtieRecommender::fit_with_negatives(
+                corpus, split, &text, scale.epochs(4), neg_ratio, 14,
+            ))
+        }
+        MethodKind::Kgcn => Box::new(KgcnRecommender::fit_multi(
+            corpus,
+            &bench.graph,
+            tasks,
+            KgcnConfig {
+                dim: 24,
+                neighbors: 16,
+                epochs: scale.epochs(2),
+                neg_per_pos: neg_ratio,
+                max_pairs: scale.pairs(30_000),
+                ..Default::default()
+            },
+        )),
+        MethodKind::KgcnLs => Box::new(KgcnRecommender::fit_multi(
+            corpus,
+            &bench.graph,
+            tasks,
+            KgcnConfig {
+                dim: 24,
+                neighbors: 16,
+                epochs: scale.epochs(2),
+                label_smoothness: 0.002,
+                neg_per_pos: neg_ratio,
+                max_pairs: scale.pairs(30_000),
+                ..Default::default()
+            },
+        )),
+        MethodKind::RippleNet => Box::new(RippleNetRecommender::fit(
+            corpus,
+            split,
+            RippleConfig::default(),
+        )),
+        MethodKind::NpRec => {
+            let pairs = bench.pairs(neg_ratio, true, 30_000, 7);
+            let model = bench.fit_nprec(&pairs, bench.nprec_config());
+            Box::new(model.recommender_multi(&bench.graph, Some(&bench.fixture.text), tasks))
+        }
+    };
+    tasks.iter().map(|t| t.evaluate(boxed.as_ref())).collect()
+}
+
+/// Tab. IV: nDCG@{20,30,50} for all nine methods on the ACM-like and
+/// Scopus-like datasets.
+pub fn table4(acm: &Fixture, scopus: &Fixture, scale: Scale) -> Table {
+    let mut t = Table::new(
+        "table4",
+        "New paper recommendation comparison (nDCG@k)",
+        vec![
+            "acm-k20".into(),
+            "acm-k30".into(),
+            "acm-k50".into(),
+            "scopus-k20".into(),
+            "scopus-k30".into(),
+            "scopus-k50".into(),
+        ],
+    );
+    let ks = [20usize, 30, 50];
+    let mut rows: Vec<Vec<f64>> = vec![Vec::new(); MethodKind::ALL.len()];
+    for (fixture, n_users) in [(acm, 300usize), (scopus, 100usize)] {
+        let bench = RecBench::new(fixture, 2014, scale);
+        let tasks: Vec<RecTask> = ks
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| bench.task(k, scale.n(n_users), 100 + i as u64))
+            .collect();
+        let task_refs: Vec<&RecTask> = tasks.iter().collect();
+        for (mi, method) in MethodKind::ALL.iter().enumerate() {
+            let metrics = fit_and_eval(&bench, &task_refs, *method, 4);
+            for m in metrics {
+                rows[mi].push(m.ndcg);
+            }
+        }
+    }
+    for (mi, cells) in rows.into_iter().enumerate() {
+        t.push_row(MethodKind::ALL[mi].name(), cells);
+    }
+    t.note("split year Y=2014; 1:4 negative sampling during training");
+    t.note("expected shape: NPRec first; graph/propagation methods above CF; nDCG decreases with k");
+    t
+}
+
+/// Tab. V: nDCG@20 by publication-count bucket (#rp ≈ 3 vs ≥5), plus MRR
+/// and MAP for the larger bucket on the ACM-like dataset.
+pub fn table5(acm: &Fixture, scopus: &Fixture, scale: Scale) -> Table {
+    let mut t = Table::new(
+        "table5",
+        "Comparison on different publication numbers",
+        vec![
+            "acm-ndcg-rp3".into(),
+            "acm-ndcg-rp5".into(),
+            "acm-mrr-rp5".into(),
+            "acm-map-rp5".into(),
+            "scopus-ndcg-rp3".into(),
+            "scopus-ndcg-rp5".into(),
+        ],
+    );
+    // the paper drops SVD from this table
+    let methods = &MethodKind::ALL[1..];
+    let mut rows: Vec<Vec<f64>> = vec![Vec::new(); methods.len()];
+    for (fixture, n_users, with_rank_metrics) in
+        [(acm, 400usize, true), (scopus, 150usize, false)]
+    {
+        let bench = RecBench::new(fixture, 2014, scale);
+        let task = bench.task(20, scale.n(n_users), 55);
+        let rp3 = task.filter_by_publications(1, 4);
+        let rp5 = task.filter_by_publications(4, usize::MAX);
+        let task_refs = [&rp3, &rp5];
+        for (mi, method) in methods.iter().enumerate() {
+            let metrics = fit_and_eval(&bench, &task_refs, *method, 4);
+            rows[mi].push(metrics[0].ndcg);
+            rows[mi].push(metrics[1].ndcg);
+            if with_rank_metrics {
+                rows[mi].push(metrics[1].mrr);
+                rows[mi].push(metrics[1].map);
+            }
+        }
+    }
+    for (mi, cells) in rows.into_iter().enumerate() {
+        t.push_row(methods[mi].name(), cells);
+    }
+    t.note("#rp buckets: users with <4 vs >=4 pre-split publications (paper: 3 vs 5 representative papers)");
+    t.note("expected shape: every method improves with more publications; NPRec best in every column");
+    t
+}
+
+/// Tab. VI: nDCG@20 across positive:negative sampling ratios.
+pub fn table6(acm: &Fixture, scopus: &Fixture, scale: Scale) -> Table {
+    let ratios = [1usize, 10, 50];
+    let mut t = Table::new(
+        "table6",
+        "Comparison on ratios between positive and negative samples (nDCG@20)",
+        vec![
+            "acm-1:1".into(),
+            "acm-1:10".into(),
+            "acm-1:50".into(),
+            "scopus-1:1".into(),
+            "scopus-1:10".into(),
+            "scopus-1:50".into(),
+        ],
+    );
+    let methods = &MethodKind::ALL[1..];
+    let mut rows: Vec<Vec<f64>> = vec![Vec::new(); methods.len()];
+    for (fixture, n_users) in [(acm, 200usize), (scopus, 100usize)] {
+        let bench = RecBench::new(fixture, 2014, scale);
+        let task = bench.task(20, scale.n(n_users), 66);
+        let task_refs = [&task];
+        for (mi, method) in methods.iter().enumerate() {
+            if method.has_ratio_knob() {
+                for &r in &ratios {
+                    let m = fit_and_eval(&bench, &task_refs, *method, r);
+                    rows[mi].push(m[0].ndcg);
+                }
+            } else {
+                // ratio-free methods: one fit, repeated (noted below)
+                let m = fit_and_eval(&bench, &task_refs, *method, 1);
+                for _ in &ratios {
+                    rows[mi].push(m[0].ndcg);
+                }
+            }
+        }
+    }
+    for (mi, cells) in rows.into_iter().enumerate() {
+        t.push_row(methods[mi].name(), cells);
+    }
+    t.note("WNMF/NBCF/RippleNet have no negative-sampling knob; their value repeats across ratios");
+    t.note("expected shape: 1:10 best for sampled methods (the paper's optimum)");
+    t
+}
+
+fn nprec_variant_config(
+    bench: &RecBench<'_>,
+    use_text: bool,
+    use_network: bool,
+    neighbors: usize,
+    depth: usize,
+) -> NpRecConfig {
+    NpRecConfig {
+        use_text,
+        use_network,
+        neighbors,
+        depth,
+        // the ablation grids retrain 15+ models; two epochs keep the sweep
+        // tractable while preserving relative ordering
+        epochs: 2,
+        ..bench.nprec_config()
+    }
+}
+
+fn eval_variant(
+    bench: &RecBench<'_>,
+    task: &RecTask,
+    config: NpRecConfig,
+    defuzz: bool,
+    label: &str,
+) -> f64 {
+    let pairs = bench.pairs(4, defuzz, 8_000, 7);
+    let model = bench.fit_nprec(&pairs, config);
+    let text = model.config().use_text.then_some(&bench.fixture.text);
+    let rec = model.recommender(&bench.graph, text, task).with_name(label);
+    task.evaluate(&rec).ndcg
+}
+
+/// Tab. VII: model variants across neighbor counts `K`.
+pub fn table7(acm: &Fixture, scale: Scale) -> Table {
+    let ks = [2usize, 4, 8, 16, 32];
+    let mut t = Table::new(
+        "table7",
+        "Model variants with different neighbor counts K (nDCG@20)",
+        ks.iter().map(|k| format!("K={k}")).collect(),
+    );
+    let bench = RecBench::new(acm, 2014, scale);
+    let task = bench.task(20, scale.n(100), 77);
+
+    // NPRec+SC has no K dependence: single cell
+    let sc = eval_variant(&bench, &task, nprec_variant_config(&bench, true, false, 8, 2), true, "NPRec+SC");
+    let mut sc_row = vec![f64::NAN; ks.len()];
+    sc_row[0] = sc;
+    t.push_row("NPRec+SC", sc_row);
+
+    for (label, use_text, defuzz) in [
+        ("NPRec+SN", false, true),
+        ("NPRec+CN", true, false),
+        ("NPRec", true, true),
+    ] {
+        let cells: Vec<f64> = ks
+            .iter()
+            .map(|&k| {
+                eval_variant(
+                    &bench,
+                    &task,
+                    nprec_variant_config(&bench, use_text, true, k, 2),
+                    defuzz,
+                    label,
+                )
+            })
+            .collect();
+        t.push_row(label, cells);
+    }
+    t.note("SC = subspace text only (K-independent); SN = network only; CN = citation-only negatives");
+    t.note("expected shape: full model best; optimum around K in {8, 16}");
+    t
+}
+
+/// Tab. VIII: model variants across convolution depths `H`.
+pub fn table8(acm: &Fixture, scale: Scale) -> Table {
+    let hs = [1usize, 2, 3, 4];
+    let mut t = Table::new(
+        "table8",
+        "Model variants with different depths H (nDCG@20)",
+        hs.iter().map(|h| format!("H={h}")).collect(),
+    );
+    let bench = RecBench::new(acm, 2014, scale);
+    let task = bench.task(20, scale.n(100), 88);
+
+    let sc = eval_variant(&bench, &task, nprec_variant_config(&bench, true, false, 8, 2), true, "NPRec+SC");
+    let mut sc_row = vec![f64::NAN; hs.len()];
+    sc_row[0] = sc;
+    t.push_row("NPRec+SC", sc_row);
+
+    for (label, use_text, defuzz) in [
+        ("NPRec+SN", false, true),
+        ("NPRec+CN", true, false),
+        ("NPRec", true, true),
+    ] {
+        let cells: Vec<f64> = hs
+            .iter()
+            .map(|&h| {
+                eval_variant(
+                    &bench,
+                    &task,
+                    nprec_variant_config(&bench, use_text, true, 8, h),
+                    defuzz,
+                    label,
+                )
+            })
+            .collect();
+        t.push_row(label, cells);
+    }
+    t.note("expected shape: H=2 best (deeper over-smooths / overfits)");
+    t
+}
+
+/// Fig. 6: personalized patent recommendation (nDCG@20, PT-like preset).
+pub fn fig6(scale: Scale) -> Table {
+    let mut cfg = presets::patent_like(1);
+    cfg.n_papers = scale.n(1500);
+    cfg.n_authors = scale.n(600);
+    let fixture = Fixture::build(cfg, scale);
+    let bench = RecBench::new(&fixture, 2016, scale);
+    let task = bench.task(20, 50, 99);
+    let task_refs = [&task];
+    let mut t = Table::new(
+        "fig6",
+        "Personalized patent recommendation on PT-like (nDCG@20)",
+        vec!["ndcg@20".into()],
+    );
+    for method in MethodKind::ALL {
+        let m = fit_and_eval(&bench, &task_refs, method, 4);
+        t.push_row(method.name(), vec![m[0].ndcg]);
+    }
+    t.note("low-resource preset: no venues/keywords/categories; split 2016 (train) vs 2017 (test) — the paper splits by month within 2017");
+    t.note("expected shape: NPRec still first despite missing features");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_fixture() -> Fixture {
+        let mut cfg = presets::acm_like(1);
+        cfg.n_papers = 400;
+        cfg.n_authors = 140;
+        Fixture::build(cfg, Scale::Quick)
+    }
+
+    #[test]
+    fn bench_builds_tasks_and_pairs() {
+        let f = tiny_fixture();
+        let b = RecBench::new(&f, 2014, Scale::Quick);
+        let task = b.task(6, 20, 1);
+        assert!(!task.users.is_empty());
+        let pairs = b.pairs(2, true, 4000, 3);
+        assert!(!pairs.is_empty());
+        assert!(pairs.len() <= Scale::Quick.pairs(4000));
+    }
+
+    #[test]
+    fn fast_methods_fit_and_eval() {
+        let f = tiny_fixture();
+        let b = RecBench::new(&f, 2014, Scale::Quick);
+        let task = b.task(6, 15, 2);
+        let refs = [&task];
+        for method in [MethodKind::Nbcf, MethodKind::RippleNet, MethodKind::Svd] {
+            let m = fit_and_eval(&b, &refs, method, 1);
+            assert_eq!(m.len(), 1);
+            assert!(m[0].ndcg > 0.0 && m[0].ndcg <= 1.0, "{}: {}", method.name(), m[0].ndcg);
+        }
+    }
+
+    #[test]
+    fn method_kinds_are_complete() {
+        assert_eq!(MethodKind::ALL.len(), 9);
+        assert_eq!(MethodKind::NpRec.name(), "NPRec");
+        assert!(!MethodKind::RippleNet.has_ratio_knob());
+        assert!(MethodKind::NpRec.has_ratio_knob());
+    }
+}

@@ -1,0 +1,139 @@
+//! Experiment-result tables: printable and JSON-serialisable.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use serde::Serialize;
+
+/// One regenerated table/figure: labelled rows of numeric cells.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Experiment id, e.g. `"table4-acm"`.
+    pub id: String,
+    /// Human title mirroring the paper's caption.
+    pub title: String,
+    /// Column headers (not counting the row-label column).
+    pub columns: Vec<String>,
+    /// `(row label, cells)`; `NaN` cells render as `-`.
+    pub rows: Vec<(String, Vec<f64>)>,
+    /// Free-form notes (deviations, parameters, qualitative checks).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// An empty table.
+    pub fn new(id: impl Into<String>, title: impl Into<String>, columns: Vec<String>) -> Self {
+        Table { id: id.into(), title: title.into(), columns, rows: Vec::new(), notes: Vec::new() }
+    }
+
+    /// Appends a row.
+    pub fn push_row(&mut self, label: impl Into<String>, cells: Vec<f64>) {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch");
+        self.rows.push((label.into(), cells));
+    }
+
+    /// Appends a note.
+    pub fn note(&mut self, n: impl Into<String>) {
+        self.notes.push(n.into());
+    }
+
+    /// Renders as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        let label_w = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain([5])
+            .max()
+            .unwrap_or(5);
+        let cell_w = self.columns.iter().map(|c| c.len().max(8)).collect::<Vec<_>>();
+        let _ = write!(out, "{:label_w$}", "");
+        for (c, w) in self.columns.iter().zip(&cell_w) {
+            let _ = write!(out, "  {c:>w$}");
+        }
+        let _ = writeln!(out);
+        for (label, cells) in &self.rows {
+            let _ = write!(out, "{label:label_w$}");
+            for (v, w) in cells.iter().zip(&cell_w) {
+                if v.is_nan() {
+                    let _ = write!(out, "  {:>w$}", "-");
+                } else {
+                    let _ = write!(out, "  {v:>w$.4}");
+                }
+            }
+            let _ = writeln!(out);
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "  note: {n}");
+        }
+        out
+    }
+
+    /// Writes the table as JSON under `dir/<id>.json`.
+    ///
+    /// # Errors
+    /// Returns IO errors from directory creation or file writing.
+    pub fn write_json(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        std::fs::write(path, serde_json::to_string_pretty(self).expect("table serialises"))
+    }
+
+    /// Looks up a cell by row label and column name.
+    pub fn cell(&self, row: &str, column: &str) -> Option<f64> {
+        let ci = self.columns.iter().position(|c| c == column)?;
+        self.rows
+            .iter()
+            .find(|(l, _)| l == row)
+            .map(|(_, cells)| cells[ci])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("t1", "demo", vec!["a".into(), "b".into()]);
+        t.push_row("row1", vec![1.0, 2.5]);
+        t.push_row("row2", vec![f64::NAN, 0.125]);
+        t.note("a note");
+        t
+    }
+
+    #[test]
+    fn render_contains_cells_and_notes() {
+        let r = sample().render();
+        assert!(r.contains("t1"));
+        assert!(r.contains("row1"));
+        assert!(r.contains("2.5000"));
+        assert!(r.contains("-")); // NaN cell
+        assert!(r.contains("a note"));
+    }
+
+    #[test]
+    fn cell_lookup() {
+        let t = sample();
+        assert_eq!(t.cell("row1", "b"), Some(2.5));
+        assert!(t.cell("row2", "a").unwrap().is_nan());
+        assert_eq!(t.cell("nope", "a"), None);
+        assert_eq!(t.cell("row1", "nope"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn wrong_width_panics() {
+        let mut t = Table::new("x", "x", vec!["a".into()]);
+        t.push_row("r", vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn json_roundtrip_to_disk() {
+        let dir = std::env::temp_dir().join("sem-bench-table-test");
+        sample().write_json(&dir).unwrap();
+        let content = std::fs::read_to_string(dir.join("t1.json")).unwrap();
+        assert!(content.contains("\"row1\""));
+    }
+}

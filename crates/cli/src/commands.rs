@@ -1,0 +1,533 @@
+//! Command implementations for the `sem` binary.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use sem_core::analysis;
+use sem_core::eval::{RecTask, Recommender};
+use sem_core::sampling::{build_training_pairs, NegativeStrategy};
+use sem_core::{NpRecConfig, NpRecModel, PipelineConfig, SemConfig, SemModel, TextPipeline};
+use sem_corpus::{presets, AuthorId, Corpus, PaperId, Subspace, NUM_SUBSPACES};
+use sem_graph::HeteroGraph;
+use sem_rules::RuleScorer;
+
+/// A user-facing CLI failure.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+impl From<String> for CliError {
+    fn from(e: String) -> Self {
+        CliError(e)
+    }
+}
+
+/// Parsed `--flag value` arguments.
+struct Args {
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Result<Args, CliError> {
+        let mut flags = HashMap::new();
+        let mut it = argv.iter();
+        while let Some(a) = it.next() {
+            let Some(name) = a.strip_prefix("--") else {
+                return Err(CliError(format!("unexpected argument {a:?}")));
+            };
+            let value = it
+                .next()
+                .ok_or_else(|| CliError(format!("--{name} needs a value")))?;
+            flags.insert(name.to_string(), value.clone());
+        }
+        Ok(Args { flags })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    fn required(&self, name: &str) -> Result<&str, CliError> {
+        self.get(name)
+            .ok_or_else(|| CliError(format!("missing required --{name}")))
+    }
+
+    fn parse_num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError(format!("--{name}: cannot parse {v:?}"))),
+        }
+    }
+}
+
+/// Dispatches a full argv (without the program name). Returns the text to
+/// print on success.
+///
+/// # Errors
+/// Returns [`CliError`] for unknown commands, bad flags, or IO problems.
+pub fn run(argv: &[String]) -> Result<String, CliError> {
+    let Some(cmd) = argv.first() else {
+        return Ok(help());
+    };
+    let args = Args::parse(&argv[1..])?;
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(help()),
+        "generate" => generate(&args),
+        "stats" => stats(&args),
+        "train" => train(&args),
+        "embed" => embed(&args),
+        "analyze" => analyze(&args),
+        "recommend" => recommend(&args),
+        other => Err(CliError(format!("unknown command {other:?}; try `sem help`"))),
+    }
+}
+
+fn help() -> String {
+    "sem — subspace embedding & new-paper recommendation toolkit
+
+USAGE:
+  sem generate  --preset acm|scopus|scopus3|pubmed|patent [--papers N] [--authors N] [--seed S] --out corpus.json
+  sem stats     --corpus corpus.json
+  sem train     --corpus corpus.json --out model-dir [--epochs N]
+  sem embed     --model model-dir --paper ID
+  sem analyze   --corpus corpus.json [--lof-k K]
+  sem recommend --corpus corpus.json --split YEAR --user ID [--top N]
+"
+    .to_string()
+}
+
+fn load_corpus(path: &str) -> Result<Corpus, CliError> {
+    let json = std::fs::read_to_string(path)?;
+    Ok(Corpus::from_json(&json)?)
+}
+
+fn generate(args: &Args) -> Result<String, CliError> {
+    let preset = args.required("preset")?;
+    let mut cfg = match preset {
+        "acm" => presets::acm_like(1),
+        "scopus" => presets::scopus_like(1),
+        "scopus3" => presets::scopus_three_disciplines(1),
+        "pubmed" => presets::pubmed_like(1),
+        "patent" => presets::patent_like(1),
+        other => return Err(CliError(format!("unknown preset {other:?}"))),
+    };
+    cfg.n_papers = args.parse_num("papers", cfg.n_papers)?;
+    cfg.n_authors = args.parse_num("authors", cfg.n_authors)?;
+    cfg.seed = args.parse_num("seed", cfg.seed)?;
+    let out = args.required("out")?;
+    let corpus = Corpus::generate(cfg);
+    std::fs::write(out, corpus.to_json())?;
+    Ok(format!(
+        "wrote {} papers / {} authors to {out}",
+        corpus.papers.len(),
+        corpus.authors.len()
+    ))
+}
+
+fn stats(args: &Args) -> Result<String, CliError> {
+    let corpus = load_corpus(args.required("corpus")?)?;
+    let s = corpus.stats();
+    Ok(format!(
+        "{name}\n  papers: {papers}\n  authors (with publications): {authors}\n  keywords: {kw}\n  venues: {venues}\n  classes: {classes}\n  affiliations: {aff}\n  years: {y0}-{y1}",
+        name = s.name,
+        papers = s.papers,
+        authors = s.authors,
+        kw = s.keywords,
+        venues = s.venues,
+        classes = s.classes,
+        aff = s.affiliations,
+        y0 = s.year_min,
+        y1 = s.year_max,
+    ))
+}
+
+/// Model directory layout used by `train`/`embed`.
+struct ModelDir {
+    dir: PathBuf,
+}
+
+impl ModelDir {
+    fn corpus_path(&self) -> PathBuf {
+        self.dir.join("corpus.json")
+    }
+
+    fn config_path(&self) -> PathBuf {
+        self.dir.join("sem_config.json")
+    }
+
+    fn weights_path(&self) -> PathBuf {
+        self.dir.join("sem_weights.json")
+    }
+
+    fn pipeline_path(&self) -> PathBuf {
+        self.dir.join("pipeline.json")
+    }
+}
+
+/// Serialisable subset of [`SemConfig`] (the rest are training-only knobs
+/// that do not affect the architecture).
+#[derive(serde::Serialize, serde::Deserialize)]
+struct StoredSemConfig {
+    input_dim: usize,
+    hidden: usize,
+    attn: usize,
+    seed: u64,
+}
+
+impl StoredSemConfig {
+    fn to_config(&self) -> SemConfig {
+        SemConfig {
+            input_dim: self.input_dim,
+            hidden: self.hidden,
+            attn: self.attn,
+            seed: self.seed,
+            ..Default::default()
+        }
+    }
+}
+
+fn fit_pipeline(corpus: &Corpus) -> (TextPipeline, Vec<Vec<Subspace>>) {
+    let pipeline = TextPipeline::fit(corpus, PipelineConfig::default());
+    let labels = pipeline.label_corpus(corpus);
+    (pipeline, labels)
+}
+
+fn train(args: &Args) -> Result<String, CliError> {
+    let corpus_path = args.required("corpus")?;
+    let corpus = load_corpus(corpus_path)?;
+    let out = ModelDir { dir: PathBuf::from(args.required("out")?) };
+    std::fs::create_dir_all(&out.dir)?;
+
+    let (pipeline, labels) = fit_pipeline(&corpus);
+    let scorer = RuleScorer::new(
+        &corpus,
+        &pipeline.vocab,
+        &pipeline.embeddings,
+        &pipeline.encoder,
+        &labels,
+    );
+    let epochs = args.parse_num("epochs", 8usize)?;
+    let config = SemConfig { epochs, ..Default::default() };
+    let mut model = SemModel::new(config.clone());
+    let report = model.train(&pipeline, &corpus, &scorer, &labels);
+
+    // persist: corpus copy + fitted pipeline + architecture config + weights
+    std::fs::copy(corpus_path, out.corpus_path())?;
+    std::fs::write(out.pipeline_path(), pipeline.to_json())?;
+    let stored = StoredSemConfig {
+        input_dim: config.input_dim,
+        hidden: config.hidden,
+        attn: config.attn,
+        seed: config.seed,
+    };
+    std::fs::write(
+        out.config_path(),
+        serde_json::to_string_pretty(&stored).expect("config serialises"),
+    )?;
+    std::fs::write(out.weights_path(), model.weights_to_json())?;
+    Ok(format!(
+        "trained SEM ({} epochs): loss {:.4} -> {:.4}, triplet accuracy {:.3}; model saved to {}",
+        epochs,
+        report.epoch_losses.first().unwrap_or(&f32::NAN),
+        report.epoch_losses.last().unwrap_or(&f32::NAN),
+        report.triplet_accuracy,
+        out.dir.display(),
+    ))
+}
+
+fn load_model(dir: &Path) -> Result<(Corpus, TextPipeline, Vec<Vec<Subspace>>, SemModel), CliError> {
+    let md = ModelDir { dir: dir.to_path_buf() };
+    let corpus = load_corpus(
+        md.corpus_path()
+            .to_str()
+            .ok_or_else(|| CliError("bad path".into()))?,
+    )?;
+    let stored: StoredSemConfig =
+        serde_json::from_str(&std::fs::read_to_string(md.config_path())?)
+            .map_err(|e| CliError(e.to_string()))?;
+    let weights = std::fs::read_to_string(md.weights_path())?;
+    let model = SemModel::from_json(stored.to_config(), &weights)?;
+    // prefer the persisted pipeline; refit deterministically if absent
+    // (older model dirs) — both paths yield identical components
+    let (pipeline, labels) = match std::fs::read_to_string(md.pipeline_path()) {
+        Ok(json) => {
+            let pipeline = TextPipeline::from_json(&json)?;
+            let labels = pipeline.label_corpus(&corpus);
+            (pipeline, labels)
+        }
+        Err(_) => fit_pipeline(&corpus),
+    };
+    Ok((corpus, pipeline, labels, model))
+}
+
+fn embed(args: &Args) -> Result<String, CliError> {
+    let dir = PathBuf::from(args.required("model")?);
+    let paper_id: usize = args.parse_num("paper", usize::MAX)?;
+    let (corpus, pipeline, labels, model) = load_model(&dir)?;
+    if paper_id >= corpus.papers.len() {
+        return Err(CliError(format!(
+            "--paper must be in 0..{}",
+            corpus.papers.len()
+        )));
+    }
+    let paper = &corpus.papers[paper_id];
+    let h = pipeline.encode_paper(paper);
+    let emb = model.embed(&h, &labels[paper_id]);
+    let mut out = format!("paper {} — {:?} ({})\n", paper_id, paper.title, paper.year);
+    for (k, v) in emb.iter().enumerate() {
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        out.push_str(&format!(
+            "  {}: dim {}, ||c|| = {:.4}, head = {:?}\n",
+            Subspace::from_index(k).name(),
+            v.len(),
+            norm,
+            &v[..4.min(v.len())],
+        ));
+    }
+    Ok(out)
+}
+
+fn analyze(args: &Args) -> Result<String, CliError> {
+    let corpus = load_corpus(args.required("corpus")?)?;
+    let lof_k = args.parse_num("lof-k", 20usize)?;
+    let (pipeline, labels) = fit_pipeline(&corpus);
+    let scorer = RuleScorer::new(
+        &corpus,
+        &pipeline.vocab,
+        &pipeline.embeddings,
+        &pipeline.encoder,
+        &labels,
+    );
+    let mut model = SemModel::new(SemConfig::default());
+    model.train(&pipeline, &corpus, &scorer, &labels);
+    let text = model.embed_corpus(&pipeline, &corpus, &labels);
+
+    let mut out = String::from("innovation analysis (Spearman of subspace LOF vs citations):\n");
+    for (d, prof) in corpus.config.disciplines.iter().enumerate() {
+        let members: Vec<usize> = corpus
+            .papers
+            .iter()
+            .filter(|p| p.discipline == d)
+            .map(|p| p.id.index())
+            .collect();
+        if members.len() < lof_k + 2 {
+            continue;
+        }
+        let emb: Vec<Vec<Vec<f32>>> = members.iter().map(|&i| text[i].clone()).collect();
+        let outliers = analysis::subspace_outliers(&emb, lof_k);
+        let cites: Vec<f64> = members
+            .iter()
+            .map(|&i| corpus.papers[i].citations_received as f64)
+            .collect();
+        let rho = analysis::outlier_citation_correlation(&outliers, &cites);
+        let best = (0..NUM_SUBSPACES)
+            .max_by(|&a, &b| rho[a].total_cmp(&rho[b]))
+            .expect("3 subspaces");
+        out.push_str(&format!(
+            "  {:20} background={:+.3} method={:+.3} result={:+.3}  (innovation lives in `{}`)\n",
+            prof.name,
+            rho[0],
+            rho[1],
+            rho[2],
+            Subspace::from_index(best).name(),
+        ));
+    }
+    Ok(out)
+}
+
+fn recommend(args: &Args) -> Result<String, CliError> {
+    let corpus = load_corpus(args.required("corpus")?)?;
+    let split: u16 = args.parse_num("split", 2014)?;
+    let user = AuthorId(args.parse_num::<u32>("user", 0)?);
+    let top: usize = args.parse_num("top", 5)?;
+    if user.index() >= corpus.authors.len() {
+        return Err(CliError(format!("--user must be in 0..{}", corpus.authors.len())));
+    }
+
+    let (pipeline, labels) = fit_pipeline(&corpus);
+    let scorer = RuleScorer::new(
+        &corpus,
+        &pipeline.vocab,
+        &pipeline.embeddings,
+        &pipeline.encoder,
+        &labels,
+    );
+    let mut sem = SemModel::new(SemConfig { epochs: 6, ..Default::default() });
+    sem.train(&pipeline, &corpus, &scorer, &labels);
+    let text = sem.embed_corpus(&pipeline, &corpus, &labels);
+    let fusion = sem.fusion_weights();
+
+    let graph = HeteroGraph::from_corpus(&corpus, Some(split));
+    let mut pairs = build_training_pairs(
+        &corpus,
+        &scorer,
+        &fusion,
+        split,
+        4,
+        NegativeStrategy::Defuzzed { threshold: 0.0 },
+        7,
+    );
+    pairs.truncate(20_000);
+    let mut model = NpRecModel::new(
+        graph.n_nodes(),
+        NpRecConfig { text_dim: sem.embed_dim(), ..Default::default() },
+    );
+    model.train(&graph, Some(&text), &pairs);
+
+    // candidate pool: all new papers; rank by the user's mean ŷ
+    let task = RecTask::build(&corpus, split, 20.min(corpus.papers.len() / 4), usize::MAX, 1, 1);
+    let rec = model.recommender(&graph, Some(&text), &task);
+    let new_papers: Vec<PaperId> = corpus
+        .papers
+        .iter()
+        .filter(|p| p.year > split)
+        .map(|p| p.id)
+        .collect();
+    let mut scored: Vec<(f64, PaperId)> = new_papers
+        .iter()
+        .map(|&c| (rec.score(user, c), c))
+        .collect();
+    scored.sort_by(|a, b| b.0.total_cmp(&a.0));
+    let mut out = format!(
+        "top-{top} new-paper recommendations for author {} (split {split}):\n",
+        user.0
+    );
+    for (rank, (score, p)) in scored.iter().take(top).enumerate() {
+        let paper = corpus.paper(*p);
+        out.push_str(&format!(
+            "  {}. [{score:.3}] {} ({})\n",
+            rank + 1,
+            paper.title,
+            paper.year,
+        ));
+    }
+    if scored.first().map(|s| s.0) == Some(0.0) {
+        out.push_str("  (user has no training-era history; scores are zero)\n");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("sem-cli-test-{name}-{}", std::process::id()))
+    }
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        assert!(run(&[]).unwrap().contains("USAGE"));
+        assert!(run(&argv(&["help"])).unwrap().contains("recommend"));
+        assert!(run(&argv(&["frobnicate"])).is_err());
+        assert!(run(&argv(&["generate", "--preset"])).is_err()); // missing value
+        assert!(run(&argv(&["generate", "oops"])).is_err()); // not a flag
+    }
+
+    #[test]
+    fn generate_stats_roundtrip() {
+        let corpus_path = tmp("corpus.json");
+        let out = run(&argv(&[
+            "generate",
+            "--preset",
+            "patent",
+            "--papers",
+            "80",
+            "--authors",
+            "40",
+            "--out",
+            corpus_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("80 papers"));
+        let stats = run(&argv(&["stats", "--corpus", corpus_path.to_str().unwrap()])).unwrap();
+        assert!(stats.contains("papers: 80"));
+        assert!(stats.contains("venues: 0"));
+        std::fs::remove_file(&corpus_path).ok();
+    }
+
+    #[test]
+    fn generate_rejects_bad_preset_and_numbers() {
+        assert!(run(&argv(&["generate", "--preset", "nope", "--out", "/tmp/x.json"])).is_err());
+        assert!(run(&argv(&[
+            "generate",
+            "--preset",
+            "acm",
+            "--papers",
+            "many",
+            "--out",
+            "/tmp/x.json"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn train_embed_roundtrip() {
+        let corpus_path = tmp("train-corpus.json");
+        let model_dir = tmp("model");
+        run(&argv(&[
+            "generate",
+            "--preset",
+            "acm",
+            "--papers",
+            "150",
+            "--authors",
+            "60",
+            "--out",
+            corpus_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = run(&argv(&[
+            "train",
+            "--corpus",
+            corpus_path.to_str().unwrap(),
+            "--out",
+            model_dir.to_str().unwrap(),
+            "--epochs",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("trained SEM"));
+        let emb = run(&argv(&[
+            "embed",
+            "--model",
+            model_dir.to_str().unwrap(),
+            "--paper",
+            "3",
+        ]))
+        .unwrap();
+        assert!(emb.contains("background"));
+        assert!(emb.contains("method"));
+        // out-of-range paper id
+        assert!(run(&argv(&[
+            "embed",
+            "--model",
+            model_dir.to_str().unwrap(),
+            "--paper",
+            "100000",
+        ]))
+        .is_err());
+        std::fs::remove_file(&corpus_path).ok();
+        std::fs::remove_dir_all(&model_dir).ok();
+    }
+}

@@ -1,0 +1,28 @@
+//! # sem-cli
+//!
+//! The `sem` command-line tool: end-user workflows over the workspace
+//! library — corpus generation and inspection, SEM training with on-disk
+//! persistence, innovation analysis and paper recommendation.
+//!
+//! Commands (see `sem help`):
+//!
+//! ```text
+//! sem generate  --preset acm|scopus|scopus3|pubmed|patent [--papers N] [--authors N] [--seed S] --out corpus.json
+//! sem stats     --corpus corpus.json
+//! sem train     --corpus corpus.json --out model-dir [--epochs N]
+//! sem embed     --model model-dir --paper ID
+//! sem analyze   --corpus corpus.json [--lof-k K]
+//! sem recommend --corpus corpus.json --split YEAR --user ID [--top N]
+//! ```
+//!
+//! Model persistence: the frozen text pipeline (skip-gram, encoder, CRF) is
+//! deterministic given the corpus and seed, so a model directory stores only
+//! the corpus reference, the SEM config and the trained weights; loading
+//! re-derives the pipeline bit-for-bit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod commands;
+
+pub use commands::{run, CliError};

@@ -1,0 +1,12 @@
+//! `sem` binary entry point.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match sem_cli::run(&argv) {
+        Ok(out) => println!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

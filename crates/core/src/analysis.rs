@@ -1,0 +1,211 @@
+//! Subspace difference analysis (Sec. III-C/E/F/G): Gaussian-mixture
+//! clustering of subspace embeddings, Local-Outlier-Factor difference
+//! indices, and their correlation with citations.
+
+use sem_corpus::NUM_SUBSPACES;
+use sem_stats::gmm::GmmConfig;
+use sem_stats::{lof, GaussianMixture};
+
+/// Per-subspace normalised LOF difference indices for a set of papers.
+///
+/// `embeddings[p][k]` is paper `p`'s subspace-`k` embedding. Returns
+/// `out[k][p] ∈ [0, 1]` — the paper's "difference with other papers" in
+/// subspace `k` (Sec. III-C: higher LOF ⇒ more different).
+///
+/// # Panics
+/// Panics when fewer than 2 papers are given or shapes are ragged.
+pub fn subspace_outliers(
+    embeddings: &[Vec<Vec<f32>>],
+    k_neighbors: usize,
+) -> [Vec<f64>; NUM_SUBSPACES] {
+    assert!(embeddings.len() >= 2, "need at least 2 papers");
+    let mut out: [Vec<f64>; NUM_SUBSPACES] = Default::default();
+    for (k, slot) in out.iter_mut().enumerate() {
+        let points: Vec<Vec<f32>> = embeddings.iter().map(|e| e[k].clone()).collect();
+        let raw = lof::local_outlier_factor(&points, k_neighbors);
+        *slot = lof::normalize(&raw);
+    }
+    out
+}
+
+/// LOF difference indices for a single flat embedding per paper (used for
+/// the Fig. 2 baselines that have no subspaces).
+pub fn flat_outliers(embeddings: &[Vec<f32>], k_neighbors: usize) -> Vec<f64> {
+    let raw = lof::local_outlier_factor(embeddings, k_neighbors);
+    lof::normalize(&raw)
+}
+
+/// Spearman correlation between per-subspace outlier indices and citation
+/// counts — the paper's Tab. I / Fig. 2 statistic.
+pub fn outlier_citation_correlation(
+    outliers: &[Vec<f64>; NUM_SUBSPACES],
+    citations: &[f64],
+) -> [f64; NUM_SUBSPACES] {
+    let mut out = [0.0; NUM_SUBSPACES];
+    for (k, o) in out.iter_mut().enumerate() {
+        *o = sem_stats::spearman(&outliers[k], citations);
+    }
+    out
+}
+
+/// Mean normalised LOF (in percent, as Tab. II reports) over a subset of
+/// paper indices.
+pub fn mean_lof_percent(outliers: &[f64], subset: &[usize]) -> f64 {
+    if subset.is_empty() {
+        return 0.0;
+    }
+    100.0 * subset.iter().map(|&i| outliers[i]).sum::<f64>() / subset.len() as f64
+}
+
+/// GMM clustering of one subspace's embeddings with BIC-selected component
+/// count (Sec. III-C / Fig. 3 right panels). Returns hard cluster labels.
+pub fn cluster_subspace(
+    embeddings: &[Vec<Vec<f32>>],
+    k: usize,
+    max_components: usize,
+    seed: u64,
+) -> Vec<usize> {
+    let points: Vec<Vec<f32>> = embeddings.iter().map(|e| e[k].clone()).collect();
+    let gmm = GaussianMixture::fit_bic(
+        &points,
+        max_components,
+        &GmmConfig { seed, ..Default::default() },
+    );
+    gmm.predict_all(&points)
+}
+
+/// Adjusted-free Rand index between two clusterings — used to quantify the
+/// paper's Fig. 3 observation that cluster memberships *differ* across
+/// subspaces (1.0 = identical partitions).
+pub fn rand_index(a: &[usize], b: &[usize]) -> f64 {
+    assert_eq!(a.len(), b.len(), "clusterings over different sets");
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            total += 1;
+            if (a[i] == a[j]) == (b[i] == b[j]) {
+                agree += 1;
+            }
+        }
+    }
+    agree as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    /// Synthetic "subspace embeddings": papers in two topical clusters with
+    /// a few planted outliers.
+    fn synthetic(n: usize, outlier_every: usize) -> (Vec<Vec<Vec<f32>>>, Vec<bool>) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut embeddings = Vec::with_capacity(n);
+        let mut is_outlier = Vec::with_capacity(n);
+        for i in 0..n {
+            let outlier = i % outlier_every == 0;
+            let base: f32 = if i % 2 == 0 { 0.0 } else { 4.0 };
+            let mut per_subspace = Vec::with_capacity(NUM_SUBSPACES);
+            for k in 0..NUM_SUBSPACES {
+                // outliers scatter in *distinct* directions — a shared shift
+                // would just form another dense cluster that LOF (correctly)
+                // ignores
+                let (sx, sy) = if outlier && k == 1 {
+                    let sign = if (i / outlier_every) % 2 == 0 { 1.0 } else { -1.0 };
+                    (sign * (8.0 + (i % 7) as f32 * 3.0), -sign * (5.0 + (i % 5) as f32 * 4.0))
+                } else {
+                    (0.0, 0.0)
+                };
+                per_subspace.push(vec![
+                    base + sx + rng.gen::<f32>() * 0.5,
+                    base + sy + rng.gen::<f32>() * 0.5,
+                ]);
+            }
+            embeddings.push(per_subspace);
+            is_outlier.push(outlier);
+        }
+        (embeddings, is_outlier)
+    }
+
+    #[test]
+    fn outliers_score_high_in_their_subspace() {
+        let (emb, flags) = synthetic(60, 15);
+        let out = subspace_outliers(&emb, 15);
+        let mean = |xs: &[f64], sel: bool| {
+            let v: Vec<f64> = xs
+                .iter()
+                .zip(&flags)
+                .filter(|(_, &f)| f == sel)
+                .map(|(x, _)| *x)
+                .collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        // planted outliers deviate only in subspace 1
+        assert!(mean(&out[1], true) > mean(&out[1], false) + 0.3);
+        // values normalised
+        for k in 0..NUM_SUBSPACES {
+            assert!(out[k].iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn correlation_picks_up_planted_signal() {
+        // LOF's neighborhood must be larger than the outlier population, or
+        // scattered outliers only see each other and score as inliers.
+        let (emb, flags) = synthetic(80, 10);
+        let out = subspace_outliers(&emb, 15);
+        // citations := outlier flag + noise-free baseline
+        let citations: Vec<f64> =
+            flags.iter().map(|&f| if f { 50.0 } else { 5.0 }).collect();
+        let rho = outlier_citation_correlation(&out, &citations);
+        assert!(rho[1] > 0.35, "subspace-1 correlation {:?}", rho);
+        assert!(rho[1] > rho[0] && rho[1] > rho[2], "{rho:?}");
+    }
+
+    #[test]
+    fn mean_lof_percent_behaviour() {
+        let out = vec![0.1, 0.9, 0.5, 0.3];
+        assert!((mean_lof_percent(&out, &[0, 2]) - 30.0).abs() < 1e-9);
+        assert_eq!(mean_lof_percent(&out, &[]), 0.0);
+    }
+
+    #[test]
+    fn clustering_separates_topics_but_subspaces_differ() {
+        let (emb, _) = synthetic(60, 61); // no outliers: pure two-cluster data
+        let labels_k0 = cluster_subspace(&emb, 0, 4, 1);
+        // the two topical groups alternate by construction
+        let mut agree = 0;
+        for i in 0..labels_k0.len() {
+            for j in (i + 1)..labels_k0.len() {
+                let same_topic = (i % 2) == (j % 2);
+                if (labels_k0[i] == labels_k0[j]) == same_topic {
+                    agree += 1;
+                }
+            }
+        }
+        let total = labels_k0.len() * (labels_k0.len() - 1) / 2;
+        assert!(agree as f64 / total as f64 > 0.9, "clustering missed topics");
+    }
+
+    #[test]
+    fn rand_index_properties() {
+        let a = vec![0, 0, 1, 1];
+        assert_eq!(rand_index(&a, &a), 1.0);
+        let b = vec![1, 1, 0, 0]; // same partition, renamed
+        assert_eq!(rand_index(&a, &b), 1.0);
+        let c = vec![0, 1, 0, 1];
+        assert!(rand_index(&a, &c) < 1.0);
+        assert_eq!(rand_index(&[0], &[5]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different sets")]
+    fn rand_index_length_mismatch_panics() {
+        let _ = rand_index(&[0, 1], &[0]);
+    }
+}

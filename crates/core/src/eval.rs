@@ -1,0 +1,374 @@
+//! The new-paper recommendation benchmark harness (Sec. IV-E).
+//!
+//! The corpus is split at year `Y`: papers published up to `Y` are training
+//! history, papers after `Y` are the *new papers*. For each selected user a
+//! candidate set of `k` new papers is prepared containing at least one paper
+//! the user actually cites (in their post-`Y` publications); recommenders
+//! rank the candidates and are scored with nDCG@k, MRR and MAP.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use sem_corpus::{AuthorId, Corpus, PaperId};
+use sem_stats::metrics;
+
+/// Anything that can score a (user, candidate) pair. Higher = more relevant.
+pub trait Recommender {
+    /// Display name for experiment tables.
+    fn name(&self) -> &str;
+    /// Relevance score of recommending `candidate` to `user`.
+    fn score(&self, user: AuthorId, candidate: PaperId) -> f64;
+}
+
+/// One user's evaluation case.
+#[derive(Debug, Clone)]
+pub struct UserCase {
+    /// The user.
+    pub user: AuthorId,
+    /// The user's own papers published up to the split year (their `P_a`).
+    pub train_papers: Vec<PaperId>,
+    /// Papers those publications cite (interest evidence).
+    pub train_cited: Vec<PaperId>,
+    /// The `k` candidate new papers, shuffled.
+    pub candidates: Vec<PaperId>,
+    /// Ground truth: `relevant[i]` ⇔ the user actually cites
+    /// `candidates[i]` after the split year.
+    pub relevant: Vec<bool>,
+}
+
+/// A built benchmark: users with candidate sets.
+#[derive(Debug, Clone)]
+pub struct RecTask {
+    /// All user cases.
+    pub users: Vec<UserCase>,
+    /// The split year `Y`.
+    pub split_year: u16,
+    /// Candidate-set size `k`.
+    pub k: usize,
+}
+
+/// Aggregate metrics of one recommender on one task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecMetrics {
+    /// Mean nDCG@k over users.
+    pub ndcg: f64,
+    /// Mean reciprocal rank.
+    pub mrr: f64,
+    /// Mean average precision.
+    pub map: f64,
+}
+
+impl RecTask {
+    /// Builds the benchmark.
+    ///
+    /// Users qualify when they have at least `min_train_papers` publications
+    /// up to `split_year` **and** cite at least one post-split paper from a
+    /// post-split publication. Up to `n_users` qualifying users are kept
+    /// (deterministically, by id order with seeded subsampling).
+    ///
+    /// # Panics
+    /// Panics when no user qualifies or `k < 2`.
+    pub fn build(
+        corpus: &Corpus,
+        split_year: u16,
+        k: usize,
+        n_users: usize,
+        min_train_papers: usize,
+        seed: u64,
+    ) -> RecTask {
+        assert!(k >= 2, "candidate set must hold a positive and a distractor");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let new_papers: Vec<PaperId> = corpus
+            .papers
+            .iter()
+            .filter(|p| p.year > split_year)
+            .map(|p| p.id)
+            .collect();
+        assert!(!new_papers.is_empty(), "no papers after split year {split_year}");
+
+        let mut users = Vec::new();
+        for author in &corpus.authors {
+            let train_papers: Vec<PaperId> = author
+                .papers
+                .iter()
+                .copied()
+                .filter(|&p| corpus.paper(p).year <= split_year)
+                .collect();
+            if train_papers.len() < min_train_papers {
+                continue;
+            }
+            // positives: new papers cited by the author's post-split work
+            let mut positives: Vec<PaperId> = author
+                .papers
+                .iter()
+                .filter(|&&p| corpus.paper(p).year > split_year)
+                .flat_map(|&p| corpus.paper(p).references.iter().copied())
+                .filter(|&q| corpus.paper(q).year > split_year)
+                .collect();
+            positives.sort_unstable();
+            positives.dedup();
+            // the user's own new papers are not candidates
+            positives.retain(|q| !author.papers.contains(q));
+            if positives.is_empty() {
+                continue;
+            }
+            positives.truncate(k / 4 + 1);
+
+            let mut train_cited: Vec<PaperId> = train_papers
+                .iter()
+                .flat_map(|&p| corpus.paper(p).references.iter().copied())
+                .collect();
+            train_cited.sort_unstable();
+            train_cited.dedup();
+
+            // distractors: random new papers that are neither positives nor
+            // the user's own
+            let mut candidates = positives.clone();
+            let mut guard = 0;
+            while candidates.len() < k && guard < 50 * k {
+                guard += 1;
+                let c = new_papers[rng.gen_range(0..new_papers.len())];
+                if !candidates.contains(&c) && !author.papers.contains(&c) {
+                    candidates.push(c);
+                }
+            }
+            if candidates.len() < k {
+                continue; // corpus too small for this k
+            }
+            candidates.shuffle(&mut rng);
+            let relevant: Vec<bool> =
+                candidates.iter().map(|c| positives.contains(c)).collect();
+            users.push(UserCase {
+                user: author.id,
+                train_papers,
+                train_cited,
+                candidates,
+                relevant,
+            });
+        }
+        assert!(!users.is_empty(), "no qualifying users for split {split_year}");
+        if users.len() > n_users {
+            users.shuffle(&mut rng);
+            users.truncate(n_users);
+            users.sort_by_key(|u| u.user);
+        }
+        RecTask { users, split_year, k }
+    }
+
+    /// Restricts to users with exactly-or-more `min` and fewer than `max`
+    /// training publications (the Tab. V "#rp" buckets).
+    pub fn filter_by_publications(&self, min: usize, max: usize) -> RecTask {
+        RecTask {
+            users: self
+                .users
+                .iter()
+                .filter(|u| (min..max).contains(&u.train_papers.len()))
+                .cloned()
+                .collect(),
+            split_year: self.split_year,
+            k: self.k,
+        }
+    }
+
+    /// Top-`n` candidates for one user under `rec`, best first.
+    ///
+    /// Returns `None` when the user is not part of this task.
+    pub fn recommend(
+        &self,
+        rec: &dyn Recommender,
+        user: AuthorId,
+        n: usize,
+    ) -> Option<Vec<(PaperId, f64)>> {
+        let case = self.users.iter().find(|u| u.user == user)?;
+        let mut scored: Vec<(PaperId, f64)> = case
+            .candidates
+            .iter()
+            .map(|&c| (c, rec.score(user, c)))
+            .collect();
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+        scored.truncate(n);
+        Some(scored)
+    }
+
+    /// Ranks every user's candidates with `rec` and aggregates metrics.
+    pub fn evaluate(&self, rec: &dyn Recommender) -> RecMetrics {
+        let ranked: Vec<Vec<bool>> = self
+            .users
+            .iter()
+            .map(|u| {
+                let mut order: Vec<usize> = (0..u.candidates.len()).collect();
+                let scores: Vec<f64> = u
+                    .candidates
+                    .iter()
+                    .map(|&c| rec.score(u.user, c))
+                    .collect();
+                order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+                order.into_iter().map(|i| u.relevant[i]).collect()
+            })
+            .collect();
+        let ndcg = ranked
+            .iter()
+            .map(|r| metrics::ndcg_at_k(r, self.k))
+            .sum::<f64>()
+            / ranked.len().max(1) as f64;
+        RecMetrics {
+            ndcg,
+            mrr: metrics::mean_reciprocal_rank(&ranked),
+            map: metrics::mean_average_precision(&ranked),
+        }
+    }
+}
+
+/// Reference recommender: random scores (the floor every method must beat).
+pub struct RandomRecommender {
+    seed: u64,
+}
+
+impl RandomRecommender {
+    /// A seeded random scorer.
+    pub fn new(seed: u64) -> Self {
+        RandomRecommender { seed }
+    }
+}
+
+impl Recommender for RandomRecommender {
+    fn name(&self) -> &str {
+        "Random"
+    }
+
+    fn score(&self, user: AuthorId, candidate: PaperId) -> f64 {
+        // stateless hash-based score so the trait stays &self
+        let mut x = self
+            .seed
+            .wrapping_mul(0x9e3779b97f4a7c15)
+            .wrapping_add((user.0 as u64) << 32 | candidate.0 as u64);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58476d1ce4e5b9);
+        x ^= x >> 27;
+        (x % 1_000_000) as f64 / 1_000_000.0
+    }
+}
+
+/// Oracle recommender: scores by ground truth (the ceiling, nDCG = 1).
+pub struct OracleRecommender<'a> {
+    task: &'a RecTask,
+}
+
+impl<'a> OracleRecommender<'a> {
+    /// Builds the oracle for a task.
+    pub fn new(task: &'a RecTask) -> Self {
+        OracleRecommender { task }
+    }
+}
+
+impl Recommender for OracleRecommender<'_> {
+    fn name(&self) -> &str {
+        "Oracle"
+    }
+
+    fn score(&self, user: AuthorId, candidate: PaperId) -> f64 {
+        self.task
+            .users
+            .iter()
+            .find(|u| u.user == user)
+            .and_then(|u| {
+                u.candidates
+                    .iter()
+                    .position(|&c| c == candidate)
+                    .map(|i| if u.relevant[i] { 1.0 } else { 0.0 })
+            })
+            .unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sem_corpus::CorpusConfig;
+
+    fn corpus() -> Corpus {
+        Corpus::generate(CorpusConfig { n_papers: 600, n_authors: 150, ..Default::default() })
+    }
+
+    #[test]
+    fn task_builds_valid_cases() {
+        let c = corpus();
+        let task = RecTask::build(&c, 2014, 10, 50, 1, 3);
+        assert!(!task.users.is_empty());
+        for u in &task.users {
+            assert_eq!(u.candidates.len(), 10);
+            assert_eq!(u.relevant.len(), 10);
+            assert!(u.relevant.iter().any(|&r| r), "no positive for user");
+            assert!(!u.train_papers.is_empty());
+            // every candidate is a new paper
+            for &cand in &u.candidates {
+                assert!(c.paper(cand).year > 2014);
+            }
+            // train papers are old
+            for &p in &u.train_papers {
+                assert!(c.paper(p).year <= 2014);
+            }
+            // user's own papers never appear as candidates
+            let author = c.author(u.user);
+            for &cand in &u.candidates {
+                assert!(!author.papers.contains(&cand));
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_achieves_perfect_ndcg_random_does_not() {
+        let c = corpus();
+        let task = RecTask::build(&c, 2014, 12, 40, 1, 3);
+        let oracle = OracleRecommender::new(&task);
+        let m = task.evaluate(&oracle);
+        assert!((m.ndcg - 1.0).abs() < 1e-9, "oracle ndcg {}", m.ndcg);
+        assert!((m.mrr - 1.0).abs() < 1e-9);
+        let random = RandomRecommender::new(1);
+        let r = task.evaluate(&random);
+        assert!(r.ndcg < 0.9, "random ndcg {}", r.ndcg);
+        assert!(r.ndcg > 0.0);
+    }
+
+    #[test]
+    fn publication_filter_buckets() {
+        let c = corpus();
+        let task = RecTask::build(&c, 2014, 10, 100, 1, 3);
+        let small = task.filter_by_publications(1, 3);
+        let large = task.filter_by_publications(3, usize::MAX);
+        assert_eq!(small.users.len() + large.users.len(), task.users.len());
+        for u in &small.users {
+            assert!(u.train_papers.len() < 3);
+        }
+    }
+
+    #[test]
+    fn recommend_returns_sorted_top_n() {
+        let c = corpus();
+        let task = RecTask::build(&c, 2014, 10, 20, 1, 3);
+        let oracle = OracleRecommender::new(&task);
+        let u = task.users[0].user;
+        let top = task.recommend(&oracle, u, 3).expect("user in task");
+        assert_eq!(top.len(), 3);
+        assert!(top.windows(2).all(|w| w[0].1 >= w[1].1));
+        // oracle puts a relevant item first
+        assert_eq!(top[0].1, 1.0);
+        // unknown user
+        assert!(task.recommend(&oracle, AuthorId(1_000_000), 3).is_none());
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let c = corpus();
+        let task = RecTask::build(&c, 2014, 10, 30, 1, 3);
+        let rec = RandomRecommender::new(5);
+        assert_eq!(task.evaluate(&rec), task.evaluate(&rec));
+    }
+
+    #[test]
+    #[should_panic(expected = "candidate set")]
+    fn tiny_k_panics() {
+        let c = corpus();
+        let _ = RecTask::build(&c, 2014, 1, 10, 1, 3);
+    }
+}

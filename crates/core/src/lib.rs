@@ -1,0 +1,36 @@
+//! # sem-core
+//!
+//! The paper's two contributions, implemented over the workspace substrates:
+//!
+//! 1. **SEM — the subspace embedding method** (Sec. III). A frozen text
+//!    pipeline ([`TextPipeline`]: skip-gram + sentence encoder + CRF
+//!    sentence-function labeler) feeds a per-subspace head — MLP, global
+//!    attention pooling and cross-subspace attention (Eq. 5–12) — trained as
+//!    a twin network with a hinge contrastive loss over expert-rule triplets
+//!    (Eq. 13–14), with the rule-fusion weights `a_i` learned jointly
+//!    (Sec. III-D). [`SemModel`] produces the per-subspace embeddings
+//!    `c_p^k`; [`analysis`] computes the GMM/LOF outlier statistics used in
+//!    the paper's empirical studies.
+//!
+//! 2. **NPRec — new-paper recommendation** (Sec. IV). [`NpRecModel`] embeds
+//!    the heterogeneous academic network with asymmetric interest/influence
+//!    aggregation (Eq. 15–21), concatenates the SEM text embedding, scores
+//!    `ŷ(p,q) ∝ v⃗_p · v⃖_q` (Eq. 22) under a cross-entropy objective
+//!    (Eq. 23), and trains on citation positives with the **de-fuzzing
+//!    negative sampling strategy** (Sec. IV-C). [`eval`] hosts the shared
+//!    recommendation benchmark harness ([`eval::Recommender`],
+//!    [`eval::RecTask`]) that the baseline crate also implements.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pipeline;
+pub mod sem;
+pub mod analysis;
+pub mod nprec;
+pub mod sampling;
+pub mod eval;
+
+pub use nprec::{NpRecConfig, NpRecModel};
+pub use pipeline::{PipelineConfig, TextPipeline};
+pub use sem::{SemConfig, SemModel};

@@ -1,0 +1,698 @@
+//! NPRec: the graph-convolutional new-paper recommender (Sec. IV).
+//!
+//! Every entity of the heterogeneous network gets a trainable embedding.
+//! A paper's representation is computed twice, asymmetrically:
+//!
+//! * **interest** `v⃗_p` aggregates the two-way neighbors plus the papers
+//!   `p` *cites* (Eq. 19–20);
+//! * **influence** `v⃖_q` aggregates the two-way neighbors plus the papers
+//!   *citing* `q` (Eq. 21).
+//!
+//! Aggregation is KGCN-style with relation-aware attention: neighbor `e'` of
+//! `e` is weighted by `softmax(π)` with `π = v_e · (r ∘ v_e')` (Eq. 15–16),
+//! through `H` convolution layers `v^h = σ(W^h (v^{h-1} + v_N^{h-1}) + b^h)`
+//! (Eq. 17–18). The SEM subspace text embeddings are fused by a learned
+//! attention `c_p = Σ λ_k c_p^k` (Sec. IV intro) and concatenated. Scoring
+//! is `ŷ(p,q) = σ(v⃗_p · v⃖_q)` (Eq. 22) under cross-entropy + L2 (Eq. 23).
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use sem_corpus::{AuthorId, PaperId, NUM_SUBSPACES};
+use sem_graph::{EntityKind, HeteroGraph, NodeId, Relation};
+use sem_nn::{Activation, Adam, Embedding, Linear, Optimizer, ParamId, ParamStore, Session};
+use sem_tensor::{Shape, Tensor, TensorId};
+
+use crate::eval::{RecTask, Recommender};
+use crate::sampling::TrainPair;
+
+/// Which asymmetric representation of a paper to compute.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Direction {
+    /// `v⃗_p`: what the paper is interested in.
+    Interest,
+    /// `v⃖_q`: where the paper's influence flows.
+    Influence,
+}
+
+/// NPRec hyperparameters and ablation switches.
+#[derive(Clone, Debug)]
+pub struct NpRecConfig {
+    /// Entity-embedding width.
+    pub embed_dim: usize,
+    /// Width of one SEM subspace embedding (ignored when `use_text` off).
+    pub text_dim: usize,
+    /// Sampled neighborhood size `K` (Tab. VII ablation).
+    pub neighbors: usize,
+    /// Convolution depth `H` (Tab. VIII ablation).
+    pub depth: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Pairs per optimizer step.
+    pub batch: usize,
+    /// L2 weight on the dense layers (Eq. 23's `λ‖θ‖`).
+    pub l2: f32,
+    /// Include the SEM text embedding (off = NPRec+SN ablation).
+    pub use_text: bool,
+    /// Include the network convolution (off = NPRec+SC ablation).
+    pub use_network: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for NpRecConfig {
+    fn default() -> Self {
+        NpRecConfig {
+            embed_dim: 24,
+            text_dim: 64,
+            neighbors: 8,
+            depth: 2,
+            lr: 5e-3,
+            epochs: 4,
+            batch: 16,
+            l2: 1e-5,
+            use_text: true,
+            use_network: true,
+            seed: 0x09ec,
+        }
+    }
+}
+
+/// Per-paper subspace text embeddings (`c_p^k` from [`crate::SemModel`]).
+pub type TextVecs = Vec<Vec<Vec<f32>>>;
+
+/// Training diagnostics.
+#[derive(Clone, Debug)]
+pub struct NpRecReport {
+    /// Mean batch loss per epoch.
+    pub epoch_losses: Vec<f32>,
+}
+
+/// The NPRec model.
+pub struct NpRecModel {
+    store: ParamStore,
+    node_emb: Embedding,
+    rel_emb: Embedding,
+    layers: Vec<Linear>,
+    text_proj: [Option<Linear>; 2],
+    lambda: Option<ParamId>,
+    config: NpRecConfig,
+}
+
+impl NpRecModel {
+    /// Allocates a model for a graph with `n_nodes` entities.
+    ///
+    /// # Panics
+    /// Panics when both `use_text` and `use_network` are disabled.
+    pub fn new(n_nodes: usize, config: NpRecConfig) -> Self {
+        assert!(
+            config.use_text || config.use_network,
+            "model needs at least one of text/network"
+        );
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut store = ParamStore::new();
+        let node_emb = Embedding::new(&mut store, "nprec.nodes", n_nodes, config.embed_dim, &mut rng);
+        let rel_emb =
+            Embedding::new(&mut store, "nprec.rels", Relation::COUNT, config.embed_dim, &mut rng);
+        let layers = (0..config.depth)
+            .map(|h| {
+                Linear::new(&mut store, &format!("nprec.conv{h}"), config.embed_dim, config.embed_dim, &mut rng)
+            })
+            .collect();
+        let text_proj = if config.use_text {
+            [
+                Some(Linear::new(&mut store, "nprec.text_interest", config.text_dim, config.embed_dim, &mut rng)),
+                Some(Linear::new(&mut store, "nprec.text_influence", config.text_dim, config.embed_dim, &mut rng)),
+            ]
+        } else {
+            [None, None]
+        };
+        let lambda = config
+            .use_text
+            .then(|| store.add("nprec.lambda", Tensor::zeros(Shape::Vector(NUM_SUBSPACES))));
+        NpRecModel { store, node_emb, rel_emb, layers, text_proj, lambda, config }
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &NpRecConfig {
+        &self.config
+    }
+
+    /// Serialises all trained weights to JSON.
+    pub fn weights_to_json(&self) -> String {
+        self.store.to_json()
+    }
+
+    /// Restores a model from its config, node count and
+    /// [`NpRecModel::weights_to_json`] output.
+    ///
+    /// # Errors
+    /// Returns an error when the JSON does not match the architecture.
+    pub fn from_json(n_nodes: usize, config: NpRecConfig, json: &str) -> Result<Self, String> {
+        let restored = ParamStore::from_json(json)?;
+        let mut model = NpRecModel::new(n_nodes, config);
+        if restored.len() != model.store.len() {
+            return Err(format!(
+                "parameter count mismatch: saved {} vs architecture {}",
+                restored.len(),
+                model.store.len()
+            ));
+        }
+        let pairs: Vec<_> = restored.ids().zip(model.store.ids()).collect();
+        for (id, fresh_id) in pairs {
+            if restored.name(id) != model.store.name(fresh_id)
+                || restored.get(id).shape() != model.store.get(fresh_id).shape()
+            {
+                return Err(format!("architecture mismatch at {}", restored.name(id)));
+            }
+            let value = restored.get(id).clone();
+            model.store.set(fresh_id, value);
+        }
+        Ok(model)
+    }
+
+    /// Width of the final paper representation.
+    pub fn vec_dim(&self) -> usize {
+        let mut d = 0;
+        if self.config.use_text {
+            d += self.config.embed_dim;
+        }
+        if self.config.use_network {
+            d += self.config.embed_dim;
+        }
+        d
+    }
+
+    /// Base (depth-0) embedding of a graph node.
+    fn base(&self, s: &mut Session<'_>, node: NodeId) -> TensorId {
+        let row = self.node_emb.lookup(s, &[node.index()]);
+        s.tape.reshape(row, Shape::Vector(self.config.embed_dim))
+    }
+
+    /// The `K` neighbors with the highest attention scores
+    /// `π = v_e · (r ∘ v_e')` under the current embeddings (host-side —
+    /// selection is a hard decision; gradients flow through the selected
+    /// neighbors' on-tape scores).
+    fn top_k_neighbors(
+        &self,
+        full: &[(NodeId, Relation)],
+        node: NodeId,
+    ) -> Vec<(NodeId, Relation)> {
+        let k = self.config.neighbors;
+        if full.len() <= k {
+            return full.to_vec();
+        }
+        let node_table = self.store.get(self.node_emb.param());
+        let rel_table = self.store.get(self.rel_emb.param());
+        let base = node_table.row(node.index());
+        let mut scored: Vec<(f32, usize)> = full
+            .iter()
+            .enumerate()
+            .map(|(i, &(nbr, rel))| {
+                let nv = node_table.row(nbr.index());
+                let rv = rel_table.row(rel.index());
+                let pi: f32 = base
+                    .iter()
+                    .zip(nv)
+                    .zip(rv)
+                    .map(|((b, n), r)| b * n * r)
+                    .sum();
+                (pi, i)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        scored.into_iter().take(k).map(|(_, i)| full[i]).collect()
+    }
+
+    /// KGCN-style recursive representation of `node` at depth `h`.
+    fn rep(
+        &self,
+        s: &mut Session<'_>,
+        graph: &HeteroGraph,
+        node: NodeId,
+        dir: Direction,
+        h: usize,
+        rng: &mut StdRng,
+    ) -> TensorId {
+        let base = self.base(s, node);
+        if h == 0 {
+            return base;
+        }
+        let full: Vec<(NodeId, Relation)> = if graph.kind(node) == EntityKind::Paper {
+            let p = PaperId::from(graph.local_index(node));
+            match dir {
+                Direction::Interest => graph.interest_neighbors(p),
+                Direction::Influence => {
+                    // Deviation from a literal Eq. 21 (see DESIGN.md §7):
+                    // the influence neighborhood also contains the paper's
+                    // *references*. A brand-new paper has no citers, so a
+                    // metadata-only influence representation would carry no
+                    // citation-side context at all — references are the only
+                    // such context that exists at publication time. The
+                    // asymmetry the paper argues for is preserved: citers
+                    // appear only here, never on the interest side, and the
+                    // relation embedding distinguishes the edge types.
+                    let mut n = graph.influence_neighbors(p);
+                    n.extend(graph.cites(p).iter().map(|&x| (x, Relation::Cites)));
+                    n
+                }
+            }
+        } else {
+            graph.neighbors(node).to_vec()
+        };
+        // Tab. VII: K covers "the feature nodes most relevant to the paper".
+        // Select the top-K neighbors by the attention score π (computed from
+        // the current embeddings) instead of sampling uniformly — lower
+        // variance and exactly the paper's stated intent. Deterministic.
+        let sampled = self.top_k_neighbors(&full, node);
+        let _ = &rng;
+        let self_prev = self.rep(s, graph, node, dir, h - 1, rng);
+        let summed = if sampled.is_empty() {
+            self_prev
+        } else {
+            // attention weights π over sampled neighbors (Eq. 15–16),
+            // vectorised: one gather for all K neighbor embeddings
+            let d = self.config.embed_dim;
+            let nbr_idx: Vec<usize> = sampled.iter().map(|(n, _)| n.index()).collect();
+            let rel_idx: Vec<usize> = sampled.iter().map(|(_, r)| r.index()).collect();
+            let nbr_base = self.node_emb.lookup(s, &nbr_idx); // [K, d]
+            let rel_rows = self.rel_emb.lookup(s, &rel_idx); // [K, d]
+            let gated = s.tape.mul(rel_rows, nbr_base);
+            let base_col = s.tape.reshape(base, Shape::Matrix(d, 1));
+            let scores_col = s.tape.matmul(gated, base_col); // [K, 1]
+            let scores_row = s.tape.transpose(scores_col); // [1, K]
+            let alpha = s.tape.row_softmax(scores_row);
+            let nbr_reps = if h == 1 {
+                nbr_base // depth-0 reps are the base embeddings: reuse gather
+            } else {
+                let mut cols: Option<TensorId> = None;
+                for &(nbr, _) in &sampled {
+                    let r = self.rep(s, graph, nbr, dir, h - 1, rng);
+                    let col = s.tape.reshape(r, Shape::Matrix(d, 1));
+                    cols = Some(match cols {
+                        Some(acc) => s.tape.concat_cols(acc, col),
+                        None => col,
+                    });
+                }
+                let t = cols.expect("non-empty");
+                s.tape.transpose(t) // [K, d]
+            };
+            let v_n_m = s.tape.matmul(alpha, nbr_reps); // [1, d]
+            let v_n = s.tape.reshape(v_n_m, Shape::Vector(d));
+            s.tape.add(self_prev, v_n)
+        };
+        let summed_row = s.tape.reshape(summed, Shape::Matrix(1, self.config.embed_dim));
+        let lin = self.layers[h - 1].forward(s, summed_row);
+        // tanh keeps coordinates signed; a sigmoid here would force
+        // all-positive representations whose dot products cannot express
+        // "irrelevant" (negative logits)
+        let act = Activation::Tanh.apply(s, lin);
+        s.tape.reshape(act, Shape::Vector(self.config.embed_dim))
+    }
+
+    /// Fused SEM text vector `c_p = Σ_k λ_k c_p^k`, projected for the
+    /// direction.
+    fn text_vec(
+        &self,
+        s: &mut Session<'_>,
+        text: &TextVecs,
+        p: PaperId,
+        dir: Direction,
+    ) -> TensorId {
+        let lambda = self.lambda.expect("use_text on");
+        let lam = s.param(lambda);
+        let lam_row = s.tape.reshape(lam, Shape::Matrix(1, NUM_SUBSPACES));
+        let alpha = s.tape.row_softmax(lam_row); // [1, K]
+        let td = self.config.text_dim;
+        let mut data = Vec::with_capacity(NUM_SUBSPACES * td);
+        for k in 0..NUM_SUBSPACES {
+            data.extend_from_slice(&text[p.index()][k]);
+        }
+        let stack = s.tape.leaf(Tensor::from_vec(data, Shape::Matrix(NUM_SUBSPACES, td)));
+        let fused = s.tape.matmul(alpha, stack); // [1, td]
+        let proj = match dir {
+            Direction::Interest => self.text_proj[0].as_ref().expect("use_text on"),
+            Direction::Influence => self.text_proj[1].as_ref().expect("use_text on"),
+        };
+        let lin = proj.forward(s, fused);
+        let act = s.tape.tanh(lin);
+        s.tape.reshape(act, Shape::Vector(self.config.embed_dim))
+    }
+
+    /// Full directional paper representation on the tape.
+    fn paper_vec_node(
+        &self,
+        s: &mut Session<'_>,
+        graph: &HeteroGraph,
+        text: Option<&TextVecs>,
+        p: PaperId,
+        dir: Direction,
+        rng: &mut StdRng,
+    ) -> TensorId {
+        let mut parts: Vec<TensorId> = Vec::with_capacity(2);
+        if self.config.use_text {
+            let t = text.expect("use_text requires text vectors");
+            parts.push(self.text_vec(s, t, p, dir));
+        }
+        if self.config.use_network {
+            parts.push(self.rep(s, graph, graph.paper_node(p), dir, self.config.depth, rng));
+        }
+        parts
+            .into_iter()
+            .reduce(|a, b| s.tape.concat_cols(a, b))
+            .expect("at least one component")
+    }
+
+    /// Trains on labeled pairs; returns per-epoch losses.
+    pub fn train(
+        &mut self,
+        graph: &HeteroGraph,
+        text: Option<&TextVecs>,
+        pairs: &[TrainPair],
+    ) -> NpRecReport {
+        assert!(!pairs.is_empty(), "no training pairs");
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x7a7a);
+        let mut order: Vec<usize> = (0..pairs.len()).collect();
+        let mut opt = Adam::new(self.config.lr).with_clip(5.0);
+        let mut epoch_losses = Vec::with_capacity(self.config.epochs);
+        let dense_params: Vec<ParamId> = self
+            .layers
+            .iter()
+            .flat_map(|l| l.params())
+            .chain(self.text_proj.iter().flatten().flat_map(|l| l.params()))
+            .collect();
+        for _ in 0..self.config.epochs {
+            order.shuffle(&mut rng);
+            let mut total = 0.0f32;
+            let mut batches = 0usize;
+            for chunk in order.chunks(self.config.batch) {
+                let mut s = Session::new(&self.store);
+                let mut logits: Option<TensorId> = None;
+                let mut targets = Vec::with_capacity(chunk.len());
+                for &i in chunk {
+                    let pair = pairs[i];
+                    let vp = self.paper_vec_node(&mut s, graph, text, pair.p, Direction::Interest, &mut rng);
+                    let vq = self.paper_vec_node(&mut s, graph, text, pair.q, Direction::Influence, &mut rng);
+                    let logit = s.tape.dot(vp, vq);
+                    let l11 = s.tape.reshape(logit, Shape::Matrix(1, 1));
+                    logits = Some(match logits {
+                        Some(acc) => s.tape.concat_cols(acc, l11),
+                        None => l11,
+                    });
+                    targets.push(pair.label);
+                }
+                let logits = logits.expect("non-empty batch");
+                let n = targets.len();
+                let bce = s
+                    .tape
+                    .bce_with_logits(logits, Tensor::from_vec(targets, Shape::Matrix(1, n)));
+                let reg = s.l2_penalty(&dense_params, self.config.l2);
+                let loss = s.tape.add(bce, reg);
+                total += s.tape.value(loss).item();
+                batches += 1;
+                s.tape.backward(loss);
+                let grads = s.grads();
+                opt.step(&mut self.store, &grads);
+            }
+            epoch_losses.push(total / batches.max(1) as f32);
+        }
+        NpRecReport { epoch_losses }
+    }
+
+    /// Deterministic directional representation of one paper (inference).
+    pub fn paper_vec(
+        &self,
+        graph: &HeteroGraph,
+        text: Option<&TextVecs>,
+        p: PaperId,
+        dir: Direction,
+    ) -> Vec<f32> {
+        let mut s = Session::new(&self.store);
+        // per-paper deterministic neighbor sampling
+        let salt = match dir {
+            Direction::Interest => 0x11u64,
+            Direction::Influence => 0x22u64,
+        };
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ (p.0 as u64) << 8 ^ salt);
+        let node = self.paper_vec_node(&mut s, graph, text, p, dir, &mut rng);
+        s.tape.value(node).data().to_vec()
+    }
+
+    /// Predicted relevance `ŷ(p, q) = σ(v⃗_p · v⃖_q)`.
+    pub fn predict(
+        &self,
+        graph: &HeteroGraph,
+        text: Option<&TextVecs>,
+        p: PaperId,
+        q: PaperId,
+    ) -> f64 {
+        let vp = self.paper_vec(graph, text, p, Direction::Interest);
+        let vq = self.paper_vec(graph, text, q, Direction::Influence);
+        let dot: f64 = vp.iter().zip(&vq).map(|(a, b)| f64::from(a * b)).sum();
+        1.0 / (1.0 + (-dot).exp())
+    }
+
+    /// Builds a cached [`Recommender`] for a task: precomputes interest
+    /// vectors of every user's training papers and influence vectors of
+    /// every candidate.
+    pub fn recommender(
+        &self,
+        graph: &HeteroGraph,
+        text: Option<&TextVecs>,
+        task: &RecTask,
+    ) -> NpRecRecommender {
+        self.recommender_multi(graph, text, &[task])
+    }
+
+    /// Like [`NpRecModel::recommender`] for several tasks at once (shared
+    /// vector cache across the k ∈ {20, 30, 50} candidate sets).
+    pub fn recommender_multi(
+        &self,
+        graph: &HeteroGraph,
+        text: Option<&TextVecs>,
+        tasks: &[&RecTask],
+    ) -> NpRecRecommender {
+        let mut interest: HashMap<PaperId, Vec<f32>> = HashMap::new();
+        let mut influence: HashMap<PaperId, Vec<f32>> = HashMap::new();
+        let mut user_papers: HashMap<AuthorId, Vec<PaperId>> = HashMap::new();
+        for task in tasks {
+            for u in &task.users {
+                user_papers.insert(u.user, u.train_papers.clone());
+                for &p in &u.train_papers {
+                    interest
+                        .entry(p)
+                        .or_insert_with(|| self.paper_vec(graph, text, p, Direction::Interest));
+                }
+                for &c in &u.candidates {
+                    influence
+                        .entry(c)
+                        .or_insert_with(|| self.paper_vec(graph, text, c, Direction::Influence));
+                }
+            }
+        }
+        NpRecRecommender { name: "NPRec".into(), interest, influence, user_papers }
+    }
+}
+
+/// Cached scorer produced by [`NpRecModel::recommender`].
+pub struct NpRecRecommender {
+    name: String,
+    interest: HashMap<PaperId, Vec<f32>>,
+    influence: HashMap<PaperId, Vec<f32>>,
+    user_papers: HashMap<AuthorId, Vec<PaperId>>,
+}
+
+impl NpRecRecommender {
+    /// Overrides the display name (used by ablation variants).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+}
+
+impl Recommender for NpRecRecommender {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// `I_a` (Sec. IV-B): the expectation of `ŷ(p, candidate)` over the
+    /// user's papers `P_a`.
+    fn score(&self, user: AuthorId, candidate: PaperId) -> f64 {
+        let Some(papers) = self.user_papers.get(&user) else { return 0.0 };
+        let Some(vq) = self.influence.get(&candidate) else { return 0.0 };
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for p in papers {
+            if let Some(vp) = self.interest.get(p) {
+                let dot: f64 = vp.iter().zip(vq).map(|(a, b)| f64::from(a * b)).sum();
+                sum += 1.0 / (1.0 + (-dot).exp());
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampling::{build_training_pairs, NegativeStrategy};
+    use crate::{PipelineConfig, TextPipeline};
+    use sem_corpus::{Corpus, CorpusConfig};
+    use sem_rules::triplet::uniform_weights;
+    use sem_rules::RuleScorer;
+
+    fn corpus() -> Corpus {
+        Corpus::generate(CorpusConfig { n_papers: 250, n_authors: 80, ..Default::default() })
+    }
+
+    fn quick_config() -> NpRecConfig {
+        NpRecConfig {
+            embed_dim: 12,
+            text_dim: 8,
+            neighbors: 4,
+            depth: 1,
+            epochs: 2,
+            use_text: false,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn vectors_have_declared_dim_and_are_deterministic() {
+        let c = corpus();
+        let g = HeteroGraph::from_corpus(&c, None);
+        let m = NpRecModel::new(g.n_nodes(), quick_config());
+        let p = PaperId(10);
+        let v1 = m.paper_vec(&g, None, p, Direction::Interest);
+        let v2 = m.paper_vec(&g, None, p, Direction::Interest);
+        assert_eq!(v1.len(), m.vec_dim());
+        assert_eq!(v1, v2);
+        // interest and influence genuinely differ for connected papers
+        let vi = m.paper_vec(&g, None, p, Direction::Influence);
+        assert_ne!(v1, vi);
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let c = corpus();
+        let g = HeteroGraph::from_corpus(&c, Some(2014));
+        let pipe = TextPipeline::fit(
+            &c,
+            PipelineConfig { sentence_dim: 16, word_dim: 12, sgns_epochs: 1, ..Default::default() },
+        );
+        let labels = pipe.label_corpus(&c);
+        let scorer = RuleScorer::new(&c, &pipe.vocab, &pipe.embeddings, &pipe.encoder, &labels);
+        let w = [uniform_weights(); NUM_SUBSPACES];
+        let mut pairs = build_training_pairs(&c, &scorer, &w, 2014, 2, NegativeStrategy::Random, 1);
+        pairs.truncate(600);
+        let mut m = NpRecModel::new(g.n_nodes(), NpRecConfig { epochs: 3, ..quick_config() });
+        let report = m.train(&g, None, &pairs);
+        let first = report.epoch_losses[0];
+        let last = *report.epoch_losses.last().unwrap();
+        assert!(last < first * 0.95, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn trained_model_separates_positives_from_negatives() {
+        let c = corpus();
+        let g = HeteroGraph::from_corpus(&c, Some(2014));
+        let pipe = TextPipeline::fit(
+            &c,
+            PipelineConfig { sentence_dim: 16, word_dim: 12, sgns_epochs: 1, ..Default::default() },
+        );
+        let labels = pipe.label_corpus(&c);
+        let scorer = RuleScorer::new(&c, &pipe.vocab, &pipe.embeddings, &pipe.encoder, &labels);
+        let w = [uniform_weights(); NUM_SUBSPACES];
+        let pairs = build_training_pairs(&c, &scorer, &w, 2014, 2, NegativeStrategy::Random, 1);
+        let mut m = NpRecModel::new(g.n_nodes(), NpRecConfig { epochs: 4, ..quick_config() });
+        m.train(&g, None, &pairs);
+        // mean predicted score of positives should exceed negatives
+        let mut pos = 0.0;
+        let mut npos = 0;
+        let mut neg = 0.0;
+        let mut nneg = 0;
+        for pr in pairs.iter().take(300) {
+            let y = m.predict(&g, None, pr.p, pr.q);
+            if pr.label > 0.5 {
+                pos += y;
+                npos += 1;
+            } else {
+                neg += y;
+                nneg += 1;
+            }
+        }
+        let (pos, neg) = (pos / npos as f64, neg / nneg as f64);
+        assert!(pos > neg + 0.05, "pos {pos} vs neg {neg}");
+    }
+
+    #[test]
+    fn text_only_variant_works() {
+        let c = corpus();
+        let g = HeteroGraph::from_corpus(&c, None);
+        let text: TextVecs = c
+            .papers
+            .iter()
+            .map(|p| {
+                (0..NUM_SUBSPACES)
+                    .map(|k| vec![0.1 * (p.id.0 as f32 % 7.0) + k as f32 * 0.05; 8])
+                    .collect()
+            })
+            .collect();
+        let cfg = NpRecConfig {
+            use_text: true,
+            use_network: false,
+            ..quick_config()
+        };
+        let m = NpRecModel::new(g.n_nodes(), cfg);
+        let v = m.paper_vec(&g, Some(&text), PaperId(3), Direction::Interest);
+        assert_eq!(v.len(), m.vec_dim());
+        assert_eq!(m.vec_dim(), 12); // embed_dim only (projected text)
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one of text/network")]
+    fn all_off_panics() {
+        let _ = NpRecModel::new(
+            10,
+            NpRecConfig { use_text: false, use_network: false, ..Default::default() },
+        );
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_vectors() {
+        let c = corpus();
+        let g = HeteroGraph::from_corpus(&c, None);
+        let m = NpRecModel::new(g.n_nodes(), quick_config());
+        let p = PaperId(7);
+        let before = m.paper_vec(&g, None, p, Direction::Influence);
+        let json = m.weights_to_json();
+        let restored = NpRecModel::from_json(g.n_nodes(), quick_config(), &json).unwrap();
+        assert_eq!(restored.paper_vec(&g, None, p, Direction::Influence), before);
+        // wrong node count fails cleanly
+        assert!(NpRecModel::from_json(g.n_nodes() + 5, quick_config(), &json).is_err());
+        assert!(NpRecModel::from_json(g.n_nodes(), quick_config(), "{}").is_err());
+    }
+
+    #[test]
+    fn recommender_scores_via_user_papers() {
+        let c = corpus();
+        let g = HeteroGraph::from_corpus(&c, Some(2014));
+        let task = crate::eval::RecTask::build(&c, 2014, 6, 20, 1, 3);
+        let m = NpRecModel::new(g.n_nodes(), quick_config());
+        let rec = m.recommender(&g, None, &task);
+        let u = &task.users[0];
+        let s = rec.score(u.user, u.candidates[0]);
+        assert!((0.0..=1.0).contains(&s));
+        // unknown user scores 0
+        assert_eq!(rec.score(AuthorId(9999), u.candidates[0]), 0.0);
+    }
+}

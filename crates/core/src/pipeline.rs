@@ -1,0 +1,295 @@
+//! The frozen text pipeline: vocabulary, skip-gram embeddings, sentence
+//! encoder and the pretrained CRF sentence-function labeler.
+//!
+//! This is the paper's "pretrained module" (Fig. 1 bottom): BERT-base and a
+//! CRF labeler pretrained on PubMedRCT, substituted per DESIGN.md. The
+//! pipeline is fitted once on a corpus and then frozen — SEM training only
+//! updates the subspace head.
+
+use sem_corpus::{Corpus, Paper, Subspace, NUM_SUBSPACES};
+use sem_text::crf::CrfConfig;
+use sem_text::skipgram::SkipGramConfig;
+use sem_text::{LinearChainCrf, SentenceEncoder, SkipGram, Vocab};
+
+/// Pipeline hyperparameters.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct PipelineConfig {
+    /// Skip-gram word-embedding dimensionality.
+    pub word_dim: usize,
+    /// Sentence-encoder output dimensionality (the `h_i` width).
+    pub sentence_dim: usize,
+    /// Skip-gram training epochs.
+    pub sgns_epochs: usize,
+    /// Number of function-tagged abstracts used to train the CRF (the paper
+    /// tags 100 abstracts for ACM/Scopus; PubMedRCT-like corpora may use
+    /// more).
+    pub crf_train_abstracts: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            word_dim: 32,
+            sentence_dim: 48,
+            sgns_epochs: 3,
+            crf_train_abstracts: 100,
+            seed: 0x91be,
+        }
+    }
+}
+
+/// Number of CRF features (see [`crf_features`]): 3 position indicators,
+/// 5 relative-position buckets, 3 cue-word indicators, 1 bias.
+pub const CRF_FEATURES: usize = 12;
+
+/// The fitted pipeline.
+pub struct TextPipeline {
+    /// Token vocabulary over the fitting corpus.
+    pub vocab: Vocab,
+    /// Pretrained skip-gram embeddings.
+    pub embeddings: SkipGram,
+    /// Frozen sentence encoder.
+    pub encoder: SentenceEncoder,
+    /// Pretrained sentence-function labeler.
+    pub crf: LinearChainCrf,
+    config: PipelineConfig,
+}
+
+/// Sparse CRF features of one sentence: position indicators (first / middle
+/// / last), relative-position quintile, and per-subspace cue-word presence.
+pub fn crf_features(tokens: &[String], idx: usize, n_sentences: usize) -> Vec<usize> {
+    let mut f = Vec::with_capacity(6);
+    if idx == 0 {
+        f.push(0);
+    } else if idx + 1 == n_sentences {
+        f.push(2);
+    } else {
+        f.push(1);
+    }
+    let quintile = if n_sentences <= 1 { 0 } else { (idx * 5) / n_sentences };
+    f.push(3 + quintile.min(4));
+    for (k, sub) in Subspace::ALL.iter().enumerate() {
+        let cues = sem_corpus::discipline::cue_words(*sub);
+        if tokens.iter().any(|t| cues.contains(&t.as_str())) {
+            f.push(8 + k);
+        }
+    }
+    f.push(11); // bias
+    f
+}
+
+impl TextPipeline {
+    /// Fits the pipeline on a corpus: builds the vocabulary, trains
+    /// skip-gram embeddings on all abstracts, constructs the sentence
+    /// encoder, and trains the CRF on the first `crf_train_abstracts`
+    /// function-tagged abstracts (the corpus gold tags play the role of
+    /// PubMedRCT's annotations).
+    pub fn fit(corpus: &Corpus, config: PipelineConfig) -> Self {
+        let token_lists: Vec<Vec<String>> =
+            corpus.papers.iter().map(|p| p.all_tokens()).collect();
+        let vocab = Vocab::build(token_lists.iter().map(|t| t.as_slice()), 2);
+        let sequences: Vec<Vec<usize>> =
+            token_lists.iter().map(|t| vocab.encode(t)).collect();
+        let embeddings = SkipGram::train(
+            &vocab,
+            &sequences,
+            &SkipGramConfig {
+                dim: config.word_dim,
+                epochs: config.sgns_epochs,
+                seed: config.seed,
+                ..Default::default()
+            },
+        );
+        let encoder =
+            SentenceEncoder::new(&vocab, config.word_dim, config.sentence_dim, config.seed ^ 0xabc);
+
+        let mut crf = LinearChainCrf::new(NUM_SUBSPACES, CRF_FEATURES);
+        let train: Vec<(Vec<Vec<usize>>, Vec<usize>)> = corpus
+            .papers
+            .iter()
+            .take(config.crf_train_abstracts)
+            .map(|p| {
+                let toks = p.sentence_tokens();
+                let n = toks.len();
+                let feats = toks
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| crf_features(t, i, n))
+                    .collect();
+                let labels = p.sentence_labels().iter().map(|l| l.index()).collect();
+                (feats, labels)
+            })
+            .collect();
+        crf.train(&train, &CrfConfig { seed: config.seed ^ 0xdef, ..Default::default() });
+
+        TextPipeline { vocab, embeddings, encoder, crf, config }
+    }
+
+    /// The configuration the pipeline was fitted with.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Serialises the whole fitted pipeline (vocabulary, embeddings,
+    /// encoder, CRF and config) to JSON.
+    pub fn to_json(&self) -> String {
+        let dump = PipelineDump {
+            vocab: self.vocab.clone(),
+            embeddings: self.embeddings.clone(),
+            encoder: self.encoder.clone(),
+            crf: self.crf.clone(),
+            config: self.config.clone(),
+        };
+        serde_json::to_string(&dump).expect("pipeline serialises")
+    }
+
+    /// Restores a pipeline serialised with [`TextPipeline::to_json`].
+    ///
+    /// # Errors
+    /// Returns an error for malformed JSON or mismatched component shapes.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let dump: PipelineDump = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        if dump.embeddings.vocab_len() != dump.vocab.len() {
+            return Err("embedding table does not match vocabulary".into());
+        }
+        if dump.embeddings.dim() != dump.config.word_dim {
+            return Err("embedding width does not match config".into());
+        }
+        if dump.encoder.dim() != dump.config.sentence_dim {
+            return Err("encoder width does not match config".into());
+        }
+        Ok(TextPipeline {
+            vocab: dump.vocab,
+            embeddings: dump.embeddings,
+            encoder: dump.encoder,
+            crf: dump.crf,
+            config: dump.config,
+        })
+    }
+
+    /// Predicts sentence-function labels for one paper via Viterbi.
+    pub fn label_paper(&self, paper: &Paper) -> Vec<Subspace> {
+        let toks = paper.sentence_tokens();
+        let n = toks.len();
+        let feats: Vec<Vec<usize>> = toks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| crf_features(t, i, n))
+            .collect();
+        self.crf
+            .decode(&feats)
+            .into_iter()
+            .map(Subspace::from_index)
+            .collect()
+    }
+
+    /// Predicted labels for every paper of a corpus.
+    pub fn label_corpus(&self, corpus: &Corpus) -> Vec<Vec<Subspace>> {
+        corpus.papers.iter().map(|p| self.label_paper(p)).collect()
+    }
+
+    /// Sentence vectors `H = h_1..h_n` for one paper.
+    pub fn encode_paper(&self, paper: &Paper) -> Vec<Vec<f32>> {
+        let token_ids: Vec<Vec<usize>> = paper
+            .sentence_tokens()
+            .iter()
+            .map(|t| self.vocab.encode(t))
+            .collect();
+        self.encoder.encode_abstract(&self.embeddings, &token_ids)
+    }
+
+    /// CRF accuracy against the corpus gold tags (a pipeline diagnostic; the
+    /// paper reports its labeler via 10-fold cross-validation).
+    pub fn labeling_accuracy(&self, corpus: &Corpus) -> f64 {
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for p in &corpus.papers {
+            let pred = self.label_paper(p);
+            let gold = p.sentence_labels();
+            correct += pred.iter().zip(&gold).filter(|(a, b)| a == b).count();
+            total += gold.len();
+        }
+        correct as f64 / total.max(1) as f64
+    }
+}
+
+/// Serialisation payload for [`TextPipeline::to_json`].
+#[derive(serde::Serialize, serde::Deserialize)]
+struct PipelineDump {
+    vocab: Vocab,
+    embeddings: SkipGram,
+    encoder: SentenceEncoder,
+    crf: LinearChainCrf,
+    config: PipelineConfig,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sem_corpus::CorpusConfig;
+
+    fn small_corpus() -> Corpus {
+        Corpus::generate(CorpusConfig { n_papers: 150, n_authors: 60, ..Default::default() })
+    }
+
+    #[test]
+    fn crf_learns_rhetorical_structure() {
+        let corpus = small_corpus();
+        let pipe = TextPipeline::fit(&corpus, PipelineConfig::default());
+        let acc = pipe.labeling_accuracy(&corpus);
+        assert!(acc > 0.9, "CRF accuracy {acc}");
+    }
+
+    #[test]
+    fn label_paper_shapes() {
+        let corpus = small_corpus();
+        let pipe = TextPipeline::fit(&corpus, PipelineConfig::default());
+        let p = &corpus.papers[3];
+        let labels = pipe.label_paper(p);
+        assert_eq!(labels.len(), p.sentences.len());
+        let all = pipe.label_corpus(&corpus);
+        assert_eq!(all.len(), corpus.papers.len());
+    }
+
+    #[test]
+    fn encode_paper_shapes() {
+        let corpus = small_corpus();
+        let cfg = PipelineConfig { sentence_dim: 20, ..Default::default() };
+        let pipe = TextPipeline::fit(&corpus, cfg);
+        let h = pipe.encode_paper(&corpus.papers[0]);
+        assert_eq!(h.len(), corpus.papers[0].sentences.len());
+        assert!(h.iter().all(|v| v.len() == 20));
+    }
+
+    #[test]
+    fn pipeline_json_roundtrip_preserves_behaviour() {
+        let corpus = small_corpus();
+        let pipe = TextPipeline::fit(
+            &corpus,
+            PipelineConfig { word_dim: 16, sentence_dim: 20, sgns_epochs: 1, ..Default::default() },
+        );
+        let json = pipe.to_json();
+        let restored = TextPipeline::from_json(&json).unwrap();
+        let p = &corpus.papers[7];
+        assert_eq!(restored.label_paper(p), pipe.label_paper(p));
+        assert_eq!(restored.encode_paper(p), pipe.encode_paper(p));
+        assert_eq!(restored.config().word_dim, 16);
+        // malformed / inconsistent payloads fail cleanly
+        assert!(TextPipeline::from_json("garbage").is_err());
+    }
+
+    #[test]
+    fn features_are_in_range() {
+        let toks: Vec<String> = ["propose", "a", "model"].iter().map(|s| s.to_string()).collect();
+        for i in 0..4 {
+            let f = crf_features(&toks, i, 4);
+            assert!(f.iter().all(|&x| x < CRF_FEATURES));
+            assert!(f.contains(&11)); // bias always present
+        }
+        // method cue word fires feature 9
+        let f = crf_features(&toks, 1, 4);
+        assert!(f.contains(&9));
+    }
+}

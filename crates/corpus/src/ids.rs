@@ -1,0 +1,113 @@
+//! Entity id newtypes and the subspace enum.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of content subspaces `K` (background, method, result) — the
+/// paper's setting for all experiments (Sec. III-C).
+pub const NUM_SUBSPACES: usize = 3;
+
+/// The paper's content subspaces (Sec. III): the commonly recognised aspects
+/// of a paper's contribution.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Serialize, Deserialize)]
+pub enum Subspace {
+    /// Problem setting, motivation, prior context.
+    Background,
+    /// Proposed approach, model, algorithm.
+    Method,
+    /// Findings, measurements, conclusions.
+    Result,
+}
+
+impl Subspace {
+    /// All subspaces in index order.
+    pub const ALL: [Subspace; NUM_SUBSPACES] =
+        [Subspace::Background, Subspace::Method, Subspace::Result];
+
+    /// Dense index in `0..NUM_SUBSPACES`.
+    pub fn index(self) -> usize {
+        match self {
+            Subspace::Background => 0,
+            Subspace::Method => 1,
+            Subspace::Result => 2,
+        }
+    }
+
+    /// Inverse of [`Subspace::index`].
+    ///
+    /// # Panics
+    /// Panics for indices `>= NUM_SUBSPACES`.
+    pub fn from_index(i: usize) -> Subspace {
+        Subspace::ALL[i]
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Subspace::Background => "background",
+            Subspace::Method => "method",
+            Subspace::Result => "result",
+        }
+    }
+}
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash, Serialize, Deserialize)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The id as a usable index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(v: usize) -> Self {
+                $name(u32::try_from(v).expect("id overflow"))
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a paper (or patent) within a corpus.
+    PaperId
+);
+id_type!(
+    /// Identifier of an author/user within a corpus.
+    AuthorId
+);
+id_type!(
+    /// Identifier of a publication venue within a corpus.
+    VenueId
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subspace_roundtrip() {
+        for s in Subspace::ALL {
+            assert_eq!(Subspace::from_index(s.index()), s);
+        }
+        assert_eq!(Subspace::Background.name(), "background");
+    }
+
+    #[test]
+    fn ids_convert() {
+        let p: PaperId = 42usize.into();
+        assert_eq!(p.index(), 42);
+        assert_eq!(p, PaperId(42));
+        assert!(PaperId(1) < PaperId(2));
+    }
+
+    #[test]
+    #[should_panic]
+    fn subspace_out_of_range_panics() {
+        let _ = Subspace::from_index(3);
+    }
+}

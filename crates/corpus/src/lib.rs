@@ -1,0 +1,43 @@
+//! # sem-corpus
+//!
+//! A generative synthetic academic corpus — the substitute for the ACM
+//! Digital Library, Scopus, PubMedRCT and USPTO datasets the paper evaluates
+//! on (none are redistributable; see DESIGN.md §2).
+//!
+//! The generator plants exactly the latent structure the paper's experiments
+//! claim to detect, so a correct reimplementation of the paper's methods must
+//! rediscover it:
+//!
+//! * every paper has a latent per-subspace **innovation** vector; innovative
+//!   papers use frontier vocabulary in the corresponding part of their
+//!   abstract, making their subspace content measurably different;
+//! * **citations received** are causally driven by innovation through
+//!   *discipline-specific* weights (computer science rewards method/result
+//!   innovation, pharmacology rewards results, social science rewards
+//!   background/method — the paper's Fig. 3 and Tab. I structure), modulated
+//!   by venue prestige and author authority;
+//! * the **reference graph** prefers topically close, already-cited papers
+//!   (preferential attachment), which grounds the recommendation experiments
+//!   and the h-index baseline;
+//! * abstract sentences follow the background → methods → results rhetorical
+//!   structure with per-role cue words, giving the CRF labeler a learnable
+//!   signal (the PubMedRCT substitute ships gold function tags).
+//!
+//! Dataset presets ([`presets`]) mirror the paper's Tab. III datasets at
+//! laptop scale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ids;
+pub mod tree;
+pub mod discipline;
+pub mod paper;
+pub mod generator;
+pub mod presets;
+
+pub use discipline::DisciplineProfile;
+pub use generator::{Corpus, CorpusConfig};
+pub use ids::{AuthorId, PaperId, Subspace, VenueId, NUM_SUBSPACES};
+pub use paper::{Author, Paper, Venue};
+pub use tree::CategoryTree;

@@ -1,0 +1,140 @@
+//! Corpus entity records: papers, authors, venues.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{AuthorId, PaperId, Subspace, VenueId, NUM_SUBSPACES};
+
+/// One sentence of an abstract with its gold rhetorical-function tag (the
+/// PubMedRCT-style label the CRF trains on).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Sentence {
+    /// Sentence text (whitespace-joined tokens).
+    pub text: String,
+    /// Gold subspace/function tag.
+    pub label: Subspace,
+}
+
+/// A paper (or patent) with full metadata and generator ground truth.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Paper {
+    /// Identifier (dense, equals the index in `Corpus::papers`).
+    pub id: PaperId,
+    /// Synthetic title.
+    pub title: String,
+    /// Abstract sentences with gold function tags.
+    pub sentences: Vec<Sentence>,
+    /// Author-chosen keywords (may be empty in low-resource presets).
+    pub keywords: Vec<String>,
+    /// Outgoing references (earlier or same-year papers).
+    pub references: Vec<PaperId>,
+    /// Author list.
+    pub authors: Vec<AuthorId>,
+    /// Publication venue (`None` in the patent preset).
+    pub venue: Option<VenueId>,
+    /// Publication year.
+    pub year: u16,
+    /// Discipline index within the corpus.
+    pub discipline: usize,
+    /// Leaf node id of the paper's tag in the corpus category tree
+    /// (`None` in low-resource presets).
+    pub category: Option<usize>,
+    /// **Ground truth** (not visible to models): latent innovation per
+    /// subspace that drove content generation and citations.
+    pub innovation: [f32; NUM_SUBSPACES],
+    /// **Ground truth**: citations accumulated within the evaluation horizon.
+    pub citations_received: u32,
+}
+
+impl Paper {
+    /// Token lists per sentence (whitespace split).
+    pub fn sentence_tokens(&self) -> Vec<Vec<String>> {
+        self.sentences
+            .iter()
+            .map(|s| s.text.split_whitespace().map(str::to_owned).collect())
+            .collect()
+    }
+
+    /// All abstract tokens flattened.
+    pub fn all_tokens(&self) -> Vec<String> {
+        self.sentences
+            .iter()
+            .flat_map(|s| s.text.split_whitespace().map(str::to_owned))
+            .collect()
+    }
+
+    /// Gold labels per sentence.
+    pub fn sentence_labels(&self) -> Vec<Subspace> {
+        self.sentences.iter().map(|s| s.label).collect()
+    }
+}
+
+/// An author/user in the academic network.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Author {
+    /// Identifier (dense).
+    pub id: AuthorId,
+    /// Papers written, in publication order.
+    pub papers: Vec<PaperId>,
+    /// Latent authority in `[0, 1]` (drives citation boost; ground truth).
+    pub authority: f32,
+    /// Home topic (leaf index) of the author's research community.
+    pub home_topic: usize,
+    /// Affiliation index (`None` in presets without affiliations).
+    pub affiliation: Option<usize>,
+}
+
+/// A publication venue.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Venue {
+    /// Identifier (dense).
+    pub id: VenueId,
+    /// Display name.
+    pub name: String,
+    /// Discipline the venue belongs to.
+    pub discipline: usize,
+    /// Latent prestige in `[0, 1]` (drives citation boost; ground truth).
+    pub prestige: f32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_paper() -> Paper {
+        Paper {
+            id: PaperId(0),
+            title: "t".into(),
+            sentences: vec![
+                Sentence { text: "a b".into(), label: Subspace::Background },
+                Sentence { text: "c d e".into(), label: Subspace::Method },
+            ],
+            keywords: vec!["k".into()],
+            references: vec![],
+            authors: vec![AuthorId(1)],
+            venue: Some(VenueId(2)),
+            year: 2013,
+            discipline: 0,
+            category: Some(5),
+            innovation: [0.1, 0.2, 0.3],
+            citations_received: 7,
+        }
+    }
+
+    #[test]
+    fn tokens_split() {
+        let p = sample_paper();
+        assert_eq!(p.sentence_tokens(), vec![vec!["a", "b"], vec!["c", "d", "e"]]);
+        assert_eq!(p.all_tokens().len(), 5);
+        assert_eq!(p.sentence_labels(), vec![Subspace::Background, Subspace::Method]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = sample_paper();
+        let json = serde_json::to_string(&p).unwrap();
+        let q: Paper = serde_json::from_str(&json).unwrap();
+        assert_eq!(q.id, p.id);
+        assert_eq!(q.citations_received, 7);
+        assert_eq!(q.sentences.len(), 2);
+    }
+}

@@ -1,0 +1,201 @@
+//! Hierarchical classification system (**HCS**) — an ACM-CCS-like category
+//! tree. The expert rule `f_c` (paper Eq. 1) measures paper difference by a
+//! weighted edit distance over root-to-tag paths in this tree.
+
+/// A node in the category tree.
+#[derive(Debug, Clone)]
+struct Node {
+    parent: Option<usize>,
+    level: usize,
+    name: String,
+    children: Vec<usize>,
+}
+
+/// A rooted category tree with fixed branching per level.
+#[derive(Debug, Clone)]
+pub struct CategoryTree {
+    nodes: Vec<Node>,
+    leaves: Vec<usize>,
+}
+
+impl CategoryTree {
+    /// Builds a tree where level `l` nodes each have `branching[l]` children;
+    /// `branching = [11, 4]` gives a root, 11 fields and 44 leaf topics.
+    ///
+    /// # Panics
+    /// Panics when `branching` is empty or contains zero.
+    pub fn build(branching: &[usize]) -> Self {
+        assert!(!branching.is_empty(), "tree needs at least one level");
+        assert!(branching.iter().all(|&b| b > 0), "zero branching factor");
+        let mut nodes = vec![Node { parent: None, level: 0, name: "root".into(), children: Vec::new() }];
+        let mut frontier = vec![0usize];
+        for (level, &b) in branching.iter().enumerate() {
+            let mut next = Vec::new();
+            for &parent in &frontier {
+                for c in 0..b {
+                    let id = nodes.len();
+                    let name = format!("{}.{}", nodes[parent].name, c);
+                    nodes.push(Node { parent: Some(parent), level: level + 1, name, children: Vec::new() });
+                    nodes[parent].children.push(id);
+                    next.push(id);
+                }
+            }
+            frontier = next;
+        }
+        CategoryTree { nodes, leaves: frontier }
+    }
+
+    /// The root node id (always 0).
+    pub fn root(&self) -> usize {
+        0
+    }
+
+    /// Total node count.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True only for a freshly constructed empty tree (never happens via
+    /// [`CategoryTree::build`]).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Leaf node ids (the assignable paper tags), in construction order.
+    pub fn leaves(&self) -> &[usize] {
+        &self.leaves
+    }
+
+    /// Depth of a node (root = 0).
+    pub fn level(&self, node: usize) -> usize {
+        self.nodes[node].level
+    }
+
+    /// Parent of a node (`None` for the root).
+    pub fn parent(&self, node: usize) -> Option<usize> {
+        self.nodes[node].parent
+    }
+
+    /// Children of a node.
+    pub fn children(&self, node: usize) -> &[usize] {
+        &self.nodes[node].children
+    }
+
+    /// Dotted display name, e.g. `root.3.1`.
+    pub fn name(&self, node: usize) -> &str {
+        &self.nodes[node].name
+    }
+
+    /// Nodes on the path from the root to `node`, inclusive — the paper's
+    /// `r_p` set (Eq. 1).
+    pub fn path_from_root(&self, node: usize) -> Vec<usize> {
+        let mut path = Vec::with_capacity(self.nodes[node].level + 1);
+        let mut cur = Some(node);
+        while let Some(n) = cur {
+            path.push(n);
+            cur = self.nodes[n].parent;
+        }
+        path.reverse();
+        path
+    }
+
+    /// The level-1 ancestor (top field) of a node; the root maps to itself.
+    pub fn top_field(&self, node: usize) -> usize {
+        let path = self.path_from_root(node);
+        path.get(1).copied().unwrap_or(0)
+    }
+
+    /// The ancestor of `node` at the given level (`None` when the node is
+    /// shallower than `level`). Level 0 is the root.
+    pub fn ancestor_at_level(&self, node: usize, level: usize) -> Option<usize> {
+        self.path_from_root(node).get(level).copied()
+    }
+
+    /// The leaf's index within [`CategoryTree::leaves`], if it is a leaf.
+    pub fn leaf_index(&self, node: usize) -> Option<usize> {
+        self.leaves.iter().position(|&l| l == node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_counts() {
+        let t = CategoryTree::build(&[3, 2]);
+        assert_eq!(t.len(), 1 + 3 + 6);
+        assert_eq!(t.leaves().len(), 6);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn path_from_root_ordering() {
+        let t = CategoryTree::build(&[2, 2, 2]);
+        let leaf = t.leaves()[5];
+        let path = t.path_from_root(leaf);
+        assert_eq!(path[0], t.root());
+        assert_eq!(*path.last().unwrap(), leaf);
+        assert_eq!(path.len(), 4);
+        for w in path.windows(2) {
+            assert_eq!(t.parent(w[1]), Some(w[0]));
+        }
+    }
+
+    #[test]
+    fn levels_are_consistent() {
+        let t = CategoryTree::build(&[4, 3]);
+        assert_eq!(t.level(t.root()), 0);
+        for &leaf in t.leaves() {
+            assert_eq!(t.level(leaf), 2);
+        }
+        for &c in t.children(t.root()) {
+            assert_eq!(t.level(c), 1);
+        }
+    }
+
+    #[test]
+    fn top_field_groups_leaves() {
+        let t = CategoryTree::build(&[2, 3]);
+        let fields: Vec<usize> = t.leaves().iter().map(|&l| t.top_field(l)).collect();
+        // first 3 leaves under field 1, next 3 under field 2
+        assert_eq!(fields[0], fields[1]);
+        assert_eq!(fields[1], fields[2]);
+        assert_ne!(fields[2], fields[3]);
+        assert_eq!(t.top_field(t.root()), 0);
+    }
+
+    #[test]
+    fn names_are_dotted_paths() {
+        let t = CategoryTree::build(&[2]);
+        assert_eq!(t.name(t.root()), "root");
+        assert_eq!(t.name(t.leaves()[1]), "root.1");
+    }
+
+    #[test]
+    fn ancestor_at_level_walks_path() {
+        let t = CategoryTree::build(&[2, 3, 2]);
+        let leaf = t.leaves()[7];
+        let path = t.path_from_root(leaf);
+        for (lvl, &node) in path.iter().enumerate() {
+            assert_eq!(t.ancestor_at_level(leaf, lvl), Some(node));
+        }
+        assert_eq!(t.ancestor_at_level(leaf, 9), None);
+        assert_eq!(t.ancestor_at_level(t.root(), 0), Some(t.root()));
+    }
+
+    #[test]
+    fn leaf_index_roundtrip() {
+        let t = CategoryTree::build(&[3, 2]);
+        for (i, &l) in t.leaves().iter().enumerate() {
+            assert_eq!(t.leaf_index(l), Some(i));
+        }
+        assert_eq!(t.leaf_index(t.root()), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn empty_branching_panics() {
+        let _ = CategoryTree::build(&[]);
+    }
+}

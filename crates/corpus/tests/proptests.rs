@@ -1,0 +1,98 @@
+//! Property tests: generator invariants must hold for arbitrary small
+//! configurations, not just the defaults.
+
+use proptest::prelude::*;
+use sem_corpus::{Corpus, CorpusConfig, DisciplineProfile, Subspace};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn generator_invariants_hold(
+        seed in 0u64..1000,
+        n_papers in 40usize..160,
+        n_authors in 10usize..60,
+        n_disc in 1usize..3,
+        year_span in 1u16..8,
+    ) {
+        let disciplines = (0..n_disc).map(DisciplineProfile::generic).collect();
+        let corpus = Corpus::generate(CorpusConfig {
+            n_papers,
+            n_authors,
+            disciplines,
+            years: (2010, 2010 + year_span),
+            seed,
+            ..Default::default()
+        });
+
+        prop_assert_eq!(corpus.papers.len(), n_papers);
+
+        for p in &corpus.papers {
+            // ids dense, refs strictly older (by id), years in range
+            prop_assert!((2010..=2010 + year_span).contains(&p.year));
+            for r in &p.references {
+                prop_assert!(r.index() < p.id.index());
+                prop_assert!(corpus.paper(*r).year <= p.year);
+            }
+            // no duplicate references
+            let mut sorted = p.references.clone();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), p.references.len());
+            // abstract structure: starts background, ends result, monotone
+            let labels = p.sentence_labels();
+            prop_assert!(labels.len() >= 5);
+            prop_assert_eq!(labels[0], Subspace::Background);
+            prop_assert_eq!(*labels.last().unwrap(), Subspace::Result);
+            let mut max_seen = 0;
+            for l in &labels {
+                prop_assert!(l.index() >= max_seen);
+                max_seen = l.index();
+            }
+            // innovation bounded
+            prop_assert!(p.innovation.iter().all(|&v| (0.0..=1.0).contains(&v)));
+            // author list non-empty and unique
+            prop_assert!(!p.authors.is_empty());
+            let mut a = p.authors.clone();
+            a.sort_unstable();
+            a.dedup();
+            prop_assert_eq!(a.len(), p.authors.len());
+        }
+
+        // reverse citation index is consistent
+        let forward: usize = corpus.papers.iter().map(|p| p.references.len()).sum();
+        let backward: usize = corpus
+            .papers
+            .iter()
+            .map(|p| corpus.cited_by(p.id).len())
+            .sum();
+        prop_assert_eq!(forward, backward);
+
+        // author -> paper index is consistent
+        for a in &corpus.authors {
+            for p in &a.papers {
+                prop_assert!(corpus.paper(*p).authors.contains(&a.id));
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_same_corpus(seed in 0u64..50) {
+        let cfg = || CorpusConfig { n_papers: 60, n_authors: 25, seed, ..Default::default() };
+        let a = Corpus::generate(cfg());
+        let b = Corpus::generate(cfg());
+        for (pa, pb) in a.papers.iter().zip(&b.papers) {
+            prop_assert_eq!(&pa.title, &pb.title);
+            prop_assert_eq!(&pa.references, &pb.references);
+            prop_assert_eq!(pa.citations_received, pb.citations_received);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ(seed in 0u64..50) {
+        let a = Corpus::generate(CorpusConfig { n_papers: 60, n_authors: 25, seed, ..Default::default() });
+        let b = Corpus::generate(CorpusConfig { n_papers: 60, n_authors: 25, seed: seed + 1, ..Default::default() });
+        let a_cites: Vec<u32> = a.papers.iter().map(|p| p.citations_received).collect();
+        let b_cites: Vec<u32> = b.papers.iter().map(|p| p.citations_received).collect();
+        prop_assert_ne!(a_cites, b_cites);
+    }
+}

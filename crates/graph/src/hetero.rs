@@ -1,0 +1,502 @@
+//! Heterogeneous graph construction and neighborhood queries.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+use sem_corpus::{Corpus, PaperId};
+
+/// The seven entity types `T_E` of the academic network.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum EntityKind {
+    /// A paper (or patent).
+    Paper,
+    /// An author / user.
+    Author,
+    /// An author's affiliation ("unit").
+    Affiliation,
+    /// A publication venue.
+    Venue,
+    /// A specialty classification (category-tree leaf).
+    Class,
+    /// A keyword.
+    Keyword,
+    /// A publication year.
+    Year,
+}
+
+impl EntityKind {
+    /// All kinds in layout order.
+    pub const ALL: [EntityKind; 7] = [
+        EntityKind::Paper,
+        EntityKind::Author,
+        EntityKind::Affiliation,
+        EntityKind::Venue,
+        EntityKind::Class,
+        EntityKind::Keyword,
+        EntityKind::Year,
+    ];
+
+    fn layout_index(self) -> usize {
+        match self {
+            EntityKind::Paper => 0,
+            EntityKind::Author => 1,
+            EntityKind::Affiliation => 2,
+            EntityKind::Venue => 3,
+            EntityKind::Class => 4,
+            EntityKind::Keyword => 5,
+            EntityKind::Year => 6,
+        }
+    }
+}
+
+/// The seven relation types `T_R`. Only [`Relation::Cites`] /
+/// [`Relation::CitedBy`] form a one-way pair; the rest are symmetric.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Relation {
+    /// Paper → paper it cites (one-way; the interest direction).
+    Cites,
+    /// Paper → paper citing it (the reverse traversal; influence direction).
+    CitedBy,
+    /// Paper ↔ venue ("published in").
+    PublishedIn,
+    /// Paper ↔ author ("written").
+    Written,
+    /// Paper ↔ year ("published year is").
+    YearIs,
+    /// Author ↔ affiliation ("unit is").
+    UnitIs,
+    /// Paper ↔ keyword ("keywords include").
+    HasKeyword,
+    /// Paper ↔ class ("specialty classification is").
+    ClassIs,
+}
+
+impl Relation {
+    /// Dense index for per-relation parameters (8 traversal directions over
+    /// the paper's 7 relation types, since citation splits in two).
+    pub fn index(self) -> usize {
+        match self {
+            Relation::Cites => 0,
+            Relation::CitedBy => 1,
+            Relation::PublishedIn => 2,
+            Relation::Written => 3,
+            Relation::YearIs => 4,
+            Relation::UnitIs => 5,
+            Relation::HasKeyword => 6,
+            Relation::ClassIs => 7,
+        }
+    }
+
+    /// Number of distinct traversal relations.
+    pub const COUNT: usize = 8;
+}
+
+/// A dense node id across all entity kinds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as an index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The heterogeneous academic network built from a [`Corpus`].
+pub struct HeteroGraph {
+    /// start offset per entity kind (layout order) + total at the end
+    offsets: [usize; 8],
+    /// symmetric adjacency (all two-way relations), per node
+    two_way: Vec<Vec<(NodeId, Relation)>>,
+    /// outgoing citations per paper (indexed by paper idx, not global id)
+    cites: Vec<Vec<NodeId>>,
+    /// incoming citations per paper
+    cited_by: Vec<Vec<NodeId>>,
+    /// distinct keyword strings in node order
+    keywords: Vec<String>,
+    keyword_ids: HashMap<String, usize>,
+    /// distinct category leaves in node order
+    classes: Vec<usize>,
+    /// distinct years in node order
+    years: Vec<u16>,
+    n_affiliations: usize,
+}
+
+impl HeteroGraph {
+    /// Builds the network from a corpus.
+    ///
+    /// All metadata relations are included. With a `citation_year_cutoff`,
+    /// citation edges whose *cited* paper was published after the cutoff are
+    /// dropped: a new paper's own reference list (pointing into the training
+    /// era) is observable at publication time and stays, but post-cutoff →
+    /// post-cutoff citations — exactly the behaviour the recommendation task
+    /// predicts — are hidden from training.
+    pub fn from_corpus(corpus: &Corpus, citation_year_cutoff: Option<u16>) -> Self {
+        let n_papers = corpus.papers.len();
+        let n_authors = corpus.authors.len();
+        let n_affiliations = corpus.config.n_affiliations.unwrap_or(0);
+        let n_venues = corpus.venues.len();
+
+        let mut keywords: Vec<String> = Vec::new();
+        let mut keyword_ids: HashMap<String, usize> = HashMap::new();
+        for p in &corpus.papers {
+            for k in &p.keywords {
+                if !keyword_ids.contains_key(k) {
+                    keyword_ids.insert(k.clone(), keywords.len());
+                    keywords.push(k.clone());
+                }
+            }
+        }
+        let mut classes: Vec<usize> = Vec::new();
+        let mut class_ids: HashMap<usize, usize> = HashMap::new();
+        for p in &corpus.papers {
+            if let Some(c) = p.category {
+                class_ids.entry(c).or_insert_with(|| {
+                    classes.push(c);
+                    classes.len() - 1
+                });
+            }
+        }
+        let mut years: Vec<u16> = corpus.papers.iter().map(|p| p.year).collect();
+        years.sort_unstable();
+        years.dedup();
+        let year_ids: HashMap<u16, usize> =
+            years.iter().enumerate().map(|(i, &y)| (y, i)).collect();
+
+        let counts = [
+            n_papers,
+            n_authors,
+            n_affiliations,
+            n_venues,
+            classes.len(),
+            keywords.len(),
+            years.len(),
+        ];
+        let mut offsets = [0usize; 8];
+        for i in 0..7 {
+            offsets[i + 1] = offsets[i] + counts[i];
+        }
+        let n_nodes = offsets[7];
+
+        let node = |kind: EntityKind, idx: usize| -> NodeId {
+            NodeId(u32::try_from(offsets[kind.layout_index()] + idx).expect("graph too large"))
+        };
+
+        let mut two_way: Vec<Vec<(NodeId, Relation)>> = vec![Vec::new(); n_nodes];
+        let add_sym = |a: NodeId, b: NodeId, rel: Relation, tw: &mut Vec<Vec<(NodeId, Relation)>>| {
+            tw[a.index()].push((b, rel));
+            tw[b.index()].push((a, rel));
+        };
+
+        let mut cites: Vec<Vec<NodeId>> = vec![Vec::new(); n_papers];
+        let mut cited_by: Vec<Vec<NodeId>> = vec![Vec::new(); n_papers];
+
+        for p in &corpus.papers {
+            let pn = node(EntityKind::Paper, p.id.index());
+            if let Some(v) = p.venue {
+                add_sym(pn, node(EntityKind::Venue, v.index()), Relation::PublishedIn, &mut two_way);
+            }
+            for a in &p.authors {
+                add_sym(pn, node(EntityKind::Author, a.index()), Relation::Written, &mut two_way);
+            }
+            add_sym(pn, node(EntityKind::Year, year_ids[&p.year]), Relation::YearIs, &mut two_way);
+            for k in &p.keywords {
+                add_sym(pn, node(EntityKind::Keyword, keyword_ids[k]), Relation::HasKeyword, &mut two_way);
+            }
+            if let Some(c) = p.category {
+                add_sym(pn, node(EntityKind::Class, class_ids[&c]), Relation::ClassIs, &mut two_way);
+            }
+            for r in &p.references {
+                let visible = citation_year_cutoff
+                    .map(|y| corpus.paper(*r).year <= y)
+                    .unwrap_or(true);
+                if visible {
+                    let rn = node(EntityKind::Paper, r.index());
+                    cites[p.id.index()].push(rn);
+                    cited_by[r.index()].push(pn);
+                }
+            }
+        }
+
+        // author ↔ affiliation
+        for a in &corpus.authors {
+            if let Some(u) = a.affiliation {
+                let an = node(EntityKind::Author, a.id.index());
+                add_sym(an, node(EntityKind::Affiliation, u), Relation::UnitIs, &mut two_way);
+            }
+        }
+
+        HeteroGraph {
+            offsets,
+            two_way,
+            cites,
+            cited_by,
+            keywords,
+            keyword_ids,
+            classes,
+            years,
+            n_affiliations,
+        }
+    }
+
+    /// Total node count across all entity kinds.
+    pub fn n_nodes(&self) -> usize {
+        self.offsets[7]
+    }
+
+    /// Node count of one entity kind.
+    pub fn count(&self, kind: EntityKind) -> usize {
+        let i = kind.layout_index();
+        self.offsets[i + 1] - self.offsets[i]
+    }
+
+    /// Global node id of entity `idx` of `kind`.
+    ///
+    /// # Panics
+    /// Panics when `idx` is out of range for the kind.
+    pub fn node(&self, kind: EntityKind, idx: usize) -> NodeId {
+        assert!(idx < self.count(kind), "{kind:?} index {idx} out of range");
+        NodeId((self.offsets[kind.layout_index()] + idx) as u32)
+    }
+
+    /// Global node id of a paper.
+    pub fn paper_node(&self, p: PaperId) -> NodeId {
+        self.node(EntityKind::Paper, p.index())
+    }
+
+    /// Entity kind of a global node id.
+    pub fn kind(&self, n: NodeId) -> EntityKind {
+        let i = n.index();
+        for (k, kind) in EntityKind::ALL.iter().enumerate() {
+            if i < self.offsets[k + 1] {
+                return *kind;
+            }
+        }
+        panic!("node id {i} out of range");
+    }
+
+    /// Index of a node within its kind.
+    pub fn local_index(&self, n: NodeId) -> usize {
+        n.index() - self.offsets[self.kind(n).layout_index()]
+    }
+
+    /// Two-way neighbors of any node.
+    pub fn neighbors(&self, n: NodeId) -> &[(NodeId, Relation)] {
+        &self.two_way[n.index()]
+    }
+
+    /// Interest neighborhood `N⃖(p)`: two-way neighbors plus cited papers.
+    pub fn interest_neighbors(&self, p: PaperId) -> Vec<(NodeId, Relation)> {
+        let mut out = self.two_way[self.paper_node(p).index()].clone();
+        out.extend(self.cites[p.index()].iter().map(|&n| (n, Relation::Cites)));
+        out
+    }
+
+    /// Influence neighborhood `N⃗(p)`: two-way neighbors plus citing papers.
+    pub fn influence_neighbors(&self, p: PaperId) -> Vec<(NodeId, Relation)> {
+        let mut out = self.two_way[self.paper_node(p).index()].clone();
+        out.extend(self.cited_by[p.index()].iter().map(|&n| (n, Relation::CitedBy)));
+        out
+    }
+
+    /// Papers cited by `p` (as global nodes).
+    pub fn cites(&self, p: PaperId) -> &[NodeId] {
+        &self.cites[p.index()]
+    }
+
+    /// Papers citing `p` (as global nodes).
+    pub fn cited_by(&self, p: PaperId) -> &[NodeId] {
+        &self.cited_by[p.index()]
+    }
+
+    /// The distinct keyword strings backing keyword nodes.
+    pub fn keywords(&self) -> &[String] {
+        &self.keywords
+    }
+
+    /// Keyword node for a string, if present.
+    pub fn keyword_node(&self, k: &str) -> Option<NodeId> {
+        self.keyword_ids.get(k).map(|&i| self.node(EntityKind::Keyword, i))
+    }
+
+    /// Distinct category-tree leaves backing class nodes.
+    pub fn classes(&self) -> &[usize] {
+        &self.classes
+    }
+
+    /// Distinct years backing year nodes.
+    pub fn years(&self) -> &[u16] {
+        &self.years
+    }
+
+    /// Number of affiliation nodes.
+    pub fn n_affiliations(&self) -> usize {
+        self.n_affiliations
+    }
+
+    /// Samples exactly `k` entries from a neighbor list with replacement
+    /// (the fixed-size receptive field of KGCN-style convolutions). Returns
+    /// an empty vector for isolated nodes.
+    pub fn sample_neighbors<R: Rng + ?Sized>(
+        neighbors: &[(NodeId, Relation)],
+        k: usize,
+        rng: &mut R,
+    ) -> Vec<(NodeId, Relation)> {
+        if neighbors.is_empty() {
+            return Vec::new();
+        }
+        (0..k).map(|_| neighbors[rng.gen_range(0..neighbors.len())]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use sem_corpus::{Corpus, CorpusConfig};
+
+    fn fixture() -> (Corpus, HeteroGraph) {
+        let corpus = Corpus::generate(CorpusConfig {
+            n_papers: 150,
+            n_authors: 60,
+            ..Default::default()
+        });
+        let graph = HeteroGraph::from_corpus(&corpus, None);
+        (corpus, graph)
+    }
+
+    #[test]
+    fn node_layout_is_dense_and_typed() {
+        let (corpus, g) = fixture();
+        assert_eq!(g.count(EntityKind::Paper), corpus.papers.len());
+        assert_eq!(g.count(EntityKind::Author), corpus.authors.len());
+        assert_eq!(g.count(EntityKind::Venue), corpus.venues.len());
+        assert!(g.count(EntityKind::Keyword) > 0);
+        assert!(g.count(EntityKind::Class) > 0);
+        assert!(g.count(EntityKind::Year) <= 10);
+        let total: usize = EntityKind::ALL.iter().map(|&k| g.count(k)).sum();
+        assert_eq!(total, g.n_nodes());
+        // kind() inverts node()
+        for kind in EntityKind::ALL {
+            if g.count(kind) > 0 {
+                let n = g.node(kind, g.count(kind) - 1);
+                assert_eq!(g.kind(n), kind);
+                assert_eq!(g.local_index(n), g.count(kind) - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn citation_edges_are_oneway_and_consistent() {
+        let (corpus, g) = fixture();
+        for p in &corpus.papers {
+            let cites = g.cites(p.id);
+            assert_eq!(cites.len(), p.references.len());
+            for &target in cites {
+                assert_eq!(g.kind(target), EntityKind::Paper);
+                let target_paper = PaperId::from(g.local_index(target));
+                assert!(g.cited_by(target_paper).contains(&g.paper_node(p.id)));
+            }
+        }
+    }
+
+    #[test]
+    fn interest_vs_influence_asymmetry() {
+        let (corpus, g) = fixture();
+        // find a paper that both cites and is cited
+        let p = corpus
+            .papers
+            .iter()
+            .find(|p| !p.references.is_empty() && !g.cited_by(p.id).is_empty())
+            .expect("some well-connected paper");
+        let interest = g.interest_neighbors(p.id);
+        let influence = g.influence_neighbors(p.id);
+        assert!(interest.iter().any(|(_, r)| *r == Relation::Cites));
+        assert!(influence.iter().any(|(_, r)| *r == Relation::CitedBy));
+        assert!(!interest.iter().any(|(_, r)| *r == Relation::CitedBy));
+        assert!(!influence.iter().any(|(_, r)| *r == Relation::Cites));
+        // two-way part is shared
+        let two_way = g.neighbors(g.paper_node(p.id)).len();
+        assert_eq!(interest.len(), two_way + p.references.len());
+        assert_eq!(influence.len(), two_way + g.cited_by(p.id).len());
+    }
+
+    #[test]
+    fn metadata_relations_present() {
+        let (corpus, g) = fixture();
+        let p = &corpus.papers[10];
+        let nbrs = g.neighbors(g.paper_node(p.id));
+        assert!(nbrs.iter().any(|(_, r)| *r == Relation::Written));
+        assert!(nbrs.iter().any(|(_, r)| *r == Relation::YearIs));
+        assert!(nbrs.iter().any(|(_, r)| *r == Relation::PublishedIn));
+        assert!(nbrs.iter().any(|(_, r)| *r == Relation::HasKeyword));
+        assert!(nbrs.iter().any(|(_, r)| *r == Relation::ClassIs));
+        // author has affiliation edge
+        let a = g.node(EntityKind::Author, p.authors[0].index());
+        assert!(g.neighbors(a).iter().any(|(_, r)| *r == Relation::UnitIs));
+    }
+
+    #[test]
+    fn symmetry_of_two_way_relations() {
+        let (_, g) = fixture();
+        for n in 0..g.n_nodes() {
+            let node = NodeId(n as u32);
+            for &(m, rel) in g.neighbors(node) {
+                assert!(
+                    g.neighbors(m).iter().any(|&(back, r2)| back == node && r2 == rel),
+                    "edge {node:?} -> {m:?} ({rel:?}) not mirrored"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn citation_cutoff_hides_only_future_cited_papers() {
+        let corpus = Corpus::generate(CorpusConfig {
+            n_papers: 200,
+            n_authors: 80,
+            ..Default::default()
+        });
+        let cutoff = 2013;
+        let g = HeteroGraph::from_corpus(&corpus, Some(cutoff));
+        for p in &corpus.papers {
+            // every surviving citation edge points into the training era
+            for &target in g.cites(p.id) {
+                let cited = PaperId::from(g.local_index(target));
+                assert!(corpus.paper(cited).year <= cutoff);
+            }
+            if p.year > cutoff {
+                // new papers keep their observable outgoing refs …
+                let pre_refs =
+                    p.references.iter().filter(|&&r| corpus.paper(r).year <= cutoff).count();
+                assert_eq!(g.cites(p.id).len(), pre_refs);
+                // … but nobody is recorded as citing them (that is the label)
+                assert!(g.cited_by(p.id).is_empty(), "future paper has visible citers");
+                // metadata still present
+                assert!(!g.neighbors(g.paper_node(p.id)).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_sampling_fixed_size() {
+        let (corpus, g) = fixture();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let nbrs = g.interest_neighbors(corpus.papers[20].id);
+        let s = HeteroGraph::sample_neighbors(&nbrs, 8, &mut rng);
+        assert_eq!(s.len(), 8);
+        assert!(s.iter().all(|e| nbrs.contains(e)));
+        let empty: Vec<(NodeId, Relation)> = Vec::new();
+        assert!(HeteroGraph::sample_neighbors(&empty, 8, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn keyword_lookup() {
+        let (corpus, g) = fixture();
+        let k = &corpus.papers[0].keywords[0];
+        let n = g.keyword_node(k).expect("keyword present");
+        assert_eq!(g.kind(n), EntityKind::Keyword);
+        assert!(g.keyword_node("definitely-not-a-keyword").is_none());
+    }
+}

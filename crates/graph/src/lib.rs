@@ -1,0 +1,21 @@
+//! # sem-graph
+//!
+//! The heterogeneous academic network `G = (E, R, T_E, T_R)` of the paper's
+//! Sec. IV-A: seven entity types (paper, author, affiliation, venue, class,
+//! keyword, year) and seven relation types, of which **citation is the only
+//! one-way relation** — it carries interest from the citing paper and
+//! influence to the cited paper — while the other six are two-way.
+//!
+//! The key structures for NPRec are the asymmetric neighborhoods of a paper:
+//!
+//! * `N⃖(p)` ([`HeteroGraph::interest_neighbors`]): two-way neighbors plus
+//!   the papers *p cites* — what shapes p's research interest;
+//! * `N⃗(p)` ([`HeteroGraph::influence_neighbors`]): two-way neighbors plus
+//!   the papers *citing p* — where p's influence propagates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hetero;
+
+pub use hetero::{EntityKind, HeteroGraph, NodeId, Relation};

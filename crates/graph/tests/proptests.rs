@@ -1,0 +1,66 @@
+//! Property tests: heterogeneous-graph invariants over random corpora.
+
+use proptest::prelude::*;
+use sem_corpus::{Corpus, CorpusConfig, DisciplineProfile};
+use sem_graph::{EntityKind, HeteroGraph, NodeId};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn graph_invariants_hold(
+        seed in 0u64..200,
+        n_papers in 50usize..150,
+        n_disc in 1usize..3,
+        with_keywords in any::<bool>(),
+        cutoff in proptest::option::of(2010u16..2016),
+    ) {
+        let corpus = Corpus::generate(CorpusConfig {
+            n_papers,
+            n_authors: 40,
+            disciplines: (0..n_disc).map(DisciplineProfile::generic).collect(),
+            with_keywords,
+            seed,
+            ..Default::default()
+        });
+        let g = HeteroGraph::from_corpus(&corpus, cutoff);
+
+        // node layout is a partition
+        let total: usize = EntityKind::ALL.iter().map(|&k| g.count(k)).sum();
+        prop_assert_eq!(total, g.n_nodes());
+        prop_assert_eq!(g.count(EntityKind::Paper), n_papers);
+        if !with_keywords {
+            prop_assert_eq!(g.count(EntityKind::Keyword), 0);
+        }
+
+        // kind/local_index invert node()
+        for kind in EntityKind::ALL {
+            if g.count(kind) > 0 {
+                let n = g.node(kind, 0);
+                prop_assert_eq!(g.kind(n), kind);
+                prop_assert_eq!(g.local_index(n), 0);
+            }
+        }
+
+        // two-way edges are mirrored; citation edges respect the cutoff
+        for i in 0..g.n_nodes() {
+            let node = NodeId(i as u32);
+            for &(m, rel) in g.neighbors(node) {
+                prop_assert!(g.neighbors(m).iter().any(|&(b, r)| b == node && r == rel));
+            }
+        }
+        for p in &corpus.papers {
+            for &target in g.cites(p.id) {
+                let cited = sem_corpus::PaperId::from(g.local_index(target));
+                if let Some(y) = cutoff {
+                    prop_assert!(corpus.paper(cited).year <= y);
+                }
+                prop_assert!(g.cited_by(cited).contains(&g.paper_node(p.id)));
+            }
+            // interest ⊇ two-way; influence ⊇ two-way
+            let two_way = g.neighbors(g.paper_node(p.id)).len();
+            prop_assert!(g.interest_neighbors(p.id).len() >= two_way);
+            prop_assert!(g.influence_neighbors(p.id).len() >= two_way);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # sem-nn
+//!
+//! Neural-network building blocks over [`sem_tensor`]: a [`ParamStore`] that
+//! owns model parameters, a per-step [`Session`] that binds parameters onto a
+//! fresh autograd tape, layers ([`Linear`], [`Mlp`], [`Embedding`],
+//! [`AttentionPool`]) and optimizers ([`Sgd`], [`Adam`]).
+//!
+//! Training loop shape:
+//!
+//! ```
+//! use sem_nn::{ParamStore, Session, Linear, Sgd, Optimizer};
+//! use sem_tensor::Tensor;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut store = ParamStore::new();
+//! let lin = Linear::new(&mut store, "lin", 4, 1, &mut rng);
+//! let mut opt = Sgd::new(0.1);
+//! for _ in 0..10 {
+//!     let mut s = Session::new(&store);
+//!     let x = s.tape.leaf(Tensor::matrix(2, 4, &[0.1; 8]));
+//!     let y = lin.forward(&mut s, x);
+//!     let loss = s.tape.bce_with_logits(y, Tensor::matrix(2, 1, &[1.0, 0.0]));
+//!     s.tape.backward(loss);
+//!     let grads = s.grads();
+//!     opt.step(&mut store, &grads);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod param;
+mod layers;
+mod optim;
+pub mod losses;
+
+pub use layers::{Activation, AttentionPool, Embedding, Linear, Mlp};
+pub use optim::{Adam, Optimizer, Sgd};
+pub use param::{Gradients, ParamId, ParamStore, Session};

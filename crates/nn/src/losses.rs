@@ -1,0 +1,99 @@
+//! Loss helpers composed from tape primitives.
+//!
+//! Binary cross-entropy on logits is a fused tape op
+//! ([`sem_tensor::Tape::bce_with_logits`]); the helpers here build the other
+//! objectives the paper uses: the twin-network hinge ranking loss (Eq. 14)
+//! and mean-squared error for diagnostics.
+
+use sem_tensor::{Tape, Tensor, TensorId};
+
+/// Hinge ranking loss `max(0, margin + smaller − larger)` (scalar inputs).
+///
+/// This is the paper's Eq. 14 written unambiguously: `larger` is the
+/// embedding distance of the pair with the *larger* expert-rule difference,
+/// which training should push above `smaller` by at least `margin`.
+pub fn margin_ranking(tape: &mut Tape, larger: TensorId, smaller: TensorId, margin: f32) -> TensorId {
+    let diff = tape.sub(smaller, larger);
+    let m = tape.leaf(Tensor::scalar(margin));
+    let shifted = tape.add(diff, m);
+    tape.relu(shifted)
+}
+
+/// Mean squared error `mean((pred − target)²)`.
+pub fn mse(tape: &mut Tape, pred: TensorId, target: TensorId) -> TensorId {
+    let d = tape.sub(pred, target);
+    let sq = tape.mul(d, d);
+    tape.mean(sq)
+}
+
+/// Sums a non-empty list of scalar loss nodes.
+///
+/// # Panics
+/// Panics when `terms` is empty.
+pub fn total(tape: &mut Tape, terms: &[TensorId]) -> TensorId {
+    let mut it = terms.iter().copied();
+    let first = it.next().expect("total() of no loss terms");
+    it.fold(first, |acc, t| tape.add(acc, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn margin_ranking_zero_when_ordered() {
+        let mut t = Tape::new();
+        let large = t.leaf(Tensor::scalar(5.0));
+        let small = t.leaf(Tensor::scalar(1.0));
+        let loss = margin_ranking(&mut t, large, small, 1.0);
+        assert_eq!(t.value(loss).item(), 0.0);
+    }
+
+    #[test]
+    fn margin_ranking_positive_when_violated() {
+        let mut t = Tape::new();
+        let large = t.leaf(Tensor::scalar(1.0));
+        let small = t.leaf(Tensor::scalar(5.0));
+        let loss = margin_ranking(&mut t, large, small, 1.0);
+        assert_eq!(t.value(loss).item(), 5.0);
+        t.backward(loss);
+        // gradient pushes `large` up, `small` down
+        assert_eq!(t.grad(large).unwrap().item(), -1.0);
+        assert_eq!(t.grad(small).unwrap().item(), 1.0);
+    }
+
+    #[test]
+    fn margin_ranking_within_margin_still_penalised() {
+        let mut t = Tape::new();
+        let large = t.leaf(Tensor::scalar(1.2));
+        let small = t.leaf(Tensor::scalar(1.0));
+        let loss = margin_ranking(&mut t, large, small, 1.0);
+        assert!((t.value(loss).item() - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mse_matches_manual() {
+        let mut t = Tape::new();
+        let p = t.leaf(Tensor::vector(&[1.0, 2.0]));
+        let y = t.leaf(Tensor::vector(&[0.0, 4.0]));
+        let loss = mse(&mut t, p, y);
+        assert!((t.value(loss).item() - (1.0 + 4.0) / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn total_sums() {
+        let mut t = Tape::new();
+        let a = t.leaf(Tensor::scalar(1.0));
+        let b = t.leaf(Tensor::scalar(2.0));
+        let c = t.leaf(Tensor::scalar(4.0));
+        let s = total(&mut t, &[a, b, c]);
+        assert_eq!(t.value(s).item(), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no loss terms")]
+    fn total_empty_panics() {
+        let mut t = Tape::new();
+        let _ = total(&mut t, &[]);
+    }
+}

@@ -1,0 +1,247 @@
+//! Gradient-descent optimizers.
+
+use sem_tensor::Tensor;
+
+use crate::param::{Gradients, ParamStore};
+
+/// A first-order optimizer that applies [`Gradients`] to a [`ParamStore`].
+///
+/// Parameters without a gradient entry are left untouched (sparse updates).
+pub trait Optimizer {
+    /// Applies one update step.
+    fn step(&mut self, store: &mut ParamStore, grads: &Gradients);
+}
+
+/// Plain stochastic gradient descent with optional decoupled weight decay.
+#[derive(Clone, Debug)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Decoupled weight decay coefficient (0 disables).
+    pub weight_decay: f32,
+    /// Gradient-norm clip threshold (0 disables).
+    pub clip: f32,
+}
+
+impl Sgd {
+    /// SGD with the given learning rate, no decay, no clipping.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr, weight_decay: 0.0, clip: 0.0 }
+    }
+
+    /// Sets decoupled weight decay.
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Sets global gradient-norm clipping.
+    pub fn with_clip(mut self, clip: f32) -> Self {
+        self.clip = clip;
+        self
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, store: &mut ParamStore, grads: &Gradients) {
+        let scale = clip_scale(grads, self.clip);
+        for id in store.ids() {
+            let Some(g) = grads.get(id) else { continue };
+            let p = store.get(id);
+            let mut out = Vec::with_capacity(p.len());
+            for (w, gr) in p.data().iter().zip(g.data()) {
+                let decayed = w * (1.0 - self.lr * self.weight_decay);
+                out.push(decayed - self.lr * gr * scale);
+            }
+            store.set(id, Tensor::from_vec(out, p.shape()));
+        }
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction and optional clipping.
+#[derive(Clone, Debug)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// Exponential decay for the first moment.
+    pub beta1: f32,
+    /// Exponential decay for the second moment.
+    pub beta2: f32,
+    /// Numerical stabiliser.
+    pub eps: f32,
+    /// Gradient-norm clip threshold (0 disables).
+    pub clip: f32,
+    t: u64,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Adam with standard betas (0.9, 0.999).
+    pub fn new(lr: f32) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, clip: 0.0, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Sets global gradient-norm clipping.
+    pub fn with_clip(mut self, clip: f32) -> Self {
+        self.clip = clip;
+        self
+    }
+
+    fn ensure_state(&mut self, store: &ParamStore) {
+        while self.m.len() < store.len() {
+            let i = self.m.len();
+            let n = store.get(crate::param::ParamId(i)).len();
+            self.m.push(vec![0.0; n]);
+            self.v.push(vec![0.0; n]);
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, store: &mut ParamStore, grads: &Gradients) {
+        self.ensure_state(store);
+        self.t += 1;
+        let scale = clip_scale(grads, self.clip);
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for id in store.ids() {
+            let Some(g) = grads.get(id) else { continue };
+            let p = store.get(id);
+            let m = &mut self.m[id.0];
+            let v = &mut self.v[id.0];
+            let mut out = Vec::with_capacity(p.len());
+            for ((w, gr), (mi, vi)) in
+                p.data().iter().zip(g.data()).zip(m.iter_mut().zip(v.iter_mut()))
+            {
+                let gr = gr * scale;
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * gr;
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * gr * gr;
+                let mhat = *mi / bc1;
+                let vhat = *vi / bc2;
+                out.push(w - self.lr * mhat / (vhat.sqrt() + self.eps));
+            }
+            store.set(id, Tensor::from_vec(out, p.shape()));
+        }
+    }
+}
+
+fn clip_scale(grads: &Gradients, clip: f32) -> f32 {
+    if clip <= 0.0 {
+        return 1.0;
+    }
+    let norm = grads.norm();
+    if norm > clip {
+        clip / norm
+    } else {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::{ParamStore, Session};
+    use sem_tensor::Tensor;
+
+    fn quadratic_step(store: &mut ParamStore, opt: &mut dyn Optimizer) -> f32 {
+        // loss = (w - 3)^2, minimised at w = 3
+        let id = store.ids().next().unwrap();
+        let mut s = Session::new(store);
+        let w = s.param(id);
+        let c = s.tape.leaf(Tensor::scalar(3.0));
+        let d = s.tape.sub(w, c);
+        let loss = s.tape.mul(d, d);
+        let out = s.tape.value(loss).item();
+        s.tape.backward(loss);
+        let g = s.grads();
+        opt.step(store, &g);
+        out
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut store = ParamStore::new();
+        store.add("w", Tensor::scalar(0.0));
+        let mut opt = Sgd::new(0.1);
+        let mut last = f32::MAX;
+        for _ in 0..100 {
+            last = quadratic_step(&mut store, &mut opt);
+        }
+        assert!(last < 1e-6, "loss {last}");
+        let id = store.ids().next().unwrap();
+        assert!((store.get(id).item() - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut store = ParamStore::new();
+        store.add("w", Tensor::scalar(-5.0));
+        let mut opt = Adam::new(0.3);
+        for _ in 0..300 {
+            quadratic_step(&mut store, &mut opt);
+        }
+        let id = store.ids().next().unwrap();
+        assert!((store.get(id).item() - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_unused_direction() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::vector(&[10.0, 10.0]));
+        let mut opt = Sgd::new(0.1).with_weight_decay(0.5);
+        // gradient only on the first coordinate
+        let g = {
+            let mut s = Session::new(&store);
+            let w = s.param(id);
+            let mask = s.tape.mul_const(w, Tensor::vector(&[1.0, 0.0]));
+            let loss = s.tape.sum(mask);
+            s.tape.backward(loss);
+            s.grads()
+        };
+        opt.step(&mut store, &g);
+        let w = store.get(id);
+        // both coordinates decayed, first also moved by -lr * 1
+        assert!((w.data()[1] - 9.5).abs() < 1e-5);
+        assert!((w.data()[0] - (9.5 - 0.1)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clip_limits_update_magnitude() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::scalar(0.0));
+        let mut opt = Sgd::new(1.0).with_clip(1.0);
+        let g = {
+            let mut s = Session::new(&store);
+            let w = s.param(id);
+            let big = s.tape.scale(w, 1.0);
+            let c = s.tape.leaf(Tensor::scalar(-100.0));
+            let d = s.tape.sub(big, c); // w + 100
+            let loss = s.tape.mul(d, d); // grad = 2(w+100) = 200
+            s.tape.backward(loss);
+            s.grads()
+        };
+        assert!(g.norm() > 100.0);
+        opt.step(&mut store, &g);
+        // clipped gradient has norm 1, lr 1 -> |w| == 1
+        assert!((store.get(id).item().abs() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn untouched_params_stay_put() {
+        let mut store = ParamStore::new();
+        let a = store.add("a", Tensor::scalar(1.0));
+        let b = store.add("b", Tensor::scalar(2.0));
+        let mut opt = Adam::new(0.5);
+        let g = {
+            let mut s = Session::new(&store);
+            let w = s.param(a);
+            let loss = s.tape.mul(w, w);
+            s.tape.backward(loss);
+            s.grads()
+        };
+        opt.step(&mut store, &g);
+        assert_ne!(store.get(a).item(), 1.0);
+        assert_eq!(store.get(b).item(), 2.0);
+    }
+}

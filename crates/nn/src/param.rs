@@ -1,0 +1,335 @@
+//! Parameter storage and per-step tape binding.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use sem_tensor::{Shape, Tape, Tensor, TensorId};
+
+/// Handle to a parameter inside a [`ParamStore`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+struct Param {
+    name: String,
+    value: Tensor,
+}
+
+/// Owns all trainable parameters of a model.
+///
+/// Layers allocate their parameters here at construction time and keep only
+/// [`ParamId`]s, so a whole model is `(ParamStore, layer structs)` and can be
+/// saved/loaded or optimized generically.
+#[derive(Default)]
+pub struct ParamStore {
+    params: Vec<Param>,
+}
+
+impl ParamStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        ParamStore::default()
+    }
+
+    /// Registers a parameter and returns its handle.
+    ///
+    /// # Panics
+    /// Panics when `name` is already taken (names key serialization).
+    pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let name = name.into();
+        assert!(
+            self.params.iter().all(|p| p.name != name),
+            "duplicate parameter name {name:?}"
+        );
+        self.params.push(Param { name, value });
+        ParamId(self.params.len() - 1)
+    }
+
+    /// Current value of a parameter.
+    pub fn get(&self, id: ParamId) -> &Tensor {
+        &self.params[id.0].value
+    }
+
+    /// Replaces a parameter's value (shape must match).
+    pub fn set(&mut self, id: ParamId, value: Tensor) {
+        assert_eq!(
+            self.params[id.0].value.shape(),
+            value.shape(),
+            "set() changes shape of {:?}",
+            self.params[id.0].name
+        );
+        self.params[id.0].value = value;
+    }
+
+    /// Name a parameter was registered under.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.params[id.0].name
+    }
+
+    /// Number of registered parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total number of scalar weights.
+    pub fn num_weights(&self) -> usize {
+        self.params.iter().map(|p| p.value.len()).sum()
+    }
+
+    /// Squared L2 norm of all parameters — the regularization term `‖θ‖²`.
+    pub fn sq_norm(&self) -> f32 {
+        self.params
+            .iter()
+            .map(|p| p.value.data().iter().map(|v| v * v).sum::<f32>())
+            .sum()
+    }
+
+    /// Iterator over all parameter handles.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> {
+        (0..self.params.len()).map(ParamId)
+    }
+
+    /// Serializes all parameters to JSON (name, shape, data).
+    pub fn to_json(&self) -> String {
+        let dump: Vec<ParamDump> = self
+            .params
+            .iter()
+            .map(|p| ParamDump {
+                name: p.name.clone(),
+                rows: p.value.shape().rows(),
+                cols: p.value.shape().cols(),
+                rank: p.value.shape().rank() as u8,
+                data: p.value.data().to_vec(),
+            })
+            .collect();
+        serde_json::to_string(&dump).expect("param serialization cannot fail")
+    }
+
+    /// Restores a store serialized with [`ParamStore::to_json`].
+    ///
+    /// # Errors
+    /// Returns an error string when the JSON is malformed or shapes are
+    /// inconsistent with their data.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let dump: Vec<ParamDump> = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        let mut store = ParamStore::new();
+        for d in dump {
+            let shape = match d.rank {
+                0 => Shape::Scalar,
+                1 => Shape::Vector(d.cols),
+                2 => Shape::Matrix(d.rows, d.cols),
+                r => return Err(format!("bad rank {r}")),
+            };
+            if shape.len() != d.data.len() {
+                return Err(format!("shape/data mismatch for {}", d.name));
+            }
+            store.add(d.name, Tensor::from_vec(d.data, shape));
+        }
+        Ok(store)
+    }
+}
+
+impl fmt::Debug for ParamStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ParamStore({} params, {} weights)", self.len(), self.num_weights())
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct ParamDump {
+    name: String,
+    rank: u8,
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+/// Gradients for a [`ParamStore`], produced by [`Session::grads`].
+///
+/// Parameters that did not participate in the forward pass have no entry and
+/// are skipped by optimizers — exactly the sparse-update behaviour embedding
+/// tables want.
+pub struct Gradients {
+    pub(crate) by_param: Vec<Option<Tensor>>,
+}
+
+impl Gradients {
+    /// Gradient for one parameter, if it flowed.
+    pub fn get(&self, id: ParamId) -> Option<&Tensor> {
+        self.by_param.get(id.0).and_then(|g| g.as_ref())
+    }
+
+    /// Global L2 norm over all gradients (used for clipping diagnostics).
+    pub fn norm(&self) -> f32 {
+        self.by_param
+            .iter()
+            .flatten()
+            .map(|g| g.data().iter().map(|v| v * v).sum::<f32>())
+            .sum::<f32>()
+            .sqrt()
+    }
+}
+
+/// One forward/backward pass: a fresh tape plus lazy parameter binding.
+///
+/// `Session::param` records a parameter as a tape leaf the first time it is
+/// requested and reuses the same node afterwards, so gradient contributions
+/// from every use of a shared parameter accumulate correctly.
+pub struct Session<'a> {
+    /// The autograd tape for this step. Record model ops directly on it.
+    pub tape: Tape,
+    store: &'a ParamStore,
+    bound: Vec<Option<TensorId>>,
+}
+
+impl<'a> Session<'a> {
+    /// Starts a session over the store's current values.
+    pub fn new(store: &'a ParamStore) -> Self {
+        Session::with_tape(store, Tape::new())
+    }
+
+    /// Starts a session that continues recording on an existing tape —
+    /// useful when composing with code (like gradient checking) that owns
+    /// the tape.
+    pub fn with_tape(store: &'a ParamStore, tape: Tape) -> Self {
+        Session { tape, store, bound: vec![None; store.len()] }
+    }
+
+    /// Consumes the session, returning its tape.
+    pub fn into_tape(self) -> Tape {
+        self.tape
+    }
+
+    /// The tape node holding this parameter's value.
+    pub fn param(&mut self, id: ParamId) -> TensorId {
+        if let Some(t) = self.bound[id.0] {
+            return t;
+        }
+        let t = self.tape.leaf(self.store.get(id).clone());
+        self.bound[id.0] = Some(t);
+        t
+    }
+
+    /// L2 regularization term `λ·Σ‖θᵢ‖²` over the given parameters, as a
+    /// scalar tape node.
+    pub fn l2_penalty(&mut self, ids: &[ParamId], lambda: f32) -> TensorId {
+        let mut acc: Option<TensorId> = None;
+        for &id in ids {
+            let p = self.param(id);
+            let sq = self.tape.sq_norm(p);
+            acc = Some(match acc {
+                Some(a) => self.tape.add(a, sq),
+                None => sq,
+            });
+        }
+        let total = acc.unwrap_or_else(|| self.tape.leaf(Tensor::scalar(0.0)));
+        self.tape.scale(total, lambda)
+    }
+
+    /// Collects parameter gradients after `tape.backward(loss)`.
+    pub fn grads(&self) -> Gradients {
+        let by_param = self
+            .bound
+            .iter()
+            .map(|slot| slot.and_then(|tid| self.tape.grad(tid)))
+            .collect();
+        Gradients { by_param }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_set_roundtrip() {
+        let mut s = ParamStore::new();
+        let id = s.add("w", Tensor::vector(&[1.0, 2.0]));
+        assert_eq!(s.get(id).data(), &[1.0, 2.0]);
+        assert_eq!(s.name(id), "w");
+        s.set(id, Tensor::vector(&[3.0, 4.0]));
+        assert_eq!(s.get(id).data(), &[3.0, 4.0]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.num_weights(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate parameter name")]
+    fn duplicate_name_panics() {
+        let mut s = ParamStore::new();
+        s.add("w", Tensor::scalar(1.0));
+        s.add("w", Tensor::scalar(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "changes shape")]
+    fn set_shape_mismatch_panics() {
+        let mut s = ParamStore::new();
+        let id = s.add("w", Tensor::vector(&[1.0, 2.0]));
+        s.set(id, Tensor::scalar(0.0));
+    }
+
+    #[test]
+    fn session_binds_param_once() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::scalar(2.0));
+        let mut sess = Session::new(&store);
+        let a = sess.param(id);
+        let b = sess.param(id);
+        assert_eq!(a, b);
+        // loss = w * w; dw = 2w = 4
+        let loss = sess.tape.mul(a, b);
+        sess.tape.backward(loss);
+        let g = sess.grads();
+        assert_eq!(g.get(id).unwrap().item(), 4.0);
+    }
+
+    #[test]
+    fn unused_param_has_no_grad() {
+        let mut store = ParamStore::new();
+        let used = store.add("a", Tensor::scalar(3.0));
+        let unused = store.add("b", Tensor::scalar(5.0));
+        let mut sess = Session::new(&store);
+        let a = sess.param(used);
+        let loss = sess.tape.mul(a, a);
+        sess.tape.backward(loss);
+        let g = sess.grads();
+        assert!(g.get(used).is_some());
+        assert!(g.get(unused).is_none());
+    }
+
+    #[test]
+    fn l2_penalty_matches_manual() {
+        let mut store = ParamStore::new();
+        let a = store.add("a", Tensor::vector(&[1.0, 2.0]));
+        let b = store.add("b", Tensor::vector(&[3.0]));
+        let mut sess = Session::new(&store);
+        let pen = sess.l2_penalty(&[a, b], 0.5);
+        assert!((sess.tape.value(pen).item() - 0.5 * (1.0 + 4.0 + 9.0)).abs() < 1e-6);
+        assert!((store.sq_norm() - 14.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut s = ParamStore::new();
+        s.add("w", Tensor::matrix(2, 2, &[1.0, 2.0, 3.0, 4.0]));
+        s.add("b", Tensor::vector(&[0.5]));
+        s.add("c", Tensor::scalar(9.0));
+        let json = s.to_json();
+        let r = ParamStore::from_json(&json).unwrap();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.get(ParamId(0)).data(), s.get(ParamId(0)).data());
+        assert_eq!(r.get(ParamId(0)).shape(), s.get(ParamId(0)).shape());
+        assert_eq!(r.get(ParamId(2)).item(), 9.0);
+        assert_eq!(r.name(ParamId(1)), "b");
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(ParamStore::from_json("not json").is_err());
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests for layers and optimizers.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use sem_nn::{Activation, Adam, Linear, Mlp, Optimizer, ParamStore, Session, Sgd};
+use sem_tensor::Tensor;
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Linear layers are affine: f(x+y) − f(x) − f(y) + f(0) = 0.
+    #[test]
+    fn linear_is_affine(
+        seed in 0u64..100,
+        x in proptest::collection::vec(-2.0f32..2.0, 4),
+        y in proptest::collection::vec(-2.0f32..2.0, 4),
+    ) {
+        let mut store = ParamStore::new();
+        let lin = Linear::new(&mut store, "l", 4, 3, &mut rng(seed));
+        let apply = |v: &[f32]| -> Vec<f32> {
+            let mut s = Session::new(&store);
+            let inp = s.tape.leaf(Tensor::matrix(1, 4, v));
+            let out = lin.forward(&mut s, inp);
+            s.tape.value(out).data().to_vec()
+        };
+        let xy: Vec<f32> = x.iter().zip(&y).map(|(a, b)| a + b).collect();
+        let zero = vec![0.0f32; 4];
+        let (fx, fy, fxy, f0) = (apply(&x), apply(&y), apply(&xy), apply(&zero));
+        for i in 0..3 {
+            let resid = fxy[i] - fx[i] - fy[i] + f0[i];
+            prop_assert!(resid.abs() < 1e-4, "residual {resid}");
+        }
+    }
+
+    /// An identity-activation MLP is itself affine.
+    #[test]
+    fn identity_mlp_is_affine(seed in 0u64..50, x in proptest::collection::vec(-1.0f32..1.0, 3)) {
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(&mut store, "m", &[3, 5, 2], Activation::Identity, false, &mut rng(seed));
+        let apply = |v: &[f32]| -> Vec<f32> {
+            let mut s = Session::new(&store);
+            let inp = s.tape.leaf(Tensor::matrix(1, 3, v));
+            let out = mlp.forward(&mut s, inp);
+            s.tape.value(out).data().to_vec()
+        };
+        let two_x: Vec<f32> = x.iter().map(|v| 2.0 * v).collect();
+        let zero = vec![0.0f32; 3];
+        let (fx, f2x, f0) = (apply(&x), apply(&two_x), apply(&zero));
+        // f(2x) - f(0) = 2 (f(x) - f(0)) for affine f
+        for i in 0..2 {
+            let lhs = f2x[i] - f0[i];
+            let rhs = 2.0 * (fx[i] - f0[i]);
+            prop_assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+        }
+    }
+
+    /// One SGD step on a scalar moves the parameter against the gradient.
+    #[test]
+    fn sgd_moves_against_gradient(w0 in -5.0f32..5.0, target in -5.0f32..5.0) {
+        prop_assume!((w0 - target).abs() > 1e-3);
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::scalar(w0));
+        let mut opt = Sgd::new(0.01);
+        let mut s = Session::new(&store);
+        let w = s.param(id);
+        let t = s.tape.leaf(Tensor::scalar(target));
+        let d = s.tape.sub(w, t);
+        let loss = s.tape.mul(d, d);
+        s.tape.backward(loss);
+        let g = s.grads();
+        opt.step(&mut store, &g);
+        let w1 = store.get(id).item();
+        // moved toward the target
+        prop_assert!((w1 - target).abs() < (w0 - target).abs());
+    }
+
+    /// Adam with clipping never produces a non-finite parameter, even for
+    /// huge gradients.
+    #[test]
+    fn adam_is_stable_under_large_gradients(scale in 1.0f32..1e6) {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::scalar(1.0));
+        let mut opt = Adam::new(0.1).with_clip(1.0);
+        for _ in 0..5 {
+            let mut s = Session::new(&store);
+            let w = s.param(id);
+            let big = s.tape.scale(w, scale);
+            let loss = s.tape.mul(big, big);
+            s.tape.backward(loss);
+            let g = s.grads();
+            opt.step(&mut store, &g);
+            prop_assert!(store.get(id).item().is_finite());
+        }
+    }
+
+    /// Parameter-store JSON round trips arbitrary shapes exactly.
+    #[test]
+    fn param_store_roundtrip(data in proptest::collection::vec(-10.0f32..10.0, 6)) {
+        let mut store = ParamStore::new();
+        store.add("m", Tensor::matrix(2, 3, &data));
+        store.add("v", Tensor::vector(&data[..3]));
+        let json = store.to_json();
+        let restored = ParamStore::from_json(&json).unwrap();
+        prop_assert_eq!(restored.num_weights(), store.num_weights());
+        prop_assert!((restored.sq_norm() - store.sq_norm()).abs() < 1e-9);
+    }
+}

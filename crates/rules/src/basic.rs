@@ -1,0 +1,186 @@
+//! The three whole-paper expert rules `f_c`, `f_r`, `f_w`.
+
+use std::collections::HashSet;
+
+use sem_corpus::{CategoryTree, PaperId};
+use sem_text::{SkipGram, Vocab};
+
+/// `f_c(p, q)` (Eq. 1): hierarchical edit distance between category tags.
+///
+/// For the root-to-tag node sets `r_p`, `r_q`, sums `w_l / 2^l` over the
+/// symmetric difference, where `l` is a node's level and `w_l = 1` (the
+/// paper requires only that weights do not increase with depth; the `2^l`
+/// term already enforces that). Papers without a tag score the maximum
+/// distance against any tagged paper and `0` against another untagged one.
+pub fn category_score(tree: &CategoryTree, p: Option<usize>, q: Option<usize>) -> f64 {
+    match (p, q) {
+        (None, None) => 0.0,
+        (Some(a), None) | (None, Some(a)) => path_weight(tree, a),
+        (Some(a), Some(b)) => {
+            let ra: HashSet<usize> = tree.path_from_root(a).into_iter().collect();
+            let rb: HashSet<usize> = tree.path_from_root(b).into_iter().collect();
+            ra.symmetric_difference(&rb)
+                .map(|&n| node_weight(tree, n))
+                .sum()
+        }
+    }
+}
+
+fn node_weight(tree: &CategoryTree, node: usize) -> f64 {
+    1.0 / f64::from(1u32 << tree.level(node).min(30))
+}
+
+fn path_weight(tree: &CategoryTree, node: usize) -> f64 {
+    tree.path_from_root(node)
+        .into_iter()
+        .map(|n| node_weight(tree, n))
+        .sum()
+}
+
+/// `f_r(p, q)` (Eq. 2): the reciprocal Jaccard coefficient of the reference
+/// sets, `|R(p) ∪ R(q)| / |R(p) ∩ R(q)|`.
+///
+/// The paper leaves the empty-intersection case undefined; we smooth with
+/// add-one (`(|∪|+1) / (|∩|+1)`) so disjoint reference lists score a large
+/// but finite difference and identical lists score 1.
+pub fn reference_score(p_refs: &[PaperId], q_refs: &[PaperId]) -> f64 {
+    let a: HashSet<PaperId> = p_refs.iter().copied().collect();
+    let b: HashSet<PaperId> = q_refs.iter().copied().collect();
+    let inter = a.intersection(&b).count();
+    let union = a.union(&b).count();
+    (union + 1) as f64 / (inter + 1) as f64
+}
+
+/// `f_w(p, q)` (Eq. 3): expectation of the Euclidean distance between the
+/// skip-gram embeddings of keyword pairs drawn from the two papers.
+///
+/// Out-of-vocabulary keywords are skipped; if either paper has no in-vocab
+/// keyword the score is `0` (no evidence of difference).
+pub fn keyword_score(
+    vocab: &Vocab,
+    embeddings: &SkipGram,
+    p_keywords: &[String],
+    q_keywords: &[String],
+) -> f64 {
+    let ids = |ks: &[String]| -> Vec<usize> {
+        ks.iter().filter_map(|k| vocab.id(k)).collect()
+    };
+    let pa = ids(p_keywords);
+    let qa = ids(q_keywords);
+    if pa.is_empty() || qa.is_empty() {
+        return 0.0;
+    }
+    let mut sum = 0.0f64;
+    for &x in &pa {
+        for &y in &qa {
+            sum += f64::from(embeddings.distance(x, y));
+        }
+    }
+    sum / (pa.len() * qa.len()) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sem_corpus::CategoryTree;
+    use sem_text::skipgram::SkipGramConfig;
+    use sem_text::tokenize::tokenize;
+
+    #[test]
+    fn category_identity_is_zero() {
+        let t = CategoryTree::build(&[3, 2]);
+        let leaf = t.leaves()[0];
+        assert_eq!(category_score(&t, Some(leaf), Some(leaf)), 0.0);
+        assert_eq!(category_score(&t, None, None), 0.0);
+    }
+
+    #[test]
+    fn category_score_grows_with_divergence_depth() {
+        let t = CategoryTree::build(&[2, 2]);
+        let leaves = t.leaves();
+        // leaves 0,1 share a parent; leaves 0,2 diverge at level 1
+        let close = category_score(&t, Some(leaves[0]), Some(leaves[1]));
+        let far = category_score(&t, Some(leaves[0]), Some(leaves[2]));
+        assert!(far > close, "far {far} <= close {close}");
+        // close pair differs only at level 2: 2 nodes × 1/4
+        assert!((close - 0.5).abs() < 1e-12);
+        // far pair differs at levels 1 and 2: 2 × 1/2 + 2 × 1/4
+        assert!((far - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn category_score_is_symmetric() {
+        let t = CategoryTree::build(&[3, 2]);
+        let (a, b) = (t.leaves()[1], t.leaves()[4]);
+        assert_eq!(category_score(&t, Some(a), Some(b)), category_score(&t, Some(b), Some(a)));
+    }
+
+    #[test]
+    fn untagged_scores_max_against_tagged() {
+        let t = CategoryTree::build(&[2, 2]);
+        let leaf = t.leaves()[0];
+        let v = category_score(&t, Some(leaf), None);
+        // full path weight: 1 + 1/2 + 1/4
+        assert!((v - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reference_score_bounds() {
+        let a = vec![PaperId(1), PaperId(2), PaperId(3)];
+        assert_eq!(reference_score(&a, &a), 1.0); // identical
+        let disjoint = vec![PaperId(7), PaperId(8)];
+        // union 5, inter 0 -> 6/1
+        assert_eq!(reference_score(&a, &disjoint), 6.0);
+        let overlap = vec![PaperId(2), PaperId(3), PaperId(9)];
+        // union 4, inter 2 -> 5/3
+        assert!((reference_score(&a, &overlap) - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reference_score_symmetric_and_handles_empty() {
+        let a = vec![PaperId(1)];
+        let b = vec![PaperId(2), PaperId(3)];
+        assert_eq!(reference_score(&a, &b), reference_score(&b, &a));
+        assert_eq!(reference_score(&[], &[]), 1.0);
+        assert_eq!(reference_score(&a, &[]), 2.0);
+    }
+
+    fn keyword_fixture() -> (Vocab, SkipGram) {
+        let mut sents = Vec::new();
+        for _ in 0..100 {
+            sents.push(tokenize("alpha beta gamma alpha beta"));
+            sents.push(tokenize("delta epsilon zeta delta epsilon"));
+        }
+        let v = Vocab::build(sents.iter().map(|s| s.as_slice()), 1);
+        let ids: Vec<Vec<usize>> = sents.iter().map(|s| v.encode(s)).collect();
+        let sg = SkipGram::train(&v, &ids, &SkipGramConfig { dim: 8, epochs: 4, ..Default::default() });
+        (v, sg)
+    }
+
+    #[test]
+    fn keyword_score_zero_for_identical_single() {
+        let (v, sg) = keyword_fixture();
+        let ks = vec!["alpha".to_string()];
+        assert_eq!(keyword_score(&v, &sg, &ks, &ks), 0.0);
+    }
+
+    #[test]
+    fn keyword_score_cross_topic_larger() {
+        let (v, sg) = keyword_fixture();
+        let a = vec!["alpha".to_string(), "beta".to_string()];
+        let near = vec!["gamma".to_string()];
+        let far = vec!["delta".to_string(), "epsilon".to_string()];
+        let d_near = keyword_score(&v, &sg, &a, &near);
+        let d_far = keyword_score(&v, &sg, &a, &far);
+        assert!(d_far > d_near, "far {d_far} <= near {d_near}");
+    }
+
+    #[test]
+    fn keyword_score_oov_and_empty() {
+        let (v, sg) = keyword_fixture();
+        let a = vec!["alpha".to_string()];
+        let oov = vec!["nonexistentword".to_string()];
+        assert_eq!(keyword_score(&v, &sg, &a, &oov), 0.0);
+        assert_eq!(keyword_score(&v, &sg, &[], &a), 0.0);
+    }
+}

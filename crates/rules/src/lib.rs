@@ -1,0 +1,29 @@
+//! # sem-rules
+//!
+//! The paper's *expert rules* (Sec. III-A): weak supervision that annotates
+//! how different two papers are, from four complementary signals:
+//!
+//! * [`category_score`] — `f_c`, weighted edit distance between the papers'
+//!   root-to-tag paths in the hierarchical classification tree (Eq. 1);
+//! * [`reference_score`] — `f_r`, reciprocal Jaccard of reference sets
+//!   (Eq. 2, smoothed to stay finite on disjoint sets);
+//! * [`keyword_score`] — `f_w`, expected embedding distance between keyword
+//!   sets (Eq. 3) over pretrained skip-gram vectors;
+//! * [`scorer::RuleScorer::f_t`] — `f_t`, distance between subspace-pooled
+//!   abstract embeddings (Sec. III-A.4).
+//!
+//! [`scorer::RuleScorer`] bundles them per paper pair and subspace, with
+//! z-score normalisation so the fusion weights start on a common scale, and
+//! [`triplet::TripletSampler`] draws the `(p, q, q')` training triplets the
+//! twin network consumes (Sec. III-D).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod basic;
+pub mod scorer;
+pub mod triplet;
+
+pub use basic::{category_score, keyword_score, reference_score};
+pub use scorer::{PairFeatures, RuleScorer, NUM_RULES};
+pub use triplet::{Triplet, TripletSampler};

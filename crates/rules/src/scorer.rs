@@ -1,0 +1,341 @@
+//! Bundled per-pair rule features with normalisation.
+
+use sem_corpus::{Corpus, PaperId, Subspace, NUM_SUBSPACES};
+use sem_text::{SentenceEncoder, SkipGram, Vocab};
+
+use crate::basic::{category_score, keyword_score, reference_score};
+
+/// Number of expert rules per subspace: `f_c`, `f_r`, `f_w` (whole-paper,
+/// shared by all subspaces) and `f_t` (subspace-specific).
+pub const NUM_RULES: usize = 4;
+
+/// Raw or normalised rule features of one paper pair: `features[k][i]` is
+/// rule `i` in subspace `k` (the paper's `f_*^k(p,q)`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairFeatures(pub [[f64; NUM_RULES]; NUM_SUBSPACES]);
+
+impl PairFeatures {
+    /// Fused difference score `f^k(p,q) = Σ_i a_i · f_i(p,q)` (Sec. III-D).
+    pub fn fused(&self, k: usize, weights: &[f64; NUM_RULES]) -> f64 {
+        self.0[k].iter().zip(weights).map(|(f, a)| f * a).sum()
+    }
+}
+
+/// Scores paper pairs against all expert rules.
+///
+/// Construction precomputes each paper's subspace-pooled abstract embedding
+/// `c_p^k = E(h_i ∘ I(l_i = k))` (Sec. III-A.4) from a frozen sentence
+/// encoder and sentence-function labels (CRF-predicted or gold), then fits a
+/// z-score normaliser over a deterministic sample of pairs so the four rules
+/// land on a common scale before fusion.
+pub struct RuleScorer<'a> {
+    corpus: &'a Corpus,
+    vocab: &'a Vocab,
+    embeddings: &'a SkipGram,
+    subspace_vecs: Vec<[Vec<f32>; NUM_SUBSPACES]>,
+    /// `(mean, std)` per subspace per rule.
+    norm: [[(f64, f64); NUM_RULES]; NUM_SUBSPACES],
+}
+
+impl<'a> RuleScorer<'a> {
+    /// Builds the scorer.
+    ///
+    /// `labels[p]` holds one subspace tag per sentence of paper `p` (use the
+    /// corpus gold tags or a CRF's predictions — the paper pretrains a CRF
+    /// and applies it to untagged corpora).
+    ///
+    /// # Panics
+    /// Panics when `labels` does not match the corpus shape.
+    pub fn new(
+        corpus: &'a Corpus,
+        vocab: &'a Vocab,
+        embeddings: &'a SkipGram,
+        encoder: &SentenceEncoder,
+        labels: &[Vec<Subspace>],
+    ) -> Self {
+        assert_eq!(labels.len(), corpus.papers.len(), "labels/papers length mismatch");
+        let dim = encoder.dim();
+        let subspace_vecs: Vec<[Vec<f32>; NUM_SUBSPACES]> = corpus
+            .papers
+            .iter()
+            .zip(labels)
+            .map(|(paper, labs)| {
+                assert_eq!(labs.len(), paper.sentences.len(), "label count for paper {:?}", paper.id);
+                let token_ids: Vec<Vec<usize>> = paper
+                    .sentence_tokens()
+                    .iter()
+                    .map(|toks| vocab.encode(toks))
+                    .collect();
+                let h = encoder.encode_abstract(embeddings, &token_ids);
+                pool_by_label(&h, labs, dim)
+            })
+            .collect();
+
+        let mut scorer = RuleScorer {
+            corpus,
+            vocab,
+            embeddings,
+            subspace_vecs,
+            norm: [[(0.0, 1.0); NUM_RULES]; NUM_SUBSPACES],
+        };
+        scorer.fit_normalizer();
+        scorer
+    }
+
+    /// The pooled subspace embedding `c_p^k` used by `f_t` (also the "BERT"
+    /// baseline representation when averaged over subspaces).
+    pub fn subspace_vec(&self, p: PaperId, k: usize) -> &[f32] {
+        &self.subspace_vecs[p.index()][k]
+    }
+
+    /// `f_c` between two papers of the corpus.
+    pub fn f_c(&self, p: PaperId, q: PaperId) -> f64 {
+        category_score(
+            &self.corpus.tree,
+            self.corpus.paper(p).category,
+            self.corpus.paper(q).category,
+        )
+    }
+
+    /// `f_r` between two papers of the corpus.
+    pub fn f_r(&self, p: PaperId, q: PaperId) -> f64 {
+        reference_score(&self.corpus.paper(p).references, &self.corpus.paper(q).references)
+    }
+
+    /// `f_w` between two papers of the corpus.
+    pub fn f_w(&self, p: PaperId, q: PaperId) -> f64 {
+        keyword_score(
+            self.vocab,
+            self.embeddings,
+            &self.corpus.paper(p).keywords,
+            &self.corpus.paper(q).keywords,
+        )
+    }
+
+    /// `f_t` in subspace `k`: Euclidean distance between pooled abstract
+    /// embeddings (0 when either paper has no sentence in the subspace).
+    pub fn f_t(&self, p: PaperId, q: PaperId, k: usize) -> f64 {
+        let a = &self.subspace_vecs[p.index()][k];
+        let b = &self.subspace_vecs[q.index()][k];
+        if a.iter().all(|&v| v == 0.0) || b.iter().all(|&v| v == 0.0) {
+            return 0.0;
+        }
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (f64::from(*x) - f64::from(*y)).powi(2))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Raw rule features for a pair.
+    pub fn features(&self, p: PaperId, q: PaperId) -> PairFeatures {
+        let fc = self.f_c(p, q);
+        let fr = self.f_r(p, q);
+        let fw = self.f_w(p, q);
+        let mut out = [[0.0; NUM_RULES]; NUM_SUBSPACES];
+        for (k, row) in out.iter_mut().enumerate() {
+            *row = [fc, fr, fw, self.f_t(p, q, k)];
+        }
+        PairFeatures(out)
+    }
+
+    /// Z-score-normalised rule features for a pair.
+    pub fn normalized(&self, p: PaperId, q: PaperId) -> PairFeatures {
+        let raw = self.features(p, q);
+        let mut out = [[0.0; NUM_RULES]; NUM_SUBSPACES];
+        for k in 0..NUM_SUBSPACES {
+            for i in 0..NUM_RULES {
+                let (m, s) = self.norm[k][i];
+                out[k][i] = (raw.0[k][i] - m) / s;
+            }
+        }
+        PairFeatures(out)
+    }
+
+    /// Fits the z-score normaliser on a deterministic sample of pairs.
+    fn fit_normalizer(&mut self) {
+        let n = self.corpus.papers.len();
+        if n < 2 {
+            return;
+        }
+        let samples = 512.min(n * (n - 1) / 2);
+        let mut acc = [[(0.0f64, 0.0f64); NUM_RULES]; NUM_SUBSPACES]; // (sum, sum_sq)
+        let mut state = 0x9e37_79b9_97f4_a7c1u64;
+        let mut next = |m: usize| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as usize) % m
+        };
+        for _ in 0..samples {
+            let p = PaperId::from(next(n));
+            let mut q = PaperId::from(next(n));
+            if q == p {
+                q = PaperId::from((p.index() + 1) % n);
+            }
+            let f = self.features(p, q);
+            for k in 0..NUM_SUBSPACES {
+                for i in 0..NUM_RULES {
+                    acc[k][i].0 += f.0[k][i];
+                    acc[k][i].1 += f.0[k][i] * f.0[k][i];
+                }
+            }
+        }
+        for k in 0..NUM_SUBSPACES {
+            for i in 0..NUM_RULES {
+                let mean = acc[k][i].0 / samples as f64;
+                let var = (acc[k][i].1 / samples as f64 - mean * mean).max(1e-12);
+                self.norm[k][i] = (mean, var.sqrt());
+            }
+        }
+    }
+}
+
+fn pool_by_label(h: &[Vec<f32>], labels: &[Subspace], dim: usize) -> [Vec<f32>; NUM_SUBSPACES] {
+    let mut out: [Vec<f32>; NUM_SUBSPACES] =
+        [vec![0.0; dim], vec![0.0; dim], vec![0.0; dim]];
+    let mut counts = [0usize; NUM_SUBSPACES];
+    for (vec, lab) in h.iter().zip(labels) {
+        let k = lab.index();
+        counts[k] += 1;
+        for (o, v) in out[k].iter_mut().zip(vec) {
+            *o += v;
+        }
+    }
+    for (k, count) in counts.iter().enumerate() {
+        if *count > 0 {
+            let inv = 1.0 / *count as f32;
+            for o in &mut out[k] {
+                *o *= inv;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sem_corpus::{Corpus, CorpusConfig};
+    use sem_text::skipgram::SkipGramConfig;
+
+    fn fixture() -> (Corpus, Vocab, SkipGram, SentenceEncoder) {
+        // 300 papers: below that the skip-gram corpus is too sparse for
+        // keyword embeddings to separate topics (the f_w assertion)
+        let corpus = Corpus::generate(CorpusConfig {
+            n_papers: 300,
+            n_authors: 100,
+            ..Default::default()
+        });
+        let token_lists: Vec<Vec<String>> =
+            corpus.papers.iter().map(|p| p.all_tokens()).collect();
+        let vocab = Vocab::build(token_lists.iter().map(|t| t.as_slice()), 1);
+        let seqs: Vec<Vec<usize>> = token_lists.iter().map(|t| vocab.encode(t)).collect();
+        let sg = SkipGram::train(&vocab, &seqs, &SkipGramConfig { dim: 16, epochs: 6, ..Default::default() });
+        let enc = SentenceEncoder::new(&vocab, 16, 24, 1);
+        (corpus, vocab, sg, enc)
+    }
+
+    fn gold_labels(corpus: &Corpus) -> Vec<Vec<Subspace>> {
+        corpus.papers.iter().map(|p| p.sentence_labels()).collect()
+    }
+
+    #[test]
+    fn self_pair_scores_minimal() {
+        let (corpus, vocab, sg, enc) = fixture();
+        let labels = gold_labels(&corpus);
+        let scorer = RuleScorer::new(&corpus, &vocab, &sg, &enc, &labels);
+        let p = PaperId(5);
+        assert_eq!(scorer.f_c(p, p), 0.0);
+        assert_eq!(scorer.f_r(p, p), 1.0);
+        for k in 0..NUM_SUBSPACES {
+            assert_eq!(scorer.f_t(p, p, k), 0.0);
+        }
+    }
+
+    #[test]
+    fn features_are_symmetric() {
+        let (corpus, vocab, sg, enc) = fixture();
+        let labels = gold_labels(&corpus);
+        let scorer = RuleScorer::new(&corpus, &vocab, &sg, &enc, &labels);
+        let (p, q) = (PaperId(3), PaperId(77));
+        let a = scorer.features(p, q);
+        let b = scorer.features(q, p);
+        for k in 0..NUM_SUBSPACES {
+            for i in 0..NUM_RULES {
+                assert!((a.0[k][i] - b.0[k][i]).abs() < 1e-9, "rule {i} subspace {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn same_topic_pairs_score_lower_than_cross_topic() {
+        let (corpus, vocab, sg, enc) = fixture();
+        let labels = gold_labels(&corpus);
+        let scorer = RuleScorer::new(&corpus, &vocab, &sg, &enc, &labels);
+        // find papers sharing a topic vs different discipline-level fields
+        let topic_of = |p: &sem_corpus::Paper| corpus.topic_of(p).unwrap();
+        let mut same = Vec::new();
+        let mut diff = Vec::new();
+        for a in 0..corpus.papers.len() {
+            for b in (a + 1)..corpus.papers.len() {
+                let (pa, pb) = (&corpus.papers[a], &corpus.papers[b]);
+                if topic_of(pa) == topic_of(pb) {
+                    same.push((pa.id, pb.id));
+                } else {
+                    diff.push((pa.id, pb.id));
+                }
+                if same.len() > 40 && diff.len() > 40 {
+                    break;
+                }
+            }
+        }
+        let mean = |pairs: &[(PaperId, PaperId)], f: &dyn Fn(PaperId, PaperId) -> f64| {
+            pairs.iter().take(40).map(|&(p, q)| f(p, q)).sum::<f64>() / pairs.len().min(40) as f64
+        };
+        let fc_same = mean(&same, &|p, q| scorer.f_c(p, q));
+        let fc_diff = mean(&diff, &|p, q| scorer.f_c(p, q));
+        assert!(fc_same < fc_diff, "f_c same {fc_same} >= diff {fc_diff}");
+        let fw_same = mean(&same, &|p, q| scorer.f_w(p, q));
+        let fw_diff = mean(&diff, &|p, q| scorer.f_w(p, q));
+        assert!(fw_same < fw_diff, "f_w same {fw_same} >= diff {fw_diff}");
+        let ft_same = mean(&same, &|p, q| scorer.f_t(p, q, 1));
+        let ft_diff = mean(&diff, &|p, q| scorer.f_t(p, q, 1));
+        assert!(ft_same < ft_diff, "f_t same {ft_same} >= diff {ft_diff}");
+    }
+
+    #[test]
+    fn normalized_features_are_standardised() {
+        let (corpus, vocab, sg, enc) = fixture();
+        let labels = gold_labels(&corpus);
+        let scorer = RuleScorer::new(&corpus, &vocab, &sg, &enc, &labels);
+        // across random pairs, normalized features should be roughly centred
+        let mut sums = [0.0f64; NUM_RULES];
+        let n = 60;
+        for i in 0..n {
+            let p = PaperId::from(i);
+            let q = PaperId::from((i + 37) % corpus.papers.len());
+            let f = scorer.normalized(p, q);
+            for r in 0..NUM_RULES {
+                sums[r] += f.0[0][r];
+            }
+        }
+        for (r, s) in sums.iter().enumerate() {
+            let mean = s / n as f64;
+            assert!(mean.abs() < 1.5, "rule {r} mean {mean} too far from 0");
+        }
+    }
+
+    #[test]
+    fn fused_combines_linearly() {
+        let f = PairFeatures([[1.0, 2.0, 3.0, 4.0]; NUM_SUBSPACES]);
+        assert_eq!(f.fused(0, &[1.0, 0.0, 0.0, 0.0]), 1.0);
+        assert_eq!(f.fused(1, &[0.25, 0.25, 0.25, 0.25]), 2.5);
+        assert_eq!(f.fused(2, &[0.0, 0.0, 0.0, 2.0]), 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "labels/papers length mismatch")]
+    fn wrong_label_count_panics() {
+        let (corpus, vocab, sg, enc) = fixture();
+        let _ = RuleScorer::new(&corpus, &vocab, &sg, &enc, &[]);
+    }
+}

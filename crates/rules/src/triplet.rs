@@ -1,0 +1,189 @@
+//! Training-triplet sampling for the twin network (Sec. III-D).
+//!
+//! For three papers `p, q, q'`, the pair with the larger fused rule score is
+//! the positive (more-different) sample and the smaller the negative. The
+//! sampler emits the full per-rule features so the trainer can refuse or
+//! re-weight triplets as the learned fusion weights `a_i` evolve.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sem_corpus::{PaperId, NUM_SUBSPACES};
+
+use crate::scorer::{PairFeatures, RuleScorer, NUM_RULES};
+
+/// One training triplet: reference paper `p` with two comparison papers.
+#[derive(Debug, Clone)]
+pub struct Triplet {
+    /// The reference paper.
+    pub p: PaperId,
+    /// First comparison paper.
+    pub q: PaperId,
+    /// Second comparison paper.
+    pub q_prime: PaperId,
+    /// Normalised rule features of `(p, q)`.
+    pub fq: PairFeatures,
+    /// Normalised rule features of `(p, q')`.
+    pub fq_prime: PairFeatures,
+}
+
+impl Triplet {
+    /// Margin of the fused scores in subspace `k` under fusion weights:
+    /// positive when `(p, q)` is the more-different pair.
+    pub fn fused_margin(&self, k: usize, weights: &[f64; NUM_RULES]) -> f64 {
+        self.fq.fused(k, weights) - self.fq_prime.fused(k, weights)
+    }
+}
+
+/// Draws triplets uniformly over papers, skipping degenerate ones.
+pub struct TripletSampler {
+    rng: StdRng,
+    n_papers: usize,
+}
+
+impl TripletSampler {
+    /// A sampler over `n_papers` with its own seed.
+    ///
+    /// # Panics
+    /// Panics when fewer than 3 papers exist.
+    pub fn new(n_papers: usize, seed: u64) -> Self {
+        assert!(n_papers >= 3, "triplet sampling needs >= 3 papers");
+        TripletSampler { rng: StdRng::seed_from_u64(seed), n_papers }
+    }
+
+    /// Samples one triplet with its normalised features.
+    pub fn sample(&mut self, scorer: &RuleScorer<'_>) -> Triplet {
+        loop {
+            let p = PaperId::from(self.rng.gen_range(0..self.n_papers));
+            let q = PaperId::from(self.rng.gen_range(0..self.n_papers));
+            let q_prime = PaperId::from(self.rng.gen_range(0..self.n_papers));
+            if p == q || p == q_prime || q == q_prime {
+                continue;
+            }
+            let fq = scorer.normalized(p, q);
+            let fq_prime = scorer.normalized(p, q_prime);
+            return Triplet { p, q, q_prime, fq, fq_prime };
+        }
+    }
+
+    /// Samples a batch.
+    pub fn batch(&mut self, scorer: &RuleScorer<'_>, n: usize) -> Vec<Triplet> {
+        (0..n).map(|_| self.sample(scorer)).collect()
+    }
+}
+
+/// Equal fusion weights over normalised rules — the paper's starting point
+/// before `a_i` is learned.
+pub fn uniform_weights() -> [f64; NUM_RULES] {
+    [1.0 / NUM_RULES as f64; NUM_RULES]
+}
+
+/// Sanity statistic: fraction of triplets whose fused margin is positive in
+/// each subspace (useful to verify the sampler covers both orderings).
+pub fn margin_balance(triplets: &[Triplet], weights: &[f64; NUM_RULES]) -> [f64; NUM_SUBSPACES] {
+    let mut out = [0.0; NUM_SUBSPACES];
+    if triplets.is_empty() {
+        return out;
+    }
+    for (k, o) in out.iter_mut().enumerate() {
+        *o = triplets
+            .iter()
+            .filter(|t| t.fused_margin(k, weights) > 0.0)
+            .count() as f64
+            / triplets.len() as f64;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sem_corpus::{Corpus, CorpusConfig};
+    use sem_text::skipgram::SkipGramConfig;
+    use sem_text::{SentenceEncoder, SkipGram, Vocab};
+
+    fn fixture() -> (Corpus, Vocab, SkipGram, SentenceEncoder) {
+        let corpus = Corpus::generate(CorpusConfig {
+            n_papers: 80,
+            n_authors: 40,
+            ..Default::default()
+        });
+        let token_lists: Vec<Vec<String>> =
+            corpus.papers.iter().map(|p| p.all_tokens()).collect();
+        let vocab = Vocab::build(token_lists.iter().map(|t| t.as_slice()), 1);
+        let seqs: Vec<Vec<usize>> = token_lists.iter().map(|t| vocab.encode(t)).collect();
+        let sg = SkipGram::train(&vocab, &seqs, &SkipGramConfig { dim: 12, epochs: 2, ..Default::default() });
+        let enc = SentenceEncoder::new(&vocab, 12, 16, 1);
+        (corpus, vocab, sg, enc)
+    }
+
+    #[test]
+    fn triplets_are_distinct_and_in_range() {
+        let (corpus, vocab, sg, enc) = fixture();
+        let labels: Vec<_> = corpus.papers.iter().map(|p| p.sentence_labels()).collect();
+        let scorer = RuleScorer::new(&corpus, &vocab, &sg, &enc, &labels);
+        let mut sampler = TripletSampler::new(corpus.papers.len(), 5);
+        for t in sampler.batch(&scorer, 50) {
+            assert_ne!(t.p, t.q);
+            assert_ne!(t.p, t.q_prime);
+            assert_ne!(t.q, t.q_prime);
+            assert!(t.p.index() < corpus.papers.len());
+        }
+    }
+
+    #[test]
+    fn margins_cover_both_signs() {
+        let (corpus, vocab, sg, enc) = fixture();
+        let labels: Vec<_> = corpus.papers.iter().map(|p| p.sentence_labels()).collect();
+        let scorer = RuleScorer::new(&corpus, &vocab, &sg, &enc, &labels);
+        let mut sampler = TripletSampler::new(corpus.papers.len(), 7);
+        let batch = sampler.batch(&scorer, 200);
+        let balance = margin_balance(&batch, &uniform_weights());
+        for (k, b) in balance.iter().enumerate() {
+            assert!(*b > 0.2 && *b < 0.8, "subspace {k} margin balance {b}");
+        }
+    }
+
+    #[test]
+    fn fused_margin_antisymmetry() {
+        let (corpus, vocab, sg, enc) = fixture();
+        let labels: Vec<_> = corpus.papers.iter().map(|p| p.sentence_labels()).collect();
+        let scorer = RuleScorer::new(&corpus, &vocab, &sg, &enc, &labels);
+        let mut sampler = TripletSampler::new(corpus.papers.len(), 9);
+        let t = sampler.sample(&scorer);
+        let w = uniform_weights();
+        let swapped = Triplet {
+            p: t.p,
+            q: t.q_prime,
+            q_prime: t.q,
+            fq: t.fq_prime,
+            fq_prime: t.fq,
+        };
+        for k in 0..NUM_SUBSPACES {
+            assert!((t.fused_margin(k, &w) + swapped.fused_margin(k, &w)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (corpus, vocab, sg, enc) = fixture();
+        let labels: Vec<_> = corpus.papers.iter().map(|p| p.sentence_labels()).collect();
+        let scorer = RuleScorer::new(&corpus, &vocab, &sg, &enc, &labels);
+        let a: Vec<_> = TripletSampler::new(corpus.papers.len(), 3)
+            .batch(&scorer, 10)
+            .iter()
+            .map(|t| (t.p, t.q, t.q_prime))
+            .collect();
+        let b: Vec<_> = TripletSampler::new(corpus.papers.len(), 3)
+            .batch(&scorer, 10)
+            .iter()
+            .map(|t| (t.p, t.q, t.q_prime))
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs >= 3 papers")]
+    fn too_few_papers_panics() {
+        let _ = TripletSampler::new(2, 0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Flat clustering utilities: k-means (the GMM initialiser, exposed as a
+//! first-class API) and silhouette scores for cluster-quality assessment.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    /// Cluster centroids, `k × dim`.
+    pub centroids: Vec<Vec<f64>>,
+    /// Hard assignment per input point.
+    pub labels: Vec<usize>,
+    /// Final within-cluster sum of squared distances.
+    pub inertia: f64,
+}
+
+fn sq_dist(a: &[f32], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, m)| (f64::from(*x) - m).powi(2)).sum()
+}
+
+/// Runs k-means++ initialisation followed by Lloyd iterations.
+///
+/// # Panics
+/// Panics when `data` is empty, points are ragged, or `k` is 0 or exceeds
+/// the point count.
+pub fn kmeans(data: &[Vec<f32>], k: usize, max_iter: usize, seed: u64) -> KMeans {
+    assert!(!data.is_empty(), "k-means over empty data");
+    assert!(k > 0 && k <= data.len(), "bad k={k} for {} points", data.len());
+    let dim = data[0].len();
+    assert!(data.iter().all(|p| p.len() == dim), "ragged points");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // k-means++ seeding
+    let first = rng.gen_range(0..data.len());
+    let mut centroids: Vec<Vec<f64>> =
+        vec![data[first].iter().map(|&x| f64::from(x)).collect()];
+    let mut d2: Vec<f64> = data.iter().map(|p| sq_dist(p, &centroids[0])).collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let pick = if total <= 0.0 {
+            rng.gen_range(0..data.len())
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut chosen = data.len() - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                if target <= w {
+                    chosen = i;
+                    break;
+                }
+                target -= w;
+            }
+            chosen
+        };
+        let c: Vec<f64> = data[pick].iter().map(|&x| f64::from(x)).collect();
+        for (i, p) in data.iter().enumerate() {
+            d2[i] = d2[i].min(sq_dist(p, &c));
+        }
+        centroids.push(c);
+    }
+
+    let mut labels = vec![0usize; data.len()];
+    for _ in 0..max_iter {
+        let mut changed = false;
+        for (i, p) in data.iter().enumerate() {
+            let best = (0..k)
+                .min_by(|&a, &b| sq_dist(p, &centroids[a]).total_cmp(&sq_dist(p, &centroids[b])))
+                .expect("k > 0");
+            if labels[i] != best {
+                labels[i] = best;
+                changed = true;
+            }
+        }
+        let mut sums = vec![vec![0.0f64; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (p, &l) in data.iter().zip(&labels) {
+            counts[l] += 1;
+            for (s, &x) in sums[l].iter_mut().zip(p) {
+                *s += f64::from(x);
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for (m, s) in centroids[c].iter_mut().zip(&sums[c]) {
+                    *m = s / counts[c] as f64;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let inertia = data
+        .iter()
+        .zip(&labels)
+        .map(|(p, &l)| sq_dist(p, &centroids[l]))
+        .sum();
+    KMeans { centroids, labels, inertia }
+}
+
+/// Mean silhouette coefficient of a clustering, in `[-1, 1]`
+/// (higher = tighter, better-separated clusters). Points in singleton
+/// clusters contribute 0, per the standard definition.
+///
+/// # Panics
+/// Panics when lengths mismatch or fewer than 2 points are given.
+pub fn silhouette(data: &[Vec<f32>], labels: &[usize]) -> f64 {
+    assert_eq!(data.len(), labels.len(), "labels/data mismatch");
+    assert!(data.len() >= 2, "silhouette needs >= 2 points");
+    let k = labels.iter().copied().max().unwrap_or(0) + 1;
+    let n = data.len();
+    let dist = |a: &[f32], b: &[f32]| -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (f64::from(*x) - f64::from(*y)).powi(2))
+            .sum::<f64>()
+            .sqrt()
+    };
+    let counts = {
+        let mut c = vec![0usize; k];
+        for &l in labels {
+            c[l] += 1;
+        }
+        c
+    };
+    let mut total = 0.0;
+    for i in 0..n {
+        if counts[labels[i]] <= 1 {
+            continue; // silhouette of a singleton is defined as 0
+        }
+        // mean distance to each cluster
+        let mut sums = vec![0.0f64; k];
+        for j in 0..n {
+            if i != j {
+                sums[labels[j]] += dist(&data[i], &data[j]);
+            }
+        }
+        let a = sums[labels[i]] / (counts[labels[i]] - 1) as f64;
+        let b = (0..k)
+            .filter(|&c| c != labels[i] && counts[c] > 0)
+            .map(|c| sums[c] / counts[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        if b.is_finite() {
+            total += (b - a) / a.max(b);
+        }
+    }
+    total / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> (Vec<Vec<f32>>, usize) {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut data = Vec::new();
+        for _ in 0..30 {
+            data.push(vec![rng.gen::<f32>(), rng.gen::<f32>()]);
+        }
+        for _ in 0..30 {
+            data.push(vec![9.0 + rng.gen::<f32>(), 9.0 + rng.gen::<f32>()]);
+        }
+        (data, 30)
+    }
+
+    #[test]
+    fn kmeans_separates_blobs() {
+        let (data, split) = blobs();
+        let km = kmeans(&data, 2, 50, 1);
+        let a = km.labels[0];
+        assert!(km.labels[..split].iter().all(|&l| l == a));
+        assert!(km.labels[split..].iter().all(|&l| l != a));
+        assert!(km.inertia < 30.0, "inertia {}", km.inertia);
+        assert_eq!(km.centroids.len(), 2);
+    }
+
+    #[test]
+    fn kmeans_is_deterministic_per_seed() {
+        let (data, _) = blobs();
+        assert_eq!(kmeans(&data, 3, 20, 9).labels, kmeans(&data, 3, 20, 9).labels);
+    }
+
+    #[test]
+    fn silhouette_prefers_true_clustering() {
+        let (data, split) = blobs();
+        let good: Vec<usize> = (0..data.len()).map(|i| usize::from(i >= split)).collect();
+        let bad: Vec<usize> = (0..data.len()).map(|i| i % 2).collect();
+        let s_good = silhouette(&data, &good);
+        let s_bad = silhouette(&data, &bad);
+        assert!(s_good > 0.8, "good silhouette {s_good}");
+        assert!(s_good > s_bad + 0.5, "good {s_good} vs bad {s_bad}");
+    }
+
+    #[test]
+    fn silhouette_bounds_and_singletons() {
+        let data = vec![vec![0.0f32], vec![0.1], vec![5.0]];
+        let labels = vec![0, 0, 1]; // cluster 1 is a singleton
+        let s = silhouette(&data, &labels);
+        assert!((-1.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad k")]
+    fn kmeans_rejects_oversized_k() {
+        let _ = kmeans(&[vec![0.0f32]], 2, 5, 0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Pearson and Spearman correlation coefficients.
+//!
+//! Spearman is the paper's workhorse (Tab. I, Fig. 2): every evaluation of a
+//! difference/quality score against true citations is a rank correlation.
+
+/// Average ranks (1-based) with ties sharing their mean rank — the standard
+/// treatment for Spearman.
+pub fn average_ranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        // positions i..=j tie; mean 1-based rank
+        let mean_rank = (i + j) as f64 / 2.0 + 1.0;
+        for k in i..=j {
+            ranks[idx[k]] = mean_rank;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Pearson product-moment correlation of two equal-length samples.
+///
+/// Returns 0 when either sample has zero variance or fewer than two points.
+///
+/// # Panics
+/// Panics when the lengths differ.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "pearson length mismatch");
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = xs.iter().sum::<f64>() / n as f64;
+    let my = ys.iter().sum::<f64>() / n as f64;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        0.0
+    } else {
+        sxy / (sxx * syy).sqrt()
+    }
+}
+
+/// Spearman rank correlation: Pearson on tie-averaged ranks.
+///
+/// # Panics
+/// Panics when the lengths differ.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "spearman length mismatch");
+    pearson(&average_ranks(xs), &average_ranks(ys))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_simple() {
+        assert_eq!(average_ranks(&[10.0, 30.0, 20.0]), vec![1.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn ranks_with_ties() {
+        // 5,5 share ranks 2 and 3 -> 2.5 each
+        assert_eq!(average_ranks(&[1.0, 5.0, 5.0, 9.0]), vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn pearson_perfect_linear() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [10.0, 20.0, 30.0, 40.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = ys.iter().map(|y| -y).collect();
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear_is_one() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys: Vec<f64> = xs.iter().map(|x: &f64| x.exp()).collect();
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_reverse_is_minus_one() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [9.0, 7.0, 5.0, 1.0];
+        assert!((spearman(&xs, &ys) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_known_value_with_ties() {
+        // hand-computed example
+        let xs = [1.0, 2.0, 2.0, 4.0];
+        let ys = [1.0, 3.0, 2.0, 4.0];
+        // ranks x: [1, 2.5, 2.5, 4]; ranks y: [1,3,2,4]
+        let r = spearman(&xs, &ys);
+        let expect = pearson(&[1.0, 2.5, 2.5, 4.0], &[1.0, 3.0, 2.0, 4.0]);
+        assert!((r - expect).abs() < 1e-12);
+        assert!(r > 0.8 && r < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let _ = spearman(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,357 @@
+//! Diagonal-covariance Gaussian mixture models fitted by EM, with BIC model
+//! selection — the paper's clustering method (Sec. III-C cites mclust and
+//! selects the number of clusters by the Bayesian information criterion).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// EM configuration.
+#[derive(Clone, Debug)]
+pub struct GmmConfig {
+    /// Maximum EM iterations.
+    pub max_iter: usize,
+    /// Stop when the log-likelihood improves by less than this.
+    pub tol: f64,
+    /// Variance floor (keeps components from collapsing on duplicates).
+    pub var_floor: f64,
+    /// Seed for the k-means++ initialisation.
+    pub seed: u64,
+}
+
+impl Default for GmmConfig {
+    fn default() -> Self {
+        GmmConfig { max_iter: 200, tol: 1e-6, var_floor: 1e-6, seed: 0x6e11 }
+    }
+}
+
+/// A fitted mixture of axis-aligned Gaussians.
+#[derive(Clone, Debug)]
+pub struct GaussianMixture {
+    weights: Vec<f64>,
+    means: Vec<Vec<f64>>,
+    vars: Vec<Vec<f64>>,
+    log_likelihood: f64,
+    dim: usize,
+}
+
+fn logsumexp(xs: &[f64]) -> f64 {
+    let m = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if m == f64::NEG_INFINITY {
+        return m;
+    }
+    m + xs.iter().map(|x| (x - m).exp()).sum::<f64>().ln()
+}
+
+impl GaussianMixture {
+    /// Fits a `k`-component mixture with EM from a k-means++ start.
+    ///
+    /// # Panics
+    /// Panics when `data` is empty, `k == 0`, or `k > data.len()`.
+    pub fn fit(data: &[Vec<f32>], k: usize, config: &GmmConfig) -> Self {
+        assert!(!data.is_empty(), "GMM over empty data");
+        assert!(k > 0 && k <= data.len(), "bad component count {k} for {} points", data.len());
+        let n = data.len();
+        let d = data[0].len();
+        assert!(data.iter().all(|p| p.len() == d), "inconsistent point dims");
+
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut means = kmeans_pp_init(data, k, &mut rng);
+        kmeans_refine(data, &mut means, 10);
+
+        // init: uniform weights, global variance
+        let mut weights = vec![1.0 / k as f64; k];
+        let global_var: Vec<f64> = (0..d)
+            .map(|j| {
+                let mean = data.iter().map(|p| p[j] as f64).sum::<f64>() / n as f64;
+                let v = data.iter().map(|p| (p[j] as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+                v.max(config.var_floor)
+            })
+            .collect();
+        let mut vars = vec![global_var; k];
+
+        let mut prev_ll = f64::NEG_INFINITY;
+        let mut ll = prev_ll;
+        let mut resp = vec![vec![0.0f64; k]; n];
+        for _ in 0..config.max_iter {
+            // E step
+            ll = 0.0;
+            for (i, p) in data.iter().enumerate() {
+                let logs: Vec<f64> = (0..k)
+                    .map(|c| weights[c].ln() + log_gauss(p, &means[c], &vars[c]))
+                    .collect();
+                let z = logsumexp(&logs);
+                ll += z;
+                for c in 0..k {
+                    resp[i][c] = (logs[c] - z).exp();
+                }
+            }
+            // M step
+            for c in 0..k {
+                let nk: f64 = resp.iter().map(|r| r[c]).sum();
+                let nk_safe = nk.max(1e-12);
+                weights[c] = nk / n as f64;
+                for j in 0..d {
+                    let m = data
+                        .iter()
+                        .zip(&resp)
+                        .map(|(p, r)| r[c] * p[j] as f64)
+                        .sum::<f64>()
+                        / nk_safe;
+                    means[c][j] = m;
+                }
+                for j in 0..d {
+                    let v = data
+                        .iter()
+                        .zip(&resp)
+                        .map(|(p, r)| r[c] * (p[j] as f64 - means[c][j]).powi(2))
+                        .sum::<f64>()
+                        / nk_safe;
+                    vars[c][j] = v.max(config.var_floor);
+                }
+            }
+            if (ll - prev_ll).abs() < config.tol {
+                break;
+            }
+            prev_ll = ll;
+        }
+
+        GaussianMixture { weights, means, vars, log_likelihood: ll, dim: d }
+    }
+
+    /// Fits mixtures for `k ∈ 1..=k_max` and returns the one minimising BIC
+    /// (ties go to the smaller `k`). `k_max` is clamped to `data.len()`.
+    pub fn fit_bic(data: &[Vec<f32>], k_max: usize, config: &GmmConfig) -> Self {
+        let k_max = k_max.min(data.len()).max(1);
+        (1..=k_max)
+            .map(|k| GaussianMixture::fit(data, k, config))
+            .min_by(|a, b| a.bic(data.len()).total_cmp(&b.bic(data.len())))
+            .expect("k_max >= 1")
+    }
+
+    /// Bayesian information criterion `p·ln n − 2·logL` (lower is better);
+    /// `p` counts weights (k−1), means (k·d) and variances (k·d).
+    pub fn bic(&self, n: usize) -> f64 {
+        let k = self.weights.len();
+        let p = (k - 1) + 2 * k * self.dim;
+        p as f64 * (n as f64).ln() - 2.0 * self.log_likelihood
+    }
+
+    /// Number of mixture components.
+    pub fn n_components(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Dimensionality of the fitted space.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Training-data log-likelihood of the final EM iteration.
+    pub fn log_likelihood(&self) -> f64 {
+        self.log_likelihood
+    }
+
+    /// Component mean.
+    pub fn mean(&self, c: usize) -> &[f64] {
+        &self.means[c]
+    }
+
+    /// Mixture weight of a component.
+    pub fn weight(&self, c: usize) -> f64 {
+        self.weights[c]
+    }
+
+    /// Posterior responsibilities `P(component | point)`.
+    pub fn responsibilities(&self, p: &[f32]) -> Vec<f64> {
+        let logs: Vec<f64> = (0..self.weights.len())
+            .map(|c| self.weights[c].ln() + log_gauss(p, &self.means[c], &self.vars[c]))
+            .collect();
+        let z = logsumexp(&logs);
+        logs.into_iter().map(|l| (l - z).exp()).collect()
+    }
+
+    /// Hard assignment: the most responsible component.
+    pub fn predict(&self, p: &[f32]) -> usize {
+        let r = self.responsibilities(p);
+        r.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .expect("at least one component")
+    }
+
+    /// Hard assignments for a whole dataset.
+    pub fn predict_all(&self, data: &[Vec<f32>]) -> Vec<usize> {
+        data.iter().map(|p| self.predict(p)).collect()
+    }
+}
+
+fn log_gauss(p: &[f32], mean: &[f64], var: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for ((x, m), v) in p.iter().zip(mean).zip(var) {
+        let d = *x as f64 - m;
+        acc += -0.5 * (d * d / v + v.ln() + (2.0 * std::f64::consts::PI).ln());
+    }
+    acc
+}
+
+fn sq_dist(a: &[f32], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, m)| (*x as f64 - m).powi(2)).sum()
+}
+
+fn kmeans_pp_init(data: &[Vec<f32>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+    let first = rng.gen_range(0..data.len());
+    let mut means: Vec<Vec<f64>> = vec![data[first].iter().map(|&x| x as f64).collect()];
+    let mut d2: Vec<f64> = data.iter().map(|p| sq_dist(p, &means[0])).collect();
+    while means.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            rng.gen_range(0..data.len())
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut pick = data.len() - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                if target <= w {
+                    pick = i;
+                    break;
+                }
+                target -= w;
+            }
+            pick
+        };
+        let centre: Vec<f64> = data[next].iter().map(|&x| x as f64).collect();
+        for (i, p) in data.iter().enumerate() {
+            d2[i] = d2[i].min(sq_dist(p, &centre));
+        }
+        means.push(centre);
+    }
+    means
+}
+
+fn kmeans_refine(data: &[Vec<f32>], means: &mut [Vec<f64>], iters: usize) {
+    let k = means.len();
+    let d = means[0].len();
+    for _ in 0..iters {
+        let mut sums = vec![vec![0.0f64; d]; k];
+        let mut counts = vec![0usize; k];
+        for p in data {
+            let c = (0..k)
+                .min_by(|&a, &b| sq_dist(p, &means[a]).total_cmp(&sq_dist(p, &means[b])))
+                .expect("k > 0");
+            counts[c] += 1;
+            for (s, &x) in sums[c].iter_mut().zip(p) {
+                *s += x as f64;
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for (m, s) in means[c].iter_mut().zip(&sums[c]) {
+                    *m = s / counts[c] as f64;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs(n_per: usize, sep: f32, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = Vec::new();
+        for _ in 0..n_per {
+            data.push(vec![rng.gen::<f32>() - 0.5, rng.gen::<f32>() - 0.5]);
+        }
+        for _ in 0..n_per {
+            data.push(vec![sep + rng.gen::<f32>() - 0.5, sep + rng.gen::<f32>() - 0.5]);
+        }
+        data
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let data = two_blobs(60, 8.0, 1);
+        let gmm = GaussianMixture::fit(&data, 2, &GmmConfig::default());
+        let labels = gmm.predict_all(&data);
+        // all of blob A share a label; all of blob B share the other
+        let a = labels[0];
+        assert!(labels[..60].iter().all(|&l| l == a));
+        assert!(labels[60..].iter().all(|&l| l != a));
+    }
+
+    #[test]
+    fn bic_selects_two_for_two_blobs() {
+        let data = two_blobs(80, 10.0, 2);
+        let gmm = GaussianMixture::fit_bic(&data, 5, &GmmConfig::default());
+        assert_eq!(gmm.n_components(), 2, "BIC picked {}", gmm.n_components());
+    }
+
+    #[test]
+    fn bic_selects_one_for_single_gaussian_blob() {
+        // Box–Muller normal samples: a genuinely Gaussian cloud, which BIC
+        // should model with a single component.
+        let mut rng = StdRng::seed_from_u64(3);
+        let data: Vec<Vec<f32>> = (0..120)
+            .map(|_| {
+                let mut normal = || {
+                    let u1: f64 = rng.gen::<f64>().max(1e-12);
+                    let u2: f64 = rng.gen();
+                    ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+                };
+                vec![normal(), normal()]
+            })
+            .collect();
+        let gmm = GaussianMixture::fit_bic(&data, 4, &GmmConfig::default());
+        assert_eq!(gmm.n_components(), 1, "BIC picked {}", gmm.n_components());
+    }
+
+    #[test]
+    fn responsibilities_are_distributions() {
+        let data = two_blobs(40, 6.0, 4);
+        let gmm = GaussianMixture::fit(&data, 3, &GmmConfig::default());
+        for p in &data {
+            let r = gmm.responsibilities(p);
+            let s: f64 = r.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+            assert!(r.iter().all(|&x| (0.0..=1.0 + 1e-12).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let data = two_blobs(50, 5.0, 5);
+        let gmm = GaussianMixture::fit(&data, 2, &GmmConfig::default());
+        let s: f64 = (0..2).map(|c| gmm.weight(c)).sum();
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn handles_duplicate_points() {
+        let data = vec![vec![1.0f32, 1.0]; 20];
+        let gmm = GaussianMixture::fit(&data, 2, &GmmConfig::default());
+        assert!(gmm.log_likelihood().is_finite());
+        assert_eq!(gmm.predict(&[1.0, 1.0]), gmm.predict(&[1.0, 1.0]));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data = two_blobs(30, 4.0, 6);
+        let a = GaussianMixture::fit(&data, 2, &GmmConfig::default());
+        let b = GaussianMixture::fit(&data, 2, &GmmConfig::default());
+        assert_eq!(a.predict_all(&data), b.predict_all(&data));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty data")]
+    fn empty_data_panics() {
+        let _ = GaussianMixture::fit(&[], 1, &GmmConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "bad component count")]
+    fn too_many_components_panics() {
+        let data = vec![vec![0.0f32]; 3];
+        let _ = GaussianMixture::fit(&data, 5, &GmmConfig::default());
+    }
+}

@@ -1,0 +1,29 @@
+//! # sem-stats
+//!
+//! The statistics substrate for the reproduction. The paper leans on a
+//! toolbox of classic algorithms (Sec. III-C, III-F, IV-D): Gaussian-mixture
+//! clustering with BIC model selection (mclust), the Local Outlier Factor,
+//! t-SNE for the figures, Spearman correlation for every ranking comparison,
+//! OLS regression for the Fig. 3 trend lines, and the nDCG/MRR/MAP
+//! recommendation metrics. All are implemented here from scratch.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod correlation;
+pub mod regression;
+pub mod metrics;
+pub mod gmm;
+pub mod lof;
+pub mod tsne;
+pub mod tsne_bh;
+pub mod cluster;
+
+pub use cluster::{kmeans, silhouette, KMeans};
+pub use correlation::{pearson, spearman};
+pub use gmm::{GaussianMixture, GmmConfig};
+pub use lof::local_outlier_factor;
+pub use metrics::{average_precision, mean_average_precision, mean_reciprocal_rank, ndcg_at_k};
+pub use regression::OlsFit;
+pub use tsne::{tsne, TsneConfig};
+pub use tsne_bh::tsne_barnes_hut;

@@ -1,0 +1,146 @@
+//! Local Outlier Factor (Breunig et al., SIGMOD 2000) — the paper's
+//! difference index: "the higher the LOF value of a paper, the more
+//! difference the paper has with other papers" (Sec. III-C).
+
+/// Computes the LOF of every point with neighbourhood size `k`.
+///
+/// Values near 1 mean inlier density; larger values mean outliers. `k` is
+/// clamped to `n − 1`. Duplicate points are handled by flooring distances
+/// (standard practice) so densities stay finite.
+///
+/// # Panics
+/// Panics when fewer than 2 points are given.
+pub fn local_outlier_factor(data: &[Vec<f32>], k: usize) -> Vec<f64> {
+    let n = data.len();
+    assert!(n >= 2, "LOF needs at least 2 points");
+    let k = k.clamp(1, n - 1);
+
+    // pairwise distances and k-nearest neighbours
+    let mut dist = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = data[i]
+                .iter()
+                .zip(&data[j])
+                .map(|(a, b)| (*a as f64 - *b as f64).powi(2))
+                .sum::<f64>()
+                .sqrt();
+            dist[i][j] = d;
+            dist[j][i] = d;
+        }
+    }
+
+    let mut neighbours: Vec<Vec<usize>> = Vec::with_capacity(n);
+    let mut k_dist = vec![0.0f64; n];
+    for i in 0..n {
+        let mut idx: Vec<usize> = (0..n).filter(|&j| j != i).collect();
+        idx.sort_by(|&a, &b| dist[i][a].total_cmp(&dist[i][b]));
+        idx.truncate(k);
+        k_dist[i] = dist[i][*idx.last().expect("k >= 1")];
+        neighbours.push(idx);
+    }
+
+    // local reachability density
+    const EPS: f64 = 1e-12;
+    let lrd: Vec<f64> = (0..n)
+        .map(|i| {
+            let sum_reach: f64 = neighbours[i]
+                .iter()
+                .map(|&j| dist[i][j].max(k_dist[j]))
+                .sum();
+            k as f64 / (sum_reach.max(EPS))
+        })
+        .collect();
+
+    (0..n)
+        .map(|i| {
+            let s: f64 = neighbours[i].iter().map(|&j| lrd[j]).sum();
+            s / (k as f64 * lrd[i].max(EPS))
+        })
+        .collect()
+}
+
+/// Min–max normalises LOF values to `[0, 1]` (the paper's "normalized LOF
+/// value" used on the Fig. 3 axes). Constant inputs map to all-zero.
+pub fn normalize(lof: &[f64]) -> Vec<f64> {
+    let lo = lof.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = lof.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !(hi - lo).is_normal() {
+        return vec![0.0; lof.len()];
+    }
+    lof.iter().map(|v| (v - lo) / (hi - lo)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn cluster_with_outlier() -> Vec<Vec<f32>> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut data: Vec<Vec<f32>> = (0..50)
+            .map(|_| vec![rng.gen::<f32>(), rng.gen::<f32>()])
+            .collect();
+        data.push(vec![30.0, 30.0]); // far outlier
+        data
+    }
+
+    #[test]
+    fn outlier_has_highest_lof() {
+        let data = cluster_with_outlier();
+        let lof = local_outlier_factor(&data, 5);
+        let max_idx = lof
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(max_idx, data.len() - 1);
+        assert!(lof[max_idx] > 2.0, "outlier LOF {}", lof[max_idx]);
+    }
+
+    #[test]
+    fn uniform_cluster_lof_near_one() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let data: Vec<Vec<f32>> = (0..100)
+            .map(|_| vec![rng.gen::<f32>(), rng.gen::<f32>()])
+            .collect();
+        let lof = local_outlier_factor(&data, 10);
+        let mean: f64 = lof.iter().sum::<f64>() / lof.len() as f64;
+        assert!((mean - 1.0).abs() < 0.15, "mean LOF {mean}");
+    }
+
+    #[test]
+    fn all_lof_values_positive_and_finite() {
+        let data = cluster_with_outlier();
+        for k in [1, 3, 10, 200] {
+            let lof = local_outlier_factor(&data, k);
+            assert!(lof.iter().all(|v| v.is_finite() && *v > 0.0), "k={k}");
+        }
+    }
+
+    #[test]
+    fn duplicates_do_not_blow_up() {
+        let mut data = vec![vec![0.0f32, 0.0]; 10];
+        data.push(vec![5.0, 5.0]);
+        let lof = local_outlier_factor(&data, 3);
+        assert!(lof.iter().all(|v| v.is_finite()));
+        assert!(lof[10] > lof[0]);
+    }
+
+    #[test]
+    fn normalize_bounds() {
+        let lof = vec![1.0, 2.0, 5.0];
+        let n = normalize(&lof);
+        assert_eq!(n[0], 0.0);
+        assert_eq!(n[2], 1.0);
+        assert!((n[1] - 0.25).abs() < 1e-12);
+        assert_eq!(normalize(&[3.0, 3.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 points")]
+    fn single_point_panics() {
+        let _ = local_outlier_factor(&[vec![0.0]], 1);
+    }
+}

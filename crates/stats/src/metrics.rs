@@ -1,0 +1,222 @@
+//! Ranking metrics: nDCG@k (the paper's Eq. in Sec. IV-D), MRR and MAP.
+//!
+//! All functions take a ranked list of boolean relevance marks
+//! (`true` = the paper was actually cited by the user).
+
+/// Graded relevance the paper assigns to an actually-cited candidate
+/// (`rel_i = 5`, Sec. IV-D). With binary relevance the constant cancels in
+/// nDCG, but we keep it for fidelity to the paper's DCG definition.
+pub const REL_CITED: f64 = 5.0;
+
+/// `DCG@k = Σ_{i≤k} rel_i / log2(i+1)` with 1-based `i`.
+pub fn dcg_at_k(relevant: &[bool], k: usize) -> f64 {
+    relevant
+        .iter()
+        .take(k)
+        .enumerate()
+        .filter(|(_, &r)| r)
+        .map(|(i, _)| REL_CITED / ((i + 2) as f64).log2())
+        .sum()
+}
+
+/// `nDCG@k = DCG@k / IDCG` where `IDCG` places all `|Ref|` relevant items
+/// first (the paper's ideal discounted cumulative gain).
+///
+/// Returns 0 when there are no relevant items.
+pub fn ndcg_at_k(relevant: &[bool], k: usize) -> f64 {
+    let n_rel = relevant.iter().filter(|&&r| r).count();
+    if n_rel == 0 {
+        return 0.0;
+    }
+    let idcg: f64 = (0..n_rel).map(|i| REL_CITED / ((i + 2) as f64).log2()).sum();
+    dcg_at_k(relevant, k) / idcg
+}
+
+/// Reciprocal rank of the first relevant item (0 when none).
+pub fn reciprocal_rank(relevant: &[bool]) -> f64 {
+    relevant
+        .iter()
+        .position(|&r| r)
+        .map(|i| 1.0 / (i + 1) as f64)
+        .unwrap_or(0.0)
+}
+
+/// Mean reciprocal rank over users.
+pub fn mean_reciprocal_rank(per_user: &[Vec<bool>]) -> f64 {
+    if per_user.is_empty() {
+        return 0.0;
+    }
+    per_user.iter().map(|r| reciprocal_rank(r)).sum::<f64>() / per_user.len() as f64
+}
+
+/// Average precision of one ranked list (0 when no relevant items).
+pub fn average_precision(relevant: &[bool]) -> f64 {
+    let mut hits = 0usize;
+    let mut sum = 0.0;
+    for (i, &r) in relevant.iter().enumerate() {
+        if r {
+            hits += 1;
+            sum += hits as f64 / (i + 1) as f64;
+        }
+    }
+    if hits == 0 {
+        0.0
+    } else {
+        sum / hits as f64
+    }
+}
+
+/// Mean average precision over users.
+pub fn mean_average_precision(per_user: &[Vec<bool>]) -> f64 {
+    if per_user.is_empty() {
+        return 0.0;
+    }
+    per_user.iter().map(|r| average_precision(r)).sum::<f64>() / per_user.len() as f64
+}
+
+/// Precision@k: fraction of the top `k` that is relevant (0 when `k == 0`).
+pub fn precision_at_k(relevant: &[bool], k: usize) -> f64 {
+    let k = k.min(relevant.len());
+    if k == 0 {
+        return 0.0;
+    }
+    relevant[..k].iter().filter(|&&r| r).count() as f64 / k as f64
+}
+
+/// Recall@k: fraction of all relevant items found in the top `k`
+/// (0 when there are no relevant items).
+pub fn recall_at_k(relevant: &[bool], k: usize) -> f64 {
+    let total = relevant.iter().filter(|&&r| r).count();
+    if total == 0 {
+        return 0.0;
+    }
+    let k = k.min(relevant.len());
+    relevant[..k].iter().filter(|&&r| r).count() as f64 / total as f64
+}
+
+/// ROC AUC of a ranked list: the probability that a relevant item ranks
+/// above an irrelevant one (ties impossible in a ranked list). Returns 0.5
+/// when either class is empty.
+pub fn ranked_auc(relevant: &[bool]) -> f64 {
+    let pos = relevant.iter().filter(|&&r| r).count();
+    let neg = relevant.len() - pos;
+    if pos == 0 || neg == 0 {
+        return 0.5;
+    }
+    // count (pos, neg) pairs where the positive is ranked earlier
+    let mut concordant = 0usize;
+    let mut neg_seen_after: usize = neg;
+    for &r in relevant {
+        if r {
+            concordant += neg_seen_after;
+        } else {
+            neg_seen_after -= 1;
+        }
+    }
+    concordant as f64 / (pos * neg) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_is_one() {
+        let r = [true, true, false, false];
+        assert!((ndcg_at_k(&r, 4) - 1.0).abs() < 1e-12);
+        assert_eq!(reciprocal_rank(&r), 1.0);
+        assert!((average_precision(&r) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_ranking_within_k_still_counts() {
+        // one relevant item at the last of 4 positions
+        let r = [false, false, false, true];
+        let expect = (REL_CITED / 5.0f64.log2()) / (REL_CITED / 2.0f64.log2());
+        assert!((ndcg_at_k(&r, 4) - expect).abs() < 1e-12);
+        assert!((reciprocal_rank(&r) - 0.25).abs() < 1e-12);
+        assert!((average_precision(&r) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relevant_beyond_k_is_ignored() {
+        let r = [false, false, true];
+        assert_eq!(ndcg_at_k(&r, 2), 0.0);
+        assert!(ndcg_at_k(&r, 3) > 0.0);
+    }
+
+    #[test]
+    fn no_relevant_items_is_zero() {
+        let r = [false, false];
+        assert_eq!(ndcg_at_k(&r, 2), 0.0);
+        assert_eq!(reciprocal_rank(&r), 0.0);
+        assert_eq!(average_precision(&r), 0.0);
+    }
+
+    #[test]
+    fn ndcg_bounded_and_monotone_in_rank() {
+        // moving the relevant item earlier can only increase nDCG
+        let mut prev = 0.0;
+        for pos in (0..6).rev() {
+            let mut r = vec![false; 6];
+            r[pos] = true;
+            let v = ndcg_at_k(&r, 6);
+            assert!((0.0..=1.0).contains(&v));
+            assert!(v >= prev, "pos {pos}: {v} < {prev}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn hand_computed_ndcg() {
+        // rel at positions 1 and 3 (1-based), k=3, |Ref|=2
+        let r = [true, false, true];
+        let dcg = REL_CITED / 2.0f64.log2() + REL_CITED / 4.0f64.log2();
+        let idcg = REL_CITED / 2.0f64.log2() + REL_CITED / 3.0f64.log2();
+        assert!((ndcg_at_k(&r, 3) - dcg / idcg).abs() < 1e-12);
+    }
+
+    #[test]
+    fn map_and_mrr_average_over_users() {
+        let users = vec![vec![true, false], vec![false, true]];
+        assert!((mean_reciprocal_rank(&users) - 0.75).abs() < 1e-12);
+        assert!((mean_average_precision(&users) - 0.75).abs() < 1e-12);
+        assert_eq!(mean_reciprocal_rank(&[]), 0.0);
+        assert_eq!(mean_average_precision(&[]), 0.0);
+    }
+
+    #[test]
+    fn ap_hand_example() {
+        // relevant at ranks 1, 3, 4 → AP = (1/1 + 2/3 + 3/4)/3
+        let r = [true, false, true, true];
+        let expect = (1.0 + 2.0 / 3.0 + 0.75) / 3.0;
+        assert!((average_precision(&r) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_recall_at_k() {
+        let r = [true, false, true, false];
+        assert_eq!(precision_at_k(&r, 1), 1.0);
+        assert_eq!(precision_at_k(&r, 2), 0.5);
+        assert_eq!(precision_at_k(&r, 4), 0.5);
+        assert_eq!(precision_at_k(&r, 0), 0.0);
+        assert_eq!(precision_at_k(&r, 99), 0.5); // clamped to len
+        assert_eq!(recall_at_k(&r, 1), 0.5);
+        assert_eq!(recall_at_k(&r, 4), 1.0);
+        assert_eq!(recall_at_k(&[false, false], 2), 0.0);
+    }
+
+    #[test]
+    fn auc_hand_examples() {
+        // perfect ranking
+        assert_eq!(ranked_auc(&[true, true, false, false]), 1.0);
+        // inverted ranking
+        assert_eq!(ranked_auc(&[false, false, true]), 0.0);
+        // alternating: pairs = 2*2=4, concordant = (pos0 before neg0,neg1)=2
+        // + (pos1 before neg1)=1 → 3/4
+        assert_eq!(ranked_auc(&[true, false, true, false]), 0.75);
+        // degenerate classes
+        assert_eq!(ranked_auc(&[true, true]), 0.5);
+        assert_eq!(ranked_auc(&[]), 0.5);
+    }
+}

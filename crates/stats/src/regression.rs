@@ -1,0 +1,98 @@
+//! Simple ordinary-least-squares regression (the Fig. 3 trend lines).
+
+/// Result of fitting `y ≈ slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OlsFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination R².
+    pub r2: f64,
+}
+
+impl OlsFit {
+    /// Fits by least squares.
+    ///
+    /// Returns a flat line at the mean when `x` has no variance or fewer than
+    /// two points are given.
+    ///
+    /// # Panics
+    /// Panics when the lengths differ.
+    pub fn fit(xs: &[f64], ys: &[f64]) -> OlsFit {
+        assert_eq!(xs.len(), ys.len(), "ols length mismatch");
+        let n = xs.len();
+        if n < 2 {
+            return OlsFit { slope: 0.0, intercept: ys.first().copied().unwrap_or(0.0), r2: 0.0 };
+        }
+        let mx = xs.iter().sum::<f64>() / n as f64;
+        let my = ys.iter().sum::<f64>() / n as f64;
+        let mut sxy = 0.0;
+        let mut sxx = 0.0;
+        let mut syy = 0.0;
+        for (x, y) in xs.iter().zip(ys) {
+            sxy += (x - mx) * (y - my);
+            sxx += (x - mx) * (x - mx);
+            syy += (y - my) * (y - my);
+        }
+        if sxx == 0.0 {
+            return OlsFit { slope: 0.0, intercept: my, r2: 0.0 };
+        }
+        let slope = sxy / sxx;
+        let intercept = my - slope * mx;
+        let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+        OlsFit { slope, intercept, r2 }
+    }
+
+    /// Predicted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 2.5 * x - 1.0).collect();
+        let f = OlsFit::fit(&xs, &ys);
+        assert!((f.slope - 2.5).abs() < 1e-12);
+        assert!((f.intercept + 1.0).abs() < 1e-12);
+        assert!((f.r2 - 1.0).abs() < 1e-12);
+        assert!((f.predict(10.0) - 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_recovered_approximately() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 3.0 * x + 1.0 + if i % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
+        let f = OlsFit::fit(&xs, &ys);
+        assert!((f.slope - 3.0).abs() < 0.01);
+        assert!(f.r2 > 0.99);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let f = OlsFit::fit(&[], &[]);
+        assert_eq!(f.slope, 0.0);
+        let f = OlsFit::fit(&[5.0], &[3.0]);
+        assert_eq!(f.intercept, 3.0);
+        let f = OlsFit::fit(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]);
+        assert_eq!(f.slope, 0.0);
+        assert!((f.intercept - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flat_y_has_r2_one() {
+        let f = OlsFit::fit(&[1.0, 2.0, 3.0], &[4.0, 4.0, 4.0]);
+        assert_eq!(f.slope, 0.0);
+        assert_eq!(f.r2, 1.0);
+    }
+}

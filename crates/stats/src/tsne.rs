@@ -1,0 +1,252 @@
+//! Exact t-SNE (van der Maaten & Hinton, 2008) for the paper's Fig. 3/5
+//! visualisations. Point counts in those figures are ≤ a few hundred, so the
+//! O(n²) exact gradient is the right tool (no Barnes–Hut approximation).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// t-SNE hyperparameters.
+#[derive(Clone, Debug)]
+pub struct TsneConfig {
+    /// Target perplexity of the conditional distributions.
+    pub perplexity: f64,
+    /// Gradient-descent iterations.
+    pub iters: usize,
+    /// Learning rate. Note: this implementation keeps the analytic factor 4
+    /// in the KL gradient (many reference implementations fold it into the
+    /// rate), so values around 1–5 suit the few-hundred-point layouts the
+    /// paper's figures use.
+    pub lr: f64,
+    /// Early-exaggeration factor applied for the first quarter of iterations.
+    pub exaggeration: f64,
+    /// Seed for the initial layout.
+    pub seed: u64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        TsneConfig { perplexity: 20.0, iters: 400, lr: 2.0, exaggeration: 6.0, seed: 0x75e }
+    }
+}
+
+/// Embeds `data` into 2-D. Returns one `[x, y]` pair per input point.
+///
+/// # Panics
+/// Panics when fewer than 3 points are given.
+pub fn tsne(data: &[Vec<f32>], config: &TsneConfig) -> Vec<[f64; 2]> {
+    let n = data.len();
+    assert!(n >= 3, "t-SNE needs at least 3 points");
+    let p = joint_affinities(data, config.perplexity);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut y: Vec<[f64; 2]> = (0..n)
+        .map(|_| [rng.gen::<f64>() * 1e-2 - 5e-3, rng.gen::<f64>() * 1e-2 - 5e-3])
+        .collect();
+    let mut vel = vec![[0.0f64; 2]; n];
+    let mut gain = vec![[1.0f64; 2]; n];
+    let exag_until = config.iters / 4;
+
+    let mut q = vec![0.0f64; n * n];
+    for iter in 0..config.iters {
+        let exag = if iter < exag_until { config.exaggeration } else { 1.0 };
+        // student-t affinities in the embedding
+        let mut z = 0.0f64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dx = y[i][0] - y[j][0];
+                let dy = y[i][1] - y[j][1];
+                let w = 1.0 / (1.0 + dx * dx + dy * dy);
+                q[i * n + j] = w;
+                q[j * n + i] = w;
+                z += 2.0 * w;
+            }
+        }
+        let z = z.max(1e-12);
+        let momentum = if iter < exag_until { 0.5 } else { 0.8 };
+        for i in 0..n {
+            let mut g = [0.0f64; 2];
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let w = q[i * n + j];
+                let pij = exag * p[i * n + j];
+                let qij = w / z;
+                let mult = 4.0 * (pij - qij) * w;
+                g[0] += mult * (y[i][0] - y[j][0]);
+                g[1] += mult * (y[i][1] - y[j][1]);
+            }
+            for d in 0..2 {
+                // adaptive gains as in the reference implementation: grow when
+                // the gradient keeps direction, shrink when it flips
+                gain[i][d] = if (g[d] > 0.0) != (vel[i][d] > 0.0) {
+                    (gain[i][d] + 0.2).min(10.0)
+                } else {
+                    (gain[i][d] * 0.8).max(0.01)
+                };
+                vel[i][d] = momentum * vel[i][d] - config.lr * gain[i][d] * g[d];
+                y[i][d] += vel[i][d];
+            }
+        }
+        // re-centre to keep the layout bounded
+        let (mx, my) = y
+            .iter()
+            .fold((0.0, 0.0), |(a, b), p| (a + p[0] / n as f64, b + p[1] / n as f64));
+        for p in &mut y {
+            p[0] -= mx;
+            p[1] -= my;
+        }
+    }
+    y
+}
+
+/// Symmetrised joint affinities `P` with per-point bandwidths found by
+/// binary search to match `perplexity`.
+fn joint_affinities(data: &[Vec<f32>], perplexity: f64) -> Vec<f64> {
+    let n = data.len();
+    let target_h = perplexity.min((n - 1) as f64).max(2.0).ln();
+    let mut d2 = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = data[i]
+                .iter()
+                .zip(&data[j])
+                .map(|(a, b)| (*a as f64 - *b as f64).powi(2))
+                .sum::<f64>();
+            d2[i * n + j] = d;
+            d2[j * n + i] = d;
+        }
+    }
+    let mut p = vec![0.0f64; n * n];
+    for i in 0..n {
+        let row = &d2[i * n..(i + 1) * n];
+        let mut beta = 1.0f64; // 1 / (2 sigma^2)
+        let (mut lo, mut hi) = (0.0f64, f64::INFINITY);
+        let mut probs = vec![0.0f64; n];
+        for _ in 0..64 {
+            let mut sum = 0.0;
+            for j in 0..n {
+                probs[j] = if j == i { 0.0 } else { (-beta * row[j]).exp() };
+                sum += probs[j];
+            }
+            let sum = sum.max(1e-300);
+            let mut h = 0.0;
+            for (j, pr) in probs.iter_mut().enumerate() {
+                *pr /= sum;
+                if *pr > 1e-300 && j != i {
+                    h -= *pr * pr.ln();
+                }
+            }
+            let diff = h - target_h;
+            if diff.abs() < 1e-5 {
+                break;
+            }
+            if diff > 0.0 {
+                lo = beta;
+                beta = if hi.is_finite() { (beta + hi) / 2.0 } else { beta * 2.0 };
+            } else {
+                hi = beta;
+                beta = (beta + lo) / 2.0;
+            }
+        }
+        for j in 0..n {
+            p[i * n + j] = probs[j];
+        }
+    }
+    // symmetrise and normalise
+    let mut joint = vec![0.0f64; n * n];
+    let denom = (2 * n) as f64;
+    for i in 0..n {
+        for j in 0..n {
+            joint[i * n + j] = ((p[i * n + j] + p[j * n + i]) / denom).max(1e-12);
+        }
+    }
+    for i in 0..n {
+        joint[i * n + i] = 0.0;
+    }
+    joint
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_far_blobs() -> (Vec<Vec<f32>>, usize) {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut data = Vec::new();
+        for _ in 0..25 {
+            data.push(vec![rng.gen::<f32>(), rng.gen::<f32>(), rng.gen::<f32>()]);
+        }
+        for _ in 0..25 {
+            data.push(vec![
+                20.0 + rng.gen::<f32>(),
+                20.0 + rng.gen::<f32>(),
+                20.0 + rng.gen::<f32>(),
+            ]);
+        }
+        (data, 25)
+    }
+
+    #[test]
+    fn separates_blobs_in_2d() {
+        let (data, split) = two_far_blobs();
+        let cfg = TsneConfig { iters: 250, perplexity: 10.0, ..Default::default() };
+        let y = tsne(&data, &cfg);
+        // mean intra-blob distance must be well below inter-blob distance
+        let dist = |a: [f64; 2], b: [f64; 2]| ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2)).sqrt();
+        let mut intra = 0.0;
+        let mut intra_n = 0;
+        let mut inter = 0.0;
+        let mut inter_n = 0;
+        for i in 0..data.len() {
+            for j in (i + 1)..data.len() {
+                let d = dist(y[i], y[j]);
+                if (i < split) == (j < split) {
+                    intra += d;
+                    intra_n += 1;
+                } else {
+                    inter += d;
+                    inter_n += 1;
+                }
+            }
+        }
+        let intra = intra / intra_n as f64;
+        let inter = inter / inter_n as f64;
+        assert!(inter > 2.0 * intra, "intra {intra} inter {inter}");
+    }
+
+    #[test]
+    fn output_is_finite_and_centred() {
+        let (data, _) = two_far_blobs();
+        let y = tsne(&data, &TsneConfig { iters: 50, ..Default::default() });
+        assert!(y.iter().all(|p| p[0].is_finite() && p[1].is_finite()));
+        let mx: f64 = y.iter().map(|p| p[0]).sum::<f64>() / y.len() as f64;
+        assert!(mx.abs() < 1e-6);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (data, _) = two_far_blobs();
+        let cfg = TsneConfig { iters: 30, ..Default::default() };
+        assert_eq!(tsne(&data, &cfg), tsne(&data, &cfg));
+    }
+
+    #[test]
+    fn affinities_are_symmetric_distribution() {
+        let (data, _) = two_far_blobs();
+        let n = data.len();
+        let p = joint_affinities(&data, 10.0);
+        let total: f64 = p.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6, "sums to {total}");
+        for i in 0..n {
+            for j in 0..n {
+                assert!((p[i * n + j] - p[j * n + i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 points")]
+    fn too_few_points_panics() {
+        let _ = tsne(&[vec![0.0], vec![1.0]], &TsneConfig::default());
+    }
+}

@@ -1,0 +1,415 @@
+//! Barnes–Hut t-SNE: the O(n log n) approximation for layouts beyond the
+//! few-hundred-point figures (exact t-SNE lives in [`crate::tsne`]).
+//!
+//! Standard construction (van der Maaten 2014): input affinities are made
+//! sparse by restricting each point to its `3·perplexity` nearest
+//! neighbours, and the repulsive term is approximated with a quadtree using
+//! the Barnes–Hut opening criterion `cell_size / distance < θ`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::tsne::TsneConfig;
+
+/// A sparse symmetric affinity matrix in triplet form.
+struct SparseP {
+    /// `(i, j, p_ij)` with `i < j`; symmetric weight stored once.
+    triplets: Vec<(usize, usize, f64)>,
+}
+
+fn squared_distance(a: &[f32], b: &[f32]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (f64::from(*x) - f64::from(*y)).powi(2))
+        .sum()
+}
+
+/// Per-point bandwidth search over the k nearest neighbours only.
+fn sparse_affinities(data: &[Vec<f32>], perplexity: f64) -> SparseP {
+    let n = data.len();
+    let k = ((3.0 * perplexity) as usize).clamp(2, n - 1);
+    let target_h = perplexity.min((n - 1) as f64).max(2.0).ln();
+
+    // kNN by brute force (one-time O(n²), the gradient loop is the hot part)
+    let mut cond = vec![0.0f64; n * (k + 1)]; // conditional p_{j|i} per neighbour slot
+    let mut nbrs: Vec<Vec<usize>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut idx: Vec<usize> = (0..n).filter(|&j| j != i).collect();
+        idx.sort_by(|&a, &b| {
+            squared_distance(&data[i], &data[a])
+                .total_cmp(&squared_distance(&data[i], &data[b]))
+        });
+        idx.truncate(k);
+        let d2: Vec<f64> = idx.iter().map(|&j| squared_distance(&data[i], &data[j])).collect();
+        // binary search the bandwidth to match the perplexity
+        let mut beta = 1.0f64;
+        let (mut lo, mut hi) = (0.0f64, f64::INFINITY);
+        let mut probs = vec![0.0f64; idx.len()];
+        for _ in 0..64 {
+            let mut sum = 0.0;
+            for (p, &dd) in probs.iter_mut().zip(&d2) {
+                *p = (-beta * dd).exp();
+                sum += *p;
+            }
+            let sum = sum.max(1e-300);
+            let mut h = 0.0;
+            for p in probs.iter_mut() {
+                *p /= sum;
+                if *p > 1e-300 {
+                    h -= *p * p.ln();
+                }
+            }
+            let diff = h - target_h;
+            if diff.abs() < 1e-5 {
+                break;
+            }
+            if diff > 0.0 {
+                lo = beta;
+                beta = if hi.is_finite() { (beta + hi) / 2.0 } else { beta * 2.0 };
+            } else {
+                hi = beta;
+                beta = (beta + lo) / 2.0;
+            }
+        }
+        for (slot, &p) in probs.iter().enumerate() {
+            cond[i * (k + 1) + slot] = p;
+        }
+        nbrs.push(idx);
+    }
+
+    // symmetrise: p_ij = (p_{j|i} + p_{i|j}) / 2n, collected as triplets
+    let mut map: std::collections::HashMap<(usize, usize), f64> = std::collections::HashMap::new();
+    for i in 0..n {
+        for (slot, &j) in nbrs[i].iter().enumerate() {
+            let key = (i.min(j), i.max(j));
+            *map.entry(key).or_insert(0.0) += cond[i * (k + 1) + slot];
+        }
+    }
+    let denom = 2.0 * n as f64;
+    let triplets = map
+        .into_iter()
+        .map(|((i, j), v)| (i, j, (v / denom).max(1e-12)))
+        .collect();
+    SparseP { triplets }
+}
+
+/// A quadtree over the 2-D embedding for Barnes–Hut repulsion.
+struct QuadTree {
+    nodes: Vec<QtNode>,
+}
+
+#[derive(Clone)]
+struct QtNode {
+    /// bounding box: center and half-width (square cells)
+    cx: f64,
+    cy: f64,
+    hw: f64,
+    /// center of mass and mass
+    mx: f64,
+    my: f64,
+    mass: f64,
+    /// a concrete point stored in a leaf (x, y)
+    point: Option<(f64, f64)>,
+    /// child indices (NW, NE, SW, SE); 0 = none (root is index 0, never a child)
+    children: [usize; 4],
+}
+
+impl QuadTree {
+    fn build(points: &[[f64; 2]]) -> QuadTree {
+        let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+        for p in points {
+            min_x = min_x.min(p[0]);
+            max_x = max_x.max(p[0]);
+            min_y = min_y.min(p[1]);
+            max_y = max_y.max(p[1]);
+        }
+        let hw = ((max_x - min_x).max(max_y - min_y) / 2.0).max(1e-9) * 1.001;
+        let root = QtNode {
+            cx: (min_x + max_x) / 2.0,
+            cy: (min_y + max_y) / 2.0,
+            hw,
+            mx: 0.0,
+            my: 0.0,
+            mass: 0.0,
+            point: None,
+            children: [0; 4],
+        };
+        let mut tree = QuadTree { nodes: vec![root] };
+        for p in points {
+            tree.insert(0, p[0], p[1], 0);
+        }
+        tree
+    }
+
+    fn quadrant(node: &QtNode, x: f64, y: f64) -> usize {
+        match (x >= node.cx, y >= node.cy) {
+            (false, true) => 0,  // NW
+            (true, true) => 1,   // NE
+            (false, false) => 2, // SW
+            (true, false) => 3,  // SE
+        }
+    }
+
+    fn child_box(node: &QtNode, q: usize) -> (f64, f64, f64) {
+        let hw = node.hw / 2.0;
+        let (dx, dy) = match q {
+            0 => (-hw, hw),
+            1 => (hw, hw),
+            2 => (-hw, -hw),
+            _ => (hw, -hw),
+        };
+        (node.cx + dx, node.cy + dy, hw)
+    }
+
+    fn insert(&mut self, idx: usize, x: f64, y: f64, depth: usize) {
+        // update mass first
+        let node = &mut self.nodes[idx];
+        node.mx = (node.mx * node.mass + x) / (node.mass + 1.0);
+        node.my = (node.my * node.mass + y) / (node.mass + 1.0);
+        node.mass += 1.0;
+
+        let is_leaf = self.nodes[idx].children == [0; 4];
+        if is_leaf {
+            match self.nodes[idx].point {
+                None => {
+                    self.nodes[idx].point = Some((x, y));
+                    return;
+                }
+                Some((px, py)) => {
+                    // depth guard: coincident points stay aggregated
+                    if depth > 48 || ((px - x).abs() < 1e-12 && (py - y).abs() < 1e-12) {
+                        return;
+                    }
+                    // split: push the existing point down
+                    self.nodes[idx].point = None;
+                    let q_old = Self::quadrant(&self.nodes[idx], px, py);
+                    let child_old = self.ensure_child(idx, q_old);
+                    self.insert(child_old, px, py, depth + 1);
+                }
+            }
+        }
+        let q = Self::quadrant(&self.nodes[idx], x, y);
+        let child = self.ensure_child(idx, q);
+        self.insert(child, x, y, depth + 1);
+    }
+
+    fn ensure_child(&mut self, idx: usize, q: usize) -> usize {
+        if self.nodes[idx].children[q] != 0 {
+            return self.nodes[idx].children[q];
+        }
+        let (cx, cy, hw) = Self::child_box(&self.nodes[idx], q);
+        self.nodes.push(QtNode {
+            cx,
+            cy,
+            hw,
+            mx: 0.0,
+            my: 0.0,
+            mass: 0.0,
+            point: None,
+            children: [0; 4],
+        });
+        let new_idx = self.nodes.len() - 1;
+        self.nodes[idx].children[q] = new_idx;
+        new_idx
+    }
+
+    /// Accumulates the Barnes–Hut estimate of `Σ_j q_ij² (y_i − y_j)` and
+    /// `Σ_j q_ij` (the normaliser contribution) for one point.
+    fn repulsion(&self, x: f64, y: f64, theta: f64) -> ([f64; 2], f64) {
+        let mut force = [0.0f64; 2];
+        let mut z = 0.0f64;
+        let mut stack = vec![0usize];
+        while let Some(idx) = stack.pop() {
+            let node = &self.nodes[idx];
+            if node.mass == 0.0 {
+                continue;
+            }
+            let dx = x - node.mx;
+            let dy = y - node.my;
+            let d2 = dx * dx + dy * dy;
+            let is_leaf = node.children == [0; 4];
+            // the summarisation criterion: cell small relative to distance
+            if is_leaf || (2.0 * node.hw) / d2.sqrt().max(1e-12) < theta {
+                if d2 < 1e-18 {
+                    continue; // the point itself (or a coincident mass)
+                }
+                let w = 1.0 / (1.0 + d2);
+                z += node.mass * w;
+                let f = node.mass * w * w;
+                force[0] += f * dx;
+                force[1] += f * dy;
+            } else {
+                for &c in &node.children {
+                    if c != 0 {
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+        (force, z)
+    }
+}
+
+/// Barnes–Hut t-SNE with opening angle `theta` (0 = exact, 0.5 typical).
+///
+/// # Panics
+/// Panics when fewer than 3 points are given or `theta < 0`.
+pub fn tsne_barnes_hut(data: &[Vec<f32>], config: &TsneConfig, theta: f64) -> Vec<[f64; 2]> {
+    let n = data.len();
+    assert!(n >= 3, "t-SNE needs at least 3 points");
+    assert!(theta >= 0.0, "theta must be non-negative");
+    let p = sparse_affinities(data, config.perplexity);
+    // normalise the sparse affinities to sum 1 (over both (i,j) and (j,i))
+    let total: f64 = 2.0 * p.triplets.iter().map(|t| t.2).sum::<f64>();
+    let scale = 1.0 / total.max(1e-300);
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut y: Vec<[f64; 2]> = (0..n)
+        .map(|_| [rng.gen::<f64>() * 1e-2 - 5e-3, rng.gen::<f64>() * 1e-2 - 5e-3])
+        .collect();
+    let mut vel = vec![[0.0f64; 2]; n];
+    let mut gain = vec![[1.0f64; 2]; n];
+    let exag_until = config.iters / 4;
+
+    for iter in 0..config.iters {
+        let exag = if iter < exag_until { config.exaggeration } else { 1.0 };
+        let momentum = if iter < exag_until { 0.5 } else { 0.8 };
+        let tree = QuadTree::build(&y);
+
+        // repulsive pass (tree) — also accumulates the global normaliser Z
+        let mut rep = vec![[0.0f64; 2]; n];
+        let mut z_total = 0.0f64;
+        for i in 0..n {
+            let (f, z) = tree.repulsion(y[i][0], y[i][1], theta);
+            rep[i] = f;
+            z_total += z;
+        }
+        let z_total = z_total.max(1e-12);
+
+        // attractive pass (sparse)
+        let mut attr = vec![[0.0f64; 2]; n];
+        for &(i, j, pij) in &p.triplets {
+            let dx = y[i][0] - y[j][0];
+            let dy = y[i][1] - y[j][1];
+            let w = 1.0 / (1.0 + dx * dx + dy * dy);
+            let f = exag * pij * scale * w;
+            attr[i][0] += f * dx;
+            attr[i][1] += f * dy;
+            attr[j][0] -= f * dx;
+            attr[j][1] -= f * dy;
+        }
+
+        for i in 0..n {
+            for d in 0..2 {
+                let g = 4.0 * (attr[i][d] - rep[i][d] / z_total);
+                gain[i][d] = if (g > 0.0) != (vel[i][d] > 0.0) {
+                    (gain[i][d] + 0.2).min(10.0)
+                } else {
+                    (gain[i][d] * 0.8).max(0.01)
+                };
+                vel[i][d] = momentum * vel[i][d] - config.lr * gain[i][d] * g;
+                y[i][d] += vel[i][d];
+            }
+        }
+        let (mx, my) = y
+            .iter()
+            .fold((0.0, 0.0), |(a, b), p| (a + p[0] / n as f64, b + p[1] / n as f64));
+        for p in &mut y {
+            p[0] -= mx;
+            p[1] -= my;
+        }
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(n_per: usize) -> (Vec<Vec<f32>>, usize) {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut data = Vec::new();
+        for _ in 0..n_per {
+            data.push(vec![rng.gen::<f32>(), rng.gen::<f32>(), rng.gen::<f32>()]);
+        }
+        for _ in 0..n_per {
+            data.push(vec![
+                20.0 + rng.gen::<f32>(),
+                20.0 + rng.gen::<f32>(),
+                20.0 + rng.gen::<f32>(),
+            ]);
+        }
+        (data, n_per)
+    }
+
+    fn separation(y: &[[f64; 2]], split: usize) -> f64 {
+        let dist =
+            |a: [f64; 2], b: [f64; 2]| ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2)).sqrt();
+        let (mut intra, mut ni, mut inter, mut nx) = (0.0, 0usize, 0.0, 0usize);
+        for i in 0..y.len() {
+            for j in (i + 1)..y.len() {
+                let d = dist(y[i], y[j]);
+                if (i < split) == (j < split) {
+                    intra += d;
+                    ni += 1;
+                } else {
+                    inter += d;
+                    nx += 1;
+                }
+            }
+        }
+        (inter / nx as f64) / (intra / ni as f64)
+    }
+
+    #[test]
+    fn bh_separates_blobs() {
+        let (data, split) = blobs(30);
+        let cfg = TsneConfig { iters: 300, perplexity: 10.0, ..Default::default() };
+        let y = tsne_barnes_hut(&data, &cfg, 0.5);
+        assert!(y.iter().all(|p| p[0].is_finite() && p[1].is_finite()));
+        let r = separation(&y, split);
+        assert!(r > 2.0, "separation ratio {r}");
+    }
+
+    #[test]
+    fn theta_zero_matches_bh_quality() {
+        // θ=0 opens every cell (exact repulsion); quality should match θ=0.5
+        let (data, split) = blobs(20);
+        let cfg = TsneConfig { iters: 200, perplexity: 8.0, ..Default::default() };
+        let exactish = separation(&tsne_barnes_hut(&data, &cfg, 0.0), split);
+        let approx = separation(&tsne_barnes_hut(&data, &cfg, 0.5), split);
+        assert!(exactish > 2.0 && approx > 2.0, "exact {exactish} approx {approx}");
+    }
+
+    #[test]
+    fn handles_duplicate_points() {
+        let mut data = vec![vec![0.0f32, 0.0]; 6];
+        data.push(vec![5.0, 5.0]);
+        data.push(vec![5.1, 5.0]);
+        let cfg = TsneConfig { iters: 60, perplexity: 3.0, ..Default::default() };
+        let y = tsne_barnes_hut(&data, &cfg, 0.5);
+        assert!(y.iter().all(|p| p[0].is_finite() && p[1].is_finite()));
+    }
+
+    #[test]
+    fn scales_to_thousands_of_points() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let data: Vec<Vec<f32>> = (0..1500)
+            .map(|i| {
+                let base = if i % 2 == 0 { 0.0f32 } else { 15.0 };
+                vec![base + rng.gen::<f32>(), base + rng.gen::<f32>()]
+            })
+            .collect();
+        let cfg = TsneConfig { iters: 40, perplexity: 15.0, ..Default::default() };
+        let y = tsne_barnes_hut(&data, &cfg, 0.7);
+        assert_eq!(y.len(), 1500);
+        assert!(y.iter().all(|p| p[0].is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 points")]
+    fn too_few_points_panics() {
+        let _ = tsne_barnes_hut(&[vec![0.0]], &TsneConfig::default(), 0.5);
+    }
+}

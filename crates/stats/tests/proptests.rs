@@ -1,0 +1,117 @@
+//! Property tests for statistical invariants.
+
+use proptest::prelude::*;
+use sem_stats::gmm::GmmConfig;
+use sem_stats::{correlation, lof, metrics, GaussianMixture, OlsFit};
+
+fn sample_vec(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-100.0f64..100.0, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn spearman_bounded_and_symmetric(xs in sample_vec(20), ys in sample_vec(20)) {
+        let r = correlation::spearman(&xs, &ys);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+        let r2 = correlation::spearman(&ys, &xs);
+        prop_assert!((r - r2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spearman_invariant_under_monotone_transform(xs in sample_vec(15), ys in sample_vec(15)) {
+        let r = correlation::spearman(&xs, &ys);
+        // strictly monotone transforms of either side preserve rank corr
+        let xs2: Vec<f64> = xs.iter().map(|x| x * 3.0 + 7.0).collect();
+        let ys2: Vec<f64> = ys.iter().map(|y| y.exp().min(1e100)).collect();
+        let r2 = correlation::spearman(&xs2, &ys2);
+        prop_assert!((r - r2).abs() < 1e-6, "{r} vs {r2}");
+    }
+
+    #[test]
+    fn spearman_self_is_one(xs in sample_vec(10)) {
+        // unless constant, self-correlation is exactly 1
+        let distinct = xs.iter().map(|v| v.to_bits()).collect::<std::collections::HashSet<_>>();
+        prop_assume!(distinct.len() > 1);
+        prop_assert!((correlation::spearman(&xs, &xs) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pearson_scale_invariant(xs in sample_vec(12), ys in sample_vec(12), a in 0.1f64..10.0, b in -5.0f64..5.0) {
+        let r = correlation::pearson(&xs, &ys);
+        let xs2: Vec<f64> = xs.iter().map(|x| a * x + b).collect();
+        let r2 = correlation::pearson(&xs2, &ys);
+        prop_assert!((r - r2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ols_residual_orthogonality(xs in sample_vec(10), ys in sample_vec(10)) {
+        let f = OlsFit::fit(&xs, &ys);
+        // residuals sum to ~0 when x has variance
+        let var: f64 = {
+            let m = xs.iter().sum::<f64>() / xs.len() as f64;
+            xs.iter().map(|x| (x - m).powi(2)).sum()
+        };
+        prop_assume!(var > 1e-6);
+        let resid_sum: f64 = xs.iter().zip(&ys).map(|(x, y)| y - f.predict(*x)).sum();
+        prop_assert!(resid_sum.abs() < 1e-6 * (1.0 + ys.iter().map(|y| y.abs()).sum::<f64>()));
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&f.r2));
+    }
+
+    #[test]
+    fn ndcg_in_unit_interval_and_front_loading_helps(rel in proptest::collection::vec(any::<bool>(), 2..20)) {
+        let k = rel.len();
+        let v = metrics::ndcg_at_k(&rel, k);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&v));
+        // sorting all relevant items to the front yields nDCG == 1 (if any)
+        let mut sorted = rel.clone();
+        sorted.sort_by_key(|&r| !r);
+        let best = metrics::ndcg_at_k(&sorted, k);
+        if rel.iter().any(|&r| r) {
+            prop_assert!((best - 1.0).abs() < 1e-12);
+            prop_assert!(best + 1e-12 >= v);
+        } else {
+            prop_assert_eq!(best, 0.0);
+        }
+    }
+
+    #[test]
+    fn map_and_mrr_bounds(rel in proptest::collection::vec(any::<bool>(), 1..20)) {
+        let ap = metrics::average_precision(&rel);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&ap));
+        let rr = metrics::reciprocal_rank(&rel);
+        prop_assert!((0.0..=1.0).contains(&rr));
+        // MRR >= AP never holds in general, but both are 1 for perfect lists
+        if rel[0] {
+            prop_assert_eq!(rr, 1.0);
+        }
+    }
+
+    #[test]
+    fn lof_positive_finite(points in proptest::collection::vec(proptest::collection::vec(-50.0f32..50.0, 3), 5..40), k in 1usize..10) {
+        let l = lof::local_outlier_factor(&points, k);
+        prop_assert_eq!(l.len(), points.len());
+        prop_assert!(l.iter().all(|v| v.is_finite() && *v > 0.0));
+        let n = lof::normalize(&l);
+        prop_assert!(n.iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn gmm_responsibilities_normalised(
+        points in proptest::collection::vec(proptest::collection::vec(-10.0f32..10.0, 2), 8..40),
+        k in 1usize..4,
+    ) {
+        prop_assume!(k <= points.len());
+        let gmm = GaussianMixture::fit(&points, k, &GmmConfig { max_iter: 20, ..Default::default() });
+        prop_assert!(gmm.log_likelihood().is_finite());
+        let wsum: f64 = (0..k).map(|c| gmm.weight(c)).sum();
+        prop_assert!((wsum - 1.0).abs() < 1e-6);
+        for p in &points {
+            let r = gmm.responsibilities(p);
+            let s: f64 = r.iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-6);
+            prop_assert!(gmm.predict(p) < k);
+        }
+    }
+}

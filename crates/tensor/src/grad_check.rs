@@ -1,0 +1,184 @@
+//! Finite-difference gradient verification.
+//!
+//! Used throughout the test suites of `sem-tensor`, `sem-nn` and `sem-core`
+//! to certify that every recorded operation back-propagates correctly.
+
+use crate::{Tape, Tensor, TensorId};
+
+/// Outcome of a [`check`] run: the largest absolute and relative deviation
+/// between analytic and numeric gradients over all input elements.
+#[derive(Debug, Clone, Copy)]
+pub struct GradReport {
+    /// Largest `|analytic − numeric|`.
+    pub max_abs: f32,
+    /// Largest `|analytic − numeric| / max(1, |analytic|, |numeric|)`.
+    pub max_rel: f32,
+}
+
+impl GradReport {
+    /// True when both deviations are below `tol`.
+    pub fn within(&self, tol: f32) -> bool {
+        self.max_abs <= tol || self.max_rel <= tol
+    }
+}
+
+/// Compares analytic gradients against central finite differences.
+///
+/// `f` must rebuild the same scalar loss from the leaves it is given; it is
+/// called `1 + 2·Σ len(input)` times. `eps` around `1e-2` works well for
+/// `f32` (the truncation and round-off error cross near there).
+///
+/// # Panics
+/// Panics if `f` returns a non-scalar node.
+pub fn check(inputs: &[Tensor], eps: f32, f: impl Fn(&mut Tape, &[TensorId]) -> TensorId) -> GradReport {
+    // Analytic pass.
+    let mut tape = Tape::new();
+    let ids: Vec<TensorId> = inputs.iter().map(|t| tape.leaf(t.clone())).collect();
+    let loss = f(&mut tape, &ids);
+    tape.backward(loss);
+    let analytic: Vec<Tensor> = ids.iter().map(|&id| tape.grad_or_zero(id)).collect();
+
+    let eval = |perturbed: &[Tensor]| -> f32 {
+        let mut tape = Tape::new();
+        let ids: Vec<TensorId> = perturbed.iter().map(|t| tape.leaf(t.clone())).collect();
+        let loss = f(&mut tape, &ids);
+        tape.value(loss).item()
+    };
+
+    let mut report = GradReport { max_abs: 0.0, max_rel: 0.0 };
+    for (i, input) in inputs.iter().enumerate() {
+        for j in 0..input.len() {
+            let mut plus = inputs.to_vec();
+            let mut minus = inputs.to_vec();
+            let mut pd = input.data().to_vec();
+            pd[j] += eps;
+            plus[i] = Tensor::from_vec(pd, input.shape());
+            let mut md = input.data().to_vec();
+            md[j] -= eps;
+            minus[i] = Tensor::from_vec(md, input.shape());
+            let numeric = (eval(&plus) - eval(&minus)) / (2.0 * eps);
+            let a = analytic[i].data()[j];
+            let abs = (a - numeric).abs();
+            let rel = abs / 1.0f32.max(a.abs()).max(numeric.abs());
+            report.max_abs = report.max_abs.max(abs);
+            report.max_rel = report.max_rel.max(rel);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Shape;
+    use rand::{Rng, SeedableRng};
+
+    fn rand_tensor(shape: Shape, rng: &mut impl Rng) -> Tensor {
+        Tensor::uniform(shape, 0.9, rng)
+    }
+
+    #[test]
+    fn check_detects_correct_grad() {
+        let r = check(&[Tensor::vector(&[0.3, -0.2])], 1e-2, |t, ids| {
+            let m = t.mul(ids[0], ids[0]);
+            t.sum(m)
+        });
+        assert!(r.within(1e-3), "{r:?}");
+    }
+
+    #[test]
+    fn full_network_grad_check() {
+        // tanh(x W + b) -> attention-ish softmax -> dot with itself -> mean
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let x = rand_tensor(Shape::Matrix(3, 4), &mut rng);
+        let w = rand_tensor(Shape::Matrix(4, 5), &mut rng);
+        let b = rand_tensor(Shape::Vector(5), &mut rng);
+        let r = check(&[x, w, b], 1e-2, |t, ids| {
+            let xw = t.matmul(ids[0], ids[1]);
+            let h = t.add_row_broadcast(xw, ids[2]);
+            let a = t.tanh(h);
+            let s = t.row_softmax(a);
+            let d = t.mul(s, a);
+            t.mean(d)
+        });
+        assert!(r.within(5e-3), "{r:?}");
+    }
+
+    #[test]
+    fn gather_concat_grad_check() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let e = rand_tensor(Shape::Matrix(4, 3), &mut rng);
+        let w = rand_tensor(Shape::Matrix(6, 2), &mut rng);
+        let r = check(&[e, w], 1e-2, |t, ids| {
+            let g = t.gather_rows(ids[0], vec![0, 2, 2]);
+            let g2 = t.gather_rows(ids[0], vec![1, 3, 0]);
+            let c = t.concat_cols(g, g2);
+            let p = t.matmul(c, ids[1]);
+            let s = t.sigmoid(p);
+            t.mean(s)
+        });
+        assert!(r.within(5e-3), "{r:?}");
+    }
+
+    #[test]
+    fn relu_sub_scale_grad_check() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        // keep away from the relu kink
+        let a = Tensor::vector(&[0.5, -0.7, 1.2, -0.1]);
+        let b = rand_tensor(Shape::Vector(4), &mut rng);
+        let r = check(&[a, b], 1e-3, |t, ids| {
+            let d = t.sub(ids[0], ids[1]);
+            let rl = t.relu(d);
+            let sc = t.scale(rl, 2.5);
+            let dt = t.dot(sc, ids[1]);
+            let sq = t.mul(dt, dt);
+            t.sum(sq)
+        });
+        assert!(r.within(1e-2), "{r:?}");
+    }
+
+    #[test]
+    fn extended_ops_grad_check() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        // keep values positive and away from kinks for ln/sqrt/div/max
+        let data: Vec<f32> = (0..8).map(|_| 0.5 + rng.gen::<f32>()).collect();
+        let a = Tensor::vector(&data);
+        let data_b: Vec<f32> = (0..8).map(|_| 1.5 + rng.gen::<f32>()).collect();
+        let b = Tensor::vector(&data_b);
+        let r = check(&[a, b], 1e-3, |t, ids| {
+            let q = t.div(ids[0], ids[1]);
+            let e = t.exp(q);
+            let l = t.ln(e);
+            let s = t.sqrt(l);
+            let m = t.max(s, ids[0]);
+            let ab = t.abs(m);
+            t.sum(ab)
+        });
+        assert!(r.within(1e-2), "{r:?}");
+    }
+
+    #[test]
+    fn sum_rows_grad_check() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(19);
+        let x = rand_tensor(Shape::Matrix(3, 4), &mut rng);
+        let r = check(&[x], 1e-2, |t, ids| {
+            let rs = t.sum_rows(ids[0]); // [3]
+            let sq = t.mul(rs, rs);
+            t.sum(sq)
+        });
+        assert!(r.within(5e-3), "{r:?}");
+    }
+
+    #[test]
+    fn mean_rows_transpose_grad_check() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let x = rand_tensor(Shape::Matrix(3, 4), &mut rng);
+        let r = check(&[x], 1e-2, |t, ids| {
+            let tr = t.transpose(ids[0]);
+            let m = t.mean_rows(tr); // [3]
+            let s = t.tanh(m);
+            t.sum(s)
+        });
+        assert!(r.within(5e-3), "{r:?}");
+    }
+}

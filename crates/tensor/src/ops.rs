@@ -1,0 +1,383 @@
+//! Pure forward kernels shared by the tape and by non-differentiated code.
+//!
+//! Every function allocates exactly one output buffer; none mutates its
+//! inputs. The matmul kernel is written `i-k-j` so the inner loop streams both
+//! the `b` row and the output row sequentially.
+
+use crate::{Shape, Tensor};
+
+#[inline]
+fn zip_map(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    assert_eq!(a.shape(), b.shape(), "elementwise op shape mismatch {} vs {}", a.shape(), b.shape());
+    let data = a.data().iter().zip(b.data()).map(|(&x, &y)| f(x, y)).collect();
+    Tensor::from_vec(data, a.shape())
+}
+
+#[inline]
+fn map(a: &Tensor, f: impl Fn(f32) -> f32) -> Tensor {
+    Tensor::from_vec(a.data().iter().map(|&x| f(x)).collect(), a.shape())
+}
+
+/// Elementwise `a + b` (same shape).
+pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
+    zip_map(a, b, |x, y| x + y)
+}
+
+/// Elementwise `a - b` (same shape).
+pub fn sub(a: &Tensor, b: &Tensor) -> Tensor {
+    zip_map(a, b, |x, y| x - y)
+}
+
+/// Elementwise (Hadamard) product `a ∘ b` (same shape).
+pub fn mul(a: &Tensor, b: &Tensor) -> Tensor {
+    zip_map(a, b, |x, y| x * y)
+}
+
+/// Scalar multiple `c · a`.
+pub fn scale(a: &Tensor, c: f32) -> Tensor {
+    map(a, |x| c * x)
+}
+
+/// Adds vector `b` (length = cols) to every row of matrix `a`.
+pub fn add_row_broadcast(a: &Tensor, b: &Tensor) -> Tensor {
+    let (rows, cols) = (a.shape().rows(), a.shape().cols());
+    assert_eq!(b.len(), cols, "bias length {} vs cols {cols}", b.len());
+    let bv = b.data();
+    let mut out = Vec::with_capacity(rows * cols);
+    for r in 0..rows {
+        for (x, y) in a.row(r).iter().zip(bv) {
+            out.push(x + y);
+        }
+    }
+    Tensor::from_vec(out, a.shape())
+}
+
+/// Matrix product. Operands are viewed as matrices (vectors are single rows),
+/// so `[n] × [n,m] → [m]` works as expected.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.shape().rows(), a.shape().cols());
+    let (k2, n) = (b.shape().rows(), b.shape().cols());
+    assert_eq!(k, k2, "matmul inner dim mismatch {} vs {}", a.shape(), b.shape());
+    let mut out = vec![0.0f32; m * n];
+    let (ad, bd) = (a.data(), b.data());
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (kk, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[kk * n..(kk + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    let shape = match (a.shape(), b.shape()) {
+        (Shape::Vector(_), _) if n > 1 => Shape::Vector(n),
+        (Shape::Vector(_), _) => Shape::Scalar,
+        _ => Shape::Matrix(m, n),
+    };
+    Tensor::from_vec(out, shape)
+}
+
+/// Matrix transpose (vectors/scalars are returned unchanged, matching
+/// [`Shape::transposed`]).
+pub fn transpose(a: &Tensor) -> Tensor {
+    match a.shape() {
+        Shape::Matrix(r, c) => {
+            let src = a.data();
+            let mut out = vec![0.0f32; r * c];
+            for i in 0..r {
+                for j in 0..c {
+                    out[j * r + i] = src[i * c + j];
+                }
+            }
+            Tensor::from_vec(out, Shape::Matrix(c, r))
+        }
+        _ => a.clone(),
+    }
+}
+
+/// Elementwise `tanh`.
+pub fn tanh(a: &Tensor) -> Tensor {
+    map(a, f32::tanh)
+}
+
+/// Elementwise logistic sigmoid.
+pub fn sigmoid(a: &Tensor) -> Tensor {
+    map(a, |x| 1.0 / (1.0 + (-x).exp()))
+}
+
+/// Elementwise rectified linear unit.
+pub fn relu(a: &Tensor) -> Tensor {
+    map(a, |x| x.max(0.0))
+}
+
+/// Numerically stable softmax applied independently to each row of the
+/// matrix view.
+pub fn row_softmax(a: &Tensor) -> Tensor {
+    let (rows, cols) = (a.shape().rows(), a.shape().cols());
+    let mut out = Vec::with_capacity(rows * cols);
+    for r in 0..rows {
+        let row = a.row(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|&x| (x - max).exp()).collect();
+        let z: f32 = exps.iter().sum();
+        out.extend(exps.into_iter().map(|e| e / z));
+    }
+    Tensor::from_vec(out, a.shape())
+}
+
+/// Sum of all elements, as a scalar tensor.
+pub fn sum(a: &Tensor) -> Tensor {
+    Tensor::scalar(a.sum_all())
+}
+
+/// Mean of all elements, as a scalar tensor.
+pub fn mean(a: &Tensor) -> Tensor {
+    assert!(!a.is_empty(), "mean of empty tensor");
+    Tensor::scalar(a.sum_all() / a.len() as f32)
+}
+
+/// Column-wise mean of the matrix view: `[n,d] → [d]`.
+pub fn mean_rows(a: &Tensor) -> Tensor {
+    let (rows, cols) = (a.shape().rows(), a.shape().cols());
+    assert!(rows > 0, "mean_rows of empty matrix");
+    let mut out = vec![0.0f32; cols];
+    for r in 0..rows {
+        for (o, &x) in out.iter_mut().zip(a.row(r)) {
+            *o += x;
+        }
+    }
+    let inv = 1.0 / rows as f32;
+    for o in &mut out {
+        *o *= inv;
+    }
+    Tensor::from_vec(out, Shape::Vector(cols))
+}
+
+/// Horizontal concatenation of two matrices with equal row counts
+/// (vectors concatenate into a longer vector).
+pub fn concat_cols(a: &Tensor, b: &Tensor) -> Tensor {
+    let (ra, ca) = (a.shape().rows(), a.shape().cols());
+    let (rb, cb) = (b.shape().rows(), b.shape().cols());
+    assert_eq!(ra, rb, "concat_cols row mismatch {} vs {}", a.shape(), b.shape());
+    let mut out = Vec::with_capacity(ra * (ca + cb));
+    for r in 0..ra {
+        out.extend_from_slice(a.row(r));
+        out.extend_from_slice(b.row(r));
+    }
+    let shape = if a.shape().rank() <= 1 && b.shape().rank() <= 1 {
+        Shape::Vector(ca + cb)
+    } else {
+        Shape::Matrix(ra, ca + cb)
+    };
+    Tensor::from_vec(out, shape)
+}
+
+/// Gathers rows of `a` by index: `[n,d] gather [m] → [m,d]`.
+///
+/// # Panics
+/// Panics when an index is out of range.
+pub fn gather_rows(a: &Tensor, idx: &[usize]) -> Tensor {
+    let (rows, cols) = (a.shape().rows(), a.shape().cols());
+    let mut out = Vec::with_capacity(idx.len() * cols);
+    for &i in idx {
+        assert!(i < rows, "gather_rows index {i} out of {rows}");
+        out.extend_from_slice(a.row(i));
+    }
+    Tensor::from_vec(out, Shape::Matrix(idx.len(), cols))
+}
+
+/// Dot product of two equal-length tensors (flattened), as a scalar tensor.
+pub fn dot(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    Tensor::scalar(a.data().iter().zip(b.data()).map(|(x, y)| x * y).sum())
+}
+
+/// Elementwise quotient `a / b` (same shape).
+///
+/// # Panics
+/// Panics (debug) when a divisor is zero — keep denominators bounded away
+/// from zero in differentiated code.
+pub fn div(a: &Tensor, b: &Tensor) -> Tensor {
+    debug_assert!(b.data().iter().all(|&y| y != 0.0), "division by zero");
+    zip_map(a, b, |x, y| x / y)
+}
+
+/// Elementwise exponential.
+pub fn exp(a: &Tensor) -> Tensor {
+    map(a, f32::exp)
+}
+
+/// Elementwise natural logarithm.
+///
+/// Inputs must be strictly positive.
+pub fn ln(a: &Tensor) -> Tensor {
+    debug_assert!(a.data().iter().all(|&x| x > 0.0), "ln of non-positive value");
+    map(a, f32::ln)
+}
+
+/// Elementwise square root (inputs must be non-negative).
+pub fn sqrt(a: &Tensor) -> Tensor {
+    debug_assert!(a.data().iter().all(|&x| x >= 0.0), "sqrt of negative value");
+    map(a, f32::sqrt)
+}
+
+/// Elementwise absolute value.
+pub fn abs(a: &Tensor) -> Tensor {
+    map(a, f32::abs)
+}
+
+/// Elementwise maximum of two tensors (same shape).
+pub fn max(a: &Tensor, b: &Tensor) -> Tensor {
+    zip_map(a, b, f32::max)
+}
+
+/// Row-wise sums of the matrix view: `[n, d] → [n]`.
+pub fn sum_rows(a: &Tensor) -> Tensor {
+    let (rows, cols) = (a.shape().rows(), a.shape().cols());
+    let out: Vec<f32> = (0..rows).map(|r| a.row(r).iter().sum()).collect();
+    let _ = cols;
+    Tensor::from_vec(out, Shape::Vector(rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elementwise() {
+        let a = Tensor::vector(&[1.0, 2.0, 3.0]);
+        let b = Tensor::vector(&[4.0, 5.0, 6.0]);
+        assert_eq!(add(&a, &b).data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(sub(&a, &b).data(), &[-3.0, -3.0, -3.0]);
+        assert_eq!(mul(&a, &b).data(), &[4.0, 10.0, 18.0]);
+        assert_eq!(scale(&a, 2.0).data(), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn elementwise_shape_mismatch_panics() {
+        let _ = add(&Tensor::vector(&[1.0]), &Tensor::vector(&[1.0, 2.0]));
+    }
+
+    #[test]
+    fn matmul_matrix() {
+        // [[1,2],[3,4]] x [[5,6],[7,8]] = [[19,22],[43,50]]
+        let a = Tensor::matrix(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = Tensor::matrix(2, 2, &[5.0, 6.0, 7.0, 8.0]);
+        assert_eq!(matmul(&a, &b).data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_vector_times_matrix_is_vector() {
+        let v = Tensor::vector(&[1.0, 2.0]);
+        let m = Tensor::matrix(2, 3, &[1.0, 0.0, 0.0, 0.0, 1.0, 0.0]);
+        let out = matmul(&v, &m);
+        assert_eq!(out.shape(), Shape::Vector(3));
+        assert_eq!(out.data(), &[1.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Tensor::matrix(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let t = transpose(&a);
+        assert_eq!(t.shape(), Shape::Matrix(3, 2));
+        assert_eq!(t.data(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+        assert_eq!(transpose(&t), a);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let a = Tensor::matrix(2, 3, &[1.0, 2.0, 3.0, 1000.0, 1000.0, 1000.0]);
+        let s = row_softmax(&a);
+        for r in 0..2 {
+            let z: f32 = s.row(r).iter().sum();
+            assert!((z - 1.0).abs() < 1e-5, "row {r} sums to {z}");
+        }
+        // large-input row must not produce NaN
+        assert!(s.is_finite());
+        assert!((s.at(1, 0) - 1.0 / 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = Tensor::matrix(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(sum(&a).item(), 10.0);
+        assert_eq!(mean(&a).item(), 2.5);
+        assert_eq!(mean_rows(&a).data(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn concat_and_gather() {
+        let a = Tensor::matrix(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = Tensor::matrix(2, 1, &[9.0, 8.0]);
+        let c = concat_cols(&a, &b);
+        assert_eq!(c.shape(), Shape::Matrix(2, 3));
+        assert_eq!(c.data(), &[1.0, 2.0, 9.0, 3.0, 4.0, 8.0]);
+
+        let g = gather_rows(&a, &[1, 1, 0]);
+        assert_eq!(g.shape(), Shape::Matrix(3, 2));
+        assert_eq!(g.data(), &[3.0, 4.0, 3.0, 4.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn concat_vectors_gives_vector() {
+        let a = Tensor::vector(&[1.0, 2.0]);
+        let b = Tensor::vector(&[3.0]);
+        let c = concat_cols(&a, &b);
+        assert_eq!(c.shape(), Shape::Vector(3));
+    }
+
+    #[test]
+    fn add_row_broadcast_works() {
+        let a = Tensor::matrix(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = Tensor::vector(&[10.0, 20.0]);
+        assert_eq!(add_row_broadcast(&a, &b).data(), &[11.0, 22.0, 13.0, 24.0]);
+    }
+
+    #[test]
+    fn dot_works() {
+        let a = Tensor::vector(&[1.0, 2.0, 3.0]);
+        let b = Tensor::vector(&[4.0, 5.0, 6.0]);
+        assert_eq!(dot(&a, &b).item(), 32.0);
+    }
+
+    #[test]
+    fn extended_elementwise_ops() {
+        let a = Tensor::vector(&[1.0, 4.0, 9.0]);
+        let b = Tensor::vector(&[2.0, 2.0, 3.0]);
+        assert_eq!(div(&a, &b).data(), &[0.5, 2.0, 3.0]);
+        assert_eq!(sqrt(&a).data(), &[1.0, 2.0, 3.0]);
+        assert_eq!(abs(&Tensor::vector(&[-1.5, 2.0])).data(), &[1.5, 2.0]);
+        assert_eq!(max(&a, &b).data(), &[2.0, 4.0, 9.0]);
+        let e = exp(&Tensor::vector(&[0.0, 1.0]));
+        assert!((e.data()[0] - 1.0).abs() < 1e-6);
+        assert!((e.data()[1] - std::f32::consts::E).abs() < 1e-5);
+        let l = ln(&e);
+        assert!((l.data()[1] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn sum_rows_shapes() {
+        let m = Tensor::matrix(2, 3, &[1.0, 2.0, 3.0, 10.0, 20.0, 30.0]);
+        let s = sum_rows(&m);
+        assert_eq!(s.shape(), Shape::Vector(2));
+        assert_eq!(s.data(), &[6.0, 60.0]);
+        // vector view: single row
+        let v = sum_rows(&Tensor::vector(&[1.0, 2.0]));
+        assert_eq!(v.data(), &[3.0]);
+    }
+
+    #[test]
+    fn activations() {
+        let a = Tensor::vector(&[-1.0, 0.0, 1.0]);
+        assert_eq!(relu(&a).data(), &[0.0, 0.0, 1.0]);
+        let s = sigmoid(&a);
+        assert!((s.data()[1] - 0.5).abs() < 1e-6);
+        let t = tanh(&a);
+        assert!((t.data()[2] - 1.0f32.tanh()).abs() < 1e-6);
+    }
+}

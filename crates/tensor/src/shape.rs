@@ -1,0 +1,134 @@
+//! Tensor shapes (rank 0, 1 or 2).
+
+use std::fmt;
+
+/// The shape of a [`crate::Tensor`]: a scalar, a vector of length `n`, or an
+/// `r × c` row-major matrix.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Shape {
+    /// A single number (rank 0).
+    Scalar,
+    /// A vector of the given length (rank 1).
+    Vector(usize),
+    /// A matrix with `rows` and `cols` (rank 2, row-major).
+    Matrix(usize, usize),
+}
+
+impl Shape {
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match *self {
+            Shape::Scalar => 1,
+            Shape::Vector(n) => n,
+            Shape::Matrix(r, c) => r * c,
+        }
+    }
+
+    /// True when the shape holds no elements (zero-length vector or a matrix
+    /// with a zero dimension).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of dimensions (0, 1 or 2).
+    #[inline]
+    pub fn rank(&self) -> usize {
+        match self {
+            Shape::Scalar => 0,
+            Shape::Vector(_) => 1,
+            Shape::Matrix(_, _) => 2,
+        }
+    }
+
+    /// Rows when interpreted as a matrix: scalars are `1×1`, vectors are
+    /// a single row.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        match *self {
+            Shape::Scalar => 1,
+            Shape::Vector(_) => 1,
+            Shape::Matrix(r, _) => r,
+        }
+    }
+
+    /// Columns when interpreted as a matrix (see [`Shape::rows`]).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        match *self {
+            Shape::Scalar => 1,
+            Shape::Vector(n) => n,
+            Shape::Matrix(_, c) => c,
+        }
+    }
+
+    /// The transposed shape. Scalars and vectors transpose to themselves
+    /// (a vector is treated as a row).
+    #[inline]
+    pub fn transposed(&self) -> Shape {
+        match *self {
+            Shape::Matrix(r, c) => Shape::Matrix(c, r),
+            other => other,
+        }
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Shape::Scalar => write!(f, "[]"),
+            Shape::Vector(n) => write!(f, "[{n}]"),
+            Shape::Matrix(r, c) => write!(f, "[{r}x{c}]"),
+        }
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_and_rank() {
+        assert_eq!(Shape::Scalar.len(), 1);
+        assert_eq!(Shape::Scalar.rank(), 0);
+        assert_eq!(Shape::Vector(7).len(), 7);
+        assert_eq!(Shape::Vector(7).rank(), 1);
+        assert_eq!(Shape::Matrix(3, 4).len(), 12);
+        assert_eq!(Shape::Matrix(3, 4).rank(), 2);
+    }
+
+    #[test]
+    fn rows_cols_view() {
+        assert_eq!((Shape::Scalar.rows(), Shape::Scalar.cols()), (1, 1));
+        assert_eq!((Shape::Vector(5).rows(), Shape::Vector(5).cols()), (1, 5));
+        assert_eq!((Shape::Matrix(2, 9).rows(), Shape::Matrix(2, 9).cols()), (2, 9));
+    }
+
+    #[test]
+    fn transpose() {
+        assert_eq!(Shape::Matrix(2, 9).transposed(), Shape::Matrix(9, 2));
+        assert_eq!(Shape::Vector(4).transposed(), Shape::Vector(4));
+        assert_eq!(Shape::Scalar.transposed(), Shape::Scalar);
+    }
+
+    #[test]
+    fn empty() {
+        assert!(Shape::Vector(0).is_empty());
+        assert!(Shape::Matrix(0, 3).is_empty());
+        assert!(!Shape::Scalar.is_empty());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", Shape::Matrix(3, 4)), "[3x4]");
+        assert_eq!(format!("{}", Shape::Vector(3)), "[3]");
+        assert_eq!(format!("{}", Shape::Scalar), "[]");
+    }
+}

@@ -1,0 +1,702 @@
+//! Reverse-mode automatic differentiation on an arena tape.
+//!
+//! A [`Tape`] records every operation of a forward pass as a node in a flat
+//! arena. Because nodes can only refer to earlier nodes, the arena order *is*
+//! a topological order, and [`Tape::backward`] is a single reverse sweep that
+//! accumulates gradients into per-node buffers.
+//!
+//! The tape is rebuilt for every training step (define-by-run); parameters
+//! live outside the tape and re-enter each step through [`Tape::leaf`].
+
+use crate::ops;
+use crate::{Shape, Tensor};
+
+/// Handle to a node on a [`Tape`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct TensorId(usize);
+
+enum Op {
+    Leaf,
+    Add(TensorId, TensorId),
+    Sub(TensorId, TensorId),
+    Mul(TensorId, TensorId),
+    Scale(TensorId, f32),
+    AddRowBroadcast(TensorId, TensorId),
+    MatMul(TensorId, TensorId),
+    Transpose(TensorId),
+    Tanh(TensorId),
+    Sigmoid(TensorId),
+    Relu(TensorId),
+    RowSoftmax(TensorId),
+    Sum(TensorId),
+    Mean(TensorId),
+    MeanRows(TensorId),
+    ConcatCols(TensorId, TensorId),
+    GatherRows(TensorId, Vec<usize>),
+    Dot(TensorId, TensorId),
+    MulConst(TensorId, Tensor),
+    BceWithLogits(TensorId, Tensor),
+    Reshape(TensorId),
+    Div(TensorId, TensorId),
+    Exp(TensorId),
+    Ln(TensorId),
+    Sqrt(TensorId),
+    Abs(TensorId),
+    Max(TensorId, TensorId),
+    SumRows(TensorId),
+}
+
+struct Node {
+    value: Tensor,
+    op: Op,
+}
+
+/// An arena of recorded operations; see the module docs.
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+    grads: Vec<Option<Vec<f32>>>,
+}
+
+impl Tape {
+    /// An empty tape.
+    pub fn new() -> Self {
+        Tape::default()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> TensorId {
+        debug_assert!(value.is_finite(), "non-finite forward value");
+        self.nodes.push(Node { value, op });
+        self.grads.push(None);
+        TensorId(self.nodes.len() - 1)
+    }
+
+    /// Records an input (parameter or constant-with-gradient) on the tape.
+    pub fn leaf(&mut self, value: Tensor) -> TensorId {
+        self.push(value, Op::Leaf)
+    }
+
+    /// The forward value of a node.
+    pub fn value(&self, id: TensorId) -> &Tensor {
+        &self.nodes[id.0].value
+    }
+
+    /// Elementwise sum.
+    pub fn add(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let v = ops::add(self.value(a), self.value(b));
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let v = ops::sub(self.value(a), self.value(b));
+        self.push(v, Op::Sub(a, b))
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let v = ops::mul(self.value(a), self.value(b));
+        self.push(v, Op::Mul(a, b))
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&mut self, a: TensorId, c: f32) -> TensorId {
+        let v = ops::scale(self.value(a), c);
+        self.push(v, Op::Scale(a, c))
+    }
+
+    /// Adds bias vector `b` to every row of matrix `a`.
+    pub fn add_row_broadcast(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let v = ops::add_row_broadcast(self.value(a), self.value(b));
+        self.push(v, Op::AddRowBroadcast(a, b))
+    }
+
+    /// Matrix product (vectors are treated as single rows).
+    pub fn matmul(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let v = ops::matmul(self.value(a), self.value(b));
+        self.push(v, Op::MatMul(a, b))
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&mut self, a: TensorId) -> TensorId {
+        let v = ops::transpose(self.value(a));
+        self.push(v, Op::Transpose(a))
+    }
+
+    /// Elementwise `tanh`.
+    pub fn tanh(&mut self, a: TensorId) -> TensorId {
+        let v = ops::tanh(self.value(a));
+        self.push(v, Op::Tanh(a))
+    }
+
+    /// Elementwise sigmoid.
+    pub fn sigmoid(&mut self, a: TensorId) -> TensorId {
+        let v = ops::sigmoid(self.value(a));
+        self.push(v, Op::Sigmoid(a))
+    }
+
+    /// Elementwise ReLU.
+    pub fn relu(&mut self, a: TensorId) -> TensorId {
+        let v = ops::relu(self.value(a));
+        self.push(v, Op::Relu(a))
+    }
+
+    /// Row-wise softmax.
+    pub fn row_softmax(&mut self, a: TensorId) -> TensorId {
+        let v = ops::row_softmax(self.value(a));
+        self.push(v, Op::RowSoftmax(a))
+    }
+
+    /// Sum of all elements → scalar.
+    pub fn sum(&mut self, a: TensorId) -> TensorId {
+        let v = ops::sum(self.value(a));
+        self.push(v, Op::Sum(a))
+    }
+
+    /// Mean of all elements → scalar.
+    pub fn mean(&mut self, a: TensorId) -> TensorId {
+        let v = ops::mean(self.value(a));
+        self.push(v, Op::Mean(a))
+    }
+
+    /// Column-wise mean `[n,d] → [d]`.
+    pub fn mean_rows(&mut self, a: TensorId) -> TensorId {
+        let v = ops::mean_rows(self.value(a));
+        self.push(v, Op::MeanRows(a))
+    }
+
+    /// Horizontal concatenation.
+    pub fn concat_cols(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let v = ops::concat_cols(self.value(a), self.value(b));
+        self.push(v, Op::ConcatCols(a, b))
+    }
+
+    /// Row gather `[n,d] → [m,d]`; the backward pass scatter-adds, so
+    /// duplicate indices accumulate gradient (as an embedding lookup needs).
+    pub fn gather_rows(&mut self, a: TensorId, idx: Vec<usize>) -> TensorId {
+        let v = ops::gather_rows(self.value(a), &idx);
+        self.push(v, Op::GatherRows(a, idx))
+    }
+
+    /// Dot product of the flattened operands → scalar.
+    pub fn dot(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let v = ops::dot(self.value(a), self.value(b));
+        self.push(v, Op::Dot(a, b))
+    }
+
+    /// Elementwise product with a constant (no gradient flows to `mask`).
+    pub fn mul_const(&mut self, a: TensorId, mask: Tensor) -> TensorId {
+        let v = ops::mul(self.value(a), &mask);
+        self.push(v, Op::MulConst(a, mask))
+    }
+
+    /// Numerically stable binary cross-entropy on logits against constant
+    /// targets, averaged over all elements → scalar.
+    ///
+    /// `mean(max(x,0) − x·t + ln(1 + e^{−|x|}))`
+    pub fn bce_with_logits(&mut self, logits: TensorId, targets: Tensor) -> TensorId {
+        let x = self.value(logits);
+        assert_eq!(x.shape(), targets.shape(), "bce shape mismatch");
+        assert!(!x.is_empty(), "bce on empty tensor");
+        let n = x.len() as f32;
+        let loss: f32 = x
+            .data()
+            .iter()
+            .zip(targets.data())
+            .map(|(&x, &t)| x.max(0.0) - x * t + (1.0 + (-x.abs()).exp()).ln())
+            .sum::<f32>()
+            / n;
+        self.push(Tensor::scalar(loss), Op::BceWithLogits(logits, targets))
+    }
+
+    /// Shape reinterpretation (shares the buffer).
+    pub fn reshape(&mut self, a: TensorId, shape: Shape) -> TensorId {
+        let v = self.value(a).reshape(shape);
+        self.push(v, Op::Reshape(a))
+    }
+
+    /// Elementwise quotient (divisors must stay away from zero).
+    pub fn div(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let v = ops::div(self.value(a), self.value(b));
+        self.push(v, Op::Div(a, b))
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&mut self, a: TensorId) -> TensorId {
+        let v = ops::exp(self.value(a));
+        self.push(v, Op::Exp(a))
+    }
+
+    /// Elementwise natural logarithm (inputs must be positive).
+    pub fn ln(&mut self, a: TensorId) -> TensorId {
+        let v = ops::ln(self.value(a));
+        self.push(v, Op::Ln(a))
+    }
+
+    /// Elementwise square root (inputs must be non-negative; the gradient
+    /// blows up at exactly zero, as mathematics dictates).
+    pub fn sqrt(&mut self, a: TensorId) -> TensorId {
+        let v = ops::sqrt(self.value(a));
+        self.push(v, Op::Sqrt(a))
+    }
+
+    /// Elementwise absolute value (subgradient 0 at the kink).
+    pub fn abs(&mut self, a: TensorId) -> TensorId {
+        let v = ops::abs(self.value(a));
+        self.push(v, Op::Abs(a))
+    }
+
+    /// Elementwise maximum; gradient routes to the larger operand (ties go
+    /// to `a`).
+    pub fn max(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let v = ops::max(self.value(a), self.value(b));
+        self.push(v, Op::Max(a, b))
+    }
+
+    /// Row-wise sums `[n, d] → [n]`.
+    pub fn sum_rows(&mut self, a: TensorId) -> TensorId {
+        let v = ops::sum_rows(self.value(a));
+        self.push(v, Op::SumRows(a))
+    }
+
+    /// Convenience: squared L2 norm of a node → scalar (`sum(a ∘ a)`).
+    pub fn sq_norm(&mut self, a: TensorId) -> TensorId {
+        let m = self.mul(a, a);
+        self.sum(m)
+    }
+
+    fn add_grad(&mut self, id: TensorId, delta: &[f32]) {
+        let slot = &mut self.grads[id.0];
+        match slot {
+            Some(buf) => {
+                for (g, d) in buf.iter_mut().zip(delta) {
+                    *g += d;
+                }
+            }
+            None => *slot = Some(delta.to_vec()),
+        }
+    }
+
+    /// Runs the reverse sweep from `loss` (which must be a scalar node),
+    /// populating gradients for every node that influences it.
+    ///
+    /// # Panics
+    /// Panics when `loss` is not scalar.
+    pub fn backward(&mut self, loss: TensorId) {
+        assert_eq!(
+            self.value(loss).shape(),
+            Shape::Scalar,
+            "backward from non-scalar node"
+        );
+        for g in &mut self.grads {
+            *g = None;
+        }
+        self.grads[loss.0] = Some(vec![1.0]);
+
+        for i in (0..self.nodes.len()).rev() {
+            let Some(g) = self.grads[i].take() else { continue };
+            // Re-insert so callers can read it afterwards.
+            self.grads[i] = Some(g.clone());
+            let id = TensorId(i);
+            match &self.nodes[i].op {
+                Op::Leaf => {}
+                Op::Add(a, b) => {
+                    let (a, b) = (*a, *b);
+                    self.add_grad(a, &g);
+                    self.add_grad(b, &g);
+                }
+                Op::Sub(a, b) => {
+                    let (a, b) = (*a, *b);
+                    self.add_grad(a, &g);
+                    let neg: Vec<f32> = g.iter().map(|v| -v).collect();
+                    self.add_grad(b, &neg);
+                }
+                Op::Mul(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let da: Vec<f32> =
+                        g.iter().zip(self.value(b).data()).map(|(g, y)| g * y).collect();
+                    let db: Vec<f32> =
+                        g.iter().zip(self.value(a).data()).map(|(g, x)| g * x).collect();
+                    self.add_grad(a, &da);
+                    self.add_grad(b, &db);
+                }
+                Op::Scale(a, c) => {
+                    let (a, c) = (*a, *c);
+                    let da: Vec<f32> = g.iter().map(|v| c * v).collect();
+                    self.add_grad(a, &da);
+                }
+                Op::AddRowBroadcast(a, b) => {
+                    let (a, b) = (*a, *b);
+                    self.add_grad(a, &g);
+                    let cols = self.value(b).len();
+                    let mut db = vec![0.0f32; cols];
+                    for (j, v) in g.iter().enumerate() {
+                        db[j % cols] += v;
+                    }
+                    self.add_grad(b, &db);
+                }
+                Op::MatMul(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let (m, k) = (self.value(a).shape().rows(), self.value(a).shape().cols());
+                    let n = self.value(b).shape().cols();
+                    // dA[i,kk] = Σ_j g[i,j] * B[kk,j]
+                    let bd = self.value(b).data().to_vec();
+                    let ad = self.value(a).data().to_vec();
+                    let mut da = vec![0.0f32; m * k];
+                    for i in 0..m {
+                        for kk in 0..k {
+                            let brow = &bd[kk * n..(kk + 1) * n];
+                            let grow = &g[i * n..(i + 1) * n];
+                            da[i * k + kk] = grow.iter().zip(brow).map(|(g, b)| g * b).sum();
+                        }
+                    }
+                    // dB[kk,j] = Σ_i A[i,kk] * g[i,j]
+                    let mut db = vec![0.0f32; k * n];
+                    for i in 0..m {
+                        let grow = &g[i * n..(i + 1) * n];
+                        for kk in 0..k {
+                            let av = ad[i * k + kk];
+                            if av == 0.0 {
+                                continue;
+                            }
+                            let drow = &mut db[kk * n..(kk + 1) * n];
+                            for (d, gv) in drow.iter_mut().zip(grow) {
+                                *d += av * gv;
+                            }
+                        }
+                    }
+                    self.add_grad(a, &da);
+                    self.add_grad(b, &db);
+                }
+                Op::Transpose(a) => {
+                    let a = *a;
+                    match self.value(id).shape() {
+                        Shape::Matrix(r, c) => {
+                            // output is r×c, input was c×r
+                            let mut da = vec![0.0f32; r * c];
+                            for i in 0..r {
+                                for j in 0..c {
+                                    da[j * r + i] = g[i * c + j];
+                                }
+                            }
+                            self.add_grad(a, &da);
+                        }
+                        _ => self.add_grad(a, &g),
+                    }
+                }
+                Op::Tanh(a) => {
+                    let a = *a;
+                    let da: Vec<f32> = g
+                        .iter()
+                        .zip(self.value(id).data())
+                        .map(|(g, y)| g * (1.0 - y * y))
+                        .collect();
+                    self.add_grad(a, &da);
+                }
+                Op::Sigmoid(a) => {
+                    let a = *a;
+                    let da: Vec<f32> = g
+                        .iter()
+                        .zip(self.value(id).data())
+                        .map(|(g, y)| g * y * (1.0 - y))
+                        .collect();
+                    self.add_grad(a, &da);
+                }
+                Op::Relu(a) => {
+                    let a = *a;
+                    let da: Vec<f32> = g
+                        .iter()
+                        .zip(self.value(a).data())
+                        .map(|(g, x)| if *x > 0.0 { *g } else { 0.0 })
+                        .collect();
+                    self.add_grad(a, &da);
+                }
+                Op::RowSoftmax(a) => {
+                    let a = *a;
+                    let y = self.value(id);
+                    let (rows, cols) = (y.shape().rows(), y.shape().cols());
+                    let mut da = vec![0.0f32; rows * cols];
+                    for r in 0..rows {
+                        let yr = y.row(r);
+                        let gr = &g[r * cols..(r + 1) * cols];
+                        let gy: f32 = gr.iter().zip(yr).map(|(g, y)| g * y).sum();
+                        for j in 0..cols {
+                            da[r * cols + j] = yr[j] * (gr[j] - gy);
+                        }
+                    }
+                    self.add_grad(a, &da);
+                }
+                Op::Sum(a) => {
+                    let a = *a;
+                    let da = vec![g[0]; self.value(a).len()];
+                    self.add_grad(a, &da);
+                }
+                Op::Mean(a) => {
+                    let a = *a;
+                    let n = self.value(a).len() as f32;
+                    let da = vec![g[0] / n; self.value(a).len()];
+                    self.add_grad(a, &da);
+                }
+                Op::MeanRows(a) => {
+                    let a = *a;
+                    let (rows, cols) =
+                        (self.value(a).shape().rows(), self.value(a).shape().cols());
+                    let inv = 1.0 / rows as f32;
+                    let mut da = vec![0.0f32; rows * cols];
+                    for r in 0..rows {
+                        for j in 0..cols {
+                            da[r * cols + j] = g[j] * inv;
+                        }
+                    }
+                    self.add_grad(a, &da);
+                }
+                Op::ConcatCols(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let (rows, ca) = (self.value(a).shape().rows(), self.value(a).shape().cols());
+                    let cb = self.value(b).shape().cols();
+                    let mut da = vec![0.0f32; rows * ca];
+                    let mut db = vec![0.0f32; rows * cb];
+                    for r in 0..rows {
+                        let grow = &g[r * (ca + cb)..(r + 1) * (ca + cb)];
+                        da[r * ca..(r + 1) * ca].copy_from_slice(&grow[..ca]);
+                        db[r * cb..(r + 1) * cb].copy_from_slice(&grow[ca..]);
+                    }
+                    self.add_grad(a, &da);
+                    self.add_grad(b, &db);
+                }
+                Op::GatherRows(a, idx) => {
+                    let a = *a;
+                    let idx = idx.clone();
+                    let (rows, cols) =
+                        (self.value(a).shape().rows(), self.value(a).shape().cols());
+                    // scatter-add sparsely: materialising a dense
+                    // table-sized delta per gather makes every embedding
+                    // lookup O(vocab) in the backward pass — ruinous for
+                    // models doing dozens of lookups per step
+                    if self.grads[a.0].is_none() {
+                        self.grads[a.0] = Some(vec![0.0f32; rows * cols]);
+                    }
+                    let buf = self.grads[a.0].as_mut().expect("just ensured");
+                    for (out_r, &src_r) in idx.iter().enumerate() {
+                        let grow = &g[out_r * cols..(out_r + 1) * cols];
+                        let drow = &mut buf[src_r * cols..(src_r + 1) * cols];
+                        for (d, gv) in drow.iter_mut().zip(grow) {
+                            *d += gv;
+                        }
+                    }
+                }
+                Op::Dot(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let da: Vec<f32> = self.value(b).data().iter().map(|y| g[0] * y).collect();
+                    let db: Vec<f32> = self.value(a).data().iter().map(|x| g[0] * x).collect();
+                    self.add_grad(a, &da);
+                    self.add_grad(b, &db);
+                }
+                Op::MulConst(a, mask) => {
+                    let a = *a;
+                    let da: Vec<f32> = g.iter().zip(mask.data()).map(|(g, m)| g * m).collect();
+                    self.add_grad(a, &da);
+                }
+                Op::BceWithLogits(logits, targets) => {
+                    let logits = *logits;
+                    let n = targets.len() as f32;
+                    let da: Vec<f32> = self
+                        .value(logits)
+                        .data()
+                        .iter()
+                        .zip(targets.data())
+                        .map(|(&x, &t)| (1.0 / (1.0 + (-x).exp()) - t) * g[0] / n)
+                        .collect();
+                    self.add_grad(logits, &da);
+                }
+                Op::Reshape(a) => {
+                    let a = *a;
+                    self.add_grad(a, &g);
+                }
+                Op::Div(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let da: Vec<f32> =
+                        g.iter().zip(self.value(b).data()).map(|(g, y)| g / y).collect();
+                    let db: Vec<f32> = g
+                        .iter()
+                        .zip(self.value(a).data())
+                        .zip(self.value(b).data())
+                        .map(|((g, x), y)| -g * x / (y * y))
+                        .collect();
+                    self.add_grad(a, &da);
+                    self.add_grad(b, &db);
+                }
+                Op::Exp(a) => {
+                    let a = *a;
+                    let da: Vec<f32> =
+                        g.iter().zip(self.value(id).data()).map(|(g, y)| g * y).collect();
+                    self.add_grad(a, &da);
+                }
+                Op::Ln(a) => {
+                    let a = *a;
+                    let da: Vec<f32> =
+                        g.iter().zip(self.value(a).data()).map(|(g, x)| g / x).collect();
+                    self.add_grad(a, &da);
+                }
+                Op::Sqrt(a) => {
+                    let a = *a;
+                    let da: Vec<f32> = g
+                        .iter()
+                        .zip(self.value(id).data())
+                        .map(|(g, y)| if *y > 0.0 { g / (2.0 * y) } else { 0.0 })
+                        .collect();
+                    self.add_grad(a, &da);
+                }
+                Op::Abs(a) => {
+                    let a = *a;
+                    let da: Vec<f32> = g
+                        .iter()
+                        .zip(self.value(a).data())
+                        .map(|(g, x)| g * x.signum() * f32::from(u8::from(*x != 0.0)))
+                        .collect();
+                    self.add_grad(a, &da);
+                }
+                Op::Max(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let av = self.value(a).data().to_vec();
+                    let bv = self.value(b).data().to_vec();
+                    let da: Vec<f32> = g
+                        .iter()
+                        .zip(av.iter().zip(&bv))
+                        .map(|(g, (x, y))| if x >= y { *g } else { 0.0 })
+                        .collect();
+                    let db: Vec<f32> = g
+                        .iter()
+                        .zip(av.iter().zip(&bv))
+                        .map(|(g, (x, y))| if x >= y { 0.0 } else { *g })
+                        .collect();
+                    self.add_grad(a, &da);
+                    self.add_grad(b, &db);
+                }
+                Op::SumRows(a) => {
+                    let a = *a;
+                    let (rows, cols) =
+                        (self.value(a).shape().rows(), self.value(a).shape().cols());
+                    let mut da = vec![0.0f32; rows * cols];
+                    for r in 0..rows {
+                        for c in 0..cols {
+                            da[r * cols + c] = g[r];
+                        }
+                    }
+                    self.add_grad(a, &da);
+                }
+            }
+        }
+    }
+
+    /// The gradient accumulated at `id` by the last [`Tape::backward`] call,
+    /// or `None` when the node does not influence the loss.
+    pub fn grad(&self, id: TensorId) -> Option<Tensor> {
+        self.grads[id.0]
+            .as_ref()
+            .map(|g| Tensor::from_vec(g.clone(), self.value(id).shape()))
+    }
+
+    /// Like [`Tape::grad`] but returns a zero tensor when no gradient flowed.
+    pub fn grad_or_zero(&self, id: TensorId) -> Tensor {
+        self.grad(id)
+            .unwrap_or_else(|| Tensor::zeros(self.value(id).shape()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_mul_chain() {
+        // loss = sum((a + b) * a); d/da = (2a + b), d/db = a
+        let mut t = Tape::new();
+        let a = t.leaf(Tensor::vector(&[1.0, 2.0]));
+        let b = t.leaf(Tensor::vector(&[3.0, 4.0]));
+        let s = t.add(a, b);
+        let m = t.mul(s, a);
+        let loss = t.sum(m);
+        assert_eq!(t.value(loss).item(), 1.0 * 4.0 + 2.0 * 6.0);
+        t.backward(loss);
+        assert_eq!(t.grad(a).unwrap().data(), &[5.0, 8.0]);
+        assert_eq!(t.grad(b).unwrap().data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn matmul_grads_match_hand_calc() {
+        // loss = sum(A @ B), A 1x2, B 2x2
+        let mut t = Tape::new();
+        let a = t.leaf(Tensor::matrix(1, 2, &[1.0, 2.0]));
+        let b = t.leaf(Tensor::matrix(2, 2, &[1.0, 2.0, 3.0, 4.0]));
+        let p = t.matmul(a, b);
+        let loss = t.sum(p);
+        t.backward(loss);
+        // dA = ones(1x2) @ B^T = [1+2, 3+4]
+        assert_eq!(t.grad(a).unwrap().data(), &[3.0, 7.0]);
+        // dB = A^T @ ones(1x2) = [[1,1],[2,2]]
+        assert_eq!(t.grad(b).unwrap().data(), &[1.0, 1.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn unused_node_has_no_grad() {
+        let mut t = Tape::new();
+        let a = t.leaf(Tensor::scalar(1.0));
+        let b = t.leaf(Tensor::scalar(2.0));
+        let loss = t.mul(a, a);
+        t.backward(loss);
+        assert!(t.grad(b).is_none());
+        assert_eq!(t.grad_or_zero(b).item(), 0.0);
+    }
+
+    #[test]
+    fn gather_accumulates_duplicates() {
+        let mut t = Tape::new();
+        let e = t.leaf(Tensor::matrix(3, 2, &[0.0; 6]));
+        let g = t.gather_rows(e, vec![1, 1, 2]);
+        let s = t.sum(g);
+        t.backward(s);
+        assert_eq!(t.grad(e).unwrap().data(), &[0.0, 0.0, 2.0, 2.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-scalar")]
+    fn backward_from_vector_panics() {
+        let mut t = Tape::new();
+        let a = t.leaf(Tensor::vector(&[1.0, 2.0]));
+        t.backward(a);
+    }
+
+    #[test]
+    fn bce_matches_manual() {
+        let mut t = Tape::new();
+        let x = t.leaf(Tensor::vector(&[0.0, 2.0]));
+        let loss = t.bce_with_logits(x, Tensor::vector(&[1.0, 0.0]));
+        // manual: [ln 2, 2 + ln(1+e^-2)] / 2
+        let expect = ((2.0f32).ln() + 2.0 + (1.0 + (-2.0f32).exp()).ln()) / 2.0;
+        assert!((t.value(loss).item() - expect).abs() < 1e-5);
+        t.backward(loss);
+        let g = t.grad(x).unwrap();
+        assert!((g.data()[0] - (0.5 - 1.0) / 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn backward_twice_resets_grads() {
+        let mut t = Tape::new();
+        let a = t.leaf(Tensor::scalar(3.0));
+        let loss = t.mul(a, a);
+        t.backward(loss);
+        t.backward(loss);
+        assert_eq!(t.grad(a).unwrap().item(), 6.0); // not 12
+    }
+}

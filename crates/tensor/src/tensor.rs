@@ -1,0 +1,284 @@
+//! The immutable tensor value type.
+
+use std::fmt;
+use std::sync::Arc;
+
+use rand::Rng;
+
+use crate::Shape;
+
+/// An immutable, reference-counted dense `f32` tensor (rank ≤ 2, row-major).
+///
+/// Cloning a `Tensor` is O(1) — it clones the `Arc`, not the buffer. All
+/// operations that produce new data allocate a fresh buffer; buffers are never
+/// mutated after construction, so values recorded on a [`crate::Tape`] stay
+/// valid for the backward pass.
+#[derive(Clone)]
+pub struct Tensor {
+    data: Arc<Vec<f32>>,
+    shape: Shape,
+}
+
+impl Tensor {
+    /// Builds a tensor from a buffer and a shape.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != shape.len()`.
+    pub fn from_vec(data: Vec<f32>, shape: Shape) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.len(),
+            "buffer length {} does not match shape {shape}",
+            data.len()
+        );
+        Tensor { data: Arc::new(data), shape }
+    }
+
+    /// A scalar tensor.
+    pub fn scalar(v: f32) -> Self {
+        Tensor::from_vec(vec![v], Shape::Scalar)
+    }
+
+    /// A vector tensor from a slice.
+    pub fn vector(v: &[f32]) -> Self {
+        Tensor::from_vec(v.to_vec(), Shape::Vector(v.len()))
+    }
+
+    /// A row-major matrix tensor from a flat slice.
+    pub fn matrix(rows: usize, cols: usize, v: &[f32]) -> Self {
+        Tensor::from_vec(v.to_vec(), Shape::Matrix(rows, cols))
+    }
+
+    /// All-zero tensor of the given shape.
+    pub fn zeros(shape: Shape) -> Self {
+        Tensor::from_vec(vec![0.0; shape.len()], shape)
+    }
+
+    /// All-one tensor of the given shape.
+    pub fn ones(shape: Shape) -> Self {
+        Tensor::from_vec(vec![1.0; shape.len()], shape)
+    }
+
+    /// Tensor filled with a constant.
+    pub fn full(shape: Shape, v: f32) -> Self {
+        Tensor::from_vec(vec![v; shape.len()], shape)
+    }
+
+    /// Tensor with entries drawn uniformly from `[-limit, limit]`.
+    pub fn uniform<R: Rng + ?Sized>(shape: Shape, limit: f32, rng: &mut R) -> Self {
+        let data = (0..shape.len()).map(|_| rng.gen_range(-limit..=limit)).collect();
+        Tensor::from_vec(data, shape)
+    }
+
+    /// Xavier/Glorot-style uniform initialisation for a `fan_in × fan_out`
+    /// weight matrix: limit `sqrt(6 / (fan_in + fan_out))`.
+    pub fn glorot<R: Rng + ?Sized>(fan_in: usize, fan_out: usize, rng: &mut R) -> Self {
+        let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+        Tensor::uniform(Shape::Matrix(fan_in, fan_out), limit, rng)
+    }
+
+    /// The tensor's shape.
+    #[inline]
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// True when the tensor holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.shape.is_empty()
+    }
+
+    /// The underlying buffer, row-major.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// The single value of a scalar tensor.
+    ///
+    /// # Panics
+    /// Panics when the tensor is not a scalar.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.shape, Shape::Scalar, "item() on non-scalar {}", self.shape);
+        self.data[0]
+    }
+
+    /// Element at `(row, col)` under the matrix view (vectors are one row).
+    #[inline]
+    pub fn at(&self, row: usize, col: usize) -> f32 {
+        let cols = self.shape.cols();
+        debug_assert!(row < self.shape.rows() && col < cols);
+        self.data[row * cols + col]
+    }
+
+    /// One row of the matrix view as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        let c = self.shape.cols();
+        &self.data[r * c..(r + 1) * c]
+    }
+
+    /// Returns the same buffer reinterpreted with a new shape of equal length.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn reshape(&self, shape: Shape) -> Tensor {
+        assert_eq!(self.len(), shape.len(), "reshape {} -> {shape}", self.shape);
+        Tensor { data: Arc::clone(&self.data), shape }
+    }
+
+    /// Extracts one row of a matrix as a vector tensor (copies the row).
+    pub fn row_tensor(&self, r: usize) -> Tensor {
+        Tensor::vector(self.row(r))
+    }
+
+    /// Stacks equal-length vector tensors into a matrix, one per row.
+    ///
+    /// # Panics
+    /// Panics when `rows` is empty or lengths differ.
+    pub fn stack_rows(rows: &[Tensor]) -> Tensor {
+        assert!(!rows.is_empty(), "stack_rows of zero rows");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "stack_rows length mismatch");
+            data.extend_from_slice(r.data());
+        }
+        Tensor::from_vec(data, Shape::Matrix(rows.len(), cols))
+    }
+
+    /// Euclidean (L2) norm of the flattened buffer.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Sum of all elements.
+    pub fn sum_all(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// True when all elements are finite (no NaN/±inf).
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Largest absolute element-wise difference against another tensor of the
+    /// same shape.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape, other.shape, "max_abs_diff shape mismatch");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max)
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{} ", self.shape)?;
+        if self.len() <= 8 {
+            write!(f, "{:?}", &self.data[..])
+        } else {
+            write!(f, "[{:.4}, {:.4}, … {:.4}]", self.data[0], self.data[1], self.data[self.len() - 1])
+        }
+    }
+}
+
+impl PartialEq for Tensor {
+    fn eq(&self, other: &Self) -> bool {
+        self.shape == other.shape && self.data == other.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constructors_and_access() {
+        let t = Tensor::matrix(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(t.shape(), Shape::Matrix(2, 3));
+        assert_eq!(t.at(1, 2), 6.0);
+        assert_eq!(t.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(Tensor::scalar(3.5).item(), 3.5);
+        assert_eq!(Tensor::zeros(Shape::Vector(4)).data(), &[0.0; 4]);
+        assert_eq!(Tensor::ones(Shape::Vector(2)).data(), &[1.0, 1.0]);
+        assert_eq!(Tensor::full(Shape::Vector(2), 7.0).data(), &[7.0, 7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn from_vec_length_mismatch_panics() {
+        let _ = Tensor::from_vec(vec![1.0, 2.0], Shape::Vector(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "item() on non-scalar")]
+    fn item_on_vector_panics() {
+        let _ = Tensor::vector(&[1.0, 2.0]).item();
+    }
+
+    #[test]
+    fn clone_is_shallow() {
+        let t = Tensor::vector(&[1.0, 2.0, 3.0]);
+        let u = t.clone();
+        assert!(Arc::ptr_eq(&t.data, &u.data));
+        assert_eq!(t, u);
+    }
+
+    #[test]
+    fn reshape_shares_buffer() {
+        let t = Tensor::vector(&[1.0, 2.0, 3.0, 4.0]);
+        let m = t.reshape(Shape::Matrix(2, 2));
+        assert!(Arc::ptr_eq(&t.data, &m.data));
+        assert_eq!(m.at(1, 0), 3.0);
+    }
+
+    #[test]
+    fn stack_rows_builds_matrix() {
+        let a = Tensor::vector(&[1.0, 2.0]);
+        let b = Tensor::vector(&[3.0, 4.0]);
+        let m = Tensor::stack_rows(&[a, b]);
+        assert_eq!(m.shape(), Shape::Matrix(2, 2));
+        assert_eq!(m.data(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn norm_and_sum() {
+        let t = Tensor::vector(&[3.0, 4.0]);
+        assert!((t.norm() - 5.0).abs() < 1e-6);
+        assert_eq!(t.sum_all(), 7.0);
+    }
+
+    #[test]
+    fn glorot_within_limit() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let w = Tensor::glorot(10, 20, &mut rng);
+        let limit = (6.0f32 / 30.0).sqrt();
+        assert!(w.data().iter().all(|v| v.abs() <= limit + 1e-6));
+        assert_eq!(w.shape(), Shape::Matrix(10, 20));
+    }
+
+    #[test]
+    fn finite_detection() {
+        assert!(Tensor::vector(&[1.0, 2.0]).is_finite());
+        assert!(!Tensor::vector(&[1.0, f32::NAN]).is_finite());
+        assert!(!Tensor::vector(&[f32::INFINITY]).is_finite());
+    }
+
+    #[test]
+    fn max_abs_diff_works() {
+        let a = Tensor::vector(&[1.0, 2.0, 3.0]);
+        let b = Tensor::vector(&[1.5, 2.0, 2.0]);
+        assert!((a.max_abs_diff(&b) - 1.0).abs() < 1e-6);
+    }
+}

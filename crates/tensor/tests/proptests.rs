@@ -1,0 +1,132 @@
+//! Property-based tests for tensor algebra laws and autograd invariants.
+
+use proptest::prelude::*;
+use sem_tensor::{ops, Shape, Tape, Tensor};
+
+fn vec_strategy(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-10.0f32..10.0, len)
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(a in vec_strategy(16), b in vec_strategy(16)) {
+        let ta = Tensor::vector(&a);
+        let tb = Tensor::vector(&b);
+        prop_assert_eq!(ops::add(&ta, &tb), ops::add(&tb, &ta));
+    }
+
+    #[test]
+    fn mul_commutes(a in vec_strategy(16), b in vec_strategy(16)) {
+        let ta = Tensor::vector(&a);
+        let tb = Tensor::vector(&b);
+        prop_assert_eq!(ops::mul(&ta, &tb), ops::mul(&tb, &ta));
+    }
+
+    #[test]
+    fn add_zero_is_identity(a in vec_strategy(16)) {
+        let ta = Tensor::vector(&a);
+        let z = Tensor::zeros(Shape::Vector(16));
+        prop_assert_eq!(ops::add(&ta, &z), ta);
+    }
+
+    #[test]
+    fn sub_self_is_zero(a in vec_strategy(16)) {
+        let ta = Tensor::vector(&a);
+        let d = ops::sub(&ta, &ta);
+        prop_assert!(d.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn transpose_involution(data in vec_strategy(12)) {
+        let m = Tensor::matrix(3, 4, &data);
+        prop_assert_eq!(ops::transpose(&ops::transpose(&m)), m);
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(data in vec_strategy(12)) {
+        let m = Tensor::matrix(3, 4, &data);
+        let s = ops::row_softmax(&m);
+        for r in 0..3 {
+            let row = s.row(r);
+            prop_assert!(row.iter().all(|&p| (0.0..=1.0 + 1e-6).contains(&p)));
+            let z: f32 = row.iter().sum();
+            prop_assert!((z - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn softmax_shift_invariant(data in vec_strategy(4), c in -5.0f32..5.0) {
+        let m = Tensor::vector(&data);
+        let shifted = Tensor::vector(&data.iter().map(|v| v + c).collect::<Vec<_>>());
+        let a = ops::row_softmax(&m);
+        let b = ops::row_softmax(&shifted);
+        prop_assert!(a.max_abs_diff(&b) < 1e-4);
+    }
+
+    #[test]
+    fn matmul_identity(data in vec_strategy(9)) {
+        let m = Tensor::matrix(3, 3, &data);
+        let eye = Tensor::matrix(3, 3, &[1.,0.,0., 0.,1.,0., 0.,0.,1.]);
+        prop_assert!(ops::matmul(&m, &eye).max_abs_diff(&m) < 1e-5);
+        prop_assert!(ops::matmul(&eye, &m).max_abs_diff(&m) < 1e-5);
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(a in vec_strategy(6), b in vec_strategy(6), c in vec_strategy(6)) {
+        let ta = Tensor::matrix(2, 3, &a);
+        let tb = Tensor::matrix(3, 2, &b);
+        let tc = Tensor::matrix(3, 2, &c);
+        let lhs = ops::matmul(&ta, &ops::add(&tb, &tc));
+        let rhs = ops::add(&ops::matmul(&ta, &tb), &ops::matmul(&ta, &tc));
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-3);
+    }
+
+    #[test]
+    fn sum_linear(a in vec_strategy(8), k in -3.0f32..3.0) {
+        let ta = Tensor::vector(&a);
+        let lhs = ops::sum(&ops::scale(&ta, k)).item();
+        let rhs = k * ops::sum(&ta).item();
+        prop_assert!((lhs - rhs).abs() < 1e-3 * (1.0 + rhs.abs()));
+    }
+
+    #[test]
+    fn grad_of_sum_is_ones(a in vec_strategy(8)) {
+        let mut t = Tape::new();
+        let x = t.leaf(Tensor::vector(&a));
+        let loss = t.sum(x);
+        t.backward(loss);
+        let g = t.grad(x).unwrap();
+        prop_assert_eq!(g.data(), &[1.0f32; 8][..]);
+    }
+
+    #[test]
+    fn grad_scale_chain(a in vec_strategy(8), k in -3.0f32..3.0) {
+        let mut t = Tape::new();
+        let x = t.leaf(Tensor::vector(&a));
+        let s = t.scale(x, k);
+        let loss = t.sum(s);
+        t.backward(loss);
+        let g = t.grad(x).unwrap();
+        prop_assert!(g.data().iter().all(|&v| (v - k).abs() < 1e-5));
+    }
+
+    #[test]
+    fn gather_rows_preserves_content(data in vec_strategy(12), i0 in 0usize..4, i1 in 0usize..4) {
+        let m = Tensor::matrix(4, 3, &data);
+        let g = ops::gather_rows(&m, &[i0, i1]);
+        prop_assert_eq!(g.row(0), m.row(i0));
+        prop_assert_eq!(g.row(1), m.row(i1));
+    }
+
+    #[test]
+    fn mean_rows_bounded_by_extremes(data in vec_strategy(12)) {
+        let m = Tensor::matrix(4, 3, &data);
+        let mr = ops::mean_rows(&m);
+        for j in 0..3 {
+            let col: Vec<f32> = (0..4).map(|r| m.at(r, j)).collect();
+            let lo = col.iter().cloned().fold(f32::INFINITY, f32::min);
+            let hi = col.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(mr.data()[j] >= lo - 1e-4 && mr.data()[j] <= hi + 1e-4);
+        }
+    }
+}

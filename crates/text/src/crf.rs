@@ -1,0 +1,469 @@
+//! Linear-chain conditional random field — the sentence-function labeler.
+//!
+//! The paper labels each abstract sentence with a subspace (background /
+//! method / result) using a pretrained CRF \[27\]. We train the same model
+//! family from scratch: emissions are linear in sparse binary features of
+//! each sentence, transitions couple adjacent labels, training maximises
+//! conditional log-likelihood via forward–backward, and decoding is Viterbi.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Training configuration for [`LinearChainCrf`].
+#[derive(Clone, Debug)]
+pub struct CrfConfig {
+    /// SGD learning rate.
+    pub lr: f32,
+    /// L2 regularisation strength.
+    pub l2: f32,
+    /// Passes over the training set.
+    pub epochs: usize,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for CrfConfig {
+    fn default() -> Self {
+        CrfConfig { lr: 0.1, l2: 1e-4, epochs: 30, seed: 0xc2f }
+    }
+}
+
+/// A trained linear-chain CRF over sparse binary features.
+///
+/// A sequence item is a `Vec<usize>` of active feature ids; a sequence is a
+/// slice of items. Labels are `0..n_labels`.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct LinearChainCrf {
+    n_labels: usize,
+    n_features: usize,
+    /// Emission weights `[n_labels × n_features]`.
+    emit: Vec<f32>,
+    /// Transition weights `[n_labels × n_labels]`, `trans[from*L + to]`.
+    trans: Vec<f32>,
+    /// Initial-label weights `[n_labels]`.
+    init: Vec<f32>,
+}
+
+fn logsumexp(xs: &[f32]) -> f32 {
+    let m = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if m == f32::NEG_INFINITY {
+        return f32::NEG_INFINITY;
+    }
+    m + xs.iter().map(|x| (x - m).exp()).sum::<f32>().ln()
+}
+
+impl LinearChainCrf {
+    /// An untrained CRF with all-zero weights.
+    pub fn new(n_labels: usize, n_features: usize) -> Self {
+        assert!(n_labels > 0 && n_features > 0, "CRF dims must be positive");
+        LinearChainCrf {
+            n_labels,
+            n_features,
+            emit: vec![0.0; n_labels * n_features],
+            trans: vec![0.0; n_labels * n_labels],
+            init: vec![0.0; n_labels],
+        }
+    }
+
+    /// Number of labels.
+    pub fn n_labels(&self) -> usize {
+        self.n_labels
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    fn emission(&self, label: usize, feats: &[usize]) -> f32 {
+        feats.iter().map(|&f| self.emit[label * self.n_features + f]).sum()
+    }
+
+    /// Per-position emission score matrix `[T][L]`.
+    fn emissions(&self, seq: &[Vec<usize>]) -> Vec<Vec<f32>> {
+        seq.iter()
+            .map(|feats| (0..self.n_labels).map(|l| self.emission(l, feats)).collect())
+            .collect()
+    }
+
+    /// Log-partition `log Z(x)` via the forward recursion.
+    pub fn log_partition(&self, seq: &[Vec<usize>]) -> f32 {
+        if seq.is_empty() {
+            return 0.0;
+        }
+        let em = self.emissions(seq);
+        let mut alpha: Vec<f32> =
+            (0..self.n_labels).map(|l| self.init[l] + em[0][l]).collect();
+        let mut scratch = vec![0.0f32; self.n_labels];
+        for em_t in em.iter().skip(1) {
+            let prev = alpha.clone();
+            for to in 0..self.n_labels {
+                for (from, s) in scratch.iter_mut().enumerate() {
+                    *s = prev[from] + self.trans[from * self.n_labels + to];
+                }
+                alpha[to] = logsumexp(&scratch) + em_t[to];
+            }
+        }
+        logsumexp(&alpha)
+    }
+
+    /// Unnormalised log-score of a specific labeling.
+    pub fn path_score(&self, seq: &[Vec<usize>], labels: &[usize]) -> f32 {
+        assert_eq!(seq.len(), labels.len(), "seq/label length mismatch");
+        if seq.is_empty() {
+            return 0.0;
+        }
+        let mut s = self.init[labels[0]] + self.emission(labels[0], &seq[0]);
+        for t in 1..seq.len() {
+            s += self.trans[labels[t - 1] * self.n_labels + labels[t]]
+                + self.emission(labels[t], &seq[t]);
+        }
+        s
+    }
+
+    /// Conditional log-likelihood `log P(labels | seq)`.
+    pub fn log_likelihood(&self, seq: &[Vec<usize>], labels: &[usize]) -> f32 {
+        self.path_score(seq, labels) - self.log_partition(seq)
+    }
+
+    /// Most probable labeling (Viterbi decoding). Empty input → empty output.
+    pub fn decode(&self, seq: &[Vec<usize>]) -> Vec<usize> {
+        if seq.is_empty() {
+            return Vec::new();
+        }
+        let em = self.emissions(seq);
+        let t_len = seq.len();
+        let mut delta: Vec<f32> =
+            (0..self.n_labels).map(|l| self.init[l] + em[0][l]).collect();
+        let mut back: Vec<Vec<usize>> = Vec::with_capacity(t_len);
+        back.push(vec![0; self.n_labels]);
+        for em_t in em.iter().skip(1) {
+            let prev = delta.clone();
+            let mut ptr = vec![0usize; self.n_labels];
+            for to in 0..self.n_labels {
+                let (best_from, best) = (0..self.n_labels)
+                    .map(|from| (from, prev[from] + self.trans[from * self.n_labels + to]))
+                    .max_by(|a, b| a.1.total_cmp(&b.1))
+                    .expect("n_labels > 0");
+                delta[to] = best + em_t[to];
+                ptr[to] = best_from;
+            }
+            back.push(ptr);
+        }
+        let mut best = (0..self.n_labels)
+            .max_by(|&a, &b| delta[a].total_cmp(&delta[b]))
+            .expect("n_labels > 0");
+        let mut out = vec![0usize; t_len];
+        for t in (0..t_len).rev() {
+            out[t] = best;
+            best = back[t][best];
+        }
+        out
+    }
+
+    /// Posterior marginals `P(y_t = l | seq)` as `[T][L]` via
+    /// forward–backward.
+    pub fn marginals(&self, seq: &[Vec<usize>]) -> Vec<Vec<f32>> {
+        let t_len = seq.len();
+        if t_len == 0 {
+            return Vec::new();
+        }
+        let em = self.emissions(seq);
+        let l = self.n_labels;
+        let mut alpha = vec![vec![0.0f32; l]; t_len];
+        let mut beta = vec![vec![0.0f32; l]; t_len];
+        for lab in 0..l {
+            alpha[0][lab] = self.init[lab] + em[0][lab];
+        }
+        let mut scratch = vec![0.0f32; l];
+        for t in 1..t_len {
+            for to in 0..l {
+                for (from, s) in scratch.iter_mut().enumerate() {
+                    *s = alpha[t - 1][from] + self.trans[from * l + to];
+                }
+                alpha[t][to] = logsumexp(&scratch) + em[t][to];
+            }
+        }
+        for t in (0..t_len - 1).rev() {
+            for from in 0..l {
+                for (to, s) in scratch.iter_mut().enumerate() {
+                    *s = beta[t + 1][to] + self.trans[from * l + to] + em[t + 1][to];
+                }
+                beta[t][from] = logsumexp(&scratch);
+            }
+        }
+        let log_z = logsumexp(&alpha[t_len - 1]);
+        (0..t_len)
+            .map(|t| (0..l).map(|lab| (alpha[t][lab] + beta[t][lab] - log_z).exp()).collect())
+            .collect()
+    }
+
+    /// Trains by SGD on the conditional log-likelihood.
+    ///
+    /// `data` pairs feature sequences with gold labels. Returns the mean
+    /// log-likelihood of the final epoch (a training diagnostic).
+    pub fn train(&mut self, data: &[(Vec<Vec<usize>>, Vec<usize>)], config: &CrfConfig) -> f32 {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        let mut final_ll = 0.0f32;
+        for epoch in 0..config.epochs {
+            order.shuffle(&mut rng);
+            let mut ll_sum = 0.0f32;
+            for &i in &order {
+                let (seq, labels) = &data[i];
+                if seq.is_empty() {
+                    continue;
+                }
+                ll_sum += self.sgd_step(seq, labels, config.lr, config.l2);
+            }
+            if epoch + 1 == config.epochs {
+                final_ll = ll_sum / data.len().max(1) as f32;
+            }
+        }
+        final_ll
+    }
+
+    /// One SGD step on a single sequence; returns its log-likelihood before
+    /// the update.
+    fn sgd_step(&mut self, seq: &[Vec<usize>], labels: &[usize], lr: f32, l2: f32) -> f32 {
+        let l = self.n_labels;
+        let t_len = seq.len();
+        let em = self.emissions(seq);
+
+        // forward-backward for expectations
+        let mut alpha = vec![vec![0.0f32; l]; t_len];
+        let mut beta = vec![vec![0.0f32; l]; t_len];
+        for lab in 0..l {
+            alpha[0][lab] = self.init[lab] + em[0][lab];
+        }
+        let mut scratch = vec![0.0f32; l];
+        for t in 1..t_len {
+            for to in 0..l {
+                for (from, s) in scratch.iter_mut().enumerate() {
+                    *s = alpha[t - 1][from] + self.trans[from * l + to];
+                }
+                alpha[t][to] = logsumexp(&scratch) + em[t][to];
+            }
+        }
+        for t in (0..t_len.saturating_sub(1)).rev() {
+            for from in 0..l {
+                for (to, s) in scratch.iter_mut().enumerate() {
+                    *s = beta[t + 1][to] + self.trans[from * l + to] + em[t + 1][to];
+                }
+                beta[t][from] = logsumexp(&scratch);
+            }
+        }
+        let log_z = logsumexp(&alpha[t_len - 1]);
+        let ll = self.path_score(seq, labels) - log_z;
+
+        // gradient = empirical − expected; apply immediately (SGD)
+        // emissions + init
+        for t in 0..t_len {
+            for lab in 0..l {
+                let p = (alpha[t][lab] + beta[t][lab] - log_z).exp();
+                let emp = if labels[t] == lab { 1.0 } else { 0.0 };
+                let g = emp - p;
+                if g != 0.0 {
+                    for &f in &seq[t] {
+                        let w = &mut self.emit[lab * self.n_features + f];
+                        *w += lr * (g - l2 * *w);
+                    }
+                }
+                if t == 0 {
+                    let w = &mut self.init[lab];
+                    *w += lr * (g - l2 * *w);
+                }
+            }
+        }
+        // transitions
+        for t in 1..t_len {
+            for from in 0..l {
+                for to in 0..l {
+                    let p = (alpha[t - 1][from]
+                        + self.trans[from * l + to]
+                        + em[t][to]
+                        + beta[t][to]
+                        - log_z)
+                        .exp();
+                    let emp = if labels[t - 1] == from && labels[t] == to { 1.0 } else { 0.0 };
+                    let g = emp - p;
+                    let w = &mut self.trans[from * l + to];
+                    *w += lr * (g - l2 * *w);
+                }
+            }
+        }
+        ll
+    }
+
+    /// Token-level accuracy of Viterbi decoding against gold labels.
+    pub fn accuracy(&self, data: &[(Vec<Vec<usize>>, Vec<usize>)]) -> f64 {
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for (seq, labels) in data {
+            let pred = self.decode(seq);
+            correct += pred.iter().zip(labels).filter(|(a, b)| a == b).count();
+            total += labels.len();
+        }
+        if total == 0 {
+            1.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exhaustive log-partition for tiny cases.
+    fn brute_log_z(crf: &LinearChainCrf, seq: &[Vec<usize>]) -> f32 {
+        let l = crf.n_labels();
+        let t = seq.len();
+        let mut scores = Vec::new();
+        let total = l.pow(t as u32);
+        for mut code in 0..total {
+            let mut labels = Vec::with_capacity(t);
+            for _ in 0..t {
+                labels.push(code % l);
+                code /= l;
+            }
+            scores.push(crf.path_score(seq, &labels));
+        }
+        logsumexp(&scores)
+    }
+
+    fn toy_crf() -> LinearChainCrf {
+        let mut crf = LinearChainCrf::new(3, 4);
+        // hand-set weights
+        for (i, w) in crf.emit.iter_mut().enumerate() {
+            *w = ((i * 7 % 11) as f32 - 5.0) * 0.3;
+        }
+        for (i, w) in crf.trans.iter_mut().enumerate() {
+            *w = ((i * 5 % 7) as f32 - 3.0) * 0.2;
+        }
+        crf.init = vec![0.1, -0.4, 0.3];
+        crf
+    }
+
+    #[test]
+    fn log_partition_matches_brute_force() {
+        let crf = toy_crf();
+        let seq = vec![vec![0, 2], vec![1], vec![3, 0], vec![2]];
+        let lz = crf.log_partition(&seq);
+        let bz = brute_log_z(&crf, &seq);
+        assert!((lz - bz).abs() < 1e-3, "forward {lz} vs brute {bz}");
+    }
+
+    #[test]
+    fn viterbi_matches_brute_force_argmax() {
+        let crf = toy_crf();
+        let seq = vec![vec![0], vec![1, 3], vec![2]];
+        let pred = crf.decode(&seq);
+        // brute force
+        let l = crf.n_labels();
+        let mut best = (f32::NEG_INFINITY, Vec::new());
+        for code in 0..l.pow(3) {
+            let labels = vec![code % l, (code / l) % l, (code / l / l) % l];
+            let s = crf.path_score(&seq, &labels);
+            if s > best.0 {
+                best = (s, labels);
+            }
+        }
+        assert_eq!(pred, best.1);
+    }
+
+    #[test]
+    fn marginals_sum_to_one_and_match_brute() {
+        let crf = toy_crf();
+        let seq = vec![vec![1, 2], vec![0], vec![3]];
+        let m = crf.marginals(&seq);
+        for row in &m {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-4, "marginal row sums to {s}");
+        }
+        // brute-force marginal of P(y_1 = 2)
+        let l = crf.n_labels();
+        let mut num = Vec::new();
+        let mut den = Vec::new();
+        for code in 0..l.pow(3) {
+            let labels = vec![code % l, (code / l) % l, (code / l / l) % l];
+            let s = crf.path_score(&seq, &labels);
+            den.push(s);
+            if labels[1] == 2 {
+                num.push(s);
+            }
+        }
+        let brute = (logsumexp(&num) - logsumexp(&den)).exp();
+        assert!((m[1][2] - brute).abs() < 1e-3, "{} vs {brute}", m[1][2]);
+    }
+
+    #[test]
+    fn likelihood_never_exceeds_zero() {
+        let crf = toy_crf();
+        let seq = vec![vec![0, 1], vec![2]];
+        for a in 0..3 {
+            for b in 0..3 {
+                assert!(crf.log_likelihood(&seq, &[a, b]) <= 1e-5);
+            }
+        }
+    }
+
+    /// Position-pattern data: label 0 at the start, 1 in the middle, 2 at the
+    /// end (exactly the background/method/result structure of abstracts).
+    fn position_data(n: usize) -> Vec<(Vec<Vec<usize>>, Vec<usize>)> {
+        // feature 0: first position, 1: middle, 2: last; 3+: noise
+        (0..n)
+            .map(|i| {
+                let len = 3 + (i % 3);
+                let feats: Vec<Vec<usize>> = (0..len)
+                    .map(|t| {
+                        let pos_feat = if t == 0 {
+                            0
+                        } else if t + 1 == len {
+                            2
+                        } else {
+                            1
+                        };
+                        vec![pos_feat, 3 + (i + t) % 2]
+                    })
+                    .collect();
+                let labels = (0..len)
+                    .map(|t| if t == 0 { 0 } else if t + 1 == len { 2 } else { 1 })
+                    .collect();
+                (feats, labels)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn training_learns_position_pattern() {
+        let data = position_data(60);
+        let mut crf = LinearChainCrf::new(3, 5);
+        let before = crf.accuracy(&data);
+        crf.train(&data, &CrfConfig { epochs: 15, ..Default::default() });
+        let after = crf.accuracy(&data);
+        assert!(after > 0.95, "accuracy {before} -> {after}");
+    }
+
+    #[test]
+    fn empty_sequence_edge_cases() {
+        let crf = toy_crf();
+        assert_eq!(crf.decode(&[]), Vec::<usize>::new());
+        assert_eq!(crf.log_partition(&[]), 0.0);
+        assert!(crf.marginals(&[]).is_empty());
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let data = position_data(20);
+        let cfg = CrfConfig { epochs: 3, ..Default::default() };
+        let mut a = LinearChainCrf::new(3, 5);
+        let mut b = LinearChainCrf::new(3, 5);
+        let la = a.train(&data, &cfg);
+        let lb = b.train(&data, &cfg);
+        assert_eq!(la, lb);
+        assert_eq!(a.emit, b.emit);
+    }
+}

@@ -1,0 +1,161 @@
+//! Sentence encoder — the paper's frozen BERT-base substitute.
+//!
+//! The paper only uses BERT as a fixed map *sentence → vector* feeding the
+//! subspace head (Sec. III-A.4, "the output of BERT is the vector sequence on
+//! sentences"). We substitute SIF-weighted pooling (Arora et al.'s smooth
+//! inverse frequency) of SGNS word vectors followed by a fixed random
+//! non-linear projection, which preserves the property the pipeline needs:
+//! topically close sentences get close vectors, and the map is frozen during
+//! twin-network training.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::skipgram::SkipGram;
+use crate::vocab::Vocab;
+
+/// Frozen sentence → vector encoder over pretrained [`SkipGram`] embeddings.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct SentenceEncoder {
+    /// SIF smoothing constant `a` in `a / (a + p(w))`.
+    sif_a: f64,
+    /// Fixed projection `[word_dim, out_dim]`, row-major.
+    proj: Vec<f32>,
+    word_dim: usize,
+    out_dim: usize,
+    sif: Vec<f32>,
+}
+
+impl SentenceEncoder {
+    /// Builds an encoder of width `out_dim` with a seeded random projection.
+    pub fn new(vocab: &Vocab, word_dim: usize, out_dim: usize, seed: u64) -> Self {
+        assert!(out_dim > 0 && word_dim > 0, "encoder dims must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let limit = (6.0 / (word_dim + out_dim) as f32).sqrt();
+        let proj = (0..word_dim * out_dim).map(|_| rng.gen_range(-limit..=limit)).collect();
+        let sif_a = 1e-3;
+        let sif = (0..vocab.len())
+            .map(|i| (sif_a / (sif_a + vocab.freq(i))) as f32)
+            .collect();
+        SentenceEncoder { sif_a, proj, word_dim, out_dim, sif }
+    }
+
+    /// Output dimensionality.
+    pub fn dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Encodes a sentence of token ids to a unit-norm vector.
+    ///
+    /// Empty sentences (all tokens OOV) encode to the zero vector.
+    pub fn encode(&self, embeddings: &SkipGram, token_ids: &[usize]) -> Vec<f32> {
+        assert_eq!(embeddings.dim(), self.word_dim, "encoder/embedding dim mismatch");
+        let mut pooled = vec![0.0f32; self.word_dim];
+        let mut weight_sum = 0.0f32;
+        for &id in token_ids {
+            let w = self.sif.get(id).copied().unwrap_or(self.sif_a as f32);
+            for (p, e) in pooled.iter_mut().zip(embeddings.embedding(id)) {
+                *p += w * e;
+            }
+            weight_sum += w;
+        }
+        if weight_sum > 0.0 {
+            for p in &mut pooled {
+                *p /= weight_sum;
+            }
+        }
+        // fixed non-linear projection
+        let mut out = vec![0.0f32; self.out_dim];
+        for (i, &p) in pooled.iter().enumerate() {
+            if p == 0.0 {
+                continue;
+            }
+            let row = &self.proj[i * self.out_dim..(i + 1) * self.out_dim];
+            for (o, &w) in out.iter_mut().zip(row) {
+                *o += p * w;
+            }
+        }
+        for o in &mut out {
+            *o = o.tanh();
+        }
+        let norm = out.iter().map(|v| v * v).sum::<f32>().sqrt();
+        if norm > 0.0 {
+            for o in &mut out {
+                *o /= norm;
+            }
+        }
+        out
+    }
+
+    /// Encodes every sentence of an abstract: `[n_sentences][dim]` — the
+    /// paper's `H = h_1..h_n`.
+    pub fn encode_abstract(&self, embeddings: &SkipGram, sentences: &[Vec<usize>]) -> Vec<Vec<f32>> {
+        sentences.iter().map(|s| self.encode(embeddings, s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skipgram::{cosine, SkipGramConfig};
+    use crate::tokenize::tokenize;
+
+    fn fixture() -> (Vocab, SkipGram, SentenceEncoder) {
+        let mut sents = Vec::new();
+        for _ in 0..120 {
+            sents.push(tokenize("database query index transaction storage engine"));
+            sents.push(tokenize("protein cell gene biology tissue enzyme"));
+        }
+        let v = Vocab::build(sents.iter().map(|s| s.as_slice()), 1);
+        let ids: Vec<Vec<usize>> = sents.iter().map(|s| v.encode(s)).collect();
+        let sg = SkipGram::train(&v, &ids, &SkipGramConfig { dim: 16, epochs: 6, ..Default::default() });
+        let enc = SentenceEncoder::new(&v, 16, 24, 7);
+        (v, sg, enc)
+    }
+
+    #[test]
+    fn encodes_unit_vectors() {
+        let (v, sg, enc) = fixture();
+        let s = v.encode(&tokenize("database query index"));
+        let e = enc.encode(&sg, &s);
+        assert_eq!(e.len(), 24);
+        let norm: f32 = e.iter().map(|v| v * v).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn empty_sentence_is_zero() {
+        let (_, sg, enc) = fixture();
+        let e = enc.encode(&sg, &[]);
+        assert!(e.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn topical_sentences_are_closer() {
+        let (v, sg, enc) = fixture();
+        let db1 = enc.encode(&sg, &v.encode(&tokenize("database index storage")));
+        let db2 = enc.encode(&sg, &v.encode(&tokenize("query transaction engine")));
+        let bio = enc.encode(&sg, &v.encode(&tokenize("protein gene enzyme")));
+        let within = cosine(&db1, &db2);
+        let across = cosine(&db1, &bio);
+        assert!(within > across, "within={within} across={across}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (v, sg, _) = fixture();
+        let e1 = SentenceEncoder::new(&v, 16, 24, 7);
+        let e2 = SentenceEncoder::new(&v, 16, 24, 7);
+        let s = v.encode(&tokenize("database"));
+        assert_eq!(e1.encode(&sg, &s), e2.encode(&sg, &s));
+    }
+
+    #[test]
+    fn encode_abstract_shapes() {
+        let (v, sg, enc) = fixture();
+        let sents = vec![v.encode(&tokenize("database query")), v.encode(&tokenize("protein gene"))];
+        let h = enc.encode_abstract(&sg, &sents);
+        assert_eq!(h.len(), 2);
+        assert!(h.iter().all(|s| s.len() == 24));
+    }
+}

@@ -1,0 +1,29 @@
+//! # sem-text
+//!
+//! The text substrate for the subspace-embedding reproduction. The paper
+//! relies on three pretrained components that are unavailable (or
+//! unportable) here and are substituted per DESIGN.md:
+//!
+//! * **Word2Vec keyword vectors** → [`skipgram::SkipGram`], a from-scratch
+//!   skip-gram-with-negative-sampling (SGNS) trainer.
+//! * **BERT-base sentence encoder** → [`encoder::SentenceEncoder`],
+//!   SIF-weighted pooling of SGNS vectors with a fixed non-linear projection.
+//! * **CRF sentence-function labeler** → [`crf::LinearChainCrf`], a
+//!   linear-chain conditional random field trained on function-tagged
+//!   abstracts (forward-backward gradients, Viterbi decoding).
+//!
+//! Plus the shared plumbing: [`tokenize`] and [`vocab::Vocab`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod tokenize;
+pub mod vocab;
+pub mod skipgram;
+pub mod encoder;
+pub mod crf;
+
+pub use crf::LinearChainCrf;
+pub use encoder::SentenceEncoder;
+pub use skipgram::SkipGram;
+pub use vocab::Vocab;

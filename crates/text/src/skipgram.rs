@@ -1,0 +1,318 @@
+//! Skip-gram with negative sampling (SGNS) — the Word2Vec substitute.
+//!
+//! Hand-rolled on flat `Vec<f32>` rather than the autograd tape: SGNS
+//! gradients are closed-form and the training loop is the hottest code in
+//! corpus preprocessing, so we keep it allocation-free per step.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::vocab::Vocab;
+
+/// Training configuration for [`SkipGram`].
+#[derive(Clone, Debug)]
+pub struct SkipGramConfig {
+    /// Embedding dimensionality.
+    pub dim: usize,
+    /// Context window radius.
+    pub window: usize,
+    /// Negative samples per positive pair.
+    pub negatives: usize,
+    /// Initial learning rate (linearly decayed to 10%).
+    pub lr: f32,
+    /// Number of passes over the corpus.
+    pub epochs: usize,
+    /// Sub-sampling threshold for frequent words (`0` disables).
+    pub subsample: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SkipGramConfig {
+    fn default() -> Self {
+        SkipGramConfig {
+            dim: 32,
+            window: 4,
+            negatives: 5,
+            lr: 0.05,
+            epochs: 5,
+            subsample: 1e-3,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Trained SGNS embeddings: an input matrix (the embeddings used downstream)
+/// and an output matrix (context vectors).
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct SkipGram {
+    dim: usize,
+    input: Vec<f32>,
+    vocab_len: usize,
+}
+
+impl SkipGram {
+    /// Trains embeddings over `sequences` (token-id sentences) with the
+    /// standard SGNS objective and a unigram^0.75 negative table.
+    ///
+    /// # Panics
+    /// Panics when the vocabulary is empty or `dim == 0`.
+    pub fn train(vocab: &Vocab, sequences: &[Vec<usize>], config: &SkipGramConfig) -> Self {
+        assert!(!vocab.is_empty(), "SGNS over empty vocabulary");
+        assert!(config.dim > 0, "SGNS dim must be positive");
+        let v = vocab.len();
+        let d = config.dim;
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        let mut input: Vec<f32> = (0..v * d).map(|_| (rng.gen::<f32>() - 0.5) / d as f32).collect();
+        let mut output = vec![0.0f32; v * d];
+
+        // unigram^0.75 negative-sampling table
+        let table = build_negative_table(vocab, 1 << 16);
+
+        let total_steps = (config.epochs * sequences.iter().map(Vec::len).sum::<usize>()).max(1);
+        let mut step = 0usize;
+        let mut grad = vec![0.0f32; d];
+
+        for _epoch in 0..config.epochs {
+            for seq in sequences {
+                for (pos, &center) in seq.iter().enumerate() {
+                    step += 1;
+                    if config.subsample > 0.0 {
+                        let f = vocab.freq(center);
+                        let keep = ((config.subsample / f).sqrt() + config.subsample / f).min(1.0);
+                        if rng.gen::<f64>() > keep {
+                            continue;
+                        }
+                    }
+                    let lr = config.lr
+                        * (1.0 - 0.9 * step as f32 / total_steps as f32).max(0.1);
+                    let w = rng.gen_range(1..=config.window);
+                    let lo = pos.saturating_sub(w);
+                    let hi = (pos + w + 1).min(seq.len());
+                    for ctx_pos in lo..hi {
+                        if ctx_pos == pos {
+                            continue;
+                        }
+                        let context = seq[ctx_pos];
+                        grad.iter_mut().for_each(|g| *g = 0.0);
+                        let in_vec = center * d;
+                        // positive pair + negatives
+                        for k in 0..=config.negatives {
+                            let (target, label) = if k == 0 {
+                                (context, 1.0f32)
+                            } else {
+                                (table[rng.gen_range(0..table.len())], 0.0f32)
+                            };
+                            if k > 0 && target == context {
+                                continue;
+                            }
+                            let out_vec = target * d;
+                            let dot: f32 = (0..d)
+                                .map(|i| input[in_vec + i] * output[out_vec + i])
+                                .sum();
+                            let pred = 1.0 / (1.0 + (-dot).exp());
+                            let err = (pred - label) * lr;
+                            for i in 0..d {
+                                grad[i] += err * output[out_vec + i];
+                                output[out_vec + i] -= err * input[in_vec + i];
+                            }
+                        }
+                        for i in 0..d {
+                            input[in_vec + i] -= grad[i];
+                        }
+                    }
+                }
+            }
+        }
+
+        SkipGram { dim: d, input, vocab_len: v }
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Vocabulary size the model was trained over.
+    pub fn vocab_len(&self) -> usize {
+        self.vocab_len
+    }
+
+    /// The input embedding of a token id.
+    pub fn embedding(&self, id: usize) -> &[f32] {
+        &self.input[id * self.dim..(id + 1) * self.dim]
+    }
+
+    /// Cosine similarity of two token ids' embeddings.
+    pub fn cosine(&self, a: usize, b: usize) -> f32 {
+        cosine(self.embedding(a), self.embedding(b))
+    }
+
+    /// Euclidean distance of two token ids' embeddings.
+    pub fn distance(&self, a: usize, b: usize) -> f32 {
+        self.embedding(a)
+            .iter()
+            .zip(self.embedding(b))
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// The `n` most cosine-similar tokens to `id` (excluding itself),
+    /// best first.
+    pub fn most_similar(&self, id: usize, n: usize) -> Vec<(usize, f32)> {
+        let mut scored: Vec<(usize, f32)> = (0..self.vocab_len)
+            .filter(|&j| j != id)
+            .map(|j| (j, self.cosine(id, j)))
+            .collect();
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        scored.truncate(n);
+        scored
+    }
+}
+
+/// Cosine similarity between two equal-length vectors (0 when either is 0).
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+fn build_negative_table(vocab: &Vocab, size: usize) -> Vec<usize> {
+    let pow = 0.75f64;
+    let z: f64 = (0..vocab.len()).map(|i| (vocab.count(i) as f64).powf(pow)).sum();
+    let mut table = Vec::with_capacity(size);
+    let mut cum = 0.0f64;
+    let mut id = 0usize;
+    let mut next = (vocab.count(0) as f64).powf(pow) / z;
+    for t in 0..size {
+        let frac = t as f64 / size as f64;
+        while frac >= next && id + 1 < vocab.len() {
+            id += 1;
+            cum = next;
+            next = cum + (vocab.count(id) as f64).powf(pow) / z;
+        }
+        table.push(id);
+        let _ = cum;
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize::tokenize;
+
+    /// Builds a toy corpus with two disjoint topical clusters; SGNS must place
+    /// within-cluster words closer than across-cluster words.
+    fn toy_corpus() -> (Vocab, Vec<Vec<usize>>) {
+        let mut sents = Vec::new();
+        for _ in 0..150 {
+            sents.push(tokenize("database query index transaction storage engine"));
+            sents.push(tokenize("query database storage index engine transaction"));
+            sents.push(tokenize("protein cell gene biology tissue enzyme"));
+            sents.push(tokenize("gene protein tissue cell enzyme biology"));
+        }
+        let v = Vocab::build(sents.iter().map(|s| s.as_slice()), 1);
+        let ids = sents.iter().map(|s| v.encode(s)).collect();
+        (v, ids)
+    }
+
+    #[test]
+    fn sgns_separates_topics() {
+        let (v, seqs) = toy_corpus();
+        let cfg = SkipGramConfig { dim: 16, epochs: 8, ..Default::default() };
+        let sg = SkipGram::train(&v, &seqs, &cfg);
+        let database = v.id("database").unwrap();
+        let query = v.id("query").unwrap();
+        let protein = v.id("protein").unwrap();
+        let gene = v.id("gene").unwrap();
+        let within_db = sg.cosine(database, query);
+        let within_bio = sg.cosine(protein, gene);
+        let across = sg.cosine(database, protein);
+        assert!(
+            within_db > across + 0.2 && within_bio > across + 0.2,
+            "within_db={within_db} within_bio={within_bio} across={across}"
+        );
+    }
+
+    #[test]
+    fn embeddings_have_right_shape() {
+        let (v, seqs) = toy_corpus();
+        let cfg = SkipGramConfig { dim: 8, epochs: 1, ..Default::default() };
+        let sg = SkipGram::train(&v, &seqs, &cfg);
+        assert_eq!(sg.dim(), 8);
+        assert_eq!(sg.vocab_len(), v.len());
+        assert_eq!(sg.embedding(0).len(), 8);
+        assert!(sg.embedding(0).iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn training_is_deterministic_per_seed() {
+        let (v, seqs) = toy_corpus();
+        let cfg = SkipGramConfig { dim: 8, epochs: 1, seed: 9, ..Default::default() };
+        let a = SkipGram::train(&v, &seqs, &cfg);
+        let b = SkipGram::train(&v, &seqs, &cfg);
+        assert_eq!(a.embedding(3), b.embedding(3));
+    }
+
+    #[test]
+    fn most_similar_finds_topic_mates() {
+        let (v, seqs) = toy_corpus();
+        let cfg = SkipGramConfig { dim: 16, epochs: 8, ..Default::default() };
+        let sg = SkipGram::train(&v, &seqs, &cfg);
+        let database = v.id("database").unwrap();
+        let top = sg.most_similar(database, 5);
+        assert_eq!(top.len(), 5);
+        // sorted descending, self excluded
+        assert!(top.windows(2).all(|w| w[0].1 >= w[1].1));
+        assert!(top.iter().all(|&(j, _)| j != database));
+        // the nearest neighbours are database-topic words
+        let db_words: Vec<usize> = ["query", "index", "transaction", "storage", "engine"]
+            .iter()
+            .map(|w| v.id(w).unwrap())
+            .collect();
+        let hits = top.iter().filter(|(j, _)| db_words.contains(j)).count();
+        assert!(hits >= 4, "only {hits} of top-5 are topic mates: {top:?}");
+    }
+
+    #[test]
+    fn distance_is_zero_to_self() {
+        let (v, seqs) = toy_corpus();
+        let cfg = SkipGramConfig { dim: 8, epochs: 1, ..Default::default() };
+        let sg = SkipGram::train(&v, &seqs, &cfg);
+        assert_eq!(sg.distance(2, 2), 0.0);
+        assert!(sg.distance(0, 1) >= 0.0);
+    }
+
+    #[test]
+    fn cosine_helper_bounds() {
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 0.0]), 0.0);
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!((cosine(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn negative_table_respects_frequency() {
+        // skewed counts: "a" 8×, "b" 2×, "c" 1×
+        let toks = tokenize("a a a a a a a a b b c");
+        let v = Vocab::build([toks.as_slice()], 1);
+        let table = build_negative_table(&v, 4096);
+        assert_eq!(table.len(), 4096);
+        let mut counts = vec![0usize; v.len()];
+        for &id in &table {
+            counts[id] += 1;
+        }
+        let a = v.id("a").unwrap();
+        let c = v.id("c").unwrap();
+        assert!(counts[a] > counts[c], "a={} c={}", counts[a], counts[c]);
+        // ^0.75 smoothing: a should be less than 8× as frequent as c
+        assert!((counts[a] as f64) < 8.0 * counts[c] as f64);
+    }
+}

@@ -1,0 +1,64 @@
+//! Whitespace/punctuation tokenizer.
+
+/// Splits text into lowercase alphanumeric tokens.
+///
+/// Anything that is not ASCII-alphanumeric separates tokens; tokens shorter
+/// than one character are dropped. Numbers are kept (venue years, versions).
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for ch in text.chars() {
+        if ch.is_ascii_alphanumeric() {
+            cur.push(ch.to_ascii_lowercase());
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Splits an abstract into sentences on `.`, `!`, `?` boundaries, trimming
+/// empties. Intentionally simple — the synthetic corpus generator emits
+/// well-formed sentences.
+pub fn split_sentences(text: &str) -> Vec<String> {
+    text.split(['.', '!', '?'])
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_owned)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(tokenize("Hello, World!"), vec!["hello", "world"]);
+        assert_eq!(tokenize("graph-based GCN's"), vec!["graph", "based", "gcn", "s"]);
+        assert_eq!(tokenize("BERT-base 768"), vec!["bert", "base", "768"]);
+    }
+
+    #[test]
+    fn empty_and_punct_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("... !!").is_empty());
+    }
+
+    #[test]
+    fn sentences() {
+        let s = split_sentences("We study X. We propose Y! Does it work? Yes.");
+        assert_eq!(s.len(), 4);
+        assert_eq!(s[1], "We propose Y");
+    }
+
+    #[test]
+    fn sentences_trailing_and_empty() {
+        assert!(split_sentences("").is_empty());
+        assert_eq!(split_sentences("One sentence").len(), 1);
+        assert_eq!(split_sentences("A.. B.").len(), 2);
+    }
+}

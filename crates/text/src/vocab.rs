@@ -1,0 +1,146 @@
+//! Token vocabulary with frequency counts.
+
+use std::collections::HashMap;
+
+/// A token → id mapping with corpus frequencies, built by counting.
+#[derive(Debug, Default, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Vocab {
+    token_to_id: HashMap<String, usize>,
+    id_to_token: Vec<String>,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Vocab {
+    /// An empty vocabulary.
+    pub fn new() -> Self {
+        Vocab::default()
+    }
+
+    /// Builds a vocabulary from token sequences, keeping tokens that occur
+    /// at least `min_count` times. Ids are assigned in descending frequency
+    /// (ties broken lexicographically) so id 0 is the most frequent token.
+    pub fn build<'a, I>(sequences: I, min_count: u64) -> Self
+    where
+        I: IntoIterator<Item = &'a [String]>,
+    {
+        let mut freq: HashMap<&str, u64> = HashMap::new();
+        for seq in sequences {
+            for tok in seq {
+                *freq.entry(tok).or_insert(0) += 1;
+            }
+        }
+        let mut items: Vec<(&str, u64)> =
+            freq.into_iter().filter(|&(_, c)| c >= min_count).collect();
+        items.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        let mut v = Vocab::new();
+        for (tok, c) in items {
+            v.push(tok.to_owned(), c);
+        }
+        v
+    }
+
+    fn push(&mut self, token: String, count: u64) {
+        let id = self.id_to_token.len();
+        self.token_to_id.insert(token.clone(), id);
+        self.id_to_token.push(token);
+        self.counts.push(count);
+        self.total += count;
+    }
+
+    /// Id for a token, if in vocabulary.
+    pub fn id(&self, token: &str) -> Option<usize> {
+        self.token_to_id.get(token).copied()
+    }
+
+    /// Token for an id.
+    ///
+    /// # Panics
+    /// Panics when the id is out of range.
+    pub fn token(&self, id: usize) -> &str {
+        &self.id_to_token[id]
+    }
+
+    /// Corpus frequency of an id.
+    pub fn count(&self, id: usize) -> u64 {
+        self.counts[id]
+    }
+
+    /// Relative corpus frequency of an id, in `(0, 1]`.
+    pub fn freq(&self, id: usize) -> f64 {
+        self.counts[id] as f64 / self.total.max(1) as f64
+    }
+
+    /// Number of distinct tokens.
+    pub fn len(&self) -> usize {
+        self.id_to_token.len()
+    }
+
+    /// True when no tokens are present.
+    pub fn is_empty(&self) -> bool {
+        self.id_to_token.is_empty()
+    }
+
+    /// Total token occurrences counted at build time.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Maps a token sequence to ids, dropping out-of-vocabulary tokens.
+    pub fn encode(&self, tokens: &[String]) -> Vec<usize> {
+        tokens.iter().filter_map(|t| self.id(t)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        crate::tokenize::tokenize(s)
+    }
+
+    #[test]
+    fn build_orders_by_frequency() {
+        let a = toks("the cat sat on the mat the end");
+        let v = Vocab::build([a.as_slice()], 1);
+        assert_eq!(v.token(0), "the"); // most frequent
+        assert_eq!(v.count(0), 3);
+        assert_eq!(v.len(), 6);
+        assert_eq!(v.total(), 8);
+    }
+
+    #[test]
+    fn min_count_filters() {
+        let a = toks("a a a b b c");
+        let v = Vocab::build([a.as_slice()], 2);
+        assert_eq!(v.len(), 2);
+        assert!(v.id("c").is_none());
+        assert!(v.id("a").is_some());
+    }
+
+    #[test]
+    fn encode_drops_oov() {
+        let a = toks("x y z");
+        let v = Vocab::build([a.as_slice()], 1);
+        let ids = v.encode(&toks("x unknown z"));
+        assert_eq!(ids.len(), 2);
+        assert_eq!(v.token(ids[0]), "x");
+        assert_eq!(v.token(ids[1]), "z");
+    }
+
+    #[test]
+    fn freq_sums_to_one() {
+        let a = toks("p q r p");
+        let v = Vocab::build([a.as_slice()], 1);
+        let sum: f64 = (0..v.len()).map(|i| v.freq(i)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let a = toks("b a");
+        let v = Vocab::build([a.as_slice()], 1);
+        assert_eq!(v.token(0), "a"); // equal counts -> lexicographic
+    }
+}

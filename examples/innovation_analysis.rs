@@ -1,0 +1,61 @@
+//! Innovation analysis: rediscover which subspace drives citations in each
+//! scientific discipline (the paper's Sec. III-E/G empirical study).
+//!
+//! ```sh
+//! cargo run --release --example innovation_analysis
+//! ```
+
+use sem_bench::{analysis_exps, Scale};
+use sem_core::analysis;
+use sem_corpus::NUM_SUBSPACES;
+
+fn main() {
+    // Scopus-like corpus with three disciplines whose citation economics
+    // differ (computer science rewards methods, medicine rewards results,
+    // sociology rewards background/method). Scale::Quick keeps this example
+    // in the tens of seconds; use Scale::Full for the real experiment.
+    let fixture = analysis_exps::scopus_fixture(Scale::Quick);
+    println!(
+        "fixture ready: {} papers, SEM triplet accuracy {:.3}",
+        fixture.corpus.papers.len(),
+        fixture.sem_triplet_accuracy,
+    );
+
+    for (d, name) in ["Computer Science", "Medicine", "Sociology"].iter().enumerate() {
+        // papers of this discipline
+        let members: Vec<usize> = fixture
+            .corpus
+            .papers
+            .iter()
+            .filter(|p| p.discipline == d)
+            .map(|p| p.id.index())
+            .collect();
+        let embeddings: Vec<Vec<Vec<f32>>> =
+            members.iter().map(|&i| fixture.text[i].clone()).collect();
+
+        // per-subspace difference index (normalised LOF) and its rank
+        // correlation with the citations each paper eventually received
+        let outliers = analysis::subspace_outliers(&embeddings, 20);
+        let citations: Vec<f64> = members
+            .iter()
+            .map(|&i| fixture.corpus.papers[i].citations_received as f64)
+            .collect();
+        let rho = analysis::outlier_citation_correlation(&outliers, &citations);
+
+        let best = (0..NUM_SUBSPACES)
+            .max_by(|&a, &b| rho[a].total_cmp(&rho[b]))
+            .unwrap();
+        println!(
+            "{name:18} correlation(LOF_k, citations): background={:+.3} method={:+.3} result={:+.3}  -> innovation lives in `{}`",
+            rho[0],
+            rho[1],
+            rho[2],
+            sem_corpus::Subspace::from_index(best).name(),
+        );
+    }
+
+    println!();
+    println!("(The generator plants exactly these discipline profiles; the analysis");
+    println!(" pipeline — CRF labels, subspace twin-network embeddings, GMM/LOF —");
+    println!(" has to rediscover them from text alone.)");
+}

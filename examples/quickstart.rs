@@ -1,0 +1,97 @@
+//! Quickstart: generate a synthetic academic corpus, train the subspace
+//! embedding model (SEM), and inspect what it learned.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use sem_core::{PipelineConfig, SemConfig, SemModel, TextPipeline};
+use sem_corpus::{Corpus, CorpusConfig, Subspace};
+use sem_rules::RuleScorer;
+
+fn main() {
+    // 1. A small ACM-flavoured corpus. Everything is seeded: rerunning
+    //    reproduces the exact same numbers.
+    let corpus = Corpus::generate(CorpusConfig {
+        n_papers: 400,
+        n_authors: 150,
+        ..Default::default()
+    });
+    println!("corpus: {:?}", corpus.stats());
+
+    // 2. Fit the frozen text pipeline: vocabulary, skip-gram embeddings,
+    //    sentence encoder and the CRF sentence-function labeler.
+    let pipeline = TextPipeline::fit(&corpus, PipelineConfig::default());
+    println!("CRF sentence-function accuracy: {:.3}", pipeline.labeling_accuracy(&corpus));
+
+    // 3. Label every abstract and build the expert-rule scorer (Eq. 1-3 +
+    //    subspace text distance).
+    let labels = pipeline.label_corpus(&corpus);
+    let scorer = RuleScorer::new(
+        &corpus,
+        &pipeline.vocab,
+        &pipeline.embeddings,
+        &pipeline.encoder,
+        &labels,
+    );
+
+    // 4. Train the twin network on expert-rule triplets.
+    let mut sem = SemModel::new(SemConfig {
+        epochs: 6,
+        triplets_per_epoch: 300,
+        ..Default::default()
+    });
+    let report = sem.train(&pipeline, &corpus, &scorer, &labels);
+    println!(
+        "SEM trained: loss {:.3} -> {:.3}, triplet ranking accuracy {:.3}",
+        report.epoch_losses.first().unwrap(),
+        report.epoch_losses.last().unwrap(),
+        report.triplet_accuracy,
+    );
+
+    // 5. The learned rule-fusion weights a_i (per subspace): which expert
+    //    rules the model ended up trusting.
+    let rule_names = ["f_c(category)", "f_r(references)", "f_w(keywords)", "f_t(abstract)"];
+    for (k, weights) in sem.fusion_weights().iter().enumerate() {
+        print!("fusion weights [{}]:", Subspace::from_index(k).name());
+        for (name, w) in rule_names.iter().zip(weights) {
+            print!("  {name}={w:.3}");
+        }
+        println!();
+    }
+
+    // 6. Embed one paper into the three subspaces.
+    let paper = &corpus.papers[42];
+    let h = pipeline.encode_paper(paper);
+    let embedding = sem.embed(&h, &labels[42]);
+    println!(
+        "paper {:?} ({} sentences) -> {} subspace vectors of width {}",
+        paper.title,
+        paper.sentences.len(),
+        embedding.len(),
+        embedding[0].len(),
+    );
+
+    // 7. Distances behave like the paper's D^k(p,q) = -c_p^k . c_q^k:
+    //    compare against a same-topic and a cross-topic paper.
+    let same_topic = corpus
+        .papers
+        .iter()
+        .find(|q| q.id != paper.id && corpus.topic_of(q) == corpus.topic_of(paper))
+        .expect("some same-topic paper");
+    let cross_topic = corpus
+        .papers
+        .iter()
+        .find(|q| corpus.topic_of(q) != corpus.topic_of(paper))
+        .expect("some cross-topic paper");
+    for (label, other) in [("same-topic", same_topic), ("cross-topic", cross_topic)] {
+        let h2 = pipeline.encode_paper(other);
+        let e2 = sem.embed(&h2, &other.sentence_labels());
+        let d: f64 = embedding[Subspace::Method.index()]
+            .iter()
+            .zip(&e2[Subspace::Method.index()])
+            .map(|(a, b)| -f64::from(a * b))
+            .sum();
+        println!("method-subspace distance to {label} paper: {d:.4}");
+    }
+}

@@ -1,0 +1,178 @@
+//! Cross-crate integration tests: the full SEM → analysis and SEM → NPRec
+//! pipelines on small corpora, exercising every workspace crate together.
+
+use sem_baselines::quality::{Clt, Csj};
+use sem_bench::rec_exps::RecBench;
+use sem_bench::{Fixture, Scale};
+use sem_core::analysis;
+use sem_core::eval::{RandomRecommender, Recommender};
+use sem_corpus::{presets, Corpus, CorpusConfig, DisciplineProfile, NUM_SUBSPACES};
+
+fn small_fixture() -> Fixture {
+    let mut cfg = presets::acm_like(1);
+    cfg.n_papers = 450;
+    cfg.n_authors = 150;
+    Fixture::build(cfg, Scale::Quick)
+}
+
+#[test]
+fn sem_pipeline_learns_rule_consistent_embeddings() {
+    let f = small_fixture();
+    // the twin network must beat coin-flipping at reproducing rule orderings
+    assert!(
+        f.sem_triplet_accuracy > 0.55,
+        "triplet accuracy {}",
+        f.sem_triplet_accuracy
+    );
+    // fusion weights are probability vectors
+    for row in f.fusion {
+        let s: f64 = row.iter().sum();
+        assert!((s - 1.0).abs() < 1e-6);
+        assert!(row.iter().all(|&w| w > 0.0));
+    }
+    // embeddings are finite, fixed-width, and not collapsed to a point
+    let dim = f.text_dim();
+    assert!(f.text.iter().all(|t| t.iter().all(|v| v.len() == dim)));
+    let d01: f64 = f.text[0][1]
+        .iter()
+        .zip(&f.text[1][1])
+        .map(|(a, b)| (f64::from(*a) - f64::from(*b)).abs())
+        .sum();
+    assert!(d01 > 1e-3, "embeddings collapsed");
+}
+
+#[test]
+fn subspace_outliers_track_planted_innovation_end_to_end() {
+    let f = small_fixture();
+    let members: Vec<usize> = (0..f.corpus.papers.len()).collect();
+    let embeddings: Vec<Vec<Vec<f32>>> =
+        members.iter().map(|&i| f.text[i].clone()).collect();
+    let outliers = analysis::subspace_outliers(&embeddings, 20);
+    // diagonal dominance: LOF in subspace k tracks innovation_k better than
+    // innovation_j on average
+    let mut diag = 0.0;
+    let mut off = 0.0;
+    for k in 0..NUM_SUBSPACES {
+        for j in 0..NUM_SUBSPACES {
+            let innov: Vec<f64> = members
+                .iter()
+                .map(|&i| f.corpus.papers[i].innovation[j] as f64)
+                .collect();
+            let rho = sem_stats::spearman(&outliers[k], &innov);
+            if k == j {
+                diag += rho;
+            } else {
+                off += rho / 2.0;
+            }
+        }
+    }
+    assert!(
+        diag / 3.0 > off / 3.0 + 0.05,
+        "no diagonal dominance: diag {diag:.3} off {off:.3}"
+    );
+}
+
+#[test]
+fn nprec_end_to_end_beats_random_and_text_quality_scores_are_sane() {
+    let f = small_fixture();
+    let bench = RecBench::new(&f, 2014, Scale::Quick);
+    let task = bench.task(8, 25, 5);
+    // Scale::Quick quarters pair caps; ask for enough that the cap still
+    // leaves a real training set
+    let pairs = bench.pairs(4, true, 40_000, 11);
+    let mut cfg = bench.nprec_config();
+    cfg.epochs = 4;
+    let model = bench.fit_nprec(&pairs, cfg);
+    let rec = model.recommender(&bench.graph, Some(&f.text), &task);
+    let nprec = task.evaluate(&rec);
+    let random = task.evaluate(&RandomRecommender::new(1));
+    assert!(
+        nprec.ndcg > random.ndcg + 0.03,
+        "NPRec {:.3} vs random {:.3}",
+        nprec.ndcg,
+        random.ndcg
+    );
+    // the quality baselines run over the same corpus without panicking and
+    // produce varied scores
+    let clt = Clt::score_all(&f.corpus);
+    let csj = Csj::score_all(&f.corpus);
+    assert_eq!(clt.len(), f.corpus.papers.len());
+    assert!(clt.iter().chain(&csj).all(|v| v.is_finite()));
+}
+
+#[test]
+fn ablation_ordering_full_beats_single_components() {
+    let f = small_fixture();
+    let bench = RecBench::new(&f, 2014, Scale::Quick);
+    let task = bench.task(8, 25, 5);
+    let pairs = bench.pairs(4, true, 40_000, 11);
+
+    let mut full_cfg = bench.nprec_config();
+    full_cfg.epochs = 4;
+    let full = bench.fit_nprec(&pairs, full_cfg);
+    let full_ndcg = task
+        .evaluate(&full.recommender(&bench.graph, Some(&f.text), &task))
+        .ndcg;
+
+    let mut sn_cfg = bench.nprec_config();
+    sn_cfg.epochs = 4;
+    sn_cfg.use_text = false;
+    let sn = bench.fit_nprec(&pairs, sn_cfg);
+    let sn_ndcg = task.evaluate(&sn.recommender(&bench.graph, None, &task)).ndcg;
+
+    // the full model must not be destroyed by adding text (generous slack:
+    // tiny-corpus training is noisy, but a real regression shows up large)
+    assert!(
+        full_ndcg > sn_ndcg - 0.05,
+        "full {full_ndcg:.3} vs network-only {sn_ndcg:.3}"
+    );
+}
+
+#[test]
+fn multi_discipline_corpus_flows_through_whole_stack() {
+    let corpus = Corpus::generate(CorpusConfig {
+        n_papers: 240,
+        n_authors: 90,
+        disciplines: vec![
+            DisciplineProfile::computer_science(),
+            DisciplineProfile::medicine(),
+            DisciplineProfile::sociology(),
+        ],
+        ..Default::default()
+    });
+    let pipeline = sem_core::TextPipeline::fit(&corpus, sem_core::PipelineConfig::default());
+    assert!(pipeline.labeling_accuracy(&corpus) > 0.85);
+    let labels = pipeline.label_corpus(&corpus);
+    let scorer = sem_rules::RuleScorer::new(
+        &corpus,
+        &pipeline.vocab,
+        &pipeline.embeddings,
+        &pipeline.encoder,
+        &labels,
+    );
+    // rule features finite and symmetric across disciplines
+    let f = scorer.features(sem_corpus::PaperId(0), sem_corpus::PaperId(200));
+    for row in f.0 {
+        assert!(row.iter().all(|v| v.is_finite()));
+    }
+}
+
+#[test]
+fn patent_preset_supports_full_low_resource_pipeline() {
+    let mut cfg = presets::patent_like(1);
+    cfg.n_papers = 260;
+    cfg.n_authors = 110;
+    let f = Fixture::build(cfg, Scale::Quick);
+    // f_c and f_w are inert without categories/keywords, yet training works
+    assert!(f.sem_triplet_accuracy > 0.5, "{}", f.sem_triplet_accuracy);
+    let bench = RecBench::new(&f, 2016, Scale::Quick);
+    let task = bench.task(6, 15, 2);
+    let rec = sem_baselines::ripplenet::RippleNetRecommender::fit(
+        &f.corpus,
+        2016,
+        sem_baselines::ripplenet::RippleConfig::default(),
+    );
+    let m = task.evaluate(&rec);
+    assert!(m.ndcg > 0.0 && m.ndcg <= 1.0);
+    let _ = rec.name();
+}
