@@ -27,12 +27,8 @@ pub struct Interactions {
 impl Interactions {
     /// Collects interactions from every author's pre-split publications.
     pub fn collect(corpus: &Corpus, split_year: u16) -> Self {
-        let items: Vec<PaperId> = corpus
-            .papers
-            .iter()
-            .filter(|p| p.year <= split_year)
-            .map(|p| p.id)
-            .collect();
+        let items: Vec<PaperId> =
+            corpus.papers.iter().filter(|p| p.year <= split_year).map(|p| p.id).collect();
         let item_index: HashMap<PaperId, usize> =
             items.iter().enumerate().map(|(i, &p)| (p, i)).collect();
         let mut by_user: BTreeMap<AuthorId, Vec<PaperId>> = BTreeMap::new();
@@ -145,8 +141,8 @@ impl SvdRecommender {
                     }
                     for (idx, label) in updates {
                         let qi = &mut item_vecs[idx * dim..(idx + 1) * dim];
-                        let dot: f32 =
-                            pu.iter().zip(qi.iter()).map(|(a, b)| a * b).sum::<f32>() + item_bias[idx];
+                        let dot: f32 = pu.iter().zip(qi.iter()).map(|(a, b)| a * b).sum::<f32>()
+                            + item_bias[idx];
                         let pred = 1.0 / (1.0 + (-dot).exp());
                         let err = pred - label;
                         for d in 0..dim {
@@ -241,9 +237,7 @@ impl WnmfRecommender {
                     for ii in 0..n_i {
                         let w = if pos_set.contains(&ii) { 1.0 } else { w_miss };
                         let r = if pos_set.contains(&ii) { 1.0 } else { 0.0 };
-                        let pred: f32 = (0..dim)
-                            .map(|e| urow[e] * v_mat[ii * dim + e])
-                            .sum();
+                        let pred: f32 = (0..dim).map(|e| urow[e] * v_mat[ii * dim + e]).sum();
                         num += w * r * v_mat[ii * dim + d];
                         den += w * pred * v_mat[ii * dim + d];
                     }
@@ -269,8 +263,7 @@ impl WnmfRecommender {
                     for ui in 0..n_u {
                         let w = if users_set.contains(&ui) { 1.0 } else { w_miss };
                         let r = if users_set.contains(&ui) { 1.0 } else { 0.0 };
-                        let pred: f32 =
-                            (0..dim).map(|e| u_mat[ui * dim + e] * vrow[e]).sum();
+                        let pred: f32 = (0..dim).map(|e| u_mat[ui * dim + e] * vrow[e]).sum();
                         num += w * r * u_mat[ui * dim + d];
                         den += w * pred * u_mat[ui * dim + d];
                     }
@@ -403,12 +396,7 @@ mod tests {
         let nbcf = NbcfRecommender::fit(&c, 2014);
         let m_svd = task.evaluate(&svd);
         let m_nbcf = task.evaluate(&nbcf);
-        assert!(
-            m_nbcf.ndcg > m_svd.ndcg,
-            "nbcf {} vs svd {}",
-            m_nbcf.ndcg,
-            m_svd.ndcg
-        );
+        assert!(m_nbcf.ndcg > m_svd.ndcg, "nbcf {} vs svd {}", m_nbcf.ndcg, m_svd.ndcg);
     }
 
     #[test]

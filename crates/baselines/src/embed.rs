@@ -67,11 +67,7 @@ impl Shpe {
                         *v /= wsum;
                     }
                 }
-                plain
-                    .iter()
-                    .zip(&weighted)
-                    .map(|(p, w)| alpha * p + (1.0 - alpha) * w)
-                    .collect()
+                plain.iter().zip(&weighted).map(|(p, w)| alpha * p + (1.0 - alpha) * w).collect()
             })
             .collect()
     }
@@ -87,11 +83,8 @@ impl Doc2Vec {
     /// Trains document vectors.
     pub fn train(corpus: &Corpus, vocab: &Vocab, dim: usize, epochs: usize, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        let docs: Vec<Vec<usize>> = corpus
-            .papers
-            .iter()
-            .map(|p| vocab.encode(&p.all_tokens()))
-            .collect();
+        let docs: Vec<Vec<usize>> =
+            corpus.papers.iter().map(|p| vocab.encode(&p.all_tokens())).collect();
         let v = vocab.len();
         let mut doc_vecs: Vec<Vec<f32>> = (0..docs.len())
             .map(|_| (0..dim).map(|_| (rng.gen::<f32>() - 0.5) / dim as f32).collect())
@@ -105,16 +98,14 @@ impl Doc2Vec {
                 for &w in words {
                     let mut grad = vec![0.0f32; dim];
                     for k in 0..=negatives {
-                        let (target, label) = if k == 0 {
-                            (w, 1.0f32)
-                        } else {
-                            (rng.gen_range(0..v), 0.0f32)
-                        };
+                        let (target, label) =
+                            if k == 0 { (w, 1.0f32) } else { (rng.gen_range(0..v), 0.0f32) };
                         if k > 0 && target == w {
                             continue;
                         }
                         let out = &mut word_out[target * dim..(target + 1) * dim];
-                        let dot: f32 = doc_vecs[di].iter().zip(out.iter()).map(|(a, b)| a * b).sum();
+                        let dot: f32 =
+                            doc_vecs[di].iter().zip(out.iter()).map(|(a, b)| a * b).sum();
                         let pred = 1.0 / (1.0 + (-dot).exp());
                         let err = (pred - label) * lr;
                         for i in 0..dim {
@@ -144,16 +135,18 @@ pub struct BertAvg;
 
 impl BertAvg {
     /// Embeds every paper as the mean sentence vector.
-    pub fn embed_all(corpus: &Corpus, vocab: &Vocab, sg: &SkipGram, enc: &SentenceEncoder) -> Vec<Vec<f32>> {
+    pub fn embed_all(
+        corpus: &Corpus,
+        vocab: &Vocab,
+        sg: &SkipGram,
+        enc: &SentenceEncoder,
+    ) -> Vec<Vec<f32>> {
         corpus
             .papers
             .iter()
             .map(|p| {
-                let sents: Vec<Vec<usize>> = p
-                    .sentence_tokens()
-                    .iter()
-                    .map(|t| vocab.encode(t))
-                    .collect();
+                let sents: Vec<Vec<usize>> =
+                    p.sentence_tokens().iter().map(|t| vocab.encode(t)).collect();
                 let h = enc.encode_abstract(sg, &sents);
                 let mut mean = vec![0.0f32; enc.dim()];
                 for s in &h {
@@ -183,7 +176,11 @@ mod tests {
         let toks: Vec<Vec<String>> = corpus.papers.iter().map(|p| p.all_tokens()).collect();
         let vocab = Vocab::build(toks.iter().map(|t| t.as_slice()), 1);
         let seqs: Vec<Vec<usize>> = toks.iter().map(|t| vocab.encode(t)).collect();
-        let sg = SkipGram::train(&vocab, &seqs, &SkipGramConfig { dim: 12, epochs: 2, ..Default::default() });
+        let sg = SkipGram::train(
+            &vocab,
+            &seqs,
+            &SkipGramConfig { dim: 12, epochs: 2, ..Default::default() },
+        );
         (corpus, vocab, sg)
     }
 
@@ -244,9 +241,8 @@ mod tests {
         let p = &c.papers[0];
         let sents: Vec<Vec<usize>> = p.sentence_tokens().iter().map(|t| v.encode(t)).collect();
         let h = enc.encode_abstract(&sg, &sents);
-        let manual: Vec<f32> = (0..16)
-            .map(|d| h.iter().map(|s| s[d]).sum::<f32>() / h.len() as f32)
-            .collect();
+        let manual: Vec<f32> =
+            (0..16).map(|d| h.iter().map(|s| s[d]).sum::<f32>() / h.len() as f32).collect();
         for (a, b) in e[0].iter().zip(&manual) {
             assert!((a - b).abs() < 1e-6);
         }

@@ -72,9 +72,12 @@ impl KgcnModel {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut store = ParamStore::new();
         let node_emb = Embedding::new(&mut store, "kgcn.nodes", n_nodes, config.dim, &mut rng);
-        let rel_emb = Embedding::new(&mut store, "kgcn.rels", Relation::COUNT, config.dim, &mut rng);
+        let rel_emb =
+            Embedding::new(&mut store, "kgcn.rels", Relation::COUNT, config.dim, &mut rng);
         let layers = (0..config.depth)
-            .map(|h| Linear::new(&mut store, &format!("kgcn.conv{h}"), config.dim, config.dim, &mut rng))
+            .map(|h| {
+                Linear::new(&mut store, &format!("kgcn.conv{h}"), config.dim, config.dim, &mut rng)
+            })
             .collect();
         KgcnModel { store, node_emb, rel_emb, layers, config }
     }
@@ -266,7 +269,8 @@ impl KgcnRecommender {
                 for &i in chunk {
                     let (a, q, label) = pairs[i];
                     let u = model.base(&mut s, graph.node(EntityKind::Author, a.index()));
-                    let v = model.rep(&mut s, graph, graph.paper_node(q), model.config.depth, &mut rng);
+                    let v =
+                        model.rep(&mut s, graph, graph.paper_node(q), model.config.depth, &mut rng);
                     let logit = s.tape.dot(u, v);
                     let l11 = s.tape.reshape(logit, Shape::Matrix(1, 1));
                     logits = Some(match logits {
@@ -277,16 +281,27 @@ impl KgcnRecommender {
                 }
                 let logits = logits.expect("non-empty");
                 let n = targets.len();
-                let mut loss = s
-                    .tape
-                    .bce_with_logits(logits, Tensor::from_vec(targets, Shape::Matrix(1, n)));
+                let mut loss =
+                    s.tape.bce_with_logits(logits, Tensor::from_vec(targets, Shape::Matrix(1, n)));
                 if model.config.label_smoothness > 0.0 && !linked.is_empty() {
                     // label smoothness: citation-linked papers get close reps
                     let mut smooth_terms = Vec::new();
                     for _ in 0..4 {
                         let (p, q) = linked[rng.gen_range(0..linked.len())];
-                        let vp = model.rep(&mut s, graph, graph.paper_node(p), model.config.depth, &mut rng);
-                        let vq = model.rep(&mut s, graph, graph.paper_node(q), model.config.depth, &mut rng);
+                        let vp = model.rep(
+                            &mut s,
+                            graph,
+                            graph.paper_node(p),
+                            model.config.depth,
+                            &mut rng,
+                        );
+                        let vq = model.rep(
+                            &mut s,
+                            graph,
+                            graph.paper_node(q),
+                            model.config.depth,
+                            &mut rng,
+                        );
                         let d = s.tape.sub(vp, vq);
                         let sq = s.tape.mul(d, d);
                         smooth_terms.push(s.tape.sum(sq));
@@ -306,13 +321,9 @@ impl KgcnRecommender {
         let mut items = HashMap::new();
         for task in tasks {
             for u in &task.users {
-                users
-                    .entry(u.user)
-                    .or_insert_with(|| model.user_vec(graph, u.user));
+                users.entry(u.user).or_insert_with(|| model.user_vec(graph, u.user));
                 for &c in &u.candidates {
-                    items
-                        .entry(c)
-                        .or_insert_with(|| model.item_vec(graph, c, config.seed));
+                    items.entry(c).or_insert_with(|| model.item_vec(graph, c, config.seed));
                 }
             }
         }
@@ -336,10 +347,7 @@ impl Recommender for KgcnRecommender {
 
 /// Convenience: the set of candidate papers a task needs scored.
 pub fn task_candidates(task: &sem_core::eval::RecTask) -> HashSet<PaperId> {
-    task.users
-        .iter()
-        .flat_map(|u| u.candidates.iter().copied())
-        .collect()
+    task.users.iter().flat_map(|u| u.candidates.iter().copied()).collect()
 }
 
 #[cfg(test)]
@@ -359,7 +367,8 @@ mod tests {
     #[test]
     fn kgcn_beats_random() {
         let (c, g, task) = fixture();
-        let kgcn = KgcnRecommender::fit(&c, &g, &task, KgcnConfig { epochs: 2, ..Default::default() });
+        let kgcn =
+            KgcnRecommender::fit(&c, &g, &task, KgcnConfig { epochs: 2, ..Default::default() });
         assert_eq!(kgcn.name(), "KGCN");
         let m = task.evaluate(&kgcn);
         let r = task.evaluate(&RandomRecommender::new(11));

@@ -25,9 +25,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod quality;
-pub mod embed;
 pub mod cf;
-pub mod neural;
+pub mod embed;
 pub mod kgcn;
+pub mod neural;
+pub mod quality;
 pub mod ripplenet;

@@ -68,7 +68,8 @@ impl MlpRecommender {
         let mut store = ParamStore::new();
         let user_emb = Embedding::new(&mut store, "ncf.users", users.len(), dim, &mut rng);
         let item_emb = Embedding::new(&mut store, "ncf.items", n_items, dim, &mut rng);
-        let mlp = Mlp::new(&mut store, "ncf.mlp", &[2 * dim, dim, 1], Activation::Relu, false, &mut rng);
+        let mlp =
+            Mlp::new(&mut store, "ncf.mlp", &[2 * dim, dim, 1], Activation::Relu, false, &mut rng);
         let mut opt = Adam::new(5e-3);
 
         // training pairs; negatives are popularity-matched (drawn from the
@@ -111,9 +112,8 @@ impl MlpRecommender {
                 let x = s.tape.concat_cols(u, i);
                 let logits = mlp.forward(&mut s, x);
                 let n = labels.len();
-                let loss = s
-                    .tape
-                    .bce_with_logits(logits, Tensor::from_vec(labels, Shape::Matrix(n, 1)));
+                let loss =
+                    s.tape.bce_with_logits(logits, Tensor::from_vec(labels, Shape::Matrix(n, 1)));
                 s.tape.backward(loss);
                 let g = s.grads();
                 opt.step(&mut store, &g);
@@ -121,14 +121,10 @@ impl MlpRecommender {
         }
 
         let item_table = store.get(item_emb.param()).clone();
-        let item_vecs: Vec<Vec<f32>> =
-            (0..n_items).map(|i| item_table.row(i).to_vec()).collect();
+        let item_vecs: Vec<Vec<f32>> = (0..n_items).map(|i| item_table.row(i).to_vec()).collect();
         let user_table = store.get(user_emb.param()).clone();
-        let user_vecs: HashMap<AuthorId, Vec<f32>> = users
-            .iter()
-            .enumerate()
-            .map(|(i, &u)| (u, user_table.row(i).to_vec()))
-            .collect();
+        let user_vecs: HashMap<AuthorId, Vec<f32>> =
+            users.iter().enumerate().map(|(i, &u)| (u, user_table.row(i).to_vec())).collect();
         let candidate_refs: HashMap<PaperId, Vec<usize>> = candidates
             .iter()
             .map(|&c| {
@@ -176,10 +172,7 @@ impl Recommender for MlpRecommender {
         if refs.is_empty() {
             return 0.0;
         }
-        refs.iter()
-            .map(|&i| self.forward(u, &self.item_vecs[i]))
-            .sum::<f64>()
-            / refs.len() as f64
+        refs.iter().map(|&i| self.forward(u, &self.item_vecs[i])).sum::<f64>() / refs.len() as f64
     }
 }
 
@@ -202,7 +195,13 @@ pub struct JtieRecommender {
 impl JtieRecommender {
     /// Fits the joint model. `text` holds one flat embedding per paper
     /// (e.g. [`crate::embed::BertAvg`]).
-    pub fn fit(corpus: &Corpus, split_year: u16, text: &[Vec<f32>], epochs: usize, seed: u64) -> Self {
+    pub fn fit(
+        corpus: &Corpus,
+        split_year: u16,
+        text: &[Vec<f32>],
+        epochs: usize,
+        seed: u64,
+    ) -> Self {
         Self::fit_with_negatives(corpus, split_year, text, epochs, 1, seed)
     }
 
@@ -268,25 +267,16 @@ impl JtieRecommender {
                 Some((a.id, c))
             })
             .collect();
-        let user_cited: HashMap<AuthorId, HashSet<PaperId>> = inter
-            .by_user
-            .iter()
-            .map(|(&u, v)| (u, v.iter().copied().collect()))
-            .collect();
-        let refs: HashMap<PaperId, HashSet<PaperId>> = corpus
-            .papers
-            .iter()
-            .map(|p| (p.id, p.references.iter().copied().collect()))
-            .collect();
+        let user_cited: HashMap<AuthorId, HashSet<PaperId>> =
+            inter.by_user.iter().map(|(&u, v)| (u, v.iter().copied().collect())).collect();
+        let refs: HashMap<PaperId, HashSet<PaperId>> =
+            corpus.papers.iter().map(|p| (p.id, p.references.iter().copied().collect())).collect();
 
         let static_feats: Vec<(f64, f64)> = corpus
             .papers
             .iter()
             .map(|p| {
-                let venue = p
-                    .venue
-                    .map(|v| (1.0 + venue_rate[v.index()]).ln())
-                    .unwrap_or(0.0);
+                let venue = p.venue.map(|v| (1.0 + venue_rate[v.index()]).ln()).unwrap_or(0.0);
                 let authority = p
                     .authors
                     .iter()
@@ -324,8 +314,8 @@ impl JtieRecommender {
                 let z = me.w[4] + (0..4).map(|i| me.w[i] * f[i]).sum::<f64>();
                 let pred = 1.0 / (1.0 + (-z).exp());
                 let err = pred - y;
-                for i in 0..4 {
-                    me.w[i] -= lr * err * f[i];
+                for (wi, &fi) in me.w.iter_mut().zip(f.iter()) {
+                    *wi -= lr * err * fi;
                 }
                 me.w[4] -= lr * err;
             }

@@ -18,11 +18,8 @@ pub struct Clt;
 impl Clt {
     /// Scores one paper.
     pub fn score(paper: &Paper) -> f64 {
-        let lens: Vec<f64> = paper
-            .sentences
-            .iter()
-            .map(|s| s.text.split_whitespace().count() as f64)
-            .collect();
+        let lens: Vec<f64> =
+            paper.sentences.iter().map(|s| s.text.split_whitespace().count() as f64).collect();
         if lens.is_empty() {
             return 0.0;
         }
@@ -161,11 +158,7 @@ mod tests {
         let c = corpus();
         // a paper cited only long after publication scores 0
         for p in &c.papers {
-            let early = c
-                .cited_by(p.id)
-                .iter()
-                .filter(|&&q| c.paper(q).year <= p.year + 1)
-                .count();
+            let early = c.cited_by(p.id).iter().filter(|&&q| c.paper(q).year <= p.year + 1).count();
             if early == 0 {
                 assert_eq!(HIndexProxy::score(&c, p.id), 0.0);
             }

@@ -43,11 +43,8 @@ impl RippleNetRecommender {
     /// Builds ripple sets from training-era citations.
     pub fn fit(corpus: &Corpus, split_year: u16, config: RippleConfig) -> Self {
         let inter = Interactions::collect(corpus, split_year);
-        let refs: HashMap<PaperId, Vec<PaperId>> = corpus
-            .papers
-            .iter()
-            .map(|p| (p.id, p.references.clone()))
-            .collect();
+        let refs: HashMap<PaperId, Vec<PaperId>> =
+            corpus.papers.iter().map(|p| (p.id, p.references.clone())).collect();
         let ripples = inter
             .by_user
             .iter()
@@ -135,8 +132,10 @@ mod tests {
     #[test]
     fn propagation_stays_close_to_seed_signal() {
         let (c, task) = fixture();
-        let h0 = RippleNetRecommender::fit(&c, 2014, RippleConfig { hops: 0, ..Default::default() });
-        let h2 = RippleNetRecommender::fit(&c, 2014, RippleConfig { hops: 2, ..Default::default() });
+        let h0 =
+            RippleNetRecommender::fit(&c, 2014, RippleConfig { hops: 0, ..Default::default() });
+        let h2 =
+            RippleNetRecommender::fit(&c, 2014, RippleConfig { hops: 2, ..Default::default() });
         let m0 = task.evaluate(&h0);
         let m2 = task.evaluate(&h2);
         // hop-0 carries most of the signal here (seed overlap); deeper hops
@@ -148,7 +147,8 @@ mod tests {
     #[test]
     fn ripple_sets_respect_cap() {
         let (c, _) = fixture();
-        let rn = RippleNetRecommender::fit(&c, 2014, RippleConfig { max_set: 10, ..Default::default() });
+        let rn =
+            RippleNetRecommender::fit(&c, 2014, RippleConfig { max_set: 10, ..Default::default() });
         for sets in rn.ripples.values() {
             for s in sets {
                 assert!(s.len() <= 10);

@@ -43,7 +43,8 @@ fn bench_tensor(c: &mut Criterion) {
 }
 
 fn bench_text(c: &mut Criterion) {
-    let corpus = Corpus::generate(CorpusConfig { n_papers: 150, n_authors: 60, ..Default::default() });
+    let corpus =
+        Corpus::generate(CorpusConfig { n_papers: 150, n_authors: 60, ..Default::default() });
     let toks: Vec<Vec<String>> = corpus.papers.iter().map(|p| p.all_tokens()).collect();
     let vocab = Vocab::build(toks.iter().map(|t| t.as_slice()), 1);
     let seqs: Vec<Vec<usize>> = toks.iter().map(|t| vocab.encode(t)).collect();
@@ -63,10 +64,29 @@ fn bench_text(c: &mut Criterion) {
         .map(|i| {
             let len = 5 + i % 4;
             let feats: Vec<Vec<usize>> = (0..len)
-                .map(|t| vec![if t == 0 { 0 } else if t + 1 == len { 2 } else { 1 }, 11])
+                .map(|t| {
+                    vec![
+                        if t == 0 {
+                            0
+                        } else if t + 1 == len {
+                            2
+                        } else {
+                            1
+                        },
+                        11,
+                    ]
+                })
                 .collect();
             let labels = (0..len)
-                .map(|t| if t == 0 { 0 } else if t + 1 == len { 2 } else { 1 })
+                .map(|t| {
+                    if t == 0 {
+                        0
+                    } else if t + 1 == len {
+                        2
+                    } else {
+                        1
+                    }
+                })
                 .collect();
             (feats, labels)
         })
@@ -86,9 +106,7 @@ fn bench_stats(c: &mut Criterion) {
         })
         .collect();
     c.bench_function("stats/gmm-fit-k2-200x16", |bench| {
-        bench.iter(|| {
-            sem_stats::GaussianMixture::fit(black_box(&points), 2, &GmmConfig::default())
-        })
+        bench.iter(|| sem_stats::GaussianMixture::fit(black_box(&points), 2, &GmmConfig::default()))
     });
     c.bench_function("stats/lof-200x16", |bench| {
         bench.iter(|| sem_stats::lof::local_outlier_factor(black_box(&points), 15))
@@ -119,20 +137,22 @@ fn bench_stats(c: &mut Criterion) {
 }
 
 fn bench_rules(c: &mut Criterion) {
-    let corpus = Corpus::generate(CorpusConfig { n_papers: 150, n_authors: 60, ..Default::default() });
+    let corpus =
+        Corpus::generate(CorpusConfig { n_papers: 150, n_authors: 60, ..Default::default() });
     let toks: Vec<Vec<String>> = corpus.papers.iter().map(|p| p.all_tokens()).collect();
     let vocab = Vocab::build(toks.iter().map(|t| t.as_slice()), 1);
     let seqs: Vec<Vec<usize>> = toks.iter().map(|t| vocab.encode(t)).collect();
-    let sg = SkipGram::train(&vocab, &seqs, &SkipGramConfig { dim: 16, epochs: 1, ..Default::default() });
+    let sg = SkipGram::train(
+        &vocab,
+        &seqs,
+        &SkipGramConfig { dim: 16, epochs: 1, ..Default::default() },
+    );
     let enc = sem_text::SentenceEncoder::new(&vocab, 16, 24, 1);
     let labels: Vec<_> = corpus.papers.iter().map(|p| p.sentence_labels()).collect();
     let scorer = sem_rules::RuleScorer::new(&corpus, &vocab, &sg, &enc, &labels);
     c.bench_function("rules/pair-features", |bench| {
         bench.iter(|| {
-            scorer.normalized(
-                black_box(sem_corpus::PaperId(3)),
-                black_box(sem_corpus::PaperId(77)),
-            )
+            scorer.normalized(black_box(sem_corpus::PaperId(3)), black_box(sem_corpus::PaperId(77)))
         })
     });
 }

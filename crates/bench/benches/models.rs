@@ -40,12 +40,7 @@ fn bench_nprec(c: &mut Criterion) {
     );
     c.bench_function("nprec/interest-vec-H2-K8", |bench| {
         bench.iter(|| {
-            model.paper_vec(
-                black_box(&graph),
-                Some(&f.text),
-                PaperId(10),
-                Direction::Interest,
-            )
+            model.paper_vec(black_box(&graph), Some(&f.text), PaperId(10), Direction::Interest)
         })
     });
     c.bench_function("nprec/predict-pair", |bench| {

@@ -1,0 +1,67 @@
+//! Criterion benches for the online serving subsystem: ANN index
+//! construction, batched top-K querying (the per-iteration p50/p99 the
+//! harness prints are the serving latency numbers) and incremental
+//! ingestion through the query engine.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::{Rng, SeedableRng};
+use sem_serve::{AnnIndex, EngineConfig, IndexConfig, QueryEngine, QueryRequest};
+
+const DIM: usize = 24;
+
+fn corpus_vectors(n: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..n).map(|_| (0..DIM).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect()
+}
+
+fn ivf_config() -> IndexConfig {
+    // Force IVF even at bench scale so construction and probing are the
+    // code paths being measured, not the flat fallback.
+    IndexConfig { flat_threshold: 1, ..Default::default() }
+}
+
+fn bench_build(c: &mut Criterion) {
+    let vectors = corpus_vectors(2000, 7);
+    c.bench_function("serve/index-build-ivf-2000x24", |bench| {
+        bench.iter(|| AnnIndex::build(black_box(vectors.clone()), ivf_config()))
+    });
+    c.bench_function("serve/index-build-flat-2000x24", |bench| {
+        bench.iter(|| AnnIndex::build(black_box(vectors.clone()), IndexConfig::default()))
+    });
+}
+
+fn bench_query(c: &mut Criterion) {
+    let index = AnnIndex::build(corpus_vectors(2000, 7), ivf_config());
+    let queries = corpus_vectors(32, 99);
+
+    let single = queries[0].clone();
+    c.bench_function("serve/query-top10-single", |bench| {
+        bench.iter(|| index.search(black_box(&single), 10))
+    });
+
+    // The coalesced path: 32 concurrent queries answered as one rayon
+    // batch through the engine (cache + counters included). Per-iteration
+    // p50/p99 here are the batched-query latency numbers.
+    c.bench_function("serve/query-top10-batch32-engine", |bench| {
+        bench.iter(|| {
+            let engine = QueryEngine::new(index.clone(), EngineConfig::default());
+            let requests: Vec<QueryRequest> =
+                queries.iter().map(|q| QueryRequest { vector: q.clone(), k: 10 }).collect();
+            black_box(engine.query_batch(requests))
+        })
+    });
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let index = AnnIndex::build(corpus_vectors(2000, 7), ivf_config());
+    let fresh = corpus_vectors(1, 1234).pop().unwrap();
+    c.bench_function("serve/ingest-into-ivf-2000", |bench| {
+        bench.iter(|| {
+            let engine = QueryEngine::new(index.clone(), EngineConfig::default());
+            black_box(engine.ingest_vector(black_box(fresh.clone())))
+        })
+    });
+}
+
+criterion_group!(benches, bench_build, bench_query, bench_ingest);
+criterion_main!(benches);

@@ -23,13 +23,8 @@ pub fn ablation_context(scale: Scale) -> Table {
     let corpus = Corpus::generate(cfg);
     let pipeline = TextPipeline::fit(&corpus, PipelineConfig::default());
     let labels = pipeline.label_corpus(&corpus);
-    let scorer = RuleScorer::new(
-        &corpus,
-        &pipeline.vocab,
-        &pipeline.embeddings,
-        &pipeline.encoder,
-        &labels,
-    );
+    let scorer =
+        RuleScorer::new(&corpus, &pipeline.vocab, &pipeline.embeddings, &pipeline.encoder, &labels);
 
     let mut t = Table::new(
         "ablation-context",
@@ -50,13 +45,11 @@ pub fn ablation_context(scale: Scale) -> Table {
         let outliers = analysis::subspace_outliers(&emb, 20);
         let mut diag = 0.0;
         let mut off = 0.0;
-        for k in 0..NUM_SUBSPACES {
+        for (k, outliers_k) in outliers.iter().enumerate() {
             for j in 0..NUM_SUBSPACES {
-                let innov: Vec<f64> = members
-                    .iter()
-                    .map(|&i| corpus.papers[i].innovation[j] as f64)
-                    .collect();
-                let rho = sem_stats::spearman(&outliers[k], &innov);
+                let innov: Vec<f64> =
+                    members.iter().map(|&i| corpus.papers[i].innovation[j] as f64).collect();
+                let rho = sem_stats::spearman(outliers_k, &innov);
                 if k == j {
                     diag += rho / NUM_SUBSPACES as f64;
                 } else {

@@ -1,10 +1,10 @@
 //! Subspace-analysis experiments: Tab. I, Fig. 2, Fig. 3 (both halves),
 //! Tab. II and Tab. III.
 
-use sem_core::analysis;
-use sem_corpus::{presets, Corpus, NUM_SUBSPACES};
 use sem_baselines::embed::{BertAvg, Doc2Vec, Shpe};
 use sem_baselines::quality::{Clt, Csj, HIndexProxy};
+use sem_core::analysis;
+use sem_corpus::{presets, Corpus, NUM_SUBSPACES};
 use sem_stats::regression::OlsFit;
 
 use crate::fixture::{Fixture, Scale};
@@ -44,8 +44,7 @@ fn discipline_cohort(
         .papers
         .iter()
         .filter(|p| {
-            p.discipline == discipline
-                && (target_year - 1..=target_year + 1).contains(&p.year)
+            p.discipline == discipline && (target_year - 1..=target_year + 1).contains(&p.year)
         })
         .map(|p| p.id.index())
         .take(max_targets)
@@ -65,16 +64,12 @@ fn discipline_cohort(
 
 /// Per-subspace normalised LOF of the cohort members' SEM embeddings.
 fn cohort_outliers(fixture: &Fixture, members: &[usize], k: usize) -> [Vec<f64>; NUM_SUBSPACES] {
-    let embeddings: Vec<Vec<Vec<f32>>> =
-        members.iter().map(|&i| fixture.text[i].clone()).collect();
+    let embeddings: Vec<Vec<Vec<f32>>> = members.iter().map(|&i| fixture.text[i].clone()).collect();
     analysis::subspace_outliers(&embeddings, k)
 }
 
 fn citations_of(corpus: &Corpus, members: &[usize], n: usize) -> Vec<f64> {
-    members[..n]
-        .iter()
-        .map(|&i| corpus.papers[i].citations_received as f64)
-        .collect()
+    members[..n].iter().map(|&i| corpus.papers[i].citations_received as f64).collect()
 }
 
 /// Tab. I: Spearman correlation between difference ranks and citation ranks
@@ -98,14 +93,10 @@ pub fn table1(fixture: &Fixture) -> Table {
     for d in 0..disciplines.len() {
         let (members, n_targets) = discipline_cohort(corpus, d, 2013, 200, 400);
         let cites = citations_of(corpus, &members, n_targets);
-        let clt: Vec<f64> = members[..n_targets]
-            .iter()
-            .map(|&i| Clt::score(&corpus.papers[i]))
-            .collect();
-        let csj: Vec<f64> = members[..n_targets]
-            .iter()
-            .map(|&i| Csj::score(&corpus.papers[i]))
-            .collect();
+        let clt: Vec<f64> =
+            members[..n_targets].iter().map(|&i| Clt::score(&corpus.papers[i])).collect();
+        let csj: Vec<f64> =
+            members[..n_targets].iter().map(|&i| Csj::score(&corpus.papers[i])).collect();
         let hp: Vec<f64> = members[..n_targets]
             .iter()
             .map(|&i| HIndexProxy::score(corpus, corpus.papers[i].id))
@@ -201,8 +192,8 @@ pub fn fig3_outliers(fixture: &Fixture) -> Table {
         // differing per-subspace LOF variances do not rescale the cells
         let log_cites: Vec<f64> = cites.iter().map(|c| (1.0 + c).ln()).collect();
         let mut cells = Vec::with_capacity(NUM_SUBSPACES);
-        for k in 0..NUM_SUBSPACES {
-            let lof: Vec<f64> = outliers[k][..n_targets].to_vec();
+        for outliers_k in &outliers {
+            let lof: Vec<f64> = outliers_k[..n_targets].to_vec();
             // keep an OLS fit around so the regression line of the figure is
             // genuinely reproducible from this code path
             let fit = OlsFit::fit(&log_cites, &lof);
@@ -232,11 +223,9 @@ pub fn fig3_clusters(fixture: &Fixture) -> Table {
         .map(|p| p.id.index())
         .take(80)
         .collect();
-    let embeddings: Vec<Vec<Vec<f32>>> =
-        members.iter().map(|&i| fixture.text[i].clone()).collect();
-    let clusterings: Vec<Vec<usize>> = (0..NUM_SUBSPACES)
-        .map(|k| analysis::cluster_subspace(&embeddings, k, 6, 41))
-        .collect();
+    let embeddings: Vec<Vec<Vec<f32>>> = members.iter().map(|&i| fixture.text[i].clone()).collect();
+    let clusterings: Vec<Vec<usize>> =
+        (0..NUM_SUBSPACES).map(|k| analysis::cluster_subspace(&embeddings, k, 6, 41)).collect();
     // t-SNE layouts run to validate the full figure path (coords not tabled)
     for k in 0..NUM_SUBSPACES {
         let pts: Vec<Vec<f32>> = embeddings.iter().map(|e| e[k].clone()).collect();

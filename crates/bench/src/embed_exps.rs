@@ -13,11 +13,7 @@ use crate::rec_exps::RecBench;
 use crate::table::Table;
 
 fn dist(a: &[f32], b: &[f32]) -> f64 {
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| (f64::from(*x) - f64::from(*y)).powi(2))
-        .sum::<f64>()
-        .sqrt()
+    a.iter().zip(b).map(|(x, y)| (f64::from(*x) - f64::from(*y)).powi(2)).sum::<f64>().sqrt()
 }
 
 fn mean_pair_dist(vecs: &[Vec<f32>], pairs: &[(usize, usize)]) -> f64 {
@@ -47,9 +43,8 @@ pub fn fig5(acm: &Fixture, scale: Scale) -> Table {
         .map(|a| a.id)
         .take(scale.n(80))
         .collect();
-    let author_papers = |a: AuthorId| -> Vec<PaperId> {
-        corpus.author(a).papers.iter().copied().take(5).collect()
-    };
+    let author_papers =
+        |a: AuthorId| -> Vec<PaperId> { corpus.author(a).papers.iter().copied().take(5).collect() };
 
     let mean_vec = |vecs: Vec<Vec<f32>>| -> Vec<f32> {
         let d = vecs[0].len();
@@ -74,7 +69,9 @@ pub fn fig5(acm: &Fixture, scale: Scale) -> Table {
             mean_vec(
                 author_papers(a)
                     .iter()
-                    .map(|&p| model.paper_vec(&bench.graph, Some(&acm.text), p, Direction::Interest))
+                    .map(|&p| {
+                        model.paper_vec(&bench.graph, Some(&acm.text), p, Direction::Interest)
+                    })
                     .collect(),
             )
         })
@@ -85,7 +82,9 @@ pub fn fig5(acm: &Fixture, scale: Scale) -> Table {
             mean_vec(
                 author_papers(a)
                     .iter()
-                    .map(|&p| model.paper_vec(&bench.graph, Some(&acm.text), p, Direction::Influence))
+                    .map(|&p| {
+                        model.paper_vec(&bench.graph, Some(&acm.text), p, Direction::Influence)
+                    })
                     .collect(),
             )
         })
@@ -151,7 +150,8 @@ pub fn fig5(acm: &Fixture, scale: Scale) -> Table {
         "Author combined embeddings: cohesion ratios (within-group / random-pair distance)",
         vec!["coauthor-ratio".into(), "highly-cited-ratio".into()],
     );
-    for (name, view) in [("content", &content), ("interest", &interest), ("influence", &influence)] {
+    for (name, view) in [("content", &content), ("interest", &interest), ("influence", &influence)]
+    {
         let rand_d = mean_pair_dist(view, &random_pairs);
         t.push_row(
             name,

@@ -8,12 +8,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod fixture;
-pub mod table;
-pub mod analysis_exps;
-pub mod rec_exps;
-pub mod embed_exps;
 pub mod ablation_exps;
+pub mod analysis_exps;
+pub mod embed_exps;
+pub mod fixture;
+pub mod rec_exps;
+pub mod table;
 
 pub use fixture::{Fixture, Scale};
 pub use table::Table;

@@ -209,19 +209,36 @@ pub fn fit_and_eval(
     let cands = RecBench::candidates(tasks);
     let boxed: Box<dyn Recommender> = match method {
         MethodKind::Svd => Box::new(SvdRecommender::fit_with_negatives(
-            corpus, split, &cands, 8, scale.epochs(4), neg_ratio, 11,
+            corpus,
+            split,
+            &cands,
+            8,
+            scale.epochs(4),
+            neg_ratio,
+            11,
         )),
-        MethodKind::Wnmf => Box::new(WnmfRecommender::fit(
-            corpus, split, &cands, 10, scale.epochs(6), 12,
-        )),
+        MethodKind::Wnmf => {
+            Box::new(WnmfRecommender::fit(corpus, split, &cands, 10, scale.epochs(6), 12))
+        }
         MethodKind::Nbcf => Box::new(NbcfRecommender::fit(corpus, split)),
         MethodKind::Mlp => Box::new(MlpRecommender::fit_with_negatives(
-            corpus, split, &cands, 16, scale.epochs(8), neg_ratio.max(2), 13,
+            corpus,
+            split,
+            &cands,
+            16,
+            scale.epochs(8),
+            neg_ratio.max(2),
+            13,
         )),
         MethodKind::Jtie => {
             let text = bench.bert_text();
             Box::new(JtieRecommender::fit_with_negatives(
-                corpus, split, &text, scale.epochs(4), neg_ratio, 14,
+                corpus,
+                split,
+                &text,
+                scale.epochs(4),
+                neg_ratio,
+                14,
             ))
         }
         MethodKind::Kgcn => Box::new(KgcnRecommender::fit_multi(
@@ -251,11 +268,9 @@ pub fn fit_and_eval(
                 ..Default::default()
             },
         )),
-        MethodKind::RippleNet => Box::new(RippleNetRecommender::fit(
-            corpus,
-            split,
-            RippleConfig::default(),
-        )),
+        MethodKind::RippleNet => {
+            Box::new(RippleNetRecommender::fit(corpus, split, RippleConfig::default()))
+        }
         MethodKind::NpRec => {
             let pairs = bench.pairs(neg_ratio, true, 30_000, 7);
             let model = bench.fit_nprec(&pairs, bench.nprec_config());
@@ -301,7 +316,9 @@ pub fn table4(acm: &Fixture, scopus: &Fixture, scale: Scale) -> Table {
         t.push_row(MethodKind::ALL[mi].name(), cells);
     }
     t.note("split year Y=2014; 1:4 negative sampling during training");
-    t.note("expected shape: NPRec first; graph/propagation methods above CF; nDCG decreases with k");
+    t.note(
+        "expected shape: NPRec first; graph/propagation methods above CF; nDCG decreases with k",
+    );
     t
 }
 
@@ -323,8 +340,7 @@ pub fn table5(acm: &Fixture, scopus: &Fixture, scale: Scale) -> Table {
     // the paper drops SVD from this table
     let methods = &MethodKind::ALL[1..];
     let mut rows: Vec<Vec<f64>> = vec![Vec::new(); methods.len()];
-    for (fixture, n_users, with_rank_metrics) in
-        [(acm, 400usize, true), (scopus, 150usize, false)]
+    for (fixture, n_users, with_rank_metrics) in [(acm, 400usize, true), (scopus, 150usize, false)]
     {
         let bench = RecBench::new(fixture, 2014, scale);
         let task = bench.task(20, scale.n(n_users), 55);
@@ -345,7 +361,9 @@ pub fn table5(acm: &Fixture, scopus: &Fixture, scale: Scale) -> Table {
         t.push_row(methods[mi].name(), cells);
     }
     t.note("#rp buckets: users with <4 vs >=4 pre-split publications (paper: 3 vs 5 representative papers)");
-    t.note("expected shape: every method improves with more publications; NPRec best in every column");
+    t.note(
+        "expected shape: every method improves with more publications; NPRec best in every column",
+    );
     t
 }
 
@@ -438,16 +456,20 @@ pub fn table7(acm: &Fixture, scale: Scale) -> Table {
     let task = bench.task(20, scale.n(100), 77);
 
     // NPRec+SC has no K dependence: single cell
-    let sc = eval_variant(&bench, &task, nprec_variant_config(&bench, true, false, 8, 2), true, "NPRec+SC");
+    let sc = eval_variant(
+        &bench,
+        &task,
+        nprec_variant_config(&bench, true, false, 8, 2),
+        true,
+        "NPRec+SC",
+    );
     let mut sc_row = vec![f64::NAN; ks.len()];
     sc_row[0] = sc;
     t.push_row("NPRec+SC", sc_row);
 
-    for (label, use_text, defuzz) in [
-        ("NPRec+SN", false, true),
-        ("NPRec+CN", true, false),
-        ("NPRec", true, true),
-    ] {
+    for (label, use_text, defuzz) in
+        [("NPRec+SN", false, true), ("NPRec+CN", true, false), ("NPRec", true, true)]
+    {
         let cells: Vec<f64> = ks
             .iter()
             .map(|&k| {
@@ -462,7 +484,9 @@ pub fn table7(acm: &Fixture, scale: Scale) -> Table {
             .collect();
         t.push_row(label, cells);
     }
-    t.note("SC = subspace text only (K-independent); SN = network only; CN = citation-only negatives");
+    t.note(
+        "SC = subspace text only (K-independent); SN = network only; CN = citation-only negatives",
+    );
     t.note("expected shape: full model best; optimum around K in {8, 16}");
     t
 }
@@ -478,16 +502,20 @@ pub fn table8(acm: &Fixture, scale: Scale) -> Table {
     let bench = RecBench::new(acm, 2014, scale);
     let task = bench.task(20, scale.n(100), 88);
 
-    let sc = eval_variant(&bench, &task, nprec_variant_config(&bench, true, false, 8, 2), true, "NPRec+SC");
+    let sc = eval_variant(
+        &bench,
+        &task,
+        nprec_variant_config(&bench, true, false, 8, 2),
+        true,
+        "NPRec+SC",
+    );
     let mut sc_row = vec![f64::NAN; hs.len()];
     sc_row[0] = sc;
     t.push_row("NPRec+SC", sc_row);
 
-    for (label, use_text, defuzz) in [
-        ("NPRec+SN", false, true),
-        ("NPRec+CN", true, false),
-        ("NPRec", true, true),
-    ] {
+    for (label, use_text, defuzz) in
+        [("NPRec+SN", false, true), ("NPRec+CN", true, false), ("NPRec", true, true)]
+    {
         let cells: Vec<f64> = hs
             .iter()
             .map(|&h| {

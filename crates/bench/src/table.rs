@@ -41,13 +41,7 @@ impl Table {
     pub fn render(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
-        let label_w = self
-            .rows
-            .iter()
-            .map(|(l, _)| l.len())
-            .chain([5])
-            .max()
-            .unwrap_or(5);
+        let label_w = self.rows.iter().map(|(l, _)| l.len()).chain([5]).max().unwrap_or(5);
         let cell_w = self.columns.iter().map(|c| c.len().max(8)).collect::<Vec<_>>();
         let _ = write!(out, "{:label_w$}", "");
         for (c, w) in self.columns.iter().zip(&cell_w) {
@@ -84,10 +78,7 @@ impl Table {
     /// Looks up a cell by row label and column name.
     pub fn cell(&self, row: &str, column: &str) -> Option<f64> {
         let ci = self.columns.iter().position(|c| c == column)?;
-        self.rows
-            .iter()
-            .find(|(l, _)| l == row)
-            .map(|(_, cells)| cells[ci])
+        self.rows.iter().find(|(l, _)| l == row).map(|(_, cells)| cells[ci])
     }
 }
 

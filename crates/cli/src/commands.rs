@@ -37,41 +37,40 @@ impl From<String> for CliError {
 }
 
 /// Parsed `--flag value` arguments.
-struct Args {
+pub(crate) struct Args {
     flags: HashMap<String, String>,
 }
 
 impl Args {
-    fn parse(argv: &[String]) -> Result<Args, CliError> {
+    pub(crate) fn parse(argv: &[String]) -> Result<Args, CliError> {
         let mut flags = HashMap::new();
         let mut it = argv.iter();
         while let Some(a) = it.next() {
             let Some(name) = a.strip_prefix("--") else {
                 return Err(CliError(format!("unexpected argument {a:?}")));
             };
-            let value = it
-                .next()
-                .ok_or_else(|| CliError(format!("--{name} needs a value")))?;
+            let value = it.next().ok_or_else(|| CliError(format!("--{name} needs a value")))?;
             flags.insert(name.to_string(), value.clone());
         }
         Ok(Args { flags })
     }
 
-    fn get(&self, name: &str) -> Option<&str> {
+    pub(crate) fn get(&self, name: &str) -> Option<&str> {
         self.flags.get(name).map(String::as_str)
     }
 
-    fn required(&self, name: &str) -> Result<&str, CliError> {
-        self.get(name)
-            .ok_or_else(|| CliError(format!("missing required --{name}")))
+    pub(crate) fn required(&self, name: &str) -> Result<&str, CliError> {
+        self.get(name).ok_or_else(|| CliError(format!("missing required --{name}")))
     }
 
-    fn parse_num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+    pub(crate) fn parse_num<T: std::str::FromStr>(
+        &self,
+        name: &str,
+        default: T,
+    ) -> Result<T, CliError> {
         match self.get(name) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| CliError(format!("--{name}: cannot parse {v:?}"))),
+            Some(v) => v.parse().map_err(|_| CliError(format!("--{name}: cannot parse {v:?}"))),
         }
     }
 }
@@ -85,6 +84,12 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
     let Some(cmd) = argv.first() else {
         return Ok(help());
     };
+    // two-word serve-family commands parse their own tails
+    match cmd.as_str() {
+        "index" => return crate::serve_cmds::index(&argv[1..]),
+        "ingest" => return crate::serve_cmds::ingest(&Args::parse(&argv[1..])?),
+        _ => {}
+    }
     let args = Args::parse(&argv[1..])?;
     match cmd.as_str() {
         "help" | "--help" | "-h" => Ok(help()),
@@ -108,6 +113,11 @@ USAGE:
   sem embed     --model model-dir --paper ID
   sem analyze   --corpus corpus.json [--lof-k K]
   sem recommend --corpus corpus.json --split YEAR --user ID [--top N]
+
+serving (JSON output):
+  sem index build --model model-dir --out index.json [--nlist N] [--nprobe N] [--flat-threshold N]
+  sem index query --model model-dir --index index.json --paper ID[,ID...] [--k K]
+  sem ingest      --model model-dir --index index.json --title T --abstract TEXT [--year Y] [--k K] [--out index.json]
 "
     .to_string()
 }
@@ -133,11 +143,7 @@ fn generate(args: &Args) -> Result<String, CliError> {
     let out = args.required("out")?;
     let corpus = Corpus::generate(cfg);
     std::fs::write(out, corpus.to_json())?;
-    Ok(format!(
-        "wrote {} papers / {} authors to {out}",
-        corpus.papers.len(),
-        corpus.authors.len()
-    ))
+    Ok(format!("wrote {} papers / {} authors to {out}", corpus.papers.len(), corpus.authors.len()))
 }
 
 fn stats(args: &Args) -> Result<String, CliError> {
@@ -215,13 +221,8 @@ fn train(args: &Args) -> Result<String, CliError> {
     std::fs::create_dir_all(&out.dir)?;
 
     let (pipeline, labels) = fit_pipeline(&corpus);
-    let scorer = RuleScorer::new(
-        &corpus,
-        &pipeline.vocab,
-        &pipeline.embeddings,
-        &pipeline.encoder,
-        &labels,
-    );
+    let scorer =
+        RuleScorer::new(&corpus, &pipeline.vocab, &pipeline.embeddings, &pipeline.encoder, &labels);
     let epochs = args.parse_num("epochs", 8usize)?;
     let config = SemConfig { epochs, ..Default::default() };
     let mut model = SemModel::new(config.clone());
@@ -251,16 +252,16 @@ fn train(args: &Args) -> Result<String, CliError> {
     ))
 }
 
-fn load_model(dir: &Path) -> Result<(Corpus, TextPipeline, Vec<Vec<Subspace>>, SemModel), CliError> {
+/// Everything a model directory reloads: corpus, frozen text pipeline,
+/// predicted sentence labels and the trained SEM model.
+pub(crate) type LoadedModel = (Corpus, TextPipeline, Vec<Vec<Subspace>>, SemModel);
+
+pub(crate) fn load_model(dir: &Path) -> Result<LoadedModel, CliError> {
     let md = ModelDir { dir: dir.to_path_buf() };
-    let corpus = load_corpus(
-        md.corpus_path()
-            .to_str()
-            .ok_or_else(|| CliError("bad path".into()))?,
-    )?;
-    let stored: StoredSemConfig =
-        serde_json::from_str(&std::fs::read_to_string(md.config_path())?)
-            .map_err(|e| CliError(e.to_string()))?;
+    let corpus =
+        load_corpus(md.corpus_path().to_str().ok_or_else(|| CliError("bad path".into()))?)?;
+    let stored: StoredSemConfig = serde_json::from_str(&std::fs::read_to_string(md.config_path())?)
+        .map_err(|e| CliError(e.to_string()))?;
     let weights = std::fs::read_to_string(md.weights_path())?;
     let model = SemModel::from_json(stored.to_config(), &weights)?;
     // prefer the persisted pipeline; refit deterministically if absent
@@ -281,10 +282,7 @@ fn embed(args: &Args) -> Result<String, CliError> {
     let paper_id: usize = args.parse_num("paper", usize::MAX)?;
     let (corpus, pipeline, labels, model) = load_model(&dir)?;
     if paper_id >= corpus.papers.len() {
-        return Err(CliError(format!(
-            "--paper must be in 0..{}",
-            corpus.papers.len()
-        )));
+        return Err(CliError(format!("--paper must be in 0..{}", corpus.papers.len())));
     }
     let paper = &corpus.papers[paper_id];
     let h = pipeline.encode_paper(paper);
@@ -307,38 +305,26 @@ fn analyze(args: &Args) -> Result<String, CliError> {
     let corpus = load_corpus(args.required("corpus")?)?;
     let lof_k = args.parse_num("lof-k", 20usize)?;
     let (pipeline, labels) = fit_pipeline(&corpus);
-    let scorer = RuleScorer::new(
-        &corpus,
-        &pipeline.vocab,
-        &pipeline.embeddings,
-        &pipeline.encoder,
-        &labels,
-    );
+    let scorer =
+        RuleScorer::new(&corpus, &pipeline.vocab, &pipeline.embeddings, &pipeline.encoder, &labels);
     let mut model = SemModel::new(SemConfig::default());
     model.train(&pipeline, &corpus, &scorer, &labels);
     let text = model.embed_corpus(&pipeline, &corpus, &labels);
 
     let mut out = String::from("innovation analysis (Spearman of subspace LOF vs citations):\n");
     for (d, prof) in corpus.config.disciplines.iter().enumerate() {
-        let members: Vec<usize> = corpus
-            .papers
-            .iter()
-            .filter(|p| p.discipline == d)
-            .map(|p| p.id.index())
-            .collect();
+        let members: Vec<usize> =
+            corpus.papers.iter().filter(|p| p.discipline == d).map(|p| p.id.index()).collect();
         if members.len() < lof_k + 2 {
             continue;
         }
         let emb: Vec<Vec<Vec<f32>>> = members.iter().map(|&i| text[i].clone()).collect();
         let outliers = analysis::subspace_outliers(&emb, lof_k);
-        let cites: Vec<f64> = members
-            .iter()
-            .map(|&i| corpus.papers[i].citations_received as f64)
-            .collect();
+        let cites: Vec<f64> =
+            members.iter().map(|&i| corpus.papers[i].citations_received as f64).collect();
         let rho = analysis::outlier_citation_correlation(&outliers, &cites);
-        let best = (0..NUM_SUBSPACES)
-            .max_by(|&a, &b| rho[a].total_cmp(&rho[b]))
-            .expect("3 subspaces");
+        let best =
+            (0..NUM_SUBSPACES).max_by(|&a, &b| rho[a].total_cmp(&rho[b])).expect("3 subspaces");
         out.push_str(&format!(
             "  {:20} background={:+.3} method={:+.3} result={:+.3}  (innovation lives in `{}`)\n",
             prof.name,
@@ -361,13 +347,8 @@ fn recommend(args: &Args) -> Result<String, CliError> {
     }
 
     let (pipeline, labels) = fit_pipeline(&corpus);
-    let scorer = RuleScorer::new(
-        &corpus,
-        &pipeline.vocab,
-        &pipeline.embeddings,
-        &pipeline.encoder,
-        &labels,
-    );
+    let scorer =
+        RuleScorer::new(&corpus, &pipeline.vocab, &pipeline.embeddings, &pipeline.encoder, &labels);
     let mut sem = SemModel::new(SemConfig { epochs: 6, ..Default::default() });
     sem.train(&pipeline, &corpus, &scorer, &labels);
     let text = sem.embed_corpus(&pipeline, &corpus, &labels);
@@ -393,29 +374,16 @@ fn recommend(args: &Args) -> Result<String, CliError> {
     // candidate pool: all new papers; rank by the user's mean ŷ
     let task = RecTask::build(&corpus, split, 20.min(corpus.papers.len() / 4), usize::MAX, 1, 1);
     let rec = model.recommender(&graph, Some(&text), &task);
-    let new_papers: Vec<PaperId> = corpus
-        .papers
-        .iter()
-        .filter(|p| p.year > split)
-        .map(|p| p.id)
-        .collect();
-    let mut scored: Vec<(f64, PaperId)> = new_papers
-        .iter()
-        .map(|&c| (rec.score(user, c), c))
-        .collect();
+    let new_papers: Vec<PaperId> =
+        corpus.papers.iter().filter(|p| p.year > split).map(|p| p.id).collect();
+    let mut scored: Vec<(f64, PaperId)> =
+        new_papers.iter().map(|&c| (rec.score(user, c), c)).collect();
     scored.sort_by(|a, b| b.0.total_cmp(&a.0));
-    let mut out = format!(
-        "top-{top} new-paper recommendations for author {} (split {split}):\n",
-        user.0
-    );
+    let mut out =
+        format!("top-{top} new-paper recommendations for author {} (split {split}):\n", user.0);
     for (rank, (score, p)) in scored.iter().take(top).enumerate() {
         let paper = corpus.paper(*p);
-        out.push_str(&format!(
-            "  {}. [{score:.3}] {} ({})\n",
-            rank + 1,
-            paper.title,
-            paper.year,
-        ));
+        out.push_str(&format!("  {}. [{score:.3}] {} ({})\n", rank + 1, paper.title, paper.year,));
     }
     if scored.first().map(|s| s.0) == Some(0.0) {
         out.push_str("  (user has no training-era history; scores are zero)\n");
@@ -508,14 +476,8 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("trained SEM"));
-        let emb = run(&argv(&[
-            "embed",
-            "--model",
-            model_dir.to_str().unwrap(),
-            "--paper",
-            "3",
-        ]))
-        .unwrap();
+        let emb =
+            run(&argv(&["embed", "--model", model_dir.to_str().unwrap(), "--paper", "3"])).unwrap();
         assert!(emb.contains("background"));
         assert!(emb.contains("method"));
         // out-of-range paper id

@@ -13,7 +13,15 @@
 //! sem embed     --model model-dir --paper ID
 //! sem analyze   --corpus corpus.json [--lof-k K]
 //! sem recommend --corpus corpus.json --split YEAR --user ID [--top N]
+//! sem index build --model model-dir --out index.json [--nlist N] [--nprobe N]
+//! sem index query --model model-dir --index index.json --paper ID[,ID...] [--k K]
+//! sem ingest      --model model-dir --index index.json --title T --abstract TEXT [--year Y]
 //! ```
+//!
+//! The serve family (`index build` / `index query` / `ingest`) speaks JSON
+//! on stdout and is backed by the `sem-serve` crate: an IVF-flat ANN index
+//! over SEM paper embeddings, a batched query engine with an LRU result
+//! cache, and incremental zero-citation-paper ingestion.
 //!
 //! Model persistence: the frozen text pipeline (skip-gram, encoder, CRF) is
 //! deterministic given the corpus and seed, so a model directory stores only
@@ -24,5 +32,6 @@
 #![warn(missing_docs)]
 
 pub mod commands;
+mod serve_cmds;
 
 pub use commands::{run, CliError};

@@ -1,0 +1,359 @@
+//! The serve-family commands: `index build`, `index query` and `ingest`.
+//!
+//! All three speak JSON on stdout (they are meant to be scripted against)
+//! and share the model directory produced by `sem train`. The index file is
+//! a self-contained [`AnnIndex`] dump; `ingest` grows it in place — no
+//! retraining, no rebuild.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use sem_corpus::{Corpus, Paper, PaperId, Sentence, Subspace, NUM_SUBSPACES};
+use sem_serve::{AnnIndex, EngineConfig, IndexConfig, PaperEmbedder, QueryEngine, QueryRequest};
+use serde::Serialize;
+
+use crate::commands::{load_model, Args, CliError};
+
+/// Dispatches `sem index <build|query> ...`.
+pub(crate) fn index(argv: &[String]) -> Result<String, CliError> {
+    let Some(sub) = argv.first() else {
+        return Err(CliError("usage: sem index <build|query> ...".into()));
+    };
+    let args = Args::parse(&argv[1..])?;
+    match sub.as_str() {
+        "build" => index_build(&args),
+        "query" => index_query(&args),
+        other => Err(CliError(format!("unknown index subcommand {other:?}"))),
+    }
+}
+
+#[derive(Serialize)]
+struct BuildSummary {
+    papers: usize,
+    dim: usize,
+    mode: String,
+    elapsed_ms: u64,
+    out: String,
+}
+
+/// `sem index build --model DIR --out index.json [--nlist N] [--nprobe N]
+/// [--flat-threshold N]`: embeds every corpus paper and builds the ANN
+/// index.
+fn index_build(args: &Args) -> Result<String, CliError> {
+    let dir = PathBuf::from(args.required("model")?);
+    let out = args.required("out")?;
+    let config = IndexConfig {
+        nlist: args.parse_num("nlist", 0usize)?,
+        nprobe: args.parse_num("nprobe", 0usize)?,
+        flat_threshold: args.parse_num("flat-threshold", 256usize)?,
+        ..Default::default()
+    };
+    let (corpus, pipeline, _labels, sem) = load_model(&dir)?;
+    let t0 = Instant::now();
+    let embedder = PaperEmbedder::new(&pipeline, &sem);
+    let vectors = embedder.embed_corpus(&corpus);
+    let index = AnnIndex::build(vectors, config);
+    std::fs::write(out, index.to_json())?;
+    let summary = BuildSummary {
+        papers: index.len(),
+        dim: index.dim(),
+        mode: if index.is_flat() { "flat".into() } else { "ivf".into() },
+        elapsed_ms: t0.elapsed().as_millis() as u64,
+        out: out.to_string(),
+    };
+    Ok(serde_json::to_string_pretty(&summary).expect("summary serialises"))
+}
+
+#[derive(Serialize)]
+struct HitOut {
+    id: usize,
+    score: f32,
+    title: String,
+    year: u16,
+}
+
+#[derive(Serialize)]
+struct QueryOut {
+    paper: usize,
+    hits: Vec<HitOut>,
+}
+
+#[derive(Serialize)]
+struct QueryReport {
+    results: Vec<QueryOut>,
+    stats: sem_serve::StatsSnapshot,
+}
+
+fn describe(corpus: &Corpus, id: usize) -> (String, u16) {
+    match corpus.papers.get(id) {
+        Some(p) => (p.title.clone(), p.year),
+        None => ("(ingested after index build)".into(), 0),
+    }
+}
+
+/// `sem index query --model DIR --index index.json --paper ID[,ID...]
+/// [--k K]`: answers one coalesced batch of top-K queries and reports the
+/// engine counters.
+fn index_query(args: &Args) -> Result<String, CliError> {
+    let dir = PathBuf::from(args.required("model")?);
+    let index_path = args.required("index")?;
+    let k: usize = args.parse_num("k", 5)?;
+    let papers: Vec<usize> = args
+        .required("paper")?
+        .split(',')
+        .map(|s| s.trim().parse().map_err(|_| CliError(format!("--paper: cannot parse {s:?}"))))
+        .collect::<Result<_, _>>()?;
+    let (corpus, pipeline, _labels, sem) = load_model(&dir)?;
+    for &p in &papers {
+        if p >= corpus.papers.len() {
+            return Err(CliError(format!("--paper must be in 0..{}", corpus.papers.len())));
+        }
+    }
+    let index = AnnIndex::from_json(&std::fs::read_to_string(index_path)?)?;
+    let embedder = PaperEmbedder::new(&pipeline, &sem);
+    if index.dim() != embedder.dim() {
+        return Err(CliError(format!(
+            "index width {} does not match the model's {}",
+            index.dim(),
+            embedder.dim()
+        )));
+    }
+    let engine = QueryEngine::new(index, EngineConfig::default());
+    let requests: Vec<QueryRequest> = papers
+        .iter()
+        .map(|&p| QueryRequest { vector: embedder.embed_indexed(&corpus, PaperId::from(p)), k })
+        .collect();
+    let batches = engine.query_batch(requests);
+    let results = papers
+        .iter()
+        .zip(batches)
+        .map(|(&p, hits)| QueryOut {
+            paper: p,
+            hits: hits
+                .into_iter()
+                .map(|h| {
+                    let (title, year) = describe(&corpus, h.id);
+                    HitOut { id: h.id, score: h.score, title, year }
+                })
+                .collect(),
+        })
+        .collect();
+    let report = QueryReport { results, stats: engine.stats() };
+    Ok(serde_json::to_string_pretty(&report).expect("report serialises"))
+}
+
+#[derive(Serialize)]
+struct IngestReport {
+    id: usize,
+    title: String,
+    sentences: usize,
+    self_rank: usize,
+    hits: Vec<HitOut>,
+    index_len: usize,
+    out: String,
+}
+
+/// Builds a [`Paper`] from raw title/abstract text. Gold sentence tags are
+/// placeholders — serving only uses the CRF's *predicted* labels.
+fn paper_from_text(title: &str, abstract_text: &str, year: u16, id: usize) -> Paper {
+    let sentences: Vec<Sentence> = abstract_text
+        .split('.')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| Sentence { text: s.to_string(), label: Subspace::Background })
+        .collect();
+    Paper {
+        id: PaperId::from(id),
+        title: title.to_string(),
+        sentences,
+        keywords: Vec::new(),
+        references: Vec::new(),
+        authors: Vec::new(),
+        venue: None,
+        year,
+        discipline: 0,
+        category: None,
+        innovation: [0.0; NUM_SUBSPACES],
+        citations_received: 0,
+    }
+}
+
+/// `sem ingest --model DIR --index index.json --title T --abstract TEXT
+/// [--year Y] [--k K] [--out index.json]`: embeds a brand-new zero-citation
+/// paper, inserts it without rebuilding, saves the grown index and queries
+/// the paper back.
+pub(crate) fn ingest(args: &Args) -> Result<String, CliError> {
+    let dir = PathBuf::from(args.required("model")?);
+    let index_path = args.required("index")?;
+    let title = args.required("title")?;
+    let abstract_text = args.required("abstract")?;
+    let k: usize = args.parse_num("k", 5)?;
+    let out = args.get("out").unwrap_or(index_path).to_string();
+    let (corpus, pipeline, _labels, sem) = load_model(&dir)?;
+    let year: u16 =
+        args.parse_num("year", corpus.papers.iter().map(|p| p.year).max().unwrap_or(2020) + 1)?;
+    let index = AnnIndex::from_json(&std::fs::read_to_string(index_path)?)?;
+    let embedder = PaperEmbedder::new(&pipeline, &sem);
+    if index.dim() != embedder.dim() {
+        return Err(CliError(format!(
+            "index width {} does not match the model's {}",
+            index.dim(),
+            embedder.dim()
+        )));
+    }
+    let paper = paper_from_text(title, abstract_text, year, index.len());
+    if paper.sentences.is_empty() {
+        return Err(CliError("--abstract has no sentences".into()));
+    }
+    let engine = QueryEngine::new(index, EngineConfig::default());
+    let vector = embedder.embed_new(&paper);
+    let id = engine.ingest_vector(vector.clone());
+    let hits = engine.query(vector, k);
+    let self_rank = hits.iter().position(|h| h.id == id).map(|r| r + 1).unwrap_or(0);
+    let grown = engine.into_index();
+    let index_len = grown.len();
+    std::fs::write(Path::new(&out), grown.to_json())?;
+    let report = IngestReport {
+        id,
+        title: title.to_string(),
+        sentences: paper.sentences.len(),
+        self_rank,
+        hits: hits
+            .into_iter()
+            .map(|h| {
+                let (t, y) =
+                    if h.id == id { (title.to_string(), year) } else { describe(&corpus, h.id) };
+                HitOut { id: h.id, score: h.score, title: t, year: y }
+            })
+            .collect(),
+        index_len,
+        out,
+    };
+    Ok(serde_json::to_string_pretty(&report).expect("report serialises"))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::commands::run;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("sem-serve-cli-{name}-{}", std::process::id()))
+    }
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// The acceptance demo, end to end: generate → train → index build →
+    /// batched query → ingest a brand-new paper → it comes back top-ranked.
+    #[test]
+    fn index_build_query_ingest_roundtrip() {
+        let corpus_path = tmp("corpus.json");
+        let model_dir = tmp("model");
+        let index_path = tmp("index.json");
+        run(&argv(&[
+            "generate",
+            "--preset",
+            "acm",
+            "--papers",
+            "130",
+            "--authors",
+            "50",
+            "--out",
+            corpus_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "train",
+            "--corpus",
+            corpus_path.to_str().unwrap(),
+            "--out",
+            model_dir.to_str().unwrap(),
+            "--epochs",
+            "1",
+        ]))
+        .unwrap();
+
+        let built = run(&argv(&[
+            "index",
+            "build",
+            "--model",
+            model_dir.to_str().unwrap(),
+            "--out",
+            index_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(built.contains("\"papers\": 130"), "{built}");
+        assert!(built.contains("\"mode\": \"flat\""), "{built}");
+
+        // batched query: each paper's own vector must rank itself first
+        let q = run(&argv(&[
+            "index",
+            "query",
+            "--model",
+            model_dir.to_str().unwrap(),
+            "--index",
+            index_path.to_str().unwrap(),
+            "--paper",
+            "3,40",
+            "--k",
+            "4",
+        ]))
+        .unwrap();
+        assert!(q.contains("\"paper\": 3"), "{q}");
+        assert!(q.contains("\"id\": 3"), "{q}");
+        assert!(q.contains("\"id\": 40"), "{q}");
+        assert!(q.contains("\"largest_batch\": 2"), "{q}");
+
+        let ing = run(&argv(&[
+            "ingest",
+            "--model",
+            model_dir.to_str().unwrap(),
+            "--index",
+            index_path.to_str().unwrap(),
+            "--title",
+            "A brand new subspace paper",
+            "--abstract",
+            "Prior work studies embeddings. We propose a novel subspace method. \
+             Experiments show strong results.",
+            "--k",
+            "5",
+        ]))
+        .unwrap();
+        assert!(ing.contains("\"id\": 130"), "{ing}");
+        assert!(ing.contains("\"self_rank\": 1"), "{ing}");
+        assert!(ing.contains("\"index_len\": 131"), "{ing}");
+
+        // the grown index was persisted: querying it again still works and
+        // now holds the ingested paper
+        let q2 = run(&argv(&[
+            "index",
+            "query",
+            "--model",
+            model_dir.to_str().unwrap(),
+            "--index",
+            index_path.to_str().unwrap(),
+            "--paper",
+            "3",
+            "--k",
+            "4",
+        ]))
+        .unwrap();
+        assert!(q2.contains("\"paper\": 3"), "{q2}");
+
+        std::fs::remove_file(&corpus_path).ok();
+        std::fs::remove_file(&index_path).ok();
+        std::fs::remove_dir_all(&model_dir).ok();
+    }
+
+    #[test]
+    fn serve_commands_reject_bad_input() {
+        assert!(run(&argv(&["index"])).is_err());
+        assert!(run(&argv(&["index", "frob"])).is_err());
+        assert!(
+            run(&argv(&["index", "build", "--model", "/nonexistent", "--out", "/tmp/x"])).is_err()
+        );
+        assert!(run(&argv(&["ingest", "--model", "/nonexistent"])).is_err());
+    }
+}

@@ -116,7 +116,7 @@ mod tests {
                 // would just form another dense cluster that LOF (correctly)
                 // ignores
                 let (sx, sy) = if outlier && k == 1 {
-                    let sign = if (i / outlier_every) % 2 == 0 { 1.0 } else { -1.0 };
+                    let sign = if (i / outlier_every).is_multiple_of(2) { 1.0 } else { -1.0 };
                     (sign * (8.0 + (i % 7) as f32 * 3.0), -sign * (5.0 + (i % 5) as f32 * 4.0))
                 } else {
                     (0.0, 0.0)
@@ -137,19 +137,15 @@ mod tests {
         let (emb, flags) = synthetic(60, 15);
         let out = subspace_outliers(&emb, 15);
         let mean = |xs: &[f64], sel: bool| {
-            let v: Vec<f64> = xs
-                .iter()
-                .zip(&flags)
-                .filter(|(_, &f)| f == sel)
-                .map(|(x, _)| *x)
-                .collect();
+            let v: Vec<f64> =
+                xs.iter().zip(&flags).filter(|(_, &f)| f == sel).map(|(x, _)| *x).collect();
             v.iter().sum::<f64>() / v.len() as f64
         };
         // planted outliers deviate only in subspace 1
         assert!(mean(&out[1], true) > mean(&out[1], false) + 0.3);
         // values normalised
-        for k in 0..NUM_SUBSPACES {
-            assert!(out[k].iter().all(|&v| (0.0..=1.0).contains(&v)));
+        for row in &out {
+            assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
         }
     }
 
@@ -160,8 +156,7 @@ mod tests {
         let (emb, flags) = synthetic(80, 10);
         let out = subspace_outliers(&emb, 15);
         // citations := outlier flag + noise-free baseline
-        let citations: Vec<f64> =
-            flags.iter().map(|&f| if f { 50.0 } else { 5.0 }).collect();
+        let citations: Vec<f64> = flags.iter().map(|&f| if f { 50.0 } else { 5.0 }).collect();
         let rho = outlier_citation_correlation(&out, &citations);
         assert!(rho[1] > 0.35, "subspace-1 correlation {:?}", rho);
         assert!(rho[1] > rho[0] && rho[1] > rho[2], "{rho:?}");

@@ -78,12 +78,8 @@ impl RecTask {
     ) -> RecTask {
         assert!(k >= 2, "candidate set must hold a positive and a distractor");
         let mut rng = StdRng::seed_from_u64(seed);
-        let new_papers: Vec<PaperId> = corpus
-            .papers
-            .iter()
-            .filter(|p| p.year > split_year)
-            .map(|p| p.id)
-            .collect();
+        let new_papers: Vec<PaperId> =
+            corpus.papers.iter().filter(|p| p.year > split_year).map(|p| p.id).collect();
         assert!(!new_papers.is_empty(), "no papers after split year {split_year}");
 
         let mut users = Vec::new();
@@ -136,8 +132,7 @@ impl RecTask {
                 continue; // corpus too small for this k
             }
             candidates.shuffle(&mut rng);
-            let relevant: Vec<bool> =
-                candidates.iter().map(|c| positives.contains(c)).collect();
+            let relevant: Vec<bool> = candidates.iter().map(|c| positives.contains(c)).collect();
             users.push(UserCase {
                 user: author.id,
                 train_papers,
@@ -180,11 +175,8 @@ impl RecTask {
         n: usize,
     ) -> Option<Vec<(PaperId, f64)>> {
         let case = self.users.iter().find(|u| u.user == user)?;
-        let mut scored: Vec<(PaperId, f64)> = case
-            .candidates
-            .iter()
-            .map(|&c| (c, rec.score(user, c)))
-            .collect();
+        let mut scored: Vec<(PaperId, f64)> =
+            case.candidates.iter().map(|&c| (c, rec.score(user, c))).collect();
         scored.sort_by(|a, b| b.1.total_cmp(&a.1));
         scored.truncate(n);
         Some(scored)
@@ -197,19 +189,12 @@ impl RecTask {
             .iter()
             .map(|u| {
                 let mut order: Vec<usize> = (0..u.candidates.len()).collect();
-                let scores: Vec<f64> = u
-                    .candidates
-                    .iter()
-                    .map(|&c| rec.score(u.user, c))
-                    .collect();
+                let scores: Vec<f64> = u.candidates.iter().map(|&c| rec.score(u.user, c)).collect();
                 order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
                 order.into_iter().map(|i| u.relevant[i]).collect()
             })
             .collect();
-        let ndcg = ranked
-            .iter()
-            .map(|r| metrics::ndcg_at_k(r, self.k))
-            .sum::<f64>()
+        let ndcg = ranked.iter().map(|r| metrics::ndcg_at_k(r, self.k)).sum::<f64>()
             / ranked.len().max(1) as f64;
         RecMetrics {
             ndcg,
@@ -272,10 +257,13 @@ impl Recommender for OracleRecommender<'_> {
             .iter()
             .find(|u| u.user == user)
             .and_then(|u| {
-                u.candidates
-                    .iter()
-                    .position(|&c| c == candidate)
-                    .map(|i| if u.relevant[i] { 1.0 } else { 0.0 })
+                u.candidates.iter().position(|&c| c == candidate).map(|i| {
+                    if u.relevant[i] {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                })
             })
             .unwrap_or(0.0)
     }

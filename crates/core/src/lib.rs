@@ -24,12 +24,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod pipeline;
-pub mod sem;
 pub mod analysis;
-pub mod nprec;
-pub mod sampling;
 pub mod eval;
+pub mod nprec;
+pub mod pipeline;
+pub mod sampling;
+pub mod sem;
 
 pub use nprec::{NpRecConfig, NpRecModel};
 pub use pipeline::{PipelineConfig, TextPipeline};

@@ -87,11 +87,9 @@ impl TextPipeline {
     /// function-tagged abstracts (the corpus gold tags play the role of
     /// PubMedRCT's annotations).
     pub fn fit(corpus: &Corpus, config: PipelineConfig) -> Self {
-        let token_lists: Vec<Vec<String>> =
-            corpus.papers.iter().map(|p| p.all_tokens()).collect();
+        let token_lists: Vec<Vec<String>> = corpus.papers.iter().map(|p| p.all_tokens()).collect();
         let vocab = Vocab::build(token_lists.iter().map(|t| t.as_slice()), 2);
-        let sequences: Vec<Vec<usize>> =
-            token_lists.iter().map(|t| vocab.encode(t)).collect();
+        let sequences: Vec<Vec<usize>> = token_lists.iter().map(|t| vocab.encode(t)).collect();
         let embeddings = SkipGram::train(
             &vocab,
             &sequences,
@@ -113,11 +111,7 @@ impl TextPipeline {
             .map(|p| {
                 let toks = p.sentence_tokens();
                 let n = toks.len();
-                let feats = toks
-                    .iter()
-                    .enumerate()
-                    .map(|(i, t)| crf_features(t, i, n))
-                    .collect();
+                let feats = toks.iter().enumerate().map(|(i, t)| crf_features(t, i, n)).collect();
                 let labels = p.sentence_labels().iter().map(|l| l.index()).collect();
                 (feats, labels)
             })
@@ -173,16 +167,9 @@ impl TextPipeline {
     pub fn label_paper(&self, paper: &Paper) -> Vec<Subspace> {
         let toks = paper.sentence_tokens();
         let n = toks.len();
-        let feats: Vec<Vec<usize>> = toks
-            .iter()
-            .enumerate()
-            .map(|(i, t)| crf_features(t, i, n))
-            .collect();
-        self.crf
-            .decode(&feats)
-            .into_iter()
-            .map(Subspace::from_index)
-            .collect()
+        let feats: Vec<Vec<usize>> =
+            toks.iter().enumerate().map(|(i, t)| crf_features(t, i, n)).collect();
+        self.crf.decode(&feats).into_iter().map(Subspace::from_index).collect()
     }
 
     /// Predicted labels for every paper of a corpus.
@@ -192,11 +179,8 @@ impl TextPipeline {
 
     /// Sentence vectors `H = h_1..h_n` for one paper.
     pub fn encode_paper(&self, paper: &Paper) -> Vec<Vec<f32>> {
-        let token_ids: Vec<Vec<usize>> = paper
-            .sentence_tokens()
-            .iter()
-            .map(|t| self.vocab.encode(t))
-            .collect();
+        let token_ids: Vec<Vec<usize>> =
+            paper.sentence_tokens().iter().map(|t| self.vocab.encode(t)).collect();
         self.encoder.encode_abstract(&self.embeddings, &token_ids)
     }
 

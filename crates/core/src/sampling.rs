@@ -76,30 +76,52 @@ pub fn build_training_pairs(
         for &q in &p.references {
             pairs.push(TrainPair { p: p.id, q, label: 1.0 });
             let q_year = corpus.paper(q).year;
+            let accepts = |cand: PaperId| {
+                if cand == p.id || p.references.contains(&cand) {
+                    return false;
+                }
+                // age-match negatives to the positive so publication year
+                // itself cannot separate the classes
+                if corpus.paper(cand).year.abs_diff(q_year) > 2 {
+                    return false;
+                }
+                match strategy {
+                    NegativeStrategy::Random => true,
+                    NegativeStrategy::Defuzzed { threshold } => {
+                        let f = scorer.normalized(p.id, cand);
+                        (0..NUM_SUBSPACES).all(|k| f.fused(k, &fusion_weights[k]) > threshold)
+                    }
+                }
+            };
             let mut found = 0usize;
             let mut tries = 0usize;
             while found < neg_per_pos && tries < neg_per_pos * 30 {
                 tries += 1;
                 let cand = era[rng.gen_range(0..era.len())];
-                if cand == p.id || p.references.contains(&cand) {
-                    continue;
-                }
-                // age-match negatives to the positive so publication year
-                // itself cannot separate the classes
-                if corpus.paper(cand).year.abs_diff(q_year) > 2 {
-                    continue;
-                }
-                let ok = match strategy {
-                    NegativeStrategy::Random => true,
-                    NegativeStrategy::Defuzzed { threshold } => {
-                        let f = scorer.normalized(p.id, cand);
-                        (0..NUM_SUBSPACES)
-                            .all(|k| f.fused(k, &fusion_weights[k]) > threshold)
-                    }
-                };
-                if ok {
+                if accepts(cand) {
                     pairs.push(TrainPair { p: p.id, q: cand, label: 0.0 });
                     found += 1;
+                }
+            }
+            if found < neg_per_pos {
+                // Rejection sampling can exhaust its try budget when the
+                // age-matched pool for this positive is small; finish with a
+                // deterministic sweep of the era pool so every positive gets
+                // its full complement of negatives whenever one exists. The
+                // start offset is hashed from the pair, not drawn from `rng`,
+                // so the RNG stream is identical whether or not the sweep
+                // runs.
+                let start = (p.id.index().wrapping_mul(31)).wrapping_add(q.index().wrapping_mul(7))
+                    % era.len();
+                for off in 0..era.len() {
+                    if found >= neg_per_pos {
+                        break;
+                    }
+                    let cand = era[(start + off) % era.len()];
+                    if accepts(cand) {
+                        pairs.push(TrainPair { p: p.id, q: cand, label: 0.0 });
+                        found += 1;
+                    }
                 }
             }
         }
@@ -195,21 +217,14 @@ mod tests {
         // every accepted negative clears the threshold in all subspaces
         for pr in defuzzed.iter().filter(|p| p.label == 0.0) {
             let f = scorer.normalized(pr.p, pr.q);
-            for k in 0..NUM_SUBSPACES {
-                assert!(f.fused(k, &w[k]) > 0.0, "fuzzy pair slipped through");
+            for (k, wk) in w.iter().enumerate() {
+                assert!(f.fused(k, wk) > 0.0, "fuzzy pair slipped through");
             }
         }
         // and the filter actually rejects something: mean fused difference of
         // defuzzed negatives exceeds that of random negatives
-        let random = build_training_pairs(
-            &corpus,
-            &scorer,
-            &w,
-            2014,
-            2,
-            NegativeStrategy::Random,
-            1,
-        );
+        let random =
+            build_training_pairs(&corpus, &scorer, &w, 2014, 2, NegativeStrategy::Random, 1);
         let mean_fused = |pairs: &[TrainPair]| {
             let negs: Vec<f64> = pairs
                 .iter()
@@ -228,8 +243,24 @@ mod tests {
         let labels = pipe.label_corpus(&corpus);
         let scorer =
             RuleScorer::new(&corpus, &pipe.vocab, &pipe.embeddings, &pipe.encoder, &labels);
-        let a = build_training_pairs(&corpus, &scorer, &weights(), 2014, 1, NegativeStrategy::Random, 7);
-        let b = build_training_pairs(&corpus, &scorer, &weights(), 2014, 1, NegativeStrategy::Random, 7);
+        let a = build_training_pairs(
+            &corpus,
+            &scorer,
+            &weights(),
+            2014,
+            1,
+            NegativeStrategy::Random,
+            7,
+        );
+        let b = build_training_pairs(
+            &corpus,
+            &scorer,
+            &weights(),
+            2014,
+            1,
+            NegativeStrategy::Random,
+            7,
+        );
         assert_eq!(a, b);
     }
 }

@@ -14,16 +14,40 @@ use crate::ids::{Subspace, NUM_SUBSPACES};
 pub fn cue_words(subspace: Subspace) -> &'static [&'static str] {
     match subspace {
         Subspace::Background => &[
-            "problem", "existing", "prior", "challenge", "motivation", "recent", "however",
-            "important", "literature", "growing",
+            "problem",
+            "existing",
+            "prior",
+            "challenge",
+            "motivation",
+            "recent",
+            "however",
+            "important",
+            "literature",
+            "growing",
         ],
         Subspace::Method => &[
-            "propose", "method", "approach", "algorithm", "model", "framework", "design",
-            "introduce", "technique", "formulate",
+            "propose",
+            "method",
+            "approach",
+            "algorithm",
+            "model",
+            "framework",
+            "design",
+            "introduce",
+            "technique",
+            "formulate",
         ],
         Subspace::Result => &[
-            "experiments", "results", "show", "improve", "outperform", "evaluation",
-            "accuracy", "demonstrate", "significant", "achieve",
+            "experiments",
+            "results",
+            "show",
+            "improve",
+            "outperform",
+            "evaluation",
+            "accuracy",
+            "demonstrate",
+            "significant",
+            "achieve",
         ],
     }
 }
@@ -32,8 +56,8 @@ pub fn cue_words(subspace: Subspace) -> &'static [&'static str] {
 pub const FILLER: &[&str] = &["the", "of", "for", "with", "based", "on", "and", "in", "a"];
 
 const SYLLABLES: &[&str] = &[
-    "ra", "ne", "ti", "lo", "ka", "mi", "su", "ve", "do", "pa", "zi", "bu", "fe", "go", "hy",
-    "qu", "sta", "cro", "plex", "tron",
+    "ra", "ne", "ti", "lo", "ka", "mi", "su", "ve", "do", "pa", "zi", "bu", "fe", "go", "hy", "qu",
+    "sta", "cro", "plex", "tron",
 ];
 
 /// A scientific discipline: its citation economics and vocabulary generator.
@@ -143,10 +167,7 @@ mod tests {
         // different disciplines never share words (stems differ)
         assert_ne!(cs.topic_word(0, Subspace::Method, 0), med.topic_word(0, Subspace::Method, 0));
         // topic vs frontier pools differ
-        assert_ne!(
-            cs.topic_word(0, Subspace::Method, 0),
-            cs.frontier_word(Subspace::Method, 0)
-        );
+        assert_ne!(cs.topic_word(0, Subspace::Method, 0), cs.frontier_word(Subspace::Method, 0));
         // indices differ
         assert_ne!(cs.topic_word(0, Subspace::Method, 0), cs.topic_word(0, Subspace::Method, 1));
     }

@@ -202,10 +202,8 @@ impl Corpus {
             let venue = if config.venues_per_discipline > 0 {
                 let lo = discipline_idx * config.venues_per_discipline;
                 let hi = lo + config.venues_per_discipline;
-                let team_auth = team
-                    .iter()
-                    .map(|a| authors[a.index()].authority)
-                    .fold(0.0f32, f32::max);
+                let team_auth =
+                    team.iter().map(|a| authors[a.index()].authority).fold(0.0f32, f32::max);
                 let scored: Vec<(usize, f32)> = (lo..hi)
                     .map(|v| {
                         let s = -(venues[v].prestige - team_auth).abs() + rng.gen::<f32>() * 0.5;
@@ -241,14 +239,10 @@ impl Corpus {
             // sampling) and a *recognised* part (venue prestige and author
             // authority, visible the day a paper appears).
             let w = prof.citation_weights;
-            let innov_score: f64 = (0..NUM_SUBSPACES)
-                .map(|k| w[k] * innovation[k] as f64)
-                .sum();
+            let innov_score: f64 = (0..NUM_SUBSPACES).map(|k| w[k] * innovation[k] as f64).sum();
             let prestige = venue.map(|v| venues[v.index()].prestige).unwrap_or(0.5) as f64;
-            let authority = team
-                .iter()
-                .map(|a| authors[a.index()].authority)
-                .fold(0.0f32, f32::max) as f64;
+            let authority =
+                team.iter().map(|a| authors[a.index()].authority).fold(0.0f32, f32::max) as f64;
             innov_part[i] = (innov_score * 2.0).exp();
             recognized[i] = (0.5 + prestige) * (0.5 + authority);
             quality[i] = innov_part[i] * recognized[i];
@@ -299,9 +293,8 @@ impl Corpus {
         // ground-truth citations: in-graph citations plus external Poisson
         for i in 0..config.n_papers {
             let lambda = config.citation_base * quality[i];
-            let external = Poisson::new(lambda.max(1e-9))
-                .expect("positive lambda")
-                .sample(&mut rng) as u32;
+            let external =
+                Poisson::new(lambda.max(1e-9)).expect("positive lambda").sample(&mut rng) as u32;
             papers[i].citations_received = in_degree[i] + external;
         }
 
@@ -325,11 +318,7 @@ impl Corpus {
 
     /// Ids of papers published in `[from, to]` inclusive.
     pub fn papers_in_years(&self, from: u16, to: u16) -> Vec<PaperId> {
-        self.papers
-            .iter()
-            .filter(|p| (from..=to).contains(&p.year))
-            .map(|p| p.id)
-            .collect()
+        self.papers.iter().filter(|p| (from..=to).contains(&p.year)).map(|p| p.id).collect()
     }
 
     /// The discipline profile of a paper.
@@ -397,11 +386,8 @@ impl Corpus {
 
     /// Dataset statistics in the shape of the paper's Tab. III.
     pub fn stats(&self) -> CorpusStats {
-        let mut keywords: Vec<&str> = self
-            .papers
-            .iter()
-            .flat_map(|p| p.keywords.iter().map(String::as_str))
-            .collect();
+        let mut keywords: Vec<&str> =
+            self.papers.iter().flat_map(|p| p.keywords.iter().map(String::as_str)).collect();
         keywords.sort_unstable();
         keywords.dedup();
         let authors_with_papers = self.authors.iter().filter(|a| !a.papers.is_empty()).count();
@@ -472,7 +458,15 @@ fn gen_abstract(
             } else {
                 Subspace::Result
             };
-            let text = gen_sentence(prof, topic, label, innovation[label.index()], paper_idx, topic_pool, rng);
+            let text = gen_sentence(
+                prof,
+                topic,
+                label,
+                innovation[label.index()],
+                paper_idx,
+                topic_pool,
+                rng,
+            );
             Sentence { text, label }
         })
         .collect()
@@ -556,8 +550,7 @@ fn sample_references(
             topic
         } else if roll < 0.9 {
             // same discipline, another topic
-            discipline_idx * topics_per_discipline
-                + rng.gen_range(0..topics_per_discipline)
+            discipline_idx * topics_per_discipline + rng.gen_range(0..topics_per_discipline)
         } else {
             rng.gen_range(0..n_topics)
         };
@@ -578,9 +571,7 @@ fn sample_references(
                 let score = |p: usize| {
                     let age = citing_year.saturating_sub(years[p]) as f64;
                     let damp = (age / 3.0).min(1.0);
-                    (1.0 + in_degree[p] as f64)
-                        * recognized[p]
-                        * innov_part[p].powf(damp)
+                    (1.0 + in_degree[p] as f64) * recognized[p] * innov_part[p].powf(damp)
                 };
                 score(a).total_cmp(&score(b))
             })
@@ -598,11 +589,7 @@ mod tests {
     use super::*;
 
     fn small_corpus() -> Corpus {
-        Corpus::generate(CorpusConfig {
-            n_papers: 300,
-            n_authors: 120,
-            ..Default::default()
-        })
+        Corpus::generate(CorpusConfig { n_papers: 300, n_authors: 120, ..Default::default() })
     }
 
     #[test]
@@ -637,9 +624,8 @@ mod tests {
             }
         }
         let total_refs: usize = c.papers.iter().map(|p| p.references.len()).sum();
-        let total_cites: usize = (0..c.papers.len())
-            .map(|i| c.cited_by(PaperId::from(i)).len())
-            .sum();
+        let total_cites: usize =
+            (0..c.papers.len()).map(|i| c.cited_by(PaperId::from(i)).len()).sum();
         assert_eq!(total_refs, total_cites);
     }
 
@@ -664,17 +650,11 @@ mod tests {
     fn citations_correlate_with_planted_innovation() {
         // the core planted signal: discipline-weighted innovation must
         // correlate with ground-truth citations
-        let c = Corpus::generate(CorpusConfig {
-            n_papers: 800,
-            n_authors: 200,
-            ..Default::default()
-        });
+        let c =
+            Corpus::generate(CorpusConfig { n_papers: 800, n_authors: 200, ..Default::default() });
         let w = c.config.disciplines[0].citation_weights;
-        let score: Vec<f64> = c
-            .papers
-            .iter()
-            .map(|p| (0..3).map(|k| w[k] * p.innovation[k] as f64).sum())
-            .collect();
+        let score: Vec<f64> =
+            c.papers.iter().map(|p| (0..3).map(|k| w[k] * p.innovation[k] as f64).sum()).collect();
         let cites: Vec<f64> = c.papers.iter().map(|p| p.citations_received as f64).collect();
         let rho = sem_stats::spearman(&score, &cites);
         assert!(rho > 0.45, "innovation/citation correlation too weak: {rho}");
@@ -802,7 +782,8 @@ mod tests {
 
     #[test]
     fn json_roundtrip_preserves_everything() {
-        let a = Corpus::generate(CorpusConfig { n_papers: 80, n_authors: 40, ..Default::default() });
+        let a =
+            Corpus::generate(CorpusConfig { n_papers: 80, n_authors: 40, ..Default::default() });
         let json = a.to_json();
         let b = Corpus::from_json(&json).unwrap();
         assert_eq!(a.papers.len(), b.papers.len());
@@ -824,7 +805,8 @@ mod tests {
     #[test]
     fn from_json_rejects_garbage_and_inconsistency() {
         assert!(Corpus::from_json("nope").is_err());
-        let a = Corpus::generate(CorpusConfig { n_papers: 20, n_authors: 10, ..Default::default() });
+        let a =
+            Corpus::generate(CorpusConfig { n_papers: 20, n_authors: 10, ..Default::default() });
         // corrupt a reference to a dangling id
         let mut json = a.to_json();
         json = json.replacen("\"references\":[", "\"references\":[999999,", 1);

@@ -29,15 +29,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod ids;
-pub mod tree;
 pub mod discipline;
-pub mod paper;
 pub mod generator;
+mod ids;
+pub mod paper;
 pub mod presets;
+pub mod tree;
 
 pub use discipline::DisciplineProfile;
 pub use generator::{Corpus, CorpusConfig};
 pub use ids::{AuthorId, PaperId, Subspace, VenueId, NUM_SUBSPACES};
-pub use paper::{Author, Paper, Venue};
+pub use paper::{Author, Paper, Sentence, Venue};
 pub use tree::CategoryTree;

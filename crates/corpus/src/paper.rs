@@ -56,10 +56,7 @@ impl Paper {
 
     /// All abstract tokens flattened.
     pub fn all_tokens(&self) -> Vec<String> {
-        self.sentences
-            .iter()
-            .flat_map(|s| s.text.split_whitespace().map(str::to_owned))
-            .collect()
+        self.sentences.iter().flat_map(|s| s.text.split_whitespace().map(str::to_owned)).collect()
     }
 
     /// Gold labels per sentence.

@@ -27,7 +27,8 @@ impl CategoryTree {
     pub fn build(branching: &[usize]) -> Self {
         assert!(!branching.is_empty(), "tree needs at least one level");
         assert!(branching.iter().all(|&b| b > 0), "zero branching factor");
-        let mut nodes = vec![Node { parent: None, level: 0, name: "root".into(), children: Vec::new() }];
+        let mut nodes =
+            vec![Node { parent: None, level: 0, name: "root".into(), children: Vec::new() }];
         let mut frontier = vec![0usize];
         for (level, &b) in branching.iter().enumerate() {
             let mut next = Vec::new();
@@ -35,7 +36,12 @@ impl CategoryTree {
                 for c in 0..b {
                     let id = nodes.len();
                     let name = format!("{}.{}", nodes[parent].name, c);
-                    nodes.push(Node { parent: Some(parent), level: level + 1, name, children: Vec::new() });
+                    nodes.push(Node {
+                        parent: Some(parent),
+                        level: level + 1,
+                        name,
+                        children: Vec::new(),
+                    });
                     nodes[parent].children.push(id);
                     next.push(id);
                 }

@@ -184,10 +184,11 @@ impl HeteroGraph {
         };
 
         let mut two_way: Vec<Vec<(NodeId, Relation)>> = vec![Vec::new(); n_nodes];
-        let add_sym = |a: NodeId, b: NodeId, rel: Relation, tw: &mut Vec<Vec<(NodeId, Relation)>>| {
-            tw[a.index()].push((b, rel));
-            tw[b.index()].push((a, rel));
-        };
+        let add_sym =
+            |a: NodeId, b: NodeId, rel: Relation, tw: &mut Vec<Vec<(NodeId, Relation)>>| {
+                tw[a.index()].push((b, rel));
+                tw[b.index()].push((a, rel));
+            };
 
         let mut cites: Vec<Vec<NodeId>> = vec![Vec::new(); n_papers];
         let mut cited_by: Vec<Vec<NodeId>> = vec![Vec::new(); n_papers];
@@ -195,22 +196,36 @@ impl HeteroGraph {
         for p in &corpus.papers {
             let pn = node(EntityKind::Paper, p.id.index());
             if let Some(v) = p.venue {
-                add_sym(pn, node(EntityKind::Venue, v.index()), Relation::PublishedIn, &mut two_way);
+                add_sym(
+                    pn,
+                    node(EntityKind::Venue, v.index()),
+                    Relation::PublishedIn,
+                    &mut two_way,
+                );
             }
             for a in &p.authors {
                 add_sym(pn, node(EntityKind::Author, a.index()), Relation::Written, &mut two_way);
             }
             add_sym(pn, node(EntityKind::Year, year_ids[&p.year]), Relation::YearIs, &mut two_way);
             for k in &p.keywords {
-                add_sym(pn, node(EntityKind::Keyword, keyword_ids[k]), Relation::HasKeyword, &mut two_way);
+                add_sym(
+                    pn,
+                    node(EntityKind::Keyword, keyword_ids[k]),
+                    Relation::HasKeyword,
+                    &mut two_way,
+                );
             }
             if let Some(c) = p.category {
-                add_sym(pn, node(EntityKind::Class, class_ids[&c]), Relation::ClassIs, &mut two_way);
+                add_sym(
+                    pn,
+                    node(EntityKind::Class, class_ids[&c]),
+                    Relation::ClassIs,
+                    &mut two_way,
+                );
             }
             for r in &p.references {
-                let visible = citation_year_cutoff
-                    .map(|y| corpus.paper(*r).year <= y)
-                    .unwrap_or(true);
+                let visible =
+                    citation_year_cutoff.map(|y| corpus.paper(*r).year <= y).unwrap_or(true);
                 if visible {
                     let rn = node(EntityKind::Paper, r.index());
                     cites[p.id.index()].push(rn);
@@ -357,11 +372,8 @@ mod tests {
     use sem_corpus::{Corpus, CorpusConfig};
 
     fn fixture() -> (Corpus, HeteroGraph) {
-        let corpus = Corpus::generate(CorpusConfig {
-            n_papers: 150,
-            n_authors: 60,
-            ..Default::default()
-        });
+        let corpus =
+            Corpus::generate(CorpusConfig { n_papers: 150, n_authors: 60, ..Default::default() });
         let graph = HeteroGraph::from_corpus(&corpus, None);
         (corpus, graph)
     }
@@ -453,11 +465,8 @@ mod tests {
 
     #[test]
     fn citation_cutoff_hides_only_future_cited_papers() {
-        let corpus = Corpus::generate(CorpusConfig {
-            n_papers: 200,
-            n_authors: 80,
-            ..Default::default()
-        });
+        let corpus =
+            Corpus::generate(CorpusConfig { n_papers: 200, n_authors: 80, ..Default::default() });
         let cutoff = 2013;
         let g = HeteroGraph::from_corpus(&corpus, Some(cutoff));
         for p in &corpus.papers {

@@ -205,7 +205,10 @@ impl AttentionPool {
     ) -> Self {
         let w = store.add(format!("{name}.w"), Tensor::glorot(dim, attn_dim, rng));
         let b = store.add(format!("{name}.b"), Tensor::zeros(Shape::Vector(attn_dim)));
-        let u = store.add(format!("{name}.u"), Tensor::glorot(attn_dim, 1, rng).reshape(Shape::Vector(attn_dim)));
+        let u = store.add(
+            format!("{name}.u"),
+            Tensor::glorot(attn_dim, 1, rng).reshape(Shape::Vector(attn_dim)),
+        );
         AttentionPool { w, b, u, dim, attn_dim }
     }
 

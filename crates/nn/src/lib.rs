@@ -30,10 +30,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod param;
 mod layers;
-mod optim;
 pub mod losses;
+mod optim;
+mod param;
 
 pub use layers::{Activation, AttentionPool, Embedding, Linear, Mlp};
 pub use optim::{Adam, Optimizer, Sgd};

@@ -12,7 +12,12 @@ use sem_tensor::{Tape, Tensor, TensorId};
 /// This is the paper's Eq. 14 written unambiguously: `larger` is the
 /// embedding distance of the pair with the *larger* expert-rule difference,
 /// which training should push above `smaller` by at least `margin`.
-pub fn margin_ranking(tape: &mut Tape, larger: TensorId, smaller: TensorId, margin: f32) -> TensorId {
+pub fn margin_ranking(
+    tape: &mut Tape,
+    larger: TensorId,
+    smaller: TensorId,
+    margin: f32,
+) -> TensorId {
     let diff = tape.sub(smaller, larger);
     let m = tape.leaf(Tensor::scalar(margin));
     let shifted = tape.add(diff, m);

@@ -2,8 +2,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 use sem_tensor::{Shape, Tape, Tensor, TensorId};
+use serde::{Deserialize, Serialize};
 
 /// Handle to a parameter inside a [`ParamStore`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
@@ -36,10 +36,7 @@ impl ParamStore {
     /// Panics when `name` is already taken (names key serialization).
     pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
         let name = name.into();
-        assert!(
-            self.params.iter().all(|p| p.name != name),
-            "duplicate parameter name {name:?}"
-        );
+        assert!(self.params.iter().all(|p| p.name != name), "duplicate parameter name {name:?}");
         self.params.push(Param { name, value });
         ParamId(self.params.len() - 1)
     }
@@ -82,10 +79,7 @@ impl ParamStore {
 
     /// Squared L2 norm of all parameters — the regularization term `‖θ‖²`.
     pub fn sq_norm(&self) -> f32 {
-        self.params
-            .iter()
-            .map(|p| p.value.data().iter().map(|v| v * v).sum::<f32>())
-            .sum()
+        self.params.iter().map(|p| p.value.data().iter().map(|v| v * v).sum::<f32>()).sum()
     }
 
     /// Iterator over all parameter handles.
@@ -232,11 +226,8 @@ impl<'a> Session<'a> {
 
     /// Collects parameter gradients after `tape.backward(loss)`.
     pub fn grads(&self) -> Gradients {
-        let by_param = self
-            .bound
-            .iter()
-            .map(|slot| slot.and_then(|tid| self.tape.grad(tid)))
-            .collect();
+        let by_param =
+            self.bound.iter().map(|slot| slot.and_then(|tid| self.tape.grad(tid))).collect();
         Gradients { by_param }
     }
 }

@@ -19,9 +19,7 @@ pub fn category_score(tree: &CategoryTree, p: Option<usize>, q: Option<usize>) -
         (Some(a), Some(b)) => {
             let ra: HashSet<usize> = tree.path_from_root(a).into_iter().collect();
             let rb: HashSet<usize> = tree.path_from_root(b).into_iter().collect();
-            ra.symmetric_difference(&rb)
-                .map(|&n| node_weight(tree, n))
-                .sum()
+            ra.symmetric_difference(&rb).map(|&n| node_weight(tree, n)).sum()
         }
     }
 }
@@ -31,10 +29,7 @@ fn node_weight(tree: &CategoryTree, node: usize) -> f64 {
 }
 
 fn path_weight(tree: &CategoryTree, node: usize) -> f64 {
-    tree.path_from_root(node)
-        .into_iter()
-        .map(|n| node_weight(tree, n))
-        .sum()
+    tree.path_from_root(node).into_iter().map(|n| node_weight(tree, n)).sum()
 }
 
 /// `f_r(p, q)` (Eq. 2): the reciprocal Jaccard coefficient of the reference
@@ -62,9 +57,7 @@ pub fn keyword_score(
     p_keywords: &[String],
     q_keywords: &[String],
 ) -> f64 {
-    let ids = |ks: &[String]| -> Vec<usize> {
-        ks.iter().filter_map(|k| vocab.id(k)).collect()
-    };
+    let ids = |ks: &[String]| -> Vec<usize> { ks.iter().filter_map(|k| vocab.id(k)).collect() };
     let pa = ids(p_keywords);
     let qa = ids(q_keywords);
     if pa.is_empty() || qa.is_empty() {
@@ -153,7 +146,8 @@ mod tests {
         }
         let v = Vocab::build(sents.iter().map(|s| s.as_slice()), 1);
         let ids: Vec<Vec<usize>> = sents.iter().map(|s| v.encode(s)).collect();
-        let sg = SkipGram::train(&v, &ids, &SkipGramConfig { dim: 8, epochs: 4, ..Default::default() });
+        let sg =
+            SkipGram::train(&v, &ids, &SkipGramConfig { dim: 8, epochs: 4, ..Default::default() });
         (v, sg)
     }
 

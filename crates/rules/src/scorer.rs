@@ -60,12 +60,14 @@ impl<'a> RuleScorer<'a> {
             .iter()
             .zip(labels)
             .map(|(paper, labs)| {
-                assert_eq!(labs.len(), paper.sentences.len(), "label count for paper {:?}", paper.id);
-                let token_ids: Vec<Vec<usize>> = paper
-                    .sentence_tokens()
-                    .iter()
-                    .map(|toks| vocab.encode(toks))
-                    .collect();
+                assert_eq!(
+                    labs.len(),
+                    paper.sentences.len(),
+                    "label count for paper {:?}",
+                    paper.id
+                );
+                let token_ids: Vec<Vec<usize>> =
+                    paper.sentence_tokens().iter().map(|toks| vocab.encode(toks)).collect();
                 let h = encoder.encode_abstract(embeddings, &token_ids);
                 pool_by_label(&h, labs, dim)
             })
@@ -120,11 +122,7 @@ impl<'a> RuleScorer<'a> {
         if a.iter().all(|&v| v == 0.0) || b.iter().all(|&v| v == 0.0) {
             return 0.0;
         }
-        a.iter()
-            .zip(b)
-            .map(|(x, y)| (f64::from(*x) - f64::from(*y)).powi(2))
-            .sum::<f64>()
-            .sqrt()
+        a.iter().zip(b).map(|(x, y)| (f64::from(*x) - f64::from(*y)).powi(2)).sum::<f64>().sqrt()
     }
 
     /// Raw rule features for a pair.
@@ -143,10 +141,9 @@ impl<'a> RuleScorer<'a> {
     pub fn normalized(&self, p: PaperId, q: PaperId) -> PairFeatures {
         let raw = self.features(p, q);
         let mut out = [[0.0; NUM_RULES]; NUM_SUBSPACES];
-        for k in 0..NUM_SUBSPACES {
-            for i in 0..NUM_RULES {
-                let (m, s) = self.norm[k][i];
-                out[k][i] = (raw.0[k][i] - m) / s;
+        for (out_k, (raw_k, norm_k)) in out.iter_mut().zip(raw.0.iter().zip(&self.norm)) {
+            for (o, (&r, &(m, s))) in out_k.iter_mut().zip(raw_k.iter().zip(norm_k)) {
+                *o = (r - m) / s;
             }
         }
         PairFeatures(out)
@@ -172,26 +169,25 @@ impl<'a> RuleScorer<'a> {
                 q = PaperId::from((p.index() + 1) % n);
             }
             let f = self.features(p, q);
-            for k in 0..NUM_SUBSPACES {
-                for i in 0..NUM_RULES {
-                    acc[k][i].0 += f.0[k][i];
-                    acc[k][i].1 += f.0[k][i] * f.0[k][i];
+            for (acc_k, f_k) in acc.iter_mut().zip(&f.0) {
+                for (a, &v) in acc_k.iter_mut().zip(f_k) {
+                    a.0 += v;
+                    a.1 += v * v;
                 }
             }
         }
-        for k in 0..NUM_SUBSPACES {
-            for i in 0..NUM_RULES {
-                let mean = acc[k][i].0 / samples as f64;
-                let var = (acc[k][i].1 / samples as f64 - mean * mean).max(1e-12);
-                self.norm[k][i] = (mean, var.sqrt());
+        for (norm_k, acc_k) in self.norm.iter_mut().zip(&acc) {
+            for (nrm, &(sum, sum_sq)) in norm_k.iter_mut().zip(acc_k) {
+                let mean = sum / samples as f64;
+                let var = (sum_sq / samples as f64 - mean * mean).max(1e-12);
+                *nrm = (mean, var.sqrt());
             }
         }
     }
 }
 
 fn pool_by_label(h: &[Vec<f32>], labels: &[Subspace], dim: usize) -> [Vec<f32>; NUM_SUBSPACES] {
-    let mut out: [Vec<f32>; NUM_SUBSPACES] =
-        [vec![0.0; dim], vec![0.0; dim], vec![0.0; dim]];
+    let mut out: [Vec<f32>; NUM_SUBSPACES] = [vec![0.0; dim], vec![0.0; dim], vec![0.0; dim]];
     let mut counts = [0usize; NUM_SUBSPACES];
     for (vec, lab) in h.iter().zip(labels) {
         let k = lab.index();
@@ -220,16 +216,16 @@ mod tests {
     fn fixture() -> (Corpus, Vocab, SkipGram, SentenceEncoder) {
         // 300 papers: below that the skip-gram corpus is too sparse for
         // keyword embeddings to separate topics (the f_w assertion)
-        let corpus = Corpus::generate(CorpusConfig {
-            n_papers: 300,
-            n_authors: 100,
-            ..Default::default()
-        });
-        let token_lists: Vec<Vec<String>> =
-            corpus.papers.iter().map(|p| p.all_tokens()).collect();
+        let corpus =
+            Corpus::generate(CorpusConfig { n_papers: 300, n_authors: 100, ..Default::default() });
+        let token_lists: Vec<Vec<String>> = corpus.papers.iter().map(|p| p.all_tokens()).collect();
         let vocab = Vocab::build(token_lists.iter().map(|t| t.as_slice()), 1);
         let seqs: Vec<Vec<usize>> = token_lists.iter().map(|t| vocab.encode(t)).collect();
-        let sg = SkipGram::train(&vocab, &seqs, &SkipGramConfig { dim: 16, epochs: 6, ..Default::default() });
+        let sg = SkipGram::train(
+            &vocab,
+            &seqs,
+            &SkipGramConfig { dim: 16, epochs: 6, ..Default::default() },
+        );
         let enc = SentenceEncoder::new(&vocab, 16, 24, 1);
         (corpus, vocab, sg, enc)
     }
@@ -314,8 +310,8 @@ mod tests {
             let p = PaperId::from(i);
             let q = PaperId::from((i + 37) % corpus.papers.len());
             let f = scorer.normalized(p, q);
-            for r in 0..NUM_RULES {
-                sums[r] += f.0[0][r];
+            for (s, &v) in sums.iter_mut().zip(&f.0[0]) {
+                *s += v;
             }
         }
         for (r, s) in sums.iter().enumerate() {

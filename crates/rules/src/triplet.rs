@@ -85,10 +85,7 @@ pub fn margin_balance(triplets: &[Triplet], weights: &[f64; NUM_RULES]) -> [f64;
         return out;
     }
     for (k, o) in out.iter_mut().enumerate() {
-        *o = triplets
-            .iter()
-            .filter(|t| t.fused_margin(k, weights) > 0.0)
-            .count() as f64
+        *o = triplets.iter().filter(|t| t.fused_margin(k, weights) > 0.0).count() as f64
             / triplets.len() as f64;
     }
     out
@@ -102,16 +99,16 @@ mod tests {
     use sem_text::{SentenceEncoder, SkipGram, Vocab};
 
     fn fixture() -> (Corpus, Vocab, SkipGram, SentenceEncoder) {
-        let corpus = Corpus::generate(CorpusConfig {
-            n_papers: 80,
-            n_authors: 40,
-            ..Default::default()
-        });
-        let token_lists: Vec<Vec<String>> =
-            corpus.papers.iter().map(|p| p.all_tokens()).collect();
+        let corpus =
+            Corpus::generate(CorpusConfig { n_papers: 80, n_authors: 40, ..Default::default() });
+        let token_lists: Vec<Vec<String>> = corpus.papers.iter().map(|p| p.all_tokens()).collect();
         let vocab = Vocab::build(token_lists.iter().map(|t| t.as_slice()), 1);
         let seqs: Vec<Vec<usize>> = token_lists.iter().map(|t| vocab.encode(t)).collect();
-        let sg = SkipGram::train(&vocab, &seqs, &SkipGramConfig { dim: 12, epochs: 2, ..Default::default() });
+        let sg = SkipGram::train(
+            &vocab,
+            &seqs,
+            &SkipGramConfig { dim: 12, epochs: 2, ..Default::default() },
+        );
         let enc = SentenceEncoder::new(&vocab, 12, 16, 1);
         (corpus, vocab, sg, enc)
     }
@@ -151,13 +148,8 @@ mod tests {
         let mut sampler = TripletSampler::new(corpus.papers.len(), 9);
         let t = sampler.sample(&scorer);
         let w = uniform_weights();
-        let swapped = Triplet {
-            p: t.p,
-            q: t.q_prime,
-            q_prime: t.q,
-            fq: t.fq_prime,
-            fq_prime: t.fq,
-        };
+        let swapped =
+            Triplet { p: t.p, q: t.q_prime, q_prime: t.q, fq: t.fq_prime, fq_prime: t.fq };
         for k in 0..NUM_SUBSPACES {
             assert!((t.fused_margin(k, &w) + swapped.fused_margin(k, &w)).abs() < 1e-12);
         }

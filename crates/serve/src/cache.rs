@@ -1,0 +1,289 @@
+//! A slab-backed LRU cache for query results.
+//!
+//! Entries live in a `Vec` of optional slots threaded into a doubly-linked
+//! recency list by index (no pointer juggling, no unsafe); a `HashMap`
+//! resolves keys to slots and freed slots are recycled. All operations are
+//! O(1) except [`LruCache::retain`], which is O(n) by nature.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+struct Slot<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// Least-recently-used cache with a fixed capacity.
+pub struct LruCache<K, V> {
+    map: HashMap<K, usize>,
+    slots: Vec<Option<Slot<K, V>>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// A new cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    /// Panics when `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        LruCache {
+            map: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn slot(&self, i: usize) -> &Slot<K, V> {
+        self.slots[i].as_ref().expect("live slot")
+    }
+
+    fn slot_mut(&mut self, i: usize) -> &mut Slot<K, V> {
+        self.slots[i].as_mut().expect("live slot")
+    }
+
+    /// Unlinks slot `i` from the recency list.
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = {
+            let s = self.slot(i);
+            (s.prev, s.next)
+        };
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slot_mut(prev).next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slot_mut(next).prev = prev;
+        }
+    }
+
+    /// Links slot `i` at the head (most recent).
+    fn link_front(&mut self, i: usize) {
+        let old_head = self.head;
+        {
+            let s = self.slot_mut(i);
+            s.prev = NIL;
+            s.next = old_head;
+        }
+        if old_head != NIL {
+            self.slot_mut(old_head).prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    /// Looks up `key`, marking the entry most recently used.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let &i = self.map.get(key)?;
+        if self.head != i {
+            self.unlink(i);
+            self.link_front(i);
+        }
+        Some(&self.slot(i).value)
+    }
+
+    /// Inserts (or replaces) `key → value`; returns the evicted
+    /// least-recently-used entry when the cache was full.
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if let Some(&i) = self.map.get(&key) {
+            self.slot_mut(i).value = value;
+            if self.head != i {
+                self.unlink(i);
+                self.link_front(i);
+            }
+            return None;
+        }
+        let evicted = if self.map.len() == self.capacity {
+            let lru = self.tail;
+            self.unlink(lru);
+            let dead = self.slots[lru].take().expect("live slot");
+            self.map.remove(&dead.key);
+            self.free.push(lru);
+            Some((dead.key, dead.value))
+        } else {
+            None
+        };
+        let fresh = Slot { key: key.clone(), value, prev: NIL, next: NIL };
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = Some(fresh);
+                i
+            }
+            None => {
+                self.slots.push(Some(fresh));
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(key, i);
+        self.link_front(i);
+        evicted
+    }
+
+    /// Removes `key`, returning its value.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let i = self.map.remove(key)?;
+        self.unlink(i);
+        let dead = self.slots[i].take().expect("live slot");
+        self.free.push(i);
+        Some(dead.value)
+    }
+
+    /// Drops every entry for which `keep` returns `false`; returns how many
+    /// entries were dropped.
+    pub fn retain(&mut self, mut keep: impl FnMut(&K, &V) -> bool) -> usize {
+        let mut dropped = Vec::new();
+        let mut i = self.head;
+        while i != NIL {
+            let s = self.slot(i);
+            if !keep(&s.key, &s.value) {
+                dropped.push(i);
+            }
+            i = s.next;
+        }
+        for &i in &dropped {
+            self.unlink(i);
+            let dead = self.slots[i].take().expect("live slot");
+            self.map.remove(&dead.key);
+            self.free.push(i);
+        }
+        dropped.len()
+    }
+
+    /// Drops everything.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    /// Keys from most to least recently used (test/diagnostic helper).
+    pub fn keys_by_recency(&self) -> Vec<K> {
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut i = self.head;
+        while i != NIL {
+            let s = self.slot(i);
+            out.push(s.key.clone());
+            i = s.next;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(3);
+        assert!(c.insert(1, "a").is_none());
+        assert!(c.insert(2, "b").is_none());
+        assert!(c.insert(3, "c").is_none());
+        // touch 1 so 2 becomes LRU
+        assert_eq!(c.get(&1), Some(&"a"));
+        assert_eq!(c.insert(4, "d"), Some((2, "b")));
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.keys_by_recency(), vec![4, 1, 3]);
+    }
+
+    #[test]
+    fn replace_updates_without_evicting() {
+        let mut c = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert!(c.insert(1, 11).is_none());
+        assert_eq!(c.get(&1), Some(&11));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn remove_and_reuse_slots() {
+        let mut c = LruCache::new(2);
+        c.insert("x", 1);
+        c.insert("y", 2);
+        assert_eq!(c.remove(&"x"), Some(1));
+        assert_eq!(c.remove(&"x"), None);
+        assert_eq!(c.len(), 1);
+        c.insert("z", 3);
+        c.insert("w", 4); // evicts y
+        assert_eq!(c.get(&"y"), None);
+        assert_eq!(c.keys_by_recency(), vec!["w", "z"]);
+    }
+
+    #[test]
+    fn retain_drops_matching_entries() {
+        let mut c = LruCache::new(8);
+        for i in 0..6 {
+            c.insert(i, i * i);
+        }
+        let dropped = c.retain(|k, _| k % 2 == 0);
+        assert_eq!(dropped, 3);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(&3), None);
+        assert_eq!(c.get(&4), Some(&16));
+        // the survivors' list stays consistent: fill to capacity again
+        for i in 10..15 {
+            c.insert(i, i);
+        }
+        assert_eq!(c.len(), 8);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut c = LruCache::new(2);
+        c.insert(1, 1);
+        c.clear();
+        assert!(c.is_empty());
+        c.insert(2, 2);
+        assert_eq!(c.get(&2), Some(&2));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = LruCache::<u8, u8>::new(0);
+    }
+
+    #[test]
+    fn capacity_one_cycles() {
+        let mut c = LruCache::new(1);
+        assert!(c.insert(1, "a").is_none());
+        assert_eq!(c.insert(2, "b"), Some((1, "a")));
+        assert_eq!(c.insert(3, "c"), Some((2, "b")));
+        assert_eq!(c.get(&3), Some(&"c"));
+        assert_eq!(c.capacity(), 1);
+    }
+}

@@ -1,0 +1,195 @@
+//! Composition of the served paper vectors.
+//!
+//! A paper's index vector is the concatenation of
+//!
+//! * the SEM subspace embeddings `c_p^0 ‖ c_p^1 ‖ c_p^2` (always), and
+//! * the NPRec interest and influence representations `v⃗_p ‖ v⃖_p`
+//!   (when an NPRec model is attached).
+//!
+//! A brand-new paper at ingestion time has no node in the heterogeneous
+//! graph and no trained entity embedding, so its NPRec block is zero — the
+//! honest cold-start representation: similarity to it is carried entirely
+//! by the text path, exactly the signal the paper argues is available for a
+//! zero-citation paper.
+
+use rayon::prelude::*;
+use sem_core::nprec::{Direction, TextVecs};
+use sem_core::{NpRecModel, SemModel, TextPipeline};
+use sem_corpus::{Corpus, Paper, PaperId, NUM_SUBSPACES};
+use sem_graph::HeteroGraph;
+
+/// The network-side context needed to add NPRec blocks to index vectors.
+pub struct NpRecContext<'a> {
+    /// Trained recommendation model.
+    pub model: &'a NpRecModel,
+    /// The heterogeneous graph the model was trained on.
+    pub graph: &'a HeteroGraph,
+    /// Per-paper SEM subspace embeddings (`c_p^k`), as used in training.
+    pub text: &'a TextVecs,
+}
+
+/// Turns papers into index vectors.
+pub struct PaperEmbedder<'a> {
+    pipeline: &'a TextPipeline,
+    sem: &'a SemModel,
+    nprec: Option<NpRecContext<'a>>,
+}
+
+impl<'a> PaperEmbedder<'a> {
+    /// A text-only embedder (SEM blocks only).
+    pub fn new(pipeline: &'a TextPipeline, sem: &'a SemModel) -> Self {
+        PaperEmbedder { pipeline, sem, nprec: None }
+    }
+
+    /// Adds the NPRec interest/influence blocks.
+    pub fn with_nprec(mut self, ctx: NpRecContext<'a>) -> Self {
+        self.nprec = Some(ctx);
+        self
+    }
+
+    /// Width of produced vectors.
+    pub fn dim(&self) -> usize {
+        let text = NUM_SUBSPACES * self.sem.embed_dim();
+        let net = self.nprec.as_ref().map_or(0, |c| 2 * c.model.vec_dim());
+        text + net
+    }
+
+    /// Index vector of a corpus paper. The SEM block comes from the
+    /// precomputed `c_p^k` when an NPRec context is attached (the exact
+    /// vectors the model trained against), otherwise from a fresh forward
+    /// pass.
+    pub fn embed_indexed(&self, corpus: &Corpus, p: PaperId) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.dim());
+        match &self.nprec {
+            Some(ctx) => {
+                for k in 0..NUM_SUBSPACES {
+                    out.extend_from_slice(&ctx.text[p.index()][k]);
+                }
+                out.extend(self.paper_dir(ctx, p, Direction::Interest));
+                out.extend(self.paper_dir(ctx, p, Direction::Influence));
+            }
+            None => {
+                for c in self.sem.embed_paper(self.pipeline, corpus.paper(p)) {
+                    out.extend(c);
+                }
+            }
+        }
+        out
+    }
+
+    fn paper_dir(&self, ctx: &NpRecContext<'a>, p: PaperId, dir: Direction) -> Vec<f32> {
+        ctx.model.paper_vec(ctx.graph, Some(ctx.text), p, dir)
+    }
+
+    /// Index vector of a paper outside the corpus (ingestion path): CRF
+    /// labels + sentence encoding + SEM subspace pooling; the NPRec block
+    /// is zeroed (no graph node exists yet).
+    pub fn embed_new(&self, paper: &Paper) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.dim());
+        for c in self.sem.embed_paper(self.pipeline, paper) {
+            out.extend(c);
+        }
+        out.resize(self.dim(), 0.0);
+        out
+    }
+
+    /// Index vectors for a whole corpus, rayon-parallel, in paper order.
+    pub fn embed_corpus(&self, corpus: &Corpus) -> Vec<Vec<f32>> {
+        (0..corpus.papers.len())
+            .into_par_iter()
+            .map(|i| self.embed_indexed(corpus, PaperId::from(i)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sem_core::{NpRecConfig, PipelineConfig, SemConfig};
+    use sem_corpus::CorpusConfig;
+
+    fn small() -> (Corpus, TextPipeline, SemModel) {
+        let corpus =
+            Corpus::generate(CorpusConfig { n_papers: 60, n_authors: 25, ..Default::default() });
+        let pipeline = TextPipeline::fit(
+            &corpus,
+            PipelineConfig { word_dim: 12, sentence_dim: 16, sgns_epochs: 1, ..Default::default() },
+        );
+        // untrained weights embed fine; training is orthogonal to shape
+        let sem = SemModel::new(SemConfig { input_dim: 16, hidden: 10, ..Default::default() });
+        (corpus, pipeline, sem)
+    }
+
+    #[test]
+    fn text_only_vectors_have_declared_dim() {
+        let (corpus, pipeline, sem) = small();
+        let emb = PaperEmbedder::new(&pipeline, &sem);
+        assert_eq!(emb.dim(), NUM_SUBSPACES * sem.embed_dim());
+        let all = emb.embed_corpus(&corpus);
+        assert_eq!(all.len(), 60);
+        assert!(all.iter().all(|v| v.len() == emb.dim()));
+        assert!(all[0].iter().any(|x| *x != 0.0));
+    }
+
+    #[test]
+    fn nprec_context_appends_both_directions() {
+        let (corpus, pipeline, sem) = small();
+        let labels = pipeline.label_corpus(&corpus);
+        let text = sem.embed_corpus(&pipeline, &corpus, &labels);
+        let graph = HeteroGraph::from_corpus(&corpus, None);
+        let model = NpRecModel::new(
+            graph.n_nodes(),
+            NpRecConfig {
+                embed_dim: 6,
+                text_dim: sem.embed_dim(),
+                neighbors: 3,
+                depth: 1,
+                ..Default::default()
+            },
+        );
+        let emb = PaperEmbedder::new(&pipeline, &sem).with_nprec(NpRecContext {
+            model: &model,
+            graph: &graph,
+            text: &text,
+        });
+        let expect = NUM_SUBSPACES * sem.embed_dim() + 2 * model.vec_dim();
+        assert_eq!(emb.dim(), expect);
+        let v = emb.embed_indexed(&corpus, PaperId(4));
+        assert_eq!(v.len(), expect);
+        // the SEM prefix matches the precomputed c_p^k
+        assert_eq!(&v[..sem.embed_dim()], text[4][0].as_slice());
+        // interest and influence blocks differ for a connected paper
+        let d = model.vec_dim();
+        let start = NUM_SUBSPACES * sem.embed_dim();
+        assert_ne!(&v[start..start + d], &v[start + d..]);
+    }
+
+    #[test]
+    fn new_paper_gets_zero_network_block() {
+        let (corpus, pipeline, sem) = small();
+        let labels = pipeline.label_corpus(&corpus);
+        let text = sem.embed_corpus(&pipeline, &corpus, &labels);
+        let graph = HeteroGraph::from_corpus(&corpus, None);
+        let model = NpRecModel::new(
+            graph.n_nodes(),
+            NpRecConfig {
+                embed_dim: 6,
+                text_dim: sem.embed_dim(),
+                neighbors: 3,
+                depth: 1,
+                ..Default::default()
+            },
+        );
+        let emb = PaperEmbedder::new(&pipeline, &sem).with_nprec(NpRecContext {
+            model: &model,
+            graph: &graph,
+            text: &text,
+        });
+        // treat an existing paper's text as a fresh submission
+        let v = emb.embed_new(&corpus.papers[9]);
+        assert_eq!(v.len(), emb.dim());
+        let start = NUM_SUBSPACES * sem.embed_dim();
+        assert!(v[..start].iter().any(|x| *x != 0.0));
+        assert!(v[start..].iter().all(|x| *x == 0.0));
+    }
+}

@@ -1,0 +1,485 @@
+//! The batched query engine: request coalescing, an LRU result cache and
+//! per-stage latency/throughput counters.
+//!
+//! Concurrent callers [`QueryEngine::enqueue`] requests; any caller's
+//! [`QueryEngine::flush`] drains *everything* pending and answers it as one
+//! rayon-parallel batch against the index, so bursts coalesce into few large
+//! batches instead of many single searches. Results land in a completion
+//! table keyed by ticket (a flusher may answer tickets other threads
+//! enqueued).
+//!
+//! Cache invalidation on ingestion is *targeted*: an inserted vector can
+//! only change a cached top-K if it scores at least as high as the entry's
+//! current K-th hit, so every other entry provably stays valid and is kept.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use parking_lot::{Mutex, RwLock};
+use serde::Serialize;
+
+use crate::cache::LruCache;
+use crate::index::{AnnIndex, Hit};
+
+/// One top-K query.
+#[derive(Clone, Debug)]
+pub struct QueryRequest {
+    /// Query vector (any scale; similarity is cosine).
+    pub vector: Vec<f32>,
+    /// Number of results wanted.
+    pub k: usize,
+}
+
+/// Engine tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Result-cache capacity (entries).
+    pub cache_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig { cache_capacity: 1024 }
+    }
+}
+
+/// Exact f32 bit-pattern key: two queries share a cache entry only when
+/// their normalised vectors and `k` are identical.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    bits: Vec<u32>,
+    k: usize,
+}
+
+impl CacheKey {
+    fn new(vector: &[f32], k: usize) -> Self {
+        CacheKey { bits: vector.iter().map(|v| v.to_bits()).collect(), k }
+    }
+}
+
+struct CacheEntry {
+    /// Normalised query vector, kept for targeted invalidation.
+    query: Vec<f32>,
+    k: usize,
+    hits: Vec<Hit>,
+}
+
+/// A rolling window of the most recent latency samples for one stage.
+struct LatencyWindow {
+    samples: Vec<u64>,
+    next: usize,
+    count: u64,
+    total_ns: u64,
+}
+
+const WINDOW: usize = 4096;
+
+impl LatencyWindow {
+    fn new() -> Self {
+        LatencyWindow { samples: Vec::new(), next: 0, count: 0, total_ns: 0 }
+    }
+
+    fn record(&mut self, ns: u64) {
+        self.count += 1;
+        self.total_ns += ns;
+        if self.samples.len() < WINDOW {
+            self.samples.push(ns);
+        } else {
+            self.samples[self.next] = ns;
+            self.next = (self.next + 1) % WINDOW;
+        }
+    }
+
+    fn summary(&self) -> LatencySummary {
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let pct = |p: f64| -> u64 {
+            if sorted.is_empty() {
+                return 0;
+            }
+            let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+            sorted[idx]
+        };
+        LatencySummary {
+            count: self.count,
+            mean_ns: self.total_ns.checked_div(self.count).unwrap_or(0),
+            p50_ns: pct(0.50),
+            p99_ns: pct(0.99),
+        }
+    }
+}
+
+/// Latency distribution of one pipeline stage (over a rolling window of the
+/// most recent samples; `count`/`mean_ns` cover the whole lifetime).
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct LatencySummary {
+    /// Lifetime number of samples.
+    pub count: u64,
+    /// Lifetime mean, nanoseconds.
+    pub mean_ns: u64,
+    /// Median over the window, nanoseconds.
+    pub p50_ns: u64,
+    /// 99th percentile over the window, nanoseconds.
+    pub p99_ns: u64,
+}
+
+/// Point-in-time engine counters.
+#[derive(Clone, Debug, Serialize)]
+pub struct StatsSnapshot {
+    /// Queries answered (cache hits + searches).
+    pub queries: u64,
+    /// Queries served from the result cache.
+    pub cache_hits: u64,
+    /// Queries that went to the index.
+    pub cache_misses: u64,
+    /// Coalesced batches executed.
+    pub batches: u64,
+    /// Largest batch coalesced so far.
+    pub largest_batch: u64,
+    /// Papers ingested.
+    pub ingested: u64,
+    /// Cache entries dropped by targeted invalidation.
+    pub invalidated: u64,
+    /// Entries currently cached.
+    pub cache_len: u64,
+    /// Per-batch index search latency.
+    pub search: LatencySummary,
+    /// Per-batch cache lookup latency.
+    pub cache_lookup: LatencySummary,
+    /// Per-paper ingestion latency (insert + invalidation).
+    pub ingest: LatencySummary,
+}
+
+struct StatsInner {
+    queries: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    batches: u64,
+    largest_batch: u64,
+    ingested: u64,
+    invalidated: u64,
+    search_ns: LatencyWindow,
+    cache_ns: LatencyWindow,
+    ingest_ns: LatencyWindow,
+}
+
+/// The serving engine wrapping an [`AnnIndex`].
+pub struct QueryEngine {
+    index: RwLock<AnnIndex>,
+    cache: Mutex<LruCache<CacheKey, CacheEntry>>,
+    pending: Mutex<Vec<(u64, QueryRequest)>>,
+    completed: Mutex<std::collections::HashMap<u64, Vec<Hit>>>,
+    next_ticket: AtomicU64,
+    stats: Mutex<StatsInner>,
+}
+
+/// L2-normalises a copy of `v` (zero vectors pass through).
+fn normalized(v: &[f32]) -> Vec<f32> {
+    let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 1e-12 {
+        v.iter().map(|x| x / norm).collect()
+    } else {
+        v.to_vec()
+    }
+}
+
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+impl QueryEngine {
+    /// Wraps a built index.
+    pub fn new(index: AnnIndex, config: EngineConfig) -> Self {
+        QueryEngine {
+            index: RwLock::new(index),
+            cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            pending: Mutex::new(Vec::new()),
+            completed: Mutex::new(std::collections::HashMap::new()),
+            next_ticket: AtomicU64::new(0),
+            stats: Mutex::new(StatsInner {
+                queries: 0,
+                cache_hits: 0,
+                cache_misses: 0,
+                batches: 0,
+                largest_batch: 0,
+                ingested: 0,
+                invalidated: 0,
+                search_ns: LatencyWindow::new(),
+                cache_ns: LatencyWindow::new(),
+                ingest_ns: LatencyWindow::new(),
+            }),
+        }
+    }
+
+    /// Queues a query; the returned ticket redeems the result after a
+    /// [`QueryEngine::flush`].
+    pub fn enqueue(&self, request: QueryRequest) -> u64 {
+        let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
+        self.pending.lock().push((ticket, request));
+        ticket
+    }
+
+    /// Drains every pending query and answers the coalesced batch: cache
+    /// lookups first, the misses as one rayon-parallel index search.
+    /// Results are deposited in the completion table; the processed tickets
+    /// are returned.
+    pub fn flush(&self) -> Vec<u64> {
+        let batch: Vec<(u64, QueryRequest)> = std::mem::take(&mut *self.pending.lock());
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        let tickets: Vec<u64> = batch.iter().map(|&(t, _)| t).collect();
+
+        // stage 1: cache lookups under one lock hold
+        let t0 = Instant::now();
+        let mut answered: Vec<(u64, Vec<Hit>)> = Vec::new();
+        let mut misses: Vec<(u64, Vec<f32>, usize)> = Vec::new();
+        {
+            let mut cache = self.cache.lock();
+            for (ticket, req) in batch {
+                let q = normalized(&req.vector);
+                let key = CacheKey::new(&q, req.k);
+                match cache.get(&key) {
+                    Some(entry) => answered.push((ticket, entry.hits.clone())),
+                    None => misses.push((ticket, q, req.k)),
+                }
+            }
+        }
+        let cache_ns = t0.elapsed().as_nanos() as u64;
+        let (hits_n, misses_n) = (answered.len(), misses.len());
+
+        // stage 2: one parallel search over the misses
+        let t1 = Instant::now();
+        if !misses.is_empty() {
+            let queries: Vec<(Vec<f32>, usize)> =
+                misses.iter().map(|(_, q, k)| (q.clone(), *k)).collect();
+            let results = self.index.read().search_batch(&queries);
+            let mut cache = self.cache.lock();
+            for ((ticket, q, k), hits) in misses.into_iter().zip(results) {
+                cache.insert(CacheKey::new(&q, k), CacheEntry { query: q, k, hits: hits.clone() });
+                answered.push((ticket, hits));
+            }
+        }
+        let search_ns = t1.elapsed().as_nanos() as u64;
+
+        self.completed.lock().extend(answered);
+        let mut stats = self.stats.lock();
+        stats.queries += tickets.len() as u64;
+        stats.cache_hits += hits_n as u64;
+        stats.cache_misses += misses_n as u64;
+        stats.batches += 1;
+        stats.largest_batch = stats.largest_batch.max(tickets.len() as u64);
+        stats.cache_ns.record(cache_ns);
+        if misses_n > 0 {
+            stats.search_ns.record(search_ns);
+        }
+        tickets
+    }
+
+    /// Redeems a flushed ticket (once).
+    pub fn take(&self, ticket: u64) -> Option<Vec<Hit>> {
+        self.completed.lock().remove(&ticket)
+    }
+
+    /// Convenience: enqueue + flush + take for a single query.
+    pub fn query(&self, vector: Vec<f32>, k: usize) -> Vec<Hit> {
+        let ticket = self.enqueue(QueryRequest { vector, k });
+        self.flush();
+        loop {
+            // the ticket may have been flushed by a concurrent caller whose
+            // completion write is still in flight — spin on the table
+            if let Some(hits) = self.take(ticket) {
+                return hits;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Convenience: answers a whole batch in request order.
+    pub fn query_batch(&self, requests: Vec<QueryRequest>) -> Vec<Vec<Hit>> {
+        let tickets: Vec<u64> = requests.into_iter().map(|r| self.enqueue(r)).collect();
+        self.flush();
+        tickets
+            .into_iter()
+            .map(|t| loop {
+                if let Some(hits) = self.take(t) {
+                    break hits;
+                }
+                std::thread::yield_now();
+            })
+            .collect()
+    }
+
+    /// Inserts an embedded paper into the index without a rebuild and drops
+    /// exactly the cache entries the new vector could change. Returns the
+    /// assigned vector id.
+    pub fn ingest_vector(&self, vector: Vec<f32>) -> usize {
+        let t0 = Instant::now();
+        let v = normalized(&vector);
+        let id = self.index.write().insert(v.clone());
+        let dropped = self.cache.lock().retain(|_, entry| {
+            if entry.hits.len() < entry.k {
+                // short result list: the newcomer always joins it
+                return false;
+            }
+            let kth = entry.hits.last().map_or(f32::NEG_INFINITY, |h| h.score);
+            // keep the entry only when the new vector provably cannot enter
+            // its top-K
+            dot(&v, &entry.query) < kth
+        });
+        let ns = t0.elapsed().as_nanos() as u64;
+        let mut stats = self.stats.lock();
+        stats.ingested += 1;
+        stats.invalidated += dropped as u64;
+        stats.ingest_ns.record(ns);
+        id
+    }
+
+    /// Current counters and latency summaries.
+    pub fn stats(&self) -> StatsSnapshot {
+        let cache_len = self.cache.lock().len() as u64;
+        let s = self.stats.lock();
+        StatsSnapshot {
+            queries: s.queries,
+            cache_hits: s.cache_hits,
+            cache_misses: s.cache_misses,
+            batches: s.batches,
+            largest_batch: s.largest_batch,
+            ingested: s.ingested,
+            invalidated: s.invalidated,
+            cache_len,
+            search: s.search_ns.summary(),
+            cache_lookup: s.cache_ns.summary(),
+            ingest: s.ingest_ns.summary(),
+        }
+    }
+
+    /// Read access to the wrapped index.
+    pub fn with_index<R>(&self, f: impl FnOnce(&AnnIndex) -> R) -> R {
+        f(&self.index.read())
+    }
+
+    /// Unwraps the (possibly grown) index, e.g. to persist it.
+    pub fn into_index(self) -> AnnIndex {
+        self.index.into_inner()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexConfig;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect()
+    }
+
+    fn engine(n: usize, seed: u64) -> QueryEngine {
+        let index = AnnIndex::build(random_vectors(n, 8, seed), IndexConfig::default());
+        QueryEngine::new(index, EngineConfig::default())
+    }
+
+    #[test]
+    fn repeat_queries_hit_the_cache() {
+        let e = engine(120, 1);
+        let q = random_vectors(1, 8, 2).pop().unwrap();
+        let first = e.query(q.clone(), 5);
+        let second = e.query(q, 5);
+        assert_eq!(first, second);
+        let s = e.stats();
+        assert_eq!(s.queries, 2);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.batches, 2);
+    }
+
+    #[test]
+    fn enqueued_requests_coalesce_into_one_batch() {
+        let e = engine(200, 3);
+        let tickets: Vec<u64> = random_vectors(6, 8, 4)
+            .into_iter()
+            .map(|v| e.enqueue(QueryRequest { vector: v, k: 3 }))
+            .collect();
+        let processed = e.flush();
+        assert_eq!(processed.len(), 6);
+        for t in tickets {
+            let hits = e.take(t).expect("flushed");
+            assert_eq!(hits.len(), 3);
+            assert!(e.take(t).is_none(), "tickets redeem once");
+        }
+        let s = e.stats();
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.largest_batch, 6);
+    }
+
+    #[test]
+    fn query_batch_preserves_order() {
+        let e = engine(150, 5);
+        let qs = random_vectors(4, 8, 6);
+        let reqs: Vec<QueryRequest> =
+            qs.iter().map(|q| QueryRequest { vector: q.clone(), k: 2 }).collect();
+        let batch = e.query_batch(reqs);
+        for (q, hits) in qs.iter().zip(&batch) {
+            // compare through the engine's normalisation so scores match
+            // bit for bit
+            assert_eq!(*hits, e.with_index(|i| i.search(&normalized(q), 2)));
+        }
+    }
+
+    #[test]
+    fn ingest_appears_in_results_and_invalidates_precisely() {
+        let e = engine(100, 7);
+        // two cached queries pointing in (near-)opposite directions
+        let q_hot = vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let q_cold = vec![-1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        e.query(q_hot.clone(), 3);
+        e.query(q_cold.clone(), 3);
+        assert_eq!(e.stats().cache_len, 2);
+        // the ingested vector aligns with q_hot, so only that entry dies
+        let id = e.ingest_vector(vec![10.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        let s = e.stats();
+        assert_eq!(s.ingested, 1);
+        assert_eq!(s.invalidated, 1);
+        assert_eq!(s.cache_len, 1);
+        // re-query: fresh search must now rank the newcomer first
+        let hits = e.query(q_hot, 3);
+        assert_eq!(hits[0].id, id);
+        // the untouched cold entry still serves from cache
+        let before = e.stats().cache_hits;
+        e.query(q_cold, 3);
+        assert_eq!(e.stats().cache_hits, before + 1);
+    }
+
+    #[test]
+    fn stats_latencies_populate() {
+        let e = engine(300, 9);
+        for q in random_vectors(10, 8, 10) {
+            e.query(q, 4);
+        }
+        e.ingest_vector(random_vectors(1, 8, 11).pop().unwrap());
+        let s = e.stats();
+        assert_eq!(s.search.count, 10);
+        assert!(s.search.p99_ns >= s.search.p50_ns);
+        assert!(s.search.mean_ns > 0);
+        assert_eq!(s.ingest.count, 1);
+        assert_eq!(s.cache_lookup.count, 10);
+    }
+
+    #[test]
+    fn flush_on_empty_queue_is_a_noop() {
+        let e = engine(50, 12);
+        assert!(e.flush().is_empty());
+        assert_eq!(e.stats().batches, 0);
+    }
+
+    #[test]
+    fn into_index_round_trips_growth() {
+        let e = engine(60, 13);
+        e.ingest_vector(random_vectors(1, 8, 14).pop().unwrap());
+        let idx = e.into_index();
+        assert_eq!(idx.len(), 61);
+    }
+}

@@ -1,0 +1,34 @@
+//! # sem-serve
+//!
+//! The online serving subsystem: everything between a trained SEM/NPRec
+//! stack and a stream of top-K requests.
+//!
+//! * [`PaperEmbedder`] composes index vectors — SEM subspace embeddings
+//!   `c_p^k` concatenated with the NPRec interest/influence representations
+//!   when a trained recommendation model is attached.
+//! * [`AnnIndex`] is an IVF-flat approximate-nearest-neighbour index with
+//!   rayon-parallel construction and an exact brute-force fallback for
+//!   small corpora; insertion routes a new vector to its nearest cell
+//!   without rebuilding.
+//! * [`QueryEngine`] coalesces concurrently enqueued queries into
+//!   rayon-parallel batches, caches results in an LRU keyed by the exact
+//!   normalised query, invalidates precisely the entries an ingested paper
+//!   could change, and exposes per-stage latency/throughput counters.
+//!
+//! The intended flow for a brand-new (zero-citation) paper: CRF sentence
+//! labels → sentence encoding → SEM subspace pooling → [`PaperEmbedder::embed_new`]
+//! → [`QueryEngine::ingest_vector`] — after which the paper is immediately
+//! retrievable, no retraining or index rebuild involved.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod embed;
+pub mod engine;
+pub mod index;
+
+pub use cache::LruCache;
+pub use embed::{NpRecContext, PaperEmbedder};
+pub use engine::{EngineConfig, QueryEngine, QueryRequest, StatsSnapshot};
+pub use index::{AnnIndex, Hit, IndexConfig};

@@ -33,8 +33,7 @@ pub fn kmeans(data: &[Vec<f32>], k: usize, max_iter: usize, seed: u64) -> KMeans
 
     // k-means++ seeding
     let first = rng.gen_range(0..data.len());
-    let mut centroids: Vec<Vec<f64>> =
-        vec![data[first].iter().map(|&x| f64::from(x)).collect()];
+    let mut centroids: Vec<Vec<f64>> = vec![data[first].iter().map(|&x| f64::from(x)).collect()];
     let mut d2: Vec<f64> = data.iter().map(|p| sq_dist(p, &centroids[0])).collect();
     while centroids.len() < k {
         let total: f64 = d2.iter().sum();
@@ -90,11 +89,7 @@ pub fn kmeans(data: &[Vec<f32>], k: usize, max_iter: usize, seed: u64) -> KMeans
             break;
         }
     }
-    let inertia = data
-        .iter()
-        .zip(&labels)
-        .map(|(p, &l)| sq_dist(p, &centroids[l]))
-        .sum();
+    let inertia = data.iter().zip(&labels).map(|(p, &l)| sq_dist(p, &centroids[l])).sum();
     KMeans { centroids, labels, inertia }
 }
 
@@ -110,11 +105,7 @@ pub fn silhouette(data: &[Vec<f32>], labels: &[usize]) -> f64 {
     let k = labels.iter().copied().max().unwrap_or(0) + 1;
     let n = data.len();
     let dist = |a: &[f32], b: &[f32]| -> f64 {
-        a.iter()
-            .zip(b)
-            .map(|(x, y)| (f64::from(*x) - f64::from(*y)).powi(2))
-            .sum::<f64>()
-            .sqrt()
+        a.iter().zip(b).map(|(x, y)| (f64::from(*x) - f64::from(*y)).powi(2)).sum::<f64>().sqrt()
     };
     let counts = {
         let mut c = vec![0usize; k];

@@ -76,9 +76,8 @@ impl GaussianMixture {
             // E step
             ll = 0.0;
             for (i, p) in data.iter().enumerate() {
-                let logs: Vec<f64> = (0..k)
-                    .map(|c| weights[c].ln() + log_gauss(p, &means[c], &vars[c]))
-                    .collect();
+                let logs: Vec<f64> =
+                    (0..k).map(|c| weights[c].ln() + log_gauss(p, &means[c], &vars[c])).collect();
                 let z = logsumexp(&logs);
                 ll += z;
                 for c in 0..k {
@@ -91,11 +90,7 @@ impl GaussianMixture {
                 let nk_safe = nk.max(1e-12);
                 weights[c] = nk / n as f64;
                 for j in 0..d {
-                    let m = data
-                        .iter()
-                        .zip(&resp)
-                        .map(|(p, r)| r[c] * p[j] as f64)
-                        .sum::<f64>()
+                    let m = data.iter().zip(&resp).map(|(p, r)| r[c] * p[j] as f64).sum::<f64>()
                         / nk_safe;
                     means[c][j] = m;
                 }

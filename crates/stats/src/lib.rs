@@ -10,14 +10,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod correlation;
-pub mod regression;
-pub mod metrics;
 pub mod gmm;
 pub mod lof;
+pub mod metrics;
+pub mod regression;
 pub mod tsne;
 pub mod tsne_bh;
-pub mod cluster;
 
 pub use cluster::{kmeans, silhouette, KMeans};
 pub use correlation::{pearson, spearman};

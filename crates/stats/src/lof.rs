@@ -44,10 +44,7 @@ pub fn local_outlier_factor(data: &[Vec<f32>], k: usize) -> Vec<f64> {
     const EPS: f64 = 1e-12;
     let lrd: Vec<f64> = (0..n)
         .map(|i| {
-            let sum_reach: f64 = neighbours[i]
-                .iter()
-                .map(|&j| dist[i][j].max(k_dist[j]))
-                .sum();
+            let sum_reach: f64 = neighbours[i].iter().map(|&j| dist[i][j].max(k_dist[j])).sum();
             k as f64 / (sum_reach.max(EPS))
         })
         .collect();
@@ -78,9 +75,8 @@ mod tests {
 
     fn cluster_with_outlier() -> Vec<Vec<f32>> {
         let mut rng = rand::rngs::StdRng::seed_from_u64(9);
-        let mut data: Vec<Vec<f32>> = (0..50)
-            .map(|_| vec![rng.gen::<f32>(), rng.gen::<f32>()])
-            .collect();
+        let mut data: Vec<Vec<f32>> =
+            (0..50).map(|_| vec![rng.gen::<f32>(), rng.gen::<f32>()]).collect();
         data.push(vec![30.0, 30.0]); // far outlier
         data
     }
@@ -89,12 +85,7 @@ mod tests {
     fn outlier_has_highest_lof() {
         let data = cluster_with_outlier();
         let lof = local_outlier_factor(&data, 5);
-        let max_idx = lof
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .unwrap()
-            .0;
+        let max_idx = lof.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
         assert_eq!(max_idx, data.len() - 1);
         assert!(lof[max_idx] > 2.0, "outlier LOF {}", lof[max_idx]);
     }
@@ -102,9 +93,8 @@ mod tests {
     #[test]
     fn uniform_cluster_lof_near_one() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(10);
-        let data: Vec<Vec<f32>> = (0..100)
-            .map(|_| vec![rng.gen::<f32>(), rng.gen::<f32>()])
-            .collect();
+        let data: Vec<Vec<f32>> =
+            (0..100).map(|_| vec![rng.gen::<f32>(), rng.gen::<f32>()]).collect();
         let lof = local_outlier_factor(&data, 10);
         let mean: f64 = lof.iter().sum::<f64>() / lof.len() as f64;
         assert!((mean - 1.0).abs() < 0.15, "mean LOF {mean}");

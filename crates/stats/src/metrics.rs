@@ -34,11 +34,7 @@ pub fn ndcg_at_k(relevant: &[bool], k: usize) -> f64 {
 
 /// Reciprocal rank of the first relevant item (0 when none).
 pub fn reciprocal_rank(relevant: &[bool]) -> f64 {
-    relevant
-        .iter()
-        .position(|&r| r)
-        .map(|i| 1.0 / (i + 1) as f64)
-        .unwrap_or(0.0)
+    relevant.iter().position(|&r| r).map(|i| 1.0 / (i + 1) as f64).unwrap_or(0.0)
 }
 
 /// Mean reciprocal rank over users.

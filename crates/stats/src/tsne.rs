@@ -38,9 +38,8 @@ pub fn tsne(data: &[Vec<f32>], config: &TsneConfig) -> Vec<[f64; 2]> {
     assert!(n >= 3, "t-SNE needs at least 3 points");
     let p = joint_affinities(data, config.perplexity);
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut y: Vec<[f64; 2]> = (0..n)
-        .map(|_| [rng.gen::<f64>() * 1e-2 - 5e-3, rng.gen::<f64>() * 1e-2 - 5e-3])
-        .collect();
+    let mut y: Vec<[f64; 2]> =
+        (0..n).map(|_| [rng.gen::<f64>() * 1e-2 - 5e-3, rng.gen::<f64>() * 1e-2 - 5e-3]).collect();
     let mut vel = vec![[0.0f64; 2]; n];
     let mut gain = vec![[1.0f64; 2]; n];
     let exag_until = config.iters / 4;
@@ -88,9 +87,8 @@ pub fn tsne(data: &[Vec<f32>], config: &TsneConfig) -> Vec<[f64; 2]> {
             }
         }
         // re-centre to keep the layout bounded
-        let (mx, my) = y
-            .iter()
-            .fold((0.0, 0.0), |(a, b), p| (a + p[0] / n as f64, b + p[1] / n as f64));
+        let (mx, my) =
+            y.iter().fold((0.0, 0.0), |(a, b), p| (a + p[0] / n as f64, b + p[1] / n as f64));
         for p in &mut y {
             p[0] -= mx;
             p[1] -= my;
@@ -192,7 +190,8 @@ mod tests {
         let cfg = TsneConfig { iters: 250, perplexity: 10.0, ..Default::default() };
         let y = tsne(&data, &cfg);
         // mean intra-blob distance must be well below inter-blob distance
-        let dist = |a: [f64; 2], b: [f64; 2]| ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2)).sqrt();
+        let dist =
+            |a: [f64; 2], b: [f64; 2]| ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2)).sqrt();
         let mut intra = 0.0;
         let mut intra_n = 0;
         let mut inter = 0.0;

@@ -18,10 +18,7 @@ struct SparseP {
 }
 
 fn squared_distance(a: &[f32], b: &[f32]) -> f64 {
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| (f64::from(*x) - f64::from(*y)).powi(2))
-        .sum()
+    a.iter().zip(b).map(|(x, y)| (f64::from(*x) - f64::from(*y)).powi(2)).sum()
 }
 
 /// Per-point bandwidth search over the k nearest neighbours only.
@@ -36,8 +33,7 @@ fn sparse_affinities(data: &[Vec<f32>], perplexity: f64) -> SparseP {
     for i in 0..n {
         let mut idx: Vec<usize> = (0..n).filter(|&j| j != i).collect();
         idx.sort_by(|&a, &b| {
-            squared_distance(&data[i], &data[a])
-                .total_cmp(&squared_distance(&data[i], &data[b]))
+            squared_distance(&data[i], &data[a]).total_cmp(&squared_distance(&data[i], &data[b]))
         });
         idx.truncate(k);
         let d2: Vec<f64> = idx.iter().map(|&j| squared_distance(&data[i], &data[j])).collect();
@@ -86,10 +82,7 @@ fn sparse_affinities(data: &[Vec<f32>], perplexity: f64) -> SparseP {
         }
     }
     let denom = 2.0 * n as f64;
-    let triplets = map
-        .into_iter()
-        .map(|((i, j), v)| (i, j, (v / denom).max(1e-12)))
-        .collect();
+    let triplets = map.into_iter().map(|((i, j), v)| (i, j, (v / denom).max(1e-12))).collect();
     SparseP { triplets }
 }
 
@@ -265,9 +258,8 @@ pub fn tsne_barnes_hut(data: &[Vec<f32>], config: &TsneConfig, theta: f64) -> Ve
     let scale = 1.0 / total.max(1e-300);
 
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut y: Vec<[f64; 2]> = (0..n)
-        .map(|_| [rng.gen::<f64>() * 1e-2 - 5e-3, rng.gen::<f64>() * 1e-2 - 5e-3])
-        .collect();
+    let mut y: Vec<[f64; 2]> =
+        (0..n).map(|_| [rng.gen::<f64>() * 1e-2 - 5e-3, rng.gen::<f64>() * 1e-2 - 5e-3]).collect();
     let mut vel = vec![[0.0f64; 2]; n];
     let mut gain = vec![[1.0f64; 2]; n];
     let exag_until = config.iters / 4;
@@ -312,9 +304,8 @@ pub fn tsne_barnes_hut(data: &[Vec<f32>], config: &TsneConfig, theta: f64) -> Ve
                 y[i][d] += vel[i][d];
             }
         }
-        let (mx, my) = y
-            .iter()
-            .fold((0.0, 0.0), |(a, b), p| (a + p[0] / n as f64, b + p[1] / n as f64));
+        let (mx, my) =
+            y.iter().fold((0.0, 0.0), |(a, b), p| (a + p[0] / n as f64, b + p[1] / n as f64));
         for p in &mut y {
             p[0] -= mx;
             p[1] -= my;

@@ -30,7 +30,11 @@ impl GradReport {
 ///
 /// # Panics
 /// Panics if `f` returns a non-scalar node.
-pub fn check(inputs: &[Tensor], eps: f32, f: impl Fn(&mut Tape, &[TensorId]) -> TensorId) -> GradReport {
+pub fn check(
+    inputs: &[Tensor],
+    eps: f32,
+    f: impl Fn(&mut Tape, &[TensorId]) -> TensorId,
+) -> GradReport {
     // Analytic pass.
     let mut tape = Tape::new();
     let ids: Vec<TensorId> = inputs.iter().map(|t| tape.leaf(t.clone())).collect();

@@ -41,12 +41,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod shape;
-mod tensor;
-pub mod ops;
-mod tape;
 pub mod grad_check;
+pub mod ops;
+mod shape;
+mod tape;
+mod tensor;
 
 pub use shape::Shape;
-pub use tensor::Tensor;
 pub use tape::{Tape, TensorId};
+pub use tensor::Tensor;

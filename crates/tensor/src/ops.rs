@@ -8,7 +8,13 @@ use crate::{Shape, Tensor};
 
 #[inline]
 fn zip_map(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
-    assert_eq!(a.shape(), b.shape(), "elementwise op shape mismatch {} vs {}", a.shape(), b.shape());
+    assert_eq!(
+        a.shape(),
+        b.shape(),
+        "elementwise op shape mismatch {} vs {}",
+        a.shape(),
+        b.shape()
+    );
     let data = a.data().iter().zip(b.data()).map(|(&x, &y)| f(x, y)).collect();
     Tensor::from_vec(data, a.shape())
 }

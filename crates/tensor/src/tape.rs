@@ -293,11 +293,7 @@ impl Tape {
     /// # Panics
     /// Panics when `loss` is not scalar.
     pub fn backward(&mut self, loss: TensorId) {
-        assert_eq!(
-            self.value(loss).shape(),
-            Shape::Scalar,
-            "backward from non-scalar node"
-        );
+        assert_eq!(self.value(loss).shape(), Shape::Scalar, "backward from non-scalar node");
         for g in &mut self.grads {
             *g = None;
         }
@@ -449,8 +445,7 @@ impl Tape {
                 }
                 Op::MeanRows(a) => {
                     let a = *a;
-                    let (rows, cols) =
-                        (self.value(a).shape().rows(), self.value(a).shape().cols());
+                    let (rows, cols) = (self.value(a).shape().rows(), self.value(a).shape().cols());
                     let inv = 1.0 / rows as f32;
                     let mut da = vec![0.0f32; rows * cols];
                     for r in 0..rows {
@@ -477,8 +472,7 @@ impl Tape {
                 Op::GatherRows(a, idx) => {
                     let a = *a;
                     let idx = idx.clone();
-                    let (rows, cols) =
-                        (self.value(a).shape().rows(), self.value(a).shape().cols());
+                    let (rows, cols) = (self.value(a).shape().rows(), self.value(a).shape().cols());
                     // scatter-add sparsely: materialising a dense
                     // table-sized delta per gather makes every embedding
                     // lookup O(vocab) in the backward pass — ruinous for
@@ -585,8 +579,7 @@ impl Tape {
                 }
                 Op::SumRows(a) => {
                     let a = *a;
-                    let (rows, cols) =
-                        (self.value(a).shape().rows(), self.value(a).shape().cols());
+                    let (rows, cols) = (self.value(a).shape().rows(), self.value(a).shape().cols());
                     let mut da = vec![0.0f32; rows * cols];
                     for r in 0..rows {
                         for c in 0..cols {
@@ -602,15 +595,12 @@ impl Tape {
     /// The gradient accumulated at `id` by the last [`Tape::backward`] call,
     /// or `None` when the node does not influence the loss.
     pub fn grad(&self, id: TensorId) -> Option<Tensor> {
-        self.grads[id.0]
-            .as_ref()
-            .map(|g| Tensor::from_vec(g.clone(), self.value(id).shape()))
+        self.grads[id.0].as_ref().map(|g| Tensor::from_vec(g.clone(), self.value(id).shape()))
     }
 
     /// Like [`Tape::grad`] but returns a zero tensor when no gradient flowed.
     pub fn grad_or_zero(&self, id: TensorId) -> Tensor {
-        self.grad(id)
-            .unwrap_or_else(|| Tensor::zeros(self.value(id).shape()))
+        self.grad(id).unwrap_or_else(|| Tensor::zeros(self.value(id).shape()))
     }
 }
 

@@ -173,11 +173,7 @@ impl Tensor {
     /// same shape.
     pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
         assert_eq!(self.shape, other.shape, "max_abs_diff shape mismatch");
-        self.data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f32, f32::max)
+        self.data.iter().zip(other.data.iter()).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max)
     }
 }
 
@@ -187,7 +183,13 @@ impl fmt::Debug for Tensor {
         if self.len() <= 8 {
             write!(f, "{:?}", &self.data[..])
         } else {
-            write!(f, "[{:.4}, {:.4}, … {:.4}]", self.data[0], self.data[1], self.data[self.len() - 1])
+            write!(
+                f,
+                "[{:.4}, {:.4}, … {:.4}]",
+                self.data[0],
+                self.data[1],
+                self.data[self.len() - 1]
+            )
         }
     }
 }

@@ -93,8 +93,7 @@ impl LinearChainCrf {
             return 0.0;
         }
         let em = self.emissions(seq);
-        let mut alpha: Vec<f32> =
-            (0..self.n_labels).map(|l| self.init[l] + em[0][l]).collect();
+        let mut alpha: Vec<f32> = (0..self.n_labels).map(|l| self.init[l] + em[0][l]).collect();
         let mut scratch = vec![0.0f32; self.n_labels];
         for em_t in em.iter().skip(1) {
             let prev = alpha.clone();
@@ -134,8 +133,7 @@ impl LinearChainCrf {
         }
         let em = self.emissions(seq);
         let t_len = seq.len();
-        let mut delta: Vec<f32> =
-            (0..self.n_labels).map(|l| self.init[l] + em[0][l]).collect();
+        let mut delta: Vec<f32> = (0..self.n_labels).map(|l| self.init[l] + em[0][l]).collect();
         let mut back: Vec<Vec<usize>> = Vec::with_capacity(t_len);
         back.push(vec![0; self.n_labels]);
         for em_t in em.iter().skip(1) {
@@ -278,13 +276,9 @@ impl LinearChainCrf {
         }
         // transitions
         for t in 1..t_len {
-            for from in 0..l {
+            for (from, &a_prev) in alpha[t - 1].iter().enumerate() {
                 for to in 0..l {
-                    let p = (alpha[t - 1][from]
-                        + self.trans[from * l + to]
-                        + em[t][to]
-                        + beta[t][to]
-                        - log_z)
+                    let p = (a_prev + self.trans[from * l + to] + em[t][to] + beta[t][to] - log_z)
                         .exp();
                     let emp = if labels[t - 1] == from && labels[t] == to { 1.0 } else { 0.0 };
                     let g = emp - p;
@@ -430,7 +424,15 @@ mod tests {
                     })
                     .collect();
                 let labels = (0..len)
-                    .map(|t| if t == 0 { 0 } else if t + 1 == len { 2 } else { 1 })
+                    .map(|t| {
+                        if t == 0 {
+                            0
+                        } else if t + 1 == len {
+                            2
+                        } else {
+                            1
+                        }
+                    })
                     .collect();
                 (feats, labels)
             })

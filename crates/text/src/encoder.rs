@@ -34,9 +34,7 @@ impl SentenceEncoder {
         let limit = (6.0 / (word_dim + out_dim) as f32).sqrt();
         let proj = (0..word_dim * out_dim).map(|_| rng.gen_range(-limit..=limit)).collect();
         let sif_a = 1e-3;
-        let sif = (0..vocab.len())
-            .map(|i| (sif_a / (sif_a + vocab.freq(i))) as f32)
-            .collect();
+        let sif = (0..vocab.len()).map(|i| (sif_a / (sif_a + vocab.freq(i))) as f32).collect();
         SentenceEncoder { sif_a, proj, word_dim, out_dim, sif }
     }
 
@@ -89,7 +87,11 @@ impl SentenceEncoder {
 
     /// Encodes every sentence of an abstract: `[n_sentences][dim]` — the
     /// paper's `H = h_1..h_n`.
-    pub fn encode_abstract(&self, embeddings: &SkipGram, sentences: &[Vec<usize>]) -> Vec<Vec<f32>> {
+    pub fn encode_abstract(
+        &self,
+        embeddings: &SkipGram,
+        sentences: &[Vec<usize>],
+    ) -> Vec<Vec<f32>> {
         sentences.iter().map(|s| self.encode(embeddings, s)).collect()
     }
 }
@@ -108,7 +110,8 @@ mod tests {
         }
         let v = Vocab::build(sents.iter().map(|s| s.as_slice()), 1);
         let ids: Vec<Vec<usize>> = sents.iter().map(|s| v.encode(s)).collect();
-        let sg = SkipGram::train(&v, &ids, &SkipGramConfig { dim: 16, epochs: 6, ..Default::default() });
+        let sg =
+            SkipGram::train(&v, &ids, &SkipGramConfig { dim: 16, epochs: 6, ..Default::default() });
         let enc = SentenceEncoder::new(&v, 16, 24, 7);
         (v, sg, enc)
     }
@@ -153,7 +156,8 @@ mod tests {
     #[test]
     fn encode_abstract_shapes() {
         let (v, sg, enc) = fixture();
-        let sents = vec![v.encode(&tokenize("database query")), v.encode(&tokenize("protein gene"))];
+        let sents =
+            vec![v.encode(&tokenize("database query")), v.encode(&tokenize("protein gene"))];
         let h = enc.encode_abstract(&sg, &sents);
         assert_eq!(h.len(), 2);
         assert!(h.iter().all(|s| s.len() == 24));

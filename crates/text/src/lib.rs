@@ -17,11 +17,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod crf;
+pub mod encoder;
+pub mod skipgram;
 pub mod tokenize;
 pub mod vocab;
-pub mod skipgram;
-pub mod encoder;
-pub mod crf;
 
 pub use crf::LinearChainCrf;
 pub use encoder::SentenceEncoder;

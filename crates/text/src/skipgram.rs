@@ -85,16 +85,14 @@ impl SkipGram {
                             continue;
                         }
                     }
-                    let lr = config.lr
-                        * (1.0 - 0.9 * step as f32 / total_steps as f32).max(0.1);
+                    let lr = config.lr * (1.0 - 0.9 * step as f32 / total_steps as f32).max(0.1);
                     let w = rng.gen_range(1..=config.window);
                     let lo = pos.saturating_sub(w);
                     let hi = (pos + w + 1).min(seq.len());
-                    for ctx_pos in lo..hi {
+                    for (ctx_pos, &context) in seq.iter().enumerate().take(hi).skip(lo) {
                         if ctx_pos == pos {
                             continue;
                         }
-                        let context = seq[ctx_pos];
                         grad.iter_mut().for_each(|g| *g = 0.0);
                         let in_vec = center * d;
                         // positive pair + negatives
@@ -108,9 +106,8 @@ impl SkipGram {
                                 continue;
                             }
                             let out_vec = target * d;
-                            let dot: f32 = (0..d)
-                                .map(|i| input[in_vec + i] * output[out_vec + i])
-                                .sum();
+                            let dot: f32 =
+                                (0..d).map(|i| input[in_vec + i] * output[out_vec + i]).sum();
                             let pred = 1.0 / (1.0 + (-dot).exp());
                             let err = (pred - label) * lr;
                             for i in 0..d {
@@ -162,10 +159,8 @@ impl SkipGram {
     /// The `n` most cosine-similar tokens to `id` (excluding itself),
     /// best first.
     pub fn most_similar(&self, id: usize, n: usize) -> Vec<(usize, f32)> {
-        let mut scored: Vec<(usize, f32)> = (0..self.vocab_len)
-            .filter(|&j| j != id)
-            .map(|j| (j, self.cosine(id, j)))
-            .collect();
+        let mut scored: Vec<(usize, f32)> =
+            (0..self.vocab_len).filter(|&j| j != id).map(|j| (j, self.cosine(id, j))).collect();
         scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         scored.truncate(n);
         scored

@@ -36,15 +36,11 @@ fn main() {
         // per-subspace difference index (normalised LOF) and its rank
         // correlation with the citations each paper eventually received
         let outliers = analysis::subspace_outliers(&embeddings, 20);
-        let citations: Vec<f64> = members
-            .iter()
-            .map(|&i| fixture.corpus.papers[i].citations_received as f64)
-            .collect();
+        let citations: Vec<f64> =
+            members.iter().map(|&i| fixture.corpus.papers[i].citations_received as f64).collect();
         let rho = analysis::outlier_citation_correlation(&outliers, &citations);
 
-        let best = (0..NUM_SUBSPACES)
-            .max_by(|&a, &b| rho[a].total_cmp(&rho[b]))
-            .unwrap();
+        let best = (0..NUM_SUBSPACES).max_by(|&a, &b| rho[a].total_cmp(&rho[b])).unwrap();
         println!(
             "{name:18} correlation(LOF_k, citations): background={:+.3} method={:+.3} result={:+.3}  -> innovation lives in `{}`",
             rho[0],

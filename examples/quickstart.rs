@@ -12,11 +12,8 @@ use sem_rules::RuleScorer;
 fn main() {
     // 1. A small ACM-flavoured corpus. Everything is seeded: rerunning
     //    reproduces the exact same numbers.
-    let corpus = Corpus::generate(CorpusConfig {
-        n_papers: 400,
-        n_authors: 150,
-        ..Default::default()
-    });
+    let corpus =
+        Corpus::generate(CorpusConfig { n_papers: 400, n_authors: 150, ..Default::default() });
     println!("corpus: {:?}", corpus.stats());
 
     // 2. Fit the frozen text pipeline: vocabulary, skip-gram embeddings,
@@ -27,20 +24,12 @@ fn main() {
     // 3. Label every abstract and build the expert-rule scorer (Eq. 1-3 +
     //    subspace text distance).
     let labels = pipeline.label_corpus(&corpus);
-    let scorer = RuleScorer::new(
-        &corpus,
-        &pipeline.vocab,
-        &pipeline.embeddings,
-        &pipeline.encoder,
-        &labels,
-    );
+    let scorer =
+        RuleScorer::new(&corpus, &pipeline.vocab, &pipeline.embeddings, &pipeline.encoder, &labels);
 
     // 4. Train the twin network on expert-rule triplets.
-    let mut sem = SemModel::new(SemConfig {
-        epochs: 6,
-        triplets_per_epoch: 300,
-        ..Default::default()
-    });
+    let mut sem =
+        SemModel::new(SemConfig { epochs: 6, triplets_per_epoch: 300, ..Default::default() });
     let report = sem.train(&pipeline, &corpus, &scorer, &labels);
     println!(
         "SEM trained: loss {:.3} -> {:.3}, triplet ranking accuracy {:.3}",

@@ -41,17 +41,19 @@ fn main() {
 
     for rec in [&nprec as &dyn Recommender, &nbcf, &ripple] {
         let m = task.evaluate(rec);
-        println!("{:10} nDCG@10 = {:.4}  MRR = {:.4}  MAP = {:.4}", rec.name(), m.ndcg, m.mrr, m.map);
+        println!(
+            "{:10} nDCG@10 = {:.4}  MRR = {:.4}  MAP = {:.4}",
+            rec.name(),
+            m.ndcg,
+            m.mrr,
+            m.map
+        );
     }
 
     // Show one concrete recommendation list.
     let user = &task.users[0];
-    let mut scored: Vec<(f64, usize)> = user
-        .candidates
-        .iter()
-        .enumerate()
-        .map(|(i, &c)| (nprec.score(user.user, c), i))
-        .collect();
+    let mut scored: Vec<(f64, usize)> =
+        user.candidates.iter().enumerate().map(|(i, &c)| (nprec.score(user.user, c), i)).collect();
     scored.sort_by(|a, b| b.0.total_cmp(&a.0));
     println!("\ntop-5 recommendations for author {:?}:", user.user);
     for (rank, &(score, i)) in scored.iter().take(5).enumerate() {

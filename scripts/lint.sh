@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Workspace lint gate: formatting + clippy with warnings denied.
+# Usage: scripts/lint.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "lint: OK"

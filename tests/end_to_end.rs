@@ -19,11 +19,7 @@ fn small_fixture() -> Fixture {
 fn sem_pipeline_learns_rule_consistent_embeddings() {
     let f = small_fixture();
     // the twin network must beat coin-flipping at reproducing rule orderings
-    assert!(
-        f.sem_triplet_accuracy > 0.55,
-        "triplet accuracy {}",
-        f.sem_triplet_accuracy
-    );
+    assert!(f.sem_triplet_accuracy > 0.55, "triplet accuracy {}", f.sem_triplet_accuracy);
     // fusion weights are probability vectors
     for row in f.fusion {
         let s: f64 = row.iter().sum();
@@ -45,20 +41,17 @@ fn sem_pipeline_learns_rule_consistent_embeddings() {
 fn subspace_outliers_track_planted_innovation_end_to_end() {
     let f = small_fixture();
     let members: Vec<usize> = (0..f.corpus.papers.len()).collect();
-    let embeddings: Vec<Vec<Vec<f32>>> =
-        members.iter().map(|&i| f.text[i].clone()).collect();
+    let embeddings: Vec<Vec<Vec<f32>>> = members.iter().map(|&i| f.text[i].clone()).collect();
     let outliers = analysis::subspace_outliers(&embeddings, 20);
     // diagonal dominance: LOF in subspace k tracks innovation_k better than
     // innovation_j on average
     let mut diag = 0.0;
     let mut off = 0.0;
-    for k in 0..NUM_SUBSPACES {
+    for (k, outliers_k) in outliers.iter().enumerate() {
         for j in 0..NUM_SUBSPACES {
-            let innov: Vec<f64> = members
-                .iter()
-                .map(|&i| f.corpus.papers[i].innovation[j] as f64)
-                .collect();
-            let rho = sem_stats::spearman(&outliers[k], &innov);
+            let innov: Vec<f64> =
+                members.iter().map(|&i| f.corpus.papers[i].innovation[j] as f64).collect();
+            let rho = sem_stats::spearman(outliers_k, &innov);
             if k == j {
                 diag += rho;
             } else {
@@ -66,10 +59,7 @@ fn subspace_outliers_track_planted_innovation_end_to_end() {
             }
         }
     }
-    assert!(
-        diag / 3.0 > off / 3.0 + 0.05,
-        "no diagonal dominance: diag {diag:.3} off {off:.3}"
-    );
+    assert!(diag / 3.0 > off / 3.0 + 0.05, "no diagonal dominance: diag {diag:.3} off {off:.3}");
 }
 
 #[test]
@@ -85,13 +75,11 @@ fn nprec_end_to_end_beats_random_and_text_quality_scores_are_sane() {
     let model = bench.fit_nprec(&pairs, cfg);
     let rec = model.recommender(&bench.graph, Some(&f.text), &task);
     let nprec = task.evaluate(&rec);
-    let random = task.evaluate(&RandomRecommender::new(1));
-    assert!(
-        nprec.ndcg > random.ndcg + 0.03,
-        "NPRec {:.3} vs random {:.3}",
-        nprec.ndcg,
-        random.ndcg
-    );
+    // the random floor is an expectation, not one draw: a single seed on 25
+    // users spans roughly ±0.08 nDCG, so average several scorers
+    let random =
+        (0..10).map(|s| task.evaluate(&RandomRecommender::new(s)).ndcg).sum::<f64>() / 10.0;
+    assert!(nprec.ndcg > random + 0.03, "NPRec {:.3} vs random {:.3}", nprec.ndcg, random);
     // the quality baselines run over the same corpus without panicking and
     // produce varied scores
     let clt = Clt::score_all(&f.corpus);
@@ -110,9 +98,7 @@ fn ablation_ordering_full_beats_single_components() {
     let mut full_cfg = bench.nprec_config();
     full_cfg.epochs = 4;
     let full = bench.fit_nprec(&pairs, full_cfg);
-    let full_ndcg = task
-        .evaluate(&full.recommender(&bench.graph, Some(&f.text), &task))
-        .ndcg;
+    let full_ndcg = task.evaluate(&full.recommender(&bench.graph, Some(&f.text), &task)).ndcg;
 
     let mut sn_cfg = bench.nprec_config();
     sn_cfg.epochs = 4;
@@ -122,10 +108,7 @@ fn ablation_ordering_full_beats_single_components() {
 
     // the full model must not be destroyed by adding text (generous slack:
     // tiny-corpus training is noisy, but a real regression shows up large)
-    assert!(
-        full_ndcg > sn_ndcg - 0.05,
-        "full {full_ndcg:.3} vs network-only {sn_ndcg:.3}"
-    );
+    assert!(full_ndcg > sn_ndcg - 0.05, "full {full_ndcg:.3} vs network-only {sn_ndcg:.3}");
 }
 
 #[test]

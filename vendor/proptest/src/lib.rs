@@ -1,0 +1,441 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the property-testing surface the workspace uses: the
+//! [`proptest!`] macro, [`Strategy`] over numeric ranges / `any::<bool>()` /
+//! regex-like string patterns, `collection::vec`, `option::of`, and the
+//! `prop_assert*` / `prop_assume!` macros. Cases are generated from a
+//! deterministic RNG seeded per `(test name, case index)`, so failures are
+//! reproducible run-to-run. No shrinking: a failing case reports its inputs
+//! (every strategy value is `Debug`) and case index instead.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The generator handed to strategies; deterministic per test case.
+pub type TestRng = StdRng;
+
+/// FNV-1a over a string — a stable, `const` way to derive a per-test seed
+/// from its module path and name.
+pub const fn fnv1a(s: &str) -> u64 {
+    let bytes = s.as_bytes();
+    let mut hash = 0xcbf29ce484222325u64;
+    let mut i = 0;
+    while i < bytes.len() {
+        hash ^= bytes[i] as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+        i += 1;
+    }
+    hash
+}
+
+/// Builds the RNG for one test case.
+pub fn case_rng(test_seed: u64, case: u32) -> TestRng {
+    TestRng::seed_from_u64(test_seed ^ (case as u64).wrapping_mul(0x9e3779b97f4a7c15))
+}
+
+/// Per-test configuration; only `cases` is honoured.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// The default configuration with `cases` overridden.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A recipe for producing random values of one type.
+pub trait Strategy {
+    /// The produced type; `Debug` so failing inputs can be reported.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! strategy_for_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+strategy_for_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Marker for types supported by [`any`].
+pub trait Arbitrary: std::fmt::Debug + Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.gen::<bool>()
+    }
+}
+
+/// See [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy producing arbitrary values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: std::marker::PhantomData }
+}
+
+/// String-pattern strategies: a `&str` is interpreted as a small regex
+/// subset — atoms are `.` (any printable ASCII), `[...]` character classes
+/// (literals and `a-z` ranges, trailing `-` literal), or literal
+/// characters; each atom may carry an `{m}` / `{m,n}` repetition.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for (chars, lo, hi) in &atoms {
+            let reps = if lo == hi { *lo } else { rng.gen_range(*lo..=*hi) };
+            for _ in 0..reps {
+                out.push(chars[rng.gen_range(0..chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+/// Parses the regex subset into `(alphabet, min_reps, max_reps)` atoms.
+fn parse_pattern(pat: &str) -> Vec<(Vec<char>, usize, usize)> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let alphabet = match chars[i] {
+            '.' => {
+                i += 1;
+                (0x20u8..0x7f).map(char::from).collect()
+            }
+            '[' => {
+                i += 1;
+                let mut set = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    if chars[i + 1..].first() == Some(&'-')
+                        && chars.get(i + 2).is_some_and(|&c| c != ']')
+                    {
+                        let (lo, hi) = (chars[i], chars[i + 2]);
+                        assert!(lo <= hi, "bad class range in pattern {pat:?}");
+                        set.extend((lo..=hi).filter(|c| c.is_ascii()));
+                        i += 3;
+                    } else {
+                        set.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in pattern {pat:?}");
+                i += 1; // closing ']'
+                set
+            }
+            '\\' => {
+                i += 2;
+                vec![chars[i - 1]]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (mut lo, mut hi) = (1usize, 1usize);
+        if chars.get(i) == Some(&'{') {
+            let close =
+                chars[i..].iter().position(|&c| c == '}').expect("unterminated repetition") + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let mut parts = body.splitn(2, ',');
+            lo = parts.next().unwrap().trim().parse().expect("bad repetition");
+            hi = match parts.next() {
+                Some(s) => s.trim().parse().expect("bad repetition"),
+                None => lo,
+            };
+            i = close + 1;
+        }
+        assert!(!alphabet.is_empty(), "empty alphabet in pattern {pat:?}");
+        atoms.push((alphabet, lo, hi));
+    }
+    atoms
+}
+
+pub mod collection {
+    //! Collection strategies.
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.lo == self.size.hi {
+                self.size.lo
+            } else {
+                rng.gen_range(self.size.lo..=self.size.hi)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A strategy for `Vec`s whose elements come from `element` and whose
+    /// length lies in `size` (a fixed `usize` or a range).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// See [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.gen_bool(0.25) {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+
+    /// A strategy producing `None` a quarter of the time and `Some` of the
+    /// inner strategy otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+/// Defines property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` random instantiations of `body`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run $cfg; $($rest)*);
+    };
+    (@run $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let seed = $crate::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let mut prop_rng = $crate::case_rng(seed, case);
+                $(let $arg = $crate::Strategy::generate(&$strat, &mut prop_rng);)*
+                let inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}; ",)*),
+                    $(&$arg),*
+                );
+                let outcome: ::std::result::Result<(), ::std::string::String> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(msg) = outcome {
+                    panic!(
+                        "property {} failed at case {case}/{}: {msg}\n  inputs: {inputs}",
+                        stringify!($name),
+                        config.cases,
+                    );
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run $crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the current case unless the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+            ));
+        }
+    }};
+}
+
+/// Fails the current case when the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+            ));
+        }
+    }};
+}
+
+/// Skips the current case (counting it as passed) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn pattern_parsing_shapes() {
+        let mut rng = crate::case_rng(1, 0);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-e]{1,2}", &mut rng);
+            assert!((1..=2).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| ('a'..='e').contains(&c)));
+
+            let t = Strategy::generate(&"[a-zA-Z0-9 ,.!?-]{0,8}", &mut rng);
+            assert!(t.chars().count() <= 8);
+            assert!(t.chars().all(|c| c.is_ascii_alphanumeric() || " ,.!?-".contains(c)));
+
+            let dot = Strategy::generate(&".{0,6}", &mut rng);
+            assert!(dot.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a: Vec<u64> = {
+            let mut rng = crate::case_rng(7, 3);
+            (0..8).map(|_| Strategy::generate(&(0u64..1000), &mut rng)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = crate::case_rng(7, 3);
+            (0..8).map(|_| Strategy::generate(&(0u64..1000), &mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        fn macro_end_to_end(
+            x in 0usize..10,
+            v in crate::collection::vec(-1.0f32..1.0, 2..5),
+            o in crate::option::of(0u16..3),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(x < 10);
+            prop_assert!((2..=4).contains(&v.len()));
+            prop_assert!(v.iter().all(|f| (-1.0..1.0).contains(f)));
+            if let Some(k) = o {
+                prop_assert!(k < 3, "k = {k}");
+            }
+            prop_assume!(flag); // rejected cases return early without failing
+            prop_assert_eq!(x + 1, x + 1);
+            prop_assert_ne!(x, x + 1);
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Offline stand-in for the `rand_distr` crate: just the [`Distribution`]
+//! trait and the [`Poisson`] distribution the corpus generator draws
+//! ground-truth citation counts from.
+
+use rand::{Rng, RngCore};
+
+/// A distribution from which values can be sampled.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error constructing a distribution from invalid parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Error;
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid distribution parameter")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Poisson distribution with rate `lambda`.
+#[derive(Clone, Copy, Debug)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// A Poisson with the given rate.
+    ///
+    /// # Errors
+    /// Fails when `lambda` is not finite and positive.
+    pub fn new(lambda: f64) -> Result<Poisson, Error> {
+        if lambda > 0.0 && lambda.is_finite() {
+            Ok(Poisson { lambda })
+        } else {
+            Err(Error)
+        }
+    }
+}
+
+impl Distribution<f64> for Poisson {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.lambda < 30.0 {
+            // Knuth's product method.
+            let l = (-self.lambda).exp();
+            let mut k = 0u64;
+            let mut p = 1.0;
+            loop {
+                p *= rng.gen::<f64>();
+                if p <= l {
+                    return k as f64;
+                }
+                k += 1;
+            }
+        } else {
+            // Normal approximation with continuity correction; adequate for
+            // the large-rate tail of ground-truth citation counts.
+            let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            let u2: f64 = rng.gen();
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            (self.lambda + self.lambda.sqrt() * z).round().max(0.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_lambda() {
+        assert!(Poisson::new(0.0).is_err());
+        assert!(Poisson::new(-1.0).is_err());
+        assert!(Poisson::new(f64::NAN).is_err());
+        assert!(Poisson::new(1e-9).is_ok());
+    }
+
+    #[test]
+    fn small_lambda_mean_and_variance() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let d = Poisson::new(3.5).unwrap();
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.5).abs() < 0.1, "mean {mean}");
+        assert!((var - 3.5).abs() < 0.25, "var {var}");
+        assert!(samples.iter().all(|&x| x >= 0.0 && x.fract() == 0.0));
+    }
+
+    #[test]
+    fn large_lambda_mean() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let d = Poisson::new(80.0).unwrap();
+        let n = 20_000;
+        let mean = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 80.0).abs() < 0.5, "mean {mean}");
+    }
+}

@@ -1,0 +1,357 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the indexed-parallel-iterator surface the workspace uses
+//! (`par_iter` / `into_par_iter` on slices and ranges, `map`, `zip`,
+//! `enumerate`, `collect`, `for_each`, `sum`, `reduce`) executed on scoped
+//! `std::thread` workers — no work stealing, just contiguous chunks, which
+//! is the right shape for the uniform per-item workloads in this codebase.
+//! On a single-core host the pipeline runs inline with zero thread
+//! overhead.
+//!
+//! Every combinator is *indexed*: a pipeline knows its length and can
+//! produce the item at any index independently, which is what makes
+//! chunked parallel execution trivially correct (results are written in
+//! index order, so outputs match the sequential semantics exactly).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads a parallel call may use.
+fn max_threads() -> usize {
+    std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+}
+
+/// An indexed parallel pipeline: finite length, random access by index.
+pub trait ParallelIterator: Sized + Sync {
+    /// The element type produced at each index.
+    type Item: Send;
+
+    /// Number of items.
+    fn pi_len(&self) -> usize;
+
+    /// Produces the item at `i` (may run on any worker thread).
+    fn pi_get(&self, i: usize) -> Self::Item;
+
+    /// Transforms each item.
+    fn map<F, R>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Pairs items positionally with another pipeline; the shorter length
+    /// wins, matching `Iterator::zip`.
+    fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    /// Pairs each item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Hint accepted for API compatibility; chunking is already coarse.
+    fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// Runs the pipeline to completion, collecting into `C` (in practice
+    /// `Vec<Item>`, via the reflexive `From` impl).
+    fn collect<C: From<Vec<Self::Item>>>(self) -> C {
+        C::from(run_indexed(&self))
+    }
+
+    /// Applies `f` to every item.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        let n = self.pi_len();
+        run_chunked(n, &|i| f(self.pi_get(i)));
+    }
+
+    /// Sums all items.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + Send,
+    {
+        run_indexed(&self).into_iter().sum()
+    }
+
+    /// Reduces items with `op`, starting each chunk from `identity()`.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync,
+    {
+        run_indexed(&self).into_iter().fold(identity(), &op)
+    }
+}
+
+/// Executes an indexed pipeline, preserving index order in the output.
+fn run_indexed<P: ParallelIterator>(p: &P) -> Vec<P::Item> {
+    let n = p.pi_len();
+    let threads = max_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(|i| p.pi_get(i)).collect();
+    }
+    let mut out: Vec<Option<P::Item>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let chunk = n.div_ceil(threads);
+    {
+        let out_chunks: Vec<&mut [Option<P::Item>]> = out.chunks_mut(chunk).collect();
+        std::thread::scope(|scope| {
+            for (t, chunk_slice) in out_chunks.into_iter().enumerate() {
+                let start = t * chunk;
+                scope.spawn(move || {
+                    for (off, slot) in chunk_slice.iter_mut().enumerate() {
+                        *slot = Some(p.pi_get(start + off));
+                    }
+                });
+            }
+        });
+    }
+    out.into_iter().map(|x| x.expect("worker filled every slot")).collect()
+}
+
+/// Runs `f(i)` for every `i in 0..n` across worker threads.
+fn run_chunked(n: usize, f: &(dyn Fn(usize) + Sync)) {
+    let threads = max_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    let chunk = n.div_ceil(threads * 4).max(1);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                for i in start..(start + chunk).min(n) {
+                    f(i);
+                }
+            });
+        }
+    });
+}
+
+/// A slice pipeline (`par_iter`).
+pub struct ParSlice<'a, T: Sync> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParSlice<'a, T> {
+    type Item = &'a T;
+
+    fn pi_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn pi_get(&self, i: usize) -> &'a T {
+        &self.slice[i]
+    }
+}
+
+/// A range pipeline (`(0..n).into_par_iter()`).
+pub struct ParRange {
+    start: usize,
+    end: usize,
+}
+
+impl ParallelIterator for ParRange {
+    type Item = usize;
+
+    fn pi_len(&self) -> usize {
+        self.end - self.start
+    }
+
+    fn pi_get(&self, i: usize) -> usize {
+        self.start + i
+    }
+}
+
+/// See [`ParallelIterator::map`].
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, F, R> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    F: Fn(P::Item) -> R + Sync,
+    R: Send,
+{
+    type Item = R;
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    fn pi_get(&self, i: usize) -> R {
+        (self.f)(self.base.pi_get(i))
+    }
+}
+
+/// See [`ParallelIterator::zip`].
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+
+    fn pi_len(&self) -> usize {
+        self.a.pi_len().min(self.b.pi_len())
+    }
+
+    fn pi_get(&self, i: usize) -> (A::Item, B::Item) {
+        (self.a.pi_get(i), self.b.pi_get(i))
+    }
+}
+
+/// See [`ParallelIterator::enumerate`].
+pub struct Enumerate<P> {
+    base: P,
+}
+
+impl<P: ParallelIterator> ParallelIterator for Enumerate<P> {
+    type Item = (usize, P::Item);
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    fn pi_get(&self, i: usize) -> (usize, P::Item) {
+        (i, self.base.pi_get(i))
+    }
+}
+
+/// `.par_iter()` on shared collections.
+pub trait IntoParallelRefIterator<'a> {
+    /// The pipeline type.
+    type Iter: ParallelIterator;
+
+    /// A parallel iterator borrowing the collection.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = ParSlice<'a, T>;
+
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = ParSlice<'a, T>;
+
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { slice: self }
+    }
+}
+
+/// `.into_par_iter()` on owning/range types.
+pub trait IntoParallelIterator {
+    /// The pipeline type.
+    type Iter: ParallelIterator;
+
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = ParRange;
+
+    fn into_par_iter(self) -> ParRange {
+        ParRange { start: self.start, end: self.end }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if max_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon::join worker panicked"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zip_matches_sequential() {
+        let a: Vec<usize> = (0..100).collect();
+        let b: Vec<usize> = (100..200).collect();
+        let out: Vec<usize> = a.par_iter().zip(b.par_iter()).map(|(x, y)| x + y).collect();
+        assert_eq!(out, (0..100).map(|i| 2 * i + 100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ranges_enumerate_sum() {
+        let s: usize = (0..101usize).into_par_iter().sum();
+        assert_eq!(s, 5050);
+        let pairs: Vec<(usize, usize)> = (10..15usize).into_par_iter().enumerate().collect();
+        assert_eq!(pairs, vec![(0, 10), (1, 11), (2, 12), (3, 13), (4, 14)]);
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let count = AtomicUsize::new(0);
+        let v: Vec<usize> = (0..500).collect();
+        v.par_iter().for_each(|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn reduce_and_join() {
+        let v: Vec<usize> = (1..=10).collect();
+        let product = v.par_iter().map(|&x| x).reduce(|| 1, |a, b| a * b);
+        assert_eq!(product, 3_628_800);
+        let (a, b) = crate::join(|| 2 + 2, || "ok");
+        assert_eq!((a, b), (4, "ok"));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let v: Vec<u8> = Vec::new();
+        let out: Vec<u8> = v.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+        let s: usize = (5..5usize).into_par_iter().sum();
+        assert_eq!(s, 0);
+    }
+}

@@ -1,0 +1,415 @@
+//! Offline stand-in for `serde`.
+//!
+//! Instead of upstream serde's visitor-based zero-copy data model, this
+//! vendored subset routes everything through an owned JSON-like [`Value`]
+//! tree: [`Serialize`] renders a value *to* a tree, [`Deserialize`] rebuilds
+//! a value *from* one. `serde_json` (also vendored) prints and parses that
+//! tree. The `#[derive(Serialize, Deserialize)]` macros from the sibling
+//! `serde_derive` crate generate the per-type impls.
+//!
+//! Supported shapes — exactly what the workspace uses:
+//! structs with named fields, tuple structs (newtypes serialize
+//! transparently), unit-variant enums, integers, floats (non-finite values
+//! serialize as `null`, mirroring `serde_json`), `bool`, `String`, tuples,
+//! arrays, `Vec`, `Option`, and maps with string-like keys.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An owned JSON-like tree: the interchange format between `Serialize`,
+/// `Deserialize` and `serde_json`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Integer number (wide enough for every integer type in use).
+    Int(i128),
+    /// Floating-point number.
+    Float(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Arr(Vec<Value>),
+    /// JSON object, in insertion order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The fields of an object, or `None`.
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// The elements of an array, or `None`.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// A short name of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Arr(_) => "array",
+            Value::Obj(_) => "object",
+        }
+    }
+}
+
+/// A deserialization failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// An "expected X, found Y" error.
+    pub fn expected(what: &str, found: &Value) -> Error {
+        Error(format!("expected {what}, found {}", found.kind()))
+    }
+
+    /// A "missing field" error.
+    pub fn missing_field(name: &str) -> Error {
+        Error(format!("missing field `{name}`"))
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders `self` into a [`Value`] tree.
+pub trait Serialize {
+    /// The value as a tree.
+    fn ser(&self) -> Value;
+}
+
+/// Rebuilds `Self` from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parses the tree.
+    ///
+    /// # Errors
+    /// Returns [`Error`] when the tree does not match `Self`'s shape.
+    fn de(v: &Value) -> Result<Self, Error>;
+}
+
+/// Looks up a struct field by name and deserializes it. Missing fields
+/// deserialize from `Null`, so `Option` fields tolerate absence (matching
+/// upstream serde's behaviour for `Option`).
+///
+/// # Errors
+/// Propagates the field type's [`Deserialize`] error.
+pub fn field<T: Deserialize>(obj: &[(String, Value)], name: &str) -> Result<T, Error> {
+    match obj.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::de(v).map_err(|e| Error(format!("field `{name}`: {e}"))),
+        None => T::de(&Value::Null).map_err(|_| Error::missing_field(name)),
+    }
+}
+
+// ---------------------------------------------------------------- numbers
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn ser(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+        impl Deserialize for $t {
+            fn de(v: &Value) -> Result<Self, Error> {
+                let n = match v {
+                    Value::Int(n) => *n,
+                    Value::Float(f) if f.fract() == 0.0 && f.is_finite() => *f as i128,
+                    other => return Err(Error::expected("integer", other)),
+                };
+                <$t>::try_from(n).map_err(|_| Error(format!(
+                    "integer {n} out of range for {}", stringify!($t),
+                )))
+            }
+        }
+    )*};
+}
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, u128, i128);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn ser(&self) -> Value {
+                if self.is_finite() {
+                    Value::Float(f64::from(*self))
+                } else {
+                    Value::Null // serde_json serializes non-finite floats as null
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn de(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::Int(n) => Ok(*n as $t),
+                    Value::Null => Ok(<$t>::NAN),
+                    other => Err(Error::expected("number", other)),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+// ---------------------------------------------------------- other scalars
+
+impl Serialize for bool {
+    fn ser(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn de(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::expected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn ser(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn de(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn ser(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn ser(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn de(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error::expected("single-char string", other)),
+        }
+    }
+}
+
+// ------------------------------------------------------------- containers
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn ser(&self) -> Value {
+        (**self).ser()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn ser(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::ser).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn ser(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::ser).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn de(v: &Value) -> Result<Self, Error> {
+        let arr = v.as_arr().ok_or_else(|| Error::expected("array", v))?;
+        arr.iter().map(T::de).collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn ser(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::ser).collect())
+    }
+}
+
+impl<T: Deserialize + Copy + Default, const N: usize> Deserialize for [T; N] {
+    fn de(v: &Value) -> Result<Self, Error> {
+        let arr = v.as_arr().ok_or_else(|| Error::expected("array", v))?;
+        if arr.len() != N {
+            return Err(Error(format!("expected array of length {N}, found {}", arr.len())));
+        }
+        let mut out = [T::default(); N];
+        for (slot, item) in out.iter_mut().zip(arr) {
+            *slot = T::de(item)?;
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn ser(&self) -> Value {
+        match self {
+            Some(x) => x.ser(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn de(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::de(other).map(Some),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn ser(&self) -> Value {
+                Value::Arr(vec![$(self.$n.ser()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn de(v: &Value) -> Result<Self, Error> {
+                let arr = v.as_arr().ok_or_else(|| Error::expected("array (tuple)", v))?;
+                const LEN: usize = 0 $(+ { let _ = $n; 1 })+;
+                if arr.len() != LEN {
+                    return Err(Error(format!(
+                        "expected tuple of length {LEN}, found {}", arr.len(),
+                    )));
+                }
+                Ok(($($t::de(&arr[$n])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+// Maps serialize with sorted keys so output is deterministic regardless of
+// hash order.
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn ser(&self) -> Value {
+        let mut entries: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.clone(), v.ser())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Obj(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn de(v: &Value) -> Result<Self, Error> {
+        let obj = v.as_obj().ok_or_else(|| Error::expected("object", v))?;
+        obj.iter().map(|(k, x)| Ok((k.clone(), V::de(x)?))).collect()
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn ser(&self) -> Value {
+        Value::Obj(self.iter().map(|(k, v)| (k.clone(), v.ser())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn de(v: &Value) -> Result<Self, Error> {
+        let obj = v.as_obj().ok_or_else(|| Error::expected("object", v))?;
+        obj.iter().map(|(k, x)| Ok((k.clone(), V::de(x)?))).collect()
+    }
+}
+
+impl Serialize for Value {
+    fn ser(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn de(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        assert_eq!(u32::de(&42u32.ser()).unwrap(), 42);
+        assert_eq!(i64::de(&(-9i64).ser()).unwrap(), -9);
+        assert_eq!(f32::de(&1.5f32.ser()).unwrap(), 1.5);
+        assert!(f64::de(&f64::NAN.ser()).unwrap().is_nan());
+        assert!(bool::de(&true.ser()).unwrap());
+        assert_eq!(String::de(&"hi".to_string().ser()).unwrap(), "hi");
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![1u16, 2, 3];
+        assert_eq!(Vec::<u16>::de(&v.ser()).unwrap(), v);
+        let t = (2010u16, 2017u16);
+        assert_eq!(<(u16, u16)>::de(&t.ser()).unwrap(), t);
+        let a = [0.5f32, -0.25, 1.0];
+        assert_eq!(<[f32; 3]>::de(&a.ser()).unwrap(), a);
+        let o: Option<usize> = None;
+        assert_eq!(Option::<usize>::de(&o.ser()).unwrap(), None);
+        assert_eq!(Option::<usize>::de(&Some(7).ser()).unwrap(), Some(7));
+        let mut m = HashMap::new();
+        m.insert("b".to_string(), 2u8);
+        m.insert("a".to_string(), 1u8);
+        assert_eq!(HashMap::<String, u8>::de(&m.ser()).unwrap(), m);
+        // deterministic (sorted) object order
+        assert_eq!(
+            m.ser(),
+            Value::Obj(vec![("a".into(), Value::Int(1)), ("b".into(), Value::Int(2)),])
+        );
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        let e = u8::de(&Value::Int(999)).unwrap_err();
+        assert!(e.0.contains("out of range"));
+        let e = Vec::<u8>::de(&Value::Bool(true)).unwrap_err();
+        assert!(e.0.contains("expected array"));
+        let e = <[f32; 3]>::de(&Value::Arr(vec![Value::Int(1)])).unwrap_err();
+        assert!(e.0.contains("length 3"));
+    }
+
+    #[test]
+    fn field_lookup_handles_missing() {
+        let obj = vec![("x".to_string(), Value::Int(5))];
+        assert_eq!(field::<u32>(&obj, "x").unwrap(), 5);
+        assert_eq!(field::<Option<u32>>(&obj, "absent").unwrap(), None);
+        assert!(field::<u32>(&obj, "absent").is_err());
+    }
+}

@@ -1,0 +1,313 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! `serde` subset.
+//!
+//! No `syn`/`quote` (the registry is unreachable in this build
+//! environment), so the input item is parsed directly from the
+//! `proc_macro` token stream. Supported shapes — the ones the workspace
+//! uses:
+//!
+//! * structs with named fields → JSON objects keyed by field name;
+//! * tuple structs: one field serializes transparently (newtype),
+//!   several serialize as an array;
+//! * enums with unit variants only → the variant name as a string.
+//!
+//! Generics, data-carrying enum variants and `#[serde(...)]` attributes are
+//! rejected with a compile error rather than silently mis-serialized.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+/// The parsed shape of the deriving item.
+enum Item {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+fn expand(input: TokenStream, ser: bool) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let code = if ser { gen_serialize(&item) } else { gen_deserialize(&item) };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut tokens = input.into_iter().peekable();
+
+    // Attributes (incl. doc comments) and visibility before the keyword.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let keyword = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    if matches!(&tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("serde derive (vendored): generic type `{name}` not supported"));
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                Ok(Item::NamedStruct { name, fields })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = parse_tuple_arity(g.stream());
+                Ok(Item::TupleStruct { name, arity })
+            }
+            other => Err(format!("unsupported struct body for `{name}`: {other:?}")),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = parse_unit_variants(&name, g.stream())?;
+                Ok(Item::UnitEnum { name, variants })
+            }
+            other => Err(format!("unsupported enum body for `{name}`: {other:?}")),
+        },
+        other => Err(format!("cannot derive serde impls for `{other}`")),
+    }
+}
+
+/// Field names of a named-field struct body. Types are skipped, tracking
+/// `<...>` nesting so commas inside generic arguments don't split fields.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // attributes + visibility
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tt) = tokens.next() else { break };
+        let TokenTree::Ident(field) = tt else {
+            return Err(format!("expected field name, found {tt:?}"));
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after `{field}`, found {other:?}")),
+        }
+        fields.push(field.to_string());
+        // skip the type up to a top-level `,`
+        let mut angle = 0i32;
+        for tt in tokens.by_ref() {
+            match &tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// Number of fields in a tuple-struct body.
+fn parse_tuple_arity(body: TokenStream) -> usize {
+    let mut arity = 0usize;
+    let mut angle = 0i32;
+    let mut seen_any = false;
+    for tt in body {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                arity += 1;
+                seen_any = false;
+                continue;
+            }
+            _ => {}
+        }
+        seen_any = true;
+    }
+    if seen_any {
+        arity += 1; // no trailing comma
+    }
+    arity
+}
+
+fn parse_unit_variants(name: &str, body: TokenStream) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        while matches!(&tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            tokens.next();
+            tokens.next();
+        }
+        let Some(tt) = tokens.next() else { break };
+        let TokenTree::Ident(variant) = tt else {
+            return Err(format!("expected variant name in `{name}`, found {tt:?}"));
+        };
+        variants.push(variant.to_string());
+        match tokens.next() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(other) => {
+                return Err(format!(
+                    "serde derive (vendored): enum `{name}` variant `{variant}` is not a unit \
+                     variant ({other:?}); only unit-variant enums are supported",
+                ))
+            }
+        }
+    }
+    Ok(variants)
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__fields.push(({f:?}.to_string(), serde::Serialize::ser(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn ser(&self) -> serde::Value {{\n\
+                         let mut __fields: Vec<(String, serde::Value)> = Vec::new();\n\
+                         {pushes}\
+                         serde::Value::Obj(__fields)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl serde::Serialize for {name} {{\n\
+                 fn ser(&self) -> serde::Value {{ serde::Serialize::ser(&self.0) }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let elems: Vec<String> =
+                (0..*arity).map(|i| format!("serde::Serialize::ser(&self.{i})")).collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn ser(&self) -> serde::Value {{ serde::Value::Arr(vec![{}]) }}\n\
+                 }}",
+                elems.join(", ")
+            )
+        }
+        Item::UnitEnum { name, variants } => {
+            let arms: String =
+                variants.iter().map(|v| format!("{name}::{v} => {v:?},\n")).collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn ser(&self) -> serde::Value {{\n\
+                         serde::Value::Str(String::from(match self {{\n{arms}}}))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let inits: String =
+                fields.iter().map(|f| format!("{f}: serde::field(__obj, {f:?})?,\n")).collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn de(__v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                         let __obj = __v.as_obj()\
+                             .ok_or_else(|| serde::Error::expected(\"object\", __v))?;\n\
+                         Ok({name} {{\n{inits}}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl serde::Deserialize for {name} {{\n\
+                 fn de(__v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                     Ok({name}(serde::Deserialize::de(__v)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let elems: Vec<String> =
+                (0..*arity).map(|i| format!("serde::Deserialize::de(&__arr[{i}])?")).collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn de(__v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                         let __arr = __v.as_arr()\
+                             .ok_or_else(|| serde::Error::expected(\"array\", __v))?;\n\
+                         if __arr.len() != {arity} {{\n\
+                             return Err(serde::Error(format!(\
+                                 \"expected array of length {arity}, found {{}}\", __arr.len())));\n\
+                         }}\n\
+                         Ok({name}({}))\n\
+                     }}\n\
+                 }}",
+                elems.join(", ")
+            )
+        }
+        Item::UnitEnum { name, variants } => {
+            let arms: String =
+                variants.iter().map(|v| format!("{v:?} => Ok({name}::{v}),\n")).collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn de(__v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                         match __v {{\n\
+                             serde::Value::Str(__s) => match __s.as_str() {{\n\
+                                 {arms}\
+                                 __other => Err(serde::Error(format!(\
+                                     \"unknown {name} variant `{{__other}}`\"))),\n\
+                             }},\n\
+                             __other => Err(serde::Error::expected(\"string (enum variant)\", __other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
