@@ -1,7 +1,11 @@
 //! Criterion benches for the online serving subsystem: ANN index
 //! construction, batched top-K querying (the per-iteration p50/p99 the
-//! harness prints are the serving latency numbers) and incremental
+//! harness prints are the serving latency numbers), deadline enforcement
+//! overhead (happy-path budget checks must cost <2%, and an exhausted
+//! budget must degrade quickly rather than block) and incremental
 //! ingestion through the query engine.
+
+use std::time::{Duration, Instant};
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::{Rng, SeedableRng};
@@ -46,8 +50,39 @@ fn bench_query(c: &mut Criterion) {
         bench.iter(|| {
             let engine = QueryEngine::new(index.clone(), EngineConfig::default());
             let requests: Vec<QueryRequest> =
-                queries.iter().map(|q| QueryRequest { vector: q.clone(), k: 10 }).collect();
-            black_box(engine.query_batch(requests))
+                queries.iter().map(|q| QueryRequest::new(q.clone(), 10)).collect();
+            black_box(engine.query_batch(requests).unwrap())
+        })
+    });
+}
+
+fn bench_deadline(c: &mut Criterion) {
+    let index = AnnIndex::build(corpus_vectors(2000, 7), ivf_config());
+    let single = corpus_vectors(1, 99).pop().unwrap();
+
+    // Happy path with a generous budget: measures the pure cost of the
+    // deadline bookkeeping against `serve/query-top10-single` above. The
+    // regression target is <2%.
+    let generous = Some(Instant::now() + Duration::from_secs(3600));
+    c.bench_function("serve/query-top10-single-with-deadline", |bench| {
+        bench.iter(|| index.search_deadline(black_box(&single), 10, generous).unwrap())
+    });
+
+    // Degraded mode: the budget is already exhausted at enqueue time, so
+    // every query must come back (partial, flagged) almost instantly —
+    // this measures how fast the engine sheds load under pressure.
+    c.bench_function("serve/query-top10-batch32-degraded", |bench| {
+        let queries = corpus_vectors(32, 99);
+        bench.iter(|| {
+            let engine = QueryEngine::new(
+                index.clone(),
+                EngineConfig { default_deadline: Some(Duration::ZERO), ..Default::default() },
+            );
+            let requests: Vec<QueryRequest> =
+                queries.iter().map(|q| QueryRequest::new(q.clone(), 10)).collect();
+            let responses = engine.query_batch(requests).unwrap();
+            assert!(responses.iter().all(|r| r.degraded));
+            black_box(responses)
         })
     });
 }
@@ -63,5 +98,5 @@ fn bench_ingest(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_build, bench_query, bench_ingest);
+criterion_group!(benches, bench_build, bench_query, bench_deadline, bench_ingest);
 criterion_main!(benches);

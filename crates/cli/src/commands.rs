@@ -36,6 +36,12 @@ impl From<String> for CliError {
     }
 }
 
+impl From<sem_serve::ServeError> for CliError {
+    fn from(e: sem_serve::ServeError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
 /// Parsed `--flag value` arguments.
 pub(crate) struct Args {
     flags: HashMap<String, String>,
@@ -115,9 +121,16 @@ USAGE:
   sem recommend --corpus corpus.json --split YEAR --user ID [--top N]
 
 serving (JSON output):
-  sem index build --model model-dir --out index.json [--nlist N] [--nprobe N] [--flat-threshold N]
-  sem index query --model model-dir --index index.json --paper ID[,ID...] [--k K]
-  sem ingest      --model model-dir --index index.json --title T --abstract TEXT [--year Y] [--k K] [--out index.json]
+  sem index build  --model model-dir --out index.snap [--nlist N] [--nprobe N] [--flat-threshold N]
+  sem index query  --model model-dir --index index.snap --paper ID[,ID...] [--k K] [--deadline-ms MS]
+  sem index verify --index index.snap
+  sem ingest       --model model-dir --index index.snap --title T --abstract TEXT [--year Y] [--k K] [--out index.snap]
+
+index files are crash-safe snapshots (checksummed header + atomic rename)
+with a write-ahead journal alongside (<index>.journal); `index verify`
+checks both and `index query`/`ingest` recover to the last durable state
+automatically. `--deadline-ms` bounds per-query latency: an exhausted
+budget returns a partial result flagged degraded instead of blocking.
 "
     .to_string()
 }
@@ -239,7 +252,8 @@ fn train(args: &Args) -> Result<String, CliError> {
     };
     std::fs::write(
         out.config_path(),
-        serde_json::to_string_pretty(&stored).expect("config serialises"),
+        serde_json::to_string_pretty(&stored)
+            .map_err(|e| CliError(format!("config serialisation: {e}")))?,
     )?;
     std::fs::write(out.weights_path(), model.weights_to_json())?;
     Ok(format!(
@@ -323,8 +337,9 @@ fn analyze(args: &Args) -> Result<String, CliError> {
         let cites: Vec<f64> =
             members.iter().map(|&i| corpus.papers[i].citations_received as f64).collect();
         let rho = analysis::outlier_citation_correlation(&outliers, &cites);
-        let best =
-            (0..NUM_SUBSPACES).max_by(|&a, &b| rho[a].total_cmp(&rho[b])).expect("3 subspaces");
+        let best = (0..NUM_SUBSPACES)
+            .max_by(|&a, &b| rho[a].total_cmp(&rho[b]))
+            .ok_or_else(|| CliError("no subspaces to rank".into()))?;
         out.push_str(&format!(
             "  {:20} background={:+.3} method={:+.3} result={:+.3}  (innovation lives in `{}`)\n",
             prof.name,

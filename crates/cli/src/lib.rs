@@ -13,15 +13,21 @@
 //! sem embed     --model model-dir --paper ID
 //! sem analyze   --corpus corpus.json [--lof-k K]
 //! sem recommend --corpus corpus.json --split YEAR --user ID [--top N]
-//! sem index build --model model-dir --out index.json [--nlist N] [--nprobe N]
-//! sem index query --model model-dir --index index.json --paper ID[,ID...] [--k K]
-//! sem ingest      --model model-dir --index index.json --title T --abstract TEXT [--year Y]
+//! sem index build  --model model-dir --out index.snap [--nlist N] [--nprobe N]
+//! sem index query  --model model-dir --index index.snap --paper ID[,ID...] [--k K] [--deadline-ms MS]
+//! sem index verify --index index.snap
+//! sem ingest       --model model-dir --index index.snap --title T --abstract TEXT [--year Y]
 //! ```
 //!
-//! The serve family (`index build` / `index query` / `ingest`) speaks JSON
-//! on stdout and is backed by the `sem-serve` crate: an IVF-flat ANN index
-//! over SEM paper embeddings, a batched query engine with an LRU result
-//! cache, and incremental zero-citation-paper ingestion.
+//! The serve family (`index build` / `index query` / `index verify` /
+//! `ingest`) speaks JSON on stdout and is backed by the `sem-serve` crate:
+//! an IVF-flat ANN index over SEM paper embeddings, a batched query engine
+//! with an LRU result cache, and incremental zero-citation-paper ingestion.
+//! Indexes live in crash-safe snapshots (checksummed header, atomic
+//! rename) with a write-ahead journal alongside: `ingest` fsyncs the
+//! journal before acknowledging, loading replays it, `index verify`
+//! reports integrity, and `--deadline-ms` turns budget exhaustion into
+//! partial results flagged `degraded` instead of blocking.
 //!
 //! Model persistence: the frozen text pipeline (skip-gram, encoder, CRF) is
 //! deterministic given the corpus and seed, so a model directory stores only

@@ -1,28 +1,40 @@
-//! The serve-family commands: `index build`, `index query` and `ingest`.
+//! The serve-family commands: `index build`, `index query`, `index verify`
+//! and `ingest`.
 //!
-//! All three speak JSON on stdout (they are meant to be scripted against)
+//! All four speak JSON on stdout (they are meant to be scripted against)
 //! and share the model directory produced by `sem train`. The index file is
-//! a self-contained [`AnnIndex`] dump; `ingest` grows it in place — no
-//! retraining, no rebuild.
+//! a crash-safe [`IndexStore`] snapshot — checksummed header, atomic
+//! rename, write-ahead journal alongside — so `index query` and `ingest`
+//! recover to the last durable state automatically, `ingest` journals the
+//! new paper before acknowledging it, and `index verify` gives operators
+//! (and the recovery tests) a machine-readable integrity report.
 
-use std::path::{Path, PathBuf};
-use std::time::Instant;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
 
 use sem_corpus::{Corpus, Paper, PaperId, Sentence, Subspace, NUM_SUBSPACES};
-use sem_serve::{AnnIndex, EngineConfig, IndexConfig, PaperEmbedder, QueryEngine, QueryRequest};
+use sem_serve::{
+    AnnIndex, DegradeReason, EngineConfig, IndexConfig, IndexStore, PaperEmbedder, QueryEngine,
+    QueryRequest,
+};
 use serde::Serialize;
 
 use crate::commands::{load_model, Args, CliError};
 
-/// Dispatches `sem index <build|query> ...`.
+fn to_pretty<T: Serialize>(value: &T) -> Result<String, CliError> {
+    serde_json::to_string_pretty(value).map_err(|e| CliError(format!("report serialisation: {e}")))
+}
+
+/// Dispatches `sem index <build|query|verify> ...`.
 pub(crate) fn index(argv: &[String]) -> Result<String, CliError> {
     let Some(sub) = argv.first() else {
-        return Err(CliError("usage: sem index <build|query> ...".into()));
+        return Err(CliError("usage: sem index <build|query|verify> ...".into()));
     };
     let args = Args::parse(&argv[1..])?;
     match sub.as_str() {
         "build" => index_build(&args),
         "query" => index_query(&args),
+        "verify" => index_verify(&args),
         other => Err(CliError(format!("unknown index subcommand {other:?}"))),
     }
 }
@@ -36,9 +48,9 @@ struct BuildSummary {
     out: String,
 }
 
-/// `sem index build --model DIR --out index.json [--nlist N] [--nprobe N]
+/// `sem index build --model DIR --out index.snap [--nlist N] [--nprobe N]
 /// [--flat-threshold N]`: embeds every corpus paper and builds the ANN
-/// index.
+/// index, persisted as a crash-safe snapshot.
 fn index_build(args: &Args) -> Result<String, CliError> {
     let dir = PathBuf::from(args.required("model")?);
     let out = args.required("out")?;
@@ -52,8 +64,8 @@ fn index_build(args: &Args) -> Result<String, CliError> {
     let t0 = Instant::now();
     let embedder = PaperEmbedder::new(&pipeline, &sem);
     let vectors = embedder.embed_corpus(&corpus);
-    let index = AnnIndex::build(vectors, config);
-    std::fs::write(out, index.to_json())?;
+    let index = AnnIndex::try_build(vectors, config)?;
+    IndexStore::open(out).save_snapshot(&index)?;
     let summary = BuildSummary {
         papers: index.len(),
         dim: index.dim(),
@@ -61,7 +73,21 @@ fn index_build(args: &Args) -> Result<String, CliError> {
         elapsed_ms: t0.elapsed().as_millis() as u64,
         out: out.to_string(),
     };
-    Ok(serde_json::to_string_pretty(&summary).expect("summary serialises"))
+    to_pretty(&summary)
+}
+
+/// `sem index verify --index index.snap`: checks the snapshot header +
+/// checksum and scans the journal, printing a JSON integrity report.
+/// Exit status is an error when the pair would not recover cleanly.
+fn index_verify(args: &Args) -> Result<String, CliError> {
+    let store = IndexStore::open(args.required("index")?);
+    let report = store.verify();
+    let rendered = to_pretty(&report)?;
+    if report.ok {
+        Ok(rendered)
+    } else {
+        Err(CliError(format!("index failed verification:\n{rendered}")))
+    }
 }
 
 #[derive(Serialize)]
@@ -75,13 +101,24 @@ struct HitOut {
 #[derive(Serialize)]
 struct QueryOut {
     paper: usize,
+    degraded: bool,
+    reason: Option<DegradeReason>,
     hits: Vec<HitOut>,
 }
 
 #[derive(Serialize)]
 struct QueryReport {
     results: Vec<QueryOut>,
+    recovery: RecoveryOut,
     stats: sem_serve::StatsSnapshot,
+}
+
+/// What loading the index found on disk (journal replay counters).
+#[derive(Serialize)]
+struct RecoveryOut {
+    replayed: usize,
+    skipped: usize,
+    discarded_tail: bool,
 }
 
 fn describe(corpus: &Corpus, id: usize) -> (String, u16) {
@@ -91,13 +128,27 @@ fn describe(corpus: &Corpus, id: usize) -> (String, u16) {
     }
 }
 
-/// `sem index query --model DIR --index index.json --paper ID[,ID...]
-/// [--k K]`: answers one coalesced batch of top-K queries and reports the
-/// engine counters.
+/// Loads the index through the store (snapshot + journal replay) and
+/// reports what recovery saw.
+fn load_index(path: &str) -> Result<(AnnIndex, RecoveryOut), CliError> {
+    let recovery = IndexStore::open(path).load()?;
+    let out = RecoveryOut {
+        replayed: recovery.replayed,
+        skipped: recovery.skipped,
+        discarded_tail: recovery.discarded_tail,
+    };
+    Ok((recovery.index, out))
+}
+
+/// `sem index query --model DIR --index index.snap --paper ID[,ID...]
+/// [--k K] [--deadline-ms MS]`: answers one coalesced batch of top-K
+/// queries and reports the engine counters. With a deadline, exhausted
+/// budgets yield partial results flagged `degraded` instead of blocking.
 fn index_query(args: &Args) -> Result<String, CliError> {
     let dir = PathBuf::from(args.required("model")?);
     let index_path = args.required("index")?;
     let k: usize = args.parse_num("k", 5)?;
+    let deadline_ms: u64 = args.parse_num("deadline-ms", 0)?;
     let papers: Vec<usize> = args
         .required("paper")?
         .split(',')
@@ -109,7 +160,7 @@ fn index_query(args: &Args) -> Result<String, CliError> {
             return Err(CliError(format!("--paper must be in 0..{}", corpus.papers.len())));
         }
     }
-    let index = AnnIndex::from_json(&std::fs::read_to_string(index_path)?)?;
+    let (index, recovery) = load_index(index_path)?;
     let embedder = PaperEmbedder::new(&pipeline, &sem);
     if index.dim() != embedder.dim() {
         return Err(CliError(format!(
@@ -118,18 +169,25 @@ fn index_query(args: &Args) -> Result<String, CliError> {
             embedder.dim()
         )));
     }
-    let engine = QueryEngine::new(index, EngineConfig::default());
+    let config = EngineConfig {
+        default_deadline: (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms)),
+        ..Default::default()
+    };
+    let engine = QueryEngine::new(index, config);
     let requests: Vec<QueryRequest> = papers
         .iter()
-        .map(|&p| QueryRequest { vector: embedder.embed_indexed(&corpus, PaperId::from(p)), k })
+        .map(|&p| QueryRequest::new(embedder.embed_indexed(&corpus, PaperId::from(p)), k))
         .collect();
-    let batches = engine.query_batch(requests);
+    let responses = engine.query_batch(requests)?;
     let results = papers
         .iter()
-        .zip(batches)
-        .map(|(&p, hits)| QueryOut {
+        .zip(responses)
+        .map(|(&p, response)| QueryOut {
             paper: p,
-            hits: hits
+            degraded: response.degraded,
+            reason: response.reason,
+            hits: response
+                .hits
                 .into_iter()
                 .map(|h| {
                     let (title, year) = describe(&corpus, h.id);
@@ -138,18 +196,20 @@ fn index_query(args: &Args) -> Result<String, CliError> {
                 .collect(),
         })
         .collect();
-    let report = QueryReport { results, stats: engine.stats() };
-    Ok(serde_json::to_string_pretty(&report).expect("report serialises"))
+    let report = QueryReport { results, recovery, stats: engine.stats() };
+    to_pretty(&report)
 }
 
 #[derive(Serialize)]
 struct IngestReport {
     id: usize,
+    durable: bool,
     title: String,
     sentences: usize,
     self_rank: usize,
     hits: Vec<HitOut>,
     index_len: usize,
+    recovery: RecoveryOut,
     out: String,
 }
 
@@ -178,10 +238,10 @@ fn paper_from_text(title: &str, abstract_text: &str, year: u16, id: usize) -> Pa
     }
 }
 
-/// `sem ingest --model DIR --index index.json --title T --abstract TEXT
-/// [--year Y] [--k K] [--out index.json]`: embeds a brand-new zero-citation
-/// paper, inserts it without rebuilding, saves the grown index and queries
-/// the paper back.
+/// `sem ingest --model DIR --index index.snap --title T --abstract TEXT
+/// [--year Y] [--k K] [--out index.snap]`: embeds a brand-new zero-citation
+/// paper, journals it (fsync) before acknowledging, inserts it without
+/// rebuilding, compacts into a fresh snapshot and queries the paper back.
 pub(crate) fn ingest(args: &Args) -> Result<String, CliError> {
     let dir = PathBuf::from(args.required("model")?);
     let index_path = args.required("index")?;
@@ -192,7 +252,7 @@ pub(crate) fn ingest(args: &Args) -> Result<String, CliError> {
     let (corpus, pipeline, _labels, sem) = load_model(&dir)?;
     let year: u16 =
         args.parse_num("year", corpus.papers.iter().map(|p| p.year).max().unwrap_or(2020) + 1)?;
-    let index = AnnIndex::from_json(&std::fs::read_to_string(index_path)?)?;
+    let (index, recovery) = load_index(index_path)?;
     let embedder = PaperEmbedder::new(&pipeline, &sem);
     if index.dim() != embedder.dim() {
         return Err(CliError(format!(
@@ -206,30 +266,36 @@ pub(crate) fn ingest(args: &Args) -> Result<String, CliError> {
         return Err(CliError("--abstract has no sentences".into()));
     }
     let engine = QueryEngine::new(index, EngineConfig::default());
+    engine.attach_store(IndexStore::open(&out));
     let vector = embedder.embed_new(&paper);
-    let id = engine.ingest_vector(vector.clone());
-    let hits = engine.query(vector, k);
-    let self_rank = hits.iter().position(|h| h.id == id).map(|r| r + 1).unwrap_or(0);
-    let grown = engine.into_index();
-    let index_len = grown.len();
-    std::fs::write(Path::new(&out), grown.to_json())?;
+    let ack = engine.ingest_vector(vector.clone())?;
+    let hits = engine.query(vector, k)?.hits;
+    let self_rank = hits.iter().position(|h| h.id == ack.id).map(|r| r + 1).unwrap_or(0);
+    // compact journal + grown index into a fresh atomic snapshot
+    engine.persist()?;
+    let index_len = engine.with_index(|i| i.len())?;
     let report = IngestReport {
-        id,
+        id: ack.id,
+        durable: ack.durable,
         title: title.to_string(),
         sentences: paper.sentences.len(),
         self_rank,
         hits: hits
             .into_iter()
             .map(|h| {
-                let (t, y) =
-                    if h.id == id { (title.to_string(), year) } else { describe(&corpus, h.id) };
+                let (t, y) = if h.id == ack.id {
+                    (title.to_string(), year)
+                } else {
+                    describe(&corpus, h.id)
+                };
                 HitOut { id: h.id, score: h.score, title: t, year: y }
             })
             .collect(),
         index_len,
+        recovery,
         out,
     };
-    Ok(serde_json::to_string_pretty(&report).expect("report serialises"))
+    to_pretty(&report)
 }
 
 #[cfg(test)]
@@ -246,12 +312,13 @@ mod tests {
     }
 
     /// The acceptance demo, end to end: generate → train → index build →
-    /// batched query → ingest a brand-new paper → it comes back top-ranked.
+    /// verify → batched query → ingest a brand-new paper → it comes back
+    /// top-ranked and the grown snapshot verifies clean.
     #[test]
     fn index_build_query_ingest_roundtrip() {
         let corpus_path = tmp("corpus.json");
         let model_dir = tmp("model");
-        let index_path = tmp("index.json");
+        let index_path = tmp("index.snap");
         run(&argv(&[
             "generate",
             "--preset",
@@ -287,6 +354,12 @@ mod tests {
         assert!(built.contains("\"papers\": 130"), "{built}");
         assert!(built.contains("\"mode\": \"flat\""), "{built}");
 
+        // the fresh snapshot passes verification
+        let verified =
+            run(&argv(&["index", "verify", "--index", index_path.to_str().unwrap()])).unwrap();
+        assert!(verified.contains("\"ok\": true"), "{verified}");
+        assert!(verified.contains("\"format\": \"v1\""), "{verified}");
+
         // batched query: each paper's own vector must rank itself first
         let q = run(&argv(&[
             "index",
@@ -305,6 +378,25 @@ mod tests {
         assert!(q.contains("\"id\": 3"), "{q}");
         assert!(q.contains("\"id\": 40"), "{q}");
         assert!(q.contains("\"largest_batch\": 2"), "{q}");
+        assert!(q.contains("\"degraded\": false"), "{q}");
+
+        // a generous deadline changes nothing
+        let qd = run(&argv(&[
+            "index",
+            "query",
+            "--model",
+            model_dir.to_str().unwrap(),
+            "--index",
+            index_path.to_str().unwrap(),
+            "--paper",
+            "3",
+            "--k",
+            "4",
+            "--deadline-ms",
+            "60000",
+        ]))
+        .unwrap();
+        assert!(qd.contains("\"degraded\": false"), "{qd}");
 
         let ing = run(&argv(&[
             "ingest",
@@ -322,11 +414,15 @@ mod tests {
         ]))
         .unwrap();
         assert!(ing.contains("\"id\": 130"), "{ing}");
+        assert!(ing.contains("\"durable\": true"), "{ing}");
         assert!(ing.contains("\"self_rank\": 1"), "{ing}");
         assert!(ing.contains("\"index_len\": 131"), "{ing}");
 
-        // the grown index was persisted: querying it again still works and
-        // now holds the ingested paper
+        // the grown index was persisted and compacted: it verifies clean
+        // and querying it again still works
+        let v2 = run(&argv(&["index", "verify", "--index", index_path.to_str().unwrap()])).unwrap();
+        assert!(v2.contains("\"ok\": true"), "{v2}");
+        assert!(v2.contains("\"count\": 131"), "{v2}");
         let q2 = run(&argv(&[
             "index",
             "query",
@@ -355,5 +451,19 @@ mod tests {
             run(&argv(&["index", "build", "--model", "/nonexistent", "--out", "/tmp/x"])).is_err()
         );
         assert!(run(&argv(&["ingest", "--model", "/nonexistent"])).is_err());
+        assert!(run(&argv(&["index", "verify", "--index", "/nonexistent/index.snap"])).is_err());
+    }
+
+    /// `index verify` detects a corrupted snapshot and fails loudly.
+    #[test]
+    fn verify_rejects_corruption() {
+        let path = tmp("corrupt.snap");
+        // a file that is neither a v1 snapshot nor legacy JSON
+        std::fs::write(&path, b"not a snapshot at all").unwrap();
+        let err = run(&argv(&["index", "verify", "--index", path.to_str().unwrap()]))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("\"ok\": false"), "{err}");
+        std::fs::remove_file(&path).ok();
     }
 }

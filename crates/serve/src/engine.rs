@@ -1,5 +1,6 @@
-//! The batched query engine: request coalescing, an LRU result cache and
-//! per-stage latency/throughput counters.
+//! The batched query engine: request coalescing, an LRU result cache,
+//! per-request deadlines with graceful degradation, stale-cache serving
+//! during recovery, and per-stage latency/throughput counters.
 //!
 //! Concurrent callers [`QueryEngine::enqueue`] requests; any caller's
 //! [`QueryEngine::flush`] drains *everything* pending and answers it as one
@@ -8,18 +9,33 @@
 //! table keyed by ticket (a flusher may answer tickets other threads
 //! enqueued).
 //!
-//! Cache invalidation on ingestion is *targeted*: an inserted vector can
-//! only change a cached top-K if it scores at least as high as the entry's
-//! current K-th hit, so every other entry provably stays valid and is kept.
+//! **Degradation ladder.** Every response carries a `degraded` flag: (1) a
+//! request inside its deadline gets the full search; (2) near budget
+//! exhaustion the index shrinks its probe count / stops the scan early and
+//! the partial result is flagged [`DegradeReason::Deadline`]; (3) while the
+//! index is mid-recovery, cache hits are served stale
+//! ([`DegradeReason::Stale`]) and misses come back empty
+//! ([`DegradeReason::Unavailable`]) — the engine never blocks and never
+//! panics on the query path.
+//!
+//! **Durability.** With an [`IndexStore`] attached, every ingest is
+//! journaled (and fsynced) *before* the in-memory insert — an acknowledged
+//! ingest survives a crash by construction. Cache invalidation on ingestion
+//! is *targeted*: an inserted vector can only change a cached top-K if it
+//! scores at least as high as the entry's current K-th hit, so every other
+//! entry provably stays valid and is kept.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, RwLock};
 use serde::Serialize;
 
 use crate::cache::LruCache;
+use crate::error::ServeError;
 use crate::index::{AnnIndex, Hit};
+use crate::store::{Durability, IndexStore};
+use rayon::prelude::*;
 
 /// One top-K query.
 #[derive(Clone, Debug)]
@@ -28,6 +44,22 @@ pub struct QueryRequest {
     pub vector: Vec<f32>,
     /// Number of results wanted.
     pub k: usize,
+    /// Wall-clock budget for this request, measured from enqueue. `None`
+    /// falls back to [`EngineConfig::default_deadline`].
+    pub deadline: Option<Duration>,
+}
+
+impl QueryRequest {
+    /// A request with no per-request deadline override.
+    pub fn new(vector: Vec<f32>, k: usize) -> Self {
+        QueryRequest { vector, k, deadline: None }
+    }
+
+    /// Sets a wall-clock budget for this request.
+    pub fn with_deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(budget);
+        self
+    }
 }
 
 /// Engine tuning knobs.
@@ -35,12 +67,61 @@ pub struct QueryRequest {
 pub struct EngineConfig {
     /// Result-cache capacity (entries).
     pub cache_capacity: usize,
+    /// Deadline applied to requests that don't carry their own. `None`
+    /// means unbounded (no deadline checks on the search path).
+    pub default_deadline: Option<Duration>,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        EngineConfig { cache_capacity: 1024 }
+        EngineConfig { cache_capacity: 1024, default_deadline: None }
     }
+}
+
+/// Why a response is degraded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum DegradeReason {
+    /// The deadline budget ran out: the hits are a partial (possibly
+    /// empty) result from a shrunk probe count or truncated scan.
+    Deadline,
+    /// Served from the cache while the index is mid-recovery; the entry
+    /// may predate recent ingests.
+    Stale,
+    /// The index is mid-recovery and the query missed the cache; no
+    /// search was possible.
+    Unavailable,
+}
+
+/// A served result: the hits plus an honest account of their quality.
+#[derive(Clone, Debug, Serialize)]
+pub struct QueryResponse {
+    /// Top-K hits, best first (may be partial when `degraded`).
+    pub hits: Vec<Hit>,
+    /// `false` = full-fidelity search within budget.
+    pub degraded: bool,
+    /// Set exactly when `degraded`.
+    pub reason: Option<DegradeReason>,
+}
+
+impl QueryResponse {
+    fn full(hits: Vec<Hit>) -> Self {
+        QueryResponse { hits, degraded: false, reason: None }
+    }
+
+    fn degraded(hits: Vec<Hit>, reason: DegradeReason) -> Self {
+        QueryResponse { hits, degraded: true, reason: Some(reason) }
+    }
+}
+
+/// Acknowledgement of one ingest.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct IngestAck {
+    /// Vector id the index assigned.
+    pub id: usize,
+    /// `true` when the ingest is journaled and fsynced (crash-durable).
+    /// `false` without an attached store, or while a journal batch is
+    /// still buffered.
+    pub durable: bool,
 }
 
 /// Exact f32 bit-pattern key: two queries share a cache entry only when
@@ -142,11 +223,21 @@ pub struct StatsSnapshot {
     pub invalidated: u64,
     /// Entries currently cached.
     pub cache_len: u64,
+    /// Responses flagged `degraded`, any reason.
+    pub degraded: u64,
+    /// Cache hits served stale during recovery.
+    pub stale_serves: u64,
+    /// Journal records acknowledged as synced.
+    pub journal_synced: u64,
+    /// Journal records buffered (not yet crash-durable).
+    pub journal_buffered: u64,
+    /// Completed recoveries (index swapped back in).
+    pub recoveries: u64,
     /// Per-batch index search latency.
     pub search: LatencySummary,
     /// Per-batch cache lookup latency.
     pub cache_lookup: LatencySummary,
-    /// Per-paper ingestion latency (insert + invalidation).
+    /// Per-paper ingestion latency (journal + insert + invalidation).
     pub ingest: LatencySummary,
 }
 
@@ -158,18 +249,44 @@ struct StatsInner {
     largest_batch: u64,
     ingested: u64,
     invalidated: u64,
+    degraded: u64,
+    stale_serves: u64,
+    journal_synced: u64,
+    journal_buffered: u64,
+    recoveries: u64,
     search_ns: LatencyWindow,
     cache_ns: LatencyWindow,
     ingest_ns: LatencyWindow,
 }
 
+/// Whether the engine's index is live or being rebuilt from durable state.
+enum IndexState {
+    Ready(AnnIndex),
+    Recovering,
+}
+
+/// A pending (enqueued, not yet flushed) request. The deadline is resolved
+/// to an absolute instant at enqueue time, so queueing delay counts
+/// against the budget.
+struct Pending {
+    ticket: u64,
+    vector: Vec<f32>,
+    k: usize,
+    deadline: Option<Instant>,
+}
+
 /// The serving engine wrapping an [`AnnIndex`].
 pub struct QueryEngine {
-    index: RwLock<AnnIndex>,
+    index: RwLock<IndexState>,
+    /// Vector width, fixed at construction — lets `enqueue`/`ingest`
+    /// type-check widths without touching the index lock.
+    dim: usize,
+    config: EngineConfig,
     cache: Mutex<LruCache<CacheKey, CacheEntry>>,
-    pending: Mutex<Vec<(u64, QueryRequest)>>,
-    completed: Mutex<std::collections::HashMap<u64, Vec<Hit>>>,
+    pending: Mutex<Vec<Pending>>,
+    completed: Mutex<std::collections::HashMap<u64, QueryResponse>>,
     next_ticket: AtomicU64,
+    store: Mutex<Option<IndexStore>>,
     stats: Mutex<StatsInner>,
 }
 
@@ -191,11 +308,14 @@ impl QueryEngine {
     /// Wraps a built index.
     pub fn new(index: AnnIndex, config: EngineConfig) -> Self {
         QueryEngine {
-            index: RwLock::new(index),
+            dim: index.dim(),
+            config,
+            index: RwLock::new(IndexState::Ready(index)),
             cache: Mutex::new(LruCache::new(config.cache_capacity)),
             pending: Mutex::new(Vec::new()),
             completed: Mutex::new(std::collections::HashMap::new()),
             next_ticket: AtomicU64::new(0),
+            store: Mutex::new(None),
             stats: Mutex::new(StatsInner {
                 queries: 0,
                 cache_hits: 0,
@@ -204,6 +324,11 @@ impl QueryEngine {
                 largest_batch: 0,
                 ingested: 0,
                 invalidated: 0,
+                degraded: 0,
+                stale_serves: 0,
+                journal_synced: 0,
+                journal_buffered: 0,
+                recoveries: 0,
                 search_ns: LatencyWindow::new(),
                 cache_ns: LatencyWindow::new(),
                 ingest_ns: LatencyWindow::new(),
@@ -211,37 +336,80 @@ impl QueryEngine {
         }
     }
 
+    /// Attaches a durable store: every subsequent ingest is journaled
+    /// before it is acknowledged, and [`QueryEngine::persist`] /
+    /// [`QueryEngine::recover_from_store`] become available.
+    pub fn attach_store(&self, store: IndexStore) {
+        *self.store.lock() = Some(store);
+    }
+
+    /// Vector width the engine serves.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
     /// Queues a query; the returned ticket redeems the result after a
     /// [`QueryEngine::flush`].
-    pub fn enqueue(&self, request: QueryRequest) -> u64 {
+    ///
+    /// # Errors
+    /// [`ServeError::DimensionMismatch`] when the vector width is wrong —
+    /// caught at the door so the batch path stays infallible.
+    pub fn enqueue(&self, request: QueryRequest) -> Result<u64, ServeError> {
+        if request.vector.len() != self.dim {
+            return Err(ServeError::DimensionMismatch {
+                expected: self.dim,
+                got: request.vector.len(),
+            });
+        }
+        let budget = request.deadline.or(self.config.default_deadline);
+        let deadline = budget.map(|b| Instant::now() + b);
         let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
-        self.pending.lock().push((ticket, request));
-        ticket
+        self.pending.lock().push(Pending {
+            ticket,
+            vector: request.vector,
+            k: request.k,
+            deadline,
+        });
+        Ok(ticket)
     }
 
     /// Drains every pending query and answers the coalesced batch: cache
     /// lookups first, the misses as one rayon-parallel index search.
     /// Results are deposited in the completion table; the processed tickets
     /// are returned.
+    ///
+    /// Never fails and never panics: degraded conditions (deadline
+    /// exhaustion, mid-recovery) surface in the responses themselves.
     pub fn flush(&self) -> Vec<u64> {
-        let batch: Vec<(u64, QueryRequest)> = std::mem::take(&mut *self.pending.lock());
+        let batch: Vec<Pending> = std::mem::take(&mut *self.pending.lock());
         if batch.is_empty() {
             return Vec::new();
         }
-        let tickets: Vec<u64> = batch.iter().map(|&(t, _)| t).collect();
+        let tickets: Vec<u64> = batch.iter().map(|p| p.ticket).collect();
 
         // stage 1: cache lookups under one lock hold
         let t0 = Instant::now();
-        let mut answered: Vec<(u64, Vec<Hit>)> = Vec::new();
-        let mut misses: Vec<(u64, Vec<f32>, usize)> = Vec::new();
+        let recovering = matches!(&*self.index.read(), IndexState::Recovering);
+        let mut answered: Vec<(u64, QueryResponse)> = Vec::new();
+        let mut misses: Vec<Pending> = Vec::new();
+        let mut stale = 0u64;
         {
             let mut cache = self.cache.lock();
-            for (ticket, req) in batch {
-                let q = normalized(&req.vector);
-                let key = CacheKey::new(&q, req.k);
+            for mut p in batch {
+                p.vector = normalized(&p.vector);
+                let key = CacheKey::new(&p.vector, p.k);
                 match cache.get(&key) {
-                    Some(entry) => answered.push((ticket, entry.hits.clone())),
-                    None => misses.push((ticket, q, req.k)),
+                    Some(entry) if recovering => {
+                        stale += 1;
+                        answered.push((
+                            p.ticket,
+                            QueryResponse::degraded(entry.hits.clone(), DegradeReason::Stale),
+                        ));
+                    }
+                    Some(entry) => {
+                        answered.push((p.ticket, QueryResponse::full(entry.hits.clone())))
+                    }
+                    None => misses.push(p),
                 }
             }
         }
@@ -250,73 +418,202 @@ impl QueryEngine {
 
         // stage 2: one parallel search over the misses
         let t1 = Instant::now();
+        let mut searched = 0u64;
         if !misses.is_empty() {
-            let queries: Vec<(Vec<f32>, usize)> =
-                misses.iter().map(|(_, q, k)| (q.clone(), *k)).collect();
-            let results = self.index.read().search_batch(&queries);
-            let mut cache = self.cache.lock();
-            for ((ticket, q, k), hits) in misses.into_iter().zip(results) {
-                cache.insert(CacheKey::new(&q, k), CacheEntry { query: q, k, hits: hits.clone() });
-                answered.push((ticket, hits));
+            if recovering {
+                // no index to search: honest empty degraded responses
+                for p in misses {
+                    answered.push((
+                        p.ticket,
+                        QueryResponse::degraded(Vec::new(), DegradeReason::Unavailable),
+                    ));
+                }
+            } else {
+                let guard = self.index.read();
+                let IndexState::Ready(index) = &*guard else {
+                    // recovery began between the check and this lock; the
+                    // same honest degradation applies
+                    drop(guard);
+                    for p in misses {
+                        answered.push((
+                            p.ticket,
+                            QueryResponse::degraded(Vec::new(), DegradeReason::Unavailable),
+                        ));
+                    }
+                    self.finish_flush(
+                        answered,
+                        tickets.len(),
+                        hits_n,
+                        misses_n,
+                        stale,
+                        cache_ns,
+                        0,
+                        false,
+                    );
+                    return tickets;
+                };
+                let responses: Vec<QueryResponse> = misses
+                    .par_iter()
+                    .map(|p| {
+                        // widths were checked at enqueue, so the only
+                        // search outcome is (hits, degraded?)
+                        match index.search_deadline(&p.vector, p.k, p.deadline) {
+                            Ok((hits, false)) => QueryResponse::full(hits),
+                            Ok((hits, true)) => {
+                                QueryResponse::degraded(hits, DegradeReason::Deadline)
+                            }
+                            Err(_) => {
+                                QueryResponse::degraded(Vec::new(), DegradeReason::Unavailable)
+                            }
+                        }
+                    })
+                    .collect();
+                drop(guard);
+                searched = responses.len() as u64;
+                let mut cache = self.cache.lock();
+                for (p, response) in misses.into_iter().zip(responses) {
+                    if !response.degraded {
+                        // only full-fidelity results are worth caching —
+                        // a partial result would be served as if complete
+                        cache.insert(
+                            CacheKey::new(&p.vector, p.k),
+                            CacheEntry { query: p.vector, k: p.k, hits: response.hits.clone() },
+                        );
+                    }
+                    answered.push((p.ticket, response));
+                }
             }
         }
         let search_ns = t1.elapsed().as_nanos() as u64;
-
-        self.completed.lock().extend(answered);
-        let mut stats = self.stats.lock();
-        stats.queries += tickets.len() as u64;
-        stats.cache_hits += hits_n as u64;
-        stats.cache_misses += misses_n as u64;
-        stats.batches += 1;
-        stats.largest_batch = stats.largest_batch.max(tickets.len() as u64);
-        stats.cache_ns.record(cache_ns);
-        if misses_n > 0 {
-            stats.search_ns.record(search_ns);
-        }
+        self.finish_flush(
+            answered,
+            tickets.len(),
+            hits_n,
+            misses_n,
+            stale,
+            cache_ns,
+            search_ns,
+            searched > 0,
+        );
         tickets
     }
 
+    #[allow(clippy::too_many_arguments)]
+    fn finish_flush(
+        &self,
+        answered: Vec<(u64, QueryResponse)>,
+        batch_len: usize,
+        hits_n: usize,
+        misses_n: usize,
+        stale: u64,
+        cache_ns: u64,
+        search_ns: u64,
+        record_search: bool,
+    ) {
+        let degraded = answered.iter().filter(|(_, r)| r.degraded).count() as u64;
+        self.completed.lock().extend(answered);
+        let mut stats = self.stats.lock();
+        stats.queries += batch_len as u64;
+        stats.cache_hits += hits_n as u64;
+        stats.cache_misses += misses_n as u64;
+        stats.batches += 1;
+        stats.largest_batch = stats.largest_batch.max(batch_len as u64);
+        stats.degraded += degraded;
+        stats.stale_serves += stale;
+        stats.cache_ns.record(cache_ns);
+        if record_search {
+            stats.search_ns.record(search_ns);
+        }
+    }
+
     /// Redeems a flushed ticket (once).
-    pub fn take(&self, ticket: u64) -> Option<Vec<Hit>> {
+    pub fn take(&self, ticket: u64) -> Option<QueryResponse> {
         self.completed.lock().remove(&ticket)
     }
 
     /// Convenience: enqueue + flush + take for a single query.
-    pub fn query(&self, vector: Vec<f32>, k: usize) -> Vec<Hit> {
-        let ticket = self.enqueue(QueryRequest { vector, k });
+    ///
+    /// # Errors
+    /// [`ServeError::DimensionMismatch`] on a width mismatch.
+    pub fn query(&self, vector: Vec<f32>, k: usize) -> Result<QueryResponse, ServeError> {
+        self.query_request(QueryRequest::new(vector, k))
+    }
+
+    /// Convenience: enqueue + flush + take for a single request (with its
+    /// deadline, if any).
+    ///
+    /// # Errors
+    /// [`ServeError::DimensionMismatch`] on a width mismatch.
+    pub fn query_request(&self, request: QueryRequest) -> Result<QueryResponse, ServeError> {
+        let ticket = self.enqueue(request)?;
         self.flush();
         loop {
             // the ticket may have been flushed by a concurrent caller whose
             // completion write is still in flight — spin on the table
-            if let Some(hits) = self.take(ticket) {
-                return hits;
+            if let Some(response) = self.take(ticket) {
+                return Ok(response);
             }
             std::thread::yield_now();
         }
     }
 
     /// Convenience: answers a whole batch in request order.
-    pub fn query_batch(&self, requests: Vec<QueryRequest>) -> Vec<Vec<Hit>> {
-        let tickets: Vec<u64> = requests.into_iter().map(|r| self.enqueue(r)).collect();
+    ///
+    /// # Errors
+    /// [`ServeError::DimensionMismatch`] when any request's width is wrong
+    /// (nothing is enqueued in that case... the earlier valid requests of
+    /// the same call are still flushed and redeemable by ticket).
+    pub fn query_batch(
+        &self,
+        requests: Vec<QueryRequest>,
+    ) -> Result<Vec<QueryResponse>, ServeError> {
+        let tickets: Vec<u64> =
+            requests.into_iter().map(|r| self.enqueue(r)).collect::<Result<_, _>>()?;
         self.flush();
-        tickets
+        Ok(tickets
             .into_iter()
             .map(|t| loop {
-                if let Some(hits) = self.take(t) {
-                    break hits;
+                if let Some(response) = self.take(t) {
+                    break response;
                 }
                 std::thread::yield_now();
             })
-            .collect()
+            .collect())
     }
 
     /// Inserts an embedded paper into the index without a rebuild and drops
-    /// exactly the cache entries the new vector could change. Returns the
-    /// assigned vector id.
-    pub fn ingest_vector(&self, vector: Vec<f32>) -> usize {
+    /// exactly the cache entries the new vector could change. With a store
+    /// attached, the vector is journaled (fsync) *before* the in-memory
+    /// insert — the returned ack's `durable` flag reports whether the
+    /// record is already crash-safe.
+    ///
+    /// # Errors
+    /// Width mismatch, mid-recovery state, or a journal-append failure (in
+    /// which case nothing was inserted and the ingest is *not*
+    /// acknowledged).
+    pub fn ingest_vector(&self, vector: Vec<f32>) -> Result<IngestAck, ServeError> {
+        if vector.len() != self.dim {
+            return Err(ServeError::DimensionMismatch { expected: self.dim, got: vector.len() });
+        }
         let t0 = Instant::now();
         let v = normalized(&vector);
-        let id = self.index.write().insert(v.clone());
+        let (id, durability) = {
+            let mut guard = self.index.write();
+            let IndexState::Ready(index) = &mut *guard else {
+                return Err(ServeError::Recovering);
+            };
+            let id = index.len();
+            // journal first: if the append fails (or an injected fault
+            // fires) the in-memory index is untouched and the caller gets
+            // an error, not an ack
+            let durability = match &mut *self.store.lock() {
+                Some(store) => Some(store.append_journal(id, &vector)?),
+                None => None,
+            };
+            let inserted = index.try_insert(vector)?;
+            debug_assert_eq!(inserted, id);
+            (id, durability)
+        };
         let dropped = self.cache.lock().retain(|_, entry| {
             if entry.hits.len() < entry.k {
                 // short result list: the newcomer always joins it
@@ -331,8 +628,84 @@ impl QueryEngine {
         let mut stats = self.stats.lock();
         stats.ingested += 1;
         stats.invalidated += dropped as u64;
+        match durability {
+            Some(Durability::Synced) => stats.journal_synced += 1,
+            Some(Durability::Buffered) => stats.journal_buffered += 1,
+            None => {}
+        }
         stats.ingest_ns.record(ns);
-        id
+        Ok(IngestAck { id, durable: matches!(durability, Some(Durability::Synced)) })
+    }
+
+    /// Atomically snapshots the current index through the attached store
+    /// (compacting the journal).
+    ///
+    /// # Errors
+    /// No store attached, mid-recovery state, or the store's own failures.
+    pub fn persist(&self) -> Result<(), ServeError> {
+        let guard = self.index.read();
+        let IndexState::Ready(index) = &*guard else {
+            return Err(ServeError::Recovering);
+        };
+        let mut store = self.store.lock();
+        let Some(store) = store.as_mut() else {
+            return Err(ServeError::Invalid("no store attached".into()));
+        };
+        store.save_snapshot(index)
+    }
+
+    /// Takes the index offline for recovery. Queries keep being answered —
+    /// cache hits stale, misses empty-degraded — and ingests are refused
+    /// until [`QueryEngine::complete_recovery`].
+    pub fn begin_recovery(&self) {
+        *self.index.write() = IndexState::Recovering;
+    }
+
+    /// `true` while the index is offline.
+    pub fn is_recovering(&self) -> bool {
+        matches!(&*self.index.read(), IndexState::Recovering)
+    }
+
+    /// Swaps a recovered index back in and clears the (possibly stale)
+    /// cache.
+    ///
+    /// # Errors
+    /// [`ServeError::DimensionMismatch`] when the recovered index's width
+    /// differs from what the engine was built for.
+    pub fn complete_recovery(&self, index: AnnIndex) -> Result<(), ServeError> {
+        if index.dim() != self.dim {
+            return Err(ServeError::DimensionMismatch { expected: self.dim, got: index.dim() });
+        }
+        *self.index.write() = IndexState::Ready(index);
+        self.cache.lock().clear();
+        self.stats.lock().recoveries += 1;
+        Ok(())
+    }
+
+    /// Full poisoned-state recovery through the attached store: takes the
+    /// index offline, reloads snapshot + journal, and swaps the recovered
+    /// index back in. On failure the engine stays in the recovering state
+    /// (serving stale/degraded) rather than panicking.
+    ///
+    /// # Errors
+    /// No store attached, or the store's load failing.
+    pub fn recover_from_store(&self) -> Result<RecoveryStats, ServeError> {
+        self.begin_recovery();
+        let recovery = {
+            let mut store = self.store.lock();
+            let Some(store) = store.as_mut() else {
+                return Err(ServeError::Invalid("no store attached".into()));
+            };
+            store.load()?
+        };
+        let stats = RecoveryStats {
+            recovered_len: recovery.index.len(),
+            replayed: recovery.replayed,
+            skipped: recovery.skipped,
+            discarded_tail: recovery.discarded_tail,
+        };
+        self.complete_recovery(recovery.index)?;
+        Ok(stats)
     }
 
     /// Current counters and latency summaries.
@@ -348,6 +721,11 @@ impl QueryEngine {
             ingested: s.ingested,
             invalidated: s.invalidated,
             cache_len,
+            degraded: s.degraded,
+            stale_serves: s.stale_serves,
+            journal_synced: s.journal_synced,
+            journal_buffered: s.journal_buffered,
+            recoveries: s.recoveries,
             search: s.search_ns.summary(),
             cache_lookup: s.cache_ns.summary(),
             ingest: s.ingest_ns.summary(),
@@ -355,14 +733,39 @@ impl QueryEngine {
     }
 
     /// Read access to the wrapped index.
-    pub fn with_index<R>(&self, f: impl FnOnce(&AnnIndex) -> R) -> R {
-        f(&self.index.read())
+    ///
+    /// # Errors
+    /// [`ServeError::Recovering`] while the index is offline.
+    pub fn with_index<R>(&self, f: impl FnOnce(&AnnIndex) -> R) -> Result<R, ServeError> {
+        match &*self.index.read() {
+            IndexState::Ready(index) => Ok(f(index)),
+            IndexState::Recovering => Err(ServeError::Recovering),
+        }
     }
 
     /// Unwraps the (possibly grown) index, e.g. to persist it.
-    pub fn into_index(self) -> AnnIndex {
-        self.index.into_inner()
+    ///
+    /// # Errors
+    /// [`ServeError::Recovering`] while the index is offline.
+    pub fn into_index(self) -> Result<AnnIndex, ServeError> {
+        match self.index.into_inner() {
+            IndexState::Ready(index) => Ok(index),
+            IndexState::Recovering => Err(ServeError::Recovering),
+        }
     }
+}
+
+/// What [`QueryEngine::recover_from_store`] found.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct RecoveryStats {
+    /// Vectors in the recovered index.
+    pub recovered_len: usize,
+    /// Journal records replayed on top of the snapshot.
+    pub replayed: usize,
+    /// Records skipped as already compacted.
+    pub skipped: usize,
+    /// Whether a torn (unacknowledged) journal tail was discarded.
+    pub discarded_tail: bool,
 }
 
 #[cfg(test)]
@@ -386,14 +789,16 @@ mod tests {
     fn repeat_queries_hit_the_cache() {
         let e = engine(120, 1);
         let q = random_vectors(1, 8, 2).pop().unwrap();
-        let first = e.query(q.clone(), 5);
-        let second = e.query(q, 5);
-        assert_eq!(first, second);
+        let first = e.query(q.clone(), 5).unwrap();
+        let second = e.query(q, 5).unwrap();
+        assert_eq!(first.hits, second.hits);
+        assert!(!first.degraded && !second.degraded);
         let s = e.stats();
         assert_eq!(s.queries, 2);
         assert_eq!(s.cache_hits, 1);
         assert_eq!(s.cache_misses, 1);
         assert_eq!(s.batches, 2);
+        assert_eq!(s.degraded, 0);
     }
 
     #[test]
@@ -401,13 +806,13 @@ mod tests {
         let e = engine(200, 3);
         let tickets: Vec<u64> = random_vectors(6, 8, 4)
             .into_iter()
-            .map(|v| e.enqueue(QueryRequest { vector: v, k: 3 }))
+            .map(|v| e.enqueue(QueryRequest::new(v, 3)).unwrap())
             .collect();
         let processed = e.flush();
         assert_eq!(processed.len(), 6);
         for t in tickets {
-            let hits = e.take(t).expect("flushed");
-            assert_eq!(hits.len(), 3);
+            let response = e.take(t).expect("flushed");
+            assert_eq!(response.hits.len(), 3);
             assert!(e.take(t).is_none(), "tickets redeem once");
         }
         let s = e.stats();
@@ -419,13 +824,12 @@ mod tests {
     fn query_batch_preserves_order() {
         let e = engine(150, 5);
         let qs = random_vectors(4, 8, 6);
-        let reqs: Vec<QueryRequest> =
-            qs.iter().map(|q| QueryRequest { vector: q.clone(), k: 2 }).collect();
-        let batch = e.query_batch(reqs);
-        for (q, hits) in qs.iter().zip(&batch) {
+        let reqs: Vec<QueryRequest> = qs.iter().map(|q| QueryRequest::new(q.clone(), 2)).collect();
+        let batch = e.query_batch(reqs).unwrap();
+        for (q, response) in qs.iter().zip(&batch) {
             // compare through the engine's normalisation so scores match
             // bit for bit
-            assert_eq!(*hits, e.with_index(|i| i.search(&normalized(q), 2)));
+            assert_eq!(response.hits, e.with_index(|i| i.search(&normalized(q), 2)).unwrap());
         }
     }
 
@@ -435,21 +839,22 @@ mod tests {
         // two cached queries pointing in (near-)opposite directions
         let q_hot = vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
         let q_cold = vec![-1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
-        e.query(q_hot.clone(), 3);
-        e.query(q_cold.clone(), 3);
+        e.query(q_hot.clone(), 3).unwrap();
+        e.query(q_cold.clone(), 3).unwrap();
         assert_eq!(e.stats().cache_len, 2);
         // the ingested vector aligns with q_hot, so only that entry dies
-        let id = e.ingest_vector(vec![10.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        let ack = e.ingest_vector(vec![10.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]).unwrap();
+        assert!(!ack.durable, "no store attached");
         let s = e.stats();
         assert_eq!(s.ingested, 1);
         assert_eq!(s.invalidated, 1);
         assert_eq!(s.cache_len, 1);
         // re-query: fresh search must now rank the newcomer first
-        let hits = e.query(q_hot, 3);
-        assert_eq!(hits[0].id, id);
+        let hits = e.query(q_hot, 3).unwrap().hits;
+        assert_eq!(hits[0].id, ack.id);
         // the untouched cold entry still serves from cache
         let before = e.stats().cache_hits;
-        e.query(q_cold, 3);
+        e.query(q_cold, 3).unwrap();
         assert_eq!(e.stats().cache_hits, before + 1);
     }
 
@@ -457,9 +862,9 @@ mod tests {
     fn stats_latencies_populate() {
         let e = engine(300, 9);
         for q in random_vectors(10, 8, 10) {
-            e.query(q, 4);
+            e.query(q, 4).unwrap();
         }
-        e.ingest_vector(random_vectors(1, 8, 11).pop().unwrap());
+        e.ingest_vector(random_vectors(1, 8, 11).pop().unwrap()).unwrap();
         let s = e.stats();
         assert_eq!(s.search.count, 10);
         assert!(s.search.p99_ns >= s.search.p50_ns);
@@ -478,8 +883,80 @@ mod tests {
     #[test]
     fn into_index_round_trips_growth() {
         let e = engine(60, 13);
-        e.ingest_vector(random_vectors(1, 8, 14).pop().unwrap());
-        let idx = e.into_index();
+        e.ingest_vector(random_vectors(1, 8, 14).pop().unwrap()).unwrap();
+        let idx = e.into_index().unwrap();
         assert_eq!(idx.len(), 61);
+    }
+
+    #[test]
+    fn width_mismatches_are_typed_errors_not_panics() {
+        let e = engine(80, 15);
+        assert!(matches!(
+            e.query(vec![1.0; 3], 5),
+            Err(ServeError::DimensionMismatch { expected: 8, got: 3 })
+        ));
+        assert!(matches!(
+            e.ingest_vector(vec![1.0; 9]),
+            Err(ServeError::DimensionMismatch { expected: 8, got: 9 })
+        ));
+    }
+
+    #[test]
+    fn exhausted_deadline_returns_degraded_partial() {
+        let e = engine(2000, 16);
+        let q = random_vectors(1, 8, 17).pop().unwrap();
+        let response =
+            e.query_request(QueryRequest::new(q, 10).with_deadline(Duration::ZERO)).unwrap();
+        assert!(response.degraded);
+        assert_eq!(response.reason, Some(DegradeReason::Deadline));
+        assert_eq!(e.stats().degraded, 1);
+        // degraded (partial) results must not poison the cache
+        assert_eq!(e.stats().cache_len, 0);
+    }
+
+    #[test]
+    fn generous_deadline_is_full_fidelity() {
+        let e = QueryEngine::new(
+            AnnIndex::build(random_vectors(500, 8, 18), IndexConfig::default()),
+            EngineConfig { default_deadline: Some(Duration::from_secs(60)), cache_capacity: 64 },
+        );
+        let q = random_vectors(1, 8, 19).pop().unwrap();
+        let response = e.query(q.clone(), 5).unwrap();
+        assert!(!response.degraded);
+        assert_eq!(response.hits, e.with_index(|i| i.search(&normalized(&q), 5)).unwrap());
+    }
+
+    #[test]
+    fn recovery_serves_stale_cache_and_refuses_ingest() {
+        let e = engine(100, 20);
+        let q = random_vectors(1, 8, 21).pop().unwrap();
+        let warm = e.query(q.clone(), 4).unwrap();
+        e.begin_recovery();
+        assert!(e.is_recovering());
+        // cached entry: served, but flagged stale
+        let stale = e.query(q.clone(), 4).unwrap();
+        assert!(stale.degraded);
+        assert_eq!(stale.reason, Some(DegradeReason::Stale));
+        assert_eq!(stale.hits, warm.hits);
+        // cache miss: empty + unavailable, not a block or panic
+        let fresh = e.query(random_vectors(1, 8, 22).pop().unwrap(), 4).unwrap();
+        assert!(fresh.degraded);
+        assert_eq!(fresh.reason, Some(DegradeReason::Unavailable));
+        assert!(fresh.hits.is_empty());
+        // ingest refused with a typed error
+        assert!(matches!(
+            e.ingest_vector(random_vectors(1, 8, 23).pop().unwrap()),
+            Err(ServeError::Recovering)
+        ));
+        assert!(matches!(e.with_index(|i| i.len()), Err(ServeError::Recovering)));
+        // swap an index back in: fresh searches resume, cache was cleared
+        let index = AnnIndex::build(random_vectors(100, 8, 20), IndexConfig::default());
+        e.complete_recovery(index).unwrap();
+        assert!(!e.is_recovering());
+        let back = e.query(q, 4).unwrap();
+        assert!(!back.degraded);
+        let s = e.stats();
+        assert_eq!(s.recoveries, 1);
+        assert_eq!(s.stale_serves, 1);
     }
 }

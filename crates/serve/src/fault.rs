@@ -1,0 +1,195 @@
+//! Deterministic fault injection for the persistence layer.
+//!
+//! A [`FaultPlan`] scripts *where* the simulated machine dies: mid-way
+//! through the snapshot temp-file write (torn write), between the snapshot
+//! rename and the journal truncation (compaction half-done), right after a
+//! given journal append, or while a batch of journal records is still
+//! sitting unflushed in the write buffer. The [`crate::store::IndexStore`]
+//! consults the plan at each crash point; when a fault fires the store
+//! leaves the filesystem exactly as a real crash would and returns
+//! [`crate::ServeError::InjectedCrash`] — recovery code is then exercised
+//! against that honest wreckage.
+//!
+//! Post-hoc media corruption (a snapshot truncated or bit-flipped *after* a
+//! clean save — disk rot rather than crash) is modelled by the free
+//! functions [`truncate_file`] and [`flip_bit`], which tests apply directly
+//! to the files.
+
+use std::cell::Cell;
+use std::path::Path;
+
+use crate::error::ServeError;
+
+/// Named crash points inside [`crate::store::IndexStore`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// While writing the snapshot temp file (only a prefix hits disk; the
+    /// atomic rename never happens, so the previous snapshot survives).
+    SnapshotTempWrite,
+    /// After the snapshot rename succeeded but before the journal was
+    /// truncated (journal still holds records the snapshot already
+    /// contains — replay must be idempotent).
+    BeforeJournalTruncate,
+    /// Immediately after a journal record was appended and synced (the
+    /// record is durable; anything after it is not).
+    AfterJournalAppend,
+    /// With journal records buffered but not yet flushed (the buffered
+    /// records are lost, and were never acknowledged as durable).
+    UnflushedJournalBuffer,
+}
+
+impl CrashPoint {
+    /// Stable human-readable site name (used in error messages).
+    pub fn name(self) -> &'static str {
+        match self {
+            CrashPoint::SnapshotTempWrite => "snapshot temp write",
+            CrashPoint::BeforeJournalTruncate => "before journal truncate",
+            CrashPoint::AfterJournalAppend => "after journal append",
+            CrashPoint::UnflushedJournalBuffer => "unflushed journal buffer",
+        }
+    }
+}
+
+/// A scripted set of crashes. The default plan never fires.
+///
+/// Each trigger fires at most once; after firing, the owning store is
+/// poisoned (every later operation fails) until the "machine" is rebooted
+/// by constructing a fresh store over the same paths.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    /// Die after this many bytes of the snapshot temp file are written.
+    pub torn_snapshot_after: Option<usize>,
+    /// Die after the snapshot rename, before the journal truncation.
+    pub crash_before_journal_truncate: bool,
+    /// Die right after appending+syncing journal record number `n`
+    /// (zero-based count over the store's lifetime).
+    pub crash_after_append: Option<usize>,
+    /// Die once the unflushed journal buffer holds this many records.
+    pub crash_with_buffered: Option<usize>,
+    appends_seen: Cell<usize>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults (production behaviour).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Die after `keep` bytes of the next snapshot temp-file write.
+    pub fn torn_snapshot(keep: usize) -> Self {
+        FaultPlan { torn_snapshot_after: Some(keep), ..Default::default() }
+    }
+
+    /// Die between the snapshot rename and the journal truncation.
+    pub fn crash_mid_compaction() -> Self {
+        FaultPlan { crash_before_journal_truncate: true, ..Default::default() }
+    }
+
+    /// Die right after journal append number `n` (zero-based).
+    pub fn crash_after_append(n: usize) -> Self {
+        FaultPlan { crash_after_append: Some(n), ..Default::default() }
+    }
+
+    /// Die once `n` journal records sit unflushed in the batch buffer.
+    pub fn crash_with_buffered(n: usize) -> Self {
+        FaultPlan { crash_with_buffered: Some(n), ..Default::default() }
+    }
+
+    /// How many bytes of a `total`-byte snapshot write survive, when the
+    /// torn-write fault is armed.
+    pub(crate) fn torn_write_survives(&self, total: usize) -> Option<usize> {
+        self.torn_snapshot_after.map(|keep| keep.min(total))
+    }
+
+    /// Consults the plan at a journal append; returns the crash error when
+    /// the append-counter trigger fires.
+    pub(crate) fn on_append(&self) -> Result<(), ServeError> {
+        let n = self.appends_seen.get();
+        self.appends_seen.set(n + 1);
+        if self.crash_after_append == Some(n) {
+            return Err(ServeError::InjectedCrash(CrashPoint::AfterJournalAppend.name()));
+        }
+        Ok(())
+    }
+
+    /// Consults the plan after buffering (not flushing) a record.
+    pub(crate) fn on_buffered(&self, buffered: usize) -> Result<(), ServeError> {
+        if self.crash_with_buffered == Some(buffered) {
+            return Err(ServeError::InjectedCrash(CrashPoint::UnflushedJournalBuffer.name()));
+        }
+        Ok(())
+    }
+}
+
+/// Truncates `path` to `len` bytes (simulated torn write / lost tail on the
+/// final file).
+///
+/// # Errors
+/// Propagates the underlying IO error.
+pub fn truncate_file(path: &Path, len: u64) -> Result<(), ServeError> {
+    let f =
+        std::fs::OpenOptions::new().write(true).open(path).map_err(|e| ServeError::io(path, e))?;
+    f.set_len(len).map_err(|e| ServeError::io(path, e))
+}
+
+/// Flips bit `bit` (0–7) of byte `byte` in `path` (simulated media rot).
+///
+/// # Errors
+/// Fails when the offset is out of range or on IO problems.
+pub fn flip_bit(path: &Path, byte: usize, bit: u8) -> Result<(), ServeError> {
+    let mut bytes = std::fs::read(path).map_err(|e| ServeError::io(path, e))?;
+    let Some(b) = bytes.get_mut(byte) else {
+        return Err(ServeError::Invalid(format!(
+            "flip_bit offset {byte} out of range (file is {} bytes)",
+            bytes.len()
+        )));
+    };
+    *b ^= 1 << (bit & 7);
+    std::fs::write(path, bytes).map_err(|e| ServeError::io(path, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_never_fires() {
+        let p = FaultPlan::none();
+        assert_eq!(p.torn_write_survives(100), None);
+        for _ in 0..10 {
+            assert!(p.on_append().is_ok());
+            assert!(p.on_buffered(3).is_ok());
+        }
+    }
+
+    #[test]
+    fn append_trigger_fires_exactly_once_at_its_index() {
+        let p = FaultPlan::crash_after_append(2);
+        assert!(p.on_append().is_ok());
+        assert!(p.on_append().is_ok());
+        assert!(p.on_append().unwrap_err().is_injected());
+        // the counter has moved past the trigger
+        assert!(p.on_append().is_ok());
+    }
+
+    #[test]
+    fn torn_write_clamps_to_payload() {
+        let p = FaultPlan::torn_snapshot(1_000_000);
+        assert_eq!(p.torn_write_survives(64), Some(64));
+        assert_eq!(FaultPlan::torn_snapshot(10).torn_write_survives(64), Some(10));
+    }
+
+    #[test]
+    fn file_corruption_helpers_edit_in_place() {
+        let dir = std::env::temp_dir().join(format!("sem-fault-helpers-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let f = dir.join("blob");
+        std::fs::write(&f, [0u8, 0, 0, 0]).unwrap();
+        flip_bit(&f, 2, 7).unwrap();
+        assert_eq!(std::fs::read(&f).unwrap(), vec![0, 0, 0x80, 0]);
+        truncate_file(&f, 1).unwrap();
+        assert_eq!(std::fs::read(&f).unwrap(), vec![0]);
+        assert!(flip_bit(&f, 9, 0).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

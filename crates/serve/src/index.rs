@@ -11,10 +11,20 @@
 //! nearest existing centroid without touching the rest of the structure, so
 //! ingesting one paper is O(`nlist · dim`), not a rebuild.
 
+use std::time::Instant;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+
+use crate::error::ServeError;
+
+/// Vectors scanned between deadline checks in flat (brute-force) mode —
+/// coarse enough that the `Instant::now` calls cost nothing against the
+/// scan itself, fine enough that an exhausted budget stops within
+/// microseconds.
+const FLAT_DEADLINE_STRIDE: usize = 1024;
 
 /// Index construction and probing parameters.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -51,7 +61,7 @@ pub struct Hit {
 }
 
 /// The ANN index. `centroids` empty ⇔ exact brute-force mode.
-#[derive(Clone, Serialize, Deserialize)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct AnnIndex {
     config: IndexConfig,
     dim: usize,
@@ -89,15 +99,42 @@ fn nearest_centroid(centroids: &[Vec<f32>], v: &[f32]) -> usize {
     best
 }
 
+/// Keeps the best `k` hits in `scored`, sorted score-desc (id asc on ties).
+fn top_k(scored: &mut Vec<Hit>, k: usize) {
+    let k = k.min(scored.len());
+    if k < scored.len() {
+        scored.select_nth_unstable_by(k, |a, b| b.score.total_cmp(&a.score).then(a.id.cmp(&b.id)));
+        scored.truncate(k);
+    }
+    scored.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.id.cmp(&b.id)));
+}
+
 impl AnnIndex {
     /// Builds an index over `vectors` (ids are assigned in order).
     ///
     /// # Panics
-    /// Panics when `vectors` is empty or widths are inconsistent.
-    pub fn build(mut vectors: Vec<Vec<f32>>, config: IndexConfig) -> Self {
-        assert!(!vectors.is_empty(), "cannot index an empty collection");
+    /// Panics when `vectors` is empty or widths are inconsistent; see
+    /// [`AnnIndex::try_build`] for the non-panicking form.
+    pub fn build(vectors: Vec<Vec<f32>>, config: IndexConfig) -> Self {
+        match Self::try_build(vectors, config) {
+            Ok(idx) => idx,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`AnnIndex::build`]: rejects empty collections and
+    /// inconsistent widths with typed errors instead of panicking.
+    ///
+    /// # Errors
+    /// [`ServeError::EmptyIndex`] and [`ServeError::DimensionMismatch`].
+    pub fn try_build(mut vectors: Vec<Vec<f32>>, config: IndexConfig) -> Result<Self, ServeError> {
+        if vectors.is_empty() {
+            return Err(ServeError::EmptyIndex);
+        }
         let dim = vectors[0].len();
-        assert!(vectors.iter().all(|v| v.len() == dim), "inconsistent vector widths");
+        if let Some(bad) = vectors.iter().find(|v| v.len() != dim) {
+            return Err(ServeError::DimensionMismatch { expected: dim, got: bad.len() });
+        }
         for v in &mut vectors {
             normalize(v);
         }
@@ -110,7 +147,7 @@ impl AnnIndex {
                     .clamp(1, n);
             Self::kmeans(&vectors, nlist, config.kmeans_iters, config.seed)
         };
-        AnnIndex { config, dim, vectors, centroids, lists, generation: 0 }
+        Ok(AnnIndex { config, dim, vectors, centroids, lists, generation: 0 })
     }
 
     /// Spherical k-means: parallel assignment, host-side centroid update.
@@ -183,6 +220,11 @@ impl AnnIndex {
         self.centroids.is_empty()
     }
 
+    /// Number of IVF cells (0 in flat mode).
+    pub fn nlist(&self) -> usize {
+        self.centroids.len()
+    }
+
     /// Monotone counter bumped on every [`AnnIndex::insert`]; cached results
     /// from an older generation may be stale.
     pub fn generation(&self) -> u64 {
@@ -198,9 +240,23 @@ impl AnnIndex {
     /// the vector joins its nearest centroid's cell.
     ///
     /// # Panics
-    /// Panics on a width mismatch.
-    pub fn insert(&mut self, mut vector: Vec<f32>) -> usize {
-        assert_eq!(vector.len(), self.dim, "vector width mismatch");
+    /// Panics on a width mismatch; see [`AnnIndex::try_insert`] for the
+    /// non-panicking form.
+    pub fn insert(&mut self, vector: Vec<f32>) -> usize {
+        match self.try_insert(vector) {
+            Ok(id) => id,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`AnnIndex::insert`].
+    ///
+    /// # Errors
+    /// [`ServeError::DimensionMismatch`] on a width mismatch.
+    pub fn try_insert(&mut self, mut vector: Vec<f32>) -> Result<usize, ServeError> {
+        if vector.len() != self.dim {
+            return Err(ServeError::DimensionMismatch { expected: self.dim, got: vector.len() });
+        }
         normalize(&mut vector);
         let id = self.vectors.len();
         if !self.centroids.is_empty() {
@@ -209,7 +265,7 @@ impl AnnIndex {
         }
         self.vectors.push(vector);
         self.generation += 1;
-        id
+        Ok(id)
     }
 
     /// Top-`k` most similar vectors, best first (score desc, id asc on
@@ -239,15 +295,85 @@ impl AnnIndex {
                 .map(|&id| Hit { id, score: dot(&self.vectors[id], &q) })
                 .collect()
         };
-        let k = k.min(scored.len());
-        if k < scored.len() {
-            scored.select_nth_unstable_by(k, |a, b| {
-                b.score.total_cmp(&a.score).then(a.id.cmp(&b.id))
-            });
-            scored.truncate(k);
-        }
-        scored.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.id.cmp(&b.id)));
+        top_k(&mut scored, k);
         scored
+    }
+
+    /// [`AnnIndex::search`] under a wall-clock deadline: when the budget
+    /// nears exhaustion the probe count shrinks (IVF) or the scan stops
+    /// early (flat), returning whatever was scored so far. The second
+    /// element is `true` when the result is partial (degraded).
+    ///
+    /// `deadline: None` is exactly [`AnnIndex::search`] — the happy path
+    /// pays no per-vector deadline checks.
+    ///
+    /// # Errors
+    /// [`ServeError::DimensionMismatch`] on a width mismatch.
+    pub fn search_deadline(
+        &self,
+        query: &[f32],
+        k: usize,
+        deadline: Option<Instant>,
+    ) -> Result<(Vec<Hit>, bool), ServeError> {
+        if query.len() != self.dim {
+            return Err(ServeError::DimensionMismatch { expected: self.dim, got: query.len() });
+        }
+        let Some(deadline) = deadline else {
+            return Ok((self.search(query, k), false));
+        };
+        if Instant::now() >= deadline {
+            // exhausted before any work: an empty partial result, flagged,
+            // beats blocking or panicking
+            return Ok((Vec::new(), true));
+        }
+        let mut q = query.to_vec();
+        normalize(&mut q);
+        let mut degraded = false;
+        let mut scored: Vec<Hit> = if self.is_flat() {
+            let mut scored = Vec::with_capacity(self.vectors.len());
+            for chunk_start in (0..self.vectors.len()).step_by(FLAT_DEADLINE_STRIDE) {
+                if chunk_start > 0 && Instant::now() >= deadline {
+                    degraded = true;
+                    break;
+                }
+                let end = (chunk_start + FLAT_DEADLINE_STRIDE).min(self.vectors.len());
+                scored.extend(
+                    (chunk_start..end).map(|id| Hit { id, score: dot(&self.vectors[id], &q) }),
+                );
+            }
+            scored
+        } else {
+            let nprobe = if self.config.nprobe == 0 {
+                self.centroids.len().div_ceil(2)
+            } else {
+                self.config.nprobe
+            }
+            .clamp(1, self.centroids.len());
+            let mut cells: Vec<(f32, usize)> =
+                self.centroids.iter().enumerate().map(|(c, cen)| (dot(cen, &q), c)).collect();
+            cells.sort_by(|a, b| b.0.total_cmp(&a.0));
+            let probe_start = Instant::now();
+            let mut scored = Vec::new();
+            for (probed, &(_, c)) in cells.iter().take(nprobe).enumerate() {
+                if probed > 0 {
+                    // shrink the probe count when the budget is nearly
+                    // gone: stop if scanning another cell (at the average
+                    // cost observed so far) would overshoot the deadline
+                    let now = Instant::now();
+                    let avg_cell = probe_start.elapsed() / probed as u32;
+                    if now >= deadline || now + avg_cell > deadline {
+                        degraded = true;
+                        break;
+                    }
+                }
+                scored.extend(
+                    self.lists[c].iter().map(|&id| Hit { id, score: dot(&self.vectors[id], &q) }),
+                );
+            }
+            scored
+        };
+        top_k(&mut scored, k);
+        Ok((scored, degraded))
     }
 
     /// Searches many queries rayon-parallel; result `i` answers query `i`.
@@ -269,8 +395,21 @@ impl AnnIndex {
     }
 
     /// Serialises the whole index to JSON.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("index serialises")
+    ///
+    /// # Errors
+    /// Propagates serialisation failure as [`ServeError::Invalid`] instead
+    /// of panicking.
+    pub fn to_json(&self) -> Result<String, ServeError> {
+        serde_json::to_string(self)
+            .map_err(|e| ServeError::Invalid(format!("index serialisation: {e}")))
+    }
+
+    /// Serialises the whole index to JSON bytes (snapshot payload).
+    ///
+    /// # Errors
+    /// Propagates serialisation failure as [`ServeError::Invalid`].
+    pub fn to_json_bytes(&self) -> Result<Vec<u8>, ServeError> {
+        self.to_json().map(String::into_bytes)
     }
 
     /// Restores an index from [`AnnIndex::to_json`] output.
@@ -371,10 +510,59 @@ mod tests {
         let mut idx = AnnIndex::build(random_vectors(500, 8, 9), IndexConfig::default());
         idx.insert(random_vectors(1, 8, 10).pop().unwrap());
         let q = random_vectors(1, 8, 11).pop().unwrap();
-        let restored = AnnIndex::from_json(&idx.to_json()).unwrap();
+        let restored = AnnIndex::from_json(&idx.to_json().unwrap()).unwrap();
         assert_eq!(restored.search(&q, 7), idx.search(&q, 7));
         assert_eq!(restored.generation(), idx.generation());
         assert!(AnnIndex::from_json("nonsense").is_err());
+    }
+
+    #[test]
+    fn try_variants_return_typed_errors() {
+        assert!(matches!(
+            AnnIndex::try_build(Vec::new(), IndexConfig::default()),
+            Err(ServeError::EmptyIndex)
+        ));
+        let ragged = vec![vec![1.0, 2.0], vec![3.0]];
+        assert!(matches!(
+            AnnIndex::try_build(ragged, IndexConfig::default()),
+            Err(ServeError::DimensionMismatch { expected: 2, got: 1 })
+        ));
+        let mut idx = AnnIndex::build(random_vectors(40, 4, 20), IndexConfig::default());
+        assert!(matches!(
+            idx.try_insert(vec![1.0; 7]),
+            Err(ServeError::DimensionMismatch { expected: 4, got: 7 })
+        ));
+        assert_eq!(idx.try_insert(vec![1.0; 4]).unwrap(), 40);
+    }
+
+    #[test]
+    fn generous_deadline_matches_plain_search() {
+        for seed in [21u64, 22] {
+            // both flat (small) and IVF (large) modes
+            let n = if seed == 21 { 100 } else { 1500 };
+            let idx = AnnIndex::build(random_vectors(n, 8, seed), IndexConfig::default());
+            let q = random_vectors(1, 8, seed ^ 0xff).pop().unwrap();
+            let far = Instant::now() + std::time::Duration::from_secs(60);
+            let (hits, degraded) = idx.search_deadline(&q, 10, Some(far)).unwrap();
+            assert!(!degraded);
+            assert_eq!(hits, idx.search(&q, 10));
+            let (hits, degraded) = idx.search_deadline(&q, 10, None).unwrap();
+            assert!(!degraded);
+            assert_eq!(hits, idx.search(&q, 10));
+        }
+    }
+
+    #[test]
+    fn exhausted_deadline_degrades_instead_of_blocking() {
+        let idx = AnnIndex::build(random_vectors(1500, 8, 23), IndexConfig::default());
+        let q = random_vectors(1, 8, 24).pop().unwrap();
+        // a deadline already in the past: empty partial result, flagged
+        let past = Instant::now() - std::time::Duration::from_millis(1);
+        let (hits, degraded) = idx.search_deadline(&q, 10, Some(past)).unwrap();
+        assert!(degraded);
+        assert!(hits.is_empty());
+        // width mismatch is a typed error, not a panic
+        assert!(idx.search_deadline(&[0.0; 3], 5, None).is_err());
     }
 
     #[test]

@@ -13,12 +13,21 @@
 //! * [`QueryEngine`] coalesces concurrently enqueued queries into
 //!   rayon-parallel batches, caches results in an LRU keyed by the exact
 //!   normalised query, invalidates precisely the entries an ingested paper
-//!   could change, and exposes per-stage latency/throughput counters.
+//!   could change, enforces per-request deadlines with graceful
+//!   degradation, and exposes per-stage latency/throughput counters.
+//! * [`IndexStore`] is crash-safe persistence: versioned checksummed
+//!   snapshots written atomically, plus a write-ahead journal so every
+//!   acknowledged ingest survives a crash; [`FaultPlan`] drives
+//!   deterministic fault-injection tests of exactly those guarantees.
 //!
 //! The intended flow for a brand-new (zero-citation) paper: CRF sentence
 //! labels → sentence encoding → SEM subspace pooling → [`PaperEmbedder::embed_new`]
 //! → [`QueryEngine::ingest_vector`] — after which the paper is immediately
 //! retrievable, no retraining or index rebuild involved.
+//!
+//! Failures are typed end-to-end: every fallible serve operation returns
+//! [`ServeError`] (corrupt snapshot, dimension mismatch, deadline
+//! exceeded, journal replay failure, …) instead of panicking.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,9 +35,18 @@
 pub mod cache;
 pub mod embed;
 pub mod engine;
+pub mod error;
+pub mod fault;
 pub mod index;
+pub mod store;
 
 pub use cache::LruCache;
 pub use embed::{NpRecContext, PaperEmbedder};
-pub use engine::{EngineConfig, QueryEngine, QueryRequest, StatsSnapshot};
+pub use engine::{
+    DegradeReason, EngineConfig, IngestAck, QueryEngine, QueryRequest, QueryResponse,
+    RecoveryStats, StatsSnapshot,
+};
+pub use error::ServeError;
+pub use fault::{CrashPoint, FaultPlan};
 pub use index::{AnnIndex, Hit, IndexConfig};
+pub use store::{Durability, IndexStore, Recovery, VerifyReport};

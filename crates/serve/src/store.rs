@@ -1,0 +1,758 @@
+//! Crash-safe index persistence: versioned checksummed snapshots plus a
+//! write-ahead journal.
+//!
+//! **Snapshot format (v1).** A fixed 44-byte header — magic `SEMSNAP1`,
+//! format version, vector width, cell count, vector count, payload length,
+//! payload CRC32 and a CRC32 over the header itself — followed by the JSON
+//! payload. Snapshots are written to a temp file in the same directory,
+//! fsynced, atomically renamed over the target and the directory fsynced,
+//! so a crash at any point leaves either the old snapshot or the new one,
+//! never a half-written hybrid. Torn or bit-flipped snapshots fail the
+//! checksum and are **rejected**, never silently loaded. Legacy plain-JSON
+//! snapshots (pre-v1) are still readable.
+//!
+//! **Journal.** Each acknowledged ingest appends one length+CRC framed
+//! record (`{seq, vector}`) and fsyncs before reporting durability, so
+//! every acknowledged ingest survives a crash. Recovery loads the snapshot
+//! and replays the journal in order; a torn tail (partial final record) is
+//! discarded — those records were never acknowledged — while corruption
+//! *before* valid records is an error, because it would silently drop
+//! acknowledged data. Records whose `seq` precedes the snapshot's vector
+//! count are skipped, which makes replay idempotent when a crash lands
+//! between the snapshot rename and the journal truncation. Saving a
+//! snapshot compacts the journal back to empty.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ServeError;
+use crate::fault::{CrashPoint, FaultPlan};
+use crate::index::AnnIndex;
+
+const MAGIC: &[u8; 8] = b"SEMSNAP1";
+const FORMAT_VERSION: u32 = 1;
+const HEADER_LEN: usize = 44;
+
+const CRC_TABLE: [u32; 256] = crc_table();
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 (IEEE 802.3) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+fn read_u32(b: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes([b[at], b[at + 1], b[at + 2], b[at + 3]])
+}
+
+fn read_u64(b: &[u8], at: usize) -> u64 {
+    let mut a = [0u8; 8];
+    a.copy_from_slice(&b[at..at + 8]);
+    u64::from_le_bytes(a)
+}
+
+/// Whether an append has reached disk or still sits in the batch buffer.
+///
+/// Only [`Durability::Synced`] counts as *acknowledged*: a crash may
+/// legitimately lose `Buffered` records, and the recovery invariant —
+/// every acknowledged ingest survives — is stated over synced records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Durability {
+    /// Record and everything before it are fsynced to the journal.
+    Synced,
+    /// Record is in the in-memory batch buffer; a crash loses it.
+    Buffered,
+}
+
+/// One write-ahead journal record: the vector that was ingested and the id
+/// (`seq`) the index assigned it.
+#[derive(Serialize, Deserialize)]
+struct JournalRecord {
+    seq: u64,
+    vector: Vec<f32>,
+}
+
+/// Outcome of [`IndexStore::load`]: the recovered index plus what the
+/// journal replay saw.
+#[derive(Debug)]
+pub struct Recovery {
+    /// The recovered index (snapshot + replayed journal).
+    pub index: AnnIndex,
+    /// Journal records inserted on top of the snapshot.
+    pub replayed: usize,
+    /// Records skipped because the snapshot already contained them
+    /// (compaction crashed before the journal was truncated).
+    pub skipped: usize,
+    /// `true` when a torn (partial, never-acknowledged) tail record was
+    /// discarded.
+    pub discarded_tail: bool,
+}
+
+/// Snapshot half of a [`VerifyReport`].
+#[derive(Debug, Serialize)]
+pub struct SnapshotReport {
+    /// Snapshot file path.
+    pub path: String,
+    /// `"v1"`, `"legacy-json"`, `"missing"` or `"corrupt"`.
+    pub format: String,
+    /// Format version from the header (v1 snapshots only).
+    pub version: u32,
+    /// Vector width from the header.
+    pub dim: usize,
+    /// IVF cell count from the header (0 = flat).
+    pub nlist: usize,
+    /// Vector count from the header.
+    pub count: u64,
+    /// Header checksum verdict.
+    pub header_ok: bool,
+    /// Payload checksum verdict.
+    pub payload_ok: bool,
+    /// Total file size in bytes.
+    pub bytes: u64,
+    /// First failed check, when any.
+    pub error: Option<String>,
+}
+
+/// Journal half of a [`VerifyReport`].
+#[derive(Debug, Serialize)]
+pub struct JournalReport {
+    /// Journal file path.
+    pub path: String,
+    /// Whether the journal file exists.
+    pub present: bool,
+    /// Frame-complete, checksum-valid records.
+    pub valid_records: usize,
+    /// Journal size in bytes.
+    pub bytes: u64,
+    /// A partial final record was found (tolerated on recovery).
+    pub torn_tail: bool,
+    /// Corruption *before* valid records (fatal on recovery), when any.
+    pub error: Option<String>,
+}
+
+/// Operator-facing integrity report (`sem index verify`).
+#[derive(Debug, Serialize)]
+pub struct VerifyReport {
+    /// Snapshot checks.
+    pub snapshot: SnapshotReport,
+    /// Journal checks.
+    pub journal: JournalReport,
+    /// `true` when the pair would recover cleanly.
+    pub ok: bool,
+}
+
+/// Durable home of one index: a snapshot file plus its write-ahead journal
+/// (`<snapshot>.journal`), with an optional [`FaultPlan`] driving
+/// deterministic crash tests.
+pub struct IndexStore {
+    snapshot_path: PathBuf,
+    journal_path: PathBuf,
+    flush_every: usize,
+    buffer: Vec<u8>,
+    buffered: usize,
+    plan: FaultPlan,
+    crashed: bool,
+}
+
+impl IndexStore {
+    /// A store over `snapshot_path`; the journal lives alongside it.
+    pub fn open(snapshot_path: impl Into<PathBuf>) -> Self {
+        let snapshot_path = snapshot_path.into();
+        let journal_path = journal_path_for(&snapshot_path);
+        IndexStore {
+            snapshot_path,
+            journal_path,
+            flush_every: 1,
+            buffer: Vec::new(),
+            buffered: 0,
+            plan: FaultPlan::none(),
+            crashed: false,
+        }
+    }
+
+    /// Batches journal appends: fsync once every `n` records instead of
+    /// per record. Records in a partial batch report
+    /// [`Durability::Buffered`] and are *not* crash-durable until
+    /// [`IndexStore::sync`].
+    pub fn with_flush_every(mut self, n: usize) -> Self {
+        self.flush_every = n.max(1);
+        self
+    }
+
+    /// Arms a [`FaultPlan`] (tests only; the default plan never fires).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Path of the snapshot file.
+    pub fn snapshot_path(&self) -> &Path {
+        &self.snapshot_path
+    }
+
+    /// Path of the journal file.
+    pub fn journal_path(&self) -> &Path {
+        &self.journal_path
+    }
+
+    /// Number of records currently buffered (not yet crash-durable).
+    pub fn buffered_records(&self) -> usize {
+        self.buffered
+    }
+
+    fn check_alive(&self) -> Result<(), ServeError> {
+        if self.crashed {
+            return Err(ServeError::Invalid(
+                "store hit an injected crash; open a fresh store to recover".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Atomically persists `index` and compacts the journal.
+    ///
+    /// # Errors
+    /// IO failures, serialisation failures, or an armed fault firing.
+    pub fn save_snapshot(&mut self, index: &AnnIndex) -> Result<(), ServeError> {
+        self.check_alive()?;
+        let bytes = encode_snapshot(index)?;
+        let tmp = self.snapshot_path.with_extension("tmp");
+        if let Some(survives) = self.plan.torn_write_survives(bytes.len()) {
+            // a real torn write: only a prefix of the temp file reaches
+            // disk and the rename never happens
+            std::fs::write(&tmp, &bytes[..survives]).map_err(|e| ServeError::io(&tmp, e))?;
+            self.crashed = true;
+            return Err(ServeError::InjectedCrash(CrashPoint::SnapshotTempWrite.name()));
+        }
+        write_fsync(&tmp, &bytes)?;
+        std::fs::rename(&tmp, &self.snapshot_path)
+            .map_err(|e| ServeError::io(&self.snapshot_path, e))?;
+        fsync_parent_dir(&self.snapshot_path);
+        if self.plan.crash_before_journal_truncate {
+            self.crashed = true;
+            return Err(ServeError::InjectedCrash(CrashPoint::BeforeJournalTruncate.name()));
+        }
+        // the snapshot now contains everything: compact the journal
+        self.buffer.clear();
+        self.buffered = 0;
+        if self.journal_path.exists() {
+            std::fs::remove_file(&self.journal_path)
+                .map_err(|e| ServeError::io(&self.journal_path, e))?;
+            fsync_parent_dir(&self.journal_path);
+        }
+        Ok(())
+    }
+
+    /// Appends one ingest record (`seq` = the id the index assigned,
+    /// `vector` = the raw pre-normalisation vector). Returns whether the
+    /// record is already crash-durable.
+    ///
+    /// # Errors
+    /// IO failures or an armed fault firing — in both cases the record is
+    /// **not** acknowledged.
+    pub fn append_journal(&mut self, seq: usize, vector: &[f32]) -> Result<Durability, ServeError> {
+        self.check_alive()?;
+        let payload =
+            serde_json::to_string(&JournalRecord { seq: seq as u64, vector: vector.to_vec() })
+                .map_err(|e| ServeError::Invalid(format!("journal record serialisation: {e}")))?
+                .into_bytes();
+        self.buffer.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.buffer.extend_from_slice(&crc32(&payload).to_le_bytes());
+        self.buffer.extend_from_slice(&payload);
+        self.buffered += 1;
+        if self.buffered < self.flush_every {
+            if let Err(e) = self.plan.on_buffered(self.buffered) {
+                // crash with the buffer unflushed: the buffered records
+                // are gone, exactly like a lost page cache
+                self.buffer.clear();
+                self.buffered = 0;
+                self.crashed = true;
+                return Err(e);
+            }
+            return Ok(Durability::Buffered);
+        }
+        self.flush_buffer()?;
+        if let Err(e) = self.plan.on_append() {
+            self.crashed = true;
+            return Err(e);
+        }
+        Ok(Durability::Synced)
+    }
+
+    /// Forces any buffered journal records to disk.
+    ///
+    /// # Errors
+    /// IO failures; afterwards every previously buffered record is synced.
+    pub fn sync(&mut self) -> Result<(), ServeError> {
+        self.check_alive()?;
+        self.flush_buffer()
+    }
+
+    fn flush_buffer(&mut self) -> Result<(), ServeError> {
+        if self.buffer.is_empty() {
+            return Ok(());
+        }
+        let mut f = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.journal_path)
+            .map_err(|e| ServeError::io(&self.journal_path, e))?;
+        f.write_all(&self.buffer).map_err(|e| ServeError::io(&self.journal_path, e))?;
+        f.sync_all().map_err(|e| ServeError::io(&self.journal_path, e))?;
+        self.buffer.clear();
+        self.buffered = 0;
+        Ok(())
+    }
+
+    /// Recovers the index to the last durable state: snapshot + journal
+    /// replay. A torn tail record is discarded (it was never
+    /// acknowledged); corruption anywhere else is an error.
+    ///
+    /// # Errors
+    /// Missing/corrupt snapshot or a journal that cannot be replayed.
+    pub fn load(&self) -> Result<Recovery, ServeError> {
+        let bytes = std::fs::read(&self.snapshot_path)
+            .map_err(|e| ServeError::io(&self.snapshot_path, e))?;
+        let mut index = decode_snapshot(&bytes, &self.snapshot_path)?;
+        let (mut replayed, mut skipped, mut discarded_tail) = (0usize, 0usize, false);
+        let journal = match std::fs::read(&self.journal_path) {
+            Ok(j) => j,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(Recovery { index, replayed, skipped, discarded_tail });
+            }
+            Err(e) => return Err(ServeError::io(&self.journal_path, e)),
+        };
+        let mut pos = 0usize;
+        let mut record_no = 0usize;
+        while pos < journal.len() {
+            let Some((payload, next)) = frame_at(&journal, pos) else {
+                // partial frame at EOF: torn tail, never acknowledged
+                discarded_tail = true;
+                break;
+            };
+            let stored_crc = read_u32(&journal, pos + 4);
+            if crc32(payload) != stored_crc {
+                if next == journal.len() {
+                    // final record, bad checksum: a torn write of the last
+                    // (unacknowledged) record
+                    discarded_tail = true;
+                    break;
+                }
+                // corruption with acknowledged records after it — losing
+                // them silently would break the durability contract
+                return Err(ServeError::JournalReplay {
+                    record: record_no,
+                    detail: "checksum mismatch before end of journal".into(),
+                });
+            }
+            let text = std::str::from_utf8(payload).map_err(|_| ServeError::JournalReplay {
+                record: record_no,
+                detail: "payload is not UTF-8".into(),
+            })?;
+            let rec: JournalRecord = serde_json::from_str(text).map_err(|e| {
+                ServeError::JournalReplay { record: record_no, detail: format!("bad payload: {e}") }
+            })?;
+            let n = index.len() as u64;
+            if rec.seq < n {
+                skipped += 1; // already compacted into the snapshot
+            } else if rec.seq == n {
+                index.try_insert(rec.vector).map_err(|e| ServeError::JournalReplay {
+                    record: record_no,
+                    detail: e.to_string(),
+                })?;
+                replayed += 1;
+            } else {
+                return Err(ServeError::JournalReplay {
+                    record: record_no,
+                    detail: format!("sequence gap: record {} onto {} vectors", rec.seq, n),
+                });
+            }
+            pos = next;
+            record_no += 1;
+        }
+        Ok(Recovery { index, replayed, skipped, discarded_tail })
+    }
+
+    /// Integrity check without mutating anything: header + checksum of the
+    /// snapshot, frame scan of the journal.
+    pub fn verify(&self) -> VerifyReport {
+        let snapshot = self.verify_snapshot();
+        let journal = self.verify_journal();
+        let ok =
+            snapshot.error.is_none() && snapshot.format != "missing" && journal.error.is_none();
+        VerifyReport { snapshot, journal, ok }
+    }
+
+    fn verify_snapshot(&self) -> SnapshotReport {
+        let path = self.snapshot_path.display().to_string();
+        let mut r = SnapshotReport {
+            path,
+            format: "corrupt".into(),
+            version: 0,
+            dim: 0,
+            nlist: 0,
+            count: 0,
+            header_ok: false,
+            payload_ok: false,
+            bytes: 0,
+            error: None,
+        };
+        let bytes = match std::fs::read(&self.snapshot_path) {
+            Ok(b) => b,
+            Err(e) => {
+                r.format = "missing".into();
+                r.error = Some(e.to_string());
+                return r;
+            }
+        };
+        r.bytes = bytes.len() as u64;
+        if bytes.len() < HEADER_LEN || &bytes[..8] != MAGIC {
+            // pre-v1 snapshots were bare JSON
+            match AnnIndex::from_json(std::str::from_utf8(&bytes).unwrap_or("")) {
+                Ok(idx) => {
+                    r.format = "legacy-json".into();
+                    r.dim = idx.dim();
+                    r.nlist = idx.nlist();
+                    r.count = idx.len() as u64;
+                    r.header_ok = true;
+                    r.payload_ok = true;
+                }
+                Err(e) => r.error = Some(format!("not a v1 snapshot and not legacy JSON: {e}")),
+            }
+            return r;
+        }
+        if crc32(&bytes[..HEADER_LEN - 4]) != read_u32(&bytes, HEADER_LEN - 4) {
+            r.error = Some("header checksum mismatch".into());
+            return r;
+        }
+        r.header_ok = true;
+        r.version = read_u32(&bytes, 8);
+        r.dim = read_u32(&bytes, 12) as usize;
+        r.nlist = read_u32(&bytes, 16) as usize;
+        r.count = read_u64(&bytes, 20);
+        if r.version != FORMAT_VERSION {
+            r.error = Some(format!("unsupported format version {}", r.version));
+            return r;
+        }
+        let payload_len = read_u64(&bytes, 28) as usize;
+        if bytes.len() != HEADER_LEN + payload_len {
+            r.error = Some(format!(
+                "payload length mismatch: header says {payload_len}, file holds {}",
+                bytes.len() - HEADER_LEN
+            ));
+            return r;
+        }
+        if crc32(&bytes[HEADER_LEN..]) != read_u32(&bytes, 36) {
+            r.error = Some("payload checksum mismatch".into());
+            return r;
+        }
+        r.payload_ok = true;
+        r.format = "v1".into();
+        r
+    }
+
+    fn verify_journal(&self) -> JournalReport {
+        let path = self.journal_path.display().to_string();
+        let mut r = JournalReport {
+            path,
+            present: false,
+            valid_records: 0,
+            bytes: 0,
+            torn_tail: false,
+            error: None,
+        };
+        let journal = match std::fs::read(&self.journal_path) {
+            Ok(j) => j,
+            Err(_) => return r,
+        };
+        r.present = true;
+        r.bytes = journal.len() as u64;
+        let mut pos = 0usize;
+        while pos < journal.len() {
+            let Some((payload, next)) = frame_at(&journal, pos) else {
+                r.torn_tail = true;
+                break;
+            };
+            if crc32(payload) != read_u32(&journal, pos + 4) {
+                if next == journal.len() {
+                    r.torn_tail = true;
+                } else {
+                    r.error = Some(format!(
+                        "record {} checksum mismatch before end of journal",
+                        r.valid_records
+                    ));
+                }
+                break;
+            }
+            r.valid_records += 1;
+            pos = next;
+        }
+        r
+    }
+}
+
+/// `<snapshot>.journal`, preserving the original extension as part of the
+/// file name (`index.json` → `index.json.journal`).
+fn journal_path_for(snapshot: &Path) -> PathBuf {
+    let mut name = snapshot.as_os_str().to_os_string();
+    name.push(".journal");
+    PathBuf::from(name)
+}
+
+/// Returns `(payload, next_offset)` for the frame at `pos`, or `None` when
+/// the remaining bytes cannot hold a complete frame.
+fn frame_at(journal: &[u8], pos: usize) -> Option<(&[u8], usize)> {
+    if journal.len() - pos < 8 {
+        return None;
+    }
+    let len = read_u32(journal, pos) as usize;
+    let next = pos.checked_add(8)?.checked_add(len)?;
+    if next > journal.len() {
+        return None;
+    }
+    Some((&journal[pos + 8..next], next))
+}
+
+fn encode_snapshot(index: &AnnIndex) -> Result<Vec<u8>, ServeError> {
+    let payload = index.to_json_bytes()?;
+    let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
+    bytes.extend_from_slice(MAGIC);
+    bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&(index.dim() as u32).to_le_bytes());
+    bytes.extend_from_slice(&(index.nlist() as u32).to_le_bytes());
+    bytes.extend_from_slice(&(index.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+    let header_crc = crc32(&bytes);
+    bytes.extend_from_slice(&header_crc.to_le_bytes());
+    bytes.extend_from_slice(&payload);
+    Ok(bytes)
+}
+
+fn decode_snapshot(bytes: &[u8], path: &Path) -> Result<AnnIndex, ServeError> {
+    if bytes.len() < HEADER_LEN || &bytes[..8] != MAGIC {
+        // fall back to the pre-v1 bare-JSON format
+        let text = std::str::from_utf8(bytes)
+            .map_err(|_| ServeError::corrupt(path, "neither a v1 snapshot nor UTF-8 JSON"))?;
+        return AnnIndex::from_json(text)
+            .map_err(|e| ServeError::corrupt(path, format!("legacy JSON rejected: {e}")));
+    }
+    if crc32(&bytes[..HEADER_LEN - 4]) != read_u32(bytes, HEADER_LEN - 4) {
+        return Err(ServeError::corrupt(path, "header checksum mismatch"));
+    }
+    let version = read_u32(bytes, 8);
+    if version != FORMAT_VERSION {
+        return Err(ServeError::corrupt(path, format!("unsupported format version {version}")));
+    }
+    let payload_len = read_u64(bytes, 28) as usize;
+    if bytes.len() != HEADER_LEN + payload_len {
+        return Err(ServeError::corrupt(
+            path,
+            format!(
+                "payload length mismatch: header says {payload_len}, file holds {}",
+                bytes.len() - HEADER_LEN
+            ),
+        ));
+    }
+    let payload = &bytes[HEADER_LEN..];
+    if crc32(payload) != read_u32(bytes, 36) {
+        return Err(ServeError::corrupt(path, "payload checksum mismatch"));
+    }
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| ServeError::corrupt(path, "payload is not UTF-8"))?;
+    let index = AnnIndex::from_json(text)
+        .map_err(|e| ServeError::corrupt(path, format!("payload rejected: {e}")))?;
+    let (dim, nlist, count) =
+        (read_u32(bytes, 12) as usize, read_u32(bytes, 16) as usize, read_u64(bytes, 20));
+    if index.dim() != dim || index.nlist() != nlist || index.len() as u64 != count {
+        return Err(ServeError::corrupt(
+            path,
+            format!(
+                "header/payload disagreement: header ({dim}, {nlist}, {count}) vs payload ({}, {}, {})",
+                index.dim(),
+                index.nlist(),
+                index.len()
+            ),
+        ));
+    }
+    Ok(index)
+}
+
+fn write_fsync(path: &Path, bytes: &[u8]) -> Result<(), ServeError> {
+    let mut f = File::create(path).map_err(|e| ServeError::io(path, e))?;
+    f.write_all(bytes).map_err(|e| ServeError::io(path, e))?;
+    f.sync_all().map_err(|e| ServeError::io(path, e))
+}
+
+/// Fsyncs the parent directory so a rename/unlink is itself durable.
+/// Best-effort: some filesystems refuse directory fsync; the data fsync
+/// already happened.
+fn fsync_parent_dir(path: &Path) {
+    if let Some(parent) = path.parent() {
+        if let Ok(d) = File::open(parent) {
+            let _ = d.sync_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexConfig;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect()
+    }
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("sem-store-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // standard test vector for CRC-32/IEEE
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_and_verify() {
+        let dir = tmp_dir("roundtrip");
+        let snap = dir.join("index.bin");
+        let idx = AnnIndex::build(random_vectors(300, 8, 1), IndexConfig::default());
+        let mut store = IndexStore::open(&snap);
+        store.save_snapshot(&idx).unwrap();
+        let rec = store.load().unwrap();
+        assert_eq!(rec.replayed, 0);
+        assert!(!rec.discarded_tail);
+        let q = random_vectors(1, 8, 2).pop().unwrap();
+        assert_eq!(rec.index.search(&q, 5), idx.search(&q, 5));
+        let report = store.verify();
+        assert!(report.ok, "{report:?}");
+        assert_eq!(report.snapshot.format, "v1");
+        assert_eq!(report.snapshot.count, 300);
+        assert!(!report.journal.present);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn journal_replay_restores_every_synced_append() {
+        let dir = tmp_dir("replay");
+        let snap = dir.join("index.bin");
+        let idx = AnnIndex::build(random_vectors(50, 6, 3), IndexConfig::default());
+        let mut store = IndexStore::open(&snap);
+        store.save_snapshot(&idx).unwrap();
+        let extra = random_vectors(7, 6, 4);
+        let mut reference = idx.clone();
+        for v in &extra {
+            let seq = reference.len();
+            assert_eq!(store.append_journal(seq, v).unwrap(), Durability::Synced);
+            reference.try_insert(v.clone()).unwrap();
+        }
+        // "crash": drop the store, recover from disk
+        drop(store);
+        let rec = IndexStore::open(&snap).load().unwrap();
+        assert_eq!(rec.replayed, 7);
+        assert_eq!(rec.index.len(), 57);
+        let q = random_vectors(1, 6, 5).pop().unwrap();
+        assert_eq!(rec.index.search(&q, 10), reference.search(&q, 10));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batched_appends_are_buffered_until_sync() {
+        let dir = tmp_dir("batch");
+        let snap = dir.join("index.bin");
+        let idx = AnnIndex::build(random_vectors(40, 4, 6), IndexConfig::default());
+        let mut store = IndexStore::open(&snap).with_flush_every(3);
+        store.save_snapshot(&idx).unwrap();
+        let vs = random_vectors(4, 4, 7);
+        assert_eq!(store.append_journal(40, &vs[0]).unwrap(), Durability::Buffered);
+        assert_eq!(store.append_journal(41, &vs[1]).unwrap(), Durability::Buffered);
+        assert_eq!(store.append_journal(42, &vs[2]).unwrap(), Durability::Synced);
+        assert_eq!(store.append_journal(43, &vs[3]).unwrap(), Durability::Buffered);
+        assert_eq!(store.buffered_records(), 1);
+        // a crash here may lose the buffered record 43 — it was never
+        // acknowledged as durable
+        let rec = IndexStore::open(&snap).load().unwrap();
+        assert_eq!(rec.index.len(), 43);
+        // sync makes it durable
+        store.sync().unwrap();
+        let rec = IndexStore::open(&snap).load().unwrap();
+        assert_eq!(rec.index.len(), 44);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_snapshot_compacts_the_journal() {
+        let dir = tmp_dir("compact");
+        let snap = dir.join("index.bin");
+        let idx = AnnIndex::build(random_vectors(30, 4, 8), IndexConfig::default());
+        let mut store = IndexStore::open(&snap);
+        store.save_snapshot(&idx).unwrap();
+        let v = random_vectors(1, 4, 9).pop().unwrap();
+        store.append_journal(30, &v).unwrap();
+        assert!(store.journal_path().exists());
+        let rec = store.load().unwrap();
+        store.save_snapshot(&rec.index).unwrap();
+        assert!(!store.journal_path().exists());
+        let rec2 = store.load().unwrap();
+        assert_eq!(rec2.index.len(), 31);
+        assert_eq!(rec2.replayed, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_bare_json_snapshots_still_load() {
+        let dir = tmp_dir("legacy");
+        let snap = dir.join("index.json");
+        let idx = AnnIndex::build(random_vectors(20, 4, 10), IndexConfig::default());
+        std::fs::write(&snap, idx.to_json().unwrap()).unwrap();
+        let store = IndexStore::open(&snap);
+        let rec = store.load().unwrap();
+        assert_eq!(rec.index.len(), 20);
+        let report = store.verify();
+        assert!(report.ok);
+        assert_eq!(report.snapshot.format, "legacy-json");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_snapshot_is_a_typed_io_error() {
+        let store = IndexStore::open("/nonexistent/dir/index.bin");
+        match store.load() {
+            Err(ServeError::Io { path, .. }) => {
+                assert!(path.to_string_lossy().contains("index.bin"));
+            }
+            other => panic!("expected Io error, got {other:?}"),
+        }
+        assert!(!store.verify().ok);
+    }
+}

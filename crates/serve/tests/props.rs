@@ -46,10 +46,11 @@ proptest! {
         let idx = AnnIndex::build(random_vectors(n, dim, seed), IndexConfig::default());
         let engine = QueryEngine::new(idx, EngineConfig::default());
         let fresh = random_vectors(1, dim, seed ^ 0xbeef).pop().unwrap();
-        let id = engine.ingest_vector(fresh.clone());
-        let hits = engine.query(fresh, 10);
+        let id = engine.ingest_vector(fresh.clone()).unwrap().id;
+        let response = engine.query(fresh, 10).unwrap();
         // self-query must rank the ingested paper first
-        prop_assert_eq!(hits[0].id, id);
+        prop_assert!(!response.degraded);
+        prop_assert_eq!(response.hits[0].id, id);
     }
 }
 
