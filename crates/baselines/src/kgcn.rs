@@ -13,8 +13,9 @@ use rand::{Rng, SeedableRng};
 use sem_core::eval::Recommender;
 use sem_corpus::{AuthorId, Corpus, PaperId};
 use sem_graph::{EntityKind, HeteroGraph, NodeId, Relation};
-use sem_nn::{Adam, Embedding, Linear, Optimizer, ParamStore, Session};
+use sem_nn::{Embedding, Gradients, Linear, ParamStore, Session};
 use sem_tensor::{Shape, Tensor, TensorId};
+use sem_train::{derive_seed, BatchCtx, Trainable, Trainer, TrainerConfig};
 
 /// KGCN hyperparameters.
 #[derive(Clone, Debug)]
@@ -166,6 +167,99 @@ impl KgcnModel {
     }
 }
 
+/// Adapter driving [`KgcnModel`] through the shared training runtime.
+struct KgcnTrainable<'a> {
+    model: &'a mut KgcnModel,
+    graph: &'a HeteroGraph,
+    pairs: &'a [(AuthorId, PaperId, f32)],
+    linked: &'a [(PaperId, PaperId)],
+    order: Vec<usize>,
+}
+
+impl Trainable for KgcnTrainable<'_> {
+    fn name(&self) -> &str {
+        "kgcn"
+    }
+
+    fn params(&self) -> &ParamStore {
+        &self.model.store
+    }
+
+    fn params_mut(&mut self) -> &mut ParamStore {
+        &mut self.model.store
+    }
+
+    fn begin_epoch(&mut self, epoch: usize) {
+        self.order = (0..self.pairs.len()).collect();
+        let seed = derive_seed(self.model.config.seed ^ 0xbeef, epoch);
+        self.order.shuffle(&mut StdRng::seed_from_u64(seed));
+    }
+
+    fn epoch_items(&self) -> usize {
+        self.pairs.len()
+    }
+
+    fn batch(&self, ctx: &BatchCtx) -> (f32, Gradients) {
+        let model = &*self.model;
+        let mut rng = StdRng::seed_from_u64(ctx.seed(model.config.seed));
+        let mut s = Session::new(&model.store);
+        let mut logits: Option<TensorId> = None;
+        let mut targets = Vec::with_capacity(ctx.range.len());
+        for &i in &self.order[ctx.range.clone()] {
+            let (a, q, label) = self.pairs[i];
+            let u = model.base(&mut s, self.graph.node(EntityKind::Author, a.index()));
+            let v = model.rep(
+                &mut s,
+                self.graph,
+                self.graph.paper_node(q),
+                model.config.depth,
+                &mut rng,
+            );
+            let logit = s.tape.dot(u, v);
+            let l11 = s.tape.reshape(logit, Shape::Matrix(1, 1));
+            logits = Some(match logits {
+                Some(acc) => s.tape.concat_cols(acc, l11),
+                None => l11,
+            });
+            targets.push(label);
+        }
+        let logits = logits.expect("non-empty microbatch");
+        let n = targets.len();
+        let bce = s.tape.bce_with_logits(logits, Tensor::from_vec(targets, Shape::Matrix(1, n)));
+        let mut loss = s.tape.scale(bce, ctx.frac());
+        if model.config.label_smoothness > 0.0 && !self.linked.is_empty() {
+            // label smoothness: citation-linked papers get close reps
+            let mut smooth_terms = Vec::new();
+            for _ in 0..4 {
+                let (p, q) = self.linked[rng.gen_range(0..self.linked.len())];
+                let vp = model.rep(
+                    &mut s,
+                    self.graph,
+                    self.graph.paper_node(p),
+                    model.config.depth,
+                    &mut rng,
+                );
+                let vq = model.rep(
+                    &mut s,
+                    self.graph,
+                    self.graph.paper_node(q),
+                    model.config.depth,
+                    &mut rng,
+                );
+                let d = s.tape.sub(vp, vq);
+                let sq = s.tape.mul(d, d);
+                smooth_terms.push(s.tape.sum(sq));
+            }
+            let total = sem_nn::losses::total(&mut s.tape, &smooth_terms);
+            let scaled = s.tape.scale(total, model.config.label_smoothness / 4.0 * ctx.frac());
+            loss = s.tape.add(loss, scaled);
+        }
+        let value = s.tape.value(loss).item();
+        s.tape.backward(loss);
+        (value, s.grads())
+    }
+}
+
 /// Trained KGCN (or KGCN-LS) scorer with cached vectors.
 pub struct KgcnRecommender {
     name: &'static str,
@@ -258,63 +352,26 @@ impl KgcnRecommender {
             pairs.shuffle(&mut rng);
             pairs.truncate(config.max_pairs);
         }
-        let mut opt = Adam::new(config.lr).with_clip(5.0);
-        let mut order: Vec<usize> = (0..pairs.len()).collect();
-        for _ in 0..config.epochs {
-            order.shuffle(&mut rng);
-            for chunk in order.chunks(config.batch) {
-                let mut s = Session::new(&model.store);
-                let mut logits: Option<TensorId> = None;
-                let mut targets = Vec::with_capacity(chunk.len());
-                for &i in chunk {
-                    let (a, q, label) = pairs[i];
-                    let u = model.base(&mut s, graph.node(EntityKind::Author, a.index()));
-                    let v =
-                        model.rep(&mut s, graph, graph.paper_node(q), model.config.depth, &mut rng);
-                    let logit = s.tape.dot(u, v);
-                    let l11 = s.tape.reshape(logit, Shape::Matrix(1, 1));
-                    logits = Some(match logits {
-                        Some(acc) => s.tape.concat_cols(acc, l11),
-                        None => l11,
-                    });
-                    targets.push(label);
-                }
-                let logits = logits.expect("non-empty");
-                let n = targets.len();
-                let mut loss =
-                    s.tape.bce_with_logits(logits, Tensor::from_vec(targets, Shape::Matrix(1, n)));
-                if model.config.label_smoothness > 0.0 && !linked.is_empty() {
-                    // label smoothness: citation-linked papers get close reps
-                    let mut smooth_terms = Vec::new();
-                    for _ in 0..4 {
-                        let (p, q) = linked[rng.gen_range(0..linked.len())];
-                        let vp = model.rep(
-                            &mut s,
-                            graph,
-                            graph.paper_node(p),
-                            model.config.depth,
-                            &mut rng,
-                        );
-                        let vq = model.rep(
-                            &mut s,
-                            graph,
-                            graph.paper_node(q),
-                            model.config.depth,
-                            &mut rng,
-                        );
-                        let d = s.tape.sub(vp, vq);
-                        let sq = s.tape.mul(d, d);
-                        smooth_terms.push(s.tape.sum(sq));
-                    }
-                    let total = sem_nn::losses::total(&mut s.tape, &smooth_terms);
-                    let scaled = s.tape.scale(total, model.config.label_smoothness / 4.0);
-                    loss = s.tape.add(loss, scaled);
-                }
-                s.tape.backward(loss);
-                let g = s.grads();
-                opt.step(&mut model.store, &g);
-            }
-        }
+        // One tape per optimizer step (microbatch == batch) matches the
+        // pre-runtime semantics: the smoothness term is sampled once per step.
+        let trainer = Trainer::new(TrainerConfig {
+            epochs: config.epochs,
+            batch: config.batch,
+            microbatch: config.batch,
+            lr: config.lr,
+            clip: 5.0,
+            ..Default::default()
+        });
+        let mut trainable = KgcnTrainable {
+            model: &mut model,
+            graph,
+            pairs: &pairs,
+            linked: &linked,
+            order: Vec::new(),
+        };
+        trainer
+            .run(&mut trainable, &mut |_| {})
+            .expect("training without a checkpoint dir is infallible");
 
         // cache vectors for every task
         let mut users = HashMap::new();

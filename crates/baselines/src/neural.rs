@@ -4,11 +4,13 @@
 use std::collections::{HashMap, HashSet};
 
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use sem_core::eval::Recommender;
 use sem_corpus::{AuthorId, Corpus, PaperId};
-use sem_nn::{Activation, Adam, Embedding, Mlp, Optimizer, ParamStore, Session};
+use sem_nn::{Activation, Embedding, Gradients, Mlp, ParamStore, Session};
 use sem_tensor::{Shape, Tensor};
+use sem_train::{derive_seed, BatchCtx, Trainable, Trainer, TrainerConfig};
 
 use crate::cf::Interactions;
 
@@ -70,7 +72,6 @@ impl MlpRecommender {
         let item_emb = Embedding::new(&mut store, "ncf.items", n_items, dim, &mut rng);
         let mlp =
             Mlp::new(&mut store, "ncf.mlp", &[2 * dim, dim, 1], Activation::Relu, false, &mut rng);
-        let mut opt = Adam::new(5e-3);
 
         // training pairs; negatives are popularity-matched (drawn from the
         // multiset of positive items) so the model must learn the user–item
@@ -99,26 +100,27 @@ impl MlpRecommender {
                 }
             }
         }
-        for _ in 0..epochs {
-            use rand::seq::SliceRandom;
-            pairs.shuffle(&mut rng);
-            for chunk in pairs.chunks(64) {
-                let mut s = Session::new(&store);
-                let u_idx: Vec<usize> = chunk.iter().map(|p| p.0).collect();
-                let i_idx: Vec<usize> = chunk.iter().map(|p| p.1).collect();
-                let labels: Vec<f32> = chunk.iter().map(|p| p.2).collect();
-                let u = user_emb.lookup(&mut s, &u_idx);
-                let i = item_emb.lookup(&mut s, &i_idx);
-                let x = s.tape.concat_cols(u, i);
-                let logits = mlp.forward(&mut s, x);
-                let n = labels.len();
-                let loss =
-                    s.tape.bce_with_logits(logits, Tensor::from_vec(labels, Shape::Matrix(n, 1)));
-                s.tape.backward(loss);
-                let g = s.grads();
-                opt.step(&mut store, &g);
-            }
-        }
+        let trainer = Trainer::new(TrainerConfig {
+            epochs,
+            batch: 64,
+            microbatch: 16,
+            lr: 5e-3,
+            clip: 0.0,
+            ..Default::default()
+        });
+        let mut trainable = NcfTrainable {
+            store,
+            user_emb: &user_emb,
+            item_emb: &item_emb,
+            mlp: &mlp,
+            pairs: &pairs,
+            order: Vec::new(),
+            seed,
+        };
+        trainer
+            .run(&mut trainable, &mut |_| {})
+            .expect("training without a checkpoint dir is infallible");
+        let store = trainable.store;
 
         let item_table = store.get(item_emb.param()).clone();
         let item_vecs: Vec<Vec<f32>> = (0..n_items).map(|i| item_table.row(i).to_vec()).collect();
@@ -155,6 +157,58 @@ impl MlpRecommender {
         let inp = s.tape.leaf(Tensor::matrix(1, x.len(), &x));
         let out = self.mlp.forward(&mut s, inp);
         f64::from(s.tape.value(out).data()[0])
+    }
+}
+
+/// Adapter driving the NCF parameters through the shared training runtime.
+struct NcfTrainable<'a> {
+    store: ParamStore,
+    user_emb: &'a Embedding,
+    item_emb: &'a Embedding,
+    mlp: &'a Mlp,
+    pairs: &'a [(usize, usize, f32)],
+    order: Vec<usize>,
+    seed: u64,
+}
+
+impl Trainable for NcfTrainable<'_> {
+    fn name(&self) -> &str {
+        "ncf"
+    }
+
+    fn params(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn params_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    fn begin_epoch(&mut self, epoch: usize) {
+        self.order = (0..self.pairs.len()).collect();
+        self.order.shuffle(&mut StdRng::seed_from_u64(derive_seed(self.seed ^ 0x0cf, epoch)));
+    }
+
+    fn epoch_items(&self) -> usize {
+        self.pairs.len()
+    }
+
+    fn batch(&self, ctx: &BatchCtx) -> (f32, Gradients) {
+        let mut s = Session::new(&self.store);
+        let idx = &self.order[ctx.range.clone()];
+        let u_idx: Vec<usize> = idx.iter().map(|&i| self.pairs[i].0).collect();
+        let i_idx: Vec<usize> = idx.iter().map(|&i| self.pairs[i].1).collect();
+        let labels: Vec<f32> = idx.iter().map(|&i| self.pairs[i].2).collect();
+        let u = self.user_emb.lookup(&mut s, &u_idx);
+        let i = self.item_emb.lookup(&mut s, &i_idx);
+        let x = s.tape.concat_cols(u, i);
+        let logits = self.mlp.forward(&mut s, x);
+        let n = labels.len();
+        let bce = s.tape.bce_with_logits(logits, Tensor::from_vec(labels, Shape::Matrix(n, 1)));
+        let loss = s.tape.scale(bce, ctx.frac());
+        let value = s.tape.value(loss).item();
+        s.tape.backward(loss);
+        (value, s.grads())
     }
 }
 

@@ -1,0 +1,83 @@
+//! Criterion benches for the shared training runtime: one SEM / NPRec epoch
+//! at 1, 2 and 4 workers (the data-parallel scaling curve) and the cost of
+//! writing an atomic checkpoint every epoch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sem_bench::{Fixture, Scale};
+use sem_core::sampling::{build_training_pairs, NegativeStrategy};
+use sem_core::{NpRecConfig, NpRecModel, SemConfig, SemModel};
+use sem_corpus::presets;
+use sem_graph::HeteroGraph;
+use sem_train::RunOptions;
+
+fn tiny_fixture() -> Fixture {
+    let mut cfg = presets::acm_like(1);
+    cfg.n_papers = 300;
+    cfg.n_authors = 100;
+    Fixture::build(cfg, Scale::Quick)
+}
+
+fn bench_sem_epoch(c: &mut Criterion) {
+    let f = tiny_fixture();
+    let scorer = f.scorer();
+    let config = SemConfig { epochs: 1, triplets_per_epoch: 200, ..Default::default() };
+    for workers in [1usize, 2, 4] {
+        c.bench_function(&format!("train/sem-epoch/workers-{workers}"), |bench| {
+            bench.iter(|| {
+                let mut model = SemModel::new(config.clone());
+                let opts = RunOptions { workers, ..Default::default() };
+                model
+                    .train_with(&f.pipeline, &f.corpus, &scorer, &f.labels, &opts, &mut |_| {})
+                    .unwrap()
+            })
+        });
+    }
+}
+
+fn bench_nprec_epoch(c: &mut Criterion) {
+    let f = tiny_fixture();
+    let scorer = f.scorer();
+    let graph = HeteroGraph::from_corpus(&f.corpus, Some(2014));
+    let mut pairs = build_training_pairs(
+        &f.corpus,
+        &scorer,
+        &f.fusion,
+        2014,
+        4,
+        NegativeStrategy::Defuzzed { threshold: 0.0 },
+        7,
+    );
+    pairs.truncate(400);
+    let config = NpRecConfig { epochs: 1, text_dim: f.text_dim(), ..Default::default() };
+    for workers in [1usize, 2, 4] {
+        c.bench_function(&format!("train/nprec-epoch/workers-{workers}"), |bench| {
+            bench.iter(|| {
+                let mut model = NpRecModel::new(graph.n_nodes(), config.clone());
+                let opts = RunOptions { workers, ..Default::default() };
+                model.train_with(&graph, Some(&f.text), &pairs, &opts, &mut |_| {}).unwrap()
+            })
+        });
+    }
+}
+
+fn bench_checkpoint_overhead(c: &mut Criterion) {
+    let f = tiny_fixture();
+    let scorer = f.scorer();
+    let config = SemConfig { epochs: 1, triplets_per_epoch: 200, ..Default::default() };
+    let dir = std::env::temp_dir().join(format!("sem-bench-ckpt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    c.bench_function("train/sem-epoch/checkpointed", |bench| {
+        bench.iter(|| {
+            let mut model = SemModel::new(config.clone());
+            let opts =
+                RunOptions { workers: 1, checkpoint_dir: Some(dir.clone()), ..Default::default() };
+            model
+                .train_with(&f.pipeline, &f.corpus, &scorer, &f.labels, &opts, &mut |_| {})
+                .unwrap()
+        })
+    });
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench_sem_epoch, bench_nprec_epoch, bench_checkpoint_overhead);
+criterion_main!(benches);

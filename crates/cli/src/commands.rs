@@ -11,6 +11,8 @@ use sem_core::{NpRecConfig, NpRecModel, PipelineConfig, SemConfig, SemModel, Tex
 use sem_corpus::{presets, AuthorId, Corpus, PaperId, Subspace, NUM_SUBSPACES};
 use sem_graph::HeteroGraph;
 use sem_rules::RuleScorer;
+use sem_train::atomic::write_atomic;
+use sem_train::{RunOptions, TrainError, TrainEvent};
 
 /// A user-facing CLI failure.
 #[derive(Debug)]
@@ -42,6 +44,12 @@ impl From<sem_serve::ServeError> for CliError {
     }
 }
 
+impl From<TrainError> for CliError {
+    fn from(e: TrainError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
 /// Parsed `--flag value` arguments.
 pub(crate) struct Args {
     flags: HashMap<String, String>,
@@ -49,12 +57,25 @@ pub(crate) struct Args {
 
 impl Args {
     pub(crate) fn parse(argv: &[String]) -> Result<Args, CliError> {
+        Self::parse_with_switches(argv, &[])
+    }
+
+    /// Like [`Args::parse`], except the named flags are valueless switches:
+    /// their presence means `true` and they consume no value.
+    pub(crate) fn parse_with_switches(
+        argv: &[String],
+        switches: &[&str],
+    ) -> Result<Args, CliError> {
         let mut flags = HashMap::new();
         let mut it = argv.iter();
         while let Some(a) = it.next() {
             let Some(name) = a.strip_prefix("--") else {
                 return Err(CliError(format!("unexpected argument {a:?}")));
             };
+            if switches.contains(&name) {
+                flags.insert(name.to_string(), "true".to_string());
+                continue;
+            }
             let value = it.next().ok_or_else(|| CliError(format!("--{name} needs a value")))?;
             flags.insert(name.to_string(), value.clone());
         }
@@ -63,6 +84,10 @@ impl Args {
 
     pub(crate) fn get(&self, name: &str) -> Option<&str> {
         self.flags.get(name).map(String::as_str)
+    }
+
+    pub(crate) fn switch(&self, name: &str) -> bool {
+        self.get(name).is_some()
     }
 
     pub(crate) fn required(&self, name: &str) -> Result<&str, CliError> {
@@ -96,7 +121,10 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "ingest" => return crate::serve_cmds::ingest(&Args::parse(&argv[1..])?),
         _ => {}
     }
-    let args = Args::parse(&argv[1..])?;
+    let args = match cmd.as_str() {
+        "train" => Args::parse_with_switches(&argv[1..], &["progress", "resume"])?,
+        _ => Args::parse(&argv[1..])?,
+    };
     match cmd.as_str() {
         "help" | "--help" | "-h" => Ok(help()),
         "generate" => generate(&args),
@@ -115,10 +143,16 @@ fn help() -> String {
 USAGE:
   sem generate  --preset acm|scopus|scopus3|pubmed|patent [--papers N] [--authors N] [--seed S] --out corpus.json
   sem stats     --corpus corpus.json
-  sem train     --corpus corpus.json --out model-dir [--epochs N]
+  sem train     --corpus corpus.json --out model-dir [--epochs N] [--workers N]
+                [--checkpoint-dir DIR [--checkpoint-every N] [--resume]] [--progress]
   sem embed     --model model-dir --paper ID
   sem analyze   --corpus corpus.json [--lof-k K]
   sem recommend --corpus corpus.json --split YEAR --user ID [--top N]
+
+training runs on the shared runtime: `--workers N` parallelises gradient
+computation (bit-identical results for any N), `--checkpoint-dir` writes
+atomic per-epoch checkpoints, `--resume` continues from the latest valid
+one, and `--progress` streams per-epoch events to stderr.
 
 serving (JSON output):
   sem index build  --model model-dir --out index.snap [--nlist N] [--nprobe N] [--flat-threshold N]
@@ -239,31 +273,63 @@ fn train(args: &Args) -> Result<String, CliError> {
     let epochs = args.parse_num("epochs", 8usize)?;
     let config = SemConfig { epochs, ..Default::default() };
     let mut model = SemModel::new(config.clone());
-    let report = model.train(&pipeline, &corpus, &scorer, &labels);
+    let opts = RunOptions {
+        workers: args.parse_num("workers", 0usize)?,
+        checkpoint_dir: args.get("checkpoint-dir").map(PathBuf::from),
+        checkpoint_every: args.parse_num("checkpoint-every", 0usize)?,
+        resume: args.switch("resume"),
+        ..Default::default()
+    };
+    let progress = args.switch("progress");
+    let report = model.train_with(&pipeline, &corpus, &scorer, &labels, &opts, &mut |e| {
+        if progress {
+            eprintln!("{}", format_event(e));
+        }
+    })?;
 
     // persist: corpus copy + fitted pipeline + architecture config + weights
     std::fs::copy(corpus_path, out.corpus_path())?;
-    std::fs::write(out.pipeline_path(), pipeline.to_json())?;
+    write_atomic(&out.pipeline_path(), pipeline.to_json().as_bytes())?;
     let stored = StoredSemConfig {
         input_dim: config.input_dim,
         hidden: config.hidden,
         attn: config.attn,
         seed: config.seed,
     };
-    std::fs::write(
-        out.config_path(),
-        serde_json::to_string_pretty(&stored)
-            .map_err(|e| CliError(format!("config serialisation: {e}")))?,
-    )?;
-    std::fs::write(out.weights_path(), model.weights_to_json())?;
+    let stored_json = serde_json::to_string_pretty(&stored)
+        .map_err(|e| CliError(format!("config serialisation: {e}")))?;
+    write_atomic(&out.config_path(), stored_json.as_bytes())?;
+    write_atomic(&out.weights_path(), model.weights_to_json().as_bytes())?;
+    let resumed = match report.resumed_from {
+        Some(e) => format!(" (resumed after epoch {})", e + 1),
+        None => String::new(),
+    };
     Ok(format!(
-        "trained SEM ({} epochs): loss {:.4} -> {:.4}, triplet accuracy {:.3}; model saved to {}",
+        "trained SEM ({} epochs){}: loss {:.4} -> {:.4}, triplet accuracy {:.3}; model saved to {}",
         epochs,
+        resumed,
         report.epoch_losses.first().unwrap_or(&f32::NAN),
         report.epoch_losses.last().unwrap_or(&f32::NAN),
         report.triplet_accuracy,
         out.dir.display(),
     ))
+}
+
+/// One human-readable line per [`TrainEvent`] for `--progress` output.
+fn format_event(e: &TrainEvent) -> String {
+    match e {
+        TrainEvent::Resumed { epoch, path } => {
+            format!("resumed after epoch {} from {}", epoch + 1, path.display())
+        }
+        TrainEvent::Epoch { epoch, epochs, loss, items, examples_per_sec, elapsed_ms } => format!(
+            "epoch {}/{}: loss {loss:.4} ({items} items, {examples_per_sec:.0} items/s, {elapsed_ms} ms)",
+            epoch + 1,
+            epochs,
+        ),
+        TrainEvent::Checkpoint { epoch, path } => {
+            format!("checkpoint after epoch {}: {}", epoch + 1, path.display())
+        }
+    }
 }
 
 /// Everything a model directory reloads: corpus, frozen text pipeline,
@@ -462,6 +528,56 @@ mod tests {
             "/tmp/x.json"
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn train_checkpoints_and_resumes() {
+        let corpus_path = tmp("ckpt-corpus.json");
+        let model_dir = tmp("ckpt-model");
+        let ckpt_dir = tmp("ckpt-dir");
+        std::fs::remove_dir_all(&ckpt_dir).ok();
+        run(&argv(&[
+            "generate",
+            "--preset",
+            "acm",
+            "--papers",
+            "120",
+            "--authors",
+            "50",
+            "--out",
+            corpus_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "train",
+            "--corpus",
+            corpus_path.to_str().unwrap(),
+            "--out",
+            model_dir.to_str().unwrap(),
+            "--epochs",
+            "2",
+            "--checkpoint-dir",
+            ckpt_dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(ckpt_dir.join("ckpt-00001.json").exists());
+        let out = run(&argv(&[
+            "train",
+            "--corpus",
+            corpus_path.to_str().unwrap(),
+            "--out",
+            model_dir.to_str().unwrap(),
+            "--epochs",
+            "3",
+            "--checkpoint-dir",
+            ckpt_dir.to_str().unwrap(),
+            "--resume",
+        ]))
+        .unwrap();
+        assert!(out.contains("resumed after epoch 2"), "{out}");
+        std::fs::remove_file(&corpus_path).ok();
+        std::fs::remove_dir_all(&model_dir).ok();
+        std::fs::remove_dir_all(&ckpt_dir).ok();
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! ```text
 //! sem generate  --preset acm|scopus|scopus3|pubmed|patent [--papers N] [--authors N] [--seed S] --out corpus.json
 //! sem stats     --corpus corpus.json
-//! sem train     --corpus corpus.json --out model-dir [--epochs N]
+//! sem train     --corpus corpus.json --out model-dir [--epochs N] [--workers N] [--checkpoint-dir DIR] [--checkpoint-every N] [--resume] [--progress]
 //! sem embed     --model model-dir --paper ID
 //! sem analyze   --corpus corpus.json [--lof-k K]
 //! sem recommend --corpus corpus.json --split YEAR --user ID [--top N]

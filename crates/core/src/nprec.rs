@@ -22,8 +22,11 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use sem_corpus::{AuthorId, PaperId, NUM_SUBSPACES};
 use sem_graph::{EntityKind, HeteroGraph, NodeId, Relation};
-use sem_nn::{Activation, Adam, Embedding, Linear, Optimizer, ParamId, ParamStore, Session};
+use sem_nn::{Activation, Embedding, Gradients, Linear, ParamId, ParamStore, Session};
 use sem_tensor::{Shape, Tensor, TensorId};
+use sem_train::{
+    derive_seed, BatchCtx, RunOptions, TrainError, TrainEvent, Trainable, Trainer, TrainerConfig,
+};
 
 use crate::eval::{RecTask, Recommender};
 use crate::sampling::TrainPair;
@@ -94,6 +97,8 @@ pub type TextVecs = Vec<Vec<Vec<f32>>>;
 pub struct NpRecReport {
     /// Mean batch loss per epoch.
     pub epoch_losses: Vec<f32>,
+    /// Last epoch restored from a checkpoint, when the run resumed.
+    pub resumed_from: Option<usize>,
 }
 
 /// The NPRec model.
@@ -175,23 +180,7 @@ impl NpRecModel {
     pub fn from_json(n_nodes: usize, config: NpRecConfig, json: &str) -> Result<Self, String> {
         let restored = ParamStore::from_json(json)?;
         let mut model = NpRecModel::new(n_nodes, config);
-        if restored.len() != model.store.len() {
-            return Err(format!(
-                "parameter count mismatch: saved {} vs architecture {}",
-                restored.len(),
-                model.store.len()
-            ));
-        }
-        let pairs: Vec<_> = restored.ids().zip(model.store.ids()).collect();
-        for (id, fresh_id) in pairs {
-            if restored.name(id) != model.store.name(fresh_id)
-                || restored.get(id).shape() != model.store.get(fresh_id).shape()
-            {
-                return Err(format!("architecture mismatch at {}", restored.name(id)));
-            }
-            let value = restored.get(id).clone();
-            model.store.set(fresh_id, value);
-        }
+        model.store.copy_from(&restored)?;
         Ok(model)
     }
 
@@ -379,73 +368,59 @@ impl NpRecModel {
         parts.into_iter().reduce(|a, b| s.tape.concat_cols(a, b)).expect("at least one component")
     }
 
-    /// Trains on labeled pairs; returns per-epoch losses.
+    /// Trains on labeled pairs using all available cores and no
+    /// checkpointing. See [`NpRecModel::train_with`].
     pub fn train(
         &mut self,
         graph: &HeteroGraph,
         text: Option<&TextVecs>,
         pairs: &[TrainPair],
     ) -> NpRecReport {
+        self.train_with(graph, text, pairs, &RunOptions::default(), &mut |_| {})
+            .expect("training without a checkpoint dir is infallible")
+    }
+
+    /// Trains on the shared [`Trainer`] runtime: data-parallel gradient
+    /// accumulation (bit-identical for any worker count), optional atomic
+    /// checkpoints and resume, and progress events.
+    ///
+    /// # Errors
+    /// Only checkpoint I/O (or a corrupt selected checkpoint) can fail.
+    ///
+    /// # Panics
+    /// Panics when `pairs` is empty.
+    pub fn train_with(
+        &mut self,
+        graph: &HeteroGraph,
+        text: Option<&TextVecs>,
+        pairs: &[TrainPair],
+        opts: &RunOptions,
+        on_event: &mut dyn FnMut(&TrainEvent),
+    ) -> Result<NpRecReport, TrainError> {
         assert!(!pairs.is_empty(), "no training pairs");
-        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x7a7a);
-        let mut order: Vec<usize> = (0..pairs.len()).collect();
-        let mut opt = Adam::new(self.config.lr).with_clip(5.0);
-        let mut epoch_losses = Vec::with_capacity(self.config.epochs);
+        let config = self.config.clone();
         let dense_params: Vec<ParamId> = self
             .layers
             .iter()
             .flat_map(|l| l.params())
             .chain(self.text_proj.iter().flatten().flat_map(|l| l.params()))
             .collect();
-        for _ in 0..self.config.epochs {
-            order.shuffle(&mut rng);
-            let mut total = 0.0f32;
-            let mut batches = 0usize;
-            for chunk in order.chunks(self.config.batch) {
-                let mut s = Session::new(&self.store);
-                let mut logits: Option<TensorId> = None;
-                let mut targets = Vec::with_capacity(chunk.len());
-                for &i in chunk {
-                    let pair = pairs[i];
-                    let vp = self.paper_vec_node(
-                        &mut s,
-                        graph,
-                        text,
-                        pair.p,
-                        Direction::Interest,
-                        &mut rng,
-                    );
-                    let vq = self.paper_vec_node(
-                        &mut s,
-                        graph,
-                        text,
-                        pair.q,
-                        Direction::Influence,
-                        &mut rng,
-                    );
-                    let logit = s.tape.dot(vp, vq);
-                    let l11 = s.tape.reshape(logit, Shape::Matrix(1, 1));
-                    logits = Some(match logits {
-                        Some(acc) => s.tape.concat_cols(acc, l11),
-                        None => l11,
-                    });
-                    targets.push(pair.label);
-                }
-                let logits = logits.expect("non-empty batch");
-                let n = targets.len();
-                let bce =
-                    s.tape.bce_with_logits(logits, Tensor::from_vec(targets, Shape::Matrix(1, n)));
-                let reg = s.l2_penalty(&dense_params, self.config.l2);
-                let loss = s.tape.add(bce, reg);
-                total += s.tape.value(loss).item();
-                batches += 1;
-                s.tape.backward(loss);
-                let grads = s.grads();
-                opt.step(&mut self.store, &grads);
-            }
-            epoch_losses.push(total / batches.max(1) as f32);
-        }
-        NpRecReport { epoch_losses }
+        let trainer = Trainer::new(TrainerConfig {
+            epochs: config.epochs,
+            batch: config.batch,
+            microbatch: opts.microbatch,
+            workers: opts.workers,
+            lr: config.lr,
+            lr_decay: 1.0,
+            clip: 5.0,
+            checkpoint_every: opts.checkpoint_every,
+            checkpoint_dir: opts.checkpoint_dir.clone(),
+            resume: opts.resume,
+        });
+        let mut trainable =
+            NpRecTrainable { model: self, graph, text, pairs, dense_params, order: Vec::new() };
+        let run = trainer.run(&mut trainable, on_event)?;
+        Ok(NpRecReport { epoch_losses: run.epoch_losses, resumed_from: run.resumed_from })
     }
 
     /// Deterministic directional representation of one paper (inference).
@@ -520,6 +495,90 @@ impl NpRecModel {
             }
         }
         NpRecRecommender { name: "NPRec".into(), interest, influence, user_papers }
+    }
+}
+
+/// [`Trainable`] adapter driving NPRec's pairwise cross-entropy objective
+/// (Eq. 22–23) on the shared runtime.
+struct NpRecTrainable<'m> {
+    model: &'m mut NpRecModel,
+    graph: &'m HeteroGraph,
+    text: Option<&'m TextVecs>,
+    pairs: &'m [TrainPair],
+    dense_params: Vec<ParamId>,
+    order: Vec<usize>,
+}
+
+impl Trainable for NpRecTrainable<'_> {
+    fn name(&self) -> &str {
+        "nprec"
+    }
+
+    fn params(&self) -> &ParamStore {
+        &self.model.store
+    }
+
+    fn params_mut(&mut self) -> &mut ParamStore {
+        &mut self.model.store
+    }
+
+    fn begin_epoch(&mut self, epoch: usize) {
+        self.order = (0..self.pairs.len()).collect();
+        let seed = derive_seed(self.model.config.seed ^ 0x7a7a, epoch);
+        self.order.shuffle(&mut StdRng::seed_from_u64(seed));
+    }
+
+    fn epoch_items(&self) -> usize {
+        self.pairs.len()
+    }
+
+    fn batch(&self, ctx: &BatchCtx) -> (f32, Gradients) {
+        let model: &NpRecModel = self.model;
+        // Microbatch-local RNG so results depend only on the microbatch,
+        // never on which worker computed it.
+        let mut rng = StdRng::seed_from_u64(ctx.seed(model.config.seed));
+        let mut s = Session::new(&model.store);
+        let mut logits: Option<TensorId> = None;
+        let mut targets = Vec::with_capacity(ctx.range.len());
+        for &i in &self.order[ctx.range.clone()] {
+            let pair = self.pairs[i];
+            let vp = model.paper_vec_node(
+                &mut s,
+                self.graph,
+                self.text,
+                pair.p,
+                Direction::Interest,
+                &mut rng,
+            );
+            let vq = model.paper_vec_node(
+                &mut s,
+                self.graph,
+                self.text,
+                pair.q,
+                Direction::Influence,
+                &mut rng,
+            );
+            let logit = s.tape.dot(vp, vq);
+            let l11 = s.tape.reshape(logit, Shape::Matrix(1, 1));
+            logits = Some(match logits {
+                Some(acc) => s.tape.concat_cols(acc, l11),
+                None => l11,
+            });
+            targets.push(pair.label);
+        }
+        let logits = logits.expect("non-empty microbatch");
+        let n = targets.len();
+        // `bce_with_logits` averages over the microbatch; weighting both it
+        // and the whole-step regularizer by this microbatch's share makes
+        // the summed step loss the per-step mean + one regularizer.
+        let bce = s.tape.bce_with_logits(logits, Tensor::from_vec(targets, Shape::Matrix(1, n)));
+        let bce = s.tape.scale(bce, ctx.frac());
+        let reg = s.l2_penalty(&self.dense_params, model.config.l2);
+        let reg = s.tape.scale(reg, ctx.frac());
+        let loss = s.tape.add(bce, reg);
+        let value = s.tape.value(loss).item();
+        s.tape.backward(loss);
+        (value, s.grads())
     }
 }
 

@@ -17,13 +17,18 @@
 //!   the rules that the embedding geometry can actually satisfy.
 //! * `D^k(p,q) = −c_p^k · c_q^k`, the paper's stated indicator.
 
+use std::collections::HashSet;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
 use sem_corpus::{Corpus, Subspace, NUM_SUBSPACES};
-use sem_nn::{Activation, Adam, AttentionPool, Mlp, Optimizer, ParamId, ParamStore, Session};
+use sem_nn::{Activation, AttentionPool, Gradients, Mlp, ParamId, ParamStore, Session};
 use sem_rules::{RuleScorer, Triplet, TripletSampler, NUM_RULES};
 use sem_tensor::{Shape, Tensor, TensorId};
+use sem_train::{
+    derive_seed, BatchCtx, RunOptions, TrainError, TrainEvent, Trainable, Trainer, TrainerConfig,
+};
 
 use crate::pipeline::TextPipeline;
 
@@ -84,8 +89,12 @@ pub struct SemTrainReport {
     /// Mean batch loss per epoch.
     pub epoch_losses: Vec<f32>,
     /// Final fraction of held-out triplets whose embedding-distance order
-    /// matches the fused-rule order.
+    /// matches the fused-rule order. The eval triplets come from a
+    /// separately-seeded sampler and exclude every triplet the run trained
+    /// on, so this measures genuinely unseen orderings.
     pub triplet_accuracy: f64,
+    /// Last epoch restored from a checkpoint, when the run resumed.
+    pub resumed_from: Option<usize>,
 }
 
 /// The subspace embedding model (one head per subspace + fusion weights).
@@ -146,30 +155,8 @@ impl SemModel {
     /// architecture implied by `config`.
     pub fn from_json(config: SemConfig, json: &str) -> Result<Self, String> {
         let restored = ParamStore::from_json(json)?;
-        let fresh = SemModel::new(config);
-        if restored.len() != fresh.store.len() {
-            return Err(format!(
-                "parameter count mismatch: saved {} vs architecture {}",
-                restored.len(),
-                fresh.store.len()
-            ));
-        }
-        let mut model = fresh;
-        let pairs: Vec<_> = restored.ids().zip(model.store.ids()).collect();
-        for (id, fresh_id) in pairs {
-            if restored.name(id) != model.store.name(fresh_id) {
-                return Err(format!(
-                    "parameter name mismatch: {} vs {}",
-                    restored.name(id),
-                    model.store.name(fresh_id)
-                ));
-            }
-            if restored.get(id).shape() != model.store.get(fresh_id).shape() {
-                return Err(format!("shape mismatch for {}", restored.name(id)));
-            }
-            let value = restored.get(id).clone();
-            model.store.set(fresh_id, value);
-        }
+        let mut model = SemModel::new(config);
+        model.store.copy_from(&restored)?;
         Ok(model)
     }
 
@@ -264,89 +251,8 @@ impl SemModel {
         out
     }
 
-    /// One batch step; returns the batch loss.
-    ///
-    /// The hinge direction is *gated* by the sign of the fused rule margin
-    /// under the current fusion weights (a hard decision, matching the
-    /// paper's positive/negative pair selection in Sec. III-D), while the
-    /// triplet's weight `σ(τ·m)` stays differentiable so gradients reach the
-    /// fusion parameters `θ_k`: rules whose orderings the embedding cannot
-    /// satisfy get down-weighted.
-    fn train_batch(&mut self, triplets: &[Triplet], papers: &EncodedCorpus, opt: &mut Adam) -> f32 {
-        let host_weights = self.fusion_weights();
-        let mut s = Session::new(&self.store);
-        let mut terms: Vec<TensorId> = Vec::new();
-        for t in triplets {
-            let cp =
-                self.forward_paper(&mut s, &papers.h[t.p.index()], &papers.labels[t.p.index()]);
-            let cq =
-                self.forward_paper(&mut s, &papers.h[t.q.index()], &papers.labels[t.q.index()]);
-            let cq2 = self.forward_paper(
-                &mut s,
-                &papers.h[t.q_prime.index()],
-                &papers.labels[t.q_prime.index()],
-            );
-            for k in 0..NUM_SUBSPACES {
-                let m_host = t.fused_margin(k, &host_weights[k]);
-                if m_host.abs() < 0.05 {
-                    continue; // rules do not order this pair: no supervision
-                }
-                // D = -c_p · c_q
-                let dq_pos = s.tape.dot(cp[k], cq[k]);
-                let d_pq = s.tape.scale(dq_pos, -1.0);
-                let dq2_pos = s.tape.dot(cp[k], cq2[k]);
-                let d_pq2 = s.tape.scale(dq2_pos, -1.0);
-
-                // fused margin m = softmax(θ_k) · (f(p,q) − f(p,q'))
-                let theta = s.param(self.fusion[k]);
-                let theta_row = s.tape.reshape(theta, Shape::Matrix(1, NUM_RULES));
-                let alpha = s.tape.row_softmax(theta_row);
-                let df: Vec<f32> =
-                    (0..NUM_RULES).map(|i| (t.fq.0[k][i] - t.fq_prime.0[k][i]) as f32).collect();
-                let df_leaf = s.tape.leaf(Tensor::matrix(NUM_RULES, 1, &df));
-                let m_m = s.tape.matmul(alpha, df_leaf); // [1,1]
-                let m = s.tape.reshape(m_m, Shape::Scalar);
-
-                // gated hinge, confidence-weighted
-                let term = if m_host > 0.0 {
-                    let tm = s.tape.scale(m, self.config.tau);
-                    let conf = s.tape.sigmoid(tm);
-                    let h = sem_nn::losses::margin_ranking(
-                        &mut s.tape,
-                        d_pq,
-                        d_pq2,
-                        self.config.margin,
-                    );
-                    s.tape.mul(conf, h)
-                } else {
-                    let tm = s.tape.scale(m, -self.config.tau);
-                    let conf = s.tape.sigmoid(tm);
-                    let h = sem_nn::losses::margin_ranking(
-                        &mut s.tape,
-                        d_pq2,
-                        d_pq,
-                        self.config.margin,
-                    );
-                    s.tape.mul(conf, h)
-                };
-                terms.push(term);
-            }
-        }
-        if terms.is_empty() {
-            return 0.0;
-        }
-        let sum = sem_nn::losses::total(&mut s.tape, &terms);
-        let scaled = s.tape.scale(sum, 1.0 / triplets.len() as f32);
-        let reg = s.l2_penalty(&self.fusion.clone(), self.config.l2);
-        let loss = s.tape.add(scaled, reg);
-        let value = s.tape.value(loss).item();
-        s.tape.backward(loss);
-        let grads = s.grads();
-        opt.step(&mut self.store, &grads);
-        value
-    }
-
-    /// Trains the twin network on triplets drawn from `scorer`.
+    /// Trains the twin network on triplets drawn from `scorer`, using all
+    /// available cores and no checkpointing. See [`SemModel::train_with`].
     pub fn train(
         &mut self,
         pipeline: &TextPipeline,
@@ -354,30 +260,85 @@ impl SemModel {
         scorer: &RuleScorer<'_>,
         labels: &[Vec<Subspace>],
     ) -> SemTrainReport {
+        self.train_with(pipeline, corpus, scorer, labels, &RunOptions::default(), &mut |_| {})
+            .expect("training without a checkpoint dir is infallible")
+    }
+
+    /// Trains on the shared [`Trainer`] runtime: data-parallel gradient
+    /// accumulation (bit-identical for any worker count), optional atomic
+    /// checkpoints and resume, and progress events.
+    ///
+    /// # Errors
+    /// Only checkpoint I/O (or a corrupt selected checkpoint) can fail.
+    pub fn train_with(
+        &mut self,
+        pipeline: &TextPipeline,
+        corpus: &Corpus,
+        scorer: &RuleScorer<'_>,
+        labels: &[Vec<Subspace>],
+        opts: &RunOptions,
+        on_event: &mut dyn FnMut(&TrainEvent),
+    ) -> Result<SemTrainReport, TrainError> {
+        let config = self.config.clone();
+        let n_papers = corpus.papers.len();
         let papers = EncodedCorpus::build(pipeline, corpus, labels);
-        let mut sampler = TripletSampler::new(corpus.papers.len(), self.config.seed ^ 0x1111);
-        let mut opt = Adam::new(self.config.lr).with_clip(5.0);
-        let mut epoch_losses = Vec::with_capacity(self.config.epochs);
-        for _ in 0..self.config.epochs {
-            let mut total = 0.0f32;
-            let mut batches = 0usize;
-            let mut remaining = self.config.triplets_per_epoch;
-            while remaining > 0 {
-                let n = remaining.min(self.config.batch);
-                let batch = sampler.batch(scorer, n);
-                total += self.train_batch(&batch, &papers, &mut opt);
-                batches += 1;
-                remaining -= n;
+        let trainer = Trainer::new(TrainerConfig {
+            epochs: config.epochs,
+            batch: config.batch,
+            microbatch: opts.microbatch,
+            workers: opts.workers,
+            lr: config.lr,
+            lr_decay: 1.0,
+            clip: 5.0,
+            checkpoint_every: opts.checkpoint_every,
+            checkpoint_dir: opts.checkpoint_dir.clone(),
+            resume: opts.resume,
+        });
+        let (run, seen) = {
+            let mut trainable = SemTrainable {
+                model: self,
+                papers: &papers,
+                scorer,
+                n_papers,
+                triplets: Vec::new(),
+                seen: HashSet::new(),
+            };
+            let run = trainer.run(&mut trainable, on_event)?;
+            // Epochs completed before a resume never called begin_epoch in
+            // this process; regenerate their triplet identities (id draws
+            // only — no feature computation) so the held-out eval still
+            // excludes everything the full run trained on.
+            if let Some(last) = run.resumed_from {
+                for epoch in 0..=last {
+                    let mut sampler =
+                        TripletSampler::new(n_papers, derive_seed(config.seed ^ 0x1111, epoch));
+                    for _ in 0..config.triplets_per_epoch {
+                        let (p, q, q2) = sampler.sample_ids();
+                        trainable.seen.insert((p.index(), q.index(), q2.index()));
+                    }
+                }
             }
-            epoch_losses.push(total / batches.max(1) as f32);
-        }
+            (run, trainable.seen)
+        };
         // Held-out triplet ranking accuracy, judged by cosine rather than
         // the raw training dot product: magnitude varies with sentence
         // count and training exposure, so the scale-invariant comparison is
         // the fair readout of whether the learned *directions* reproduce
-        // the rule ordering.
+        // the rule ordering. The eval sampler is seeded independently of
+        // the training stream and triplets the run trained on are skipped,
+        // so accuracy is measured on genuinely unseen triplets.
         let weights = self.fusion_weights();
-        let eval = sampler.batch(scorer, 200);
+        let mut eval_sampler = TripletSampler::new(n_papers, config.seed ^ 0xe7a1);
+        let mut eval: Vec<Triplet> = Vec::with_capacity(200);
+        let mut attempts = 0usize;
+        while eval.len() < 200 && attempts < 4000 {
+            attempts += 1;
+            let t = eval_sampler.sample(scorer);
+            if seen.contains(&(t.p.index(), t.q.index(), t.q_prime.index())) {
+                continue;
+            }
+            eval.push(t);
+        }
         let mut hits = 0usize;
         let mut counted = 0usize;
         for t in &eval {
@@ -397,7 +358,11 @@ impl SemModel {
                 }
             }
         }
-        SemTrainReport { epoch_losses, triplet_accuracy: hits as f64 / counted.max(1) as f64 }
+        Ok(SemTrainReport {
+            epoch_losses: run.epoch_losses,
+            triplet_accuracy: hits as f64 / counted.max(1) as f64,
+            resumed_from: run.resumed_from,
+        })
     }
 
     /// Embeds one paper (given its sentence vectors and labels) into all
@@ -436,6 +401,133 @@ impl SemModel {
                 self.embed(&h, labs)
             })
             .collect()
+    }
+}
+
+/// [`Trainable`] adapter driving the SEM twin network on the shared
+/// runtime: it owns the current epoch's sampled triplets and records every
+/// trained triplet so the held-out eval can exclude them.
+struct SemTrainable<'m, 'c> {
+    model: &'m mut SemModel,
+    papers: &'m EncodedCorpus,
+    scorer: &'m RuleScorer<'c>,
+    n_papers: usize,
+    triplets: Vec<Triplet>,
+    seen: HashSet<(usize, usize, usize)>,
+}
+
+impl Trainable for SemTrainable<'_, '_> {
+    fn name(&self) -> &str {
+        "sem"
+    }
+
+    fn params(&self) -> &ParamStore {
+        &self.model.store
+    }
+
+    fn params_mut(&mut self) -> &mut ParamStore {
+        &mut self.model.store
+    }
+
+    fn begin_epoch(&mut self, epoch: usize) {
+        // A fresh sampler per epoch, seeded only by the epoch index, so a
+        // resumed run replays the identical triplet schedule.
+        let seed = derive_seed(self.model.config.seed ^ 0x1111, epoch);
+        let mut sampler = TripletSampler::new(self.n_papers, seed);
+        self.triplets = sampler.batch(self.scorer, self.model.config.triplets_per_epoch);
+        for t in &self.triplets {
+            self.seen.insert((t.p.index(), t.q.index(), t.q_prime.index()));
+        }
+    }
+
+    fn epoch_items(&self) -> usize {
+        self.triplets.len()
+    }
+
+    /// One microbatch of the gated hinge loss (Eq. 13–14).
+    ///
+    /// The hinge direction is *gated* by the sign of the fused rule margin
+    /// under the current fusion weights (a hard decision, matching the
+    /// paper's positive/negative pair selection in Sec. III-D), while the
+    /// triplet's weight `σ(τ·m)` stays differentiable so gradients reach
+    /// the fusion parameters `θ_k`: rules whose orderings the embedding
+    /// cannot satisfy get down-weighted.
+    fn batch(&self, ctx: &BatchCtx) -> (f32, Gradients) {
+        let model: &SemModel = self.model;
+        let papers = self.papers;
+        let host_weights = model.fusion_weights();
+        let mut s = Session::new(&model.store);
+        let mut terms: Vec<TensorId> = Vec::new();
+        for t in &self.triplets[ctx.range.clone()] {
+            let cp =
+                model.forward_paper(&mut s, &papers.h[t.p.index()], &papers.labels[t.p.index()]);
+            let cq =
+                model.forward_paper(&mut s, &papers.h[t.q.index()], &papers.labels[t.q.index()]);
+            let cq2 = model.forward_paper(
+                &mut s,
+                &papers.h[t.q_prime.index()],
+                &papers.labels[t.q_prime.index()],
+            );
+            for k in 0..NUM_SUBSPACES {
+                let m_host = t.fused_margin(k, &host_weights[k]);
+                if m_host.abs() < 0.05 {
+                    continue; // rules do not order this pair: no supervision
+                }
+                // D = -c_p · c_q
+                let dq_pos = s.tape.dot(cp[k], cq[k]);
+                let d_pq = s.tape.scale(dq_pos, -1.0);
+                let dq2_pos = s.tape.dot(cp[k], cq2[k]);
+                let d_pq2 = s.tape.scale(dq2_pos, -1.0);
+
+                // fused margin m = softmax(θ_k) · (f(p,q) − f(p,q'))
+                let theta = s.param(model.fusion[k]);
+                let theta_row = s.tape.reshape(theta, Shape::Matrix(1, NUM_RULES));
+                let alpha = s.tape.row_softmax(theta_row);
+                let df: Vec<f32> =
+                    (0..NUM_RULES).map(|i| (t.fq.0[k][i] - t.fq_prime.0[k][i]) as f32).collect();
+                let df_leaf = s.tape.leaf(Tensor::matrix(NUM_RULES, 1, &df));
+                let m_m = s.tape.matmul(alpha, df_leaf); // [1,1]
+                let m = s.tape.reshape(m_m, Shape::Scalar);
+
+                // gated hinge, confidence-weighted
+                let term = if m_host > 0.0 {
+                    let tm = s.tape.scale(m, model.config.tau);
+                    let conf = s.tape.sigmoid(tm);
+                    let h = sem_nn::losses::margin_ranking(
+                        &mut s.tape,
+                        d_pq,
+                        d_pq2,
+                        model.config.margin,
+                    );
+                    s.tape.mul(conf, h)
+                } else {
+                    let tm = s.tape.scale(m, -model.config.tau);
+                    let conf = s.tape.sigmoid(tm);
+                    let h = sem_nn::losses::margin_ranking(
+                        &mut s.tape,
+                        d_pq2,
+                        d_pq,
+                        model.config.margin,
+                    );
+                    s.tape.mul(conf, h)
+                };
+                terms.push(term);
+            }
+        }
+        if terms.is_empty() {
+            return (0.0, Gradients::empty());
+        }
+        // Per-item terms scale by the whole step's size, the whole-step
+        // regularizer by this microbatch's share — so summing microbatch
+        // gradients reproduces the undivided batch exactly.
+        let sum = sem_nn::losses::total(&mut s.tape, &terms);
+        let scaled = s.tape.scale(sum, 1.0 / ctx.step_items as f32);
+        let reg = s.l2_penalty(&model.fusion, model.config.l2);
+        let reg = s.tape.scale(reg, ctx.frac());
+        let loss = s.tape.add(scaled, reg);
+        let value = s.tape.value(loss).item();
+        s.tape.backward(loss);
+        (value, s.grads())
     }
 }
 

@@ -1,0 +1,142 @@
+//! Integration tests for the shared training runtime driving the real
+//! models: worker-count determinism and exact kill-and-resume on SEM and
+//! NPRec over a generated corpus.
+
+use std::path::PathBuf;
+
+use sem_core::sampling::{build_training_pairs, NegativeStrategy};
+use sem_core::{NpRecConfig, NpRecModel, PipelineConfig, SemConfig, SemModel, TextPipeline};
+use sem_corpus::{Corpus, CorpusConfig, Subspace};
+use sem_graph::HeteroGraph;
+use sem_rules::RuleScorer;
+use sem_train::RunOptions;
+
+fn fixture() -> (Corpus, TextPipeline, Vec<Vec<Subspace>>) {
+    let corpus =
+        Corpus::generate(CorpusConfig { n_papers: 100, n_authors: 50, ..Default::default() });
+    let pipe = TextPipeline::fit(
+        &corpus,
+        PipelineConfig { sentence_dim: 24, word_dim: 16, sgns_epochs: 2, ..Default::default() },
+    );
+    let labels = pipe.label_corpus(&corpus);
+    (corpus, pipe, labels)
+}
+
+fn sem_config(epochs: usize) -> SemConfig {
+    SemConfig {
+        input_dim: 24,
+        hidden: 16,
+        attn: 8,
+        epochs,
+        triplets_per_epoch: 48,
+        ..Default::default()
+    }
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sem-core-train-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn sem_training_is_worker_count_deterministic() {
+    let (corpus, pipe, labels) = fixture();
+    let scorer = RuleScorer::new(&corpus, &pipe.vocab, &pipe.embeddings, &pipe.encoder, &labels);
+
+    let mut serial = SemModel::new(sem_config(2));
+    let opts = RunOptions { workers: 1, ..Default::default() };
+    let r1 = serial.train_with(&pipe, &corpus, &scorer, &labels, &opts, &mut |_| {}).unwrap();
+
+    let mut par = SemModel::new(sem_config(2));
+    let opts = RunOptions { workers: 4, ..Default::default() };
+    let r4 = par.train_with(&pipe, &corpus, &scorer, &labels, &opts, &mut |_| {}).unwrap();
+
+    assert_eq!(serial.weights_to_json(), par.weights_to_json());
+    assert_eq!(
+        r1.epoch_losses.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+        r4.epoch_losses.iter().map(|l| l.to_bits()).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn sem_resume_matches_uninterrupted_run() {
+    let (corpus, pipe, labels) = fixture();
+    let scorer = RuleScorer::new(&corpus, &pipe.vocab, &pipe.embeddings, &pipe.encoder, &labels);
+    let dir = tmp_dir("sem-resume");
+
+    let mut full = SemModel::new(sem_config(4));
+    let full_report = full
+        .train_with(&pipe, &corpus, &scorer, &labels, &RunOptions::default(), &mut |_| {})
+        .unwrap();
+
+    // "Killed" after 2 of 4 epochs, checkpointing along the way.
+    let mut killed = SemModel::new(sem_config(2));
+    let opts = RunOptions { checkpoint_dir: Some(dir.clone()), ..Default::default() };
+    killed.train_with(&pipe, &corpus, &scorer, &labels, &opts, &mut |_| {}).unwrap();
+    drop(killed);
+
+    // Fresh process resumes toward 4 epochs.
+    let mut resumed = SemModel::new(sem_config(4));
+    let opts = RunOptions { checkpoint_dir: Some(dir.clone()), resume: true, ..Default::default() };
+    let report = resumed.train_with(&pipe, &corpus, &scorer, &labels, &opts, &mut |_| {}).unwrap();
+
+    assert_eq!(report.resumed_from, Some(1), "should resume after epoch 2");
+    assert_eq!(resumed.weights_to_json(), full.weights_to_json());
+    assert_eq!(
+        report.epoch_losses.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+        full_report.epoch_losses.iter().map(|l| l.to_bits()).collect::<Vec<_>>()
+    );
+    // The leak-free eval is also schedule-independent: both runs trained on
+    // the same triplet stream, so the eval set (and accuracy) must agree.
+    assert_eq!(report.triplet_accuracy, full_report.triplet_accuracy);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn nprec_training_is_worker_count_deterministic_and_resumable() {
+    let (corpus, pipe, labels) = fixture();
+    let scorer = RuleScorer::new(&corpus, &pipe.vocab, &pipe.embeddings, &pipe.encoder, &labels);
+    let mut sem = SemModel::new(sem_config(1));
+    sem.train(&pipe, &corpus, &scorer, &labels);
+    let text = sem.embed_corpus(&pipe, &corpus, &labels);
+    let fusion = sem.fusion_weights();
+    let graph = HeteroGraph::from_corpus(&corpus, Some(2014));
+    let mut pairs = build_training_pairs(
+        &corpus,
+        &scorer,
+        &fusion,
+        2014,
+        4,
+        NegativeStrategy::Defuzzed { threshold: 0.0 },
+        7,
+    );
+    pairs.truncate(200);
+    let config = NpRecConfig { epochs: 2, text_dim: sem.embed_dim(), ..Default::default() };
+
+    let mut serial = NpRecModel::new(graph.n_nodes(), config.clone());
+    let opts = RunOptions { workers: 1, ..Default::default() };
+    serial.train_with(&graph, Some(&text), &pairs, &opts, &mut |_| {}).unwrap();
+
+    let mut par = NpRecModel::new(graph.n_nodes(), config.clone());
+    let opts = RunOptions { workers: 4, ..Default::default() };
+    par.train_with(&graph, Some(&text), &pairs, &opts, &mut |_| {}).unwrap();
+    assert_eq!(serial.weights_to_json(), par.weights_to_json());
+
+    // Resume: 1 epoch checkpointed, then continue to 2.
+    let dir = tmp_dir("nprec-resume");
+    let mut killed = NpRecModel::new(graph.n_nodes(), NpRecConfig { epochs: 1, ..config.clone() });
+    let opts = RunOptions { checkpoint_dir: Some(dir.clone()), ..Default::default() };
+    killed.train_with(&graph, Some(&text), &pairs, &opts, &mut |_| {}).unwrap();
+    drop(killed);
+
+    let mut resumed = NpRecModel::new(graph.n_nodes(), config);
+    let opts = RunOptions { checkpoint_dir: Some(dir.clone()), resume: true, ..Default::default() };
+    let report = resumed.train_with(&graph, Some(&text), &pairs, &opts, &mut |_| {}).unwrap();
+    assert_eq!(report.resumed_from, Some(0));
+    assert_eq!(resumed.weights_to_json(), serial.weights_to_json());
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -36,5 +36,5 @@ mod optim;
 mod param;
 
 pub use layers::{Activation, AttentionPool, Embedding, Linear, Mlp};
-pub use optim::{Adam, Optimizer, Sgd};
+pub use optim::{Adam, AdamState, Optimizer, Sgd};
 pub use param::{Gradients, ParamId, ParamStore, Session};

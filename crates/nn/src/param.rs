@@ -125,6 +125,35 @@ impl ParamStore {
         }
         Ok(store)
     }
+
+    /// Copies every parameter value from `other` into this store, matching
+    /// by position and requiring identical names and shapes — the two
+    /// stores must describe the same architecture. Used to restore trained
+    /// or checkpointed weights into a freshly constructed model.
+    ///
+    /// # Errors
+    /// Returns an error string (leaving `self` partially updated) when the
+    /// parameter counts, names or shapes disagree.
+    pub fn copy_from(&mut self, other: &ParamStore) -> Result<(), String> {
+        if other.len() != self.len() {
+            return Err(format!("expected {} params, got {}", self.len(), other.len()));
+        }
+        for (id, oid) in self.ids().zip(other.ids()).collect::<Vec<_>>() {
+            if self.name(id) != other.name(oid) {
+                return Err(format!(
+                    "param {} name mismatch: {:?} vs {:?}",
+                    id.0,
+                    self.name(id),
+                    other.name(oid)
+                ));
+            }
+            if self.get(id).shape() != other.get(oid).shape() {
+                return Err(format!("param {:?} shape mismatch", self.name(id)));
+            }
+            self.set(id, other.get(oid).clone());
+        }
+        Ok(())
+    }
 }
 
 impl fmt::Debug for ParamStore {
@@ -152,6 +181,37 @@ pub struct Gradients {
 }
 
 impl Gradients {
+    /// An empty accumulator for [`Gradients::add_assign`].
+    pub fn empty() -> Self {
+        Gradients { by_param: Vec::new() }
+    }
+
+    /// Accumulates `other` into `self` elementwise.
+    ///
+    /// The caller controls the order of accumulation; summing worker
+    /// gradients in a fixed order is what makes data-parallel training
+    /// bit-deterministic regardless of worker count.
+    ///
+    /// # Panics
+    /// Panics when the same parameter carries differently-shaped gradients
+    /// in `self` and `other`.
+    pub fn add_assign(&mut self, other: &Gradients) {
+        if self.by_param.len() < other.by_param.len() {
+            self.by_param.resize_with(other.by_param.len(), || None);
+        }
+        for (slot, o) in self.by_param.iter_mut().zip(&other.by_param) {
+            let Some(o) = o else { continue };
+            match slot {
+                Some(g) => {
+                    assert_eq!(g.shape(), o.shape(), "gradient shape mismatch in add_assign");
+                    let sum: Vec<f32> = g.data().iter().zip(o.data()).map(|(a, b)| a + b).collect();
+                    *g = Tensor::from_vec(sum, g.shape());
+                }
+                None => *slot = Some(o.clone()),
+            }
+        }
+    }
+
     /// Gradient for one parameter, if it flowed.
     pub fn get(&self, id: ParamId) -> Option<&Tensor> {
         self.by_param.get(id.0).and_then(|g| g.as_ref())
@@ -322,5 +382,58 @@ mod tests {
     #[test]
     fn from_json_rejects_garbage() {
         assert!(ParamStore::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn add_assign_sums_and_fills_missing() {
+        let mut store = ParamStore::new();
+        let a = store.add("a", Tensor::vector(&[1.0, 1.0]));
+        let b = store.add("b", Tensor::scalar(0.0));
+        let grads_for = |wa: f32, use_b: bool| {
+            let mut s = Session::new(&store);
+            let pa = s.param(a);
+            let scaled = s.tape.scale(pa, wa);
+            let mut loss = s.tape.sum(scaled);
+            if use_b {
+                let pb = s.param(b);
+                loss = s.tape.add(loss, pb);
+            }
+            s.tape.backward(loss);
+            s.grads()
+        };
+        let mut acc = Gradients::empty();
+        acc.add_assign(&grads_for(2.0, false));
+        acc.add_assign(&grads_for(3.0, true));
+        assert_eq!(acc.get(a).unwrap().data(), &[5.0, 5.0]);
+        assert_eq!(acc.get(b).unwrap().item(), 1.0);
+    }
+
+    #[test]
+    fn copy_from_roundtrips_values() {
+        let mut src = ParamStore::new();
+        src.add("w", Tensor::vector(&[1.5, -2.5]));
+        src.add("b", Tensor::scalar(7.0));
+        let mut dst = ParamStore::new();
+        dst.add("w", Tensor::vector(&[0.0, 0.0]));
+        let id_b = dst.add("b", Tensor::scalar(0.0));
+        dst.copy_from(&src).unwrap();
+        assert_eq!(dst.get(ParamId(0)).data(), &[1.5, -2.5]);
+        assert_eq!(dst.get(id_b).item(), 7.0);
+    }
+
+    #[test]
+    fn copy_from_rejects_mismatched_architecture() {
+        let mut src = ParamStore::new();
+        src.add("w", Tensor::scalar(1.0));
+        let mut wrong_count = ParamStore::new();
+        wrong_count.add("w", Tensor::scalar(0.0));
+        wrong_count.add("extra", Tensor::scalar(0.0));
+        assert!(wrong_count.copy_from(&src).is_err());
+        let mut wrong_name = ParamStore::new();
+        wrong_name.add("v", Tensor::scalar(0.0));
+        assert!(wrong_name.copy_from(&src).is_err());
+        let mut wrong_shape = ParamStore::new();
+        wrong_shape.add("w", Tensor::vector(&[0.0, 0.0]));
+        assert!(wrong_shape.copy_from(&src).is_err());
     }
 }

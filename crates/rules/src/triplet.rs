@@ -50,8 +50,13 @@ impl TripletSampler {
         TripletSampler { rng: StdRng::seed_from_u64(seed), n_papers }
     }
 
-    /// Samples one triplet with its normalised features.
-    pub fn sample(&mut self, scorer: &RuleScorer<'_>) -> Triplet {
+    /// Draws the next triplet's paper ids without computing rule features.
+    ///
+    /// Consumes exactly the same RNG stream as [`TripletSampler::sample`]
+    /// (the draws happen before any feature work), so the identities of a
+    /// past training stream can be regenerated cheaply — e.g. to rebuild
+    /// the seen-triplet set after a checkpoint resume.
+    pub fn sample_ids(&mut self) -> (PaperId, PaperId, PaperId) {
         loop {
             let p = PaperId::from(self.rng.gen_range(0..self.n_papers));
             let q = PaperId::from(self.rng.gen_range(0..self.n_papers));
@@ -59,10 +64,16 @@ impl TripletSampler {
             if p == q || p == q_prime || q == q_prime {
                 continue;
             }
-            let fq = scorer.normalized(p, q);
-            let fq_prime = scorer.normalized(p, q_prime);
-            return Triplet { p, q, q_prime, fq, fq_prime };
+            return (p, q, q_prime);
         }
+    }
+
+    /// Samples one triplet with its normalised features.
+    pub fn sample(&mut self, scorer: &RuleScorer<'_>) -> Triplet {
+        let (p, q, q_prime) = self.sample_ids();
+        let fq = scorer.normalized(p, q);
+        let fq_prime = scorer.normalized(p, q_prime);
+        Triplet { p, q, q_prime, fq, fq_prime }
     }
 
     /// Samples a batch.
@@ -177,5 +188,20 @@ mod tests {
     #[should_panic(expected = "needs >= 3 papers")]
     fn too_few_papers_panics() {
         let _ = TripletSampler::new(2, 0);
+    }
+
+    #[test]
+    fn sample_ids_reproduces_sample_stream() {
+        let (corpus, vocab, sg, enc) = fixture();
+        let labels: Vec<_> = corpus.papers.iter().map(|p| p.sentence_labels()).collect();
+        let scorer = RuleScorer::new(&corpus, &vocab, &sg, &enc, &labels);
+        let full: Vec<_> = TripletSampler::new(corpus.papers.len(), 11)
+            .batch(&scorer, 25)
+            .iter()
+            .map(|t| (t.p, t.q, t.q_prime))
+            .collect();
+        let mut ids_only = TripletSampler::new(corpus.papers.len(), 11);
+        let ids: Vec<_> = (0..25).map(|_| ids_only.sample_ids()).collect();
+        assert_eq!(full, ids);
     }
 }

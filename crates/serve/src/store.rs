@@ -22,10 +22,11 @@
 //! between the snapshot rename and the journal truncation. Saving a
 //! snapshot compacts the journal back to empty.
 
-use std::fs::{File, OpenOptions};
+use std::fs::OpenOptions;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
+use sem_train::atomic::{fsync_parent_dir, tmp_path, write_atomic};
 use serde::{Deserialize, Serialize};
 
 use crate::error::ServeError;
@@ -238,18 +239,16 @@ impl IndexStore {
     pub fn save_snapshot(&mut self, index: &AnnIndex) -> Result<(), ServeError> {
         self.check_alive()?;
         let bytes = encode_snapshot(index)?;
-        let tmp = self.snapshot_path.with_extension("tmp");
         if let Some(survives) = self.plan.torn_write_survives(bytes.len()) {
             // a real torn write: only a prefix of the temp file reaches
             // disk and the rename never happens
+            let tmp = tmp_path(&self.snapshot_path);
             std::fs::write(&tmp, &bytes[..survives]).map_err(|e| ServeError::io(&tmp, e))?;
             self.crashed = true;
             return Err(ServeError::InjectedCrash(CrashPoint::SnapshotTempWrite.name()));
         }
-        write_fsync(&tmp, &bytes)?;
-        std::fs::rename(&tmp, &self.snapshot_path)
+        write_atomic(&self.snapshot_path, &bytes)
             .map_err(|e| ServeError::io(&self.snapshot_path, e))?;
-        fsync_parent_dir(&self.snapshot_path);
         if self.plan.crash_before_journal_truncate {
             self.crashed = true;
             return Err(ServeError::InjectedCrash(CrashPoint::BeforeJournalTruncate.name()));
@@ -598,23 +597,6 @@ fn decode_snapshot(bytes: &[u8], path: &Path) -> Result<AnnIndex, ServeError> {
         ));
     }
     Ok(index)
-}
-
-fn write_fsync(path: &Path, bytes: &[u8]) -> Result<(), ServeError> {
-    let mut f = File::create(path).map_err(|e| ServeError::io(path, e))?;
-    f.write_all(bytes).map_err(|e| ServeError::io(path, e))?;
-    f.sync_all().map_err(|e| ServeError::io(path, e))
-}
-
-/// Fsyncs the parent directory so a rename/unlink is itself durable.
-/// Best-effort: some filesystems refuse directory fsync; the data fsync
-/// already happened.
-fn fsync_parent_dir(path: &Path) {
-    if let Some(parent) = path.parent() {
-        if let Ok(d) = File::open(parent) {
-            let _ = d.sync_all();
-        }
-    }
 }
 
 #[cfg(test)]

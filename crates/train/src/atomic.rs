@@ -1,0 +1,80 @@
+//! Atomic, durable file writes shared by training checkpoints, CLI model
+//! persistence and the serving snapshot store.
+//!
+//! The pattern — write the full payload to a temp file in the same
+//! directory, fsync it, rename it over the target, then fsync the
+//! directory — guarantees that a reader (or a crashed writer restarting)
+//! observes either the complete old file or the complete new file, never
+//! a torn hybrid. Originally built for `sem-serve`'s index snapshots and
+//! extracted here so model weights and checkpoints get the same
+//! durability story.
+
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Atomically replaces the file at `path` with `bytes`.
+///
+/// The temporary file is `<path>.tmp` in the same directory (renames are
+/// only atomic within a filesystem). The target's parent directory must
+/// already exist.
+///
+/// # Errors
+/// Returns the underlying I/O error from create/write/fsync/rename; on
+/// failure the target file is untouched (a stale `.tmp` may remain and is
+/// harmlessly overwritten by the next attempt).
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = tmp_path(path);
+    let mut f = File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    drop(f);
+    std::fs::rename(&tmp, path)?;
+    fsync_parent_dir(path);
+    Ok(())
+}
+
+/// The sibling temp path `<path>.tmp` used by [`write_atomic`].
+pub fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(".tmp");
+    PathBuf::from(name)
+}
+
+/// Fsyncs the directory containing `path`, making a completed rename or
+/// unlink itself durable across power loss.
+///
+/// Best-effort: some filesystems refuse directory fsyncs, and the data
+/// fsync has already happened by the time this is called, so errors are
+/// swallowed.
+pub fn fsync_parent_dir(path: &Path) {
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_atomic_replaces_contents_and_cleans_tmp() {
+        let dir = std::env::temp_dir().join("sem-train-atomic-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let target = dir.join("data.json");
+        write_atomic(&target, b"first").unwrap();
+        assert_eq!(std::fs::read(&target).unwrap(), b"first");
+        write_atomic(&target, b"second, longer payload").unwrap();
+        assert_eq!(std::fs::read(&target).unwrap(), b"second, longer payload");
+        assert!(!tmp_path(&target).exists(), "temp file must not linger");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn write_atomic_errors_on_missing_parent() {
+        let target = std::env::temp_dir().join("sem-train-no-such-dir").join("x.json");
+        assert!(write_atomic(&target, b"x").is_err());
+    }
+}

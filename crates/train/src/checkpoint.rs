@@ -1,0 +1,168 @@
+//! Training checkpoints: model weights + optimizer state + loss history,
+//! written atomically and restored by `--resume`.
+//!
+//! A checkpoint directory holds one `ckpt-<epoch>.json` per checkpointed
+//! epoch. Resume scans for the *latest valid* file — highest epoch that
+//! parses, matches the model's name, and whose parameters fit the model's
+//! architecture — so a corrupt or foreign file degrades resume to an
+//! older checkpoint instead of failing the run.
+
+use std::path::{Path, PathBuf};
+
+use sem_nn::{Adam, AdamState, ParamStore};
+use serde::{Deserialize, Serialize};
+
+use crate::atomic::write_atomic;
+use crate::TrainError;
+
+/// Format marker; bump when the schema changes incompatibly.
+const MAGIC: &str = "SEMCKPT1";
+
+/// One serialized training checkpoint.
+#[derive(Serialize, Deserialize)]
+pub struct Checkpoint {
+    magic: String,
+    /// Model identity ([`crate::Trainable::name`]); resume refuses a
+    /// checkpoint written by a different model.
+    pub model: String,
+    /// Last completed epoch (0-based).
+    pub epoch: usize,
+    /// Mean loss of every completed epoch up to and including [`Self::epoch`].
+    pub epoch_losses: Vec<f32>,
+    /// Adam step count and moment estimates.
+    pub optimizer: AdamState,
+    /// Model parameters as a [`ParamStore::to_json`] payload.
+    pub params: String,
+}
+
+impl Checkpoint {
+    /// Captures the current training state.
+    pub fn capture(
+        model: &str,
+        epoch: usize,
+        epoch_losses: &[f32],
+        store: &ParamStore,
+        opt: &Adam,
+    ) -> Self {
+        Checkpoint {
+            magic: MAGIC.to_string(),
+            model: model.to_string(),
+            epoch,
+            epoch_losses: epoch_losses.to_vec(),
+            optimizer: opt.state(),
+            params: store.to_json(),
+        }
+    }
+
+    /// File name a checkpoint for `epoch` is stored under.
+    pub fn file_name(epoch: usize) -> String {
+        format!("ckpt-{epoch:05}.json")
+    }
+
+    /// Writes the checkpoint atomically into `dir` (created if missing),
+    /// returning the final path.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors; on failure no partial checkpoint is
+    /// visible at the target path.
+    pub fn save(&self, dir: &Path) -> Result<PathBuf, TrainError> {
+        std::fs::create_dir_all(dir).map_err(|e| TrainError::io(dir, e))?;
+        let path = dir.join(Self::file_name(self.epoch));
+        let json = serde_json::to_string(self).expect("checkpoint serialization cannot fail");
+        write_atomic(&path, json.as_bytes()).map_err(|e| TrainError::io(&path, e))?;
+        Ok(path)
+    }
+
+    /// Parses a checkpoint file, validating the format marker.
+    ///
+    /// # Errors
+    /// [`TrainError::Io`] when the file cannot be read,
+    /// [`TrainError::Corrupt`] when it is not a checkpoint.
+    pub fn load(path: &Path) -> Result<Self, TrainError> {
+        let bytes = std::fs::read_to_string(path).map_err(|e| TrainError::io(path, e))?;
+        let ckpt: Checkpoint = serde_json::from_str(&bytes)
+            .map_err(|e| TrainError::Corrupt { path: path.to_path_buf(), detail: e.to_string() })?;
+        if ckpt.magic != MAGIC {
+            return Err(TrainError::Corrupt {
+                path: path.to_path_buf(),
+                detail: format!("bad magic {:?}", ckpt.magic),
+            });
+        }
+        Ok(ckpt)
+    }
+
+    /// Restores weights into `store` and optimizer state into `opt`.
+    ///
+    /// # Errors
+    /// [`TrainError::Corrupt`] when the stored parameters or moments do
+    /// not fit the model's architecture.
+    pub fn restore_into(&self, store: &mut ParamStore, opt: &mut Adam) -> Result<(), TrainError> {
+        let corrupt = |detail: String| TrainError::Corrupt {
+            path: PathBuf::from(Self::file_name(self.epoch)),
+            detail,
+        };
+        let restored = ParamStore::from_json(&self.params).map_err(&corrupt)?;
+        store.copy_from(&restored).map_err(&corrupt)?;
+        validate_moments(&self.optimizer, store).map_err(&corrupt)?;
+        opt.restore(self.optimizer.clone());
+        Ok(())
+    }
+}
+
+/// Checks that Adam moment vectors line up with the store's parameters.
+fn validate_moments(state: &AdamState, store: &ParamStore) -> Result<(), String> {
+    if state.m.len() != state.v.len() || state.m.len() > store.len() {
+        return Err(format!(
+            "optimizer state covers {} params, model has {}",
+            state.m.len(),
+            store.len()
+        ));
+    }
+    for (i, id) in store.ids().enumerate().take(state.m.len()) {
+        let n = store.get(id).len();
+        if state.m[i].len() != n || state.v[i].len() != n {
+            return Err(format!("optimizer moment size mismatch at param {i}"));
+        }
+    }
+    Ok(())
+}
+
+/// Finds the latest usable checkpoint in `dir` for `model`: the highest
+/// epoch whose file parses, carries the right model name, and whose
+/// parameters and optimizer moments fit `store`. Invalid files are
+/// skipped, falling back to older checkpoints; `None` when nothing
+/// usable exists (including when `dir` is missing).
+pub fn latest_valid(dir: &Path, model: &str, store: &ParamStore) -> Option<(Checkpoint, PathBuf)> {
+    let entries = std::fs::read_dir(dir).ok()?;
+    let mut candidates: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("ckpt-") && n.ends_with(".json"))
+        })
+        .collect();
+    // Zero-padded epoch numbers sort lexicographically; walk newest first.
+    candidates.sort();
+    for path in candidates.into_iter().rev() {
+        let Ok(ckpt) = Checkpoint::load(&path) else { continue };
+        if ckpt.model != model {
+            continue;
+        }
+        let Ok(restored) = ParamStore::from_json(&ckpt.params) else { continue };
+        if !compatible(store, &restored) || validate_moments(&ckpt.optimizer, store).is_err() {
+            continue;
+        }
+        return Some((ckpt, path));
+    }
+    None
+}
+
+/// True when two stores describe the same architecture (names + shapes).
+fn compatible(a: &ParamStore, b: &ParamStore) -> bool {
+    a.len() == b.len()
+        && a.ids()
+            .zip(b.ids())
+            .all(|(ia, ib)| a.name(ia) == b.name(ib) && a.get(ia).shape() == b.get(ib).shape())
+}

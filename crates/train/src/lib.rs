@@ -1,0 +1,93 @@
+//! # sem-train
+//!
+//! The shared training runtime every model in the workspace runs on: a
+//! [`Trainable`] contract (produce one microbatch's loss and gradients
+//! against a shared read-only [`sem_nn::ParamStore`]) and a [`Trainer`]
+//! that owns everything the per-model loops used to duplicate —
+//! deterministic epoch/batch scheduling, learning-rate decay and gradient
+//! clipping, data-parallel gradient accumulation over rayon workers,
+//! periodic atomic checkpoints, resume from the latest valid checkpoint,
+//! and a [`TrainEvent`] callback stream for progress reporting.
+//!
+//! ## Determinism
+//!
+//! The optimizer step is computed over microbatches whose boundaries
+//! depend only on the configuration, never on the worker count. Workers
+//! evaluate disjoint contiguous groups of microbatches concurrently, and
+//! the trainer reduces the resulting gradients *sequentially in microbatch
+//! index order* before taking a single optimizer step. Floating-point
+//! addition is not associative, so this fixed reduction order is exactly
+//! what makes `workers = N` produce bit-identical weights to
+//! `workers = 1` for any `N`.
+//!
+//! ## Resume
+//!
+//! Models derive all per-epoch randomness from the epoch index (see
+//! [`derive_seed`]), never from accumulated RNG state, so a resumed run
+//! replays the identical schedule the uninterrupted run would have seen.
+//! Checkpoints carry the model weights, the Adam moments and the loss
+//! history, and are written with the atomic temp-file + fsync + rename
+//! writer in [`atomic`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod atomic;
+mod checkpoint;
+mod trainer;
+
+use std::fmt;
+use std::path::PathBuf;
+
+pub use checkpoint::{latest_valid, Checkpoint};
+pub use trainer::{
+    derive_seed, BatchCtx, RunOptions, TrainEvent, TrainRun, Trainable, Trainer, TrainerConfig,
+};
+
+/// Failures of the training runtime itself (model math never fails; only
+/// checkpoint I/O and corrupt resume state can).
+#[derive(Debug)]
+pub enum TrainError {
+    /// A filesystem operation failed.
+    Io {
+        /// Path involved in the failed operation.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A checkpoint exists but cannot be used for this model.
+    Corrupt {
+        /// Path of the offending checkpoint.
+        path: PathBuf,
+        /// Human-readable reason.
+        detail: String,
+    },
+}
+
+impl TrainError {
+    pub(crate) fn io(path: &std::path::Path, source: std::io::Error) -> Self {
+        TrainError::Io { path: path.to_path_buf(), source }
+    }
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::Io { path, source } => {
+                write!(f, "checkpoint i/o failed at {}: {source}", path.display())
+            }
+            TrainError::Corrupt { path, detail } => {
+                write!(f, "unusable checkpoint {}: {detail}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrainError::Io { source, .. } => Some(source),
+            TrainError::Corrupt { .. } => None,
+        }
+    }
+}

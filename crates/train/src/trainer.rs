@@ -1,0 +1,343 @@
+//! The [`Trainer`]: deterministic epoch/batch scheduling, data-parallel
+//! gradient accumulation with a fixed reduction order, LR decay, gradient
+//! clipping, atomic checkpoints and resume.
+
+use std::ops::Range;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use rayon::prelude::*;
+use sem_nn::{Adam, Gradients, Optimizer, ParamStore};
+
+use crate::checkpoint::{latest_valid, Checkpoint};
+use crate::TrainError;
+
+/// A model the [`Trainer`] can drive.
+///
+/// The contract that makes parallel training deterministic and resume
+/// exact:
+///
+/// - [`Trainable::begin_epoch`] must derive the epoch's data order and any
+///   sampling **only** from the epoch index (plus construction-time state)
+///   — see [`derive_seed`] — never from RNG state carried across epochs,
+///   so a resumed run schedules epoch `e` identically to an uninterrupted
+///   one.
+/// - [`Trainable::batch`] runs on worker threads over `&self` with the
+///   parameter store read-only; any randomness it needs must come from
+///   [`BatchCtx::seed`] so the result depends only on the microbatch, not
+///   on which worker computed it.
+/// - Microbatch results are summed into one optimizer step, so `batch`
+///   must scale its loss terms to be *additive across the step*: divide
+///   per-item terms by [`BatchCtx::step_items`] and weight whole-step
+///   terms (regularizers) by [`BatchCtx::frac`]. The summed gradients then
+///   equal the whole-batch gradients regardless of how the step was split.
+pub trait Trainable {
+    /// Stable model identity, stamped into checkpoints.
+    fn name(&self) -> &str;
+
+    /// The shared parameter store workers read.
+    fn params(&self) -> &ParamStore;
+
+    /// Mutable store access for the optimizer step and checkpoint restore.
+    fn params_mut(&mut self) -> &mut ParamStore;
+
+    /// Prepares the epoch's data (sampling, shuffling) as a pure function
+    /// of the epoch index.
+    fn begin_epoch(&mut self, epoch: usize);
+
+    /// Number of items scheduled for the current epoch.
+    fn epoch_items(&self) -> usize;
+
+    /// Computes one microbatch's loss and gradients on a fresh tape over
+    /// the read-only store.
+    fn batch(&self, ctx: &BatchCtx) -> (f32, Gradients);
+}
+
+/// Everything a [`Trainable::batch`] call needs to know about its slice of
+/// the current optimizer step.
+#[derive(Clone, Debug)]
+pub struct BatchCtx {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Optimizer-step index within the epoch (0-based).
+    pub step: usize,
+    /// Item indices of this microbatch within the epoch's `0..epoch_items()`.
+    pub range: Range<usize>,
+    /// Total items in the optimizer step this microbatch belongs to.
+    pub step_items: usize,
+}
+
+impl BatchCtx {
+    /// This microbatch's share of the optimizer step — the weight for
+    /// whole-step loss terms such as regularizers.
+    pub fn frac(&self) -> f32 {
+        self.range.len() as f32 / self.step_items.max(1) as f32
+    }
+
+    /// A deterministic RNG seed unique to this microbatch, independent of
+    /// worker assignment. `base` is the model's own seed.
+    pub fn seed(&self, base: u64) -> u64 {
+        derive_seed(derive_seed(base, self.epoch), self.range.start)
+    }
+}
+
+/// Mixes a counter into a base seed (splitmix64 finalizer) so per-epoch /
+/// per-microbatch streams are decorrelated but depend only on the index —
+/// the property exact resume relies on.
+pub fn derive_seed(base: u64, n: usize) -> u64 {
+    let mut z = base ^ (n as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Full trainer configuration, usually assembled from a model's own
+/// hyperparameters plus caller [`RunOptions`].
+#[derive(Clone, Debug)]
+pub struct TrainerConfig {
+    /// Total epochs the run should reach (resume counts completed ones).
+    pub epochs: usize,
+    /// Items per optimizer step.
+    pub batch: usize,
+    /// Items per worker tape within one step; `0` means one microbatch per
+    /// item. Microbatch boundaries are fixed by this value alone — never by
+    /// `workers` — which is what keeps training bit-deterministic across
+    /// worker counts.
+    pub microbatch: usize,
+    /// Concurrent workers; `0` means all available cores.
+    pub workers: usize,
+    /// Initial learning rate.
+    pub lr: f32,
+    /// Multiplicative per-epoch learning-rate decay (`1.0` = constant).
+    pub lr_decay: f32,
+    /// Global gradient-norm clip (`0.0` disables).
+    pub clip: f32,
+    /// Write a checkpoint every this many epochs (`0` = every epoch). The
+    /// final epoch is always checkpointed when a directory is set.
+    pub checkpoint_every: usize,
+    /// Where checkpoints go; `None` disables checkpointing.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Resume from the latest valid checkpoint in `checkpoint_dir`.
+    pub resume: bool,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        TrainerConfig {
+            epochs: 10,
+            batch: 8,
+            microbatch: 0,
+            workers: 0,
+            lr: 1e-2,
+            lr_decay: 1.0,
+            clip: 5.0,
+            checkpoint_every: 0,
+            checkpoint_dir: None,
+            resume: false,
+        }
+    }
+}
+
+/// Caller-side runtime knobs layered on top of a model's hyperparameters
+/// (epochs / batch size / learning rate stay in the model's own config).
+#[derive(Clone, Debug, Default)]
+pub struct RunOptions {
+    /// Concurrent workers; `0` means all available cores.
+    pub workers: usize,
+    /// Items per worker tape (`0` = runtime default).
+    pub microbatch: usize,
+    /// Where checkpoints go; `None` disables checkpointing.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Write a checkpoint every this many epochs (`0` = every epoch).
+    pub checkpoint_every: usize,
+    /// Resume from the latest valid checkpoint in `checkpoint_dir`.
+    pub resume: bool,
+}
+
+/// Progress callbacks emitted by [`Trainer::run`].
+#[derive(Clone, Debug)]
+pub enum TrainEvent {
+    /// Training resumed from a checkpoint holding `epoch` completed epochs.
+    Resumed {
+        /// Last epoch the checkpoint completed (0-based).
+        epoch: usize,
+        /// Checkpoint file the run resumed from.
+        path: PathBuf,
+    },
+    /// One epoch finished.
+    Epoch {
+        /// Epoch just completed (0-based).
+        epoch: usize,
+        /// Total epochs in the run.
+        epochs: usize,
+        /// Mean per-step loss of the epoch.
+        loss: f32,
+        /// Items trained on this epoch.
+        items: usize,
+        /// Training throughput for the epoch.
+        examples_per_sec: f64,
+        /// Wall time of the epoch.
+        elapsed_ms: u64,
+    },
+    /// A checkpoint was written.
+    Checkpoint {
+        /// Epoch the checkpoint covers (0-based).
+        epoch: usize,
+        /// Where it was written.
+        path: PathBuf,
+    },
+}
+
+/// Summary of a completed [`Trainer::run`].
+#[derive(Clone, Debug)]
+pub struct TrainRun {
+    /// Mean per-step loss of every completed epoch (including epochs
+    /// restored from a checkpoint).
+    pub epoch_losses: Vec<f32>,
+    /// Last epoch restored from a checkpoint, when the run resumed.
+    pub resumed_from: Option<usize>,
+    /// Wall time of the epochs this process actually ran.
+    pub wall_ms: u64,
+}
+
+/// The shared training loop. See the crate docs for the determinism and
+/// resume guarantees.
+pub struct Trainer {
+    /// The run's configuration.
+    pub config: TrainerConfig,
+}
+
+impl Trainer {
+    /// A trainer for the given configuration.
+    pub fn new(config: TrainerConfig) -> Self {
+        Trainer { config }
+    }
+
+    /// Trains `model` for the configured number of epochs, emitting
+    /// [`TrainEvent`]s along the way.
+    ///
+    /// # Errors
+    /// Only checkpoint I/O or a corrupt-but-selected checkpoint can fail;
+    /// a run without a checkpoint directory is infallible.
+    pub fn run<M: Trainable + Sync + ?Sized>(
+        &self,
+        model: &mut M,
+        on_event: &mut dyn FnMut(&TrainEvent),
+    ) -> Result<TrainRun, TrainError> {
+        let cfg = &self.config;
+        let mut opt = Adam::new(cfg.lr).with_clip(cfg.clip);
+        let mut epoch_losses: Vec<f32> = Vec::new();
+        let mut resumed_from = None;
+
+        if cfg.resume {
+            if let Some(dir) = &cfg.checkpoint_dir {
+                if let Some((ckpt, path)) = latest_valid(dir, model.name(), model.params()) {
+                    ckpt.restore_into(model.params_mut(), &mut opt)?;
+                    epoch_losses = ckpt.epoch_losses.clone();
+                    epoch_losses.truncate(cfg.epochs);
+                    resumed_from = Some(ckpt.epoch);
+                    on_event(&TrainEvent::Resumed { epoch: ckpt.epoch, path });
+                }
+            }
+        }
+
+        let first_epoch = resumed_from.map_or(0, |e| e + 1);
+        let workers = if cfg.workers == 0 {
+            std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+        } else {
+            cfg.workers
+        };
+        let t_run = Instant::now();
+
+        for epoch in first_epoch..cfg.epochs {
+            opt.lr = cfg.lr * cfg.lr_decay.powi(epoch as i32);
+            let t_epoch = Instant::now();
+            model.begin_epoch(epoch);
+            let items = model.epoch_items();
+            let batch = cfg.batch.max(1);
+            let micro = if cfg.microbatch == 0 { 1 } else { cfg.microbatch };
+
+            let mut loss_sum = 0.0f32;
+            let mut steps = 0usize;
+            let mut at = 0usize;
+            while at < items {
+                let step_end = (at + batch).min(items);
+                let ctxs: Vec<BatchCtx> = microbatches(epoch, steps, at..step_end, micro);
+                let parts = run_microbatches(model, &ctxs, workers);
+                // Reduce in microbatch index order — the fixed order that
+                // makes the sum worker-count-independent.
+                let mut grads = Gradients::empty();
+                let mut step_loss = 0.0f32;
+                for (l, g) in &parts {
+                    step_loss += *l;
+                    grads.add_assign(g);
+                }
+                opt.step(model.params_mut(), &grads);
+                loss_sum += step_loss;
+                steps += 1;
+                at = step_end;
+            }
+
+            let loss = loss_sum / steps.max(1) as f32;
+            epoch_losses.push(loss);
+            let secs = t_epoch.elapsed().as_secs_f64();
+            on_event(&TrainEvent::Epoch {
+                epoch,
+                epochs: cfg.epochs,
+                loss,
+                items,
+                examples_per_sec: items as f64 / secs.max(1e-9),
+                elapsed_ms: t_epoch.elapsed().as_millis() as u64,
+            });
+
+            if let Some(dir) = &cfg.checkpoint_dir {
+                let every = cfg.checkpoint_every.max(1);
+                if (epoch + 1) % every == 0 || epoch + 1 == cfg.epochs {
+                    let ckpt = Checkpoint::capture(
+                        model.name(),
+                        epoch,
+                        &epoch_losses,
+                        model.params(),
+                        &opt,
+                    );
+                    let path = ckpt.save(dir)?;
+                    on_event(&TrainEvent::Checkpoint { epoch, path });
+                }
+            }
+        }
+
+        Ok(TrainRun { epoch_losses, resumed_from, wall_ms: t_run.elapsed().as_millis() as u64 })
+    }
+}
+
+/// Splits one optimizer step's item range into fixed microbatches.
+fn microbatches(epoch: usize, step: usize, range: Range<usize>, micro: usize) -> Vec<BatchCtx> {
+    let step_items = range.len();
+    let mut out = Vec::with_capacity(step_items.div_ceil(micro.max(1)));
+    let mut at = range.start;
+    while at < range.end {
+        let end = (at + micro.max(1)).min(range.end);
+        out.push(BatchCtx { epoch, step, range: at..end, step_items });
+        at = end;
+    }
+    out
+}
+
+/// Evaluates microbatches across `workers` threads, returning results in
+/// microbatch index order regardless of scheduling.
+fn run_microbatches<M: Trainable + Sync + ?Sized>(
+    model: &M,
+    ctxs: &[BatchCtx],
+    workers: usize,
+) -> Vec<(f32, Gradients)> {
+    if workers <= 1 || ctxs.len() <= 1 {
+        return ctxs.iter().map(|c| model.batch(c)).collect();
+    }
+    // One contiguous group per worker; concatenation preserves microbatch
+    // order, so the caller's reduction never observes worker scheduling.
+    let per = ctxs.len().div_ceil(workers);
+    let groups: Vec<&[BatchCtx]> = ctxs.chunks(per).collect();
+    let nested: Vec<Vec<(f32, Gradients)>> =
+        groups.par_iter().map(|g| g.iter().map(|c| model.batch(c)).collect()).collect();
+    nested.into_iter().flatten().collect()
+}

@@ -1,0 +1,298 @@
+//! Runtime guarantees on a synthetic model: worker-count determinism,
+//! kill-and-resume equivalence, corrupt-checkpoint fallback, convergence.
+
+use std::path::{Path, PathBuf};
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use sem_nn::{Gradients, ParamId, ParamStore, Session};
+use sem_tensor::Tensor;
+use sem_train::{derive_seed, BatchCtx, RunOptions, TrainEvent, Trainable, Trainer, TrainerConfig};
+
+const DIM: usize = 4;
+
+/// Least-squares linear regression on a fixed synthetic dataset — small
+/// enough to train in milliseconds, non-trivial enough that every epoch
+/// moves every weight.
+struct LinReg {
+    store: ParamStore,
+    w: ParamId,
+    b: ParamId,
+    data: Vec<(Vec<f32>, f32)>,
+    order: Vec<usize>,
+    seed: u64,
+}
+
+impl LinReg {
+    fn new(seed: u64, n: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let true_w: Vec<f32> = (0..DIM).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let data: Vec<(Vec<f32>, f32)> = (0..n)
+            .map(|_| {
+                let x: Vec<f32> = (0..DIM).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                let y: f32 = x.iter().zip(&true_w).map(|(a, b)| a * b).sum::<f32>() + 0.5;
+                (x, y)
+            })
+            .collect();
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::vector(&[0.0; DIM]));
+        let b = store.add("b", Tensor::scalar(0.0));
+        LinReg { store, w, b, data, order: Vec::new(), seed }
+    }
+}
+
+impl Trainable for LinReg {
+    fn name(&self) -> &str {
+        "linreg"
+    }
+
+    fn params(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn params_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    fn begin_epoch(&mut self, epoch: usize) {
+        self.order = (0..self.data.len()).collect();
+        self.order.shuffle(&mut StdRng::seed_from_u64(derive_seed(self.seed, epoch)));
+    }
+
+    fn epoch_items(&self) -> usize {
+        self.data.len()
+    }
+
+    fn batch(&self, ctx: &BatchCtx) -> (f32, Gradients) {
+        let mut s = Session::new(&self.store);
+        let mut acc = None;
+        for i in ctx.range.clone() {
+            let (x, y) = &self.data[self.order[i]];
+            let w = s.param(self.w);
+            let b = s.param(self.b);
+            let xn = s.tape.leaf(Tensor::vector(x));
+            let prod = s.tape.mul(w, xn);
+            let dot = s.tape.sum(prod);
+            let pred = s.tape.add(dot, b);
+            let yn = s.tape.leaf(Tensor::scalar(*y));
+            let d = s.tape.sub(pred, yn);
+            let sq = s.tape.mul(d, d);
+            let term = s.tape.scale(sq, 1.0 / ctx.step_items as f32);
+            acc = Some(match acc {
+                Some(a) => s.tape.add(a, term),
+                None => term,
+            });
+        }
+        let data_term = acc.expect("non-empty microbatch");
+        // Whole-step regularizer, weighted by this microbatch's share.
+        let reg = s.l2_penalty(&[self.w], 1e-3);
+        let reg = s.tape.scale(reg, ctx.frac());
+        let loss = s.tape.add(data_term, reg);
+        let value = s.tape.value(loss).item();
+        s.tape.backward(loss);
+        (value, s.grads())
+    }
+}
+
+fn config(epochs: usize, batch: usize, micro: usize, workers: usize) -> TrainerConfig {
+    TrainerConfig {
+        epochs,
+        batch,
+        microbatch: micro,
+        workers,
+        lr: 0.05,
+        lr_decay: 0.9,
+        clip: 5.0,
+        ..Default::default()
+    }
+}
+
+fn weights_bits(store: &ParamStore) -> Vec<u32> {
+    store
+        .ids()
+        .flat_map(|id| store.get(id).data().iter().map(|v| v.to_bits()).collect::<Vec<_>>())
+        .collect()
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sem-train-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn train(model: &mut LinReg, cfg: TrainerConfig) -> sem_train::TrainRun {
+    Trainer::new(cfg).run(model, &mut |_| {}).unwrap()
+}
+
+#[test]
+fn loss_converges() {
+    let mut model = LinReg::new(7, 64);
+    let run = train(&mut model, config(12, 8, 2, 0));
+    let first = run.epoch_losses[0];
+    let last = *run.epoch_losses.last().unwrap();
+    assert!(last < first * 0.2, "loss {first} -> {last} did not converge");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The tentpole guarantee: for any worker count, microbatch size and
+    /// schedule, final weights and per-epoch losses are bit-identical to
+    /// the single-worker run.
+    #[test]
+    fn workers_do_not_change_the_bits(
+        seed in 0u64..1000,
+        batch in 1usize..6,
+        micro in 1usize..4,
+        epochs in 1usize..4,
+        workers in 2usize..6,
+    ) {
+        let mut serial = LinReg::new(seed, 24);
+        let run_serial = train(&mut serial, config(epochs, batch, micro, 1));
+        let mut par = LinReg::new(seed, 24);
+        let run_par = train(&mut par, config(epochs, batch, micro, workers));
+        prop_assert_eq!(weights_bits(&serial.store), weights_bits(&par.store));
+        let serial_bits: Vec<u32> = run_serial.epoch_losses.iter().map(|l| l.to_bits()).collect();
+        let par_bits: Vec<u32> = run_par.epoch_losses.iter().map(|l| l.to_bits()).collect();
+        prop_assert_eq!(serial_bits, par_bits);
+    }
+}
+
+#[test]
+fn four_workers_match_one_worker_bitwise() {
+    let mut serial = LinReg::new(42, 48);
+    let run_serial = train(&mut serial, config(5, 8, 2, 1));
+    let mut par = LinReg::new(42, 48);
+    let run_par = train(&mut par, config(5, 8, 2, 4));
+    assert_eq!(weights_bits(&serial.store), weights_bits(&par.store));
+    assert_eq!(
+        run_serial.epoch_losses.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+        run_par.epoch_losses.iter().map(|l| l.to_bits()).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn kill_and_resume_matches_uninterrupted_run() {
+    let dir = tmp_dir("resume");
+
+    // Reference: uninterrupted 6-epoch run.
+    let mut full = LinReg::new(3, 40);
+    let run_full = train(&mut full, config(6, 8, 2, 2));
+
+    // "Killed" run: 3 epochs with checkpoints, then the process is gone.
+    let mut killed = LinReg::new(3, 40);
+    let mut cfg = config(3, 8, 2, 2);
+    cfg.checkpoint_dir = Some(dir.clone());
+    train(&mut killed, cfg);
+    drop(killed);
+
+    // Fresh process resumes toward 6 epochs from the latest checkpoint.
+    let mut resumed = LinReg::new(3, 40);
+    let mut cfg = config(6, 8, 2, 2);
+    cfg.checkpoint_dir = Some(dir.clone());
+    cfg.resume = true;
+    let mut events = Vec::new();
+    let run_resumed =
+        Trainer::new(cfg).run(&mut resumed, &mut |e| events.push(format!("{e:?}"))).unwrap();
+
+    assert_eq!(run_resumed.resumed_from, Some(2), "should resume after epoch 2");
+    assert!(events[0].starts_with("Resumed"), "first event {:?}", events[0]);
+    let trained_epochs = events.iter().filter(|e| e.starts_with("Epoch")).count();
+    assert_eq!(trained_epochs, 3, "resume must train only the remaining epochs");
+
+    // Epoch count, loss history and final weights all match the reference.
+    assert_eq!(run_resumed.epoch_losses.len(), run_full.epoch_losses.len());
+    assert_eq!(
+        run_resumed.epoch_losses.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+        run_full.epoch_losses.iter().map(|l| l.to_bits()).collect::<Vec<_>>()
+    );
+    assert_eq!(weights_bits(&resumed.store), weights_bits(&full.store));
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn resume_skips_corrupt_and_foreign_checkpoints() {
+    let dir = tmp_dir("fallback");
+    let mut model = LinReg::new(9, 32);
+    let mut cfg = config(2, 8, 2, 1);
+    cfg.checkpoint_dir = Some(dir.clone());
+    train(&mut model, cfg);
+
+    // A newer-but-corrupt file and a foreign model's file must both be
+    // skipped in favour of the valid epoch-1 checkpoint.
+    std::fs::write(dir.join("ckpt-00009.json"), b"{ not json").unwrap();
+    std::fs::write(dir.join("ckpt-00008.json"), b"{\"magic\":\"NOPE\"}").unwrap();
+
+    let mut resumed = LinReg::new(9, 32);
+    let mut cfg = config(4, 8, 2, 1);
+    cfg.checkpoint_dir = Some(dir.clone());
+    cfg.resume = true;
+    let run = train(&mut resumed, cfg);
+    assert_eq!(run.resumed_from, Some(1));
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn resume_with_no_checkpoints_trains_from_scratch() {
+    let dir = tmp_dir("empty");
+    let mut a = LinReg::new(5, 24);
+    let mut cfg = config(3, 4, 1, 1);
+    cfg.checkpoint_dir = Some(dir.clone());
+    cfg.resume = true;
+    let run = train(&mut a, cfg);
+    assert_eq!(run.resumed_from, None);
+    assert_eq!(run.epoch_losses.len(), 3);
+    let mut b = LinReg::new(5, 24);
+    train(&mut b, config(3, 4, 1, 1));
+    assert_eq!(weights_bits(&a.store), weights_bits(&b.store));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn checkpoint_cadence_and_final_epoch() {
+    let dir = tmp_dir("cadence");
+    let mut model = LinReg::new(11, 16);
+    let mut cfg = config(5, 4, 1, 1);
+    cfg.checkpoint_dir = Some(dir.clone());
+    cfg.checkpoint_every = 2;
+    train(&mut model, cfg);
+    let names = |d: &Path| {
+        let mut v: Vec<String> = std::fs::read_dir(d)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        v.sort();
+        v
+    };
+    // Epochs 1 and 3 hit the every-2 cadence; the final epoch 4 is always
+    // checkpointed.
+    assert_eq!(names(&dir), vec!["ckpt-00001.json", "ckpt-00003.json", "ckpt-00004.json"]);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn run_options_defaults_are_inert() {
+    let opts = RunOptions::default();
+    assert_eq!(opts.workers, 0);
+    assert!(opts.checkpoint_dir.is_none());
+    assert!(!opts.resume);
+}
+
+#[test]
+fn events_report_progress() {
+    let mut model = LinReg::new(1, 16);
+    let mut epochs_seen = Vec::new();
+    Trainer::new(config(3, 4, 1, 1))
+        .run(&mut model, &mut |e| {
+            if let TrainEvent::Epoch { epoch, epochs, items, .. } = e {
+                epochs_seen.push((*epoch, *epochs, *items));
+            }
+        })
+        .unwrap();
+    assert_eq!(epochs_seen, vec![(0, 3, 16), (1, 3, 16), (2, 3, 16)]);
+}
