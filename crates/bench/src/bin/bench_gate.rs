@@ -1,0 +1,138 @@
+//! CI bench-regression gate: compares a fresh benchmark record file (the
+//! JSON lines the vendored criterion harness appends under
+//! `SEM_BENCH_JSON`) against the committed baseline and fails when any
+//! benchmark's p99 regressed beyond the threshold.
+//!
+//! ```text
+//! bench_gate <baseline> <current> [--threshold FRACTION]
+//! ```
+//!
+//! Both files hold one JSON object per line:
+//! `{"id": ..., "mean_s": ..., "p50_s": ..., "p99_s": ...}`. Benchmarks
+//! present only in `current` are listed as new (not gated); benchmarks
+//! present only in the baseline fail the gate — losing coverage silently
+//! is itself a regression. Exit status: 0 clean, 1 regression, 2 usage or
+//! malformed input.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+#[derive(serde::Deserialize)]
+struct BenchRecord {
+    id: String,
+    mean_s: f64,
+    p50_s: f64,
+    p99_s: f64,
+}
+
+/// Parses a JSON-lines benchmark record file into an id-keyed map. A
+/// repeated id keeps the later record (a rerun within the same file).
+fn load(path: &str) -> Result<BTreeMap<String, BenchRecord>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut out = BTreeMap::new();
+    for (n, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let rec: BenchRecord = serde_json::from_str(line)
+            .map_err(|e| format!("{path}:{}: bad bench record: {e}", n + 1))?;
+        if !(rec.mean_s > 0.0 && rec.p50_s > 0.0 && rec.p50_s <= rec.p99_s) {
+            return Err(format!("{path}:{}: implausible timings for {:?}", n + 1, rec.id));
+        }
+        out.insert(rec.id.clone(), rec);
+    }
+    if out.is_empty() {
+        return Err(format!("{path}: no benchmark records"));
+    }
+    Ok(out)
+}
+
+fn fmt_s(s: f64) -> String {
+    if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.1} us", s * 1e6)
+    }
+}
+
+fn run(argv: &[String]) -> Result<bool, String> {
+    let mut threshold = 0.25f64;
+    let mut paths = Vec::new();
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        if a == "--threshold" {
+            let v = it.next().ok_or("--threshold needs a value")?;
+            threshold = v.parse().map_err(|_| format!("--threshold: bad fraction {v:?}"))?;
+        } else {
+            paths.push(a.clone());
+        }
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        return Err("usage: bench_gate <baseline> <current> [--threshold FRACTION]".into());
+    };
+    let baseline = load(baseline_path)?;
+    let current = load(current_path)?;
+
+    let mut ok = true;
+    println!(
+        "{:<42} {:>12} {:>12} {:>8}  gate (threshold +{:.0}%)",
+        "benchmark",
+        "base p99",
+        "now p99",
+        "ratio",
+        threshold * 100.0
+    );
+    for (id, base) in &baseline {
+        match current.get(id) {
+            None => {
+                ok = false;
+                println!("{id:<42} {:>12} {:>12} {:>8}  MISSING", fmt_s(base.p99_s), "-", "-");
+            }
+            Some(now) => {
+                let ratio = now.p99_s / base.p99_s.max(f64::MIN_POSITIVE);
+                let verdict = if ratio > 1.0 + threshold {
+                    ok = false;
+                    "REGRESSED"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "{id:<42} {:>12} {:>12} {:>7.2}x  {verdict}",
+                    fmt_s(base.p99_s),
+                    fmt_s(now.p99_s),
+                    ratio,
+                );
+            }
+        }
+    }
+    for (id, now) in &current {
+        if !baseline.contains_key(id) {
+            println!(
+                "{id:<42} {:>12} {:>12} {:>8}  new (not gated; re-seed the baseline)",
+                "-",
+                fmt_s(now.p99_s),
+                "-"
+            );
+        }
+    }
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(true) => {
+            println!("bench gate: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(false) => {
+            eprintln!("bench gate: p99 regression (or lost coverage) detected");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench gate: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -62,22 +62,54 @@ impl Args {
 
     /// Like [`Args::parse`], except the named flags are valueless switches:
     /// their presence means `true` and they consume no value.
+    ///
+    /// Parsing is order-insensitive and positionally unambiguous:
+    ///
+    /// - a value flag never swallows a following `--flag` token — `--out
+    ///   --resume` is "--out needs a value", not `out = "--resume"`;
+    /// - switches accept an optional explicit `--flag=true|false`, so
+    ///   scripts can override a default without positional tricks;
+    /// - `--flag=value` works for value flags too;
+    /// - repeating a flag is an error instead of a silent last-one-wins.
     pub(crate) fn parse_with_switches(
         argv: &[String],
         switches: &[&str],
     ) -> Result<Args, CliError> {
         let mut flags = HashMap::new();
-        let mut it = argv.iter();
+        let mut it = argv.iter().peekable();
         while let Some(a) = it.next() {
-            let Some(name) = a.strip_prefix("--") else {
+            let Some(raw) = a.strip_prefix("--") else {
                 return Err(CliError(format!("unexpected argument {a:?}")));
             };
-            if switches.contains(&name) {
-                flags.insert(name.to_string(), "true".to_string());
-                continue;
+            let (name, inline) = match raw.split_once('=') {
+                Some((n, v)) => (n, Some(v.to_string())),
+                None => (raw, None),
+            };
+            if name.is_empty() {
+                return Err(CliError(format!("unexpected argument {a:?}")));
             }
-            let value = it.next().ok_or_else(|| CliError(format!("--{name} needs a value")))?;
-            flags.insert(name.to_string(), value.clone());
+            let value = if switches.contains(&name) {
+                match inline {
+                    None => "true".to_string(),
+                    Some(v) if v == "true" || v == "false" => v,
+                    Some(v) => {
+                        return Err(CliError(format!(
+                            "--{name} is a switch; expected true or false, got {v:?}"
+                        )))
+                    }
+                }
+            } else {
+                match inline {
+                    Some(v) => v,
+                    None => match it.peek() {
+                        Some(v) if !v.starts_with("--") => it.next().expect("peeked value").clone(),
+                        _ => return Err(CliError(format!("--{name} needs a value"))),
+                    },
+                }
+            };
+            if flags.insert(name.to_string(), value).is_some() {
+                return Err(CliError(format!("--{name} given more than once")));
+            }
         }
         Ok(Args { flags })
     }
@@ -87,7 +119,7 @@ impl Args {
     }
 
     pub(crate) fn switch(&self, name: &str) -> bool {
-        self.get(name).is_some()
+        self.get(name) == Some("true")
     }
 
     pub(crate) fn required(&self, name: &str) -> Result<&str, CliError> {
@@ -133,6 +165,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "embed" => embed(&args),
         "analyze" => analyze(&args),
         "recommend" => recommend(&args),
+        "metrics" => crate::metrics_cmd::metrics(&args),
         other => Err(CliError(format!("unknown command {other:?}; try `sem help`"))),
     }
 }
@@ -145,7 +178,9 @@ USAGE:
   sem stats     --corpus corpus.json
   sem train     --corpus corpus.json --out model-dir [--epochs N] [--workers N]
                 [--checkpoint-dir DIR [--checkpoint-every N] [--resume]] [--progress]
+                [--metrics-out metrics.json]
   sem embed     --model model-dir --paper ID
+  sem metrics   --in metrics.json [--format table|json]
   sem analyze   --corpus corpus.json [--lof-k K]
   sem recommend --corpus corpus.json --split YEAR --user ID [--top N]
 
@@ -157,14 +192,22 @@ one, and `--progress` streams per-epoch events to stderr.
 serving (JSON output):
   sem index build  --model model-dir --out index.snap [--nlist N] [--nprobe N] [--flat-threshold N]
   sem index query  --model model-dir --index index.snap --paper ID[,ID...] [--k K] [--deadline-ms MS]
+                   [--metrics-out metrics.json]
   sem index verify --index index.snap
-  sem ingest       --model model-dir --index index.snap --title T --abstract TEXT [--year Y] [--k K] [--out index.snap]
+  sem ingest       --model model-dir --index index.snap --title T --abstract TEXT [--year Y] [--k K]
+                   [--out index.snap] [--metrics-out metrics.json]
 
 index files are crash-safe snapshots (checksummed header + atomic rename)
 with a write-ahead journal alongside (<index>.journal); `index verify`
 checks both and `index query`/`ingest` recover to the last durable state
 automatically. `--deadline-ms` bounds per-query latency: an exhausted
 budget returns a partial result flagged degraded instead of blocking.
+
+observability: `--metrics-out PATH` on train / index query / ingest writes
+the run's metrics snapshot as JSON at PATH and Prometheus text at
+PATH-with-.prom-extension (per-stage latency histograms, cache and
+degradation counters, training wall times); `sem metrics` pretty-prints a
+saved snapshot.
 "
     .to_string()
 }
@@ -273,11 +316,13 @@ fn train(args: &Args) -> Result<String, CliError> {
     let epochs = args.parse_num("epochs", 8usize)?;
     let config = SemConfig { epochs, ..Default::default() };
     let mut model = SemModel::new(config.clone());
+    let registry = args.get("metrics-out").map(|_| std::sync::Arc::new(sem_obs::Registry::new()));
     let opts = RunOptions {
         workers: args.parse_num("workers", 0usize)?,
         checkpoint_dir: args.get("checkpoint-dir").map(PathBuf::from),
         checkpoint_every: args.parse_num("checkpoint-every", 0usize)?,
         resume: args.switch("resume"),
+        metrics: registry.clone(),
         ..Default::default()
     };
     let progress = args.switch("progress");
@@ -286,6 +331,9 @@ fn train(args: &Args) -> Result<String, CliError> {
             eprintln!("{}", format_event(e));
         }
     })?;
+    if let (Some(registry), Some(path)) = (&registry, args.get("metrics-out")) {
+        crate::metrics_cmd::write_metrics_out(registry, path)?;
+    }
 
     // persist: corpus copy + fitted pipeline + architecture config + weights
     std::fs::copy(corpus_path, out.corpus_path())?;
@@ -482,6 +530,62 @@ mod tests {
 
     fn argv(parts: &[&str]) -> Vec<String> {
         parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn args_flag_value_ordering_is_unambiguous() {
+        let switches = &["resume", "progress"];
+        // switches and value flags can interleave in any order
+        for argv in [
+            argv(&["--resume", "--out", "dir", "--progress", "--epochs", "3"]),
+            argv(&["--out", "dir", "--epochs", "3", "--resume", "--progress"]),
+            argv(&["--progress", "--epochs", "3", "--resume", "--out", "dir"]),
+        ] {
+            let args = Args::parse_with_switches(&argv, switches).unwrap();
+            assert_eq!(args.get("out"), Some("dir"));
+            assert_eq!(args.parse_num("epochs", 0usize).unwrap(), 3);
+            assert!(args.switch("resume") && args.switch("progress"));
+        }
+        // a value flag must not swallow the next --flag token
+        let err = Args::parse_with_switches(&argv(&["--out", "--resume"]), switches)
+            .err()
+            .unwrap()
+            .to_string();
+        assert!(err.contains("--out needs a value"), "{err}");
+        // trailing value flag without a value
+        assert!(Args::parse_with_switches(&argv(&["--resume", "--out"]), switches).is_err());
+    }
+
+    #[test]
+    fn args_inline_values_and_switch_overrides() {
+        let switches = &["resume"];
+        let args = Args::parse_with_switches(
+            &argv(&["--out=dir", "--resume=false", "--epochs=4"]),
+            switches,
+        )
+        .unwrap();
+        assert_eq!(args.get("out"), Some("dir"));
+        assert_eq!(args.parse_num("epochs", 0usize).unwrap(), 4);
+        assert!(!args.switch("resume"), "--resume=false must read as off");
+        assert!(
+            Args::parse_with_switches(&argv(&["--resume=maybe"]), switches).is_err(),
+            "switches only accept true/false"
+        );
+        // inline values may themselves start with dashes
+        let args = Args::parse(&argv(&["--title=--weird--"])).unwrap();
+        assert_eq!(args.get("title"), Some("--weird--"));
+    }
+
+    #[test]
+    fn args_reject_duplicates_and_bare_dashes() {
+        let err = Args::parse(&argv(&["--out", "a", "--out", "b"])).err().unwrap().to_string();
+        assert!(err.contains("more than once"), "{err}");
+        assert!(
+            Args::parse_with_switches(&argv(&["--resume", "--resume"]), &["resume"]).is_err(),
+            "duplicate switches are also errors"
+        );
+        assert!(Args::parse(&argv(&["--", "x"])).is_err());
+        assert!(Args::parse(&argv(&["--=v"])).is_err());
     }
 
     #[test]

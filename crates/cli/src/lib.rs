@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod commands;
+mod metrics_cmd;
 mod serve_cmds;
 
 pub use commands::{run, CliError};

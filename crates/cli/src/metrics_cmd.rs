@@ -1,0 +1,143 @@
+//! `sem metrics`: render a metrics snapshot written by `--metrics-out`,
+//! plus the shared helper the instrumented commands use to write one.
+//!
+//! `--metrics-out PATH` on `train`, `index query` and `ingest` writes the
+//! run's [`sem_obs::Registry`] snapshot twice: the stable JSON document at
+//! `PATH` and the Prometheus text exposition at `PATH` with its extension
+//! replaced by `.prom`. `sem metrics --in PATH` reads the JSON back and
+//! renders it as an aligned table (default) or re-emits the JSON.
+
+use std::path::PathBuf;
+
+use sem_obs::Registry;
+use serde_json::JsonValue as Value;
+
+use crate::commands::{Args, CliError};
+
+/// Writes `registry`'s snapshot for a finished run: JSON at `path`,
+/// Prometheus text at `path` with the extension swapped for `.prom`.
+pub(crate) fn write_metrics_out(registry: &Registry, path: &str) -> Result<(), CliError> {
+    let snap = registry.snapshot();
+    let json_path = PathBuf::from(path);
+    std::fs::write(&json_path, snap.to_json())?;
+    std::fs::write(json_path.with_extension("prom"), snap.to_prometheus())?;
+    Ok(())
+}
+
+fn field<'v>(m: &'v Value, key: &str) -> Result<&'v Value, CliError> {
+    m.as_obj()
+        .and_then(|o| o.iter().find(|(k, _)| k == key))
+        .map(|(_, v)| v)
+        .ok_or_else(|| CliError(format!("malformed snapshot: metric missing {key:?}")))
+}
+
+fn as_str(v: &Value) -> Option<&str> {
+    match v {
+        Value::Str(s) => Some(s),
+        _ => None,
+    }
+}
+
+fn fmt_num(v: &Value) -> String {
+    match v {
+        Value::Int(n) => n.to_string(),
+        Value::Float(f) => format!("{f}"),
+        Value::Null => "-".to_string(),
+        other => format!("({})", other.kind()),
+    }
+}
+
+/// One aligned row per metric: counters and gauges show their value,
+/// histograms show count / mean / p50 / p90 / p99 / max.
+fn render_table(metrics: &[Value]) -> Result<String, CliError> {
+    let mut rows: Vec<[String; 3]> = Vec::with_capacity(metrics.len());
+    for m in metrics {
+        let name = as_str(field(m, "name")?).unwrap_or("?").to_string();
+        let kind = as_str(field(m, "type")?).unwrap_or("?").to_string();
+        let detail = match kind.as_str() {
+            "counter" | "gauge" => fmt_num(field(m, "value")?),
+            "histogram" => format!(
+                "count={} mean={} p50={} p90={} p99={} max={}",
+                fmt_num(field(m, "count")?),
+                fmt_num(field(m, "mean")?),
+                fmt_num(field(m, "p50")?),
+                fmt_num(field(m, "p90")?),
+                fmt_num(field(m, "p99")?),
+                fmt_num(field(m, "max")?),
+            ),
+            other => return Err(CliError(format!("malformed snapshot: unknown type {other:?}"))),
+        };
+        rows.push([name, kind, detail]);
+    }
+    let name_w = rows.iter().map(|r| r[0].len()).max().unwrap_or(4).max("NAME".len());
+    let kind_w = rows.iter().map(|r| r[1].len()).max().unwrap_or(4).max("TYPE".len());
+    let mut out = format!("{:name_w$}  {:kind_w$}  VALUE\n", "NAME", "TYPE");
+    for [name, kind, detail] in rows {
+        out.push_str(&format!("{name:name_w$}  {kind:kind_w$}  {detail}\n"));
+    }
+    Ok(out)
+}
+
+/// `sem metrics --in snapshot.json [--format table|json]`: dumps a metrics
+/// snapshot produced by `--metrics-out`.
+pub(crate) fn metrics(args: &Args) -> Result<String, CliError> {
+    let path = args.required("in")?;
+    let json = std::fs::read_to_string(path)?;
+    let doc: Value = serde_json::from_str(&json)
+        .map_err(|e| CliError(format!("{path} is not a metrics snapshot: {e}")))?;
+    let metrics = field(&doc, "metrics")
+        .ok()
+        .and_then(Value::as_arr)
+        .ok_or_else(|| CliError(format!("{path} is not a metrics snapshot: no `metrics` array")))?;
+    match args.get("format").unwrap_or("table") {
+        "json" => {
+            serde_json::to_string_pretty(&doc).map_err(|e| CliError(format!("re-render: {e}")))
+        }
+        "table" => render_table(metrics),
+        other => Err(CliError(format!("--format must be table or json, got {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands::run;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn metrics_renders_table_and_json_from_snapshot() {
+        let registry = Registry::new();
+        registry.counter("demo.queries").add(7);
+        registry.gauge("demo.util").set(0.25);
+        registry.histogram("demo.lat.ns").record(1000);
+        let path = std::env::temp_dir().join(format!("sem-metrics-{}.json", std::process::id()));
+        write_metrics_out(&registry, path.to_str().unwrap()).unwrap();
+        assert!(path.with_extension("prom").exists());
+
+        let table = run(&argv(&["metrics", "--in", path.to_str().unwrap()])).unwrap();
+        assert!(table.contains("demo.queries"), "{table}");
+        assert!(table.contains("count=1"), "{table}");
+        let json =
+            run(&argv(&["metrics", "--in", path.to_str().unwrap(), "--format", "json"])).unwrap();
+        assert!(json.contains("\"demo.util\""), "{json}");
+        assert!(
+            run(&argv(&["metrics", "--in", path.to_str().unwrap(), "--format", "xml"])).is_err()
+        );
+
+        std::fs::remove_file(path.with_extension("prom")).ok();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn metrics_rejects_non_snapshots() {
+        let path =
+            std::env::temp_dir().join(format!("sem-metrics-bad-{}.json", std::process::id()));
+        std::fs::write(&path, "{\"no\": \"metrics\"}").unwrap();
+        assert!(run(&argv(&["metrics", "--in", path.to_str().unwrap()])).is_err());
+        assert!(run(&argv(&["metrics", "--in", "/nonexistent/snapshot.json"])).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

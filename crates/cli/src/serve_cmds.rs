@@ -179,6 +179,9 @@ fn index_query(args: &Args) -> Result<String, CliError> {
         .map(|&p| QueryRequest::new(embedder.embed_indexed(&corpus, PaperId::from(p)), k))
         .collect();
     let responses = engine.query_batch(requests)?;
+    if let Some(path) = args.get("metrics-out") {
+        crate::metrics_cmd::write_metrics_out(&engine.metrics(), path)?;
+    }
     let results = papers
         .iter()
         .zip(responses)
@@ -274,6 +277,9 @@ pub(crate) fn ingest(args: &Args) -> Result<String, CliError> {
     // compact journal + grown index into a fresh atomic snapshot
     engine.persist()?;
     let index_len = engine.with_index(|i| i.len())?;
+    if let Some(path) = args.get("metrics-out") {
+        crate::metrics_cmd::write_metrics_out(&engine.metrics(), path)?;
+    }
     let report = IngestReport {
         id: ack.id,
         durable: ack.durable,

@@ -416,7 +416,8 @@ impl NpRecModel {
             checkpoint_every: opts.checkpoint_every,
             checkpoint_dir: opts.checkpoint_dir.clone(),
             resume: opts.resume,
-        });
+        })
+        .with_metrics(opts.metrics.clone());
         let mut trainable =
             NpRecTrainable { model: self, graph, text, pairs, dense_params, order: Vec::new() };
         let run = trainer.run(&mut trainable, on_event)?;

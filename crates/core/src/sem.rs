@@ -293,7 +293,8 @@ impl SemModel {
             checkpoint_every: opts.checkpoint_every,
             checkpoint_dir: opts.checkpoint_dir.clone(),
             resume: opts.resume,
-        });
+        })
+        .with_metrics(opts.metrics.clone());
         let (run, seen) = {
             let mut trainable = SemTrainable {
                 model: self,

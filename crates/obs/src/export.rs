@@ -1,0 +1,173 @@
+//! Text exporters for [`Snapshot`]: a machine-readable JSON document and
+//! the Prometheus text exposition format. Both are hand-rolled so the
+//! crate stays dependency-free; the JSON shape is stable and parsed back
+//! by the `sem metrics` CLI command.
+
+use crate::registry::{Snapshot, Value};
+
+/// Escapes a string for embedding in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders an f64 as JSON (finite values only; non-finite becomes `null`).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// A metric name sanitised to the Prometheus charset
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every other character becomes `_`.
+fn prom_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == ':' { c } else { '_' })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+impl Snapshot {
+    /// Serialises the snapshot as a pretty-printed JSON document:
+    ///
+    /// ```json
+    /// {
+    ///   "metrics": [
+    ///     { "name": "serve.queries", "type": "counter", "value": 12 },
+    ///     { "name": "train.util", "type": "gauge", "value": 0.83 },
+    ///     { "name": "serve.stage.search.ns", "type": "histogram",
+    ///       "count": 10, "sum": 5210, "mean": 521,
+    ///       "p50": 480, "p90": 840, "p99": 980, "max": 1013,
+    ///       "buckets": [[256, 4], [512, 6]] }
+    ///   ]
+    /// }
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"metrics\": [\n");
+        for (i, m) in self.metrics.iter().enumerate() {
+            let name = json_escape(&m.name);
+            let body = match &m.value {
+                Value::Counter(v) => {
+                    format!("{{ \"name\": \"{name}\", \"type\": \"counter\", \"value\": {v} }}")
+                }
+                Value::Gauge(v) => format!(
+                    "{{ \"name\": \"{name}\", \"type\": \"gauge\", \"value\": {} }}",
+                    json_f64(*v)
+                ),
+                Value::Histogram(h) => {
+                    let buckets: Vec<String> =
+                        h.buckets.iter().map(|(lo, c)| format!("[{lo}, {c}]")).collect();
+                    format!(
+                        "{{ \"name\": \"{name}\", \"type\": \"histogram\", \
+                         \"count\": {}, \"sum\": {}, \"mean\": {}, \
+                         \"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}, \
+                         \"buckets\": [{}] }}",
+                        h.count,
+                        h.sum,
+                        h.mean,
+                        h.p50,
+                        h.p90,
+                        h.p99,
+                        h.max,
+                        buckets.join(", "),
+                    )
+                }
+            };
+            out.push_str("    ");
+            out.push_str(&body);
+            if i + 1 < self.metrics.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Serialises the snapshot in the Prometheus text exposition format.
+    /// Counters and gauges export directly; histograms export as
+    /// Prometheus *summaries* (`{quantile="..."}` series plus `_sum`,
+    /// `_count` and a `_max` gauge).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for m in &self.metrics {
+            let name = prom_name(&m.name);
+            match &m.value {
+                Value::Counter(v) => {
+                    out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+                }
+                Value::Gauge(v) => {
+                    out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", json_f64(*v)));
+                }
+                Value::Histogram(h) => {
+                    out.push_str(&format!("# TYPE {name} summary\n"));
+                    for (q, v) in [(0.5, h.p50), (0.9, h.p90), (0.99, h.p99)] {
+                        out.push_str(&format!("{name}{{quantile=\"{q}\"}} {v}\n"));
+                    }
+                    out.push_str(&format!("{name}_sum {}\n", h.sum));
+                    out.push_str(&format!("{name}_count {}\n", h.count));
+                    out.push_str(&format!("# TYPE {name}_max gauge\n{name}_max {}\n", h.max));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::registry::Registry;
+
+    #[test]
+    fn json_exports_all_kinds() {
+        let r = Registry::new();
+        r.counter("c.total").add(3);
+        r.gauge("g.level").set(0.5);
+        r.histogram("h.ns").record(100);
+        let json = r.snapshot().to_json();
+        assert!(json.contains("\"name\": \"c.total\", \"type\": \"counter\", \"value\": 3"));
+        assert!(json.contains("\"name\": \"g.level\", \"type\": \"gauge\", \"value\": 0.5"));
+        assert!(json.contains("\"type\": \"histogram\""));
+        assert!(json.contains("\"count\": 1"));
+        // minimal well-formedness: balanced braces/brackets
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn prometheus_sanitises_names_and_exports_summaries() {
+        let r = Registry::new();
+        r.counter("serve.cache.hits").inc();
+        r.histogram("serve.stage.search.ns").record(512);
+        let prom = r.snapshot().to_prometheus();
+        assert!(prom.contains("# TYPE serve_cache_hits counter"));
+        assert!(prom.contains("serve_cache_hits 1"));
+        assert!(prom.contains("serve_stage_search_ns{quantile=\"0.99\"}"));
+        assert!(prom.contains("serve_stage_search_ns_count 1"));
+        assert!(prom.contains("serve_stage_search_ns_sum 512"));
+    }
+
+    #[test]
+    fn empty_snapshot_is_valid() {
+        let r = Registry::new();
+        assert!(r.snapshot().to_json().contains("\"metrics\": [\n  ]"));
+        assert_eq!(r.snapshot().to_prometheus(), "");
+    }
+}

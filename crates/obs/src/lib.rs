@@ -1,0 +1,59 @@
+//! # sem-obs
+//!
+//! The workspace's observability layer: a lock-free [`Registry`] of named
+//! metrics (monotonic [`Counter`]s, last-value [`Gauge`]s and log-bucketed
+//! latency [`Histogram`]s with p50/p90/p99 extraction), lightweight
+//! hierarchical tracing [`Span`]s, and text exporters
+//! ([`Snapshot::to_json`], [`Snapshot::to_prometheus`]).
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Hot paths never block.** Every update — `counter.inc()`,
+//!    `histogram.record(ns)`, `gauge.set(v)` — is a handful of relaxed
+//!    atomic operations on a pre-registered handle. The registry's name
+//!    map is only locked at registration time (once per metric per
+//!    component, at construction), never per sample.
+//! 2. **Zero dependencies.** Serving, storage and training all record into
+//!    this crate, so it must not drag anything into their dependency
+//!    graphs; exporters are hand-rolled text.
+//! 3. **Deterministic snapshots.** [`Registry::snapshot`] returns metrics
+//!    sorted by name, so exports diff cleanly and tests can assert on
+//!    ordering.
+//!
+//! ## Usage
+//!
+//! ```
+//! use std::sync::Arc;
+//! use sem_obs::Registry;
+//!
+//! let registry = Arc::new(Registry::new());
+//! let served = registry.counter("serve.queries");
+//! let latency = registry.histogram("serve.stage.search.ns");
+//!
+//! served.inc();
+//! latency.record(12_345); // nanoseconds (any non-negative integer unit)
+//!
+//! let snap = registry.snapshot();
+//! assert!(snap.to_prometheus().contains("serve_queries 1"));
+//! ```
+//!
+//! ## Spans
+//!
+//! A [`Span`] measures a scope's wall time and records it into a histogram
+//! named after the span's *path* — nested spans concatenate their names
+//! (`train.epoch` inside `train` records as `span.train.epoch`), giving a
+//! flame-graph-shaped set of histograms with no runtime graph structure to
+//! maintain. See [`Registry::span`], [`Registry::timed`] and the [`span!`]
+//! macro.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod export;
+mod registry;
+mod span;
+
+pub use registry::{
+    Counter, Gauge, Histogram, HistogramSummary, MetricKind, MetricValue, Registry, Snapshot, Value,
+};
+pub use span::Span;

@@ -1,0 +1,477 @@
+//! The metrics registry: named counters, gauges and log-bucketed
+//! histograms, all updatable lock-free through pre-registered handles.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Update ordering for all metric mutations. Metrics are statistics, not
+/// synchronisation: relaxed is sufficient because every reader that must
+/// see a consistent total (tests joining threads, exporters at shutdown)
+/// already has a happens-before edge from thread join or message passing.
+const ORD: Ordering = Ordering::Relaxed;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, ORD);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, ORD);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(ORD)
+    }
+}
+
+/// A last-written value (f64, stored as its bit pattern).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Overwrites the value.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), ORD);
+    }
+
+    /// Raises the value to `v` when `v` is larger (running maximum).
+    pub fn set_max(&self, v: f64) {
+        let mut cur = self.0.load(ORD);
+        while v > f64::from_bits(cur) {
+            match self.0.compare_exchange_weak(cur, v.to_bits(), ORD, ORD) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(ORD))
+    }
+}
+
+/// Bucket layout: exact buckets for values `0..8`, then four linear
+/// sub-buckets per power of two ("log-linear", the HdrHistogram shape).
+/// Relative quantile error is bounded by the sub-bucket width: ≤ 25%.
+const EXACT: usize = 8;
+const SUB: usize = 4;
+/// Octaves 3..=63 (values 8 ..= u64::MAX), 4 sub-buckets each.
+pub(crate) const BUCKETS: usize = EXACT + 61 * SUB;
+
+/// Index of the bucket holding `v`.
+fn bucket_index(v: u64) -> usize {
+    if v < EXACT as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros() as usize; // 3..=63
+    let sub = ((v >> (msb - 2)) & 0b11) as usize;
+    EXACT + (msb - 3) * SUB + sub
+}
+
+/// Smallest value mapping to bucket `idx`.
+fn bucket_lower(idx: usize) -> u64 {
+    if idx < EXACT {
+        return idx as u64;
+    }
+    let octave = 3 + (idx - EXACT) / SUB;
+    let sub = ((idx - EXACT) % SUB) as u64;
+    (1u64 << octave) + (sub << (octave - 2))
+}
+
+/// Midpoint of bucket `idx` — the value a quantile query reports for
+/// samples landing in it.
+fn bucket_mid(idx: usize) -> u64 {
+    if idx < EXACT {
+        return idx as u64;
+    }
+    let octave = 3 + (idx - EXACT) / SUB;
+    bucket_lower(idx) + (1u64 << (octave - 2)) / 2
+}
+
+/// A log-bucketed distribution of non-negative integer samples (latencies
+/// in nanoseconds, sizes in items/bytes — any unit, as long as one
+/// histogram sticks to one).
+///
+/// Recording is a single atomic increment plus two atomic adds; quantile
+/// extraction walks the fixed bucket array. Quantiles are approximate
+/// (≤ 25% relative error from the bucket width) but monotone: for
+/// `p ≤ q`, `quantile(p) ≤ quantile(q)` always holds.
+pub struct Histogram {
+    buckets: Vec<AtomicU64>, // BUCKETS entries; Vec only to avoid a 2 KiB const array in the type
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count.load(ORD))
+            .field("sum", &self.sum.load(ORD))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, ORD);
+        self.count.fetch_add(1, ORD);
+        self.sum.fetch_add(v, ORD);
+        self.max.fetch_max(v, ORD);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(ORD)
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(ORD)
+    }
+
+    /// Mean sample (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum().checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// Approximate `q`-quantile (`0.0 ..= 1.0`); 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (idx, b) in self.buckets.iter().enumerate() {
+            cum += b.load(ORD);
+            if cum >= target {
+                return bucket_mid(idx);
+            }
+        }
+        self.max.load(ORD)
+    }
+
+    /// Point-in-time summary (count, sum, mean, p50/p90/p99, max and the
+    /// non-empty buckets).
+    pub fn summary(&self) -> HistogramSummary {
+        let buckets: Vec<(u64, u64)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, b)| {
+                let c = b.load(ORD);
+                (c > 0).then(|| (bucket_lower(idx), c))
+            })
+            .collect();
+        HistogramSummary {
+            count: self.count(),
+            sum: self.sum(),
+            mean: self.mean(),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            max: self.max.load(ORD),
+            buckets,
+        }
+    }
+}
+
+/// Exported view of one [`Histogram`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Mean sample (0 when empty).
+    pub mean: u64,
+    /// Approximate median.
+    pub p50: u64,
+    /// Approximate 90th percentile.
+    pub p90: u64,
+    /// Approximate 99th percentile.
+    pub p99: u64,
+    /// Largest sample seen (exact).
+    pub max: u64,
+    /// `(bucket_lower_bound, count)` for every non-empty bucket, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// What kind of metric a name resolves to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic counter.
+    Counter,
+    /// Last-value gauge.
+    Gauge,
+    /// Log-bucketed histogram.
+    Histogram,
+}
+
+#[derive(Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// The value of one metric at snapshot time.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Counter reading.
+    Counter(u64),
+    /// Gauge reading.
+    Gauge(f64),
+    /// Histogram summary.
+    Histogram(HistogramSummary),
+}
+
+/// One named metric inside a [`Snapshot`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricValue {
+    /// Registered name (dot-separated, e.g. `serve.stage.search.ns`).
+    pub name: String,
+    /// Reading at snapshot time.
+    pub value: Value,
+}
+
+/// A deterministic (name-sorted) point-in-time export of a [`Registry`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// All metrics, ascending by name.
+    pub metrics: Vec<MetricValue>,
+}
+
+impl Snapshot {
+    /// Looks a metric up by exact name.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.metrics.iter().find(|m| m.name == name).map(|m| &m.value)
+    }
+
+    /// Counter reading by name (`None` when absent or not a counter).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            Value::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Gauge reading by name (`None` when absent or not a gauge).
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.get(name)? {
+            Value::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Histogram summary by name (`None` when absent or not a histogram).
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        match self.get(name)? {
+            Value::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+}
+
+static NEXT_REGISTRY_ID: AtomicU64 = AtomicU64::new(0);
+
+/// A named collection of metrics. Cheap to share as `Arc<Registry>`; all
+/// handle types ([`Counter`], [`Gauge`], [`Histogram`]) are themselves
+/// `Arc`-shared and updatable from any thread without locking.
+pub struct Registry {
+    pub(crate) id: u64,
+    metrics: RwLock<BTreeMap<String, Metric>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.metrics.read().map(|m| m.len()).unwrap_or(0);
+        f.debug_struct("Registry").field("metrics", &n).finish()
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry {
+            id: NEXT_REGISTRY_ID.fetch_add(1, Ordering::Relaxed),
+            metrics: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    fn get_or_insert<T: Default>(
+        &self,
+        name: &str,
+        wrap: impl Fn(Arc<T>) -> Metric,
+        unwrap: impl Fn(&Metric) -> Option<Arc<T>>,
+    ) -> Arc<T> {
+        if let Some(m) = self.metrics.read().expect("metrics lock").get(name) {
+            if let Some(h) = unwrap(m) {
+                return h;
+            }
+            // Same name, different kind: a programming error. Hand back a
+            // detached (unregistered) handle so the caller still works and
+            // the registered metric keeps its original kind.
+            debug_assert!(false, "metric {name:?} re-registered with a different kind");
+            return Arc::new(T::default());
+        }
+        let mut map = self.metrics.write().expect("metrics lock");
+        if let Some(m) = map.get(name) {
+            // lost the registration race; reuse the winner
+            if let Some(h) = unwrap(m) {
+                return h;
+            }
+            debug_assert!(false, "metric {name:?} re-registered with a different kind");
+            return Arc::new(T::default());
+        }
+        let handle = Arc::new(T::default());
+        map.insert(name.to_string(), wrap(handle.clone()));
+        handle
+    }
+
+    /// The counter registered under `name` (created on first use).
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.get_or_insert(name, Metric::Counter, |m| match m {
+            Metric::Counter(c) => Some(c.clone()),
+            _ => None,
+        })
+    }
+
+    /// The gauge registered under `name` (created on first use).
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.get_or_insert(name, Metric::Gauge, |m| match m {
+            Metric::Gauge(g) => Some(g.clone()),
+            _ => None,
+        })
+    }
+
+    /// The histogram registered under `name` (created on first use).
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.get_or_insert(name, Metric::Histogram, |m| match m {
+            Metric::Histogram(h) => Some(h.clone()),
+            _ => None,
+        })
+    }
+
+    /// A deterministic (name-sorted) reading of every registered metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let map = self.metrics.read().expect("metrics lock");
+        let metrics = map
+            .iter()
+            .map(|(name, metric)| MetricValue {
+                name: name.clone(),
+                value: match metric {
+                    Metric::Counter(c) => Value::Counter(c.get()),
+                    Metric::Gauge(g) => Value::Gauge(g.get()),
+                    Metric::Histogram(h) => Value::Histogram(h.summary()),
+                },
+            })
+            .collect();
+        Snapshot { metrics }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_inverts() {
+        let mut last = 0usize;
+        for v in [0u64, 1, 5, 7, 8, 9, 15, 16, 100, 1_000, 123_456, u64::MAX / 2, u64::MAX] {
+            let idx = bucket_index(v);
+            assert!(idx >= last, "index not monotone at {v}");
+            last = idx;
+            assert!(bucket_lower(idx) <= v, "lower bound above value for {v}");
+            if idx + 1 < BUCKETS {
+                assert!(bucket_lower(idx + 1) > v, "value {v} past its bucket");
+            }
+        }
+        assert!(bucket_index(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn exact_small_values() {
+        for v in 0..8u64 {
+            let h = Histogram::default();
+            h.record(v);
+            assert_eq!(h.quantile(0.5), v, "small values are exact");
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded() {
+        let h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v * 37);
+        }
+        let (p50, p90, p99) = (h.quantile(0.5), h.quantile(0.9), h.quantile(0.99));
+        assert!(p50 <= p90 && p90 <= p99);
+        // ≤25% relative error against the true quantiles
+        assert!((p50 as f64 - 500.0 * 37.0).abs() / (500.0 * 37.0) < 0.25, "p50={p50}");
+        assert!((p99 as f64 - 990.0 * 37.0).abs() / (990.0 * 37.0) < 0.25, "p99={p99}");
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.sum(), 37 * 500500);
+    }
+
+    #[test]
+    fn gauge_set_max_is_a_running_maximum() {
+        let g = Gauge::default();
+        g.set_max(3.0);
+        g.set_max(1.0);
+        assert_eq!(g.get(), 3.0);
+        g.set_max(7.5);
+        assert_eq!(g.get(), 7.5);
+    }
+
+    #[test]
+    fn snapshot_is_name_sorted_and_typed() {
+        let r = Registry::new();
+        r.counter("z.count").add(2);
+        r.gauge("a.gauge").set(1.5);
+        r.histogram("m.hist").record(42);
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.metrics.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, ["a.gauge", "m.hist", "z.count"]);
+        assert_eq!(snap.counter("z.count"), Some(2));
+        assert_eq!(snap.gauge("a.gauge"), Some(1.5));
+        assert_eq!(snap.histogram("m.hist").unwrap().count, 1);
+        assert_eq!(snap.counter("a.gauge"), None, "kind-checked accessors");
+    }
+
+    #[test]
+    fn handles_are_shared_across_lookups() {
+        let r = Registry::new();
+        r.counter("c").inc();
+        r.counter("c").inc();
+        assert_eq!(r.counter("c").get(), 2);
+    }
+}

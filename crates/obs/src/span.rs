@@ -1,0 +1,176 @@
+//! Hierarchical tracing spans: scoped wall-clock timers whose measurements
+//! land in per-path histograms.
+//!
+//! A span is opened against a [`Registry`] and closed by dropping its
+//! guard. While open, it sits on a thread-local stack; a span opened
+//! inside another span's scope (on the same thread, against the same
+//! registry) records under the concatenated path, so `train` containing
+//! `epoch` containing `checkpoint` produces the histograms
+//! `span.train`, `span.train.epoch` and `span.train.epoch.checkpoint` —
+//! a flame graph's shape with no graph structure kept at runtime.
+//!
+//! Spans are thread-safe in the only sense that matters for a scoped
+//! timer: each thread has its own stack, and the recording itself is the
+//! histogram's lock-free atomic path. A guard must be dropped on the
+//! thread that created it (guards are neither `Send` nor cloneable, so
+//! the compiler enforces this).
+
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::time::Instant;
+
+use crate::registry::Registry;
+
+thread_local! {
+    /// Open span frames on this thread: `(registry_id, name)`.
+    static STACK: RefCell<Vec<(u64, String)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Prefix every span histogram is registered under.
+const SPAN_PREFIX: &str = "span.";
+
+/// An open span; dropping it records the elapsed nanoseconds into the
+/// histogram named `span.<path>` on the owning registry.
+#[must_use = "a span measures the scope it is bound to; an unbound span measures nothing"]
+pub struct Span<'r> {
+    registry: &'r Registry,
+    start: Instant,
+    /// Depth of this frame on the thread-local stack, used to detect (and
+    /// tolerate) out-of-order drops.
+    depth: usize,
+    /// Keeps the guard `!Send`: the thread-local stack frame must be
+    /// popped on the thread that pushed it.
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Registry {
+    /// Opens a span named `name`. The returned guard records on drop.
+    pub fn span(&self, name: &str) -> Span<'_> {
+        let depth = STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            s.push((self.id, name.to_string()));
+            s.len()
+        });
+        Span { registry: self, start: Instant::now(), depth, _not_send: PhantomData }
+    }
+
+    /// Runs `f` inside a span named `name`, returning its result.
+    pub fn timed<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
+        let _span = self.span(name);
+        f()
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed().as_nanos() as u64;
+        let path = STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            // Guards normally drop LIFO; if user code leaked and dropped
+            // out of order, truncate to this frame so the stack heals.
+            if s.len() < self.depth {
+                return None;
+            }
+            s.truncate(self.depth);
+            let path = s
+                .iter()
+                .filter(|(id, _)| *id == self.registry.id)
+                .map(|(_, name)| name.as_str())
+                .collect::<Vec<_>>()
+                .join(".");
+            s.pop();
+            Some(path)
+        });
+        if let Some(path) = path {
+            self.registry.histogram(&format!("{SPAN_PREFIX}{path}")).record(elapsed);
+        }
+    }
+}
+
+/// Opens a span for the rest of the enclosing scope:
+/// `span!(registry, "flush")` is shorthand for binding
+/// [`Registry::span`]'s guard to a scope-local.
+///
+/// ```
+/// use sem_obs::{span, Registry};
+/// let registry = Registry::new();
+/// {
+///     span!(registry, "outer");
+///     span!(registry, "inner");
+/// }
+/// let snap = registry.snapshot();
+/// assert_eq!(snap.histogram("span.outer").unwrap().count, 1);
+/// assert_eq!(snap.histogram("span.outer.inner").unwrap().count, 1);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($registry:expr, $name:expr) => {
+        let _span_guard = $registry.span($name);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_spans_concatenate_paths() {
+        let r = Registry::new();
+        {
+            let _a = r.span("outer");
+            {
+                let _b = r.span("mid");
+                let _c = r.span("leaf");
+            }
+            let _d = r.span("mid"); // second visit, same path
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.histogram("span.outer").unwrap().count, 1);
+        assert_eq!(snap.histogram("span.outer.mid").unwrap().count, 2);
+        assert_eq!(snap.histogram("span.outer.mid.leaf").unwrap().count, 1);
+    }
+
+    #[test]
+    fn timed_returns_the_closure_result() {
+        let r = Registry::new();
+        let out = r.timed("work", || 41 + 1);
+        assert_eq!(out, 42);
+        assert_eq!(r.snapshot().histogram("span.work").unwrap().count, 1);
+    }
+
+    #[test]
+    fn sibling_registries_keep_separate_paths() {
+        let a = Registry::new();
+        let b = Registry::new();
+        {
+            let _outer = a.span("a_outer");
+            let _inner = b.span("b_only");
+        }
+        assert!(a.snapshot().histogram("span.a_outer").is_some());
+        let b_snap = b.snapshot();
+        assert!(b_snap.histogram("span.b_only").is_some(), "not nested under a's frame");
+        assert!(b_snap.histogram("span.a_outer.b_only").is_none());
+    }
+
+    #[test]
+    fn spans_on_different_threads_do_not_interleave() {
+        let r = std::sync::Arc::new(Registry::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let r = r.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        let _outer = r.span("t_outer");
+                        let _inner = r.span("t_inner");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.histogram("span.t_outer").unwrap().count, 200);
+        assert_eq!(snap.histogram("span.t_outer.t_inner").unwrap().count, 200);
+    }
+}

@@ -1,0 +1,87 @@
+//! Registry concurrency: N threads hammering shared counters, gauges and
+//! histograms must produce exactly the snapshot a sequential run of the
+//! same operations produces — no lost updates, no torn buckets.
+
+use std::sync::Arc;
+
+use sem_obs::Registry;
+
+const THREADS: u64 = 8;
+const OPS: u64 = 20_000;
+
+/// The deterministic per-thread sample stream: thread `t`, op `i`.
+fn sample(t: u64, i: u64) -> u64 {
+    // spread samples across many octaves so every bucket path is exercised
+    (t * 1_000_003 + i * 7919) % 1_000_000
+}
+
+#[test]
+fn concurrent_updates_equal_sequential_ground_truth() {
+    let registry = Arc::new(Registry::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let registry = registry.clone();
+            std::thread::spawn(move || {
+                // handles resolved inside the thread: registration itself
+                // races, which is exactly what get-or-create must survive
+                let ops = registry.counter("test.ops");
+                let hist = registry.histogram("test.latency.ns");
+                let peak = registry.gauge("test.peak");
+                for i in 0..OPS {
+                    ops.inc();
+                    let v = sample(t, i);
+                    hist.record(v);
+                    peak.set_max(v as f64);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // sequential ground truth over the identical sample multiset
+    let reference = Registry::new();
+    let hist = reference.histogram("test.latency.ns");
+    let peak = reference.gauge("test.peak");
+    for t in 0..THREADS {
+        for i in 0..OPS {
+            let v = sample(t, i);
+            hist.record(v);
+            peak.set_max(v as f64);
+        }
+    }
+    reference.counter("test.ops").add(THREADS * OPS);
+
+    let concurrent = registry.snapshot();
+    let sequential = reference.snapshot();
+    assert_eq!(concurrent.counter("test.ops"), Some(THREADS * OPS));
+    assert_eq!(concurrent.gauge("test.peak"), sequential.gauge("test.peak"));
+    // full histogram equality: count, sum, quantiles AND every bucket
+    assert_eq!(
+        concurrent.histogram("test.latency.ns"),
+        sequential.histogram("test.latency.ns"),
+        "concurrent histogram diverged from sequential ground truth"
+    );
+    // the whole snapshots match (same names, same order, same values)
+    assert_eq!(concurrent, sequential);
+}
+
+#[test]
+fn concurrent_spans_record_every_scope() {
+    let registry = Arc::new(Registry::new());
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let registry = registry.clone();
+            std::thread::spawn(move || {
+                for _ in 0..250 {
+                    registry.timed("work", || std::hint::black_box(3 * 7));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(registry.snapshot().histogram("span.work").unwrap().count, 1000);
+}

@@ -26,9 +26,11 @@
 //! entry provably stays valid and is kept.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, RwLock};
+use sem_obs::{Counter, Gauge, Histogram, Registry};
 use serde::Serialize;
 
 use crate::cache::LruCache;
@@ -145,63 +147,31 @@ struct CacheEntry {
     hits: Vec<Hit>,
 }
 
-/// A rolling window of the most recent latency samples for one stage.
-struct LatencyWindow {
-    samples: Vec<u64>,
-    next: usize,
-    count: u64,
-    total_ns: u64,
-}
-
-const WINDOW: usize = 4096;
-
-impl LatencyWindow {
-    fn new() -> Self {
-        LatencyWindow { samples: Vec::new(), next: 0, count: 0, total_ns: 0 }
-    }
-
-    fn record(&mut self, ns: u64) {
-        self.count += 1;
-        self.total_ns += ns;
-        if self.samples.len() < WINDOW {
-            self.samples.push(ns);
-        } else {
-            self.samples[self.next] = ns;
-            self.next = (self.next + 1) % WINDOW;
-        }
-    }
-
-    fn summary(&self) -> LatencySummary {
-        let mut sorted = self.samples.clone();
-        sorted.sort_unstable();
-        let pct = |p: f64| -> u64 {
-            if sorted.is_empty() {
-                return 0;
-            }
-            let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-            sorted[idx]
-        };
-        LatencySummary {
-            count: self.count,
-            mean_ns: self.total_ns.checked_div(self.count).unwrap_or(0),
-            p50_ns: pct(0.50),
-            p99_ns: pct(0.99),
-        }
-    }
-}
-
-/// Latency distribution of one pipeline stage (over a rolling window of the
-/// most recent samples; `count`/`mean_ns` cover the whole lifetime).
+/// Latency distribution of one pipeline stage, extracted from its
+/// log-bucketed [`sem_obs::Histogram`]. Percentiles are lifetime
+/// approximations (≤ 25% relative error from the bucket width), monotone
+/// by construction.
 #[derive(Clone, Copy, Debug, Serialize)]
 pub struct LatencySummary {
     /// Lifetime number of samples.
     pub count: u64,
     /// Lifetime mean, nanoseconds.
     pub mean_ns: u64,
-    /// Median over the window, nanoseconds.
+    /// Approximate median, nanoseconds.
     pub p50_ns: u64,
-    /// 99th percentile over the window, nanoseconds.
+    /// Approximate 99th percentile, nanoseconds.
     pub p99_ns: u64,
+}
+
+impl LatencySummary {
+    fn of(h: &Histogram) -> Self {
+        LatencySummary {
+            count: h.count(),
+            mean_ns: h.mean(),
+            p50_ns: h.quantile(0.50),
+            p99_ns: h.quantile(0.99),
+        }
+    }
 }
 
 /// Point-in-time engine counters.
@@ -241,22 +211,58 @@ pub struct StatsSnapshot {
     pub ingest: LatencySummary,
 }
 
-struct StatsInner {
-    queries: u64,
-    cache_hits: u64,
-    cache_misses: u64,
-    batches: u64,
-    largest_batch: u64,
-    ingested: u64,
-    invalidated: u64,
-    degraded: u64,
-    stale_serves: u64,
-    journal_synced: u64,
-    journal_buffered: u64,
-    recoveries: u64,
-    search_ns: LatencyWindow,
-    cache_ns: LatencyWindow,
-    ingest_ns: LatencyWindow,
+/// Pre-registered handles for every engine metric — the replacement for
+/// the old mutex-guarded `StatsInner`: the hot path touches only lock-free
+/// atomics, and the same numbers are exportable through the registry
+/// (JSON / Prometheus) without a dedicated snapshot type.
+struct EngineMetrics {
+    registry: Arc<Registry>,
+    queries: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    batches: Arc<Counter>,
+    batch_size: Arc<Histogram>,
+    largest_batch: Arc<Gauge>,
+    ingested: Arc<Counter>,
+    invalidated: Arc<Counter>,
+    cache_len: Arc<Gauge>,
+    degraded: Arc<Counter>,
+    deadline_misses: Arc<Counter>,
+    stale_serves: Arc<Counter>,
+    unavailable: Arc<Counter>,
+    journal_synced: Arc<Counter>,
+    journal_buffered: Arc<Counter>,
+    recoveries: Arc<Counter>,
+    search_ns: Arc<Histogram>,
+    cache_ns: Arc<Histogram>,
+    ingest_ns: Arc<Histogram>,
+}
+
+impl EngineMetrics {
+    fn new(registry: Arc<Registry>) -> Self {
+        EngineMetrics {
+            queries: registry.counter("serve.queries"),
+            cache_hits: registry.counter("serve.cache.hits"),
+            cache_misses: registry.counter("serve.cache.misses"),
+            batches: registry.counter("serve.batches"),
+            batch_size: registry.histogram("serve.batch.size"),
+            largest_batch: registry.gauge("serve.batch.largest"),
+            ingested: registry.counter("serve.ingested"),
+            invalidated: registry.counter("serve.cache.invalidated"),
+            cache_len: registry.gauge("serve.cache.len"),
+            degraded: registry.counter("serve.degraded"),
+            deadline_misses: registry.counter("serve.degraded.deadline"),
+            stale_serves: registry.counter("serve.degraded.stale"),
+            unavailable: registry.counter("serve.degraded.unavailable"),
+            journal_synced: registry.counter("serve.journal.synced"),
+            journal_buffered: registry.counter("serve.journal.buffered"),
+            recoveries: registry.counter("serve.recoveries"),
+            search_ns: registry.histogram("serve.stage.search.ns"),
+            cache_ns: registry.histogram("serve.stage.cache_lookup.ns"),
+            ingest_ns: registry.histogram("serve.stage.ingest.ns"),
+            registry,
+        }
+    }
 }
 
 /// Whether the engine's index is live or being rebuilt from durable state.
@@ -287,7 +293,7 @@ pub struct QueryEngine {
     completed: Mutex<std::collections::HashMap<u64, QueryResponse>>,
     next_ticket: AtomicU64,
     store: Mutex<Option<IndexStore>>,
-    stats: Mutex<StatsInner>,
+    metrics: EngineMetrics,
 }
 
 /// L2-normalises a copy of `v` (zero vectors pass through).
@@ -305,8 +311,16 @@ fn dot(a: &[f32], b: &[f32]) -> f32 {
 }
 
 impl QueryEngine {
-    /// Wraps a built index.
+    /// Wraps a built index, recording metrics into a private registry
+    /// (readable via [`QueryEngine::metrics`]).
     pub fn new(index: AnnIndex, config: EngineConfig) -> Self {
+        Self::with_metrics(index, config, Arc::new(Registry::new()))
+    }
+
+    /// Wraps a built index, recording metrics into a shared registry — use
+    /// this to aggregate serving, storage and training metrics into one
+    /// exportable snapshot.
+    pub fn with_metrics(index: AnnIndex, config: EngineConfig, registry: Arc<Registry>) -> Self {
         QueryEngine {
             dim: index.dim(),
             config,
@@ -316,30 +330,23 @@ impl QueryEngine {
             completed: Mutex::new(std::collections::HashMap::new()),
             next_ticket: AtomicU64::new(0),
             store: Mutex::new(None),
-            stats: Mutex::new(StatsInner {
-                queries: 0,
-                cache_hits: 0,
-                cache_misses: 0,
-                batches: 0,
-                largest_batch: 0,
-                ingested: 0,
-                invalidated: 0,
-                degraded: 0,
-                stale_serves: 0,
-                journal_synced: 0,
-                journal_buffered: 0,
-                recoveries: 0,
-                search_ns: LatencyWindow::new(),
-                cache_ns: LatencyWindow::new(),
-                ingest_ns: LatencyWindow::new(),
-            }),
+            metrics: EngineMetrics::new(registry),
         }
+    }
+
+    /// The registry this engine records into. Snapshot it for a JSON /
+    /// Prometheus export of every serving metric.
+    pub fn metrics(&self) -> Arc<Registry> {
+        self.metrics.registry.clone()
     }
 
     /// Attaches a durable store: every subsequent ingest is journaled
     /// before it is acknowledged, and [`QueryEngine::persist`] /
-    /// [`QueryEngine::recover_from_store`] become available.
-    pub fn attach_store(&self, store: IndexStore) {
+    /// [`QueryEngine::recover_from_store`] become available. The store's
+    /// own metrics (journal appends, fsync time, replay counters) are
+    /// redirected into this engine's registry.
+    pub fn attach_store(&self, mut store: IndexStore) {
+        store.set_metrics(&self.metrics.registry);
         *self.store.lock() = Some(store);
     }
 
@@ -510,19 +517,35 @@ impl QueryEngine {
         search_ns: u64,
         record_search: bool,
     ) {
-        let degraded = answered.iter().filter(|(_, r)| r.degraded).count() as u64;
+        let mut degraded = 0u64;
+        let mut deadline_misses = 0u64;
+        let mut unavailable = 0u64;
+        for (_, r) in &answered {
+            if r.degraded {
+                degraded += 1;
+            }
+            match r.reason {
+                Some(DegradeReason::Deadline) => deadline_misses += 1,
+                Some(DegradeReason::Unavailable) => unavailable += 1,
+                _ => {}
+            }
+        }
         self.completed.lock().extend(answered);
-        let mut stats = self.stats.lock();
-        stats.queries += batch_len as u64;
-        stats.cache_hits += hits_n as u64;
-        stats.cache_misses += misses_n as u64;
-        stats.batches += 1;
-        stats.largest_batch = stats.largest_batch.max(batch_len as u64);
-        stats.degraded += degraded;
-        stats.stale_serves += stale;
-        stats.cache_ns.record(cache_ns);
+        let m = &self.metrics;
+        m.queries.add(batch_len as u64);
+        m.cache_hits.add(hits_n as u64);
+        m.cache_misses.add(misses_n as u64);
+        m.batches.inc();
+        m.batch_size.record(batch_len as u64);
+        m.largest_batch.set_max(batch_len as f64);
+        m.degraded.add(degraded);
+        m.deadline_misses.add(deadline_misses);
+        m.unavailable.add(unavailable);
+        m.stale_serves.add(stale);
+        m.cache_len.set(self.cache.lock().len() as f64);
+        m.cache_ns.record(cache_ns);
         if record_search {
-            stats.search_ns.record(search_ns);
+            m.search_ns.record(search_ns);
         }
     }
 
@@ -625,15 +648,16 @@ impl QueryEngine {
             dot(&v, &entry.query) < kth
         });
         let ns = t0.elapsed().as_nanos() as u64;
-        let mut stats = self.stats.lock();
-        stats.ingested += 1;
-        stats.invalidated += dropped as u64;
+        let m = &self.metrics;
+        m.ingested.inc();
+        m.invalidated.add(dropped as u64);
+        m.cache_len.set(self.cache.lock().len() as f64);
         match durability {
-            Some(Durability::Synced) => stats.journal_synced += 1,
-            Some(Durability::Buffered) => stats.journal_buffered += 1,
+            Some(Durability::Synced) => m.journal_synced.inc(),
+            Some(Durability::Buffered) => m.journal_buffered.inc(),
             None => {}
         }
-        stats.ingest_ns.record(ns);
+        m.ingest_ns.record(ns);
         Ok(IngestAck { id, durable: matches!(durability, Some(Durability::Synced)) })
     }
 
@@ -678,7 +702,8 @@ impl QueryEngine {
         }
         *self.index.write() = IndexState::Ready(index);
         self.cache.lock().clear();
-        self.stats.lock().recoveries += 1;
+        self.metrics.cache_len.set(0.0);
+        self.metrics.recoveries.inc();
         Ok(())
     }
 
@@ -708,27 +733,29 @@ impl QueryEngine {
         Ok(stats)
     }
 
-    /// Current counters and latency summaries.
+    /// Current counters and latency summaries — a typed view over the same
+    /// registry [`QueryEngine::metrics`] exports.
     pub fn stats(&self) -> StatsSnapshot {
         let cache_len = self.cache.lock().len() as u64;
-        let s = self.stats.lock();
+        self.metrics.cache_len.set(cache_len as f64);
+        let m = &self.metrics;
         StatsSnapshot {
-            queries: s.queries,
-            cache_hits: s.cache_hits,
-            cache_misses: s.cache_misses,
-            batches: s.batches,
-            largest_batch: s.largest_batch,
-            ingested: s.ingested,
-            invalidated: s.invalidated,
+            queries: m.queries.get(),
+            cache_hits: m.cache_hits.get(),
+            cache_misses: m.cache_misses.get(),
+            batches: m.batches.get(),
+            largest_batch: m.largest_batch.get() as u64,
+            ingested: m.ingested.get(),
+            invalidated: m.invalidated.get(),
             cache_len,
-            degraded: s.degraded,
-            stale_serves: s.stale_serves,
-            journal_synced: s.journal_synced,
-            journal_buffered: s.journal_buffered,
-            recoveries: s.recoveries,
-            search: s.search_ns.summary(),
-            cache_lookup: s.cache_ns.summary(),
-            ingest: s.ingest_ns.summary(),
+            degraded: m.degraded.get(),
+            stale_serves: m.stale_serves.get(),
+            journal_synced: m.journal_synced.get(),
+            journal_buffered: m.journal_buffered.get(),
+            recoveries: m.recoveries.get(),
+            search: LatencySummary::of(&m.search_ns),
+            cache_lookup: LatencySummary::of(&m.cache_ns),
+            ingest: LatencySummary::of(&m.ingest_ns),
         }
     }
 

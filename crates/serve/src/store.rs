@@ -25,7 +25,10 @@
 use std::fs::OpenOptions;
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
 
+use sem_obs::{Counter, Histogram, Registry};
 use sem_train::atomic::{fsync_parent_dir, tmp_path, write_atomic};
 use serde::{Deserialize, Serialize};
 
@@ -164,6 +167,39 @@ pub struct VerifyReport {
     pub ok: bool,
 }
 
+/// Pre-registered handles for the store's observability: journal traffic,
+/// fsync latency, snapshot writes and recovery behaviour. `None` until a
+/// registry is attached — instrumentation must cost nothing when unused.
+struct StoreMetrics {
+    journal_appends: Arc<Counter>,
+    journal_flushes: Arc<Counter>,
+    fsync_ns: Arc<Histogram>,
+    snapshot_saves: Arc<Counter>,
+    snapshot_save_ns: Arc<Histogram>,
+    compactions: Arc<Counter>,
+    loads: Arc<Counter>,
+    replayed: Arc<Counter>,
+    skipped: Arc<Counter>,
+    discarded_tails: Arc<Counter>,
+}
+
+impl StoreMetrics {
+    fn new(registry: &Registry) -> Self {
+        StoreMetrics {
+            journal_appends: registry.counter("store.journal.appends"),
+            journal_flushes: registry.counter("store.journal.flushes"),
+            fsync_ns: registry.histogram("store.journal.fsync.ns"),
+            snapshot_saves: registry.counter("store.snapshot.saves"),
+            snapshot_save_ns: registry.histogram("store.snapshot.save.ns"),
+            compactions: registry.counter("store.journal.compactions"),
+            loads: registry.counter("store.loads"),
+            replayed: registry.counter("store.replay.replayed"),
+            skipped: registry.counter("store.replay.skipped"),
+            discarded_tails: registry.counter("store.replay.discarded_tails"),
+        }
+    }
+}
+
 /// Durable home of one index: a snapshot file plus its write-ahead journal
 /// (`<snapshot>.journal`), with an optional [`FaultPlan`] driving
 /// deterministic crash tests.
@@ -175,6 +211,7 @@ pub struct IndexStore {
     buffered: usize,
     plan: FaultPlan,
     crashed: bool,
+    metrics: Option<StoreMetrics>,
 }
 
 impl IndexStore {
@@ -190,7 +227,16 @@ impl IndexStore {
             buffered: 0,
             plan: FaultPlan::none(),
             crashed: false,
+            metrics: None,
         }
+    }
+
+    /// Points the store's instrumentation (journal appends, fsync latency,
+    /// snapshot writes, replay counters) at `registry`. Attaching a store
+    /// to a [`crate::QueryEngine`] does this automatically with the
+    /// engine's registry.
+    pub fn set_metrics(&mut self, registry: &Arc<Registry>) {
+        self.metrics = Some(StoreMetrics::new(registry));
     }
 
     /// Batches journal appends: fsync once every `n` records instead of
@@ -238,6 +284,7 @@ impl IndexStore {
     /// IO failures, serialisation failures, or an armed fault firing.
     pub fn save_snapshot(&mut self, index: &AnnIndex) -> Result<(), ServeError> {
         self.check_alive()?;
+        let t0 = Instant::now();
         let bytes = encode_snapshot(index)?;
         if let Some(survives) = self.plan.torn_write_survives(bytes.len()) {
             // a real torn write: only a prefix of the temp file reaches
@@ -256,10 +303,18 @@ impl IndexStore {
         // the snapshot now contains everything: compact the journal
         self.buffer.clear();
         self.buffered = 0;
-        if self.journal_path.exists() {
+        let compacted = self.journal_path.exists();
+        if compacted {
             std::fs::remove_file(&self.journal_path)
                 .map_err(|e| ServeError::io(&self.journal_path, e))?;
             fsync_parent_dir(&self.journal_path);
+        }
+        if let Some(m) = &self.metrics {
+            m.snapshot_saves.inc();
+            m.snapshot_save_ns.record(t0.elapsed().as_nanos() as u64);
+            if compacted {
+                m.compactions.inc();
+            }
         }
         Ok(())
     }
@@ -281,6 +336,9 @@ impl IndexStore {
         self.buffer.extend_from_slice(&crc32(&payload).to_le_bytes());
         self.buffer.extend_from_slice(&payload);
         self.buffered += 1;
+        if let Some(m) = &self.metrics {
+            m.journal_appends.inc();
+        }
         if self.buffered < self.flush_every {
             if let Err(e) = self.plan.on_buffered(self.buffered) {
                 // crash with the buffer unflushed: the buffered records
@@ -319,7 +377,12 @@ impl IndexStore {
             .open(&self.journal_path)
             .map_err(|e| ServeError::io(&self.journal_path, e))?;
         f.write_all(&self.buffer).map_err(|e| ServeError::io(&self.journal_path, e))?;
+        let t0 = Instant::now();
         f.sync_all().map_err(|e| ServeError::io(&self.journal_path, e))?;
+        if let Some(m) = &self.metrics {
+            m.journal_flushes.inc();
+            m.fsync_ns.record(t0.elapsed().as_nanos() as u64);
+        }
         self.buffer.clear();
         self.buffered = 0;
         Ok(())
@@ -339,6 +402,7 @@ impl IndexStore {
         let journal = match std::fs::read(&self.journal_path) {
             Ok(j) => j,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                self.record_load(replayed, skipped, discarded_tail);
                 return Ok(Recovery { index, replayed, skipped, discarded_tail });
             }
             Err(e) => return Err(ServeError::io(&self.journal_path, e)),
@@ -391,7 +455,20 @@ impl IndexStore {
             pos = next;
             record_no += 1;
         }
+        self.record_load(replayed, skipped, discarded_tail);
         Ok(Recovery { index, replayed, skipped, discarded_tail })
+    }
+
+    /// Counts one completed [`IndexStore::load`] and what its replay saw.
+    fn record_load(&self, replayed: usize, skipped: usize, discarded_tail: bool) {
+        if let Some(m) = &self.metrics {
+            m.loads.inc();
+            m.replayed.add(replayed as u64);
+            m.skipped.add(skipped as u64);
+            if discarded_tail {
+                m.discarded_tails.inc();
+            }
+        }
     }
 
     /// Integrity check without mutating anything: header + checksum of the

@@ -1,5 +1,5 @@
 //! Barnes–Hut t-SNE: the O(n log n) approximation for layouts beyond the
-//! few-hundred-point figures (exact t-SNE lives in [`crate::tsne`]).
+//! few-hundred-point figures (exact t-SNE lives in [`mod@crate::tsne`]).
 //!
 //! Standard construction (van der Maaten 2014): input affinities are made
 //! sparse by restricting each point to its `3·perplexity` nearest

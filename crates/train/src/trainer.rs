@@ -4,10 +4,12 @@
 
 use std::ops::Range;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 use rayon::prelude::*;
 use sem_nn::{Adam, Gradients, Optimizer, ParamStore};
+use sem_obs::{Counter, Gauge, Histogram, Registry};
 
 use crate::checkpoint::{latest_valid, Checkpoint};
 use crate::TrainError;
@@ -152,6 +154,10 @@ pub struct RunOptions {
     pub checkpoint_every: usize,
     /// Resume from the latest valid checkpoint in `checkpoint_dir`.
     pub resume: bool,
+    /// Metrics registry the run records into (epoch/step wall time,
+    /// gradient norm, checkpoint write time, worker utilization); `None`
+    /// disables instrumentation.
+    pub metrics: Option<Arc<Registry>>,
 }
 
 /// Progress callbacks emitted by [`Trainer::run`].
@@ -200,17 +206,60 @@ pub struct TrainRun {
     pub wall_ms: u64,
 }
 
+/// Pre-registered handles for everything a training run records. Handles
+/// are resolved once at run start so the hot loop touches only atomics.
+struct TrainMetrics {
+    registry: Arc<Registry>,
+    epochs: Arc<Counter>,
+    steps: Arc<Counter>,
+    items: Arc<Counter>,
+    checkpoints: Arc<Counter>,
+    resumes: Arc<Counter>,
+    step_ns: Arc<Histogram>,
+    grad_norm: Arc<Gauge>,
+    grad_norm_milli: Arc<Histogram>,
+    utilization: Arc<Gauge>,
+    loss: Arc<Gauge>,
+}
+
+impl TrainMetrics {
+    fn new(registry: Arc<Registry>) -> Self {
+        TrainMetrics {
+            epochs: registry.counter("train.epochs"),
+            steps: registry.counter("train.steps"),
+            items: registry.counter("train.items"),
+            checkpoints: registry.counter("train.checkpoint.writes"),
+            resumes: registry.counter("train.resumes"),
+            step_ns: registry.histogram("train.step.ns"),
+            grad_norm: registry.gauge("train.grad.norm"),
+            grad_norm_milli: registry.histogram("train.grad.norm.milli"),
+            utilization: registry.gauge("train.worker.utilization"),
+            loss: registry.gauge("train.loss"),
+            registry,
+        }
+    }
+}
+
 /// The shared training loop. See the crate docs for the determinism and
 /// resume guarantees.
 pub struct Trainer {
     /// The run's configuration.
     pub config: TrainerConfig,
+    metrics: Option<TrainMetrics>,
 }
 
 impl Trainer {
     /// A trainer for the given configuration.
     pub fn new(config: TrainerConfig) -> Self {
-        Trainer { config }
+        Trainer { config, metrics: None }
+    }
+
+    /// Attaches a metrics registry the run records into: `train.*` counters
+    /// and histograms plus `span.train.epoch[.checkpoint]` wall-time spans.
+    /// `None` leaves instrumentation off (the default).
+    pub fn with_metrics(mut self, registry: Option<Arc<Registry>>) -> Self {
+        self.metrics = registry.map(TrainMetrics::new);
+        self
     }
 
     /// Trains `model` for the configured number of epochs, emitting
@@ -236,6 +285,9 @@ impl Trainer {
                     epoch_losses = ckpt.epoch_losses.clone();
                     epoch_losses.truncate(cfg.epochs);
                     resumed_from = Some(ckpt.epoch);
+                    if let Some(m) = &self.metrics {
+                        m.resumes.inc();
+                    }
                     on_event(&TrainEvent::Resumed { epoch: ckpt.epoch, path });
                 }
             }
@@ -250,6 +302,9 @@ impl Trainer {
         let t_run = Instant::now();
 
         for epoch in first_epoch..cfg.epochs {
+            // Span guard: its drop at the end of this iteration records the
+            // epoch's wall time into `span.train.epoch`.
+            let _epoch_span = self.metrics.as_ref().map(|m| m.registry.span("train.epoch"));
             opt.lr = cfg.lr * cfg.lr_decay.powi(epoch as i32);
             let t_epoch = Instant::now();
             model.begin_epoch(epoch);
@@ -262,8 +317,9 @@ impl Trainer {
             let mut at = 0usize;
             while at < items {
                 let step_end = (at + batch).min(items);
+                let t_step = Instant::now();
                 let ctxs: Vec<BatchCtx> = microbatches(epoch, steps, at..step_end, micro);
-                let parts = run_microbatches(model, &ctxs, workers);
+                let (parts, busy_ns) = run_microbatches(model, &ctxs, workers);
                 // Reduce in microbatch index order — the fixed order that
                 // makes the sum worker-count-independent.
                 let mut grads = Gradients::empty();
@@ -272,14 +328,35 @@ impl Trainer {
                     step_loss += *l;
                     grads.add_assign(g);
                 }
+                if let Some(m) = &self.metrics {
+                    // Pre-clip global norm; the milli-scaled histogram keeps
+                    // sub-1.0 norms from collapsing into bucket zero.
+                    let norm = grads.norm() as f64;
+                    m.grad_norm.set(norm);
+                    m.grad_norm_milli.record((norm * 1e3) as u64);
+                }
                 opt.step(model.params_mut(), &grads);
                 loss_sum += step_loss;
                 steps += 1;
+                if let Some(m) = &self.metrics {
+                    let wall_ns = t_step.elapsed().as_nanos().max(1) as u64;
+                    m.step_ns.record(wall_ns);
+                    m.steps.inc();
+                    m.items.add((step_end - at) as u64);
+                    // Fraction of the step's worker-lane capacity spent in
+                    // `batch` calls: busy time over lanes x step wall time.
+                    let lanes = workers.min(ctxs.len()).max(1) as f64;
+                    m.utilization.set((busy_ns as f64 / (lanes * wall_ns as f64)).min(1.0));
+                }
                 at = step_end;
             }
 
             let loss = loss_sum / steps.max(1) as f32;
             epoch_losses.push(loss);
+            if let Some(m) = &self.metrics {
+                m.epochs.inc();
+                m.loss.set(loss as f64);
+            }
             let secs = t_epoch.elapsed().as_secs_f64();
             on_event(&TrainEvent::Epoch {
                 epoch,
@@ -300,7 +377,15 @@ impl Trainer {
                         model.params(),
                         &opt,
                     );
-                    let path = ckpt.save(dir)?;
+                    let path = match &self.metrics {
+                        // Nested under the epoch span: `span.train.epoch.checkpoint`.
+                        Some(m) => {
+                            let saved = m.registry.timed("checkpoint", || ckpt.save(dir))?;
+                            m.checkpoints.inc();
+                            saved
+                        }
+                        None => ckpt.save(dir)?,
+                    };
                     on_event(&TrainEvent::Checkpoint { epoch, path });
                 }
             }
@@ -324,20 +409,35 @@ fn microbatches(epoch: usize, step: usize, range: Range<usize>, micro: usize) ->
 }
 
 /// Evaluates microbatches across `workers` threads, returning results in
-/// microbatch index order regardless of scheduling.
+/// microbatch index order regardless of scheduling, plus the summed
+/// per-lane busy time (the numerator of worker utilization).
 fn run_microbatches<M: Trainable + Sync + ?Sized>(
     model: &M,
     ctxs: &[BatchCtx],
     workers: usize,
-) -> Vec<(f32, Gradients)> {
+) -> (Vec<(f32, Gradients)>, u64) {
     if workers <= 1 || ctxs.len() <= 1 {
-        return ctxs.iter().map(|c| model.batch(c)).collect();
+        let t = Instant::now();
+        let out = ctxs.iter().map(|c| model.batch(c)).collect();
+        return (out, t.elapsed().as_nanos() as u64);
     }
     // One contiguous group per worker; concatenation preserves microbatch
     // order, so the caller's reduction never observes worker scheduling.
     let per = ctxs.len().div_ceil(workers);
     let groups: Vec<&[BatchCtx]> = ctxs.chunks(per).collect();
-    let nested: Vec<Vec<(f32, Gradients)>> =
-        groups.par_iter().map(|g| g.iter().map(|c| model.batch(c)).collect()).collect();
-    nested.into_iter().flatten().collect()
+    let nested: Vec<(Vec<(f32, Gradients)>, u64)> = groups
+        .par_iter()
+        .map(|g| {
+            let t = Instant::now();
+            let out = g.iter().map(|c| model.batch(c)).collect();
+            (out, t.elapsed().as_nanos() as u64)
+        })
+        .collect();
+    let mut parts = Vec::with_capacity(ctxs.len());
+    let mut busy_ns = 0u64;
+    for (group, ns) in nested {
+        parts.extend(group);
+        busy_ns += ns;
+    }
+    (parts, busy_ns)
 }

@@ -284,6 +284,36 @@ fn run_options_defaults_are_inert() {
 }
 
 #[test]
+fn run_records_metrics_and_spans() {
+    let dir = tmp_dir("metrics");
+    let registry = std::sync::Arc::new(sem_obs::Registry::new());
+    let mut model = LinReg::new(13, 16);
+    let mut cfg = config(3, 4, 2, 2);
+    cfg.checkpoint_dir = Some(dir.clone());
+    Trainer::new(cfg).with_metrics(Some(registry.clone())).run(&mut model, &mut |_| {}).unwrap();
+
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("train.epochs"), Some(3));
+    assert_eq!(snap.counter("train.steps"), Some(12), "3 epochs x 4 steps of batch 4");
+    assert_eq!(snap.counter("train.items"), Some(48));
+    assert_eq!(snap.counter("train.checkpoint.writes"), Some(3));
+    let steps = snap.histogram("train.step.ns").unwrap();
+    assert_eq!(steps.count, 12);
+    assert!(steps.p99 >= steps.p50 && steps.max > 0);
+    assert_eq!(snap.histogram("span.train.epoch").unwrap().count, 3);
+    assert_eq!(snap.histogram("span.train.epoch.checkpoint").unwrap().count, 3);
+    assert_eq!(snap.histogram("train.grad.norm.milli").unwrap().count, 12);
+    let util = snap.gauge("train.worker.utilization").unwrap();
+    assert!(util > 0.0 && util <= 1.0, "utilization {util} out of range");
+
+    // Instrumentation must not perturb training: same bits as a bare run.
+    let mut bare = LinReg::new(13, 16);
+    train(&mut bare, config(3, 4, 2, 2));
+    assert_eq!(weights_bits(&model.store), weights_bits(&bare.store));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn events_report_progress() {
     let mut model = LinReg::new(1, 16);
     let mut epochs_seen = Vec::new();

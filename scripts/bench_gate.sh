@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# CI bench-regression gate: runs the serve + train criterion benches in
+# quick mode, records per-benchmark timings to BENCH_<sha>.json (JSON
+# lines via the harness's SEM_BENCH_JSON hook), and compares p99s against
+# the committed baseline. Fails when any benchmark regressed by more than
+# the threshold (default 25%).
+#
+# Usage: scripts/bench_gate.sh [--seed]
+#   --seed   re-seed benchmarks/baseline.json from this run instead of
+#            comparing against it
+#
+# Env: BENCH_OUT (record file path), SEM_BENCH_THRESHOLD (fraction, 0.25)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+sha=$(git rev-parse --short HEAD 2>/dev/null || echo local)
+out="${BENCH_OUT:-BENCH_${sha}.json}"
+baseline="benchmarks/baseline.json"
+rm -f "$out"
+
+echo "== cargo bench (quick mode) -> $out =="
+SEM_BENCH_QUICK=1 SEM_BENCH_JSON="$PWD/$out" \
+    cargo bench -p sem-bench --bench serve --bench train
+
+if [[ "${1:-}" == "--seed" ]]; then
+    mkdir -p benchmarks
+    cp "$out" "$baseline"
+    echo "bench gate: baseline re-seeded at $baseline"
+    exit 0
+fi
+
+echo "== bench gate: $out vs $baseline =="
+cargo run -q -p sem-bench --bin bench_gate -- \
+    "$baseline" "$out" --threshold "${SEM_BENCH_THRESHOLD:-0.25}"

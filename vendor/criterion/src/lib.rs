@@ -7,7 +7,16 @@
 //! a few milliseconds, then reports mean / p50 / p99 per iteration. There
 //! is no statistical regression machinery — this is a timing readout, not
 //! an analysis suite.
+//!
+//! Two environment variables hook the harness into CI:
+//!
+//! - `SEM_BENCH_QUICK=1` shrinks the warmup and sample budgets for gate
+//!   runs where relative readings matter more than precision;
+//! - `SEM_BENCH_JSON=PATH` appends one JSON line per benchmark
+//!   (`{"id": ..., "mean_s": ..., "p50_s": ..., "p99_s": ...}`) to `PATH`,
+//!   the record format `scripts/bench_gate.sh` diffs against a baseline.
 
+use std::io::Write;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -18,6 +27,21 @@ const WARMUP: Duration = Duration::from_millis(300);
 const SAMPLE_TARGET: Duration = Duration::from_millis(25);
 /// Number of sample batches measured per benchmark.
 const SAMPLES: usize = 30;
+
+/// `SEM_BENCH_QUICK` set to anything but `0`/empty selects the reduced
+/// budgets.
+fn quick_mode() -> bool {
+    std::env::var("SEM_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// (warmup, per-sample target, sample count) for the current mode.
+fn budgets() -> (Duration, Duration, usize) {
+    if quick_mode() {
+        (Duration::from_millis(60), Duration::from_millis(5), 12)
+    } else {
+        (WARMUP, SAMPLE_TARGET, SAMPLES)
+    }
+}
 
 /// The benchmark registry / runner.
 #[derive(Default)]
@@ -51,19 +75,20 @@ impl Bencher {
     where
         R: FnMut() -> O,
     {
+        let (warmup, sample_target, samples) = budgets();
         // Warmup: run until the budget elapses, counting iterations to
         // estimate per-iteration cost.
         let warm_start = Instant::now();
         let mut warm_iters = 0u64;
-        while warm_start.elapsed() < WARMUP {
+        while warm_start.elapsed() < warmup {
             black_box(routine());
             warm_iters += 1;
         }
         let est_per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
-        let batch = ((SAMPLE_TARGET.as_secs_f64() / est_per_iter) as u64).max(1);
+        let batch = ((sample_target.as_secs_f64() / est_per_iter) as u64).max(1);
 
         self.per_iter.clear();
-        for _ in 0..SAMPLES {
+        for _ in 0..samples {
             let start = Instant::now();
             for _ in 0..batch {
                 black_box(routine());
@@ -89,7 +114,21 @@ impl Bencher {
             fmt_time(p50),
             fmt_time(p99),
         );
+        if let Ok(path) = std::env::var("SEM_BENCH_JSON") {
+            if !path.is_empty() {
+                if let Err(e) = append_json_record(&path, id, mean, p50, p99) {
+                    eprintln!("criterion: cannot append to SEM_BENCH_JSON={path}: {e}");
+                }
+            }
+        }
     }
+}
+
+/// Appends one benchmark record as a JSON line. Benchmark ids in this
+/// workspace are plain identifiers, so no string escaping is needed.
+fn append_json_record(path: &str, id: &str, mean: f64, p50: f64, p99: f64) -> std::io::Result<()> {
+    let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    writeln!(f, "{{\"id\": \"{id}\", \"mean_s\": {mean}, \"p50_s\": {p50}, \"p99_s\": {p99}}}")
 }
 
 /// Linear-interpolated percentile of an ascending-sorted slice.
