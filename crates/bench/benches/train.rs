@@ -8,7 +8,7 @@ use sem_core::sampling::{build_training_pairs, NegativeStrategy};
 use sem_core::{NpRecConfig, NpRecModel, SemConfig, SemModel};
 use sem_corpus::presets;
 use sem_graph::HeteroGraph;
-use sem_train::RunOptions;
+use sem_train::{RunOptions, WatchdogConfig};
 
 fn tiny_fixture() -> Fixture {
     let mut cfg = presets::acm_like(1);
@@ -79,5 +79,32 @@ fn bench_checkpoint_overhead(c: &mut Criterion) {
     std::fs::remove_dir_all(&dir).ok();
 }
 
-criterion_group!(benches, bench_sem_epoch, bench_nprec_epoch, bench_checkpoint_overhead);
+/// Watchdog overhead: the same single-worker SEM epoch with step-level
+/// anomaly screening on vs off. The gate keeps the armed-but-silent
+/// watchdog cheap (<5% over the bare epoch).
+fn bench_watchdog_overhead(c: &mut Criterion) {
+    let f = tiny_fixture();
+    let scorer = f.scorer();
+    let config = SemConfig { epochs: 1, triplets_per_epoch: 200, ..Default::default() };
+    for (tag, watchdog) in [("off", None), ("on", Some(WatchdogConfig::default()))] {
+        c.bench_function(&format!("train/sem-epoch/watchdog-{tag}"), |bench| {
+            bench.iter(|| {
+                let mut model = SemModel::new(config.clone());
+                let opts =
+                    RunOptions { workers: 1, watchdog: watchdog.clone(), ..Default::default() };
+                model
+                    .train_with(&f.pipeline, &f.corpus, &scorer, &f.labels, &opts, &mut |_| {})
+                    .unwrap()
+            })
+        });
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_sem_epoch,
+    bench_nprec_epoch,
+    bench_checkpoint_overhead,
+    bench_watchdog_overhead
+);
 criterion_main!(benches);

@@ -12,7 +12,8 @@
 //! present only in `current` are listed as new (not gated); benchmarks
 //! present only in the baseline fail the gate — losing coverage silently
 //! is itself a regression. Exit status: 0 clean, 1 regression, 2 usage or
-//! malformed input.
+//! malformed current file, 3 missing/unparsable baseline (re-seed it with
+//! `scripts/bench_gate.sh --seed` rather than debugging the run).
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -23,6 +24,31 @@ struct BenchRecord {
     mean_s: f64,
     p50_s: f64,
     p99_s: f64,
+}
+
+/// Which input (and therefore which exit code) a gate failure points at.
+/// A broken *baseline* is a repo-state problem — the fix is re-seeding,
+/// not re-running — so it gets its own exit code (3) distinct from a bad
+/// current file or usage error (2).
+#[derive(Debug, PartialEq)]
+enum GateError {
+    /// Usage error or a missing/malformed *current* record file (exit 2).
+    Input(String),
+    /// Missing or unparsable *baseline* file (exit 3).
+    Baseline(String),
+}
+
+impl std::fmt::Display for GateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GateError::Input(msg) => write!(f, "{msg}"),
+            GateError::Baseline(msg) => write!(
+                f,
+                "{msg}\n       the committed baseline is missing or unreadable — \
+                 re-seed it with `scripts/bench_gate.sh --seed` and commit the result"
+            ),
+        }
+    }
 }
 
 /// Parses a JSON-lines benchmark record file into an id-keyed map. A
@@ -56,23 +82,28 @@ fn fmt_s(s: f64) -> String {
     }
 }
 
-fn run(argv: &[String]) -> Result<bool, String> {
+fn run(argv: &[String]) -> Result<bool, GateError> {
     let mut threshold = 0.25f64;
     let mut paths = Vec::new();
     let mut it = argv.iter();
     while let Some(a) = it.next() {
         if a == "--threshold" {
-            let v = it.next().ok_or("--threshold needs a value")?;
-            threshold = v.parse().map_err(|_| format!("--threshold: bad fraction {v:?}"))?;
+            let v =
+                it.next().ok_or_else(|| GateError::Input("--threshold needs a value".into()))?;
+            threshold = v
+                .parse()
+                .map_err(|_| GateError::Input(format!("--threshold: bad fraction {v:?}")))?;
         } else {
             paths.push(a.clone());
         }
     }
     let [baseline_path, current_path] = paths.as_slice() else {
-        return Err("usage: bench_gate <baseline> <current> [--threshold FRACTION]".into());
+        return Err(GateError::Input(
+            "usage: bench_gate <baseline> <current> [--threshold FRACTION]".into(),
+        ));
     };
-    let baseline = load(baseline_path)?;
-    let current = load(current_path)?;
+    let baseline = load(baseline_path).map_err(GateError::Baseline)?;
+    let current = load(current_path).map_err(GateError::Input)?;
 
     let mut ok = true;
     println!(
@@ -132,7 +163,86 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("bench gate: {e}");
-            ExitCode::from(2)
+            ExitCode::from(match e {
+                GateError::Input(_) => 2,
+                GateError::Baseline(_) => 3,
+            })
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("sem-bench-gate-{name}-{}", std::process::id()))
+    }
+
+    fn record(id: &str, p99: f64) -> String {
+        format!(r#"{{"id":"{id}","mean_s":{p99},"p50_s":{p99},"p99_s":{p99}}}"#)
+    }
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn missing_baseline_is_a_baseline_error_with_reseed_hint() {
+        let cur = tmp("cur-ok.jsonl");
+        std::fs::write(&cur, record("a", 0.001)).unwrap();
+        let err = run(&argv(&["/nonexistent/baseline.json", cur.to_str().unwrap()])).unwrap_err();
+        assert!(matches!(err, GateError::Baseline(_)), "{err:?}");
+        let msg = err.to_string();
+        assert!(msg.contains("cannot read"), "{msg}");
+        assert!(msg.contains("scripts/bench_gate.sh --seed"), "{msg}");
+        std::fs::remove_file(&cur).ok();
+    }
+
+    #[test]
+    fn unparsable_baseline_is_a_baseline_error() {
+        let base = tmp("base-garbled.jsonl");
+        let cur = tmp("cur-ok2.jsonl");
+        std::fs::write(&base, "{not json").unwrap();
+        std::fs::write(&cur, record("a", 0.001)).unwrap();
+        let err = run(&argv(&[base.to_str().unwrap(), cur.to_str().unwrap()])).unwrap_err();
+        assert!(matches!(err, GateError::Baseline(_)), "{err:?}");
+        assert!(err.to_string().contains("bad bench record"), "{}", err.to_string());
+        std::fs::remove_file(&base).ok();
+        std::fs::remove_file(&cur).ok();
+    }
+
+    #[test]
+    fn bad_current_file_stays_an_input_error() {
+        let base = tmp("base-ok.jsonl");
+        std::fs::write(&base, record("a", 0.001)).unwrap();
+        let err = run(&argv(&[base.to_str().unwrap(), "/nonexistent/current.json"])).unwrap_err();
+        assert!(matches!(err, GateError::Input(_)), "{err:?}");
+        assert!(!err.to_string().contains("--seed"), "re-seed hint is baseline-only");
+        std::fs::remove_file(&base).ok();
+    }
+
+    #[test]
+    fn usage_errors_are_input_errors() {
+        assert!(matches!(run(&argv(&[])).unwrap_err(), GateError::Input(_)));
+        assert!(matches!(run(&argv(&["a", "b", "--threshold"])).unwrap_err(), GateError::Input(_)));
+    }
+
+    #[test]
+    fn clean_and_regressed_runs_still_gate() {
+        let base = tmp("base-gate.jsonl");
+        let cur = tmp("cur-gate.jsonl");
+        std::fs::write(&base, format!("{}\n{}", record("a", 0.001), record("b", 0.002))).unwrap();
+        std::fs::write(&cur, format!("{}\n{}", record("a", 0.001), record("b", 0.002))).unwrap();
+        assert!(run(&argv(&[base.to_str().unwrap(), cur.to_str().unwrap()])).unwrap());
+        // b regresses 10x past the default +25% threshold
+        std::fs::write(&cur, format!("{}\n{}", record("a", 0.001), record("b", 0.02))).unwrap();
+        assert!(!run(&argv(&[base.to_str().unwrap(), cur.to_str().unwrap()])).unwrap());
+        // losing a benchmark also fails the gate
+        std::fs::write(&cur, record("a", 0.001)).unwrap();
+        assert!(!run(&argv(&[base.to_str().unwrap(), cur.to_str().unwrap()])).unwrap());
+        std::fs::remove_file(&base).ok();
+        std::fs::remove_file(&cur).ok();
     }
 }

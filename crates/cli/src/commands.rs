@@ -11,8 +11,8 @@ use sem_core::{NpRecConfig, NpRecModel, PipelineConfig, SemConfig, SemModel, Tex
 use sem_corpus::{presets, AuthorId, Corpus, PaperId, Subspace, NUM_SUBSPACES};
 use sem_graph::HeteroGraph;
 use sem_rules::RuleScorer;
-use sem_train::atomic::write_atomic;
-use sem_train::{RunOptions, TrainError, TrainEvent};
+use sem_train::atomic::write_atomic_retry;
+use sem_train::{RetryPolicy, RunOptions, TrainError, TrainEvent, TrainFaultPlan, WatchdogConfig};
 
 /// A user-facing CLI failure.
 #[derive(Debug)]
@@ -154,7 +154,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         _ => {}
     }
     let args = match cmd.as_str() {
-        "train" => Args::parse_with_switches(&argv[1..], &["progress", "resume"])?,
+        "train" => Args::parse_with_switches(&argv[1..], &["progress", "resume", "watchdog"])?,
         _ => Args::parse(&argv[1..])?,
     };
     match cmd.as_str() {
@@ -179,6 +179,8 @@ USAGE:
   sem train     --corpus corpus.json --out model-dir [--epochs N] [--workers N]
                 [--checkpoint-dir DIR [--checkpoint-every N] [--resume]] [--progress]
                 [--metrics-out metrics.json]
+                [--watchdog [--max-rollbacks N] [--grad-spike-threshold F]]
+                [--fault-nan-step N] [--fault-ckpt-failures N]
   sem embed     --model model-dir --paper ID
   sem metrics   --in metrics.json [--format table|json]
   sem analyze   --corpus corpus.json [--lof-k K]
@@ -188,6 +190,17 @@ training runs on the shared runtime: `--workers N` parallelises gradient
 computation (bit-identical results for any N), `--checkpoint-dir` writes
 atomic per-epoch checkpoints, `--resume` continues from the latest valid
 one, and `--progress` streams per-epoch events to stderr.
+
+`--watchdog` arms the training watchdog: every step is screened for
+non-finite or exploding loss/gradients and poisoned parameters; a trip
+rolls the epoch back to its last valid state, backs the learning rate
+off, and retries with a reshuffled batch order (up to `--max-rollbacks`
+strikes, then the run fails as diverged). Recovery actions stream to
+`--progress` and count into `--metrics-out` (watchdog.trips /
+watchdog.rollbacks / watchdog.lr_backoffs). `--fault-nan-step N` and
+`--fault-ckpt-failures N` inject deterministic faults (a NaN loss at
+optimizer step N; N transient checkpoint-write failures) to drill the
+recovery path.
 
 serving (JSON output):
   sem index build  --model model-dir --out index.snap [--nlist N] [--nprobe N] [--flat-threshold N]
@@ -317,12 +330,32 @@ fn train(args: &Args) -> Result<String, CliError> {
     let config = SemConfig { epochs, ..Default::default() };
     let mut model = SemModel::new(config.clone());
     let registry = args.get("metrics-out").map(|_| std::sync::Arc::new(sem_obs::Registry::new()));
+    let watchdog = if args.switch("watchdog") {
+        Some(WatchdogConfig {
+            max_rollbacks: args.parse_num("max-rollbacks", 3usize)?,
+            grad_spike_factor: args.parse_num("grad-spike-threshold", 10.0f32)?,
+            ..WatchdogConfig::default()
+        })
+    } else {
+        None
+    };
+    // Deterministic fault injection for the CI smoke and local recovery
+    // drills; both flags default to no injection.
+    let mut fault = TrainFaultPlan::none();
+    if let Some(step) = args.get("fault-nan-step") {
+        fault = fault.with_nan_loss_at(
+            step.parse().map_err(|_| CliError(format!("--fault-nan-step: bad step {step:?}")))?,
+        );
+    }
+    fault.checkpoint_write_failures = args.parse_num("fault-ckpt-failures", 0usize)?;
     let opts = RunOptions {
         workers: args.parse_num("workers", 0usize)?,
         checkpoint_dir: args.get("checkpoint-dir").map(PathBuf::from),
         checkpoint_every: args.parse_num("checkpoint-every", 0usize)?,
         resume: args.switch("resume"),
         metrics: registry.clone(),
+        watchdog,
+        fault,
         ..Default::default()
     };
     let progress = args.switch("progress");
@@ -336,8 +369,10 @@ fn train(args: &Args) -> Result<String, CliError> {
     }
 
     // persist: corpus copy + fitted pipeline + architecture config + weights
+    // (atomic writes with transient-IO retry, same policy as checkpoints)
+    let retry = RetryPolicy::default();
     std::fs::copy(corpus_path, out.corpus_path())?;
-    write_atomic(&out.pipeline_path(), pipeline.to_json().as_bytes())?;
+    write_atomic_retry(&out.pipeline_path(), pipeline.to_json().as_bytes(), &retry)?;
     let stored = StoredSemConfig {
         input_dim: config.input_dim,
         hidden: config.hidden,
@@ -346,8 +381,8 @@ fn train(args: &Args) -> Result<String, CliError> {
     };
     let stored_json = serde_json::to_string_pretty(&stored)
         .map_err(|e| CliError(format!("config serialisation: {e}")))?;
-    write_atomic(&out.config_path(), stored_json.as_bytes())?;
-    write_atomic(&out.weights_path(), model.weights_to_json().as_bytes())?;
+    write_atomic_retry(&out.config_path(), stored_json.as_bytes(), &retry)?;
+    write_atomic_retry(&out.weights_path(), model.weights_to_json().as_bytes(), &retry)?;
     let resumed = match report.resumed_from {
         Some(e) => format!(" (resumed after epoch {})", e + 1),
         None => String::new(),
@@ -376,6 +411,16 @@ fn format_event(e: &TrainEvent) -> String {
         ),
         TrainEvent::Checkpoint { epoch, path } => {
             format!("checkpoint after epoch {}: {}", epoch + 1, path.display())
+        }
+        TrainEvent::WatchdogTrip { epoch, step, detail } => {
+            format!("watchdog tripped at epoch {} step {step}: {detail}", epoch + 1)
+        }
+        TrainEvent::RolledBack { epoch, attempt, strikes, lr } => format!(
+            "rolled back epoch {} (retry {attempt}, strike {strikes}); lr backed off to {lr:.3e}",
+            epoch + 1,
+        ),
+        TrainEvent::LrBackoff { epoch, lr, detail } => {
+            format!("lr backed off to {lr:.3e} after epoch {}: {detail}", epoch + 1)
         }
     }
 }
@@ -682,6 +727,53 @@ mod tests {
         std::fs::remove_file(&corpus_path).ok();
         std::fs::remove_dir_all(&model_dir).ok();
         std::fs::remove_dir_all(&ckpt_dir).ok();
+    }
+
+    #[test]
+    fn train_watchdog_recovers_from_injected_nan() {
+        let corpus_path = tmp("wd-corpus.json");
+        let model_dir = tmp("wd-model");
+        run(&argv(&[
+            "generate",
+            "--preset",
+            "acm",
+            "--papers",
+            "120",
+            "--authors",
+            "50",
+            "--out",
+            corpus_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = run(&argv(&[
+            "train",
+            "--corpus",
+            corpus_path.to_str().unwrap(),
+            "--out",
+            model_dir.to_str().unwrap(),
+            "--epochs",
+            "2",
+            "--watchdog",
+            "--fault-nan-step",
+            "0",
+        ]))
+        .unwrap();
+        assert!(out.contains("trained SEM"), "{out}");
+        // the injected NaN was rolled back: reported losses are finite
+        assert!(!out.contains("NaN"), "{out}");
+        // bad fault flags are rejected up front
+        assert!(run(&argv(&[
+            "train",
+            "--corpus",
+            corpus_path.to_str().unwrap(),
+            "--out",
+            model_dir.to_str().unwrap(),
+            "--fault-nan-step",
+            "soon",
+        ]))
+        .is_err());
+        std::fs::remove_file(&corpus_path).ok();
+        std::fs::remove_dir_all(&model_dir).ok();
     }
 
     #[test]

@@ -99,6 +99,12 @@ pub struct NpRecReport {
     pub epoch_losses: Vec<f32>,
     /// Last epoch restored from a checkpoint, when the run resumed.
     pub resumed_from: Option<usize>,
+    /// Watchdog trips over the run (0 when the watchdog is off).
+    pub watchdog_trips: usize,
+    /// Rollbacks executed in response to trips.
+    pub rollbacks: usize,
+    /// Learning-rate backoffs (from rollbacks and plateaus).
+    pub lr_backoffs: usize,
 }
 
 /// The NPRec model.
@@ -416,12 +422,21 @@ impl NpRecModel {
             checkpoint_every: opts.checkpoint_every,
             checkpoint_dir: opts.checkpoint_dir.clone(),
             resume: opts.resume,
+            watchdog: opts.watchdog.clone(),
+            fault: opts.fault.clone(),
+            ..TrainerConfig::default()
         })
         .with_metrics(opts.metrics.clone());
         let mut trainable =
             NpRecTrainable { model: self, graph, text, pairs, dense_params, order: Vec::new() };
         let run = trainer.run(&mut trainable, on_event)?;
-        Ok(NpRecReport { epoch_losses: run.epoch_losses, resumed_from: run.resumed_from })
+        Ok(NpRecReport {
+            epoch_losses: run.epoch_losses,
+            resumed_from: run.resumed_from,
+            watchdog_trips: run.watchdog_trips,
+            rollbacks: run.rollbacks,
+            lr_backoffs: run.lr_backoffs,
+        })
     }
 
     /// Deterministic directional representation of one paper (inference).

@@ -95,6 +95,12 @@ pub struct SemTrainReport {
     pub triplet_accuracy: f64,
     /// Last epoch restored from a checkpoint, when the run resumed.
     pub resumed_from: Option<usize>,
+    /// Watchdog trips over the run (0 when the watchdog is off).
+    pub watchdog_trips: usize,
+    /// Rollbacks executed in response to trips.
+    pub rollbacks: usize,
+    /// Learning-rate backoffs (from rollbacks and plateaus).
+    pub lr_backoffs: usize,
 }
 
 /// The subspace embedding model (one head per subspace + fusion weights).
@@ -293,6 +299,9 @@ impl SemModel {
             checkpoint_every: opts.checkpoint_every,
             checkpoint_dir: opts.checkpoint_dir.clone(),
             resume: opts.resume,
+            watchdog: opts.watchdog.clone(),
+            fault: opts.fault.clone(),
+            ..TrainerConfig::default()
         })
         .with_metrics(opts.metrics.clone());
         let (run, seen) = {
@@ -363,6 +372,9 @@ impl SemModel {
             epoch_losses: run.epoch_losses,
             triplet_accuracy: hits as f64 / counted.max(1) as f64,
             resumed_from: run.resumed_from,
+            watchdog_trips: run.watchdog_trips,
+            rollbacks: run.rollbacks,
+            lr_backoffs: run.lr_backoffs,
         })
     }
 

@@ -1,0 +1,150 @@
+//! End-to-end watchdog recovery on the real SEM model: a run with an
+//! injected NaN loss and transient checkpoint-write failures completes via
+//! rollback + retry, its recovery counters match the injected schedule
+//! exactly, and the final weights are finite and usable.
+
+use std::path::PathBuf;
+
+use sem_core::{PipelineConfig, SemConfig, SemModel, TextPipeline};
+use sem_corpus::{Corpus, CorpusConfig, Subspace};
+use sem_nn::ParamStore;
+use sem_rules::RuleScorer;
+use sem_train::{RunOptions, TrainEvent, TrainFaultPlan, WatchdogConfig};
+
+fn fixture() -> (Corpus, TextPipeline, Vec<Vec<Subspace>>) {
+    let corpus =
+        Corpus::generate(CorpusConfig { n_papers: 100, n_authors: 50, ..Default::default() });
+    let pipe = TextPipeline::fit(
+        &corpus,
+        PipelineConfig { sentence_dim: 24, word_dim: 16, sgns_epochs: 2, ..Default::default() },
+    );
+    let labels = pipe.label_corpus(&corpus);
+    (corpus, pipe, labels)
+}
+
+fn sem_config(epochs: usize) -> SemConfig {
+    SemConfig {
+        input_dim: 24,
+        hidden: 16,
+        attn: 8,
+        epochs,
+        triplets_per_epoch: 48,
+        ..Default::default()
+    }
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sem-core-recov-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The acceptance drill: injected NaN loss + two transient checkpoint
+/// write failures; the run must complete through rollback and retry with
+/// finite weights and counters matching the schedule exactly.
+#[test]
+fn sem_survives_injected_nan_and_flaky_checkpoint_io() {
+    let (corpus, pipe, labels) = fixture();
+    let scorer = RuleScorer::new(&corpus, &pipe.vocab, &pipe.embeddings, &pipe.encoder, &labels);
+    let dir = tmp_dir("faulted");
+
+    // Clean reference run (no watchdog, no faults).
+    let mut clean = SemModel::new(sem_config(3));
+    let clean_report = clean
+        .train_with(&pipe, &corpus, &scorer, &labels, &RunOptions::default(), &mut |_| {})
+        .unwrap();
+
+    let registry = std::sync::Arc::new(sem_obs::Registry::new());
+    let mut faulted = SemModel::new(sem_config(3));
+    let opts = RunOptions {
+        checkpoint_dir: Some(dir.clone()),
+        watchdog: Some(WatchdogConfig::default()),
+        fault: TrainFaultPlan::none().with_nan_loss_at(1).with_checkpoint_write_failures(2),
+        metrics: Some(registry.clone()),
+        ..Default::default()
+    };
+    let mut events = Vec::new();
+    let report = faulted
+        .train_with(&pipe, &corpus, &scorer, &labels, &opts, &mut |e| {
+            events.push(format!("{e:?}"));
+        })
+        .unwrap();
+
+    // Counters match the injected schedule exactly: one NaN -> one trip,
+    // one rollback, one LR backoff. The checkpoint failures are absorbed
+    // below the watchdog and count nothing.
+    assert_eq!(report.watchdog_trips, 1, "{events:?}");
+    assert_eq!(report.rollbacks, 1);
+    assert_eq!(report.lr_backoffs, 1);
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("watchdog.trips"), Some(1));
+    assert_eq!(snap.counter("watchdog.rollbacks"), Some(1));
+    assert_eq!(snap.counter("watchdog.lr_backoffs"), Some(1));
+
+    // All three epochs completed and every checkpoint landed despite the
+    // two injected write failures (default retry budget is three).
+    assert_eq!(report.epoch_losses.len(), 3);
+    assert!(report.epoch_losses.iter().all(|l| l.is_finite()), "{:?}", report.epoch_losses);
+    assert_eq!(snap.counter("train.checkpoint.writes"), Some(3));
+    assert!(dir.join("ckpt-00002.json").exists());
+
+    // Final weights are finite and land in the same loss regime as the
+    // clean run (the retried epoch trains at a backed-off LR, so exact
+    // equality is not expected).
+    let weights = ParamStore::from_json(&faulted.weights_to_json()).unwrap();
+    assert!(weights.all_finite(), "recovered SEM weights must be finite");
+    let clean_last = *clean_report.epoch_losses.last().unwrap();
+    let last = *report.epoch_losses.last().unwrap();
+    assert!(last.is_finite() && last < report.epoch_losses[0] * 2.0 + 1.0);
+    assert!(last < clean_last * 10.0 + 0.5, "clean {clean_last} vs recovered {last}");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Recovery events surface through the real model's `train_with` callback
+/// in trip-then-rollback order.
+#[test]
+fn sem_recovery_events_stream_in_order() {
+    let (corpus, pipe, labels) = fixture();
+    let scorer = RuleScorer::new(&corpus, &pipe.vocab, &pipe.embeddings, &pipe.encoder, &labels);
+
+    let mut model = SemModel::new(sem_config(2));
+    let opts = RunOptions {
+        watchdog: Some(WatchdogConfig::default()),
+        fault: TrainFaultPlan::none().with_nan_loss_at(0),
+        ..Default::default()
+    };
+    let mut kinds = Vec::new();
+    model
+        .train_with(&pipe, &corpus, &scorer, &labels, &opts, &mut |e| {
+            kinds.push(match e {
+                TrainEvent::WatchdogTrip { .. } => "trip",
+                TrainEvent::RolledBack { .. } => "rollback",
+                TrainEvent::Epoch { .. } => "epoch",
+                TrainEvent::LrBackoff { .. } => "backoff",
+                TrainEvent::Resumed { .. } => "resumed",
+                TrainEvent::Checkpoint { .. } => "checkpoint",
+            });
+        })
+        .unwrap();
+    assert_eq!(kinds, vec!["trip", "rollback", "epoch", "epoch"], "trip precedes rollback");
+}
+
+/// An armed watchdog that never trips must not change the real model's
+/// training: bit-identical weights to the watchdog-off run.
+#[test]
+fn sem_watchdog_off_and_silent_watchdog_agree_bitwise() {
+    let (corpus, pipe, labels) = fixture();
+    let scorer = RuleScorer::new(&corpus, &pipe.vocab, &pipe.embeddings, &pipe.encoder, &labels);
+
+    let mut off = SemModel::new(sem_config(2));
+    off.train_with(&pipe, &corpus, &scorer, &labels, &RunOptions::default(), &mut |_| {}).unwrap();
+
+    let mut on = SemModel::new(sem_config(2));
+    let opts = RunOptions { watchdog: Some(WatchdogConfig::default()), ..Default::default() };
+    let report = on.train_with(&pipe, &corpus, &scorer, &labels, &opts, &mut |_| {}).unwrap();
+
+    assert_eq!(report.watchdog_trips, 0);
+    assert_eq!(off.weights_to_json(), on.weights_to_json());
+}

@@ -133,6 +133,14 @@ pub struct AdamState {
     pub v: Vec<Vec<f32>>,
 }
 
+impl AdamState {
+    /// True when every moment estimate is finite. Checkpoint validation
+    /// rejects states that fail this rather than resuming from garbage.
+    pub fn all_finite(&self) -> bool {
+        self.m.iter().chain(self.v.iter()).all(|vs| vs.iter().all(|x| x.is_finite()))
+    }
+}
+
 impl Optimizer for Adam {
     fn step(&mut self, store: &mut ParamStore, grads: &Gradients) {
         self.ensure_state(store);

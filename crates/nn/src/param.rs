@@ -126,6 +126,59 @@ impl ParamStore {
         Ok(store)
     }
 
+    /// Name of the first parameter holding a NaN or ±Inf value, if any.
+    ///
+    /// The training watchdog scans with this after every optimizer step;
+    /// returning the *name* (not just a flag) lets recovery events say
+    /// which tensor blew up.
+    pub fn first_non_finite(&self) -> Option<&str> {
+        self.params
+            .iter()
+            .find(|p| p.value.data().iter().any(|v| !v.is_finite()))
+            .map(|p| p.name.as_str())
+    }
+
+    /// True when every scalar weight is finite (no NaN/Inf anywhere).
+    pub fn all_finite(&self) -> bool {
+        self.first_non_finite().is_none()
+    }
+
+    /// Like [`ParamStore::first_non_finite`], restricted to parameters the
+    /// given gradients touch. After an optimizer step only those can have
+    /// changed, so this is the cheap per-step scan — cost proportional to
+    /// the step's update, not the whole model.
+    pub fn first_non_finite_updated(&self, grads: &Gradients) -> Option<&str> {
+        self.params
+            .iter()
+            .zip(&grads.by_param)
+            .filter(|(_, g)| g.is_some())
+            .find(|(p, _)| p.value.data().iter().any(|v| !v.is_finite()))
+            .map(|(p, _)| p.name.as_str())
+    }
+
+    /// Raw copy of every parameter's values, in registration order.
+    ///
+    /// Much cheaper than a JSON round-trip; pairs with
+    /// [`ParamStore::restore_values`] for in-memory rollback points.
+    pub fn snapshot_values(&self) -> Vec<Vec<f32>> {
+        self.params.iter().map(|p| p.value.data().to_vec()).collect()
+    }
+
+    /// Restores values captured by [`ParamStore::snapshot_values`] from the
+    /// same store (shapes are kept; only the numbers change).
+    ///
+    /// # Panics
+    /// Panics when `values` does not match the store's parameter count or
+    /// any per-parameter length — snapshots are only valid for the store
+    /// that produced them.
+    pub fn restore_values(&mut self, values: &[Vec<f32>]) {
+        assert_eq!(values.len(), self.params.len(), "snapshot/store parameter count mismatch");
+        for (p, vals) in self.params.iter_mut().zip(values) {
+            assert_eq!(vals.len(), p.value.len(), "snapshot length mismatch for {:?}", p.name);
+            p.value = Tensor::from_vec(vals.clone(), p.value.shape());
+        }
+    }
+
     /// Copies every parameter value from `other` into this store, matching
     /// by position and requiring identical names and shapes — the two
     /// stores must describe the same architecture. Used to restore trained
@@ -215,6 +268,24 @@ impl Gradients {
     /// Gradient for one parameter, if it flowed.
     pub fn get(&self, id: ParamId) -> Option<&Tensor> {
         self.by_param.get(id.0).and_then(|g| g.as_ref())
+    }
+
+    /// True when every gradient value is finite (no NaN/Inf anywhere).
+    ///
+    /// Stricter than checking `norm().is_finite()`: large-but-finite
+    /// gradients can overflow the squared norm to Inf while every value
+    /// here still reads as finite.
+    pub fn all_finite(&self) -> bool {
+        self.by_param.iter().flatten().all(|g| g.data().iter().all(|v| v.is_finite()))
+    }
+
+    /// Multiplies every gradient value by `factor` in place. Used by
+    /// deterministic fault injection to manufacture gradient spikes.
+    pub fn scale(&mut self, factor: f32) {
+        for g in self.by_param.iter_mut().flatten() {
+            let scaled: Vec<f32> = g.data().iter().map(|v| v * factor).collect();
+            *g = Tensor::from_vec(scaled, g.shape());
+        }
     }
 
     /// Global L2 norm over all gradients (used for clipping diagnostics).
@@ -406,6 +477,85 @@ mod tests {
         acc.add_assign(&grads_for(3.0, true));
         assert_eq!(acc.get(a).unwrap().data(), &[5.0, 5.0]);
         assert_eq!(acc.get(b).unwrap().item(), 1.0);
+    }
+
+    #[test]
+    fn finite_scans_catch_nan_and_inf() {
+        let mut s = ParamStore::new();
+        s.add("ok", Tensor::vector(&[1.0, -2.0]));
+        let bad = s.add("bad", Tensor::vector(&[0.0, 0.0]));
+        assert!(s.all_finite());
+        assert_eq!(s.first_non_finite(), None);
+        s.set(bad, Tensor::vector(&[0.0, f32::NAN]));
+        assert!(!s.all_finite());
+        assert_eq!(s.first_non_finite(), Some("bad"));
+        s.set(bad, Tensor::vector(&[f32::INFINITY, 0.0]));
+        assert_eq!(s.first_non_finite(), Some("bad"));
+    }
+
+    #[test]
+    fn updated_scan_only_sees_touched_params() {
+        use crate::Session;
+        let mut s = ParamStore::new();
+        let ok = s.add("ok", Tensor::vector(&[1.0, -2.0]));
+        let bad = s.add("bad", Tensor::vector(&[0.0, 0.0]));
+        let (touch_ok, touch_bad) = {
+            let grads_touching = |id: ParamId| {
+                let mut sess = Session::new(&s);
+                let w = sess.param(id);
+                let loss = sess.tape.sum(w);
+                sess.tape.backward(loss);
+                sess.grads()
+            };
+            (grads_touching(ok), grads_touching(bad))
+        };
+        s.set(bad, Tensor::vector(&[0.0, f32::NAN]));
+        // Gradients touching only the healthy param: the poisoned one is
+        // out of scope for the per-step scan.
+        assert_eq!(s.first_non_finite_updated(&touch_ok), None);
+        assert_eq!(s.first_non_finite_updated(&touch_bad), Some("bad"));
+        // The full scan still catches it regardless.
+        assert_eq!(s.first_non_finite(), Some("bad"));
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrips_values() {
+        let mut s = ParamStore::new();
+        let w = s.add("w", Tensor::matrix(2, 2, &[1.0, 2.0, 3.0, 4.0]));
+        let b = s.add("b", Tensor::scalar(0.5));
+        let snap = s.snapshot_values();
+        s.set(w, Tensor::matrix(2, 2, &[9.0, 9.0, 9.0, 9.0]));
+        s.set(b, Tensor::scalar(-1.0));
+        s.restore_values(&snap);
+        assert_eq!(s.get(w).data(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.get(b).item(), 0.5);
+        assert_eq!(s.get(w).shape(), Shape::Matrix(2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter count mismatch")]
+    fn restore_rejects_foreign_snapshot() {
+        let mut s = ParamStore::new();
+        s.add("w", Tensor::scalar(1.0));
+        s.restore_values(&[vec![1.0], vec![2.0]]);
+    }
+
+    #[test]
+    fn gradient_finite_scan_and_scale() {
+        let mut store = ParamStore::new();
+        let a = store.add("a", Tensor::vector(&[2.0, 2.0]));
+        let mut g = {
+            let mut s = Session::new(&store);
+            let w = s.param(a);
+            let loss = s.tape.sum(w);
+            s.tape.backward(loss);
+            s.grads()
+        };
+        assert!(g.all_finite());
+        g.scale(3.0);
+        assert_eq!(g.get(a).unwrap().data(), &[3.0, 3.0]);
+        g.scale(f32::NAN);
+        assert!(!g.all_finite());
     }
 
     #[test]

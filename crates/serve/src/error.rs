@@ -107,6 +107,17 @@ impl ServeError {
     pub fn is_injected(&self) -> bool {
         matches!(self, ServeError::InjectedCrash(_))
     }
+
+    /// `true` when this is transient I/O worth retrying (classification
+    /// shared with the training runtime via [`sem_train::retry`]).
+    /// Injected crashes are never retryable — they model a dead machine,
+    /// not a hiccup.
+    pub fn is_retryable_io(&self) -> bool {
+        match self {
+            ServeError::Io { source, .. } => sem_train::retry::io_retryable(source.kind()),
+            _ => false,
+        }
+    }
 }
 
 #[cfg(test)]

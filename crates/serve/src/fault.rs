@@ -66,7 +66,13 @@ pub struct FaultPlan {
     pub crash_after_append: Option<usize>,
     /// Die once the unflushed journal buffer holds this many records.
     pub crash_with_buffered: Option<usize>,
+    /// Fail this many journal-flush attempts with a *transient* (retryable)
+    /// I/O error before letting writes through. Unlike the crash triggers,
+    /// transient failures do not poison the store — they model an
+    /// interrupted syscall the retry layer is expected to absorb.
+    pub transient_flush_failures: usize,
     appends_seen: Cell<usize>,
+    flush_failures_used: Cell<usize>,
 }
 
 impl FaultPlan {
@@ -95,6 +101,11 @@ impl FaultPlan {
         FaultPlan { crash_with_buffered: Some(n), ..Default::default() }
     }
 
+    /// Fail the next `n` journal-flush attempts transiently (retryably).
+    pub fn transient_flush(n: usize) -> Self {
+        FaultPlan { transient_flush_failures: n, ..Default::default() }
+    }
+
     /// How many bytes of a `total`-byte snapshot write survive, when the
     /// torn-write fault is armed.
     pub(crate) fn torn_write_survives(&self, total: usize) -> Option<usize> {
@@ -116,6 +127,19 @@ impl FaultPlan {
     pub(crate) fn on_buffered(&self, buffered: usize) -> Result<(), ServeError> {
         if self.crash_with_buffered == Some(buffered) {
             return Err(ServeError::InjectedCrash(CrashPoint::UnflushedJournalBuffer.name()));
+        }
+        Ok(())
+    }
+
+    /// Called once per journal-flush attempt; consumes one scheduled
+    /// transient failure if any remain.
+    pub(crate) fn on_flush_attempt(&self) -> std::io::Result<()> {
+        if self.flush_failures_used.get() < self.transient_flush_failures {
+            self.flush_failures_used.set(self.flush_failures_used.get() + 1);
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Interrupted,
+                "injected transient journal-flush failure",
+            ));
         }
         Ok(())
     }
@@ -170,6 +194,16 @@ mod tests {
         assert!(p.on_append().unwrap_err().is_injected());
         // the counter has moved past the trigger
         assert!(p.on_append().is_ok());
+    }
+
+    #[test]
+    fn transient_flush_failures_are_bounded_and_retryable() {
+        let p = FaultPlan::transient_flush(2);
+        let e = p.on_flush_attempt().unwrap_err();
+        assert!(sem_train::retry::io_retryable(e.kind()));
+        assert!(p.on_flush_attempt().is_err());
+        assert!(p.on_flush_attempt().is_ok());
+        assert!(p.on_flush_attempt().is_ok());
     }
 
     #[test]

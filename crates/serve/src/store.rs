@@ -29,7 +29,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use sem_obs::{Counter, Histogram, Registry};
-use sem_train::atomic::{fsync_parent_dir, tmp_path, write_atomic};
+use sem_train::atomic::{fsync_parent_dir, tmp_path, write_atomic_retry};
+use sem_train::retry::{retry, RetryPolicy};
 use serde::{Deserialize, Serialize};
 
 use crate::error::ServeError;
@@ -211,6 +212,7 @@ pub struct IndexStore {
     buffered: usize,
     plan: FaultPlan,
     crashed: bool,
+    retry: RetryPolicy,
     metrics: Option<StoreMetrics>,
 }
 
@@ -227,6 +229,7 @@ impl IndexStore {
             buffered: 0,
             plan: FaultPlan::none(),
             crashed: false,
+            retry: RetryPolicy::default(),
             metrics: None,
         }
     }
@@ -251,6 +254,13 @@ impl IndexStore {
     /// Arms a [`FaultPlan`] (tests only; the default plan never fires).
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.plan = plan;
+        self
+    }
+
+    /// Overrides the retry policy snapshot writes and journal flushes use
+    /// for transient I/O errors (default: [`RetryPolicy::default`]).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 
@@ -294,7 +304,7 @@ impl IndexStore {
             self.crashed = true;
             return Err(ServeError::InjectedCrash(CrashPoint::SnapshotTempWrite.name()));
         }
-        write_atomic(&self.snapshot_path, &bytes)
+        write_atomic_retry(&self.snapshot_path, &bytes, &self.retry)
             .map_err(|e| ServeError::io(&self.snapshot_path, e))?;
         if self.plan.crash_before_journal_truncate {
             self.crashed = true;
@@ -371,17 +381,33 @@ impl IndexStore {
         if self.buffer.is_empty() {
             return Ok(());
         }
-        let mut f = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&self.journal_path)
-            .map_err(|e| ServeError::io(&self.journal_path, e))?;
-        f.write_all(&self.buffer).map_err(|e| ServeError::io(&self.journal_path, e))?;
-        let t0 = Instant::now();
-        f.sync_all().map_err(|e| ServeError::io(&self.journal_path, e))?;
+        let path = &self.journal_path;
+        let plan = &self.plan;
+        let buffer = &self.buffer;
+        // Journal length before this flush. A failed attempt may have
+        // appended a partial frame; each retry truncates back to this
+        // length first, so retries can never leave garbage mid-journal
+        // (and a re-appended full batch stays replay-idempotent).
+        let start_len = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        let fsync_ns = retry(&self.retry, ServeError::is_retryable_io, |_attempt| {
+            plan.on_flush_attempt().map_err(|e| ServeError::io(path, e))?;
+            let mut f = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .map_err(|e| ServeError::io(path, e))?;
+            let len = f.metadata().map_err(|e| ServeError::io(path, e))?.len();
+            if len > start_len {
+                f.set_len(start_len).map_err(|e| ServeError::io(path, e))?;
+            }
+            f.write_all(buffer).map_err(|e| ServeError::io(path, e))?;
+            let t0 = Instant::now();
+            f.sync_all().map_err(|e| ServeError::io(path, e))?;
+            Ok(t0.elapsed().as_nanos() as u64)
+        })?;
         if let Some(m) = &self.metrics {
             m.journal_flushes.inc();
-            m.fsync_ns.record(t0.elapsed().as_nanos() as u64);
+            m.fsync_ns.record(fsync_ns);
         }
         self.buffer.clear();
         self.buffered = 0;
@@ -766,6 +792,49 @@ mod tests {
         store.sync().unwrap();
         let rec = IndexStore::open(&snap).load().unwrap();
         assert_eq!(rec.index.len(), 44);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn transient_flush_failures_are_absorbed_by_retry() {
+        let dir = tmp_dir("transient-flush");
+        let snap = dir.join("index.bin");
+        let idx = AnnIndex::build(random_vectors(30, 4, 10), IndexConfig::default());
+        let policy = RetryPolicy { base_delay_ms: 0, ..RetryPolicy::with_attempts(3) };
+        let mut store = IndexStore::open(&snap)
+            .with_fault_plan(FaultPlan::transient_flush(2))
+            .with_retry(policy);
+        store.save_snapshot(&idx).unwrap();
+        // Two injected transient failures fit inside the three-attempt
+        // budget: the append still acknowledges durable.
+        let v = random_vectors(1, 4, 11).pop().unwrap();
+        assert_eq!(store.append_journal(30, &v).unwrap(), Durability::Synced);
+        let rec = IndexStore::open(&snap).load().unwrap();
+        assert_eq!(rec.replayed, 1);
+        assert_eq!(rec.index.len(), 31);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn exhausted_flush_retries_fail_without_poisoning_the_store() {
+        let dir = tmp_dir("flush-exhausted");
+        let snap = dir.join("index.bin");
+        let idx = AnnIndex::build(random_vectors(30, 4, 12), IndexConfig::default());
+        let policy = RetryPolicy { base_delay_ms: 0, ..RetryPolicy::with_attempts(2) };
+        let mut store = IndexStore::open(&snap)
+            .with_fault_plan(FaultPlan::transient_flush(3))
+            .with_retry(policy);
+        store.save_snapshot(&idx).unwrap();
+        let v = random_vectors(1, 4, 13).pop().unwrap();
+        let err = store.append_journal(30, &v).unwrap_err();
+        assert!(!err.is_injected(), "transient exhaustion is an Io error, not a crash");
+        assert!(err.is_retryable_io());
+        // Unlike a crash fault, a transient failure does not poison the
+        // store: the record is still buffered and the next sync (third
+        // injected failure consumed, budget refreshed) lands it.
+        store.sync().unwrap();
+        let rec = IndexStore::open(&snap).load().unwrap();
+        assert_eq!(rec.index.len(), 31);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -13,6 +13,8 @@ use std::fs::File;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 
+use crate::retry::{io_retryable, retry, RetryPolicy};
+
 /// Atomically replaces the file at `path` with `bytes`.
 ///
 /// The temporary file is `<path>.tmp` in the same directory (renames are
@@ -32,6 +34,20 @@ pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
     std::fs::rename(&tmp, path)?;
     fsync_parent_dir(path);
     Ok(())
+}
+
+/// [`write_atomic`] with transient errors retried under `policy`.
+///
+/// Each attempt is a full, independent atomic write (the temp file is
+/// recreated from scratch), so a retried attempt can never expose a torn
+/// target. Fatal errors — a missing parent directory, permissions — are
+/// returned immediately; see [`crate::retry::io_retryable`].
+///
+/// # Errors
+/// The last attempt's error once the retry budget is exhausted, or the
+/// first fatal error.
+pub fn write_atomic_retry(path: &Path, bytes: &[u8], policy: &RetryPolicy) -> io::Result<()> {
+    retry(policy, |e: &io::Error| io_retryable(e.kind()), |_| write_atomic(path, bytes))
 }
 
 /// The sibling temp path `<path>.tmp` used by [`write_atomic`].
@@ -76,5 +92,21 @@ mod tests {
     fn write_atomic_errors_on_missing_parent() {
         let target = std::env::temp_dir().join("sem-train-no-such-dir").join("x.json");
         assert!(write_atomic(&target, b"x").is_err());
+    }
+
+    #[test]
+    fn write_atomic_retry_does_not_loop_on_fatal_errors() {
+        // A missing parent is NotFound — fatal, so the retry wrapper must
+        // return promptly instead of sleeping through its budget.
+        let target = std::env::temp_dir().join("sem-train-no-such-dir").join("x.json");
+        let policy = RetryPolicy { base_delay_ms: 0, ..RetryPolicy::with_attempts(5) };
+        assert!(write_atomic_retry(&target, b"x", &policy).is_err());
+        // And a clean write still succeeds through the wrapper.
+        let dir = std::env::temp_dir().join("sem-train-atomic-retry-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ok = dir.join("data.json");
+        write_atomic_retry(&ok, b"payload", &policy).unwrap();
+        assert_eq!(std::fs::read(&ok).unwrap(), b"payload");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -68,7 +68,8 @@ impl Checkpoint {
     pub fn save(&self, dir: &Path) -> Result<PathBuf, TrainError> {
         std::fs::create_dir_all(dir).map_err(|e| TrainError::io(dir, e))?;
         let path = dir.join(Self::file_name(self.epoch));
-        let json = serde_json::to_string(self).expect("checkpoint serialization cannot fail");
+        let json = serde_json::to_string(self)
+            .map_err(|e| TrainError::Serialize { detail: e.to_string() })?;
         write_atomic(&path, json.as_bytes()).map_err(|e| TrainError::io(&path, e))?;
         Ok(path)
     }
@@ -109,9 +110,21 @@ impl Checkpoint {
     }
 }
 
-/// Checks that Adam moment vectors line up with the store's parameters.
+/// Checks that Adam moment vectors line up with the store's parameters
+/// and hold only finite values. Adam lazily allocates moments, so a state
+/// with `t == 0` and no moments is valid; any state that has taken steps
+/// must cover every parameter — a shorter list means the file was
+/// truncated or hand-edited, and resuming from it would silently zero
+/// part of the optimizer's memory.
 fn validate_moments(state: &AdamState, store: &ParamStore) -> Result<(), String> {
-    if state.m.len() != state.v.len() || state.m.len() > store.len() {
+    if state.m.len() != state.v.len() {
+        return Err(format!(
+            "optimizer moment lists disagree: {} first vs {} second",
+            state.m.len(),
+            state.v.len()
+        ));
+    }
+    if !(state.t == 0 && state.m.is_empty()) && state.m.len() != store.len() {
         return Err(format!(
             "optimizer state covers {} params, model has {}",
             state.m.len(),
@@ -123,6 +136,9 @@ fn validate_moments(state: &AdamState, store: &ParamStore) -> Result<(), String>
         if state.m[i].len() != n || state.v[i].len() != n {
             return Err(format!("optimizer moment size mismatch at param {i}"));
         }
+    }
+    if !state.all_finite() {
+        return Err("non-finite optimizer moment".to_string());
     }
     Ok(())
 }

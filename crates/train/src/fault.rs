@@ -1,0 +1,126 @@
+//! Deterministic fault injection for the training runtime, mirroring
+//! sem-serve's `FaultPlan`.
+//!
+//! A [`TrainFaultPlan`] rides inside [`crate::TrainerConfig`] and lets
+//! tests (and the CI smoke job) manufacture the exact failures the
+//! watchdog and retry layers exist to absorb: a NaN loss at a chosen
+//! step, a gradient spike at a chosen step, and a bounded number of
+//! transient checkpoint-write failures. Injection points are keyed by the
+//! *global* optimizer-step index — a counter over every step attempted in
+//! the process, including steps of retried epochs — so each fault fires
+//! exactly once and a rolled-back epoch does not re-trip on the same
+//! injection. The default plan injects nothing and costs two `Vec`
+//! emptiness checks per step.
+
+use std::cell::Cell;
+use std::io;
+
+/// Deterministic failure schedule for one training run. The default
+/// (empty) plan injects nothing.
+#[derive(Clone, Debug, Default)]
+pub struct TrainFaultPlan {
+    /// Replace the reduced step loss with NaN at these global step indices.
+    pub nan_loss_steps: Vec<usize>,
+    /// Multiply the reduced gradients by the factor at these global step
+    /// indices, manufacturing a spike (or, with a non-finite factor,
+    /// corrupt gradients).
+    pub grad_spikes: Vec<(usize, f32)>,
+    /// Fail this many checkpoint-write attempts with a transient
+    /// (retryable) I/O error before letting writes through.
+    pub checkpoint_write_failures: usize,
+    ckpt_failures_used: Cell<usize>,
+}
+
+impl TrainFaultPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> Self {
+        TrainFaultPlan::default()
+    }
+
+    /// True when the plan injects nothing at all.
+    pub fn is_none(&self) -> bool {
+        self.nan_loss_steps.is_empty()
+            && self.grad_spikes.is_empty()
+            && self.checkpoint_write_failures == 0
+    }
+
+    /// Adds a NaN-loss injection at global step `step`.
+    pub fn with_nan_loss_at(mut self, step: usize) -> Self {
+        self.nan_loss_steps.push(step);
+        self
+    }
+
+    /// Adds a gradient-spike injection (multiply by `factor`) at global
+    /// step `step`.
+    pub fn with_grad_spike_at(mut self, step: usize, factor: f32) -> Self {
+        self.grad_spikes.push((step, factor));
+        self
+    }
+
+    /// Makes the next `n` checkpoint-write attempts fail transiently.
+    pub fn with_checkpoint_write_failures(mut self, n: usize) -> Self {
+        self.checkpoint_write_failures = n;
+        self
+    }
+
+    /// Whether the reduced loss of global step `step` should become NaN.
+    pub(crate) fn nan_loss_fires(&self, step: usize) -> bool {
+        self.nan_loss_steps.contains(&step)
+    }
+
+    /// The gradient-spike factor for global step `step`, if scheduled.
+    pub(crate) fn grad_spike_fires(&self, step: usize) -> Option<f32> {
+        self.grad_spikes.iter().find(|(s, _)| *s == step).map(|(_, f)| *f)
+    }
+
+    /// Called once per checkpoint-write attempt; consumes one scheduled
+    /// transient failure if any remain.
+    pub(crate) fn on_checkpoint_write(&self) -> io::Result<()> {
+        if self.ckpt_failures_used.get() < self.checkpoint_write_failures {
+            self.ckpt_failures_used.set(self.ckpt_failures_used.get() + 1);
+            return Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                "injected transient checkpoint-write failure",
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let plan = TrainFaultPlan::none();
+        assert!(plan.is_none());
+        assert!(!plan.nan_loss_fires(0));
+        assert!(plan.grad_spike_fires(0).is_none());
+        assert!(plan.on_checkpoint_write().is_ok());
+    }
+
+    #[test]
+    fn scheduled_faults_fire_at_their_steps() {
+        let plan = TrainFaultPlan::none()
+            .with_nan_loss_at(3)
+            .with_grad_spike_at(5, 1e6)
+            .with_checkpoint_write_failures(2);
+        assert!(!plan.is_none());
+        assert!(plan.nan_loss_fires(3) && !plan.nan_loss_fires(4));
+        assert_eq!(plan.grad_spike_fires(5), Some(1e6));
+        assert_eq!(plan.grad_spike_fires(6), None);
+        // Exactly two transient failures, then clean.
+        assert!(plan.on_checkpoint_write().is_err());
+        assert!(plan.on_checkpoint_write().is_err());
+        assert!(plan.on_checkpoint_write().is_ok());
+        assert!(plan.on_checkpoint_write().is_ok());
+    }
+
+    #[test]
+    fn injected_errors_are_classified_transient() {
+        let plan = TrainFaultPlan::none().with_checkpoint_write_failures(1);
+        let err = plan.on_checkpoint_write().unwrap_err();
+        assert!(crate::retry::io_retryable(err.kind()));
+    }
+}

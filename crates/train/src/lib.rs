@@ -28,21 +28,40 @@
 //! Checkpoints carry the model weights, the Adam moments and the loss
 //! history, and are written with the atomic temp-file + fsync + rename
 //! writer in [`atomic`].
+//!
+//! ## Robustness
+//!
+//! An optional [`Watchdog`] inspects every optimizer step for numeric
+//! anomalies (non-finite or spiking loss/gradients, corrupted
+//! parameters, loss plateaus). On a trip the trainer rolls the model and
+//! optimizer back to the epoch-start state, backs the learning rate off
+//! with a bounded exponential schedule, retries the epoch under a
+//! re-derived RNG so the poisoned batch order is skipped, and gives up
+//! with [`TrainError::Diverged`] after a configurable strike budget.
+//! Checkpoint writes go through the shared deterministic [`retry`]
+//! layer, and a [`TrainFaultPlan`] injects NaN losses, gradient spikes
+//! and transient write failures so all of this is tested end to end.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod atomic;
 mod checkpoint;
+mod fault;
+pub mod retry;
 mod trainer;
+mod watchdog;
 
 use std::fmt;
 use std::path::PathBuf;
 
 pub use checkpoint::{latest_valid, Checkpoint};
+pub use fault::TrainFaultPlan;
+pub use retry::RetryPolicy;
 pub use trainer::{
     derive_seed, BatchCtx, RunOptions, TrainEvent, TrainRun, Trainable, Trainer, TrainerConfig,
 };
+pub use watchdog::{Anomaly, Watchdog, WatchdogConfig};
 
 /// Failures of the training runtime itself (model math never fails; only
 /// checkpoint I/O and corrupt resume state can).
@@ -62,11 +81,38 @@ pub enum TrainError {
         /// Human-readable reason.
         detail: String,
     },
+    /// Checkpoint serialization failed — a bug in the payload types, not
+    /// an environmental condition, hence typed rather than a panic.
+    Serialize {
+        /// Human-readable reason from the serializer.
+        detail: String,
+    },
+    /// The watchdog exhausted its rollback budget: training kept hitting
+    /// numeric anomalies after every recovery attempt.
+    Diverged {
+        /// Epoch whose last recovery attempt failed (0-based).
+        epoch: usize,
+        /// Recovery attempts consumed (equals the configured budget + 1).
+        strikes: usize,
+        /// The final anomaly, rendered.
+        detail: String,
+    },
 }
 
 impl TrainError {
     pub(crate) fn io(path: &std::path::Path, source: std::io::Error) -> Self {
         TrainError::Io { path: path.to_path_buf(), source }
+    }
+
+    /// Whether retrying could plausibly clear this error — only transient
+    /// I/O qualifies (see [`retry::io_retryable`]); corruption, bad
+    /// serialization and divergence are stable states of the world.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            TrainError::Io { source, .. } => retry::io_retryable(source.kind()),
+            TrainError::Corrupt { .. } | TrainError::Serialize { .. } => false,
+            TrainError::Diverged { .. } => false,
+        }
     }
 }
 
@@ -79,6 +125,15 @@ impl fmt::Display for TrainError {
             TrainError::Corrupt { path, detail } => {
                 write!(f, "unusable checkpoint {}: {detail}", path.display())
             }
+            TrainError::Serialize { detail } => {
+                write!(f, "checkpoint serialization failed: {detail}")
+            }
+            TrainError::Diverged { epoch, strikes, detail } => {
+                write!(
+                    f,
+                    "training diverged at epoch {epoch} after {strikes} recovery attempts: {detail}"
+                )
+            }
         }
     }
 }
@@ -87,7 +142,7 @@ impl std::error::Error for TrainError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             TrainError::Io { source, .. } => Some(source),
-            TrainError::Corrupt { .. } => None,
+            _ => None,
         }
     }
 }

@@ -1,0 +1,212 @@
+//! Deterministic retry with jittered exponential backoff, shared by
+//! checkpoint writes, [`crate::atomic`] and sem-serve's store I/O.
+//!
+//! Transient filesystem errors (an interrupted syscall, a momentarily
+//! busy file) should cost a short sleep, not a training run or an index.
+//! The policy here is deliberately boring: a fixed attempt budget,
+//! exponentially growing delays capped at a maximum, and *deterministic*
+//! jitter — the jitter for attempt `n` is a pure function of the policy
+//! seed and `n` (via [`derive_seed`]), so two runs with the same fault
+//! schedule back off identically and tests can assert exact behaviour.
+//!
+//! Callers classify errors as retryable or fatal via a predicate; see
+//! [`io_retryable`] for the shared `std::io` classification. Fatal errors
+//! (missing files, permission problems, invalid input) short-circuit
+//! immediately — retrying them only hides bugs.
+
+use std::time::Duration;
+
+use crate::trainer::derive_seed;
+
+/// Budget and pacing for a retried operation.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (`1` = no retries).
+    pub max_attempts: usize,
+    /// Delay before the first retry; later retries double it.
+    pub base_delay_ms: u64,
+    /// Upper bound on any single delay.
+    pub max_delay_ms: u64,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 3, base_delay_ms: 5, max_delay_ms: 200, seed: 0x5EED }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (single attempt).
+    pub fn none() -> Self {
+        RetryPolicy { max_attempts: 1, ..RetryPolicy::default() }
+    }
+
+    /// A policy with the given attempt budget and default pacing.
+    pub fn with_attempts(max_attempts: usize) -> Self {
+        RetryPolicy { max_attempts, ..RetryPolicy::default() }
+    }
+
+    /// Delay before retry number `retry` (0-based): exponential growth
+    /// from [`RetryPolicy::base_delay_ms`] capped at
+    /// [`RetryPolicy::max_delay_ms`], with deterministic jitter keeping
+    /// the result in `[delay/2, delay]`.
+    pub fn delay_ms(&self, retry: usize) -> u64 {
+        let exp = self
+            .base_delay_ms
+            .saturating_mul(1u64.checked_shl(retry.min(32) as u32).unwrap_or(u64::MAX))
+            .min(self.max_delay_ms)
+            .max(1);
+        // Jitter is a pure function of (seed, retry): same schedule every
+        // run, decorrelated across retries.
+        let jitter = derive_seed(self.seed, retry) % (exp / 2 + 1);
+        exp - jitter
+    }
+}
+
+/// Runs `op` under `policy`, sleeping between attempts. `is_retryable`
+/// decides whether an error is transient; fatal errors and budget
+/// exhaustion return the last error unchanged. `op` receives the 0-based
+/// attempt index.
+///
+/// # Errors
+/// The final error from `op` once the budget is exhausted or a fatal
+/// (non-retryable) error occurs.
+pub fn retry<T, E>(
+    policy: &RetryPolicy,
+    mut is_retryable: impl FnMut(&E) -> bool,
+    mut op: impl FnMut(usize) -> Result<T, E>,
+) -> Result<T, E> {
+    let budget = policy.max_attempts.max(1);
+    let mut attempt = 0usize;
+    loop {
+        match op(attempt) {
+            Ok(v) => return Ok(v),
+            Err(e) => {
+                if attempt + 1 >= budget || !is_retryable(&e) {
+                    return Err(e);
+                }
+                std::thread::sleep(Duration::from_millis(policy.delay_ms(attempt)));
+                attempt += 1;
+            }
+        }
+    }
+}
+
+/// Shared retryable-vs-fatal classification for `std::io` errors.
+///
+/// Environmental conditions that resolve on their own (interrupted
+/// syscalls, busy resources, timeouts, unclassified OS errors) are
+/// retryable; anything that reflects a caller bug or a stable state of
+/// the world (missing file, bad permissions, invalid input) is fatal.
+pub fn io_retryable(kind: std::io::ErrorKind) -> bool {
+    use std::io::ErrorKind::*;
+    !matches!(
+        kind,
+        NotFound
+            | PermissionDenied
+            | AlreadyExists
+            | InvalidInput
+            | InvalidData
+            | Unsupported
+            | UnexpectedEof
+            | OutOfMemory
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io;
+
+    fn transient() -> io::Error {
+        io::Error::new(io::ErrorKind::Interrupted, "injected transient failure")
+    }
+
+    #[test]
+    fn succeeds_after_transient_failures() {
+        let policy = RetryPolicy { base_delay_ms: 0, ..RetryPolicy::with_attempts(3) };
+        let mut calls = 0usize;
+        let out = retry(
+            &policy,
+            |e: &io::Error| io_retryable(e.kind()),
+            |attempt| {
+                calls += 1;
+                if attempt < 2 {
+                    Err(transient())
+                } else {
+                    Ok(attempt)
+                }
+            },
+        );
+        assert_eq!(out.unwrap(), 2);
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn exhausted_budget_returns_last_error() {
+        let policy = RetryPolicy { base_delay_ms: 0, ..RetryPolicy::with_attempts(3) };
+        let mut calls = 0usize;
+        let out: Result<(), _> = retry(
+            &policy,
+            |e: &io::Error| io_retryable(e.kind()),
+            |_| {
+                calls += 1;
+                Err(transient())
+            },
+        );
+        assert_eq!(out.unwrap_err().kind(), io::ErrorKind::Interrupted);
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn fatal_errors_short_circuit() {
+        let policy = RetryPolicy { base_delay_ms: 0, ..RetryPolicy::with_attempts(5) };
+        let mut calls = 0usize;
+        let out: Result<(), _> = retry(
+            &policy,
+            |e: &io::Error| io_retryable(e.kind()),
+            |_| {
+                calls += 1;
+                Err(io::Error::new(io::ErrorKind::NotFound, "gone"))
+            },
+        );
+        assert_eq!(out.unwrap_err().kind(), io::ErrorKind::NotFound);
+        assert_eq!(calls, 1, "fatal errors must not be retried");
+    }
+
+    #[test]
+    fn delays_grow_are_capped_and_deterministic() {
+        let policy = RetryPolicy { max_attempts: 10, base_delay_ms: 4, max_delay_ms: 50, seed: 42 };
+        let delays: Vec<u64> = (0..8).map(|n| policy.delay_ms(n)).collect();
+        let again: Vec<u64> = (0..8).map(|n| policy.delay_ms(n)).collect();
+        assert_eq!(delays, again, "jitter must be deterministic");
+        for (n, d) in delays.iter().enumerate() {
+            let exp = (4u64 << n).min(50);
+            assert!(
+                *d >= exp / 2 && *d <= exp,
+                "retry {n}: delay {d} outside [{}, {exp}]",
+                exp / 2
+            );
+        }
+        // A different seed produces a different (still bounded) schedule.
+        let other = RetryPolicy { seed: 43, ..policy };
+        assert_ne!(
+            (0..8).map(|n| other.delay_ms(n)).collect::<Vec<_>>(),
+            delays,
+            "seed must steer the jitter"
+        );
+    }
+
+    #[test]
+    fn io_classification_matches_policy() {
+        use std::io::ErrorKind::*;
+        for kind in [Interrupted, WouldBlock, TimedOut, Other] {
+            assert!(io_retryable(kind), "{kind:?} should be retryable");
+        }
+        for kind in [NotFound, PermissionDenied, InvalidInput, InvalidData, UnexpectedEof] {
+            assert!(!io_retryable(kind), "{kind:?} should be fatal");
+        }
+    }
+}

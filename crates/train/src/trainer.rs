@@ -12,6 +12,9 @@ use sem_nn::{Adam, Gradients, Optimizer, ParamStore};
 use sem_obs::{Counter, Gauge, Histogram, Registry};
 
 use crate::checkpoint::{latest_valid, Checkpoint};
+use crate::fault::TrainFaultPlan;
+use crate::retry::{retry, RetryPolicy};
+use crate::watchdog::{Anomaly, Watchdog, WatchdogConfig};
 use crate::TrainError;
 
 /// A model the [`Trainer`] can drive.
@@ -59,7 +62,9 @@ pub trait Trainable {
 /// the current optimizer step.
 #[derive(Clone, Debug)]
 pub struct BatchCtx {
-    /// Epoch index (0-based).
+    /// Schedule key for the epoch: the 0-based epoch index, except when
+    /// the watchdog retries a rolled-back epoch, where it is displaced to
+    /// a fresh value so re-derived seeds skip the poisoned batch order.
     pub epoch: usize,
     /// Optimizer-step index within the epoch (0-based).
     pub step: usize,
@@ -121,6 +126,14 @@ pub struct TrainerConfig {
     pub checkpoint_dir: Option<PathBuf>,
     /// Resume from the latest valid checkpoint in `checkpoint_dir`.
     pub resume: bool,
+    /// Numeric-anomaly watchdog and recovery policy; `None` disables it,
+    /// leaving the run bit-identical to the watchdog-less runtime.
+    pub watchdog: Option<WatchdogConfig>,
+    /// Retry policy for checkpoint writes.
+    pub retry: RetryPolicy,
+    /// Deterministic fault injection (tests and CI smoke only; the
+    /// default plan injects nothing).
+    pub fault: TrainFaultPlan,
 }
 
 impl Default for TrainerConfig {
@@ -136,6 +149,9 @@ impl Default for TrainerConfig {
             checkpoint_every: 0,
             checkpoint_dir: None,
             resume: false,
+            watchdog: None,
+            retry: RetryPolicy::default(),
+            fault: TrainFaultPlan::default(),
         }
     }
 }
@@ -158,6 +174,10 @@ pub struct RunOptions {
     /// gradient norm, checkpoint write time, worker utilization); `None`
     /// disables instrumentation.
     pub metrics: Option<Arc<Registry>>,
+    /// Numeric-anomaly watchdog and recovery policy; `None` disables it.
+    pub watchdog: Option<WatchdogConfig>,
+    /// Deterministic fault injection (tests and CI smoke only).
+    pub fault: TrainFaultPlan,
 }
 
 /// Progress callbacks emitted by [`Trainer::run`].
@@ -192,6 +212,39 @@ pub enum TrainEvent {
         /// Where it was written.
         path: PathBuf,
     },
+    /// The watchdog detected a numeric anomaly; a rollback follows, or
+    /// the run fails with [`TrainError::Diverged`] once the strike budget
+    /// is spent.
+    WatchdogTrip {
+        /// Epoch in which the anomaly appeared (0-based).
+        epoch: usize,
+        /// Optimizer step within the epoch attempt that tripped (0-based).
+        step: usize,
+        /// The anomaly, rendered.
+        detail: String,
+    },
+    /// Model and optimizer were rolled back to the epoch-start recovery
+    /// point; the epoch retries under a re-derived schedule.
+    RolledBack {
+        /// Epoch being retried (0-based).
+        epoch: usize,
+        /// Retry attempt about to run (1-based).
+        attempt: usize,
+        /// Recovery attempts consumed so far across the run.
+        strikes: usize,
+        /// Learning rate the retry will use, after backoff.
+        lr: f32,
+    },
+    /// The learning rate was backed off without a rollback (loss
+    /// plateau).
+    LrBackoff {
+        /// Epoch whose completion triggered the backoff (0-based).
+        epoch: usize,
+        /// Learning rate the next epoch will use.
+        lr: f32,
+        /// Why, rendered (e.g. the plateau anomaly).
+        detail: String,
+    },
 }
 
 /// Summary of a completed [`Trainer::run`].
@@ -204,6 +257,12 @@ pub struct TrainRun {
     pub resumed_from: Option<usize>,
     /// Wall time of the epochs this process actually ran.
     pub wall_ms: u64,
+    /// Watchdog trips over the run (0 when the watchdog is off).
+    pub watchdog_trips: usize,
+    /// Rollbacks executed in response to trips.
+    pub rollbacks: usize,
+    /// Learning-rate backoffs (from rollbacks and plateaus).
+    pub lr_backoffs: usize,
 }
 
 /// Pre-registered handles for everything a training run records. Handles
@@ -220,6 +279,9 @@ struct TrainMetrics {
     grad_norm_milli: Arc<Histogram>,
     utilization: Arc<Gauge>,
     loss: Arc<Gauge>,
+    watchdog_trips: Arc<Counter>,
+    watchdog_rollbacks: Arc<Counter>,
+    watchdog_lr_backoffs: Arc<Counter>,
 }
 
 impl TrainMetrics {
@@ -235,6 +297,9 @@ impl TrainMetrics {
             grad_norm_milli: registry.histogram("train.grad.norm.milli"),
             utilization: registry.gauge("train.worker.utilization"),
             loss: registry.gauge("train.loss"),
+            watchdog_trips: registry.counter("watchdog.trips"),
+            watchdog_rollbacks: registry.counter("watchdog.rollbacks"),
+            watchdog_lr_backoffs: registry.counter("watchdog.lr_backoffs"),
             registry,
         }
     }
@@ -301,98 +366,224 @@ impl Trainer {
         };
         let t_run = Instant::now();
 
+        let mut watchdog = cfg.watchdog.clone().map(Watchdog::new);
+        let mut strikes = 0usize;
+        let mut watchdog_trips = 0usize;
+        let mut rollbacks = 0usize;
+        let mut lr_backoffs = 0usize;
+        // Process-global optimizer-step counter (counts retried epochs
+        // too) — the key deterministic fault injection fires on.
+        let mut global_step = 0usize;
+
         for epoch in first_epoch..cfg.epochs {
-            // Span guard: its drop at the end of this iteration records the
-            // epoch's wall time into `span.train.epoch`.
-            let _epoch_span = self.metrics.as_ref().map(|m| m.registry.span("train.epoch"));
-            opt.lr = cfg.lr * cfg.lr_decay.powi(epoch as i32);
-            let t_epoch = Instant::now();
-            model.begin_epoch(epoch);
-            let items = model.epoch_items();
-            let batch = cfg.batch.max(1);
-            let micro = if cfg.microbatch == 0 { 1 } else { cfg.microbatch };
-
-            let mut loss_sum = 0.0f32;
-            let mut steps = 0usize;
-            let mut at = 0usize;
-            while at < items {
-                let step_end = (at + batch).min(items);
-                let t_step = Instant::now();
-                let ctxs: Vec<BatchCtx> = microbatches(epoch, steps, at..step_end, micro);
-                let (parts, busy_ns) = run_microbatches(model, &ctxs, workers);
-                // Reduce in microbatch index order — the fixed order that
-                // makes the sum worker-count-independent.
-                let mut grads = Gradients::empty();
-                let mut step_loss = 0.0f32;
-                for (l, g) in &parts {
-                    step_loss += *l;
-                    grads.add_assign(g);
+            let mut attempt = 0usize;
+            loop {
+                // Span guard: its drop at the end of this attempt records
+                // the epoch's wall time into `span.train.epoch`.
+                let _epoch_span = self.metrics.as_ref().map(|m| m.registry.span("train.epoch"));
+                opt.lr = cfg.lr * cfg.lr_decay.powi(epoch as i32);
+                if let Some(w) = &watchdog {
+                    opt.lr *= w.lr_scale();
                 }
-                if let Some(m) = &self.metrics {
-                    // Pre-clip global norm; the milli-scaled histogram keeps
-                    // sub-1.0 norms from collapsing into bucket zero.
-                    let norm = grads.norm() as f64;
-                    m.grad_norm.set(norm);
-                    m.grad_norm_milli.record((norm * 1e3) as u64);
-                }
-                opt.step(model.params_mut(), &grads);
-                loss_sum += step_loss;
-                steps += 1;
-                if let Some(m) = &self.metrics {
-                    let wall_ns = t_step.elapsed().as_nanos().max(1) as u64;
-                    m.step_ns.record(wall_ns);
-                    m.steps.inc();
-                    m.items.add((step_end - at) as u64);
-                    // Fraction of the step's worker-lane capacity spent in
-                    // `batch` calls: busy time over lanes x step wall time.
-                    let lanes = workers.min(ctxs.len()).max(1) as f64;
-                    m.utilization.set((busy_ns as f64 / (lanes * wall_ns as f64)).min(1.0));
-                }
-                at = step_end;
-            }
+                let t_epoch = Instant::now();
+                // In-memory recovery point for rollback, captured before
+                // the attempt mutates anything. Watchdog-only: without it
+                // the loop body is exactly the watchdog-less runtime.
+                let recovery = watchdog
+                    .as_ref()
+                    .map(|_| (model.params().snapshot_values(), opt.state(), epoch_losses.len()));
+                let sched_epoch = retry_epoch(epoch, attempt);
+                model.begin_epoch(sched_epoch);
+                let items = model.epoch_items();
+                let batch = cfg.batch.max(1);
+                let micro = if cfg.microbatch == 0 { 1 } else { cfg.microbatch };
 
-            let loss = loss_sum / steps.max(1) as f32;
-            epoch_losses.push(loss);
-            if let Some(m) = &self.metrics {
-                m.epochs.inc();
-                m.loss.set(loss as f64);
-            }
-            let secs = t_epoch.elapsed().as_secs_f64();
-            on_event(&TrainEvent::Epoch {
-                epoch,
-                epochs: cfg.epochs,
-                loss,
-                items,
-                examples_per_sec: items as f64 / secs.max(1e-9),
-                elapsed_ms: t_epoch.elapsed().as_millis() as u64,
-            });
-
-            if let Some(dir) = &cfg.checkpoint_dir {
-                let every = cfg.checkpoint_every.max(1);
-                if (epoch + 1) % every == 0 || epoch + 1 == cfg.epochs {
-                    let ckpt = Checkpoint::capture(
-                        model.name(),
-                        epoch,
-                        &epoch_losses,
-                        model.params(),
-                        &opt,
-                    );
-                    let path = match &self.metrics {
-                        // Nested under the epoch span: `span.train.epoch.checkpoint`.
-                        Some(m) => {
-                            let saved = m.registry.timed("checkpoint", || ckpt.save(dir))?;
-                            m.checkpoints.inc();
-                            saved
+                let mut loss_sum = 0.0f32;
+                let mut steps = 0usize;
+                let mut at = 0usize;
+                let mut tripped: Option<Anomaly> = None;
+                while at < items {
+                    let step_end = (at + batch).min(items);
+                    let t_step = Instant::now();
+                    let ctxs: Vec<BatchCtx> = microbatches(sched_epoch, steps, at..step_end, micro);
+                    let (parts, busy_ns) = run_microbatches(model, &ctxs, workers);
+                    // Reduce in microbatch index order — the fixed order that
+                    // makes the sum worker-count-independent.
+                    let mut grads = Gradients::empty();
+                    let mut step_loss = 0.0f32;
+                    for (l, g) in &parts {
+                        step_loss += *l;
+                        grads.add_assign(g);
+                    }
+                    if cfg.fault.nan_loss_fires(global_step) {
+                        step_loss = f32::NAN;
+                    }
+                    if let Some(factor) = cfg.fault.grad_spike_fires(global_step) {
+                        grads.scale(factor);
+                    }
+                    global_step += 1;
+                    if let Some(w) = &mut watchdog {
+                        if let Some(anomaly) = w.inspect_step(step_loss, &grads) {
+                            tripped = Some(anomaly);
+                            break;
                         }
-                        None => ckpt.save(dir)?,
-                    };
-                    on_event(&TrainEvent::Checkpoint { epoch, path });
+                    }
+                    if let Some(m) = &self.metrics {
+                        // Pre-clip global norm; the milli-scaled histogram keeps
+                        // sub-1.0 norms from collapsing into bucket zero.
+                        let norm = grads.norm() as f64;
+                        m.grad_norm.set(norm);
+                        m.grad_norm_milli.record((norm * 1e3) as u64);
+                    }
+                    opt.step(model.params_mut(), &grads);
+                    if let Some(w) = &watchdog {
+                        if let Some(anomaly) = w.inspect_updated_params(model.params(), &grads) {
+                            tripped = Some(anomaly);
+                            break;
+                        }
+                    }
+                    loss_sum += step_loss;
+                    steps += 1;
+                    if let Some(m) = &self.metrics {
+                        let wall_ns = t_step.elapsed().as_nanos().max(1) as u64;
+                        m.step_ns.record(wall_ns);
+                        m.steps.inc();
+                        m.items.add((step_end - at) as u64);
+                        // Fraction of the step's worker-lane capacity spent in
+                        // `batch` calls: busy time over lanes x step wall time.
+                        let lanes = workers.min(ctxs.len()).max(1) as f64;
+                        m.utilization.set((busy_ns as f64 / (lanes * wall_ns as f64)).min(1.0));
+                    }
+                    at = step_end;
                 }
+
+                if let Some(anomaly) = tripped {
+                    let w = watchdog.as_mut().expect("a trip implies a watchdog");
+                    watchdog_trips += 1;
+                    strikes += 1;
+                    if let Some(m) = &self.metrics {
+                        m.watchdog_trips.inc();
+                    }
+                    on_event(&TrainEvent::WatchdogTrip {
+                        epoch,
+                        step: steps,
+                        detail: anomaly.to_string(),
+                    });
+                    if strikes > w.config().max_rollbacks {
+                        return Err(TrainError::Diverged {
+                            epoch,
+                            strikes,
+                            detail: anomaly.to_string(),
+                        });
+                    }
+                    let (values, opt_state, losses_len) =
+                        recovery.expect("watchdog implies a recovery point");
+                    model.params_mut().restore_values(&values);
+                    opt.restore(opt_state);
+                    epoch_losses.truncate(losses_len);
+                    rollbacks += 1;
+                    if let Some(m) = &self.metrics {
+                        m.watchdog_rollbacks.inc();
+                    }
+                    if w.backoff_lr() {
+                        lr_backoffs += 1;
+                        if let Some(m) = &self.metrics {
+                            m.watchdog_lr_backoffs.inc();
+                        }
+                    }
+                    attempt += 1;
+                    on_event(&TrainEvent::RolledBack {
+                        epoch,
+                        attempt,
+                        strikes,
+                        lr: cfg.lr * cfg.lr_decay.powi(epoch as i32) * w.lr_scale(),
+                    });
+                    continue;
+                }
+
+                let loss = loss_sum / steps.max(1) as f32;
+                epoch_losses.push(loss);
+                if let Some(m) = &self.metrics {
+                    m.epochs.inc();
+                    m.loss.set(loss as f64);
+                }
+                let secs = t_epoch.elapsed().as_secs_f64();
+                on_event(&TrainEvent::Epoch {
+                    epoch,
+                    epochs: cfg.epochs,
+                    loss,
+                    items,
+                    examples_per_sec: items as f64 / secs.max(1e-9),
+                    elapsed_ms: t_epoch.elapsed().as_millis() as u64,
+                });
+                if let Some(w) = &mut watchdog {
+                    if let Some(anomaly) = w.end_epoch(loss) {
+                        if w.backoff_lr() {
+                            lr_backoffs += 1;
+                            if let Some(m) = &self.metrics {
+                                m.watchdog_lr_backoffs.inc();
+                            }
+                            on_event(&TrainEvent::LrBackoff {
+                                epoch,
+                                lr: cfg.lr * cfg.lr_decay.powi(epoch as i32 + 1) * w.lr_scale(),
+                                detail: anomaly.to_string(),
+                            });
+                        }
+                    }
+                }
+                if let Some(dir) = &cfg.checkpoint_dir {
+                    let every = cfg.checkpoint_every.max(1);
+                    if (epoch + 1) % every == 0 || epoch + 1 == cfg.epochs {
+                        let ckpt = Checkpoint::capture(
+                            model.name(),
+                            epoch,
+                            &epoch_losses,
+                            model.params(),
+                            &opt,
+                        );
+                        // Transient write failures (including injected
+                        // ones) are absorbed by the shared retry layer;
+                        // each attempt is an independent atomic write.
+                        let mut save = |_attempt: usize| -> Result<PathBuf, TrainError> {
+                            cfg.fault.on_checkpoint_write().map_err(|e| TrainError::io(dir, e))?;
+                            ckpt.save(dir)
+                        };
+                        let path = match &self.metrics {
+                            // Nested under the epoch span:
+                            // `span.train.epoch.checkpoint`.
+                            Some(m) => {
+                                let saved = m.registry.timed("checkpoint", || {
+                                    retry(&cfg.retry, TrainError::is_retryable, &mut save)
+                                })?;
+                                m.checkpoints.inc();
+                                saved
+                            }
+                            None => retry(&cfg.retry, TrainError::is_retryable, &mut save)?,
+                        };
+                        on_event(&TrainEvent::Checkpoint { epoch, path });
+                    }
+                }
+                break;
             }
         }
 
-        Ok(TrainRun { epoch_losses, resumed_from, wall_ms: t_run.elapsed().as_millis() as u64 })
+        Ok(TrainRun {
+            epoch_losses,
+            resumed_from,
+            wall_ms: t_run.elapsed().as_millis() as u64,
+            watchdog_trips,
+            rollbacks,
+            lr_backoffs,
+        })
     }
+}
+
+/// Schedule key for the `attempt`-th try of `epoch`: identical to `epoch`
+/// on the first attempt (preserving exact-resume semantics), displaced far
+/// outside the real epoch range on watchdog retries so models derive a
+/// fresh batch order and the poisoned schedule is skipped.
+fn retry_epoch(epoch: usize, attempt: usize) -> usize {
+    epoch ^ attempt.wrapping_mul(0x517C_C1B7)
 }
 
 /// Splits one optimizer step's item range into fixed microbatches.

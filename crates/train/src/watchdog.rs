@@ -1,0 +1,425 @@
+//! The training watchdog: step-level numeric anomaly detection plus the
+//! bounded learning-rate backoff that drives recovery.
+//!
+//! The watchdog inspects every optimizer step *before* it is applied —
+//! non-finite loss, non-finite gradients, loss or gradient-norm spikes
+//! against a rolling median — and every parameter *after* it is applied
+//! (NaN/Inf scan). It also watches the per-epoch loss curve for plateaus.
+//! Detection lives here; the recovery policy (rollback to the epoch-start
+//! state, retry with a re-derived RNG, give up after N strikes) lives in
+//! [`crate::Trainer`], which consults the watchdog and applies its
+//! [`Watchdog::lr_scale`] on top of the configured schedule.
+//!
+//! Anomalous samples are *not* folded into the rolling windows, so one
+//! spike does not inflate the median and mask the next one.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use sem_nn::{Gradients, ParamStore};
+
+/// Thresholds and policy knobs for the [`Watchdog`].
+#[derive(Clone, Debug)]
+pub struct WatchdogConfig {
+    /// Rolling-median window over recent step losses / gradient norms.
+    pub window: usize,
+    /// Trip when a step loss exceeds this multiple of the rolling median.
+    pub loss_spike_factor: f32,
+    /// Trip when a gradient norm exceeds this multiple of the rolling
+    /// median (the CLI's `--grad-spike-threshold`).
+    pub grad_spike_factor: f32,
+    /// Scan every parameter for NaN/Inf after each optimizer step.
+    pub scan_params: bool,
+    /// Epochs of stalled loss before backing off the LR; `0` disables
+    /// plateau detection.
+    pub plateau_epochs: usize,
+    /// Minimum relative loss improvement over the plateau window.
+    pub plateau_tol: f32,
+    /// Rollbacks allowed before the run fails with
+    /// [`crate::TrainError::Diverged`].
+    pub max_rollbacks: usize,
+    /// Multiplier applied to the LR scale on each backoff (halving).
+    pub lr_backoff: f32,
+    /// Floor for the LR scale — the "bounded" in bounded exponential
+    /// backoff.
+    pub min_lr_scale: f32,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            window: 8,
+            loss_spike_factor: 10.0,
+            grad_spike_factor: 10.0,
+            scan_params: true,
+            plateau_epochs: 0,
+            plateau_tol: 1e-3,
+            max_rollbacks: 3,
+            lr_backoff: 0.5,
+            min_lr_scale: 1.0 / 64.0,
+        }
+    }
+}
+
+/// What tripped the watchdog.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Anomaly {
+    /// The reduced step loss was NaN or ±Inf.
+    NonFiniteLoss {
+        /// The offending loss value.
+        loss: f32,
+    },
+    /// A gradient value was NaN or ±Inf.
+    NonFiniteGrad,
+    /// The step loss exceeded the spike threshold.
+    LossSpike {
+        /// The offending loss value.
+        loss: f32,
+        /// Rolling median it was compared against.
+        median: f32,
+    },
+    /// The gradient norm exceeded the spike threshold.
+    GradSpike {
+        /// The offending global gradient norm.
+        norm: f32,
+        /// Rolling median it was compared against.
+        median: f32,
+    },
+    /// A parameter held NaN/Inf after the optimizer step.
+    NonFiniteParam {
+        /// Name of the corrupted parameter.
+        name: String,
+    },
+    /// The per-epoch loss stopped improving.
+    LossPlateau {
+        /// Length of the stalled window, in epochs.
+        epochs: usize,
+    },
+}
+
+impl fmt::Display for Anomaly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Anomaly::NonFiniteLoss { loss } => write!(f, "non-finite loss {loss}"),
+            Anomaly::NonFiniteGrad => write!(f, "non-finite gradient"),
+            Anomaly::LossSpike { loss, median } => {
+                write!(f, "loss spike {loss:.4} vs rolling median {median:.4}")
+            }
+            Anomaly::GradSpike { norm, median } => {
+                write!(f, "gradient-norm spike {norm:.4} vs rolling median {median:.4}")
+            }
+            Anomaly::NonFiniteParam { name } => {
+                write!(f, "non-finite values in parameter {name:?}")
+            }
+            Anomaly::LossPlateau { epochs } => write!(f, "loss plateau over {epochs} epochs"),
+        }
+    }
+}
+
+/// Runtime anomaly-detection state. Created per run when
+/// [`crate::TrainerConfig::watchdog`] is set.
+#[derive(Clone, Debug)]
+pub struct Watchdog {
+    cfg: WatchdogConfig,
+    step_losses: VecDeque<f32>,
+    grad_norms: VecDeque<f32>,
+    epoch_losses: VecDeque<f32>,
+    lr_scale: f32,
+}
+
+impl Watchdog {
+    /// A fresh watchdog for one training run.
+    pub fn new(cfg: WatchdogConfig) -> Self {
+        Watchdog {
+            step_losses: VecDeque::with_capacity(cfg.window),
+            grad_norms: VecDeque::with_capacity(cfg.window),
+            epoch_losses: VecDeque::new(),
+            lr_scale: 1.0,
+            cfg,
+        }
+    }
+
+    /// The configuration this watchdog runs under.
+    pub fn config(&self) -> &WatchdogConfig {
+        &self.cfg
+    }
+
+    /// Current multiplier on the scheduled learning rate, in
+    /// `[min_lr_scale, 1.0]`.
+    pub fn lr_scale(&self) -> f32 {
+        self.lr_scale
+    }
+
+    /// Halves the LR scale (by [`WatchdogConfig::lr_backoff`]), bounded
+    /// below by [`WatchdogConfig::min_lr_scale`]. Returns `false` once the
+    /// floor is reached (the backoff is exhausted, not an error).
+    pub fn backoff_lr(&mut self) -> bool {
+        let next = (self.lr_scale * self.cfg.lr_backoff).max(self.cfg.min_lr_scale);
+        let changed = next < self.lr_scale;
+        self.lr_scale = next;
+        changed
+    }
+
+    /// Inspects one reduced optimizer step before it is applied. Healthy
+    /// samples are folded into the rolling windows; anomalous ones are
+    /// reported and discarded.
+    pub fn inspect_step(&mut self, loss: f32, grads: &Gradients) -> Option<Anomaly> {
+        if !loss.is_finite() {
+            return Some(Anomaly::NonFiniteLoss { loss });
+        }
+        // One pass over the gradients: a NaN/Inf value makes the global
+        // norm non-finite (as does a square overflow, which is just as
+        // fatal at the optimizer), so the norm doubles as the finite scan.
+        let norm = grads.norm();
+        if !norm.is_finite() {
+            return Some(Anomaly::NonFiniteGrad);
+        }
+        if self.warm() {
+            let loss_med = median(&self.step_losses);
+            if loss_med > f32::EPSILON && loss > self.cfg.loss_spike_factor * loss_med {
+                return Some(Anomaly::LossSpike { loss, median: loss_med });
+            }
+            let norm_med = median(&self.grad_norms);
+            if norm_med > f32::EPSILON && norm > self.cfg.grad_spike_factor * norm_med {
+                return Some(Anomaly::GradSpike { norm, median: norm_med });
+            }
+        }
+        push_bounded(&mut self.step_losses, loss, self.cfg.window);
+        push_bounded(&mut self.grad_norms, norm, self.cfg.window);
+        None
+    }
+
+    /// Scans the parameter store after an optimizer step was applied.
+    pub fn inspect_params(&self, store: &ParamStore) -> Option<Anomaly> {
+        if !self.cfg.scan_params {
+            return None;
+        }
+        store.first_non_finite().map(|name| Anomaly::NonFiniteParam { name: name.to_string() })
+    }
+
+    /// Per-step variant of [`Watchdog::inspect_params`]: scans only the
+    /// parameters the step's gradients touched — the only ones the
+    /// optimizer could have corrupted — so the cost tracks the update
+    /// size, not the model size.
+    pub fn inspect_updated_params(&self, store: &ParamStore, grads: &Gradients) -> Option<Anomaly> {
+        if !self.cfg.scan_params {
+            return None;
+        }
+        store
+            .first_non_finite_updated(grads)
+            .map(|name| Anomaly::NonFiniteParam { name: name.to_string() })
+    }
+
+    /// Records a completed epoch's mean loss and checks for a plateau:
+    /// the best loss in the window failed to improve on the window's
+    /// oldest loss by [`WatchdogConfig::plateau_tol`] (relative). On a
+    /// plateau the window resets (so backoffs don't re-fire every epoch)
+    /// and the anomaly is returned; the trainer responds with an LR
+    /// backoff, not a rollback.
+    pub fn end_epoch(&mut self, loss: f32) -> Option<Anomaly> {
+        let n = self.cfg.plateau_epochs;
+        if n == 0 {
+            return None;
+        }
+        self.epoch_losses.push_back(loss);
+        if self.epoch_losses.len() <= n {
+            return None;
+        }
+        let oldest = *self.epoch_losses.front().expect("window is non-empty");
+        let best = self.epoch_losses.iter().skip(1).copied().fold(f32::INFINITY, f32::min);
+        let improvement = (oldest - best) / oldest.abs().max(f32::EPSILON);
+        if improvement < self.cfg.plateau_tol {
+            self.epoch_losses.clear();
+            return Some(Anomaly::LossPlateau { epochs: n });
+        }
+        self.epoch_losses.pop_front();
+        None
+    }
+
+    /// True once the rolling windows hold enough healthy samples for
+    /// spike detection (half the window, at least two).
+    fn warm(&self) -> bool {
+        self.step_losses.len() >= (self.cfg.window / 2).max(2)
+    }
+}
+
+fn push_bounded(window: &mut VecDeque<f32>, value: f32, cap: usize) {
+    window.push_back(value);
+    while window.len() > cap.max(1) {
+        window.pop_front();
+    }
+}
+
+/// Median of a small window (copied and sorted; windows are ≤ `window`
+/// elements, so this is cheap relative to a training step).
+fn median(window: &VecDeque<f32>) -> f32 {
+    let mut vals: Vec<f32> = window.iter().copied().collect();
+    if vals.is_empty() {
+        return 0.0;
+    }
+    vals.sort_by(f32::total_cmp);
+    let mid = vals.len() / 2;
+    if vals.len() % 2 == 1 {
+        vals[mid]
+    } else {
+        0.5 * (vals[mid - 1] + vals[mid])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sem_nn::{ParamStore, Session};
+    use sem_tensor::Tensor;
+
+    fn grads_of_norm(n: f32) -> Gradients {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::scalar(0.0));
+        let mut s = Session::new(&store);
+        let w = s.param(id);
+        let scaled = s.tape.scale(w, n);
+        let loss = s.tape.sum(scaled);
+        s.tape.backward(loss);
+        s.grads()
+    }
+
+    fn warm_up(w: &mut Watchdog) {
+        for _ in 0..8 {
+            assert_eq!(w.inspect_step(1.0, &grads_of_norm(1.0)), None);
+        }
+    }
+
+    #[test]
+    fn non_finite_loss_trips_immediately() {
+        let mut w = Watchdog::new(WatchdogConfig::default());
+        assert!(matches!(
+            w.inspect_step(f32::NAN, &grads_of_norm(1.0)),
+            Some(Anomaly::NonFiniteLoss { .. })
+        ));
+        assert!(matches!(
+            w.inspect_step(f32::INFINITY, &grads_of_norm(1.0)),
+            Some(Anomaly::NonFiniteLoss { .. })
+        ));
+    }
+
+    #[test]
+    fn non_finite_grad_trips_immediately() {
+        let mut w = Watchdog::new(WatchdogConfig::default());
+        let mut g = grads_of_norm(1.0);
+        g.scale(f32::NAN);
+        assert_eq!(w.inspect_step(0.5, &g), Some(Anomaly::NonFiniteGrad));
+    }
+
+    #[test]
+    fn spikes_require_a_warm_window() {
+        let mut w = Watchdog::new(WatchdogConfig::default());
+        // First sample is wild but there is no baseline yet: no trip.
+        assert_eq!(w.inspect_step(1e6, &grads_of_norm(1.0)), None);
+        warm_up(&mut w);
+        assert!(matches!(
+            w.inspect_step(1e6, &grads_of_norm(1.0)),
+            Some(Anomaly::LossSpike { .. })
+        ));
+        assert!(matches!(
+            w.inspect_step(1.0, &grads_of_norm(1e6)),
+            Some(Anomaly::GradSpike { .. })
+        ));
+        // The spikes were not folded into the window: normal steps still pass.
+        assert_eq!(w.inspect_step(1.1, &grads_of_norm(1.1)), None);
+    }
+
+    #[test]
+    fn param_scan_names_the_offender() {
+        let w = Watchdog::new(WatchdogConfig::default());
+        let mut store = ParamStore::new();
+        let id = store.add("emb", Tensor::vector(&[1.0, 2.0]));
+        assert_eq!(w.inspect_params(&store), None);
+        store.set(id, Tensor::vector(&[1.0, f32::NAN]));
+        assert_eq!(w.inspect_params(&store), Some(Anomaly::NonFiniteParam { name: "emb".into() }));
+        let off = Watchdog::new(WatchdogConfig { scan_params: false, ..WatchdogConfig::default() });
+        assert_eq!(off.inspect_params(&store), None);
+    }
+
+    #[test]
+    fn per_step_param_scan_is_scoped_to_the_update() {
+        let w = Watchdog::new(WatchdogConfig::default());
+        let mut store = ParamStore::new();
+        let touched = store.add("touched", Tensor::scalar(0.0));
+        let stale = store.add("stale", Tensor::scalar(0.0));
+        let mut s = Session::new(&store);
+        let t = s.param(touched);
+        let loss = s.tape.sum(t);
+        s.tape.backward(loss);
+        let grads = s.grads();
+        // Poison a parameter the step never touched: the scoped scan
+        // ignores it (the full scan is the one that would catch it).
+        store.set(stale, Tensor::scalar(f32::NAN));
+        assert_eq!(w.inspect_updated_params(&store, &grads), None);
+        assert!(w.inspect_params(&store).is_some());
+        store.set(stale, Tensor::scalar(0.0));
+        store.set(touched, Tensor::scalar(f32::INFINITY));
+        assert_eq!(
+            w.inspect_updated_params(&store, &grads),
+            Some(Anomaly::NonFiniteParam { name: "touched".into() })
+        );
+    }
+
+    #[test]
+    fn lr_backoff_is_bounded() {
+        let mut w = Watchdog::new(WatchdogConfig {
+            lr_backoff: 0.5,
+            min_lr_scale: 0.25,
+            ..WatchdogConfig::default()
+        });
+        assert_eq!(w.lr_scale(), 1.0);
+        assert!(w.backoff_lr());
+        assert_eq!(w.lr_scale(), 0.5);
+        assert!(w.backoff_lr());
+        assert_eq!(w.lr_scale(), 0.25);
+        assert!(!w.backoff_lr(), "floor reached: backoff reports exhaustion");
+        assert_eq!(w.lr_scale(), 0.25);
+    }
+
+    #[test]
+    fn plateau_fires_once_then_rearms() {
+        let mut w = Watchdog::new(WatchdogConfig {
+            plateau_epochs: 2,
+            plateau_tol: 1e-2,
+            ..WatchdogConfig::default()
+        });
+        // Improving losses: no plateau.
+        assert_eq!(w.end_epoch(1.0), None);
+        assert_eq!(w.end_epoch(0.8), None);
+        assert_eq!(w.end_epoch(0.6), None);
+        // Stalled: best of [0.599, 0.5989] improves on 0.6 by < 1%.
+        assert_eq!(w.end_epoch(0.599), None);
+        assert_eq!(w.end_epoch(0.5989), Some(Anomaly::LossPlateau { epochs: 2 }));
+        // Window was reset: the next epoch cannot immediately re-fire.
+        assert_eq!(w.end_epoch(0.5989), None);
+    }
+
+    #[test]
+    fn plateau_disabled_by_default() {
+        let mut w = Watchdog::new(WatchdogConfig::default());
+        for _ in 0..50 {
+            assert_eq!(w.end_epoch(1.0), None);
+        }
+    }
+
+    #[test]
+    fn median_handles_even_and_odd_windows() {
+        let mut q = VecDeque::new();
+        q.extend([3.0f32, 1.0, 2.0]);
+        assert_eq!(median(&q), 2.0);
+        q.push_back(4.0);
+        assert_eq!(median(&q), 2.5);
+    }
+
+    #[test]
+    fn anomaly_display_is_stable() {
+        let a = Anomaly::NonFiniteLoss { loss: f32::NAN };
+        assert!(a.to_string().contains("non-finite loss"));
+        let p = Anomaly::LossPlateau { epochs: 3 };
+        assert!(p.to_string().contains("plateau"));
+    }
+}

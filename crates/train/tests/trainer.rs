@@ -237,6 +237,58 @@ fn resume_skips_corrupt_and_foreign_checkpoints() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// Resume must reject checkpoints whose Adam moments are truncated or
+/// non-finite — both are states the optimizer could load without
+/// complaint and then silently train from garbage.
+#[test]
+fn resume_falls_back_when_latest_checkpoint_has_bad_moments() {
+    let dir = tmp_dir("bad-moments");
+    let mut model = LinReg::new(15, 32);
+    let mut cfg = config(3, 8, 2, 1);
+    cfg.checkpoint_dir = Some(dir.clone());
+    train(&mut model, cfg);
+
+    use serde_json::JsonValue;
+    fn field<'a>(v: &'a mut JsonValue, name: &str) -> &'a mut JsonValue {
+        let JsonValue::Obj(fields) = v else { panic!("not an object") };
+        &mut fields.iter_mut().find(|(k, _)| k == name).unwrap().1
+    }
+    fn elems(v: &mut JsonValue) -> &mut Vec<JsonValue> {
+        let JsonValue::Arr(a) = v else { panic!("not an array") };
+        a
+    }
+    let corrupt = |name: &str, edit: &dyn Fn(&mut JsonValue)| {
+        let path = dir.join(name);
+        let mut v = serde_json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        edit(&mut v);
+        std::fs::write(&path, serde_json::to_string(&v).unwrap()).unwrap();
+    };
+
+    // Latest checkpoint: drop one parameter's moment vectors (a truncated
+    // file that still parses as valid JSON).
+    corrupt("ckpt-00002.json", &|v| {
+        let opt = field(v, "optimizer");
+        elems(field(opt, "m")).pop();
+        elems(field(opt, "v")).pop();
+    });
+    // Next-newest: poison one moment value. serde_json cannot round-trip
+    // NaN/Inf, so plant a literal that overflows f32 into +Inf on load.
+    corrupt("ckpt-00001.json", &|v| {
+        let m = field(field(v, "optimizer"), "m");
+        elems(&mut elems(m)[0])[0] = JsonValue::Float(1e39);
+    });
+
+    let mut resumed = LinReg::new(15, 32);
+    let mut cfg = config(4, 8, 2, 1);
+    cfg.checkpoint_dir = Some(dir.clone());
+    cfg.resume = true;
+    let run = train(&mut resumed, cfg);
+    assert_eq!(run.resumed_from, Some(0), "both corrupted checkpoints must be skipped");
+    assert!(resumed.store.all_finite());
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 #[test]
 fn resume_with_no_checkpoints_trains_from_scratch() {
     let dir = tmp_dir("empty");

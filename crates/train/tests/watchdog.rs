@@ -1,0 +1,304 @@
+//! Watchdog recovery guarantees on a synthetic model: injected NaNs and
+//! gradient spikes are rolled back and the run still completes with finite
+//! weights; the strike budget turns persistent poison into a typed
+//! divergence error; transient checkpoint-write failures are absorbed by
+//! the retry layer; and an armed-but-silent watchdog changes no bits.
+
+use std::path::PathBuf;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use sem_nn::{Gradients, ParamId, ParamStore, Session};
+use sem_tensor::Tensor;
+use sem_train::{
+    derive_seed, BatchCtx, RetryPolicy, TrainError, TrainEvent, TrainFaultPlan, Trainable, Trainer,
+    TrainerConfig, WatchdogConfig,
+};
+
+const DIM: usize = 4;
+
+/// Same least-squares harness as `tests/trainer.rs` — milliseconds to
+/// train, every epoch moves every weight.
+struct LinReg {
+    store: ParamStore,
+    w: ParamId,
+    b: ParamId,
+    data: Vec<(Vec<f32>, f32)>,
+    order: Vec<usize>,
+    seed: u64,
+}
+
+impl LinReg {
+    fn new(seed: u64, n: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let true_w: Vec<f32> = (0..DIM).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let data: Vec<(Vec<f32>, f32)> = (0..n)
+            .map(|_| {
+                let x: Vec<f32> = (0..DIM).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                let y: f32 = x.iter().zip(&true_w).map(|(a, b)| a * b).sum::<f32>() + 0.5;
+                (x, y)
+            })
+            .collect();
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::vector(&[0.0; DIM]));
+        let b = store.add("b", Tensor::scalar(0.0));
+        LinReg { store, w, b, data, order: Vec::new(), seed }
+    }
+}
+
+impl Trainable for LinReg {
+    fn name(&self) -> &str {
+        "linreg"
+    }
+
+    fn params(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn params_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    fn begin_epoch(&mut self, epoch: usize) {
+        self.order = (0..self.data.len()).collect();
+        self.order.shuffle(&mut StdRng::seed_from_u64(derive_seed(self.seed, epoch)));
+    }
+
+    fn epoch_items(&self) -> usize {
+        self.data.len()
+    }
+
+    fn batch(&self, ctx: &BatchCtx) -> (f32, Gradients) {
+        let mut s = Session::new(&self.store);
+        let mut acc = None;
+        for i in ctx.range.clone() {
+            let (x, y) = &self.data[self.order[i]];
+            let w = s.param(self.w);
+            let b = s.param(self.b);
+            let xn = s.tape.leaf(Tensor::vector(x));
+            let prod = s.tape.mul(w, xn);
+            let dot = s.tape.sum(prod);
+            let pred = s.tape.add(dot, b);
+            let yn = s.tape.leaf(Tensor::scalar(*y));
+            let d = s.tape.sub(pred, yn);
+            let sq = s.tape.mul(d, d);
+            let term = s.tape.scale(sq, 1.0 / ctx.step_items as f32);
+            acc = Some(match acc {
+                Some(a) => s.tape.add(a, term),
+                None => term,
+            });
+        }
+        let loss = acc.expect("non-empty microbatch");
+        let value = s.tape.value(loss).item();
+        s.tape.backward(loss);
+        (value, s.grads())
+    }
+}
+
+fn config(epochs: usize) -> TrainerConfig {
+    TrainerConfig {
+        epochs,
+        batch: 8,
+        microbatch: 2,
+        workers: 1,
+        lr: 0.05,
+        lr_decay: 0.9,
+        clip: 5.0,
+        ..Default::default()
+    }
+}
+
+fn weights_bits(store: &ParamStore) -> Vec<u32> {
+    store
+        .ids()
+        .flat_map(|id| store.get(id).data().iter().map(|v| v.to_bits()).collect::<Vec<_>>())
+        .collect()
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sem-watchdog-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn injected_nan_rolls_back_and_the_run_recovers() {
+    let mut model = LinReg::new(7, 64);
+    let mut cfg = config(4);
+    cfg.watchdog = Some(WatchdogConfig::default());
+    cfg.fault = TrainFaultPlan::none().with_nan_loss_at(2);
+    let mut events = Vec::new();
+    let run = Trainer::new(cfg).run(&mut model, &mut |e| events.push(format!("{e:?}"))).unwrap();
+
+    // Counters match the injected schedule exactly: one NaN, one trip,
+    // one rollback, one LR backoff — nothing more.
+    assert_eq!(run.watchdog_trips, 1);
+    assert_eq!(run.rollbacks, 1);
+    assert_eq!(run.lr_backoffs, 1);
+    assert_eq!(run.epoch_losses.len(), 4);
+    assert!(run.epoch_losses.iter().all(|l| l.is_finite()), "{:?}", run.epoch_losses);
+    assert!(model.store.all_finite(), "recovered weights must be finite");
+
+    // The trip precedes its rollback in the event stream.
+    let trip = events.iter().position(|e| e.starts_with("WatchdogTrip")).unwrap();
+    let rb = events.iter().position(|e| e.starts_with("RolledBack")).unwrap();
+    assert!(trip < rb, "{events:?}");
+    assert!(events[trip].contains("non-finite loss"), "{}", events[trip]);
+}
+
+#[test]
+fn recovered_run_still_converges() {
+    let mut clean = LinReg::new(21, 64);
+    let clean_run = Trainer::new(config(8)).run(&mut clean, &mut |_| {}).unwrap();
+
+    let mut faulted = LinReg::new(21, 64);
+    let mut cfg = config(8);
+    cfg.watchdog = Some(WatchdogConfig::default());
+    cfg.fault = TrainFaultPlan::none().with_nan_loss_at(3);
+    let run = Trainer::new(cfg).run(&mut faulted, &mut |_| {}).unwrap();
+
+    let clean_last = *clean_run.epoch_losses.last().unwrap();
+    let last = *run.epoch_losses.last().unwrap();
+    assert!(last < run.epoch_losses[0] * 0.5, "faulted run failed to converge: {last}");
+    // Recovery costs some progress (the retried epoch runs at a backed-off
+    // LR) but lands in the same regime as the clean run.
+    assert!(last < clean_last * 10.0 + 0.05, "clean {clean_last} vs recovered {last}");
+}
+
+#[test]
+fn gradient_spike_trips_after_the_window_warms() {
+    let mut model = LinReg::new(5, 64);
+    let mut cfg = config(3);
+    cfg.watchdog = Some(WatchdogConfig::default());
+    // Step 6 leaves six healthy samples in the window (warm at four); a
+    // 1e6x spike clears any median.
+    cfg.fault = TrainFaultPlan::none().with_grad_spike_at(6, 1e6);
+    let run = Trainer::new(cfg).run(&mut model, &mut |_| {}).unwrap();
+    assert_eq!(run.watchdog_trips, 1);
+    assert_eq!(run.rollbacks, 1);
+    assert!(model.store.all_finite());
+}
+
+#[test]
+fn persistent_poison_diverges_after_the_strike_budget() {
+    let mut model = LinReg::new(9, 32);
+    let mut cfg = config(2);
+    cfg.watchdog = Some(WatchdogConfig { max_rollbacks: 3, ..WatchdogConfig::default() });
+    // Every attempt of epoch 0 sees a NaN at its first step (the global
+    // step counter keeps climbing across retries): strikes 1..=3 roll
+    // back, strike 4 exhausts the budget.
+    cfg.fault = TrainFaultPlan::none()
+        .with_nan_loss_at(0)
+        .with_nan_loss_at(1)
+        .with_nan_loss_at(2)
+        .with_nan_loss_at(3);
+    let err = Trainer::new(cfg).run(&mut model, &mut |_| {}).unwrap_err();
+    match err {
+        TrainError::Diverged { epoch, strikes, .. } => {
+            assert_eq!(epoch, 0);
+            assert_eq!(strikes, 4);
+        }
+        other => panic!("expected Diverged, got {other:?}"),
+    }
+}
+
+#[test]
+fn transient_checkpoint_failures_are_absorbed_by_retry() {
+    let dir = tmp_dir("ckpt-retry");
+    let mut model = LinReg::new(11, 32);
+    let mut cfg = config(2);
+    cfg.checkpoint_dir = Some(dir.clone());
+    // Two injected failures fit inside the default three-attempt budget.
+    cfg.fault = TrainFaultPlan::none().with_checkpoint_write_failures(2);
+    let run = Trainer::new(cfg).run(&mut model, &mut |_| {}).unwrap();
+    assert_eq!(run.epoch_losses.len(), 2);
+    assert!(dir.join("ckpt-00000.json").exists());
+    assert!(dir.join("ckpt-00001.json").exists());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn exhausted_checkpoint_retries_surface_a_typed_error() {
+    let dir = tmp_dir("ckpt-exhaust");
+    let mut model = LinReg::new(11, 32);
+    let mut cfg = config(2);
+    cfg.checkpoint_dir = Some(dir.clone());
+    cfg.retry = RetryPolicy { max_attempts: 2, ..RetryPolicy::none() };
+    cfg.fault = TrainFaultPlan::none().with_checkpoint_write_failures(5);
+    let err = Trainer::new(cfg).run(&mut model, &mut |_| {}).unwrap_err();
+    assert!(matches!(err, TrainError::Io { .. }), "{err:?}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn armed_but_silent_watchdog_changes_no_bits() {
+    let mut off = LinReg::new(13, 48);
+    let run_off = Trainer::new(config(5)).run(&mut off, &mut |_| {}).unwrap();
+
+    let mut on = LinReg::new(13, 48);
+    let mut cfg = config(5);
+    cfg.watchdog = Some(WatchdogConfig::default());
+    let run_on = Trainer::new(cfg).run(&mut on, &mut |_| {}).unwrap();
+
+    assert_eq!(run_on.watchdog_trips, 0);
+    assert_eq!(run_on.rollbacks, 0);
+    assert_eq!(weights_bits(&off.store), weights_bits(&on.store));
+    assert_eq!(
+        run_off.epoch_losses.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+        run_on.epoch_losses.iter().map(|l| l.to_bits()).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn plateau_backs_off_lr_without_rolling_back() {
+    let mut model = LinReg::new(17, 32);
+    let mut cfg = config(6);
+    cfg.watchdog = Some(WatchdogConfig {
+        plateau_epochs: 2,
+        // An unreachable improvement bar makes every full window a
+        // plateau — the point here is the response, not the detection.
+        plateau_tol: 1e9,
+        ..WatchdogConfig::default()
+    });
+    let mut events = Vec::new();
+    let run = Trainer::new(cfg).run(&mut model, &mut |e| events.push(format!("{e:?}"))).unwrap();
+    assert!(run.lr_backoffs >= 1, "{run:?}");
+    assert_eq!(run.rollbacks, 0, "a plateau must not roll back");
+    assert!(events.iter().any(|e| e.starts_with("LrBackoff")), "{events:?}");
+    assert_eq!(run.epoch_losses.len(), 6);
+}
+
+#[test]
+fn watchdog_metrics_count_recovery_actions() {
+    let registry = std::sync::Arc::new(sem_obs::Registry::new());
+    let mut model = LinReg::new(19, 64);
+    let mut cfg = config(3);
+    cfg.watchdog = Some(WatchdogConfig::default());
+    cfg.fault = TrainFaultPlan::none().with_nan_loss_at(1);
+    Trainer::new(cfg).with_metrics(Some(registry.clone())).run(&mut model, &mut |_| {}).unwrap();
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("watchdog.trips"), Some(1));
+    assert_eq!(snap.counter("watchdog.rollbacks"), Some(1));
+    assert_eq!(snap.counter("watchdog.lr_backoffs"), Some(1));
+}
+
+/// The event variants carry what an operator needs to act on them.
+#[test]
+fn recovery_events_are_self_describing() {
+    let mut model = LinReg::new(23, 64);
+    let mut cfg = config(3);
+    cfg.watchdog = Some(WatchdogConfig::default());
+    cfg.fault = TrainFaultPlan::none().with_nan_loss_at(2);
+    let mut rolled: Option<(usize, usize, usize)> = None;
+    Trainer::new(cfg)
+        .run(&mut model, &mut |e| {
+            if let TrainEvent::RolledBack { epoch, attempt, strikes, lr } = e {
+                assert!(*lr > 0.0);
+                rolled = Some((*epoch, *attempt, *strikes));
+            }
+        })
+        .unwrap();
+    assert_eq!(rolled, Some((0, 1, 1)), "first retry of epoch 0 after one strike");
+}
