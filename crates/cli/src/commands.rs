@@ -203,7 +203,7 @@ optimizer step N; N transient checkpoint-write failures) to drill the
 recovery path.
 
 serving (JSON output):
-  sem index build  --model model-dir --out index.snap [--nlist N] [--nprobe N] [--flat-threshold N]
+  sem index build  --model model-dir --out index.snap [--shards N] [--nlist N] [--nprobe N] [--flat-threshold N]
   sem index query  --model model-dir --index index.snap --paper ID[,ID...] [--k K] [--deadline-ms MS]
                    [--metrics-out metrics.json]
   sem index verify --index index.snap
@@ -215,6 +215,13 @@ with a write-ahead journal alongside (<index>.journal); `index verify`
 checks both and `index query`/`ingest` recover to the last durable state
 automatically. `--deadline-ms` bounds per-query latency: an exhausted
 budget returns a partial result flagged degraded instead of blocking.
+
+`--shards N` (N > 1) builds a sharded family — `<out>.shard0..N-1` plus
+`<out>.manifest` — that query/ingest/verify detect automatically: queries
+fan out across shards and merge, an ingest journals to exactly the owning
+shard, and `index verify` reports per-shard integrity (non-zero exit if
+any shard fails). The `loadgen` binary (sem-serve crate) drives the
+sharded path with open-loop fixed-QPS load and reports p50/p90/p99 JSON.
 
 observability: `--metrics-out PATH` on train / index query / ingest writes
 the run's metrics snapshot as JSON at PATH and Prometheus text at

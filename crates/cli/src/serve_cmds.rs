@@ -15,7 +15,7 @@ use std::time::{Duration, Instant};
 use sem_corpus::{Corpus, Paper, PaperId, Sentence, Subspace, NUM_SUBSPACES};
 use sem_serve::{
     AnnIndex, DegradeReason, EngineConfig, IndexConfig, IndexStore, PaperEmbedder, QueryEngine,
-    QueryRequest,
+    QueryRequest, ShardConfig, ShardManifest, ShardRouter,
 };
 use serde::Serialize;
 
@@ -44,16 +44,21 @@ struct BuildSummary {
     papers: usize,
     dim: usize,
     mode: String,
+    shards: usize,
     elapsed_ms: u64,
     out: String,
 }
 
-/// `sem index build --model DIR --out index.snap [--nlist N] [--nprobe N]
-/// [--flat-threshold N]`: embeds every corpus paper and builds the ANN
-/// index, persisted as a crash-safe snapshot.
+/// `sem index build --model DIR --out index.snap [--shards N] [--nlist N]
+/// [--nprobe N] [--flat-threshold N]`: embeds every corpus paper and
+/// builds the ANN index, persisted as a crash-safe snapshot. With
+/// `--shards N > 1` the corpus is partitioned round-robin into a sharded
+/// family (`index.snap.shard0..N-1` + `index.snap.manifest`) that `index
+/// query`, `ingest` and `index verify` detect automatically.
 fn index_build(args: &Args) -> Result<String, CliError> {
     let dir = PathBuf::from(args.required("model")?);
     let out = args.required("out")?;
+    let shards: usize = args.parse_num("shards", 1usize)?;
     let config = IndexConfig {
         nlist: args.parse_num("nlist", 0usize)?,
         nprobe: args.parse_num("nprobe", 0usize)?,
@@ -64,23 +69,53 @@ fn index_build(args: &Args) -> Result<String, CliError> {
     let t0 = Instant::now();
     let embedder = PaperEmbedder::new(&pipeline, &sem);
     let vectors = embedder.embed_corpus(&corpus);
-    let index = AnnIndex::try_build(vectors, config)?;
-    IndexStore::open(out).save_snapshot(&index)?;
-    let summary = BuildSummary {
-        papers: index.len(),
-        dim: index.dim(),
-        mode: if index.is_flat() { "flat".into() } else { "ivf".into() },
-        elapsed_ms: t0.elapsed().as_millis() as u64,
-        out: out.to_string(),
+    let summary = if shards > 1 {
+        let router = ShardRouter::try_build(
+            vectors,
+            ShardConfig { shards, index: config, ..Default::default() },
+        )?;
+        router.attach_stores(std::path::Path::new(out))?;
+        router.persist_all()?;
+        BuildSummary {
+            papers: router.len(),
+            dim: router.dim(),
+            mode: "sharded".into(),
+            shards,
+            elapsed_ms: t0.elapsed().as_millis() as u64,
+            out: out.to_string(),
+        }
+    } else {
+        let index = AnnIndex::try_build(vectors, config)?;
+        IndexStore::open(out).save_snapshot(&index)?;
+        BuildSummary {
+            papers: index.len(),
+            dim: index.dim(),
+            mode: if index.is_flat() { "flat".into() } else { "ivf".into() },
+            shards: 1,
+            elapsed_ms: t0.elapsed().as_millis() as u64,
+            out: out.to_string(),
+        }
     };
     to_pretty(&summary)
 }
 
 /// `sem index verify --index index.snap`: checks the snapshot header +
 /// checksum and scans the journal, printing a JSON integrity report.
-/// Exit status is an error when the pair would not recover cleanly.
+/// On a sharded family (manifest present) every shard store is walked and
+/// the report carries a per-shard verdict. Exit status is an error when
+/// any store would not recover cleanly.
 fn index_verify(args: &Args) -> Result<String, CliError> {
-    let store = IndexStore::open(args.required("index")?);
+    let path = args.required("index")?;
+    if ShardManifest::exists(std::path::Path::new(path)) {
+        let report = sem_serve::verify_sharded(std::path::Path::new(path))?;
+        let rendered = to_pretty(&report)?;
+        return if report.ok {
+            Ok(rendered)
+        } else {
+            Err(CliError(format!("sharded index failed verification:\n{rendered}")))
+        };
+    }
+    let store = IndexStore::open(path);
     let report = store.verify();
     let rendered = to_pretty(&report)?;
     if report.ok {
@@ -140,10 +175,79 @@ fn load_index(path: &str) -> Result<(AnnIndex, RecoveryOut), CliError> {
     Ok((recovery.index, out))
 }
 
+/// Report for a query served by the sharded scatter-gather path.
+#[derive(Serialize)]
+struct ShardedQueryReport {
+    results: Vec<QueryOut>,
+    recoveries: Vec<RecoveryOut>,
+    stats: sem_serve::RouterStatsSnapshot,
+}
+
+/// The sharded branch of `index query`: opens the family at `base`, fans
+/// each query across shards and heap-merges the per-shard top-K.
+fn index_query_sharded(
+    base: &str,
+    corpus: &Corpus,
+    embedder: &PaperEmbedder,
+    papers: &[usize],
+    k: usize,
+    deadline_ms: u64,
+) -> Result<String, CliError> {
+    let (router, recoveries) =
+        ShardRouter::open(std::path::Path::new(base), ShardConfig::default())?;
+    if router.dim() != embedder.dim() {
+        return Err(CliError(format!(
+            "index width {} does not match the model's {}",
+            router.dim(),
+            embedder.dim()
+        )));
+    }
+    let requests: Vec<QueryRequest> = papers
+        .iter()
+        .map(|&p| {
+            let mut r = QueryRequest::new(embedder.embed_indexed(corpus, PaperId::from(p)), k);
+            r.deadline = (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms));
+            r
+        })
+        .collect();
+    let responses = router.query_batch(requests)?;
+    let results = papers
+        .iter()
+        .zip(responses)
+        .map(|(&p, response)| QueryOut {
+            paper: p,
+            degraded: response.degraded,
+            reason: response.reason,
+            hits: response
+                .hits
+                .into_iter()
+                .map(|h| {
+                    let (title, year) = describe(corpus, h.id);
+                    HitOut { id: h.id, score: h.score, title, year }
+                })
+                .collect(),
+        })
+        .collect();
+    let report = ShardedQueryReport {
+        results,
+        recoveries: recoveries
+            .into_iter()
+            .map(|r| RecoveryOut {
+                replayed: r.replayed,
+                skipped: r.skipped,
+                discarded_tail: r.discarded_tail,
+            })
+            .collect(),
+        stats: router.stats(),
+    };
+    to_pretty(&report)
+}
+
 /// `sem index query --model DIR --index index.snap --paper ID[,ID...]
 /// [--k K] [--deadline-ms MS]`: answers one coalesced batch of top-K
 /// queries and reports the engine counters. With a deadline, exhausted
 /// budgets yield partial results flagged `degraded` instead of blocking.
+/// A sharded family (manifest present) is served scatter-gather.
 fn index_query(args: &Args) -> Result<String, CliError> {
     let dir = PathBuf::from(args.required("model")?);
     let index_path = args.required("index")?;
@@ -160,8 +264,11 @@ fn index_query(args: &Args) -> Result<String, CliError> {
             return Err(CliError(format!("--paper must be in 0..{}", corpus.papers.len())));
         }
     }
-    let (index, recovery) = load_index(index_path)?;
     let embedder = PaperEmbedder::new(&pipeline, &sem);
+    if ShardManifest::exists(std::path::Path::new(index_path)) {
+        return index_query_sharded(index_path, &corpus, &embedder, &papers, k, deadline_ms);
+    }
+    let (index, recovery) = load_index(index_path)?;
     if index.dim() != embedder.dim() {
         return Err(CliError(format!(
             "index width {} does not match the model's {}",
@@ -241,10 +348,67 @@ fn paper_from_text(title: &str, abstract_text: &str, year: u16, id: usize) -> Pa
     }
 }
 
+/// The sharded branch of `ingest`: the paper routes to the shard owning
+/// the next global id, journals there (fsync before ack), and only that
+/// shard's cache is invalidated before the family is re-snapshotted.
+fn ingest_sharded(
+    base: &str,
+    corpus: &Corpus,
+    embedder: &PaperEmbedder,
+    title: &str,
+    abstract_text: &str,
+    year: u16,
+    k: usize,
+) -> Result<String, CliError> {
+    let (router, recoveries) =
+        ShardRouter::open(std::path::Path::new(base), ShardConfig::default())?;
+    if router.dim() != embedder.dim() {
+        return Err(CliError(format!(
+            "index width {} does not match the model's {}",
+            router.dim(),
+            embedder.dim()
+        )));
+    }
+    let paper = paper_from_text(title, abstract_text, year, router.len());
+    if paper.sentences.is_empty() {
+        return Err(CliError("--abstract has no sentences".into()));
+    }
+    let vector = embedder.embed_new(&paper);
+    let ack = router.ingest_vector(vector.clone())?;
+    let hits = router.query(vector, k)?.hits;
+    let self_rank = hits.iter().position(|h| h.id == ack.id).map(|r| r + 1).unwrap_or(0);
+    // compact every shard's journal into a fresh atomic snapshot
+    router.persist_all()?;
+    let report = IngestReport {
+        id: ack.id,
+        durable: ack.durable,
+        title: title.to_string(),
+        sentences: paper.sentences.len(),
+        self_rank,
+        hits: hits
+            .into_iter()
+            .map(|h| {
+                let (t, y) =
+                    if h.id == ack.id { (title.to_string(), year) } else { describe(corpus, h.id) };
+                HitOut { id: h.id, score: h.score, title: t, year: y }
+            })
+            .collect(),
+        index_len: router.len(),
+        recovery: RecoveryOut {
+            replayed: recoveries.iter().map(|r| r.replayed).sum(),
+            skipped: recoveries.iter().map(|r| r.skipped).sum(),
+            discarded_tail: recoveries.iter().any(|r| r.discarded_tail),
+        },
+        out: base.to_string(),
+    };
+    to_pretty(&report)
+}
+
 /// `sem ingest --model DIR --index index.snap --title T --abstract TEXT
 /// [--year Y] [--k K] [--out index.snap]`: embeds a brand-new zero-citation
 /// paper, journals it (fsync) before acknowledging, inserts it without
 /// rebuilding, compacts into a fresh snapshot and queries the paper back.
+/// On a sharded family the write routes to exactly the owning shard.
 pub(crate) fn ingest(args: &Args) -> Result<String, CliError> {
     let dir = PathBuf::from(args.required("model")?);
     let index_path = args.required("index")?;
@@ -255,8 +419,11 @@ pub(crate) fn ingest(args: &Args) -> Result<String, CliError> {
     let (corpus, pipeline, _labels, sem) = load_model(&dir)?;
     let year: u16 =
         args.parse_num("year", corpus.papers.iter().map(|p| p.year).max().unwrap_or(2020) + 1)?;
-    let (index, recovery) = load_index(index_path)?;
     let embedder = PaperEmbedder::new(&pipeline, &sem);
+    if ShardManifest::exists(std::path::Path::new(index_path)) {
+        return ingest_sharded(index_path, &corpus, &embedder, title, abstract_text, year, k);
+    }
+    let (index, recovery) = load_index(index_path)?;
     if index.dim() != embedder.dim() {
         return Err(CliError(format!(
             "index width {} does not match the model's {}",
@@ -447,6 +614,109 @@ mod tests {
         std::fs::remove_file(&corpus_path).ok();
         std::fs::remove_file(&index_path).ok();
         std::fs::remove_dir_all(&model_dir).ok();
+    }
+
+    /// The sharded family end to end: build with `--shards`, per-shard
+    /// verify, scatter-gather query, routed ingest, verify again.
+    #[test]
+    fn sharded_build_query_ingest_roundtrip() {
+        let corpus_path = tmp("sh-corpus.json");
+        let model_dir = tmp("sh-model");
+        let index_path = tmp("sh-index.snap");
+        run(&argv(&[
+            "generate",
+            "--preset",
+            "acm",
+            "--papers",
+            "90",
+            "--authors",
+            "40",
+            "--out",
+            corpus_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "train",
+            "--corpus",
+            corpus_path.to_str().unwrap(),
+            "--out",
+            model_dir.to_str().unwrap(),
+            "--epochs",
+            "1",
+        ]))
+        .unwrap();
+
+        let built = run(&argv(&[
+            "index",
+            "build",
+            "--model",
+            model_dir.to_str().unwrap(),
+            "--out",
+            index_path.to_str().unwrap(),
+            "--shards",
+            "3",
+        ]))
+        .unwrap();
+        assert!(built.contains("\"papers\": 90"), "{built}");
+        assert!(built.contains("\"mode\": \"sharded\""), "{built}");
+        assert!(built.contains("\"shards\": 3"), "{built}");
+
+        // per-shard integrity report, all clean
+        let verified =
+            run(&argv(&["index", "verify", "--index", index_path.to_str().unwrap()])).unwrap();
+        assert!(verified.contains("\"ok\": true"), "{verified}");
+        assert!(verified.contains("\"shard\": 2"), "{verified}");
+
+        // scatter-gather query: a paper's own vector ranks itself first
+        let q = run(&argv(&[
+            "index",
+            "query",
+            "--model",
+            model_dir.to_str().unwrap(),
+            "--index",
+            index_path.to_str().unwrap(),
+            "--paper",
+            "7",
+            "--k",
+            "4",
+        ]))
+        .unwrap();
+        assert!(q.contains("\"paper\": 7"), "{q}");
+        assert!(q.contains("\"id\": 7"), "{q}");
+        assert!(q.contains("\"degraded\": false"), "{q}");
+        assert!(q.contains("\"shards\": 3"), "{q}");
+
+        // routed ingest: next global id is 90, owned by shard 0 (90 % 3)
+        let ing = run(&argv(&[
+            "ingest",
+            "--model",
+            model_dir.to_str().unwrap(),
+            "--index",
+            index_path.to_str().unwrap(),
+            "--title",
+            "A sharded subspace paper",
+            "--abstract",
+            "Prior work studies embeddings. We shard the serving index. \
+             Latency stays flat under load.",
+        ]))
+        .unwrap();
+        assert!(ing.contains("\"id\": 90"), "{ing}");
+        assert!(ing.contains("\"durable\": true"), "{ing}");
+        assert!(ing.contains("\"self_rank\": 1"), "{ing}");
+        assert!(ing.contains("\"index_len\": 91"), "{ing}");
+
+        // grown family still verifies clean, shard by shard
+        let v2 = run(&argv(&["index", "verify", "--index", index_path.to_str().unwrap()])).unwrap();
+        assert!(v2.contains("\"ok\": true"), "{v2}");
+
+        std::fs::remove_file(&corpus_path).ok();
+        std::fs::remove_dir_all(&model_dir).ok();
+        for i in 0..3 {
+            let shard = PathBuf::from(format!("{}.shard{i}", index_path.display()));
+            std::fs::remove_file(&shard).ok();
+            std::fs::remove_file(format!("{}.journal", shard.display())).ok();
+        }
+        std::fs::remove_file(format!("{}.manifest", index_path.display())).ok();
     }
 
     #[test]

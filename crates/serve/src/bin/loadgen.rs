@@ -1,0 +1,133 @@
+//! Open-loop load generator for the sharded serving path.
+//!
+//! Builds a synthetic corpus, shards it behind a [`ShardRouter`], runs a
+//! fixed-QPS open-loop session and prints the latency report as JSON
+//! (optionally also writing it to `--json-out` for CI artifacts).
+//!
+//! ```text
+//! loadgen --papers 100000 --dim 32 --shards 8 --qps 500 --duration-s 5 \
+//!         --batch-mix 1,1,4 --ingest-ratio 0.05 --k 10 --workers 8 --seed 42
+//! ```
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use sem_serve::{loadgen, IndexConfig, ShardConfig, ShardRouter};
+
+struct Opts {
+    papers: usize,
+    dim: usize,
+    nlist: usize,
+    config: ShardConfig,
+    load: loadgen::LoadgenConfig,
+    json_out: Option<String>,
+}
+
+fn usage() -> &'static str {
+    "usage: loadgen [--papers N] [--dim D] [--shards S] [--nlist L] [--qps Q] \
+     [--duration-s SECS] [--batch-mix A,B,C] [--ingest-ratio R] [--k K] \
+     [--workers W] [--seed SEED] [--json-out PATH]"
+}
+
+fn parse_opts(argv: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        papers: 100_000,
+        dim: 32,
+        nlist: 0,
+        config: ShardConfig::default(),
+        load: loadgen::LoadgenConfig::default(),
+        json_out: None,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let (flag, inline) = match flag.split_once('=') {
+            Some((f, v)) => (f, Some(v.to_string())),
+            None => (flag.as_str(), None),
+        };
+        if flag == "--help" || flag == "-h" {
+            return Err(usage().to_string());
+        }
+        let value = match inline {
+            Some(v) => v,
+            None => it.next().cloned().ok_or_else(|| format!("{flag} needs a value"))?,
+        };
+        let bad = |e: &dyn std::fmt::Display| format!("bad value for {flag}: {e}");
+        match flag {
+            "--papers" => opts.papers = value.parse().map_err(|e| bad(&e))?,
+            "--dim" => opts.dim = value.parse().map_err(|e| bad(&e))?,
+            "--shards" => opts.config.shards = value.parse().map_err(|e| bad(&e))?,
+            "--nlist" => opts.nlist = value.parse().map_err(|e| bad(&e))?,
+            "--qps" => opts.load.qps = value.parse().map_err(|e| bad(&e))?,
+            "--duration-s" => {
+                opts.load.duration =
+                    Duration::from_secs_f64(value.parse::<f64>().map_err(|e| bad(&e))?)
+            }
+            "--batch-mix" => {
+                opts.load.batch_mix = value
+                    .split(',')
+                    .map(|s| s.trim().parse::<usize>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|e| bad(&e))?
+            }
+            "--ingest-ratio" => opts.load.ingest_ratio = value.parse().map_err(|e| bad(&e))?,
+            "--k" => opts.load.k = value.parse().map_err(|e| bad(&e))?,
+            "--workers" => opts.load.workers = value.parse().map_err(|e| bad(&e))?,
+            "--seed" => opts.load.seed = value.parse().map_err(|e| bad(&e))?,
+            "--json-out" => opts.json_out = Some(value),
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_opts(&argv) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut config = opts.config;
+    if opts.nlist > 0 {
+        config.index = IndexConfig { nlist: opts.nlist, ..config.index };
+    }
+    eprintln!(
+        "loadgen: building {} × {}d corpus across {} shards …",
+        opts.papers, opts.dim, config.shards
+    );
+    let corpus = loadgen::synthetic_corpus(opts.papers, opts.dim, opts.load.seed);
+    let router = match ShardRouter::try_build(corpus, config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("loadgen: build failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "loadgen: open-loop {} qps for {:?} ({} workers, seed {})",
+        opts.load.qps, opts.load.duration, opts.load.workers, opts.load.seed
+    );
+    let report = match loadgen::run(&router, &opts.load) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("loadgen: run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    println!("{json}");
+    if let Some(path) = &opts.json_out {
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("loadgen: could not write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if report.errors > 0 {
+        eprintln!("loadgen: {} operations errored", report.errors);
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

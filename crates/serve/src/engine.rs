@@ -92,6 +92,10 @@ pub enum DegradeReason {
     /// The index is mid-recovery and the query missed the cache; no
     /// search was possible.
     Unavailable,
+    /// One or more shards of a [`crate::ShardRouter`] were down: the hits
+    /// are a correct merge over the shards that answered, but papers owned
+    /// by the dead shards are missing.
+    ShardsDown,
 }
 
 /// A served result: the hits plus an honest account of their quality.
@@ -164,7 +168,7 @@ pub struct LatencySummary {
 }
 
 impl LatencySummary {
-    fn of(h: &Histogram) -> Self {
+    pub(crate) fn of(h: &Histogram) -> Self {
         LatencySummary {
             count: h.count(),
             mean_ns: h.mean(),
@@ -297,7 +301,7 @@ pub struct QueryEngine {
 }
 
 /// L2-normalises a copy of `v` (zero vectors pass through).
-fn normalized(v: &[f32]) -> Vec<f32> {
+pub(crate) fn normalized(v: &[f32]) -> Vec<f32> {
     let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
     if norm > 1e-12 {
         v.iter().map(|x| x / norm).collect()
@@ -306,7 +310,7 @@ fn normalized(v: &[f32]) -> Vec<f32> {
     }
 }
 
-fn dot(a: &[f32], b: &[f32]) -> f32 {
+pub(crate) fn dot(a: &[f32], b: &[f32]) -> f32 {
     a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 

@@ -50,6 +50,14 @@ pub enum ServeError {
     Invalid(String),
     /// The engine's index is mid-recovery and cannot serve fresh searches.
     Recovering,
+    /// A shard of a [`crate::ShardRouter`] is down (crashed store, failed
+    /// recovery) and the operation needed exactly that shard.
+    ShardDown {
+        /// Ordinal of the unavailable shard.
+        shard: usize,
+        /// Why the shard went down.
+        detail: String,
+    },
     /// A [`crate::fault::FaultPlan`] fired: the simulated machine died at
     /// the named crash point. On-disk state is exactly what a real crash
     /// would leave behind.
@@ -76,6 +84,9 @@ impl fmt::Display for ServeError {
             ServeError::Invalid(msg) => write!(f, "invalid: {msg}"),
             ServeError::Recovering => {
                 write!(f, "index is mid-recovery; fresh searches unavailable")
+            }
+            ServeError::ShardDown { shard, detail } => {
+                write!(f, "shard {shard} is down: {detail}")
             }
             ServeError::InjectedCrash(site) => write!(f, "injected crash at {site}"),
         }

@@ -19,6 +19,14 @@
 //!   snapshots written atomically, plus a write-ahead journal so every
 //!   acknowledged ingest survives a crash; [`FaultPlan`] drives
 //!   deterministic fault-injection tests of exactly those guarantees.
+//! * [`ShardRouter`] scales the query path out: the corpus is partitioned
+//!   round-robin across N [`Shard`]s, each with its own index, LRU cache
+//!   and crash-safe store; queries fan out shard-parallel and merge via a
+//!   bounded binary-heap, ingests route to exactly one shard (and only
+//!   that shard's cache), and a dead shard degrades responses instead of
+//!   failing them until [`ShardRouter::recover_shard`] heals it. The
+//!   [`loadgen`] module (and `loadgen` binary) drive it with open-loop,
+//!   coordinated-omission-free load and report p50/p90/p99 as JSON.
 //!
 //! The intended flow for a brand-new (zero-citation) paper: CRF sentence
 //! labels → sentence encoding → SEM subspace pooling → [`PaperEmbedder::embed_new`]
@@ -38,6 +46,9 @@ pub mod engine;
 pub mod error;
 pub mod fault;
 pub mod index;
+pub mod loadgen;
+pub mod router;
+pub mod shard;
 pub mod store;
 
 pub use cache::LruCache;
@@ -49,4 +60,10 @@ pub use engine::{
 pub use error::ServeError;
 pub use fault::{CrashPoint, FaultPlan};
 pub use index::{AnnIndex, Hit, IndexConfig};
+pub use loadgen::{LoadReport, LoadgenConfig};
+pub use router::{
+    manifest_path, shard_snapshot_path, verify_sharded, RouterStatsSnapshot, ShardManifest,
+    ShardRouter, ShardVerifyEntry, ShardedVerifyReport,
+};
+pub use shard::{merge_top_k, shard_of, Shard, ShardConfig, ShardStatsSnapshot};
 pub use store::{Durability, IndexStore, Recovery, VerifyReport};

@@ -1,0 +1,362 @@
+//! Open-loop load generation against a [`ShardRouter`].
+//!
+//! A closed-loop driver (issue, wait, issue) hides queueing: when the
+//! server slows down the driver slows down with it, and the measured
+//! latency stays flattering. This generator is **open-loop**: arrivals are
+//! scheduled on a fixed clock derived solely from the target QPS, and
+//! each operation's latency is measured from its *scheduled* arrival time
+//! — so time spent waiting behind a backed-up queue counts against the
+//! percentiles (no coordinated omission).
+//!
+//! The run is fully deterministic for a given seed: the operation
+//! schedule (query vs ingest, batch size, query vectors) is derived from
+//! a seeded RNG before the clock starts, so two runs differ only in
+//! measured timing.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::engine::QueryRequest;
+use crate::error::ServeError;
+use crate::router::ShardRouter;
+
+/// Parameters of one open-loop run.
+#[derive(Clone, Debug)]
+pub struct LoadgenConfig {
+    /// Target arrival rate, operations per second.
+    pub qps: f64,
+    /// Wall-clock length of the run.
+    pub duration: Duration,
+    /// Batch sizes to cycle through for query operations, sampled
+    /// uniformly (e.g. `[1, 1, 4, 16]` biases towards singletons).
+    pub batch_mix: Vec<usize>,
+    /// Fraction of operations that are ingests instead of queries, in
+    /// `[0, 1]`.
+    pub ingest_ratio: f64,
+    /// Top-K requested per query.
+    pub k: usize,
+    /// Worker threads draining the arrival queue.
+    pub workers: usize,
+    /// RNG seed: fixes the operation schedule and every query vector.
+    pub seed: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            qps: 200.0,
+            duration: Duration::from_secs(2),
+            batch_mix: vec![1, 1, 1, 4],
+            ingest_ratio: 0.05,
+            k: 10,
+            workers: 4,
+            seed: 42,
+        }
+    }
+}
+
+/// What the run measured, JSON-serialisable for CI artifacts and the
+/// bench gate.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LoadReport {
+    /// Operations completed (queries + ingests).
+    pub ops: u64,
+    /// Query operations completed (a batch counts once).
+    pub queries: u64,
+    /// Ingest operations completed.
+    pub ingests: u64,
+    /// Responses that came back with the degraded flag.
+    pub degraded: u64,
+    /// Operations that returned an error.
+    pub errors: u64,
+    /// Arrival rate the schedule offered.
+    pub offered_qps: f64,
+    /// Completion rate actually achieved.
+    pub achieved_qps: f64,
+    /// Median latency, microseconds, scheduled-arrival → completion.
+    pub p50_us: u64,
+    /// 90th percentile latency, microseconds.
+    pub p90_us: u64,
+    /// 99th percentile latency, microseconds.
+    pub p99_us: u64,
+    /// Worst observed latency, microseconds.
+    pub max_us: u64,
+    /// Corpus size when the run ended.
+    pub corpus_len: usize,
+}
+
+impl LoadReport {
+    /// `true` when the run kept up with the offered load (within
+    /// `tolerance`, e.g. 0.9 for "achieved ≥ 90% of offered") and nothing
+    /// errored or degraded.
+    pub fn sustained(&self, tolerance: f64) -> bool {
+        self.errors == 0 && self.degraded == 0 && self.achieved_qps >= self.offered_qps * tolerance
+    }
+}
+
+/// One scheduled operation, fully determined before the clock starts.
+enum Op {
+    Query { batch: Vec<Vec<f32>>, k: usize },
+    Ingest { vector: Vec<f32> },
+}
+
+struct Work {
+    op: Op,
+    /// When the open-loop schedule says this operation arrived.
+    arrival: Instant,
+}
+
+struct Queue {
+    jobs: Mutex<VecDeque<Work>>,
+    ready: Condvar,
+    closed: AtomicBool,
+}
+
+impl Queue {
+    fn push(&self, w: Work) {
+        self.jobs.lock().push_back(w);
+        self.ready.notify_one();
+    }
+
+    fn pop(&self) -> Option<Work> {
+        let mut jobs = self.jobs.lock();
+        loop {
+            if let Some(w) = jobs.pop_front() {
+                return Some(w);
+            }
+            if self.closed.load(Ordering::Acquire) {
+                return None;
+            }
+            self.ready.wait(&mut jobs);
+        }
+    }
+
+    fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        self.ready.notify_all();
+    }
+
+    fn depth(&self) -> usize {
+        self.jobs.lock().len()
+    }
+}
+
+/// Runs one open-loop session against `router`.
+///
+/// # Errors
+/// Only configuration problems error the run itself (zero QPS, empty
+/// batch mix, zero workers, out-of-range ingest ratio); per-operation
+/// failures are counted in the report instead.
+pub fn run(router: &ShardRouter, config: &LoadgenConfig) -> Result<LoadReport, ServeError> {
+    if !config.qps.is_finite() || config.qps <= 0.0 {
+        return Err(ServeError::Invalid("loadgen qps must be positive and finite".into()));
+    }
+    if config.batch_mix.is_empty() || config.batch_mix.contains(&0) {
+        return Err(ServeError::Invalid(
+            "loadgen batch mix must be non-empty, all sizes ≥ 1".into(),
+        ));
+    }
+    if config.workers == 0 {
+        return Err(ServeError::Invalid("loadgen needs at least one worker".into()));
+    }
+    if !(0.0..=1.0).contains(&config.ingest_ratio) {
+        return Err(ServeError::Invalid("loadgen ingest ratio must be within [0, 1]".into()));
+    }
+
+    let dim = router.dim();
+    let total_ops = (config.qps * config.duration.as_secs_f64()).ceil().max(1.0) as usize;
+    let interval = Duration::from_secs_f64(1.0 / config.qps);
+
+    // Pre-generate the whole schedule so the hot loop only moves clock and
+    // queue — and so the run is reproducible from the seed alone.
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let random_vector =
+        |rng: &mut StdRng| -> Vec<f32> { (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect() };
+    let mut schedule = Vec::with_capacity(total_ops);
+    for _ in 0..total_ops {
+        if rng.gen_bool(config.ingest_ratio) {
+            schedule.push(Op::Ingest { vector: random_vector(&mut rng) });
+        } else {
+            let batch = config.batch_mix[rng.gen_range(0..config.batch_mix.len())];
+            schedule.push(Op::Query {
+                batch: (0..batch).map(|_| random_vector(&mut rng)).collect(),
+                k: config.k,
+            });
+        }
+    }
+
+    let queue = Arc::new(Queue {
+        jobs: Mutex::new(VecDeque::new()),
+        ready: Condvar::new(),
+        closed: AtomicBool::new(false),
+    });
+    let queries = AtomicU64::new(0);
+    let ingests = AtomicU64::new(0);
+    let degraded = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::with_capacity(total_ops));
+    let depth_gauge = router.metrics().gauge("loadgen.queue.depth");
+
+    let t_start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..config.workers {
+            let queue = Arc::clone(&queue);
+            let queries = &queries;
+            let ingests = &ingests;
+            let degraded = &degraded;
+            let errors = &errors;
+            let latencies = &latencies;
+            scope.spawn(move || {
+                while let Some(work) = queue.pop() {
+                    let outcome = match work.op {
+                        Op::Query { batch, k } => {
+                            let requests =
+                                batch.into_iter().map(|v| QueryRequest::new(v, k)).collect();
+                            match router.query_batch(requests) {
+                                Ok(responses) => {
+                                    queries.fetch_add(1, Ordering::Relaxed);
+                                    if responses.iter().any(|r| r.degraded) {
+                                        degraded.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    Ok(())
+                                }
+                                Err(e) => Err(e),
+                            }
+                        }
+                        Op::Ingest { vector } => match router.ingest_vector(vector) {
+                            Ok(_) => {
+                                ingests.fetch_add(1, Ordering::Relaxed);
+                                Ok(())
+                            }
+                            Err(e) => Err(e),
+                        },
+                    };
+                    if outcome.is_err() {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // open-loop latency: from scheduled arrival, queueing included
+                    let us = work.arrival.elapsed().as_micros().min(u64::MAX as u128) as u64;
+                    latencies.lock().push(us);
+                }
+            });
+        }
+
+        // The arrival clock: operation i arrives at t_start + i·interval,
+        // whether or not the workers have kept up.
+        for (i, op) in schedule.into_iter().enumerate() {
+            let arrival = t_start + interval.mul_f64(i as f64);
+            if let Some(wait) = arrival.checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+            queue.push(Work { op, arrival });
+            depth_gauge.set_max(queue.depth() as f64);
+        }
+        queue.close();
+    });
+    let elapsed = t_start.elapsed();
+
+    let mut samples = latencies.into_inner();
+    samples.sort_unstable();
+    let pct = |q: f64| -> u64 {
+        if samples.is_empty() {
+            return 0;
+        }
+        let idx = ((samples.len() as f64 - 1.0) * q).round() as usize;
+        samples[idx.min(samples.len() - 1)]
+    };
+    let ops = samples.len() as u64;
+    Ok(LoadReport {
+        ops,
+        queries: queries.into_inner(),
+        ingests: ingests.into_inner(),
+        degraded: degraded.into_inner(),
+        errors: errors.into_inner(),
+        offered_qps: config.qps,
+        achieved_qps: ops as f64 / elapsed.as_secs_f64().max(f64::EPSILON),
+        p50_us: pct(0.50),
+        p90_us: pct(0.90),
+        p99_us: pct(0.99),
+        max_us: samples.last().copied().unwrap_or(0),
+        corpus_len: router.len(),
+    })
+}
+
+/// Deterministic synthetic corpus for loadgen and benches: `n` vectors of
+/// width `dim` from the given seed.
+pub fn synthetic_corpus(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexConfig;
+    use crate::shard::ShardConfig;
+
+    fn small_router() -> ShardRouter {
+        let config = ShardConfig {
+            shards: 2,
+            index: IndexConfig { flat_threshold: usize::MAX, ..Default::default() },
+            cache_capacity: 64,
+        };
+        ShardRouter::try_build(synthetic_corpus(64, 8, 7), config).unwrap()
+    }
+
+    #[test]
+    fn short_run_completes_every_scheduled_op() {
+        let router = small_router();
+        let config = LoadgenConfig {
+            qps: 400.0,
+            duration: Duration::from_millis(250),
+            ingest_ratio: 0.1,
+            workers: 2,
+            ..Default::default()
+        };
+        let report = run(&router, &config).unwrap();
+        assert_eq!(report.ops, 100, "400 qps × 0.25 s");
+        assert_eq!(report.ops, report.queries + report.ingests);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.degraded, 0);
+        assert!(report.p50_us <= report.p90_us && report.p90_us <= report.p99_us);
+        assert!(report.max_us >= report.p99_us);
+        assert!(report.sustained(0.5), "{report:?}");
+        assert_eq!(report.corpus_len, 64 + report.ingests as usize);
+    }
+
+    #[test]
+    fn schedule_is_deterministic_in_the_seed() {
+        let config = LoadgenConfig {
+            qps: 300.0,
+            duration: Duration::from_millis(200),
+            ingest_ratio: 0.2,
+            workers: 2,
+            ..Default::default()
+        };
+        let a = run(&small_router(), &config).unwrap();
+        let b = run(&small_router(), &config).unwrap();
+        assert_eq!(a.queries, b.queries, "same seed → same query/ingest split");
+        assert_eq!(a.ingests, b.ingests);
+    }
+
+    #[test]
+    fn config_validation_rejects_nonsense() {
+        let router = small_router();
+        for bad in [
+            LoadgenConfig { qps: 0.0, ..Default::default() },
+            LoadgenConfig { batch_mix: vec![], ..Default::default() },
+            LoadgenConfig { batch_mix: vec![0], ..Default::default() },
+            LoadgenConfig { workers: 0, ..Default::default() },
+            LoadgenConfig { ingest_ratio: 1.5, ..Default::default() },
+        ] {
+            assert!(run(&router, &bad).is_err());
+        }
+    }
+}

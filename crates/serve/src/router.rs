@@ -1,0 +1,666 @@
+//! The scatter-gather router: one query fans out across every shard on the
+//! rayon pool, per-shard top-K lists come back globally addressed, and a
+//! bounded binary-heap merge produces the final ranking.
+//!
+//! **Routing.** Ingestion is routed to the shard owning the next global id
+//! (see [`crate::shard`] for the arithmetic): the router picks the
+//! smallest unassigned id among *healthy* shards — `min over s of
+//! len_s · N + s` — which keeps the positional id invariant intact even
+//! after a shard recovers shorter than its peers (lost never-acknowledged
+//! tail records are simply re-assignable ids) and naturally rebalances a
+//! healed shard by steering ingests at it until it catches up.
+//!
+//! **Failure model.** A shard whose store dies goes down alone: queries
+//! keep being answered from the remaining shards, honestly flagged
+//! [`DegradeReason::ShardsDown`], and [`ShardRouter::recover_shard`] heals
+//! exactly the dead shard from its own snapshot+journal pair while the
+//! rest keep serving warm caches. Ingests whose owning shard is down fail
+//! with a typed [`ServeError::ShardDown`].
+//!
+//! **Persistence layout.** Shard `i` of `base` lives at `base.shard<i>`
+//! (its journal alongside, as always), and `base.manifest` records the
+//! shard count and vector width so `open` and `verify` can walk the
+//! family without guessing.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use rayon::prelude::*;
+use sem_obs::{Counter, Histogram, Registry};
+use serde::{Deserialize, Serialize};
+
+use crate::engine::{
+    DegradeReason, IngestAck, LatencySummary, QueryRequest, QueryResponse, RecoveryStats,
+};
+use crate::error::ServeError;
+use crate::index::AnnIndex;
+use crate::shard::{merge_top_k, shard_of, Shard, ShardConfig, ShardStatsSnapshot};
+use crate::store::{Durability, IndexStore, VerifyReport};
+
+/// Snapshot path of shard `i`: `base.shard<i>`.
+pub fn shard_snapshot_path(base: &Path, shard: usize) -> PathBuf {
+    let mut name = base.as_os_str().to_os_string();
+    name.push(format!(".shard{shard}"));
+    PathBuf::from(name)
+}
+
+/// Manifest path for a sharded index family: `base.manifest`.
+pub fn manifest_path(base: &Path) -> PathBuf {
+    let mut name = base.as_os_str().to_os_string();
+    name.push(".manifest");
+    PathBuf::from(name)
+}
+
+/// On-disk description of a sharded index family.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ShardManifest {
+    /// Manifest format version (1).
+    pub version: u32,
+    /// Number of shards.
+    pub shards: usize,
+    /// Vector width every shard serves.
+    pub dim: usize,
+}
+
+impl ShardManifest {
+    /// Reads and validates `base.manifest`.
+    ///
+    /// # Errors
+    /// Missing file, malformed JSON, or an unsupported version.
+    pub fn load(base: &Path) -> Result<Self, ServeError> {
+        let path = manifest_path(base);
+        let text = std::fs::read_to_string(&path).map_err(|e| ServeError::io(&path, e))?;
+        let m: ShardManifest = serde_json::from_str(&text)
+            .map_err(|e| ServeError::corrupt(&path, format!("manifest rejected: {e}")))?;
+        if m.version != 1 {
+            return Err(ServeError::corrupt(
+                &path,
+                format!("unsupported manifest version {}", m.version),
+            ));
+        }
+        if m.shards == 0 {
+            return Err(ServeError::corrupt(&path, "manifest declares zero shards"));
+        }
+        Ok(m)
+    }
+
+    /// Atomically writes `base.manifest`.
+    ///
+    /// # Errors
+    /// Serialisation or IO failures.
+    pub fn save(&self, base: &Path) -> Result<(), ServeError> {
+        let path = manifest_path(base);
+        let bytes = serde_json::to_string_pretty(self)
+            .map_err(|e| ServeError::Invalid(format!("manifest serialisation: {e}")))?
+            .into_bytes();
+        sem_train::atomic::write_atomic_retry(
+            &path,
+            &bytes,
+            &sem_train::retry::RetryPolicy::default(),
+        )
+        .map_err(|e| ServeError::io(&path, e))
+    }
+
+    /// `true` when `base` names a sharded family (manifest file present).
+    pub fn exists(base: &Path) -> bool {
+        manifest_path(base).exists()
+    }
+}
+
+/// Router-level metric handles.
+struct RouterMetrics {
+    registry: Arc<Registry>,
+    queries: Arc<Counter>,
+    fanouts: Arc<Counter>,
+    merge_ns: Arc<Histogram>,
+    degraded: Arc<Counter>,
+    shards_down_serves: Arc<Counter>,
+    ingested: Arc<Counter>,
+}
+
+impl RouterMetrics {
+    fn new(registry: Arc<Registry>) -> Self {
+        RouterMetrics {
+            queries: registry.counter("serve.router.queries"),
+            fanouts: registry.counter("serve.router.fanouts"),
+            merge_ns: registry.histogram("serve.router.merge.ns"),
+            degraded: registry.counter("serve.router.degraded"),
+            shards_down_serves: registry.counter("serve.router.shards_down_serves"),
+            ingested: registry.counter("serve.router.ingested"),
+            registry,
+        }
+    }
+}
+
+/// Point-in-time router counters plus every shard's snapshot.
+#[derive(Clone, Debug, Serialize)]
+pub struct RouterStatsSnapshot {
+    /// Total vectors across shards.
+    pub len: usize,
+    /// Number of shards.
+    pub shards: usize,
+    /// Shards currently down.
+    pub shards_down: usize,
+    /// Queries answered.
+    pub queries: u64,
+    /// Shard searches fanned out (≤ queries × shards).
+    pub fanouts: u64,
+    /// Responses flagged degraded (any reason).
+    pub degraded: u64,
+    /// Responses served with at least one shard missing.
+    pub shards_down_serves: u64,
+    /// Papers ingested through the router.
+    pub ingested: u64,
+    /// Per-query merge latency.
+    pub merge: LatencySummary,
+    /// Per-shard counters.
+    pub per_shard: Vec<ShardStatsSnapshot>,
+}
+
+/// Integrity report for one shard of a family.
+#[derive(Debug, Serialize)]
+pub struct ShardVerifyEntry {
+    /// Shard ordinal.
+    pub shard: usize,
+    /// `true` when this shard's pair would recover cleanly.
+    pub ok: bool,
+    /// The shard store's full report.
+    pub report: VerifyReport,
+}
+
+/// Operator-facing integrity report over a whole sharded family
+/// (`sem index verify` on a manifest-bearing path).
+#[derive(Debug, Serialize)]
+pub struct ShardedVerifyReport {
+    /// Declared shard count.
+    pub shards: usize,
+    /// Vector width from the manifest.
+    pub dim: usize,
+    /// Per-shard verdicts.
+    pub per_shard: Vec<ShardVerifyEntry>,
+    /// `true` only when every shard verifies clean.
+    pub ok: bool,
+}
+
+/// Verifies every shard store of the family at `base` without mutating
+/// anything: manifest first, then each shard's snapshot+journal pair.
+///
+/// # Errors
+/// Only a missing/corrupt manifest errors; per-shard failures land in the
+/// report with `ok: false`.
+pub fn verify_sharded(base: &Path) -> Result<ShardedVerifyReport, ServeError> {
+    let manifest = ShardManifest::load(base)?;
+    let per_shard: Vec<ShardVerifyEntry> = (0..manifest.shards)
+        .map(|i| {
+            let report = IndexStore::open(shard_snapshot_path(base, i)).verify();
+            ShardVerifyEntry { shard: i, ok: report.ok, report }
+        })
+        .collect();
+    let ok = per_shard.iter().all(|e| e.ok);
+    Ok(ShardedVerifyReport { shards: manifest.shards, dim: manifest.dim, per_shard, ok })
+}
+
+/// The sharded serving engine: N [`Shard`]s behind one scatter-gather
+/// front end.
+pub struct ShardRouter {
+    shards: Vec<Shard>,
+    dim: usize,
+    config: ShardConfig,
+    /// Serialises global-id assignment across concurrent ingests.
+    ingest_lock: Mutex<()>,
+    metrics: RouterMetrics,
+}
+
+impl ShardRouter {
+    /// Builds a sharded index over `vectors` (global ids are assigned in
+    /// order, round-robin across shards), recording metrics into a private
+    /// registry.
+    ///
+    /// # Errors
+    /// Empty input, fewer vectors than shards, inconsistent widths, or a
+    /// zero shard count.
+    pub fn try_build(vectors: Vec<Vec<f32>>, config: ShardConfig) -> Result<Self, ServeError> {
+        Self::try_build_with_metrics(vectors, config, Arc::new(Registry::new()))
+    }
+
+    /// [`ShardRouter::try_build`] recording into a shared registry.
+    ///
+    /// # Errors
+    /// Same as [`ShardRouter::try_build`].
+    pub fn try_build_with_metrics(
+        vectors: Vec<Vec<f32>>,
+        config: ShardConfig,
+        registry: Arc<Registry>,
+    ) -> Result<Self, ServeError> {
+        if config.shards == 0 {
+            return Err(ServeError::Invalid("shard count must be at least 1".into()));
+        }
+        if vectors.is_empty() {
+            return Err(ServeError::EmptyIndex);
+        }
+        if vectors.len() < config.shards {
+            return Err(ServeError::Invalid(format!(
+                "cannot split {} vectors across {} shards (every shard needs at least one)",
+                vectors.len(),
+                config.shards
+            )));
+        }
+        let dim = vectors[0].len();
+        let n = config.shards;
+        // round-robin partition: global i → shard i % n, local i / n
+        let mut parts: Vec<Vec<Vec<f32>>> = (0..n).map(|_| Vec::new()).collect();
+        for (i, v) in vectors.into_iter().enumerate() {
+            parts[i % n].push(v);
+        }
+        // shard-parallel k-means builds; Mutex<Option<…>> lets each worker
+        // take its partition by value without cloning the vectors
+        let parts: Vec<Mutex<Option<Vec<Vec<f32>>>>> =
+            parts.into_iter().map(|p| Mutex::new(Some(p))).collect();
+        let indexes: Vec<Result<AnnIndex, ServeError>> = (0..n)
+            .into_par_iter()
+            .map(|i| {
+                let part = parts[i].lock().take().expect("each partition is built exactly once");
+                AnnIndex::try_build(part, config.index)
+            })
+            .collect();
+        let mut shards = Vec::with_capacity(n);
+        for (i, built) in indexes.into_iter().enumerate() {
+            let index = built?;
+            if index.dim() != dim {
+                return Err(ServeError::DimensionMismatch { expected: dim, got: index.dim() });
+            }
+            shards.push(Shard::new(i, n, index, config.cache_capacity, &registry));
+        }
+        Ok(ShardRouter {
+            shards,
+            dim,
+            config,
+            ingest_lock: Mutex::new(()),
+            metrics: RouterMetrics::new(registry),
+        })
+    }
+
+    /// Opens the sharded family at `base`: reads the manifest, recovers
+    /// every shard from its snapshot+journal pair and attaches the stores,
+    /// so later ingests journal to the owning shard.
+    ///
+    /// # Errors
+    /// Manifest problems, or any shard failing to recover (opening is an
+    /// all-or-nothing operation — partial families are what
+    /// [`verify_sharded`] diagnoses).
+    pub fn open(
+        base: &Path,
+        config: ShardConfig,
+    ) -> Result<(Self, Vec<RecoveryStats>), ServeError> {
+        Self::open_with_metrics(base, config, Arc::new(Registry::new()))
+    }
+
+    /// [`ShardRouter::open`] recording into a shared registry.
+    ///
+    /// # Errors
+    /// Same as [`ShardRouter::open`].
+    pub fn open_with_metrics(
+        base: &Path,
+        config: ShardConfig,
+        registry: Arc<Registry>,
+    ) -> Result<(Self, Vec<RecoveryStats>), ServeError> {
+        let manifest = ShardManifest::load(base)?;
+        let n = manifest.shards;
+        let mut shards = Vec::with_capacity(n);
+        let mut recoveries = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut store = IndexStore::open(shard_snapshot_path(base, i));
+            store.set_metrics(&registry);
+            let recovery = store.load()?;
+            if recovery.index.dim() != manifest.dim {
+                return Err(ServeError::DimensionMismatch {
+                    expected: manifest.dim,
+                    got: recovery.index.dim(),
+                });
+            }
+            recoveries.push(RecoveryStats {
+                recovered_len: recovery.index.len(),
+                replayed: recovery.replayed,
+                skipped: recovery.skipped,
+                discarded_tail: recovery.discarded_tail,
+            });
+            let shard = Shard::new(i, n, recovery.index, config.cache_capacity, &registry);
+            shard.attach_store(store);
+            shards.push(shard);
+        }
+        let router = ShardRouter {
+            shards,
+            dim: manifest.dim,
+            config: ShardConfig { shards: n, ..config },
+            ingest_lock: Mutex::new(()),
+            metrics: RouterMetrics::new(registry),
+        };
+        Ok((router, recoveries))
+    }
+
+    /// Attaches a fresh store (at the family layout under `base`) to every
+    /// shard and writes the manifest — after this, [`ShardRouter::persist_all`]
+    /// and per-shard journaling work.
+    ///
+    /// # Errors
+    /// Manifest write failures.
+    pub fn attach_stores(&self, base: &Path) -> Result<(), ServeError> {
+        ShardManifest { version: 1, shards: self.shards.len(), dim: self.dim }.save(base)?;
+        for shard in &self.shards {
+            let mut store = IndexStore::open(shard_snapshot_path(base, shard.ordinal()));
+            store.set_metrics(&self.metrics.registry);
+            shard.attach_store(store);
+        }
+        Ok(())
+    }
+
+    /// Snapshots every shard through its store (compacting each journal).
+    ///
+    /// # Errors
+    /// The first shard that fails to persist (stores must be attached).
+    pub fn persist_all(&self) -> Result<(), ServeError> {
+        for shard in &self.shards {
+            shard.persist()?;
+        }
+        Ok(())
+    }
+
+    /// The registry this router (and its shards) record into.
+    pub fn metrics(&self) -> Arc<Registry> {
+        self.metrics.registry.clone()
+    }
+
+    /// Vector width the router serves.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total vectors across all shards (last-known lengths for down
+    /// shards).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(Shard::len).sum()
+    }
+
+    /// Whether the router holds no vectors.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Direct access to shard `i` (tests, diagnostics, targeted healing).
+    pub fn shard(&self, i: usize) -> &Shard {
+        &self.shards[i]
+    }
+
+    /// Top-`k` across all shards for `vector`.
+    ///
+    /// # Errors
+    /// [`ServeError::DimensionMismatch`] on a width mismatch.
+    pub fn query(&self, vector: Vec<f32>, k: usize) -> Result<QueryResponse, ServeError> {
+        self.query_request(QueryRequest::new(vector, k))
+    }
+
+    /// Top-`k` across all shards, honouring the request's deadline: the
+    /// query is normalised once, fanned out shard-parallel, and the
+    /// per-shard top-K lists are heap-merged. Down shards degrade the
+    /// response ([`DegradeReason::ShardsDown`]) instead of failing it;
+    /// deadline-truncated shard scans degrade it with
+    /// [`DegradeReason::Deadline`].
+    ///
+    /// # Errors
+    /// [`ServeError::DimensionMismatch`] on a width mismatch.
+    pub fn query_request(&self, request: QueryRequest) -> Result<QueryResponse, ServeError> {
+        if request.vector.len() != self.dim {
+            return Err(ServeError::DimensionMismatch {
+                expected: self.dim,
+                got: request.vector.len(),
+            });
+        }
+        let deadline = request.deadline.map(|b| Instant::now() + b);
+        // the raw query goes to every shard: each shard normalises
+        // internally, the very arithmetic a single index would run, so
+        // per-shard scores are bit-identical to the unsharded scan's
+        let q = request.vector;
+        let k = request.k;
+        let results: Vec<Result<crate::shard::LocalHits, ServeError>> =
+            self.shards.par_iter().map(|s| s.search_local(&q, k, deadline)).collect();
+        let mut lists = Vec::with_capacity(results.len());
+        let mut shards_down = 0usize;
+        let mut deadline_degraded = false;
+        let mut fanouts = 0u64;
+        for r in results {
+            match r {
+                Ok(local) => {
+                    if !local.cached {
+                        fanouts += 1;
+                    }
+                    deadline_degraded |= local.deadline_degraded;
+                    lists.push(local.hits);
+                }
+                Err(ServeError::ShardDown { .. }) => shards_down += 1,
+                Err(e) => return Err(e),
+            }
+        }
+        let t0 = Instant::now();
+        let hits = merge_top_k(&lists, k);
+        self.metrics.merge_ns.record(t0.elapsed().as_nanos() as u64);
+        self.metrics.queries.inc();
+        self.metrics.fanouts.add(fanouts);
+        let response = if shards_down > 0 {
+            self.metrics.degraded.inc();
+            self.metrics.shards_down_serves.inc();
+            QueryResponse { hits, degraded: true, reason: Some(DegradeReason::ShardsDown) }
+        } else if deadline_degraded {
+            self.metrics.degraded.inc();
+            QueryResponse { hits, degraded: true, reason: Some(DegradeReason::Deadline) }
+        } else {
+            QueryResponse { hits, degraded: false, reason: None }
+        };
+        Ok(response)
+    }
+
+    /// Answers a whole batch in request order (each request fans out
+    /// shard-parallel in turn).
+    ///
+    /// # Errors
+    /// [`ServeError::DimensionMismatch`] when any request's width is
+    /// wrong.
+    pub fn query_batch(
+        &self,
+        requests: Vec<QueryRequest>,
+    ) -> Result<Vec<QueryResponse>, ServeError> {
+        requests.into_iter().map(|r| self.query_request(r)).collect()
+    }
+
+    /// Ingests one paper: assigns the smallest unassigned global id among
+    /// healthy shards, journals to the owning shard (fsync before ack when
+    /// a store is attached) and inserts — other shards' caches are never
+    /// touched.
+    ///
+    /// # Errors
+    /// Width mismatch, every shard down, or the owning shard's journal
+    /// failing (in which case that shard goes down and nothing is acked).
+    pub fn ingest_vector(&self, vector: Vec<f32>) -> Result<IngestAck, ServeError> {
+        if vector.len() != self.dim {
+            return Err(ServeError::DimensionMismatch { expected: self.dim, got: vector.len() });
+        }
+        let _route = self.ingest_lock.lock();
+        let n = self.shards.len();
+        let target = self
+            .shards
+            .iter()
+            .filter(|s| !s.is_down())
+            .min_by_key(|s| s.len() * n + s.ordinal())
+            .ok_or_else(|| ServeError::ShardDown {
+                shard: 0,
+                detail: "every shard is down".into(),
+            })?;
+        let global = target.len() * n + target.ordinal();
+        debug_assert_eq!(shard_of(global, n), target.ordinal());
+        let durability = target.ingest_local(global, vector)?;
+        self.metrics.ingested.inc();
+        Ok(IngestAck { id: global, durable: matches!(durability, Some(Durability::Synced)) })
+    }
+
+    /// Heals shard `i` — and only shard `i` — from its own store.
+    ///
+    /// # Errors
+    /// Out-of-range ordinal, no store attached, or recovery failing (the
+    /// shard stays down).
+    pub fn recover_shard(&self, i: usize) -> Result<RecoveryStats, ServeError> {
+        let Some(shard) = self.shards.get(i) else {
+            return Err(ServeError::Invalid(format!(
+                "shard {i} out of range (router has {})",
+                self.shards.len()
+            )));
+        };
+        shard.recover_from_store()
+    }
+
+    /// Current router counters plus each shard's snapshot.
+    pub fn stats(&self) -> RouterStatsSnapshot {
+        let per_shard: Vec<ShardStatsSnapshot> = self.shards.iter().map(Shard::stats).collect();
+        RouterStatsSnapshot {
+            len: self.len(),
+            shards: self.shards.len(),
+            shards_down: per_shard.iter().filter(|s| s.down).count(),
+            queries: self.metrics.queries.get(),
+            fanouts: self.metrics.fanouts.get(),
+            degraded: self.metrics.degraded.get(),
+            shards_down_serves: self.metrics.shards_down_serves.get(),
+            ingested: self.metrics.ingested.get(),
+            merge: LatencySummary::of(&self.metrics.merge_ns),
+            per_shard,
+        }
+    }
+
+    /// The configuration the router was built with.
+    pub fn config(&self) -> ShardConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexConfig;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect()
+    }
+
+    fn flat_config(shards: usize) -> ShardConfig {
+        // exact per-shard scans so results are reference-comparable
+        ShardConfig {
+            shards,
+            index: IndexConfig { flat_threshold: usize::MAX, ..Default::default() },
+            cache_capacity: 64,
+        }
+    }
+
+    #[test]
+    fn sharded_results_match_single_flat_scan() {
+        let vectors = random_vectors(240, 10, 1);
+        let single = AnnIndex::build(
+            vectors.clone(),
+            IndexConfig { flat_threshold: usize::MAX, ..Default::default() },
+        );
+        for n in [1usize, 2, 4, 8] {
+            let router = ShardRouter::try_build(vectors.clone(), flat_config(n)).unwrap();
+            for (qi, q) in random_vectors(6, 10, 2).into_iter().enumerate() {
+                let merged = router.query(q.clone(), 12).unwrap();
+                assert!(!merged.degraded);
+                assert_eq!(merged.hits, single.search(&q, 12), "n={n} q={qi}");
+            }
+        }
+    }
+
+    #[test]
+    fn ingest_routes_round_robin_and_matches_reference() {
+        let vectors = random_vectors(40, 6, 3);
+        let router = ShardRouter::try_build(vectors.clone(), flat_config(4)).unwrap();
+        let mut reference = AnnIndex::build(
+            vectors,
+            IndexConfig { flat_threshold: usize::MAX, ..Default::default() },
+        );
+        for v in random_vectors(13, 6, 4) {
+            let ack = router.ingest_vector(v.clone()).unwrap();
+            assert_eq!(ack.id, reference.insert(v));
+        }
+        assert_eq!(router.len(), 53);
+        let q = random_vectors(1, 6, 5).pop().unwrap();
+        assert_eq!(router.query(q.clone(), 9).unwrap().hits, reference.search(&q, 9));
+        // ingests spread across shards: lengths differ by at most one
+        let lens: Vec<usize> = (0..4).map(|i| router.shard(i).len()).collect();
+        let (min, max) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+        assert!(max - min <= 1, "{lens:?}");
+    }
+
+    #[test]
+    fn width_mismatches_are_typed_errors() {
+        let router = ShardRouter::try_build(random_vectors(20, 5, 6), flat_config(2)).unwrap();
+        assert!(matches!(
+            router.query(vec![0.0; 3], 4),
+            Err(ServeError::DimensionMismatch { expected: 5, got: 3 })
+        ));
+        assert!(matches!(
+            router.ingest_vector(vec![0.0; 9]),
+            Err(ServeError::DimensionMismatch { expected: 5, got: 9 })
+        ));
+    }
+
+    #[test]
+    fn build_rejects_degenerate_shapes() {
+        assert!(matches!(
+            ShardRouter::try_build(Vec::new(), flat_config(2)),
+            Err(ServeError::EmptyIndex)
+        ));
+        assert!(ShardRouter::try_build(random_vectors(3, 4, 7), flat_config(8)).is_err());
+        assert!(ShardRouter::try_build(random_vectors(3, 4, 7), flat_config(0)).is_err());
+    }
+
+    #[test]
+    fn persist_open_roundtrip_preserves_results() {
+        let dir = std::env::temp_dir().join(format!("sem-router-rt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("family.snap");
+        let vectors = random_vectors(90, 8, 8);
+        let router = ShardRouter::try_build(vectors, flat_config(3)).unwrap();
+        router.attach_stores(&base).unwrap();
+        router.persist_all().unwrap();
+        let ack = router.ingest_vector(random_vectors(1, 8, 9).pop().unwrap()).unwrap();
+        assert!(ack.durable, "journaled + fsynced through the owning shard's store");
+        let (reopened, recoveries) = ShardRouter::open(&base, flat_config(3)).unwrap();
+        assert_eq!(reopened.len(), 91);
+        assert_eq!(recoveries.iter().map(|r| r.replayed).sum::<usize>(), 1);
+        let q = random_vectors(1, 8, 10).pop().unwrap();
+        assert_eq!(reopened.query(q.clone(), 7).unwrap().hits, router.query(q, 7).unwrap().hits);
+        let report = verify_sharded(&base).unwrap();
+        assert!(report.ok, "{report:?}");
+        assert_eq!(report.per_shard.len(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stats_expose_per_shard_counters() {
+        let router = ShardRouter::try_build(random_vectors(60, 6, 11), flat_config(3)).unwrap();
+        let q = random_vectors(1, 6, 12).pop().unwrap();
+        router.query(q.clone(), 5).unwrap();
+        router.query(q, 5).unwrap(); // all three shards hit their caches
+        let s = router.stats();
+        assert_eq!(s.queries, 2);
+        assert_eq!(s.fanouts, 3, "second round was all cache hits");
+        assert_eq!(s.per_shard.len(), 3);
+        assert!(s.per_shard.iter().all(|p| p.cache_hits == 1 && p.cache_misses == 1));
+        assert_eq!(s.shards_down, 0);
+    }
+}

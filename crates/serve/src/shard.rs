@@ -1,0 +1,588 @@
+//! One shard of a partitioned index: a slice of the corpus behind its own
+//! lock, cache, metrics and (optionally) crash-safe store.
+//!
+//! **Partitioning scheme.** Papers are round-robin partitioned by global
+//! id: paper `g` lives in shard `g % N` at local position `g / N`, so
+//! `global = local * N + shard` holds by construction — no id map is
+//! stored, and a shard's local insertion order is exactly the global order
+//! restricted to its residue class.
+//!
+//! **Per-shard caching.** Each shard caches its *local* top-K for a query.
+//! An ingested paper lands in exactly one shard, so it can only ever
+//! change that shard's local results — every other shard's cached entries
+//! remain *provably correct* (not merely "probably fresh") and survive the
+//! write. This is the invalidation-granularity fix over the single-engine
+//! cache, which had to drop any entry the newcomer might crack.
+//!
+//! **Merging.** [`merge_top_k`] combines per-shard sorted top-K lists with
+//! a bounded binary heap (one head per list, `k` pops), preserving the
+//! index's total order: score descending, global id ascending on ties.
+
+use std::collections::BinaryHeap;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::{Mutex, RwLock};
+use sem_obs::{Counter, Gauge, Histogram, Registry};
+use serde::Serialize;
+
+use crate::cache::LruCache;
+use crate::engine::{dot, LatencySummary};
+use crate::error::ServeError;
+use crate::index::{AnnIndex, Hit, IndexConfig};
+use crate::store::{Durability, IndexStore};
+
+/// Shard that owns global id `g` under an `n`-way partition.
+pub fn shard_of(global: usize, n: usize) -> usize {
+    global % n
+}
+
+/// Global id of local position `local` in shard `shard` of `n`.
+pub fn global_id(shard: usize, local: usize, n: usize) -> usize {
+    local * n + shard
+}
+
+/// Sharded-serving construction knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardConfig {
+    /// Number of shards (≥ 1).
+    pub shards: usize,
+    /// Per-shard ANN index parameters.
+    pub index: IndexConfig,
+    /// Per-shard result-cache capacity (entries).
+    pub cache_capacity: usize,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig { shards: 4, index: IndexConfig::default(), cache_capacity: 1024 }
+    }
+}
+
+/// Exact f32 bit-pattern cache key (same contract as the engine cache: two
+/// queries share an entry only when their normalised vectors and `k`
+/// match bit for bit).
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct ShardCacheKey {
+    bits: Vec<u32>,
+    k: usize,
+}
+
+impl ShardCacheKey {
+    fn new(vector: &[f32], k: usize) -> Self {
+        ShardCacheKey { bits: vector.iter().map(|v| v.to_bits()).collect(), k }
+    }
+}
+
+struct ShardCacheEntry {
+    /// Normalised query, kept for targeted invalidation.
+    query: Vec<f32>,
+    k: usize,
+    /// Local top-K with ids already mapped to global.
+    hits: Vec<Hit>,
+}
+
+/// Live or dead: a shard that lost its store (injected crash, corrupt
+/// journal) goes `Down` and keeps refusing work until
+/// [`Shard::recover_from_store`] heals it.
+enum ShardState {
+    Ready(AnnIndex),
+    Down(String),
+}
+
+/// Pre-registered per-shard metric handles (`serve.shard<i>.*`).
+struct ShardMetrics {
+    scan_ns: Arc<Histogram>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    ingested: Arc<Counter>,
+    invalidated: Arc<Counter>,
+    len: Arc<Gauge>,
+    inflight: Arc<Gauge>,
+    downs: Arc<Counter>,
+    recoveries: Arc<Counter>,
+}
+
+impl ShardMetrics {
+    fn new(registry: &Registry, ordinal: usize) -> Self {
+        let name = |suffix: &str| format!("serve.shard{ordinal}.{suffix}");
+        ShardMetrics {
+            scan_ns: registry.histogram(&name("scan.ns")),
+            cache_hits: registry.counter(&name("cache.hits")),
+            cache_misses: registry.counter(&name("cache.misses")),
+            ingested: registry.counter(&name("ingested")),
+            invalidated: registry.counter(&name("cache.invalidated")),
+            len: registry.gauge(&name("len")),
+            inflight: registry.gauge(&name("inflight")),
+            downs: registry.counter(&name("downs")),
+            recoveries: registry.counter(&name("recoveries")),
+        }
+    }
+}
+
+/// Point-in-time view of one shard (part of the router's stats report).
+#[derive(Clone, Debug, Serialize)]
+pub struct ShardStatsSnapshot {
+    /// Shard ordinal.
+    pub shard: usize,
+    /// Vectors this shard holds (last known length while down).
+    pub len: usize,
+    /// `true` when the shard is refusing work.
+    pub down: bool,
+    /// Why, when down.
+    pub down_reason: Option<String>,
+    /// Local cache hits.
+    pub cache_hits: u64,
+    /// Local cache misses (scans).
+    pub cache_misses: u64,
+    /// Entries currently cached.
+    pub cache_len: u64,
+    /// Papers routed to this shard.
+    pub ingested: u64,
+    /// Cache entries dropped by targeted invalidation.
+    pub invalidated: u64,
+    /// Per-query local scan latency.
+    pub scan: LatencySummary,
+}
+
+/// What a local search produced.
+pub(crate) struct LocalHits {
+    /// Local top-K, ids mapped to global, sorted score desc / id asc.
+    pub hits: Vec<Hit>,
+    /// `true` when a deadline truncated the scan.
+    pub deadline_degraded: bool,
+    /// `true` when served from the shard cache.
+    pub cached: bool,
+}
+
+/// One partition of the corpus: an [`AnnIndex`] over the local vectors, an
+/// LRU cache of local results, optional crash-safe persistence, and
+/// per-shard metrics. Global ids are derived positionally (see the module
+/// docs), so hits leave the shard already globally addressed.
+pub struct Shard {
+    ordinal: usize,
+    n_shards: usize,
+    state: RwLock<ShardState>,
+    /// Last known length, readable while the state is `Down`.
+    last_len: Mutex<usize>,
+    cache: Mutex<LruCache<ShardCacheKey, ShardCacheEntry>>,
+    store: Mutex<Option<IndexStore>>,
+    metrics: ShardMetrics,
+}
+
+impl Shard {
+    /// Wraps a built local index as shard `ordinal` of `n_shards`.
+    pub(crate) fn new(
+        ordinal: usize,
+        n_shards: usize,
+        index: AnnIndex,
+        cache_capacity: usize,
+        registry: &Registry,
+    ) -> Self {
+        let metrics = ShardMetrics::new(registry, ordinal);
+        metrics.len.set(index.len() as f64);
+        Shard {
+            ordinal,
+            n_shards,
+            last_len: Mutex::new(index.len()),
+            state: RwLock::new(ShardState::Ready(index)),
+            cache: Mutex::new(LruCache::new(cache_capacity)),
+            store: Mutex::new(None),
+            metrics,
+        }
+    }
+
+    /// Shard ordinal (also the residue class of the global ids it owns).
+    pub fn ordinal(&self) -> usize {
+        self.ordinal
+    }
+
+    /// Vectors held (last known length while down).
+    pub fn len(&self) -> usize {
+        match &*self.state.read() {
+            ShardState::Ready(index) => index.len(),
+            ShardState::Down(_) => *self.last_len.lock(),
+        }
+    }
+
+    /// Whether the shard holds no vectors.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` while the shard is refusing work.
+    pub fn is_down(&self) -> bool {
+        matches!(&*self.state.read(), ShardState::Down(_))
+    }
+
+    /// Why the shard is down, when it is.
+    pub fn down_reason(&self) -> Option<String> {
+        match &*self.state.read() {
+            ShardState::Down(reason) => Some(reason.clone()),
+            ShardState::Ready(_) => None,
+        }
+    }
+
+    /// Attaches a durable store; subsequent ingests journal through it.
+    pub fn attach_store(&self, store: IndexStore) {
+        *self.store.lock() = Some(store);
+    }
+
+    /// Snapshot path of the attached store, when any.
+    pub fn store_path(&self) -> Option<PathBuf> {
+        self.store.lock().as_ref().map(|s| s.snapshot_path().to_path_buf())
+    }
+
+    /// Local search. The query is passed **unnormalised** so the shard's
+    /// internal normalise-then-dot is the same arithmetic (bit for bit) as
+    /// a single index's — sharded scores equal single-index scores
+    /// exactly, which the equivalence proptest pins down. Ids in the
+    /// returned hits are global. Serves from the shard cache when
+    /// possible; only full-fidelity results are cached.
+    pub(crate) fn search_local(
+        &self,
+        query: &[f32],
+        k: usize,
+        deadline: Option<Instant>,
+    ) -> Result<LocalHits, ServeError> {
+        let key = ShardCacheKey::new(query, k);
+        if let Some(entry) = self.cache.lock().get(&key) {
+            self.metrics.cache_hits.inc();
+            return Ok(LocalHits {
+                hits: entry.hits.clone(),
+                deadline_degraded: false,
+                cached: true,
+            });
+        }
+        self.metrics.cache_misses.inc();
+        let guard = self.state.read();
+        let ShardState::Ready(index) = &*guard else {
+            let reason = self.down_reason().unwrap_or_default();
+            return Err(ServeError::ShardDown { shard: self.ordinal, detail: reason });
+        };
+        self.metrics.inflight.set(self.metrics.inflight.get() + 1.0);
+        let t0 = Instant::now();
+        let (local, deadline_degraded) = index.search_deadline(query, k, deadline)?;
+        self.metrics.scan_ns.record(t0.elapsed().as_nanos() as u64);
+        self.metrics.inflight.set((self.metrics.inflight.get() - 1.0).max(0.0));
+        drop(guard);
+        let hits: Vec<Hit> = local
+            .into_iter()
+            .map(|h| Hit { id: global_id(self.ordinal, h.id, self.n_shards), score: h.score })
+            .collect();
+        if !deadline_degraded {
+            // the entry keeps the *normalised* query: the invalidation
+            // rule's dot-product bound is a cosine bound only then
+            self.cache.lock().insert(
+                key,
+                ShardCacheEntry { query: crate::engine::normalized(query), k, hits: hits.clone() },
+            );
+        }
+        Ok(LocalHits { hits, deadline_degraded, cached: false })
+    }
+
+    /// Ingests the vector owning global id `global` (must satisfy
+    /// `global % n == ordinal`). Journals first when a store is attached;
+    /// a journal failure marks the shard down — exactly like a machine
+    /// whose disk died mid-write — and the error is returned unacked.
+    pub(crate) fn ingest_local(
+        &self,
+        global: usize,
+        vector: Vec<f32>,
+    ) -> Result<Option<Durability>, ServeError> {
+        debug_assert_eq!(shard_of(global, self.n_shards), self.ordinal);
+        let durability = {
+            let mut guard = self.state.write();
+            let ShardState::Ready(index) = &mut *guard else {
+                let reason = match &*guard {
+                    ShardState::Down(r) => r.clone(),
+                    ShardState::Ready(_) => unreachable!(),
+                };
+                return Err(ServeError::ShardDown { shard: self.ordinal, detail: reason });
+            };
+            let local = index.len();
+            debug_assert_eq!(global_id(self.ordinal, local, self.n_shards), global);
+            let durability = match &mut *self.store.lock() {
+                Some(store) => match store.append_journal(local, &vector) {
+                    Ok(d) => Some(d),
+                    Err(e) => {
+                        // the store is wrecked: take the shard down so the
+                        // router serves the rest and this one can be healed
+                        let reason = format!("journal append failed: {e}");
+                        *self.last_len.lock() = index.len();
+                        *guard = ShardState::Down(reason);
+                        self.metrics.downs.inc();
+                        return Err(e);
+                    }
+                },
+                None => None,
+            };
+            let inserted = index.try_insert(vector.clone())?;
+            debug_assert_eq!(inserted, local);
+            self.metrics.len.set(index.len() as f64);
+            durability
+        };
+        // targeted invalidation, scoped to this shard: drop exactly the
+        // local entries the newcomer could crack
+        let v = crate::engine::normalized(&vector);
+        let dropped = self.cache.lock().retain(|_, entry| {
+            if entry.hits.len() < entry.k {
+                return false;
+            }
+            let kth = entry.hits.last().map_or(f32::NEG_INFINITY, |h| h.score);
+            dot(&v, &entry.query) < kth
+        });
+        self.metrics.ingested.inc();
+        self.metrics.invalidated.add(dropped as u64);
+        Ok(durability)
+    }
+
+    /// Atomically snapshots the shard through its store (compacting the
+    /// journal).
+    ///
+    /// # Errors
+    /// No store attached, shard down, or the store's own failures.
+    pub fn persist(&self) -> Result<(), ServeError> {
+        let guard = self.state.read();
+        let ShardState::Ready(index) = &*guard else {
+            return Err(ServeError::ShardDown {
+                shard: self.ordinal,
+                detail: self.down_reason().unwrap_or_default(),
+            });
+        };
+        let mut store = self.store.lock();
+        let Some(store) = store.as_mut() else {
+            return Err(ServeError::Invalid(format!(
+                "shard {} has no store attached",
+                self.ordinal
+            )));
+        };
+        store.save_snapshot(index)
+    }
+
+    /// Heals this shard — and only this shard — from its store: reopens
+    /// the snapshot+journal pair fresh (a crashed store object models a
+    /// dead machine and cannot be reused), replays, swaps `Ready` back in
+    /// and clears the local cache. Other shards are untouched.
+    ///
+    /// # Errors
+    /// No store attached, or recovery itself failing (the shard then stays
+    /// down with the failure as its reason).
+    pub fn recover_from_store(&self) -> Result<crate::engine::RecoveryStats, ServeError> {
+        let path = {
+            let store = self.store.lock();
+            let Some(store) = store.as_ref() else {
+                return Err(ServeError::Invalid(format!(
+                    "shard {} has no store attached",
+                    self.ordinal
+                )));
+            };
+            store.snapshot_path().to_path_buf()
+        };
+        let fresh = IndexStore::open(&path);
+        let recovery = match fresh.load() {
+            Ok(r) => r,
+            Err(e) => {
+                let mut guard = self.state.write();
+                if let ShardState::Ready(index) = &*guard {
+                    *self.last_len.lock() = index.len();
+                }
+                *guard = ShardState::Down(format!("recovery failed: {e}"));
+                return Err(e);
+            }
+        };
+        *self.store.lock() = Some(fresh);
+        let stats = crate::engine::RecoveryStats {
+            recovered_len: recovery.index.len(),
+            replayed: recovery.replayed,
+            skipped: recovery.skipped,
+            discarded_tail: recovery.discarded_tail,
+        };
+        let mut guard = self.state.write();
+        *self.last_len.lock() = recovery.index.len();
+        self.metrics.len.set(recovery.index.len() as f64);
+        *guard = ShardState::Ready(recovery.index);
+        drop(guard);
+        self.cache.lock().clear();
+        self.metrics.recoveries.inc();
+        Ok(stats)
+    }
+
+    /// Read access to the shard's index (tests/diagnostics).
+    ///
+    /// # Errors
+    /// [`ServeError::ShardDown`] while the shard is down.
+    pub fn with_index<R>(&self, f: impl FnOnce(&AnnIndex) -> R) -> Result<R, ServeError> {
+        match &*self.state.read() {
+            ShardState::Ready(index) => Ok(f(index)),
+            ShardState::Down(reason) => {
+                Err(ServeError::ShardDown { shard: self.ordinal, detail: reason.clone() })
+            }
+        }
+    }
+
+    /// Current per-shard counters.
+    pub fn stats(&self) -> ShardStatsSnapshot {
+        ShardStatsSnapshot {
+            shard: self.ordinal,
+            len: self.len(),
+            down: self.is_down(),
+            down_reason: self.down_reason(),
+            cache_hits: self.metrics.cache_hits.get(),
+            cache_misses: self.metrics.cache_misses.get(),
+            cache_len: self.cache.lock().len() as u64,
+            ingested: self.metrics.ingested.get(),
+            invalidated: self.metrics.invalidated.get(),
+            scan: LatencySummary::of(&self.metrics.scan_ns),
+        }
+    }
+}
+
+/// A heap head during the k-way merge: ordered so the heap pops the best
+/// hit first (score descending, global id ascending on ties — the same
+/// total order the index's `top_k` uses).
+struct Head {
+    score: f32,
+    id: usize,
+    list: usize,
+    pos: usize,
+}
+
+impl PartialEq for Head {
+    fn eq(&self, other: &Self) -> bool {
+        self.score.to_bits() == other.score.to_bits() && self.id == other.id
+    }
+}
+impl Eq for Head {}
+
+impl Ord for Head {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // max-heap: "greater" = served earlier = higher score, smaller id
+        self.score.total_cmp(&other.score).then(other.id.cmp(&self.id))
+    }
+}
+impl PartialOrd for Head {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Merges per-shard sorted top-K lists into the global top-`k` with a
+/// bounded binary heap: at most one head per list lives in the heap, and
+/// exactly `k` pops happen — O((L + k) · log L) for L lists, independent
+/// of corpus size.
+pub fn merge_top_k(lists: &[Vec<Hit>], k: usize) -> Vec<Hit> {
+    let mut heap: BinaryHeap<Head> = lists
+        .iter()
+        .enumerate()
+        .filter_map(|(l, hits)| {
+            hits.first().map(|h| Head { score: h.score, id: h.id, list: l, pos: 0 })
+        })
+        .collect();
+    let mut out = Vec::with_capacity(k.min(lists.iter().map(Vec::len).sum()));
+    while out.len() < k {
+        let Some(head) = heap.pop() else { break };
+        out.push(Hit { id: head.id, score: head.score });
+        if let Some(next) = lists[head.list].get(head.pos + 1) {
+            heap.push(Head { score: next.score, id: next.id, list: head.list, pos: head.pos + 1 });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect()
+    }
+
+    #[test]
+    fn id_arithmetic_round_trips() {
+        for n in [1usize, 2, 4, 8] {
+            for g in 0..40 {
+                let s = shard_of(g, n);
+                assert!(s < n);
+                assert_eq!(global_id(s, g / n, n), g);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_matches_flat_sort() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let lists: Vec<Vec<Hit>> = (0..rng.gen_range(1..6))
+                .map(|l| {
+                    let mut hits: Vec<Hit> = (0..rng.gen_range(0..12))
+                        .map(|i| Hit {
+                            id: i * 4 + l,
+                            // quantised scores force plenty of ties
+                            score: (rng.gen_range(0..5) as f32) / 4.0,
+                        })
+                        .collect();
+                    hits.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.id.cmp(&b.id)));
+                    hits
+                })
+                .collect();
+            let k = rng.gen_range(0..15);
+            let merged = merge_top_k(&lists, k);
+            let mut reference: Vec<Hit> = lists.iter().flatten().copied().collect();
+            reference.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.id.cmp(&b.id)));
+            reference.truncate(k);
+            assert_eq!(merged, reference);
+        }
+    }
+
+    #[test]
+    fn merge_of_empty_lists_is_empty() {
+        assert!(merge_top_k(&[], 5).is_empty());
+        assert!(merge_top_k(&[Vec::new(), Vec::new()], 5).is_empty());
+    }
+
+    #[test]
+    fn shard_search_maps_ids_to_global_and_caches() {
+        let registry = Registry::new();
+        // shard 1 of 3: locals 0..9 are globals 1, 4, 7, ...
+        let index = AnnIndex::build(random_vectors(10, 6, 1), IndexConfig::default());
+        let shard = Shard::new(1, 3, index, 64, &registry);
+        let q = crate::engine::normalized(&random_vectors(1, 6, 2).pop().unwrap());
+        let first = shard.search_local(&q, 4, None).unwrap();
+        assert!(!first.cached);
+        for h in &first.hits {
+            assert_eq!(h.id % 3, 1, "global ids carry the shard residue");
+        }
+        let second = shard.search_local(&q, 4, None).unwrap();
+        assert!(second.cached);
+        assert_eq!(second.hits, first.hits);
+        let s = shard.stats();
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_misses, 1);
+    }
+
+    #[test]
+    fn ingest_local_keeps_unaffected_entries() {
+        let registry = Registry::new();
+        let index = AnnIndex::build(
+            vec![vec![1.0, 0.0], vec![0.9, 0.1], vec![0.8, 0.2]],
+            IndexConfig::default(),
+        );
+        let shard = Shard::new(0, 2, index, 64, &registry);
+        let hot = crate::engine::normalized(&[1.0, 0.0]);
+        let cold = crate::engine::normalized(&[-1.0, 0.0]);
+        shard.search_local(&hot, 2, None).unwrap();
+        shard.search_local(&cold, 2, None).unwrap();
+        // global 6 = local 3 of shard 0 (n=2); aligned with `hot` only
+        shard.ingest_local(6, vec![10.0, 0.0]).unwrap();
+        let s = shard.stats();
+        assert_eq!(s.invalidated, 1);
+        assert_eq!(s.cache_len, 1);
+        assert!(shard.search_local(&cold, 2, None).unwrap().cached);
+        assert!(!shard.search_local(&hot, 2, None).unwrap().cached);
+    }
+}
