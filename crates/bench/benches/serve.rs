@@ -11,8 +11,8 @@ use std::time::{Duration, Instant};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::{Rng, SeedableRng};
 use sem_serve::{
-    loadgen, AnnIndex, EngineConfig, IndexConfig, QueryEngine, QueryRequest, ShardConfig,
-    ShardRouter,
+    loadgen, AnnIndex, EngineConfig, HedgeConfig, IndexConfig, QueryEngine, QueryRequest,
+    ShardConfig, ShardRouter, ShardSupervisor, SupervisorConfig,
 };
 
 const DIM: usize = 24;
@@ -158,6 +158,45 @@ fn bench_sustained_load(c: &mut Criterion) {
     });
 }
 
+fn bench_supervisor(c: &mut Criterion) {
+    // One full supervisor pass (self-query probe on every healthy shard):
+    // the steady-state cost the healing loop adds per probe interval. It
+    // must stay far below the probe interval itself.
+    let config = ShardConfig { shards: 8, index: ivf_config(), ..Default::default() };
+    let router = std::sync::Arc::new(
+        ShardRouter::try_build(corpus_vectors(20_000, 7), config).expect("corpus shards cleanly"),
+    );
+    let supervisor = std::sync::Arc::new(ShardSupervisor::new(router, SupervisorConfig::default()));
+    c.bench_function("serve/supervisor-tick-20k-8shards", |bench| bench.iter(|| supervisor.tick()));
+}
+
+fn bench_hedged_query(c: &mut Criterion) {
+    // Hedged scatter-gather with a soft timeout no healthy shard ever
+    // hits: measures the pure overhead of the channel-based fan-out
+    // (thread spawn + mpsc merge) over the rayon path benched above in
+    // `serve/sharded-query-top10-100k-8shards`.
+    let config = ShardConfig {
+        shards: 8,
+        index: ivf_config(),
+        // rotate queries through a tiny cache so the scan path is measured
+        cache_capacity: 1,
+    };
+    let router =
+        ShardRouter::try_build(corpus_vectors(20_000, 7), config).expect("corpus shards cleanly");
+    router.set_hedge(Some(HedgeConfig {
+        soft_timeout: Duration::from_secs(30),
+        hedge_wait: Duration::from_secs(30),
+    }));
+    let queries = corpus_vectors(64, 99);
+    let cursor = AtomicU64::new(0);
+    c.bench_function("serve/hedged-query-top10-20k-8shards", |bench| {
+        bench.iter(|| {
+            let i = cursor.fetch_add(1, Ordering::Relaxed) as usize % queries.len();
+            black_box(router.query(queries[i].clone(), 10).unwrap())
+        })
+    });
+}
+
 criterion_group!(
     benches,
     bench_build,
@@ -165,6 +204,8 @@ criterion_group!(
     bench_deadline,
     bench_ingest,
     bench_sharded,
-    bench_sustained_load
+    bench_sustained_load,
+    bench_supervisor,
+    bench_hedged_query
 );
 criterion_main!(benches);

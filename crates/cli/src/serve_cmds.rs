@@ -25,16 +25,17 @@ fn to_pretty<T: Serialize>(value: &T) -> Result<String, CliError> {
     serde_json::to_string_pretty(value).map_err(|e| CliError(format!("report serialisation: {e}")))
 }
 
-/// Dispatches `sem index <build|query|verify> ...`.
+/// Dispatches `sem index <build|query|verify|probe> ...`.
 pub(crate) fn index(argv: &[String]) -> Result<String, CliError> {
     let Some(sub) = argv.first() else {
-        return Err(CliError("usage: sem index <build|query|verify> ...".into()));
+        return Err(CliError("usage: sem index <build|query|verify|probe> ...".into()));
     };
     let args = Args::parse(&argv[1..])?;
     match sub.as_str() {
         "build" => index_build(&args),
         "query" => index_query(&args),
         "verify" => index_verify(&args),
+        "probe" => index_probe(&args),
         other => Err(CliError(format!("unknown index subcommand {other:?}"))),
     }
 }
@@ -122,6 +123,49 @@ fn index_verify(args: &Args) -> Result<String, CliError> {
         Ok(rendered)
     } else {
         Err(CliError(format!("index failed verification:\n{rendered}")))
+    }
+}
+
+/// Report for `sem index probe`: per-shard health-probe outcomes, the
+/// same check the in-process [`sem_serve::ShardSupervisor`] runs.
+#[derive(Serialize)]
+struct ProbeSummary {
+    mode: String,
+    shards: usize,
+    serving_ok: bool,
+    probes: Vec<sem_serve::ProbeReport>,
+}
+
+/// `sem index probe --index index.snap [--check-store true]`: runs the
+/// supervisor's health probe against each shard of the family (or the
+/// single snapshot) and prints a JSON verdict. Exit status is an error
+/// when any serving probe fails — the operator-facing analogue of a
+/// supervisor trip.
+fn index_probe(args: &Args) -> Result<String, CliError> {
+    let path = args.required("index")?;
+    let check_store = args.get("check-store").map(|v| v == "true").unwrap_or(false);
+    let base = std::path::Path::new(path);
+    let (mode, router) = if ShardManifest::exists(base) {
+        let (router, _recoveries) = ShardRouter::open(base, ShardConfig::default())?;
+        ("sharded".to_string(), router)
+    } else {
+        // a single snapshot probes as a one-shard family
+        let (index, _recovery) = load_index(path)?;
+        let vectors = (0..index.len()).map(|i| index.vector(i).to_vec()).collect();
+        let router =
+            ShardRouter::try_build(vectors, ShardConfig { shards: 1, ..Default::default() })?;
+        ("single".to_string(), router)
+    };
+    let probes: Vec<sem_serve::ProbeReport> = (0..router.num_shards())
+        .map(|i| router.shard(i).probe(check_store))
+        .collect::<Result<_, _>>()?;
+    let serving_ok = probes.iter().all(sem_serve::ProbeReport::serving_ok);
+    let report = ProbeSummary { mode, shards: router.num_shards(), serving_ok, probes };
+    let rendered = to_pretty(&report)?;
+    if serving_ok {
+        Ok(rendered)
+    } else {
+        Err(CliError(format!("index failed its health probe:\n{rendered}")))
     }
 }
 
@@ -533,6 +577,12 @@ mod tests {
         assert!(verified.contains("\"ok\": true"), "{verified}");
         assert!(verified.contains("\"format\": \"v1\""), "{verified}");
 
+        // and the health probe, loaded as a one-shard family
+        let probed =
+            run(&argv(&["index", "probe", "--index", index_path.to_str().unwrap()])).unwrap();
+        assert!(probed.contains("\"mode\": \"single\""), "{probed}");
+        assert!(probed.contains("\"serving_ok\": true"), "{probed}");
+
         // batched query: each paper's own vector must rank itself first
         let q = run(&argv(&[
             "index",
@@ -667,6 +717,23 @@ mod tests {
         assert!(verified.contains("\"ok\": true"), "{verified}");
         assert!(verified.contains("\"shard\": 2"), "{verified}");
 
+        // supervisor-style health probe: every shard self-queries clean,
+        // and --check-store adds the per-shard on-disk verdict
+        let probed = run(&argv(&[
+            "index",
+            "probe",
+            "--index",
+            index_path.to_str().unwrap(),
+            "--check-store",
+            "true",
+        ]))
+        .unwrap();
+        assert!(probed.contains("\"mode\": \"sharded\""), "{probed}");
+        assert!(probed.contains("\"serving_ok\": true"), "{probed}");
+        assert!(probed.contains("\"self_query_ok\": true"), "{probed}");
+        assert!(probed.contains("\"store_ok\": true"), "{probed}");
+        assert!(probed.contains("\"shard\": 2"), "{probed}");
+
         // scatter-gather query: a paper's own vector ranks itself first
         let q = run(&argv(&[
             "index",
@@ -728,6 +795,7 @@ mod tests {
         );
         assert!(run(&argv(&["ingest", "--model", "/nonexistent"])).is_err());
         assert!(run(&argv(&["index", "verify", "--index", "/nonexistent/index.snap"])).is_err());
+        assert!(run(&argv(&["index", "probe", "--index", "/nonexistent/index.snap"])).is_err());
     }
 
     /// `index verify` detects a corrupted snapshot and fails loudly.

@@ -53,6 +53,20 @@ impl Gauge {
         }
     }
 
+    /// Atomically adds `delta` (negative to subtract). Unlike
+    /// `set(get() + delta)` this is race-free under concurrent updates,
+    /// which matters for inflight-style gauges touched by many threads.
+    pub fn add(&self, delta: f64) {
+        let mut cur = self.0.load(ORD);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self.0.compare_exchange_weak(cur, next, ORD, ORD) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
     /// Current value.
     pub fn get(&self) -> f64 {
         f64::from_bits(self.0.load(ORD))

@@ -8,11 +8,19 @@
 //! loadgen --papers 100000 --dim 32 --shards 8 --qps 500 --duration-s 5 \
 //!         --batch-mix 1,1,4 --ingest-ratio 0.05 --k 10 --workers 8 --seed 42
 //! ```
+//!
+//! With `--chaos` (requires `--store-dir`) the run becomes a soak: each
+//! shard is persisted to disk, a [`sem_serve::ShardSupervisor`] heals in the
+//! background, and a seeded fault schedule (shard kills, journal
+//! corruption, latency spikes) is injected while the load runs. The exit
+//! code then reflects *hard* failures only — shed/degraded responses are
+//! the expected behaviour under fault and are reported, not fatal.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
-use sem_serve::{loadgen, IndexConfig, ShardConfig, ShardRouter};
+use sem_serve::{loadgen, ChaosConfig, HedgeConfig, IndexConfig, ShardConfig, ShardRouter};
 
 struct Opts {
     papers: usize,
@@ -21,12 +29,19 @@ struct Opts {
     config: ShardConfig,
     load: loadgen::LoadgenConfig,
     json_out: Option<String>,
+    chaos: bool,
+    store_dir: Option<String>,
+    max_pending: usize,
+    retry_after_ms: u64,
+    hedge_soft_ms: u64,
 }
 
 fn usage() -> &'static str {
     "usage: loadgen [--papers N] [--dim D] [--shards S] [--nlist L] [--qps Q] \
      [--duration-s SECS] [--batch-mix A,B,C] [--ingest-ratio R] [--k K] \
-     [--workers W] [--seed SEED] [--json-out PATH]"
+     [--workers W] [--seed SEED] [--deadline-ms MS] [--max-pending N] \
+     [--retry-after-ms MS] [--hedge-soft-ms MS] [--chaos] [--store-dir DIR] \
+     [--json-out PATH]"
 }
 
 fn parse_opts(argv: &[String]) -> Result<Opts, String> {
@@ -37,6 +52,11 @@ fn parse_opts(argv: &[String]) -> Result<Opts, String> {
         config: ShardConfig::default(),
         load: loadgen::LoadgenConfig::default(),
         json_out: None,
+        chaos: false,
+        store_dir: None,
+        max_pending: 0,
+        retry_after_ms: 100,
+        hedge_soft_ms: 0,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -46,6 +66,14 @@ fn parse_opts(argv: &[String]) -> Result<Opts, String> {
         };
         if flag == "--help" || flag == "-h" {
             return Err(usage().to_string());
+        }
+        // valueless switches
+        if flag == "--chaos" {
+            if inline.is_some() {
+                return Err("--chaos takes no value".to_string());
+            }
+            opts.chaos = true;
+            continue;
         }
         let value = match inline {
             Some(v) => v,
@@ -73,9 +101,20 @@ fn parse_opts(argv: &[String]) -> Result<Opts, String> {
             "--k" => opts.load.k = value.parse().map_err(|e| bad(&e))?,
             "--workers" => opts.load.workers = value.parse().map_err(|e| bad(&e))?,
             "--seed" => opts.load.seed = value.parse().map_err(|e| bad(&e))?,
+            "--deadline-ms" => {
+                opts.load.deadline =
+                    Some(Duration::from_millis(value.parse().map_err(|e| bad(&e))?))
+            }
+            "--max-pending" => opts.max_pending = value.parse().map_err(|e| bad(&e))?,
+            "--retry-after-ms" => opts.retry_after_ms = value.parse().map_err(|e| bad(&e))?,
+            "--hedge-soft-ms" => opts.hedge_soft_ms = value.parse().map_err(|e| bad(&e))?,
+            "--store-dir" => opts.store_dir = Some(value),
             "--json-out" => opts.json_out = Some(value),
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
+    }
+    if opts.chaos && opts.store_dir.is_none() {
+        return Err("--chaos needs --store-dir (shards must persist to heal)".to_string());
     }
     Ok(opts)
 }
@@ -98,26 +137,69 @@ fn main() -> ExitCode {
         "loadgen: building {} × {}d corpus across {} shards …",
         opts.papers, opts.dim, config.shards
     );
+    let shards = config.shards;
     let corpus = loadgen::synthetic_corpus(opts.papers, opts.dim, opts.load.seed);
-    let router = match ShardRouter::try_build(corpus, config) {
-        Ok(r) => r,
+    let router = match ShardRouter::try_build(corpus.clone(), config) {
+        Ok(r) => Arc::new(r),
         Err(e) => {
             eprintln!("loadgen: build failed: {e}");
             return ExitCode::FAILURE;
         }
     };
-    eprintln!(
-        "loadgen: open-loop {} qps for {:?} ({} workers, seed {})",
-        opts.load.qps, opts.load.duration, opts.load.workers, opts.load.seed
-    );
-    let report = match loadgen::run(&router, &opts.load) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("loadgen: run failed: {e}");
+    if let Some(dir) = &opts.store_dir {
+        let base = std::path::Path::new(dir).join("idx");
+        if let Err(e) = router.attach_stores(&base).and_then(|()| router.persist_all()) {
+            eprintln!("loadgen: persisting shards under {dir} failed: {e}");
             return ExitCode::FAILURE;
         }
+    }
+    if opts.max_pending > 0 {
+        router.set_admission(opts.max_pending, opts.retry_after_ms);
+    }
+    if opts.hedge_soft_ms > 0 {
+        router.set_hedge(Some(HedgeConfig {
+            soft_timeout: Duration::from_millis(opts.hedge_soft_ms),
+            ..Default::default()
+        }));
+    }
+    eprintln!(
+        "loadgen: open-loop {} qps for {:?} ({} workers, seed {}{})",
+        opts.load.qps,
+        opts.load.duration,
+        opts.load.workers,
+        opts.load.seed,
+        if opts.chaos { ", chaos on" } else { "" }
+    );
+
+    let (json, hard_failures) = if opts.chaos {
+        let chaos = ChaosConfig::seeded(opts.load.seed, shards, opts.load.duration);
+        let report = match loadgen::run_chaos(&router, &opts.load, &chaos, &corpus) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("loadgen: chaos run failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut hard = report.load.failed + report.injection_errors.len() as u64;
+        if !report.healed_within_bound {
+            eprintln!("loadgen: shards did not heal within bound");
+            hard += 1;
+        }
+        if report.self_recall < 1.0 {
+            eprintln!("loadgen: original corpus lost data (self-recall {})", report.self_recall);
+            hard += 1;
+        }
+        (serde_json::to_string_pretty(&report).expect("report serialises"), hard)
+    } else {
+        let report = match loadgen::run(&router, &opts.load) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("loadgen: run failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        (serde_json::to_string_pretty(&report).expect("report serialises"), report.errors)
     };
-    let json = serde_json::to_string_pretty(&report).expect("report serialises");
     println!("{json}");
     if let Some(path) = &opts.json_out {
         if let Err(e) = std::fs::write(path, &json) {
@@ -125,8 +207,8 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    if report.errors > 0 {
-        eprintln!("loadgen: {} operations errored", report.errors);
+    if hard_failures > 0 {
+        eprintln!("loadgen: {hard_failures} hard failures");
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -49,17 +49,30 @@ pub struct QueryRequest {
     /// Wall-clock budget for this request, measured from enqueue. `None`
     /// falls back to [`EngineConfig::default_deadline`].
     pub deadline: Option<Duration>,
+    /// When the request actually arrived (e.g. its scheduled arrival in an
+    /// open-loop load test). Deadlines are measured from here instead of
+    /// from enqueue, so time spent queueing upstream counts against the
+    /// budget and an already-expired request can be shed at admission.
+    /// `None` means "arrived now".
+    pub arrival: Option<Instant>,
 }
 
 impl QueryRequest {
     /// A request with no per-request deadline override.
     pub fn new(vector: Vec<f32>, k: usize) -> Self {
-        QueryRequest { vector, k, deadline: None }
+        QueryRequest { vector, k, deadline: None, arrival: None }
     }
 
     /// Sets a wall-clock budget for this request.
     pub fn with_deadline(mut self, budget: Duration) -> Self {
         self.deadline = Some(budget);
+        self
+    }
+
+    /// Backdates the request's arrival; its deadline budget is measured
+    /// from this instant rather than from enqueue.
+    pub fn with_arrival(mut self, arrival: Instant) -> Self {
+        self.arrival = Some(arrival);
         self
     }
 }
@@ -72,11 +85,23 @@ pub struct EngineConfig {
     /// Deadline applied to requests that don't carry their own. `None`
     /// means unbounded (no deadline checks on the search path).
     pub default_deadline: Option<Duration>,
+    /// Admission control: maximum enqueued-but-unflushed requests before
+    /// [`QueryEngine::enqueue`] sheds with [`ServeError::Overloaded`].
+    /// `0` means unbounded (no admission control).
+    pub max_pending: usize,
+    /// Backoff hint carried by [`ServeError::Overloaded`] shed responses,
+    /// milliseconds.
+    pub retry_after_ms: u64,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        EngineConfig { cache_capacity: 1024, default_deadline: None }
+        EngineConfig {
+            cache_capacity: 1024,
+            default_deadline: None,
+            max_pending: 0,
+            retry_after_ms: 100,
+        }
     }
 }
 
@@ -96,6 +121,10 @@ pub enum DegradeReason {
     /// are a correct merge over the shards that answered, but papers owned
     /// by the dead shards are missing.
     ShardsDown,
+    /// One or more shards straggled past the hedge budget and neither the
+    /// original attempt nor the hedged retry answered in time: the hits
+    /// are a correct merge over the shards that did answer.
+    ShardSlow,
 }
 
 /// A served result: the hits plus an honest account of their quality.
@@ -199,6 +228,12 @@ pub struct StatsSnapshot {
     pub cache_len: u64,
     /// Responses flagged `degraded`, any reason.
     pub degraded: u64,
+    /// Requests shed at admission because the pending-work budget was
+    /// exhausted ([`ServeError::Overloaded`]).
+    pub shed_overload: u64,
+    /// Requests shed because their deadline expired while queued — answered
+    /// empty-degraded without touching the cache or the index.
+    pub shed_expired: u64,
     /// Cache hits served stale during recovery.
     pub stale_serves: u64,
     /// Journal records acknowledged as synced.
@@ -232,6 +267,8 @@ struct EngineMetrics {
     cache_len: Arc<Gauge>,
     degraded: Arc<Counter>,
     deadline_misses: Arc<Counter>,
+    shed_overload: Arc<Counter>,
+    shed_expired: Arc<Counter>,
     stale_serves: Arc<Counter>,
     unavailable: Arc<Counter>,
     journal_synced: Arc<Counter>,
@@ -256,6 +293,8 @@ impl EngineMetrics {
             cache_len: registry.gauge("serve.cache.len"),
             degraded: registry.counter("serve.degraded"),
             deadline_misses: registry.counter("serve.degraded.deadline"),
+            shed_overload: registry.counter("serve.shed.overload"),
+            shed_expired: registry.counter("serve.shed.expired"),
             stale_serves: registry.counter("serve.degraded.stale"),
             unavailable: registry.counter("serve.degraded.unavailable"),
             journal_synced: registry.counter("serve.journal.synced"),
@@ -362,9 +401,16 @@ impl QueryEngine {
     /// Queues a query; the returned ticket redeems the result after a
     /// [`QueryEngine::flush`].
     ///
+    /// Deadlines are resolved to an absolute instant here, measured from
+    /// the request's [`QueryRequest::arrival`] when set (enqueue time
+    /// otherwise), so upstream queueing delay counts against the budget.
+    ///
     /// # Errors
     /// [`ServeError::DimensionMismatch`] when the vector width is wrong —
-    /// caught at the door so the batch path stays infallible.
+    /// caught at the door so the batch path stays infallible — and
+    /// [`ServeError::Overloaded`] when [`EngineConfig::max_pending`]
+    /// requests are already queued (admission control: shedding at the
+    /// door beats unbounded queue growth).
     pub fn enqueue(&self, request: QueryRequest) -> Result<u64, ServeError> {
         if request.vector.len() != self.dim {
             return Err(ServeError::DimensionMismatch {
@@ -373,14 +419,16 @@ impl QueryEngine {
             });
         }
         let budget = request.deadline.or(self.config.default_deadline);
-        let deadline = budget.map(|b| Instant::now() + b);
+        let arrival = request.arrival.unwrap_or_else(Instant::now);
+        let deadline = budget.map(|b| arrival + b);
         let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
-        self.pending.lock().push(Pending {
-            ticket,
-            vector: request.vector,
-            k: request.k,
-            deadline,
-        });
+        let mut pending = self.pending.lock();
+        if self.config.max_pending > 0 && pending.len() >= self.config.max_pending {
+            drop(pending);
+            self.metrics.shed_overload.inc();
+            return Err(ServeError::Overloaded { retry_after_ms: self.config.retry_after_ms });
+        }
+        pending.push(Pending { ticket, vector: request.vector, k: request.k, deadline });
         Ok(ticket)
     }
 
@@ -392,16 +440,31 @@ impl QueryEngine {
     /// Never fails and never panics: degraded conditions (deadline
     /// exhaustion, mid-recovery) surface in the responses themselves.
     pub fn flush(&self) -> Vec<u64> {
-        let batch: Vec<Pending> = std::mem::take(&mut *self.pending.lock());
-        if batch.is_empty() {
+        let taken: Vec<Pending> = std::mem::take(&mut *self.pending.lock());
+        if taken.is_empty() {
             return Vec::new();
         }
-        let tickets: Vec<u64> = batch.iter().map(|p| p.ticket).collect();
+        let tickets: Vec<u64> = taken.iter().map(|p| p.ticket).collect();
+
+        // stage 0: shed requests whose deadline lapsed while queued —
+        // answering them empty-degraded here costs nothing; a cache lookup
+        // or scan would be work their caller can no longer use
+        let now = Instant::now();
+        let mut answered: Vec<(u64, QueryResponse)> = Vec::new();
+        let mut batch: Vec<Pending> = Vec::with_capacity(taken.len());
+        for p in taken {
+            match p.deadline {
+                Some(d) if d <= now => answered
+                    .push((p.ticket, QueryResponse::degraded(Vec::new(), DegradeReason::Deadline))),
+                _ => batch.push(p),
+            }
+        }
+        self.metrics.shed_expired.add(answered.len() as u64);
 
         // stage 1: cache lookups under one lock hold
         let t0 = Instant::now();
         let recovering = matches!(&*self.index.read(), IndexState::Recovering);
-        let mut answered: Vec<(u64, QueryResponse)> = Vec::new();
+        let shed_n = answered.len();
         let mut misses: Vec<Pending> = Vec::new();
         let mut stale = 0u64;
         {
@@ -425,7 +488,7 @@ impl QueryEngine {
             }
         }
         let cache_ns = t0.elapsed().as_nanos() as u64;
-        let (hits_n, misses_n) = (answered.len(), misses.len());
+        let (hits_n, misses_n) = (answered.len() - shed_n, misses.len());
 
         // stage 2: one parallel search over the misses
         let t1 = Instant::now();
@@ -753,6 +816,8 @@ impl QueryEngine {
             invalidated: m.invalidated.get(),
             cache_len,
             degraded: m.degraded.get(),
+            shed_overload: m.shed_overload.get(),
+            shed_expired: m.shed_expired.get(),
             stale_serves: m.stale_serves.get(),
             journal_synced: m.journal_synced.get(),
             journal_buffered: m.journal_buffered.get(),
@@ -949,7 +1014,11 @@ mod tests {
     fn generous_deadline_is_full_fidelity() {
         let e = QueryEngine::new(
             AnnIndex::build(random_vectors(500, 8, 18), IndexConfig::default()),
-            EngineConfig { default_deadline: Some(Duration::from_secs(60)), cache_capacity: 64 },
+            EngineConfig {
+                default_deadline: Some(Duration::from_secs(60)),
+                cache_capacity: 64,
+                ..EngineConfig::default()
+            },
         );
         let q = random_vectors(1, 8, 19).pop().unwrap();
         let response = e.query(q.clone(), 5).unwrap();

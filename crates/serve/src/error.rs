@@ -58,6 +58,13 @@ pub enum ServeError {
         /// Why the shard went down.
         detail: String,
     },
+    /// Admission control shed the request: the pending-work budget is
+    /// exhausted and queueing it would only grow the backlog. The caller
+    /// should back off for roughly `retry_after_ms` and retry.
+    Overloaded {
+        /// Suggested client backoff before retrying, milliseconds.
+        retry_after_ms: u64,
+    },
     /// A [`crate::fault::FaultPlan`] fired: the simulated machine died at
     /// the named crash point. On-disk state is exactly what a real crash
     /// would leave behind.
@@ -87,6 +94,12 @@ impl fmt::Display for ServeError {
             }
             ServeError::ShardDown { shard, detail } => {
                 write!(f, "shard {shard} is down: {detail}")
+            }
+            ServeError::Overloaded { retry_after_ms } => {
+                write!(
+                    f,
+                    "overloaded: pending-work budget exhausted, retry after {retry_after_ms}ms"
+                )
             }
             ServeError::InjectedCrash(site) => write!(f, "injected crash at {site}"),
         }
@@ -145,6 +158,9 @@ mod tests {
         assert!(e.to_string().contains('3'));
         assert!(ServeError::InjectedCrash("torn write").is_injected());
         assert!(!ServeError::DeadlineExceeded.is_injected());
+        let e = ServeError::Overloaded { retry_after_ms: 250 };
+        assert!(e.to_string().contains("250ms"));
+        assert!(!e.is_retryable_io());
     }
 
     #[test]

@@ -27,6 +27,15 @@
 //!   failing them until [`ShardRouter::recover_shard`] heals it. The
 //!   [`loadgen`] module (and `loadgen` binary) drive it with open-loop,
 //!   coordinated-omission-free load and report p50/p90/p99 as JSON.
+//! * [`ShardSupervisor`] closes the healing loop: periodic health probes
+//!   (cheap self-query, optional store integrity check) trip a broken
+//!   shard down after consecutive failures and re-run crash recovery in
+//!   the background under deterministic jittered backoff. The router adds
+//!   admission control ([`ShardRouter::set_admission`] shedding with
+//!   typed [`ServeError::Overloaded`]) and hedged scatter-gather
+//!   ([`ShardRouter::set_hedge`]) for tail-latency control; `loadgen
+//!   --chaos` soaks the whole stack under seeded shard kills, journal
+//!   corruption and latency spikes.
 //!
 //! The intended flow for a brand-new (zero-citation) paper: CRF sentence
 //! labels → sentence encoding → SEM subspace pooling → [`PaperEmbedder::embed_new`]
@@ -50,6 +59,7 @@ pub mod loadgen;
 pub mod router;
 pub mod shard;
 pub mod store;
+pub mod supervisor;
 
 pub use cache::LruCache;
 pub use embed::{NpRecContext, PaperEmbedder};
@@ -60,10 +70,15 @@ pub use engine::{
 pub use error::ServeError;
 pub use fault::{CrashPoint, FaultPlan};
 pub use index::{AnnIndex, Hit, IndexConfig};
-pub use loadgen::{LoadReport, LoadgenConfig};
-pub use router::{
-    manifest_path, shard_snapshot_path, verify_sharded, RouterStatsSnapshot, ShardManifest,
-    ShardRouter, ShardVerifyEntry, ShardedVerifyReport,
+pub use loadgen::{
+    ChaosConfig, ChaosEvent, ChaosKind, ChaosRunReport, DegradeBreakdown, LoadReport, LoadgenConfig,
 };
-pub use shard::{merge_top_k, shard_of, Shard, ShardConfig, ShardStatsSnapshot};
+pub use router::{
+    manifest_path, shard_snapshot_path, verify_sharded, HedgeConfig, RouterStatsSnapshot,
+    ShardManifest, ShardRouter, ShardVerifyEntry, ShardedVerifyReport,
+};
+pub use shard::{merge_top_k, shard_of, ProbeReport, Shard, ShardConfig, ShardStatsSnapshot};
 pub use store::{Durability, IndexStore, Recovery, VerifyReport};
+pub use supervisor::{
+    ShardHealth, ShardSupervisor, SupervisorConfig, SupervisorEvent, SupervisorSnapshot,
+};

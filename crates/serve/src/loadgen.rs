@@ -23,9 +23,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use crate::engine::QueryRequest;
+use crate::engine::{DegradeReason, QueryRequest};
 use crate::error::ServeError;
-use crate::router::ShardRouter;
+use crate::router::{HedgeConfig, ShardRouter};
+use crate::supervisor::{ShardSupervisor, SupervisorConfig, SupervisorEvent, SupervisorSnapshot};
 
 /// Parameters of one open-loop run.
 #[derive(Clone, Debug)]
@@ -46,6 +47,10 @@ pub struct LoadgenConfig {
     pub workers: usize,
     /// RNG seed: fixes the operation schedule and every query vector.
     pub seed: u64,
+    /// Per-operation deadline budget, measured from the operation's
+    /// *scheduled* arrival (so queueing delay counts against it and a
+    /// backed-up request is shed instead of scanned). `None` = unbounded.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for LoadgenConfig {
@@ -58,8 +63,68 @@ impl Default for LoadgenConfig {
             k: 10,
             workers: 4,
             seed: 42,
+            deadline: None,
         }
     }
+}
+
+/// Degraded responses broken out by [`DegradeReason`] — counted per
+/// response (one batched operation can contribute several), so chaos
+/// runs are diagnosable instead of lumping everything into one number.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct DegradeBreakdown {
+    /// Deadline budget ran out mid-scan.
+    pub deadline: u64,
+    /// Served stale from cache during recovery.
+    pub stale: u64,
+    /// Mid-recovery cache miss (empty response).
+    pub unavailable: u64,
+    /// One or more shards were down during the merge.
+    pub shards_down: u64,
+    /// One or more shards straggled past the hedge budget.
+    pub shard_slow: u64,
+}
+
+/// Thread-shared atomic tallies behind [`DegradeBreakdown`].
+#[derive(Default)]
+struct ReasonCounts {
+    deadline: AtomicU64,
+    stale: AtomicU64,
+    unavailable: AtomicU64,
+    shards_down: AtomicU64,
+    shard_slow: AtomicU64,
+}
+
+impl ReasonCounts {
+    fn count(&self, reason: DegradeReason) {
+        let c = match reason {
+            DegradeReason::Deadline => &self.deadline,
+            DegradeReason::Stale => &self.stale,
+            DegradeReason::Unavailable => &self.unavailable,
+            DegradeReason::ShardsDown => &self.shards_down,
+            DegradeReason::ShardSlow => &self.shard_slow,
+        };
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> DegradeBreakdown {
+        DegradeBreakdown {
+            deadline: self.deadline.load(Ordering::Relaxed),
+            stale: self.stale.load(Ordering::Relaxed),
+            unavailable: self.unavailable.load(Ordering::Relaxed),
+            shards_down: self.shards_down.load(Ordering::Relaxed),
+            shard_slow: self.shard_slow.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// `true` when the error is a typed refusal (backpressure) rather than a
+/// hard failure: the server *chose* not to serve, and said so honestly.
+fn is_shed(e: &ServeError) -> bool {
+    matches!(
+        e,
+        ServeError::Overloaded { .. } | ServeError::DeadlineExceeded | ServeError::ShardDown { .. }
+    )
 }
 
 /// What the run measured, JSON-serialisable for CI artifacts and the
@@ -72,9 +137,17 @@ pub struct LoadReport {
     pub queries: u64,
     /// Ingest operations completed.
     pub ingests: u64,
-    /// Responses that came back with the degraded flag.
+    /// Operations with at least one degraded response.
     pub degraded: u64,
-    /// Operations that returned an error.
+    /// Degraded responses by reason (per response, not per operation).
+    pub degraded_by_reason: DegradeBreakdown,
+    /// Operations shed with a typed refusal — [`ServeError::Overloaded`],
+    /// an expired deadline, a down shard. Backpressure, not failure.
+    pub shed: u64,
+    /// Operations that failed hard (I/O, corruption, anything untyped).
+    pub failed: u64,
+    /// Total errored operations, `shed + failed` (kept as one number for
+    /// existing tooling).
     pub errors: u64,
     /// Arrival rate the schedule offered.
     pub offered_qps: f64,
@@ -200,9 +273,12 @@ pub fn run(router: &ShardRouter, config: &LoadgenConfig) -> Result<LoadReport, S
     let queries = AtomicU64::new(0);
     let ingests = AtomicU64::new(0);
     let degraded = AtomicU64::new(0);
-    let errors = AtomicU64::new(0);
+    let shed = AtomicU64::new(0);
+    let failed = AtomicU64::new(0);
+    let reasons = ReasonCounts::default();
     let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::with_capacity(total_ops));
     let depth_gauge = router.metrics().gauge("loadgen.queue.depth");
+    let deadline_budget = config.deadline;
 
     let t_start = Instant::now();
     std::thread::scope(|scope| {
@@ -211,19 +287,38 @@ pub fn run(router: &ShardRouter, config: &LoadgenConfig) -> Result<LoadReport, S
             let queries = &queries;
             let ingests = &ingests;
             let degraded = &degraded;
-            let errors = &errors;
+            let shed = &shed;
+            let failed = &failed;
+            let reasons = &reasons;
             let latencies = &latencies;
             scope.spawn(move || {
                 while let Some(work) = queue.pop() {
                     let outcome = match work.op {
                         Op::Query { batch, k } => {
-                            let requests =
-                                batch.into_iter().map(|v| QueryRequest::new(v, k)).collect();
+                            // the scheduled arrival rides on the request:
+                            // deadlines are measured from it, so a request
+                            // that sat out its whole budget in this queue
+                            // is shed by the router, not scanned
+                            let requests = batch
+                                .into_iter()
+                                .map(|v| {
+                                    let mut r = QueryRequest::new(v, k).with_arrival(work.arrival);
+                                    if let Some(b) = deadline_budget {
+                                        r = r.with_deadline(b);
+                                    }
+                                    r
+                                })
+                                .collect();
                             match router.query_batch(requests) {
                                 Ok(responses) => {
                                     queries.fetch_add(1, Ordering::Relaxed);
                                     if responses.iter().any(|r| r.degraded) {
                                         degraded.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    for r in &responses {
+                                        if let Some(reason) = r.reason {
+                                            reasons.count(reason);
+                                        }
                                     }
                                     Ok(())
                                 }
@@ -238,8 +333,12 @@ pub fn run(router: &ShardRouter, config: &LoadgenConfig) -> Result<LoadReport, S
                             Err(e) => Err(e),
                         },
                     };
-                    if outcome.is_err() {
-                        errors.fetch_add(1, Ordering::Relaxed);
+                    if let Err(e) = outcome {
+                        if is_shed(&e) {
+                            shed.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            failed.fetch_add(1, Ordering::Relaxed);
+                        }
                     }
                     // open-loop latency: from scheduled arrival, queueing included
                     let us = work.arrival.elapsed().as_micros().min(u64::MAX as u128) as u64;
@@ -272,12 +371,16 @@ pub fn run(router: &ShardRouter, config: &LoadgenConfig) -> Result<LoadReport, S
         samples[idx.min(samples.len() - 1)]
     };
     let ops = samples.len() as u64;
+    let (shed, failed) = (shed.into_inner(), failed.into_inner());
     Ok(LoadReport {
         ops,
         queries: queries.into_inner(),
         ingests: ingests.into_inner(),
         degraded: degraded.into_inner(),
-        errors: errors.into_inner(),
+        degraded_by_reason: reasons.snapshot(),
+        shed,
+        failed,
+        errors: shed + failed,
         offered_qps: config.qps,
         achieved_qps: ops as f64 / elapsed.as_secs_f64().max(f64::EPSILON),
         p50_us: pct(0.50),
@@ -293,6 +396,295 @@ pub fn run(router: &ShardRouter, config: &LoadgenConfig) -> Result<LoadReport, S
 pub fn synthetic_corpus(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..n).map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect()
+}
+
+/// One kind of injected fault.
+#[derive(Clone, Copy, Debug)]
+pub enum ChaosKind {
+    /// The shard's process "dies": it is forced down and must be healed
+    /// by the supervisor from its own store.
+    Kill {
+        /// Target shard.
+        shard: usize,
+    },
+    /// Garbage bytes are appended to the shard's on-disk journal — a torn
+    /// tail the next recovery must discard (and then compact away).
+    TornJournal {
+        /// Target shard.
+        shard: usize,
+    },
+    /// The shard's next `scans` searches sleep `delay_ms` before
+    /// scanning — a straggler the hedged fan-out should absorb.
+    LatencySpike {
+        /// Target shard.
+        shard: usize,
+        /// Injected per-scan delay, milliseconds.
+        delay_ms: u64,
+        /// Number of delayed scans.
+        scans: usize,
+    },
+}
+
+// Struct-variant enums are beyond the vendored serde derive; serialize by
+// hand as tagged objects (Duration flattens to `at_ms`).
+impl Serialize for ChaosKind {
+    fn ser(&self) -> serde::Value {
+        use serde::Value;
+        let fault = |s: &str| ("fault".to_string(), Value::Str(s.to_string()));
+        let int = |name: &str, n: i128| (name.to_string(), Value::Int(n));
+        match self {
+            ChaosKind::Kill { shard } => {
+                Value::Obj(vec![fault("kill"), int("shard", *shard as i128)])
+            }
+            ChaosKind::TornJournal { shard } => {
+                Value::Obj(vec![fault("torn_journal"), int("shard", *shard as i128)])
+            }
+            ChaosKind::LatencySpike { shard, delay_ms, scans } => Value::Obj(vec![
+                fault("latency_spike"),
+                int("shard", *shard as i128),
+                int("delay_ms", i128::from(*delay_ms)),
+                int("scans", *scans as i128),
+            ]),
+        }
+    }
+}
+
+/// One fault on the chaos schedule.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosEvent {
+    /// Offset from the start of the load run.
+    pub at: Duration,
+    /// What to inject.
+    pub kind: ChaosKind,
+}
+
+impl Serialize for ChaosEvent {
+    fn ser(&self) -> serde::Value {
+        use serde::Value;
+        let mut fields = vec![(
+            "at_ms".to_string(),
+            Value::Int(self.at.as_millis().min(i128::MAX as u128) as i128),
+        )];
+        if let Value::Obj(kind_fields) = self.kind.ser() {
+            fields.extend(kind_fields);
+        }
+        Value::Obj(fields)
+    }
+}
+
+/// Parameters of a chaos soak: a seeded fault schedule injected while the
+/// open-loop load runs, a supervisor healing in the background, and
+/// recovery/recall assertions afterwards.
+#[derive(Clone, Debug)]
+pub struct ChaosConfig {
+    /// Faults to inject, each at its offset into the run.
+    pub events: Vec<ChaosEvent>,
+    /// How long after the load ends every shard must be healthy again.
+    pub heal_bound: Duration,
+    /// Supervisor settings for the run.
+    pub supervisor: SupervisorConfig,
+    /// Hedging settings for the run (`None` = hedging off).
+    pub hedge: Option<HedgeConfig>,
+    /// How many original corpus vectors to re-query for the post-run
+    /// self-recall check.
+    pub recall_probes: usize,
+}
+
+impl ChaosConfig {
+    /// The canonical seeded schedule over a `duration`-long run: a kill
+    /// at 25%, a latency spike at 50% and a torn journal + kill at
+    /// 65%/80% (same shard, so the heal must discard the torn tail).
+    /// Which shards are hit is derived from `seed`; events never all
+    /// target the same shard when `shards > 1`.
+    pub fn seeded(seed: u64, shards: usize, duration: Duration) -> Self {
+        let a = (seed as usize) % shards;
+        let b = (a + 1) % shards;
+        ChaosConfig {
+            events: vec![
+                ChaosEvent { at: duration.mul_f64(0.25), kind: ChaosKind::Kill { shard: a } },
+                ChaosEvent {
+                    at: duration.mul_f64(0.50),
+                    kind: ChaosKind::LatencySpike { shard: a, delay_ms: 40, scans: 24 },
+                },
+                ChaosEvent {
+                    at: duration.mul_f64(0.65),
+                    kind: ChaosKind::TornJournal { shard: b },
+                },
+                ChaosEvent { at: duration.mul_f64(0.80), kind: ChaosKind::Kill { shard: b } },
+            ],
+            heal_bound: Duration::from_secs(5),
+            supervisor: SupervisorConfig {
+                probe_interval: Duration::from_millis(25),
+                trip_after: 2,
+                check_store: false,
+                heal_backoff: sem_train::retry::RetryPolicy {
+                    max_attempts: 8,
+                    base_delay_ms: 20,
+                    max_delay_ms: 500,
+                    seed,
+                },
+            },
+            hedge: Some(HedgeConfig {
+                soft_timeout: Duration::from_millis(25),
+                hedge_wait: Duration::from_millis(25),
+            }),
+            recall_probes: 64,
+        }
+    }
+}
+
+/// What a chaos soak produced.
+#[derive(Clone, Debug, Serialize)]
+pub struct ChaosRunReport {
+    /// The underlying open-loop load report.
+    pub load: LoadReport,
+    /// Supervisor counters and final per-shard health.
+    pub supervisor: SupervisorSnapshot,
+    /// Structured supervisor events (probe failures, trips, heals).
+    pub events: Vec<SupervisorEvent>,
+    /// The schedule that was injected.
+    pub injected: Vec<ChaosEvent>,
+    /// `true` when every shard was healthy within
+    /// [`ChaosConfig::heal_bound`] of the load ending.
+    pub healed_within_bound: bool,
+    /// How long after the load ended the last shard came back,
+    /// milliseconds (0 when everything had already healed mid-run).
+    pub heal_wait_ms: u64,
+    /// Fraction of probed original-corpus vectors whose self-query
+    /// returned themselves as the top hit after the run (1.0 = no
+    /// acknowledged data went missing).
+    pub self_recall: f64,
+    /// Fault injections that themselves failed (should be empty).
+    pub injection_errors: Vec<String>,
+}
+
+/// Appends a torn (garbage) tail to the shard's journal: a `u32::MAX`
+/// length prefix plus junk, which replay classifies as an
+/// unacknowledged torn tail and discards.
+fn inject_torn_journal(router: &ShardRouter, shard: usize) -> Result<(), ServeError> {
+    use std::io::Write;
+    let Some(snapshot) = router.shard(shard).store_path() else {
+        return Err(ServeError::Invalid(format!("shard {shard} has no store to corrupt")));
+    };
+    let journal = crate::store::journal_path_for(&snapshot);
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&journal)
+        .map_err(|e| ServeError::io(&journal, e))?;
+    f.write_all(&[0xFF; 16]).map_err(|e| ServeError::io(&journal, e))?;
+    f.sync_all().map_err(|e| ServeError::io(&journal, e))?;
+    Ok(())
+}
+
+/// Runs a chaos soak: starts a [`ShardSupervisor`] over `router`, injects
+/// `chaos.events` on schedule while [`run`] drives the load, then checks
+/// that every shard healed within bound and that the original corpus
+/// (`recall_corpus`, the vectors the router was built from) is still
+/// fully retrievable.
+///
+/// # Errors
+/// Configuration problems (invalid load config, out-of-range shard in the
+/// schedule). Injected faults and their fallout are *reported*, never
+/// errors.
+pub fn run_chaos(
+    router: &Arc<ShardRouter>,
+    config: &LoadgenConfig,
+    chaos: &ChaosConfig,
+    recall_corpus: &[Vec<f32>],
+) -> Result<ChaosRunReport, ServeError> {
+    for e in &chaos.events {
+        let shard = match e.kind {
+            ChaosKind::Kill { shard }
+            | ChaosKind::TornJournal { shard }
+            | ChaosKind::LatencySpike { shard, .. } => shard,
+        };
+        if shard >= router.num_shards() {
+            return Err(ServeError::Invalid(format!(
+                "chaos event targets shard {shard} but the router has {}",
+                router.num_shards()
+            )));
+        }
+    }
+    router.set_hedge(chaos.hedge);
+    let supervisor = Arc::new(ShardSupervisor::new(Arc::clone(router), chaos.supervisor.clone()));
+    let sup_handle = supervisor.start();
+
+    let mut events = chaos.events.clone();
+    events.sort_by_key(|e| e.at);
+    let injection_errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let t_start = Instant::now();
+    let load = std::thread::scope(|scope| {
+        let injector_router = Arc::clone(router);
+        let injection_errors = &injection_errors;
+        let events = &events;
+        scope.spawn(move || {
+            for e in events {
+                if let Some(wait) = (t_start + e.at).checked_duration_since(Instant::now()) {
+                    std::thread::sleep(wait);
+                }
+                let outcome = match e.kind {
+                    ChaosKind::Kill { shard } => {
+                        injector_router.shard(shard).force_down("chaos: injected kill");
+                        Ok(())
+                    }
+                    ChaosKind::TornJournal { shard } => {
+                        inject_torn_journal(&injector_router, shard)
+                    }
+                    ChaosKind::LatencySpike { shard, delay_ms, scans } => {
+                        injector_router
+                            .shard(shard)
+                            .inject_scan_delay(Duration::from_millis(delay_ms), scans);
+                        Ok(())
+                    }
+                };
+                if let Err(err) = outcome {
+                    injection_errors.lock().push(format!("{:?}: {err}", e.kind));
+                }
+            }
+        });
+        run(router, config)
+    })?;
+
+    // post-run: every shard must come back within the heal bound
+    let t_end = Instant::now();
+    let all_healthy = |r: &ShardRouter| (0..r.num_shards()).all(|i| !r.shard(i).is_down());
+    while !all_healthy(router) && t_end.elapsed() < chaos.heal_bound {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let healed_within_bound = all_healthy(router);
+    let heal_wait_ms = t_end.elapsed().as_millis().min(u64::MAX as u128) as u64;
+    supervisor.shutdown();
+    sup_handle.join().ok();
+
+    // self-recall over the *original* corpus: ingested-under-chaos
+    // vectors may be legitimately lost to injected corruption, but the
+    // corpus the router was built from (and persisted before the run)
+    // must survive every heal bit for bit
+    let probes = chaos.recall_probes.min(recall_corpus.len());
+    let mut found = 0usize;
+    if let Some(stride) = recall_corpus.len().checked_div(probes) {
+        let stride = stride.max(1);
+        for (expected_id, v) in recall_corpus.iter().enumerate().step_by(stride).take(probes) {
+            if let Ok(r) = router.query(v.clone(), 1) {
+                if r.hits.first().map(|h| h.id) == Some(expected_id) {
+                    found += 1;
+                }
+            }
+        }
+    }
+    let self_recall = if probes == 0 { 1.0 } else { found as f64 / probes as f64 };
+
+    Ok(ChaosRunReport {
+        load,
+        supervisor: supervisor.snapshot(),
+        events: supervisor.drain_events(),
+        injected: chaos.events.clone(),
+        healed_within_bound,
+        heal_wait_ms: if healed_within_bound { heal_wait_ms } else { u64::MAX },
+        self_recall,
+        injection_errors: injection_errors.into_inner(),
+    })
 }
 
 #[cfg(test)]
@@ -358,5 +750,107 @@ mod tests {
         ] {
             assert!(run(&router, &bad).is_err());
         }
+    }
+
+    struct TempDir(std::path::PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let dir = std::env::temp_dir().join(format!("sem-chaos-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            TempDir(dir)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn stored_router(dir: &std::path::Path, corpus: &[Vec<f32>]) -> Arc<ShardRouter> {
+        let config = crate::shard::ShardConfig {
+            shards: 2,
+            index: IndexConfig { flat_threshold: usize::MAX, ..Default::default() },
+            cache_capacity: 64,
+        };
+        let router = Arc::new(ShardRouter::try_build(corpus.to_vec(), config).unwrap());
+        router.attach_stores(&dir.join("idx")).unwrap();
+        router.persist_all().unwrap();
+        router
+    }
+
+    #[test]
+    fn seeded_schedule_targets_valid_shards_within_duration() {
+        let duration = Duration::from_secs(10);
+        let chaos = ChaosConfig::seeded(42, 2, duration);
+        assert!(!chaos.events.is_empty());
+        for e in &chaos.events {
+            assert!(e.at < duration);
+            let shard = match e.kind {
+                ChaosKind::Kill { shard }
+                | ChaosKind::TornJournal { shard }
+                | ChaosKind::LatencySpike { shard, .. } => shard,
+            };
+            assert!(shard < 2);
+        }
+        // both kinds of victim get hit when there is more than one shard
+        let kills: Vec<usize> = chaos
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                ChaosKind::Kill { shard } => Some(shard),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(kills.len(), 2);
+        assert_ne!(kills[0], kills[1]);
+    }
+
+    #[test]
+    fn chaos_run_heals_and_keeps_the_original_corpus() {
+        let dir = TempDir::new("mini");
+        let corpus = synthetic_corpus(96, 8, 11);
+        let router = stored_router(&dir.0, &corpus);
+        let load = LoadgenConfig {
+            qps: 300.0,
+            duration: Duration::from_millis(700),
+            ingest_ratio: 0.05,
+            workers: 2,
+            ..Default::default()
+        };
+        let chaos = ChaosConfig::seeded(7, 2, load.duration);
+        let report = run_chaos(&router, &load, &chaos, &corpus).unwrap();
+
+        assert!(report.injection_errors.is_empty(), "{:?}", report.injection_errors);
+        assert_eq!(report.load.failed, 0, "chaos must never produce hard failures: {report:?}");
+        assert!(report.supervisor.heals >= 1, "both kills should heal: {:?}", report.supervisor);
+        assert!(report.healed_within_bound, "{report:?}");
+        assert!(
+            (report.self_recall - 1.0).abs() < f64::EPSILON,
+            "original corpus must survive every heal: {report:?}"
+        );
+        // the report is a JSON artifact for CI — it must serialize
+        let json = serde_json::to_string(&report).unwrap();
+        for key in ["\"heals\"", "\"failed\"", "\"self_recall\"", "\"fault\""] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn chaos_rejects_out_of_range_shard() {
+        let dir = TempDir::new("range");
+        let corpus = synthetic_corpus(32, 8, 3);
+        let router = stored_router(&dir.0, &corpus);
+        let chaos = ChaosConfig {
+            events: vec![ChaosEvent {
+                at: Duration::from_millis(1),
+                kind: ChaosKind::Kill { shard: 9 },
+            }],
+            ..ChaosConfig::seeded(0, 2, Duration::from_millis(100))
+        };
+        let load = LoadgenConfig { duration: Duration::from_millis(100), ..Default::default() };
+        assert!(run_chaos(&router, &load, &chaos, &corpus).is_err());
     }
 }

@@ -23,20 +23,21 @@
 //! family without guessing.
 
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
-use std::time::Instant;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use rayon::prelude::*;
-use sem_obs::{Counter, Histogram, Registry};
+use sem_obs::{Counter, Gauge, Histogram, Registry};
 use serde::{Deserialize, Serialize};
 
 use crate::engine::{
     DegradeReason, IngestAck, LatencySummary, QueryRequest, QueryResponse, RecoveryStats,
 };
 use crate::error::ServeError;
-use crate::index::AnnIndex;
-use crate::shard::{merge_top_k, shard_of, Shard, ShardConfig, ShardStatsSnapshot};
+use crate::index::{AnnIndex, Hit};
+use crate::shard::{merge_top_k, shard_of, LocalHits, Shard, ShardConfig, ShardStatsSnapshot};
 use crate::store::{Durability, IndexStore, VerifyReport};
 
 /// Snapshot path of shard `i`: `base.shard<i>`.
@@ -118,6 +119,12 @@ struct RouterMetrics {
     degraded: Arc<Counter>,
     shards_down_serves: Arc<Counter>,
     ingested: Arc<Counter>,
+    hedges: Arc<Counter>,
+    hedge_wins: Arc<Counter>,
+    slow_omits: Arc<Counter>,
+    shed_overload: Arc<Counter>,
+    shed_expired: Arc<Counter>,
+    inflight: Arc<Gauge>,
 }
 
 impl RouterMetrics {
@@ -129,9 +136,98 @@ impl RouterMetrics {
             degraded: registry.counter("serve.router.degraded"),
             shards_down_serves: registry.counter("serve.router.shards_down_serves"),
             ingested: registry.counter("serve.router.ingested"),
+            hedges: registry.counter("serve.router.hedges"),
+            hedge_wins: registry.counter("serve.router.hedge.wins"),
+            slow_omits: registry.counter("serve.router.slow_omits"),
+            shed_overload: registry.counter("serve.shed.overload"),
+            shed_expired: registry.counter("serve.shed.expired"),
+            inflight: registry.gauge("serve.router.inflight"),
             registry,
         }
     }
+}
+
+/// Hedged scatter-gather knobs (see [`ShardRouter::set_hedge`]).
+///
+/// **Invariant:** hedging never changes *what* a shard would answer, only
+/// *whether the router keeps waiting* — whenever every shard beats the
+/// soft timeout (no hedge fires), the merged result is bit-identical to
+/// the plain rayon fan-out's.
+#[derive(Clone, Copy, Debug)]
+pub struct HedgeConfig {
+    /// How long the router waits for a shard's first attempt before
+    /// launching a hedged retry against the same shard.
+    pub soft_timeout: Duration,
+    /// Additional grace granted to hedged retries; a shard that answers
+    /// with neither attempt inside it is omitted from the merge and the
+    /// response degrades with [`DegradeReason::ShardSlow`].
+    pub hedge_wait: Duration,
+}
+
+impl Default for HedgeConfig {
+    fn default() -> Self {
+        HedgeConfig {
+            soft_timeout: Duration::from_millis(25),
+            hedge_wait: Duration::from_millis(25),
+        }
+    }
+}
+
+/// Admission state: a bounded budget of concurrently-served queries.
+/// `max_inflight == 0` disables shedding (the default).
+struct Admission {
+    max_inflight: AtomicUsize,
+    retry_after_ms: AtomicU64,
+    inflight: AtomicUsize,
+}
+
+/// RAII inflight slot: decrements on drop, so every exit path (including
+/// errors and panicking shard scans) releases its budget.
+struct AdmissionPermit<'a> {
+    admission: &'a Admission,
+    gauge: &'a Gauge,
+}
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        self.admission.inflight.fetch_sub(1, Ordering::AcqRel);
+        self.gauge.add(-1.0);
+    }
+}
+
+impl Admission {
+    fn unbounded() -> Self {
+        Admission {
+            max_inflight: AtomicUsize::new(0),
+            retry_after_ms: AtomicU64::new(100),
+            inflight: AtomicUsize::new(0),
+        }
+    }
+
+    /// Takes an inflight slot or sheds with [`ServeError::Overloaded`].
+    fn acquire<'a>(&'a self, gauge: &'a Gauge) -> Result<AdmissionPermit<'a>, ServeError> {
+        let max = self.max_inflight.load(Ordering::Acquire);
+        let prev = self.inflight.fetch_add(1, Ordering::AcqRel);
+        if max > 0 && prev >= max {
+            self.inflight.fetch_sub(1, Ordering::AcqRel);
+            return Err(ServeError::Overloaded {
+                retry_after_ms: self.retry_after_ms.load(Ordering::Acquire),
+            });
+        }
+        gauge.add(1.0);
+        Ok(AdmissionPermit { admission: self, gauge })
+    }
+}
+
+/// What one scatter produced, before merge + degradation accounting.
+struct Gather {
+    lists: Vec<Vec<Hit>>,
+    shards_down: usize,
+    slow_omits: usize,
+    deadline_degraded: bool,
+    fanouts: u64,
+    hedges: u64,
+    hedge_wins: u64,
 }
 
 /// Point-in-time router counters plus every shard's snapshot.
@@ -153,6 +249,20 @@ pub struct RouterStatsSnapshot {
     pub shards_down_serves: u64,
     /// Papers ingested through the router.
     pub ingested: u64,
+    /// Hedged retries launched against straggling shards.
+    pub hedges: u64,
+    /// Hedged retries that answered before the original attempt.
+    pub hedge_wins: u64,
+    /// Shard results omitted from a merge because neither attempt beat
+    /// the hedge budget.
+    pub slow_omits: u64,
+    /// Queries shed at admission ([`ServeError::Overloaded`]).
+    pub shed_overload: u64,
+    /// Queries shed because their deadline had already expired on
+    /// arrival (no shard was scanned).
+    pub shed_expired: u64,
+    /// Queries currently being served.
+    pub inflight: u64,
     /// Per-query merge latency.
     pub merge: LatencySummary,
     /// Per-shard counters.
@@ -205,11 +315,15 @@ pub fn verify_sharded(base: &Path) -> Result<ShardedVerifyReport, ServeError> {
 /// The sharded serving engine: N [`Shard`]s behind one scatter-gather
 /// front end.
 pub struct ShardRouter {
-    shards: Vec<Shard>,
+    /// `Arc` so hedged fan-out can hand a straggling shard to a detached
+    /// thread without borrowing from the router's lifetime.
+    shards: Vec<Arc<Shard>>,
     dim: usize,
     config: ShardConfig,
     /// Serialises global-id assignment across concurrent ingests.
     ingest_lock: Mutex<()>,
+    admission: Admission,
+    hedge: Mutex<Option<HedgeConfig>>,
     metrics: RouterMetrics,
 }
 
@@ -271,13 +385,15 @@ impl ShardRouter {
             if index.dim() != dim {
                 return Err(ServeError::DimensionMismatch { expected: dim, got: index.dim() });
             }
-            shards.push(Shard::new(i, n, index, config.cache_capacity, &registry));
+            shards.push(Arc::new(Shard::new(i, n, index, config.cache_capacity, &registry)));
         }
         Ok(ShardRouter {
             shards,
             dim,
             config,
             ingest_lock: Mutex::new(()),
+            admission: Admission::unbounded(),
+            hedge: Mutex::new(None),
             metrics: RouterMetrics::new(registry),
         })
     }
@@ -328,13 +444,15 @@ impl ShardRouter {
             });
             let shard = Shard::new(i, n, recovery.index, config.cache_capacity, &registry);
             shard.attach_store(store);
-            shards.push(shard);
+            shards.push(Arc::new(shard));
         }
         let router = ShardRouter {
             shards,
             dim: manifest.dim,
             config: ShardConfig { shards: n, ..config },
             ingest_lock: Mutex::new(()),
+            admission: Admission::unbounded(),
+            hedge: Mutex::new(None),
             metrics: RouterMetrics::new(registry),
         };
         Ok((router, recoveries))
@@ -385,7 +503,7 @@ impl ShardRouter {
     /// Total vectors across all shards (last-known lengths for down
     /// shards).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(Shard::len).sum()
+        self.shards.iter().map(|s| s.len()).sum()
     }
 
     /// Whether the router holds no vectors.
@@ -406,15 +524,40 @@ impl ShardRouter {
         self.query_request(QueryRequest::new(vector, k))
     }
 
+    /// Bounds concurrent queries: once `max_inflight` are being served,
+    /// further [`ShardRouter::query_request`] calls shed with
+    /// [`ServeError::Overloaded`] carrying `retry_after_ms` as the backoff
+    /// hint. `max_inflight == 0` disables shedding (the default).
+    pub fn set_admission(&self, max_inflight: usize, retry_after_ms: u64) {
+        self.admission.max_inflight.store(max_inflight, Ordering::Release);
+        self.admission.retry_after_ms.store(retry_after_ms, Ordering::Release);
+    }
+
+    /// Enables (`Some`) or disables (`None`) hedged scatter-gather. With
+    /// hedging on, each shard's first attempt gets
+    /// [`HedgeConfig::soft_timeout`] to answer; stragglers get a hedged
+    /// retry and [`HedgeConfig::hedge_wait`] more, after which they are
+    /// omitted and the response degrades with
+    /// [`DegradeReason::ShardSlow`].
+    pub fn set_hedge(&self, hedge: Option<HedgeConfig>) {
+        *self.hedge.lock() = hedge;
+    }
+
     /// Top-`k` across all shards, honouring the request's deadline: the
     /// query is normalised once, fanned out shard-parallel, and the
     /// per-shard top-K lists are heap-merged. Down shards degrade the
     /// response ([`DegradeReason::ShardsDown`]) instead of failing it;
-    /// deadline-truncated shard scans degrade it with
-    /// [`DegradeReason::Deadline`].
+    /// straggling shards past the hedge budget degrade it with
+    /// [`DegradeReason::ShardSlow`]; deadline-truncated shard scans
+    /// degrade it with [`DegradeReason::Deadline`].
     ///
     /// # Errors
-    /// [`ServeError::DimensionMismatch`] on a width mismatch.
+    /// [`ServeError::DimensionMismatch`] on a width mismatch;
+    /// [`ServeError::DeadlineExceeded`] when the deadline (measured from
+    /// [`QueryRequest::arrival`]) had already expired on entry — the
+    /// request is shed before any shard is scanned;
+    /// [`ServeError::Overloaded`] when the admission budget (see
+    /// [`ShardRouter::set_admission`]) is exhausted.
     pub fn query_request(&self, request: QueryRequest) -> Result<QueryResponse, ServeError> {
         if request.vector.len() != self.dim {
             return Err(ServeError::DimensionMismatch {
@@ -422,47 +565,184 @@ impl ShardRouter {
                 got: request.vector.len(),
             });
         }
-        let deadline = request.deadline.map(|b| Instant::now() + b);
+        let now = Instant::now();
+        let arrival = request.arrival.unwrap_or(now);
+        let deadline = request.deadline.map(|b| arrival + b);
+        if let Some(d) = deadline {
+            if d <= now {
+                // expired while queued upstream: scanning would produce a
+                // result nobody can use — shed without touching any shard
+                self.metrics.shed_expired.inc();
+                return Err(ServeError::DeadlineExceeded);
+            }
+        }
+        let _permit = match self.admission.acquire(&self.metrics.inflight) {
+            Ok(p) => p,
+            Err(e) => {
+                self.metrics.shed_overload.inc();
+                return Err(e);
+            }
+        };
         // the raw query goes to every shard: each shard normalises
         // internally, the very arithmetic a single index would run, so
         // per-shard scores are bit-identical to the unsharded scan's
         let q = request.vector;
         let k = request.k;
-        let results: Vec<Result<crate::shard::LocalHits, ServeError>> =
-            self.shards.par_iter().map(|s| s.search_local(&q, k, deadline)).collect();
-        let mut lists = Vec::with_capacity(results.len());
-        let mut shards_down = 0usize;
-        let mut deadline_degraded = false;
-        let mut fanouts = 0u64;
-        for r in results {
-            match r {
-                Ok(local) => {
-                    if !local.cached {
-                        fanouts += 1;
-                    }
-                    deadline_degraded |= local.deadline_degraded;
-                    lists.push(local.hits);
-                }
-                Err(ServeError::ShardDown { .. }) => shards_down += 1,
-                Err(e) => return Err(e),
-            }
-        }
+        let hedge = *self.hedge.lock();
+        let gather = match hedge {
+            Some(h) => self.scatter_hedged(&q, k, deadline, h)?,
+            None => self.scatter_rayon(&q, k, deadline)?,
+        };
         let t0 = Instant::now();
-        let hits = merge_top_k(&lists, k);
+        let hits = merge_top_k(&gather.lists, k);
         self.metrics.merge_ns.record(t0.elapsed().as_nanos() as u64);
         self.metrics.queries.inc();
-        self.metrics.fanouts.add(fanouts);
-        let response = if shards_down > 0 {
+        self.metrics.fanouts.add(gather.fanouts);
+        self.metrics.hedges.add(gather.hedges);
+        self.metrics.hedge_wins.add(gather.hedge_wins);
+        self.metrics.slow_omits.add(gather.slow_omits as u64);
+        let response = if gather.shards_down > 0 {
             self.metrics.degraded.inc();
             self.metrics.shards_down_serves.inc();
             QueryResponse { hits, degraded: true, reason: Some(DegradeReason::ShardsDown) }
-        } else if deadline_degraded {
+        } else if gather.slow_omits > 0 {
+            self.metrics.degraded.inc();
+            QueryResponse { hits, degraded: true, reason: Some(DegradeReason::ShardSlow) }
+        } else if gather.deadline_degraded {
             self.metrics.degraded.inc();
             QueryResponse { hits, degraded: true, reason: Some(DegradeReason::Deadline) }
         } else {
             QueryResponse { hits, degraded: false, reason: None }
         };
         Ok(response)
+    }
+
+    /// Plain shard-parallel fan-out on the rayon pool — the default path,
+    /// and the reference hedged scatter must stay bit-identical to.
+    fn scatter_rayon(
+        &self,
+        q: &[f32],
+        k: usize,
+        deadline: Option<Instant>,
+    ) -> Result<Gather, ServeError> {
+        let results: Vec<Result<LocalHits, ServeError>> =
+            self.shards.par_iter().map(|s| s.search_local(q, k, deadline)).collect();
+        let mut gather = Gather {
+            lists: Vec::with_capacity(results.len()),
+            shards_down: 0,
+            slow_omits: 0,
+            deadline_degraded: false,
+            fanouts: 0,
+            hedges: 0,
+            hedge_wins: 0,
+        };
+        for r in results {
+            Self::fold_local(&mut gather, r)?;
+        }
+        Ok(gather)
+    }
+
+    /// Hedged fan-out: one detached thread per shard, answers collected
+    /// over a channel. Shards that miss the soft timeout get a hedged
+    /// retry (first answer wins); shards that also miss the hedge grace
+    /// are omitted. Straggler threads are left to finish on their own —
+    /// their sends land in a channel nobody reads, and their scan still
+    /// warms the shard cache for the next query.
+    fn scatter_hedged(
+        &self,
+        q: &[f32],
+        k: usize,
+        deadline: Option<Instant>,
+        h: HedgeConfig,
+    ) -> Result<Gather, ServeError> {
+        type Answer = (usize, u8, Result<LocalHits, ServeError>);
+        let n = self.shards.len();
+        let (tx, rx) = mpsc::channel::<Answer>();
+        let spawn_attempt = |i: usize, attempt: u8| {
+            let shard = Arc::clone(&self.shards[i]);
+            let q = q.to_vec();
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                let r = shard.search_local(&q, k, deadline);
+                // the receiver may be gone (request already answered
+                // without us) — that is the expected straggler fate
+                let _ = tx.send((i, attempt, r));
+            });
+        };
+        for i in 0..n {
+            spawn_attempt(i, 0);
+        }
+        let mut slots: Vec<Option<Result<LocalHits, ServeError>>> = (0..n).map(|_| None).collect();
+        let mut answered = 0usize;
+        let mut hedge_wins = 0u64;
+        let drain = |until: Instant,
+                     slots: &mut Vec<Option<Result<LocalHits, ServeError>>>,
+                     answered: &mut usize,
+                     hedge_wins: &mut u64| {
+            while *answered < n {
+                let timeout = until.saturating_duration_since(Instant::now());
+                match rx.recv_timeout(timeout) {
+                    Ok((i, attempt, r)) => {
+                        if slots[i].is_none() {
+                            if attempt == 1 {
+                                *hedge_wins += 1;
+                            }
+                            slots[i] = Some(r);
+                            *answered += 1;
+                        }
+                    }
+                    Err(_) => break, // timeout (or every sender finished)
+                }
+            }
+        };
+        drain(Instant::now() + h.soft_timeout, &mut slots, &mut answered, &mut hedge_wins);
+        let mut hedges = 0u64;
+        if answered < n {
+            for (i, slot) in slots.iter().enumerate() {
+                if slot.is_none() {
+                    spawn_attempt(i, 1);
+                    hedges += 1;
+                }
+            }
+            drain(Instant::now() + h.hedge_wait, &mut slots, &mut answered, &mut hedge_wins);
+        }
+        drop(tx);
+        let mut gather = Gather {
+            lists: Vec::with_capacity(n),
+            shards_down: 0,
+            slow_omits: 0,
+            deadline_degraded: false,
+            fanouts: 0,
+            hedges,
+            hedge_wins,
+        };
+        for slot in slots {
+            match slot {
+                Some(r) => Self::fold_local(&mut gather, r)?,
+                None => gather.slow_omits += 1,
+            }
+        }
+        Ok(gather)
+    }
+
+    /// Folds one shard answer into the gather (shared by both scatter
+    /// paths so their accounting cannot drift).
+    fn fold_local(gather: &mut Gather, r: Result<LocalHits, ServeError>) -> Result<(), ServeError> {
+        match r {
+            Ok(local) => {
+                if !local.cached {
+                    gather.fanouts += 1;
+                }
+                gather.deadline_degraded |= local.deadline_degraded;
+                gather.lists.push(local.hits);
+                Ok(())
+            }
+            Err(ServeError::ShardDown { .. }) => {
+                gather.shards_down += 1;
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// Answers a whole batch in request order (each request fans out
@@ -525,7 +805,7 @@ impl ShardRouter {
 
     /// Current router counters plus each shard's snapshot.
     pub fn stats(&self) -> RouterStatsSnapshot {
-        let per_shard: Vec<ShardStatsSnapshot> = self.shards.iter().map(Shard::stats).collect();
+        let per_shard: Vec<ShardStatsSnapshot> = self.shards.iter().map(|s| s.stats()).collect();
         RouterStatsSnapshot {
             len: self.len(),
             shards: self.shards.len(),
@@ -535,6 +815,12 @@ impl ShardRouter {
             degraded: self.metrics.degraded.get(),
             shards_down_serves: self.metrics.shards_down_serves.get(),
             ingested: self.metrics.ingested.get(),
+            hedges: self.metrics.hedges.get(),
+            hedge_wins: self.metrics.hedge_wins.get(),
+            slow_omits: self.metrics.slow_omits.get(),
+            shed_overload: self.metrics.shed_overload.get(),
+            shed_expired: self.metrics.shed_expired.get(),
+            inflight: self.admission.inflight.load(Ordering::Acquire) as u64,
             merge: LatencySummary::of(&self.metrics.merge_ns),
             per_shard,
         }

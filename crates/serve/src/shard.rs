@@ -21,7 +21,7 @@
 use std::collections::BinaryHeap;
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, RwLock};
 use sem_obs::{Counter, Gauge, Histogram, Registry};
@@ -146,6 +146,31 @@ pub struct ShardStatsSnapshot {
     pub scan: LatencySummary,
 }
 
+/// Outcome of a [`Shard::probe`] health check.
+#[derive(Clone, Debug, Serialize)]
+pub struct ProbeReport {
+    /// Shard probed.
+    pub shard: usize,
+    /// `true` when the cheap self-query (search for the shard's own first
+    /// vector) returned that vector as the top hit.
+    pub self_query_ok: bool,
+    /// On-disk integrity verdict: `None` when no store is attached or the
+    /// check was skipped, otherwise [`crate::store::IndexStore::verify`]'s
+    /// overall `ok`.
+    pub store_ok: Option<bool>,
+}
+
+impl ProbeReport {
+    /// `true` when the serving path is healthy. A failing *store* check is
+    /// deliberately excluded: while the shard is `Ready` its in-memory
+    /// index is the best remaining authority, and tearing it down over a
+    /// durability alarm would trade availability for nothing (the
+    /// supervisor raises a store alarm instead).
+    pub fn serving_ok(&self) -> bool {
+        self.self_query_ok
+    }
+}
+
 /// What a local search produced.
 pub(crate) struct LocalHits {
     /// Local top-K, ids mapped to global, sorted score desc / id asc.
@@ -168,6 +193,10 @@ pub struct Shard {
     last_len: Mutex<usize>,
     cache: Mutex<LruCache<ShardCacheKey, ShardCacheEntry>>,
     store: Mutex<Option<IndexStore>>,
+    /// Chaos/test hook: `(delay, remaining_scans)` — the next
+    /// `remaining_scans` cache-missing searches sleep `delay` before
+    /// scanning, simulating a straggler shard.
+    scan_delay: Mutex<Option<(Duration, usize)>>,
     metrics: ShardMetrics,
 }
 
@@ -189,6 +218,7 @@ impl Shard {
             state: RwLock::new(ShardState::Ready(index)),
             cache: Mutex::new(LruCache::new(cache_capacity)),
             store: Mutex::new(None),
+            scan_delay: Mutex::new(None),
             metrics,
         }
     }
@@ -256,16 +286,35 @@ impl Shard {
             });
         }
         self.metrics.cache_misses.inc();
+        // chaos hook: a straggling shard sleeps before it scans
+        let delay = {
+            let mut slot = self.scan_delay.lock();
+            match &mut *slot {
+                Some((d, remaining)) if *remaining > 0 => {
+                    *remaining -= 1;
+                    let d = *d;
+                    if *remaining == 0 {
+                        *slot = None;
+                    }
+                    Some(d)
+                }
+                _ => None,
+            }
+        };
+        if let Some(d) = delay {
+            std::thread::sleep(d);
+        }
         let guard = self.state.read();
         let ShardState::Ready(index) = &*guard else {
             let reason = self.down_reason().unwrap_or_default();
             return Err(ServeError::ShardDown { shard: self.ordinal, detail: reason });
         };
-        self.metrics.inflight.set(self.metrics.inflight.get() + 1.0);
+        self.metrics.inflight.add(1.0);
         let t0 = Instant::now();
-        let (local, deadline_degraded) = index.search_deadline(query, k, deadline)?;
+        let result = index.search_deadline(query, k, deadline);
         self.metrics.scan_ns.record(t0.elapsed().as_nanos() as u64);
-        self.metrics.inflight.set((self.metrics.inflight.get() - 1.0).max(0.0));
+        self.metrics.inflight.add(-1.0);
+        let (local, deadline_degraded) = result?;
         drop(guard);
         let hits: Vec<Hit> = local
             .into_iter()
@@ -361,15 +410,74 @@ impl Shard {
         store.save_snapshot(index)
     }
 
+    /// Forces the shard `Down` with the given reason — the supervisor's
+    /// trip action, and the chaos harness's "kill" fault. A no-op when the
+    /// shard is already down (the original reason is kept).
+    pub fn force_down(&self, reason: impl Into<String>) {
+        let mut guard = self.state.write();
+        if let ShardState::Ready(index) = &*guard {
+            *self.last_len.lock() = index.len();
+            *guard = ShardState::Down(reason.into());
+            self.metrics.downs.inc();
+        }
+    }
+
+    /// Arms the chaos/test latency hook: the next `scans` cache-missing
+    /// searches on this shard sleep `delay` before scanning, simulating a
+    /// straggler (GC pause, cold page cache, noisy neighbour).
+    pub fn inject_scan_delay(&self, delay: Duration, scans: usize) {
+        *self.scan_delay.lock() = if scans == 0 { None } else { Some((delay, scans)) };
+    }
+
+    /// Cheap health probe: searches the shard for its own first vector and
+    /// expects it back as the top hit (an exact self-match under
+    /// normalise-then-dot), optionally also verifying the attached store's
+    /// on-disk integrity. Empty shards pass trivially.
+    ///
+    /// # Errors
+    /// [`ServeError::ShardDown`] while the shard is down — which is itself
+    /// a probe outcome the supervisor acts on.
+    pub fn probe(&self, check_store: bool) -> Result<ProbeReport, ServeError> {
+        let self_query_ok = self.with_index(|index| {
+            if index.is_empty() {
+                return true;
+            }
+            let q = index.vector(0).to_vec();
+            index.search(&q, 1).first().map(|h| h.id == 0).unwrap_or(false)
+        })?;
+        let store_ok =
+            if check_store { self.store.lock().as_ref().map(|s| s.verify().ok) } else { None };
+        Ok(ProbeReport { shard: self.ordinal, self_query_ok, store_ok })
+    }
+
     /// Heals this shard — and only this shard — from its store: reopens
     /// the snapshot+journal pair fresh (a crashed store object models a
     /// dead machine and cannot be reused), replays, swaps `Ready` back in
     /// and clears the local cache. Other shards are untouched.
     ///
+    /// **Idempotent on a healthy shard**: when the shard is already
+    /// `Ready` this returns immediately without reopening the store,
+    /// without re-replaying the journal and — crucially — without wiping
+    /// the warm cache, so a redundant heal (operator race, supervisor vs.
+    /// manual `recover_shard`) costs nothing.
+    ///
+    /// When replay discarded a torn journal tail, the healed index is
+    /// immediately re-snapshotted (compacting the journal) so fresh
+    /// appends can never land *after* the garbage and poison a later
+    /// replay.
+    ///
     /// # Errors
     /// No store attached, or recovery itself failing (the shard then stays
     /// down with the failure as its reason).
     pub fn recover_from_store(&self) -> Result<crate::engine::RecoveryStats, ServeError> {
+        if let ShardState::Ready(index) = &*self.state.read() {
+            return Ok(crate::engine::RecoveryStats {
+                recovered_len: index.len(),
+                replayed: 0,
+                skipped: 0,
+                discarded_tail: false,
+            });
+        }
         let path = {
             let store = self.store.lock();
             let Some(store) = store.as_ref() else {
@@ -380,7 +488,7 @@ impl Shard {
             };
             store.snapshot_path().to_path_buf()
         };
-        let fresh = IndexStore::open(&path);
+        let mut fresh = IndexStore::open(&path);
         let recovery = match fresh.load() {
             Ok(r) => r,
             Err(e) => {
@@ -392,6 +500,15 @@ impl Shard {
                 return Err(e);
             }
         };
+        if recovery.discarded_tail {
+            // a torn tail was skipped but its bytes are still on disk;
+            // compact now so fresh appends can't land after the garbage
+            if let Err(e) = fresh.save_snapshot(&recovery.index) {
+                *self.state.write() =
+                    ShardState::Down(format!("post-recovery compaction failed: {e}"));
+                return Err(e);
+            }
+        }
         *self.store.lock() = Some(fresh);
         let stats = crate::engine::RecoveryStats {
             recovered_len: recovery.index.len(),

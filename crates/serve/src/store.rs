@@ -617,7 +617,7 @@ impl IndexStore {
 
 /// `<snapshot>.journal`, preserving the original extension as part of the
 /// file name (`index.json` → `index.json.journal`).
-fn journal_path_for(snapshot: &Path) -> PathBuf {
+pub fn journal_path_for(snapshot: &Path) -> PathBuf {
     let mut name = snapshot.as_os_str().to_os_string();
     name.push(".journal");
     PathBuf::from(name)

@@ -1,0 +1,590 @@
+//! The shard supervisor: periodic health probes, trip-on-consecutive
+//! failures, and automatic background healing with jittered backoff.
+//!
+//! **State machine.** Every shard is tracked independently:
+//!
+//! ```text
+//!            probe ok                    probe fails
+//!   Healthy ─────────▶ Healthy   Healthy ───────────▶ Suspect{1}
+//!   Suspect{f} ── ok ─▶ Healthy  Suspect{f} ─ fail ─▶ Suspect{f+1}
+//!   Suspect{trip_after} ──────── trip ──────────────▶ Unhealthy
+//!   Unhealthy ── heal succeeds ─▶ Healthy
+//!   Unhealthy ── heal fails ────▶ Unhealthy (backoff grows, jittered)
+//! ```
+//!
+//! A *probe* is a cheap self-query (the shard searches for its own first
+//! vector and must get it back as the top hit) plus, optionally, an
+//! on-disk integrity check of the attached store. A shard that is already
+//! `Down` fails its probe by definition. *Tripping* forces the shard
+//! `Down` (so the router degrades honestly instead of serving a broken
+//! index) and immediately attempts the first heal; subsequent attempts
+//! are paced by [`sem_train::retry::RetryPolicy`]'s deterministic
+//! jittered exponential backoff — the same policy the training watchdog
+//! uses, so backoff behaviour is uniform across the system.
+//!
+//! **Store alarms.** A failing *store* check on a shard that still serves
+//! correctly does **not** trip it: while the shard is `Ready` its
+//! in-memory index is the best remaining authority, and replacing it with
+//! a corrupt durable copy would destroy data. The supervisor raises a
+//! store alarm (event + `serve.supervisor.store_alarms` counter) for the
+//! operator instead.
+//!
+//! Drive the supervisor manually with [`ShardSupervisor::tick`]
+//! (deterministic tests) or in the background with
+//! [`ShardSupervisor::start`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use sem_obs::{Counter, Registry};
+use sem_train::retry::RetryPolicy;
+use serde::{Serialize, Value};
+
+use crate::router::ShardRouter;
+
+/// Supervisor tuning knobs.
+#[derive(Clone, Debug)]
+pub struct SupervisorConfig {
+    /// How often the background loop probes every shard.
+    pub probe_interval: Duration,
+    /// Consecutive probe failures before a shard trips to `Unhealthy`.
+    pub trip_after: usize,
+    /// Whether probes also verify the attached store's on-disk integrity
+    /// (snapshot + journal checksums). Costs file reads per probe.
+    pub check_store: bool,
+    /// Backoff pacing between heal attempts (jitter is deterministic in
+    /// the policy's seed). `max_attempts` caps the *delay growth*, not
+    /// the attempts — the supervisor never gives up on a shard.
+    pub heal_backoff: RetryPolicy,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            probe_interval: Duration::from_millis(250),
+            trip_after: 2,
+            check_store: false,
+            heal_backoff: RetryPolicy {
+                max_attempts: 8,
+                base_delay_ms: 50,
+                max_delay_ms: 2_000,
+                seed: 0x5eed,
+            },
+        }
+    }
+}
+
+/// Per-shard health as the supervisor sees it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardHealth {
+    /// Last probe passed.
+    Healthy,
+    /// `failures` consecutive probes failed, below the trip threshold.
+    Suspect {
+        /// Consecutive failures so far.
+        failures: usize,
+    },
+    /// Tripped; healing in progress with backoff.
+    Unhealthy {
+        /// Heal attempts made since the trip.
+        heal_attempts: usize,
+    },
+}
+
+// The vendored serde derive only covers unit-variant enums, so the
+// struct-variant enums below serialize by hand, as tagged objects.
+impl Serialize for ShardHealth {
+    fn ser(&self) -> Value {
+        let state = |s: &str| ("state".to_string(), Value::Str(s.to_string()));
+        match self {
+            ShardHealth::Healthy => Value::Obj(vec![state("healthy")]),
+            ShardHealth::Suspect { failures } => Value::Obj(vec![
+                state("suspect"),
+                ("failures".to_string(), Value::Int(*failures as i128)),
+            ]),
+            ShardHealth::Unhealthy { heal_attempts } => Value::Obj(vec![
+                state("unhealthy"),
+                ("heal_attempts".to_string(), Value::Int(*heal_attempts as i128)),
+            ]),
+        }
+    }
+}
+
+/// A structured supervisor event, in emission order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SupervisorEvent {
+    /// A probe failed (shard, consecutive-failure count).
+    ProbeFailed {
+        /// Shard ordinal.
+        shard: usize,
+        /// Consecutive failures including this one.
+        failures: usize,
+        /// What the probe saw.
+        detail: String,
+    },
+    /// The shard tripped to `Unhealthy` and was forced down.
+    Tripped {
+        /// Shard ordinal.
+        shard: usize,
+    },
+    /// A heal attempt failed; the next one is backoff-delayed.
+    HealFailed {
+        /// Shard ordinal.
+        shard: usize,
+        /// Attempt number (1-based).
+        attempt: usize,
+        /// The recovery error.
+        detail: String,
+    },
+    /// The shard healed and is serving again.
+    Healed {
+        /// Shard ordinal.
+        shard: usize,
+        /// Heal attempts it took (1-based).
+        attempts: usize,
+        /// Journal records replayed during the heal.
+        replayed: usize,
+    },
+    /// A `Ready` shard's store failed its integrity check — an operator
+    /// alarm, not a trip (see the module docs).
+    StoreAlarm {
+        /// Shard ordinal.
+        shard: usize,
+    },
+}
+
+impl Serialize for SupervisorEvent {
+    fn ser(&self) -> Value {
+        let ev = |s: &str| ("event".to_string(), Value::Str(s.to_string()));
+        let int = |name: &str, n: usize| (name.to_string(), Value::Int(n as i128));
+        match self {
+            SupervisorEvent::ProbeFailed { shard, failures, detail } => Value::Obj(vec![
+                ev("probe_failed"),
+                int("shard", *shard),
+                int("failures", *failures),
+                ("detail".to_string(), Value::Str(detail.clone())),
+            ]),
+            SupervisorEvent::Tripped { shard } => {
+                Value::Obj(vec![ev("tripped"), int("shard", *shard)])
+            }
+            SupervisorEvent::HealFailed { shard, attempt, detail } => Value::Obj(vec![
+                ev("heal_failed"),
+                int("shard", *shard),
+                int("attempt", *attempt),
+                ("detail".to_string(), Value::Str(detail.clone())),
+            ]),
+            SupervisorEvent::Healed { shard, attempts, replayed } => Value::Obj(vec![
+                ev("healed"),
+                int("shard", *shard),
+                int("attempts", *attempts),
+                int("replayed", *replayed),
+            ]),
+            SupervisorEvent::StoreAlarm { shard } => {
+                Value::Obj(vec![ev("store_alarm"), int("shard", *shard)])
+            }
+        }
+    }
+}
+
+/// Point-in-time supervisor state (serialised into chaos reports).
+#[derive(Clone, Debug, Serialize)]
+pub struct SupervisorSnapshot {
+    /// Probes run (per shard per tick).
+    pub probes: u64,
+    /// Shards tripped `Unhealthy`.
+    pub trips: u64,
+    /// Successful heals.
+    pub heals: u64,
+    /// Failed heal attempts.
+    pub heal_failures: u64,
+    /// Store-integrity alarms raised on serving shards.
+    pub store_alarms: u64,
+    /// Current per-shard health.
+    pub health: Vec<ShardHealth>,
+}
+
+/// Internal per-shard tracking: health plus the backoff clock.
+struct ShardTrack {
+    health: ShardHealth,
+    /// Earliest instant the next heal attempt may run.
+    next_heal_at: Instant,
+}
+
+/// Supervises every shard of a [`ShardRouter`]: probes, trips, heals.
+pub struct ShardSupervisor {
+    router: Arc<ShardRouter>,
+    config: SupervisorConfig,
+    tracks: Mutex<Vec<ShardTrack>>,
+    events: Mutex<Vec<SupervisorEvent>>,
+    probes: Arc<Counter>,
+    trips: Arc<Counter>,
+    heals: Arc<Counter>,
+    heal_failures: Arc<Counter>,
+    store_alarms: Arc<Counter>,
+    stop: AtomicBool,
+}
+
+impl ShardSupervisor {
+    /// Wraps a router for supervision. Metrics
+    /// (`serve.supervisor.probes/trips/heals/...`) land in the router's
+    /// registry.
+    pub fn new(router: Arc<ShardRouter>, config: SupervisorConfig) -> Self {
+        let registry: Arc<Registry> = router.metrics();
+        let now = Instant::now();
+        let tracks = (0..router.num_shards())
+            .map(|_| ShardTrack { health: ShardHealth::Healthy, next_heal_at: now })
+            .collect();
+        ShardSupervisor {
+            router,
+            config,
+            tracks: Mutex::new(tracks),
+            events: Mutex::new(Vec::new()),
+            probes: registry.counter("serve.supervisor.probes"),
+            trips: registry.counter("serve.supervisor.trips"),
+            heals: registry.counter("serve.supervisor.heals"),
+            heal_failures: registry.counter("serve.supervisor.heal_failures"),
+            store_alarms: registry.counter("serve.supervisor.store_alarms"),
+            stop: AtomicBool::new(false),
+        }
+    }
+
+    /// Runs one supervision round over every shard: probe the healthy,
+    /// advance the suspect, heal the unhealthy (respecting backoff).
+    /// Deterministic given the shard states — the background loop is just
+    /// this on a timer.
+    pub fn tick(&self) {
+        let n = self.router.num_shards();
+        for i in 0..n {
+            // never hold the tracks lock across a probe or heal: probes
+            // scan and heals replay journals, and a concurrent snapshot()
+            // must not block behind them
+            let health = self.tracks.lock()[i].health;
+            match health {
+                ShardHealth::Healthy | ShardHealth::Suspect { .. } => self.probe_shard(i, health),
+                ShardHealth::Unhealthy { heal_attempts } => {
+                    if Instant::now() >= self.tracks.lock()[i].next_heal_at {
+                        self.heal_shard(i, heal_attempts);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Probes shard `i` and advances Healthy/Suspect, tripping at the
+    /// threshold.
+    fn probe_shard(&self, i: usize, health: ShardHealth) {
+        self.probes.inc();
+        let shard = self.router.shard(i);
+        let (serving_ok, store_ok, detail) = match shard.probe(self.config.check_store) {
+            Ok(report) => {
+                let detail = if report.serving_ok() {
+                    String::new()
+                } else {
+                    "self-query missed its own vector".to_string()
+                };
+                (report.serving_ok(), report.store_ok, detail)
+            }
+            Err(e) => (false, None, e.to_string()),
+        };
+        if serving_ok {
+            if store_ok == Some(false) {
+                // serving fine, durable copy corrupt: alarm, don't trip
+                self.store_alarms.inc();
+                self.push_event(SupervisorEvent::StoreAlarm { shard: i });
+            }
+            self.tracks.lock()[i].health = ShardHealth::Healthy;
+            return;
+        }
+        let failures = match health {
+            ShardHealth::Suspect { failures } => failures + 1,
+            _ => 1,
+        };
+        self.push_event(SupervisorEvent::ProbeFailed { shard: i, failures, detail });
+        if failures >= self.config.trip_after {
+            self.trips.inc();
+            self.push_event(SupervisorEvent::Tripped { shard: i });
+            // force the shard down so the router degrades honestly while
+            // we heal (no-op when the shard is already down)
+            shard.force_down("supervisor trip: consecutive probe failures");
+            self.tracks.lock()[i].health = ShardHealth::Unhealthy { heal_attempts: 0 };
+            // first heal attempt runs immediately
+            self.heal_shard(i, 0);
+        } else {
+            self.tracks.lock()[i].health = ShardHealth::Suspect { failures };
+        }
+    }
+
+    /// Runs one heal attempt against shard `i`.
+    fn heal_shard(&self, i: usize, prior_attempts: usize) {
+        let attempt = prior_attempts + 1;
+        match self.router.recover_shard(i) {
+            Ok(stats) => {
+                self.heals.inc();
+                self.push_event(SupervisorEvent::Healed {
+                    shard: i,
+                    attempts: attempt,
+                    replayed: stats.replayed,
+                });
+                self.tracks.lock()[i].health = ShardHealth::Healthy;
+            }
+            Err(e) => {
+                self.heal_failures.inc();
+                self.push_event(SupervisorEvent::HealFailed {
+                    shard: i,
+                    attempt,
+                    detail: e.to_string(),
+                });
+                // deterministic jittered exponential backoff, capped by
+                // the policy's max_attempts-th delay
+                let retry = attempt.min(self.config.heal_backoff.max_attempts);
+                let delay = Duration::from_millis(self.config.heal_backoff.delay_ms(retry));
+                let mut tracks = self.tracks.lock();
+                tracks[i].health = ShardHealth::Unhealthy { heal_attempts: attempt };
+                tracks[i].next_heal_at = Instant::now() + delay;
+            }
+        }
+    }
+
+    fn push_event(&self, event: SupervisorEvent) {
+        const EVENT_CAP: usize = 4096;
+        let mut events = self.events.lock();
+        if events.len() < EVENT_CAP {
+            events.push(event);
+        }
+    }
+
+    /// Drains the structured event log (events are returned once, in
+    /// emission order).
+    pub fn drain_events(&self) -> Vec<SupervisorEvent> {
+        std::mem::take(&mut *self.events.lock())
+    }
+
+    /// Current counters and per-shard health.
+    pub fn snapshot(&self) -> SupervisorSnapshot {
+        SupervisorSnapshot {
+            probes: self.probes.get(),
+            trips: self.trips.get(),
+            heals: self.heals.get(),
+            heal_failures: self.heal_failures.get(),
+            store_alarms: self.store_alarms.get(),
+            health: self.tracks.lock().iter().map(|t| t.health).collect(),
+        }
+    }
+
+    /// Spawns the background supervision loop: one [`ShardSupervisor::tick`]
+    /// every `probe_interval` until [`ShardSupervisor::shutdown`]. Returns
+    /// the join handle.
+    pub fn start(self: &Arc<Self>) -> std::thread::JoinHandle<()> {
+        let sup = Arc::clone(self);
+        std::thread::spawn(move || {
+            while !sup.stop.load(Ordering::Acquire) {
+                sup.tick();
+                // sleep in small slices so shutdown is prompt even with
+                // long probe intervals
+                let mut remaining = sup.config.probe_interval;
+                let slice = Duration::from_millis(10);
+                while !remaining.is_zero() && !sup.stop.load(Ordering::Acquire) {
+                    let nap = remaining.min(slice);
+                    std::thread::sleep(nap);
+                    remaining = remaining.saturating_sub(nap);
+                }
+            }
+        })
+    }
+
+    /// Signals the background loop to exit (join the handle from
+    /// [`ShardSupervisor::start`] afterwards).
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexConfig;
+    use crate::shard::ShardConfig;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect()
+    }
+
+    /// Self-cleaning unique temp dir (no external tempfile dependency).
+    struct TempDir(std::path::PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let dir = std::env::temp_dir().join(format!("sem-sup-{tag}-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).unwrap();
+            TempDir(dir)
+        }
+
+        fn path(&self) -> &std::path::Path {
+            &self.0
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            std::fs::remove_dir_all(&self.0).ok();
+        }
+    }
+
+    fn flat_config(shards: usize) -> ShardConfig {
+        ShardConfig {
+            shards,
+            index: IndexConfig { flat_threshold: usize::MAX, ..Default::default() },
+            cache_capacity: 64,
+        }
+    }
+
+    fn stored_router(dir: &std::path::Path, shards: usize) -> Arc<ShardRouter> {
+        let router = ShardRouter::try_build(random_vectors(60, 6, 1), flat_config(shards)).unwrap();
+        router.attach_stores(&dir.join("family.snap")).unwrap();
+        router.persist_all().unwrap();
+        Arc::new(router)
+    }
+
+    fn fast_config(trip_after: usize) -> SupervisorConfig {
+        SupervisorConfig {
+            probe_interval: Duration::from_millis(5),
+            trip_after,
+            check_store: false,
+            heal_backoff: RetryPolicy {
+                max_attempts: 4,
+                base_delay_ms: 0,
+                max_delay_ms: 0,
+                seed: 7,
+            },
+        }
+    }
+
+    #[test]
+    fn healthy_shards_stay_healthy_across_ticks() {
+        let dir = TempDir::new("healthy-ticks");
+        let router = stored_router(dir.path(), 2);
+        let sup = ShardSupervisor::new(router, fast_config(2));
+        sup.tick();
+        sup.tick();
+        let snap = sup.snapshot();
+        assert_eq!(snap.probes, 4);
+        assert_eq!(snap.trips, 0);
+        assert_eq!(snap.heals, 0);
+        assert!(snap.health.iter().all(|h| *h == ShardHealth::Healthy));
+        assert!(sup.drain_events().is_empty());
+    }
+
+    #[test]
+    fn trip_and_heal_follow_the_state_machine() {
+        let dir = TempDir::new("trip-heal");
+        let router = stored_router(dir.path(), 2);
+        let sup = ShardSupervisor::new(Arc::clone(&router), fast_config(2));
+        router.shard(1).force_down("test kill");
+        // failure 1: suspect, no trip yet
+        sup.tick();
+        assert_eq!(sup.snapshot().health[1], ShardHealth::Suspect { failures: 1 });
+        assert!(router.shard(1).is_down());
+        // failure 2: trip + immediate heal from the intact store
+        sup.tick();
+        let snap = sup.snapshot();
+        assert_eq!(snap.trips, 1);
+        assert_eq!(snap.heals, 1);
+        assert_eq!(snap.health[1], ShardHealth::Healthy);
+        assert!(!router.shard(1).is_down());
+        // the other shard was never touched
+        assert_eq!(snap.health[0], ShardHealth::Healthy);
+        let events = sup.drain_events();
+        assert!(matches!(events[0], SupervisorEvent::ProbeFailed { shard: 1, failures: 1, .. }));
+        assert!(events.contains(&SupervisorEvent::Tripped { shard: 1 }));
+        assert!(matches!(
+            events.last(),
+            Some(SupervisorEvent::Healed { shard: 1, attempts: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn recovered_probe_resets_suspect_to_healthy() {
+        let dir = TempDir::new("suspect-reset");
+        let router = stored_router(dir.path(), 2);
+        let sup = ShardSupervisor::new(Arc::clone(&router), fast_config(3));
+        router.shard(0).force_down("blip");
+        sup.tick();
+        assert_eq!(sup.snapshot().health[0], ShardHealth::Suspect { failures: 1 });
+        // operator heals it manually before the trip threshold
+        router.recover_shard(0).unwrap();
+        sup.tick();
+        assert_eq!(sup.snapshot().health[0], ShardHealth::Healthy);
+        assert_eq!(sup.snapshot().trips, 0);
+    }
+
+    #[test]
+    fn heal_failure_backs_off_and_eventually_heals() {
+        let _dir = TempDir::new("nostore");
+        let router =
+            Arc::new(ShardRouter::try_build(random_vectors(40, 6, 2), flat_config(2)).unwrap());
+        // no store attached: heals fail with Invalid until one appears
+        let sup = ShardSupervisor::new(Arc::clone(&router), fast_config(1));
+        router.shard(0).force_down("kill");
+        sup.tick(); // trip + failed heal (no store)
+        let snap = sup.snapshot();
+        assert_eq!(snap.trips, 1);
+        assert_eq!(snap.heal_failures, 1);
+        assert!(matches!(snap.health[0], ShardHealth::Unhealthy { heal_attempts: 1 }));
+        // attach stores; backoff is zero in this config, so the next tick
+        // heals... but recover needs a snapshot on disk first
+        let dir2 = TempDir::new("late-store");
+        router.attach_stores(&dir2.path().join("family.snap")).unwrap();
+        // shard 0 is down, persist only writes through Ready shards —
+        // write its snapshot via shard 1's path trick: persist shard 1,
+        // then force shard 0's store to exist by healing from a fresh
+        // snapshot written below
+        let idx = crate::index::AnnIndex::build(
+            random_vectors(40, 6, 2)
+                .into_iter()
+                .enumerate()
+                .filter(|(i, _)| i % 2 == 0)
+                .map(|(_, v)| v)
+                .collect(),
+            IndexConfig { flat_threshold: usize::MAX, ..Default::default() },
+        );
+        let mut store = crate::store::IndexStore::open(crate::router::shard_snapshot_path(
+            &dir2.path().join("family.snap"),
+            0,
+        ));
+        store.save_snapshot(&idx).unwrap();
+        // delay_ms floors at 1 ms even for a zero-delay policy: wait out
+        // the backoff so this tick is guaranteed to attempt the heal
+        std::thread::sleep(Duration::from_millis(5));
+        sup.tick();
+        let snap = sup.snapshot();
+        assert_eq!(snap.heals, 1, "{snap:?} events: {:?}", sup.drain_events());
+        assert_eq!(snap.health[0], ShardHealth::Healthy);
+        assert!(snap.heal_failures >= 1);
+        let events = sup.drain_events();
+        assert!(events.iter().any(|e| matches!(e, SupervisorEvent::HealFailed { .. })));
+    }
+
+    #[test]
+    fn background_loop_heals_a_killed_shard() {
+        let dir = TempDir::new("bg-loop");
+        let router = stored_router(dir.path(), 2);
+        let sup = Arc::new(ShardSupervisor::new(Arc::clone(&router), fast_config(1)));
+        let handle = sup.start();
+        router.shard(0).force_down("chaos kill");
+        let t0 = Instant::now();
+        while router.shard(0).is_down() && t0.elapsed() < Duration::from_secs(10) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        sup.shutdown();
+        handle.join().unwrap();
+        assert!(!router.shard(0).is_down(), "supervisor healed within bound");
+        let snap = sup.snapshot();
+        assert!(snap.trips >= 1);
+        assert!(snap.heals >= 1);
+    }
+}
