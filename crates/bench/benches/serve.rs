@@ -11,8 +11,8 @@ use std::time::{Duration, Instant};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::{Rng, SeedableRng};
 use sem_serve::{
-    loadgen, AnnIndex, EngineConfig, HedgeConfig, IndexConfig, QueryEngine, QueryRequest,
-    ShardConfig, ShardRouter, ShardSupervisor, SupervisorConfig,
+    loadgen, AnnIndex, EngineConfig, FacetLayout, HedgeConfig, Hit, IndexConfig, QueryEngine,
+    QueryRequest, RerankParams, ShardConfig, ShardRouter, ShardSupervisor, SupervisorConfig,
 };
 
 const DIM: usize = 24;
@@ -197,6 +197,68 @@ fn bench_hedged_query(c: &mut Criterion) {
     });
 }
 
+/// The 24-dim bench corpus read as three equal 8-dim facets
+/// (background / method / result).
+fn bench_layout() -> FacetLayout {
+    FacetLayout::new(vec!["bg".into(), "method".into(), "result".into()], vec![8, 8, 8])
+        .expect("three 8-dim facets over DIM=24")
+}
+
+fn normalize(v: &[f32]) -> Vec<f32> {
+    let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    v.iter().map(|x| x / norm).collect()
+}
+
+fn bench_rerank(c: &mut Criterion) {
+    // Stage 2 in isolation: rescoring a 200-candidate pool with skewed
+    // facet weights plus the MMR diversity pass (λ > 0 is the expensive
+    // branch — the greedy selection is O(k·C) similarity updates).
+    let layout = bench_layout();
+    let pool: Vec<Vec<f32>> = corpus_vectors(200, 7).iter().map(|v| normalize(v)).collect();
+    let q = normalize(&corpus_vectors(1, 99).pop().unwrap());
+    let mut hits: Vec<Hit> = pool
+        .iter()
+        .enumerate()
+        .map(|(id, v)| Hit { id, score: v.iter().zip(&q).map(|(a, b)| a * b).sum() })
+        .collect();
+    hits.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.id.cmp(&b.id)));
+    let candidates: Vec<(Hit, &[f32])> = hits.iter().map(|h| (*h, pool[h.id].as_slice())).collect();
+    let params = RerankParams { weights: vec![0.2, 0.7, 0.1], lambda: 0.3, candidates: 200 };
+    c.bench_function("serve/rerank-top10-from-200", |bench| {
+        bench.iter(|| {
+            black_box(sem_serve::rerank::rerank(
+                black_box(&q),
+                &layout,
+                &params,
+                black_box(&candidates),
+                10,
+            ))
+        })
+    });
+}
+
+fn bench_faceted_query(c: &mut Criterion) {
+    // The full two-stage path through the sharded router: fused stage-1
+    // scatter widened to the candidate budget, candidate vectors fetched
+    // from their owning shards, then the facet-weighted MMR rescore.
+    // Compare against `serve/sharded-query-top10-100k-8shards` for the
+    // stage-2 overhead at the same corpus scale.
+    let config = ShardConfig { shards: 8, index: ivf_config(), cache_capacity: 1 };
+    let router = ShardRouter::try_build(corpus_vectors(100_000, 7), config)
+        .expect("100k corpus shards cleanly");
+    router.set_layout(bench_layout()).expect("layout matches DIM");
+    let queries = corpus_vectors(64, 99);
+    let params = RerankParams { weights: vec![0.2, 0.7, 0.1], lambda: 0.3, candidates: 200 };
+    let cursor = AtomicU64::new(0);
+    c.bench_function("serve/sharded-faceted-query-top10-100k-8shards", |bench| {
+        bench.iter(|| {
+            let i = cursor.fetch_add(1, Ordering::Relaxed) as usize % queries.len();
+            let request = QueryRequest::new(queries[i].clone(), 10).with_rerank(params.clone());
+            black_box(router.query_request(request).unwrap())
+        })
+    });
+}
+
 criterion_group!(
     benches,
     bench_build,
@@ -206,6 +268,8 @@ criterion_group!(
     bench_sharded,
     bench_sustained_load,
     bench_supervisor,
-    bench_hedged_query
+    bench_hedged_query,
+    bench_rerank,
+    bench_faceted_query
 );
 criterion_main!(benches);

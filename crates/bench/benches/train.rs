@@ -8,6 +8,8 @@ use sem_core::sampling::{build_training_pairs, NegativeStrategy};
 use sem_core::{NpRecConfig, NpRecModel, SemConfig, SemModel};
 use sem_corpus::presets;
 use sem_graph::HeteroGraph;
+use sem_nn::{Gradients, ParamStore, Session};
+use sem_tensor::Tensor;
 use sem_train::{RunOptions, WatchdogConfig};
 
 fn tiny_fixture() -> Fixture {
@@ -100,11 +102,47 @@ fn bench_watchdog_overhead(c: &mut Criterion) {
     }
 }
 
+/// The data-parallel gradient reduce in isolation, on embedding-table-sized
+/// gradients: the old per-part `add_assign` fold reallocates every parameter
+/// once per worker (O(parts × weights) allocations — the serialization point
+/// that kept N workers at 1-worker epoch throughput), while `reduce_ordered`
+/// seeds once and accumulates in place across lanes.
+fn bench_grad_reduce(c: &mut Criterion) {
+    const ROWS: usize = 20_000;
+    const COLS: usize = 16;
+    let mut store = ParamStore::new();
+    let table: Vec<f32> = (0..ROWS * COLS).map(|i| ((i % 97) as f32 - 48.0) / 97.0).collect();
+    let table = store.add("embedding", Tensor::matrix(ROWS, COLS, &table));
+    let dense: Vec<f32> = (0..COLS * COLS).map(|i| ((i % 31) as f32 - 15.0) / 31.0).collect();
+    let dense = store.add("dense", Tensor::matrix(COLS, COLS, &dense));
+    let parts: Vec<Gradients> = (0..4)
+        .map(|p| {
+            let mut s = Session::new(&store);
+            let loss = s.l2_penalty(&[table, dense], 0.1 * (p + 1) as f32);
+            s.tape.backward(loss);
+            s.grads()
+        })
+        .collect();
+    c.bench_function("train/grad-reduce/serial", |b| {
+        b.iter(|| {
+            let mut acc = Gradients::empty();
+            for p in &parts {
+                acc.add_assign(p);
+            }
+            acc.norm()
+        })
+    });
+    c.bench_function("train/grad-reduce/lanes-4", |b| {
+        b.iter(|| Gradients::reduce_ordered(parts.iter(), 4).norm())
+    });
+}
+
 criterion_group!(
     benches,
     bench_sem_epoch,
     bench_nprec_epoch,
     bench_checkpoint_overhead,
-    bench_watchdog_overhead
+    bench_watchdog_overhead,
+    bench_grad_reduce
 );
 criterion_main!(benches);

@@ -1,0 +1,281 @@
+//! Facet-retrieval evaluation on a planted-structure corpus.
+//!
+//! Generates a synthetic corpus whose three facet segments (background /
+//! method / result) each carry planted cluster structure — every document
+//! draws one cluster per facet independently, so the cluster assignments
+//! are exact per-facet relevance ground truth. The corpus is served
+//! through the real sharded two-stage stack (`ShardRouter` + rerank) and
+//! scored on:
+//!
+//! - **per-facet nDCG@10** — querying with facet-isolating weights
+//!   (`bg=1`, others `0`, λ=0) must rank same-cluster documents first;
+//! - **facet coverage vs λ** — with uniform weights, sweeping the MMR
+//!   diversity knob must monotonically trade mean retrieval score for
+//!   the fraction of planted clusters represented in the top-k.
+//!
+//! ```text
+//! facet_eval [--seed N] [--floor F] [--json]
+//! ```
+//!
+//! Exit status: 0 when every assertion holds (each facet's nDCG@10 ≥ the
+//! floor, coverage non-decreasing and strictly higher at λ=0.5 than λ=0,
+//! mean score non-increasing), 1 on violation, 2 on usage error. CI runs
+//! this as the facet-eval smoke job.
+
+use std::process::ExitCode;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sem_serve::{FacetLayout, QueryRequest, RerankParams, ShardConfig, ShardRouter};
+use sem_stats::ndcg_at_k;
+
+const FACETS: [&str; 3] = ["bg", "method", "result"];
+const FACET_DIM: usize = 8;
+const CLUSTERS: usize = 4;
+const N_DOCS: usize = 600;
+const N_QUERIES: usize = 40;
+const TOP_K: usize = 10;
+const CANDIDATES: usize = 200;
+const LAMBDAS: [f32; 3] = [0.0, 0.25, 0.5];
+
+/// Per-facet cluster centroids plus documents sampled around them.
+struct Planted {
+    /// `vectors[d]` is the fused (3 × FACET_DIM) document vector.
+    vectors: Vec<Vec<f32>>,
+    /// `clusters[d][f]` is document `d`'s planted cluster in facet `f`.
+    clusters: Vec<[usize; 3]>,
+}
+
+/// Random unit vector, the centroid primitive. At `FACET_DIM = 8`,
+/// independent draws are close enough to orthogonal that clusters stay
+/// separable under the 0.08-σ sample noise below.
+fn unit(rng: &mut StdRng) -> Vec<f32> {
+    let v: Vec<f32> = (0..FACET_DIM).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    v.iter().map(|x| x / norm).collect()
+}
+
+fn sample(centroids: &[Vec<Vec<f32>>], n: usize, rng: &mut StdRng) -> Planted {
+    let mut vectors = Vec::with_capacity(n);
+    let mut clusters = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut fused = Vec::with_capacity(FACETS.len() * FACET_DIM);
+        let mut assigned = [0usize; 3];
+        for (f, facet_centroids) in centroids.iter().enumerate() {
+            let c = rng.gen_range(0..CLUSTERS);
+            assigned[f] = c;
+            for &x in &facet_centroids[c] {
+                fused.push(x + rng.gen_range(-0.08f32..0.08));
+            }
+        }
+        vectors.push(fused);
+        clusters.push(assigned);
+    }
+    Planted { vectors, clusters }
+}
+
+/// Mean over facets of the fraction of planted clusters represented in
+/// the hit list (`distinct clusters in top-k / CLUSTERS`).
+fn coverage(hits: &[sem_serve::Hit], docs: &Planted) -> f64 {
+    let mut total = 0.0;
+    for f in 0..FACETS.len() {
+        let mut seen = [false; CLUSTERS];
+        for h in hits {
+            seen[docs.clusters[h.id][f]] = true;
+        }
+        total += seen.iter().filter(|&&s| s).count() as f64 / CLUSTERS as f64;
+    }
+    total / FACETS.len() as f64
+}
+
+struct SweepPoint {
+    lambda: f32,
+    coverage: f64,
+    mean_score: f64,
+    ndcg: f64,
+}
+
+fn run(seed: u64, floor: f64, json: bool) -> Result<bool, String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centroids: Vec<Vec<Vec<f32>>> =
+        (0..FACETS.len()).map(|_| (0..CLUSTERS).map(|_| unit(&mut rng)).collect()).collect();
+    let docs = sample(&centroids, N_DOCS, &mut rng);
+    let queries = sample(&centroids, N_QUERIES, &mut rng);
+
+    let router = ShardRouter::try_build(
+        docs.vectors.clone(),
+        ShardConfig { shards: 2, ..Default::default() },
+    )
+    .map_err(|e| format!("building sharded router: {e}"))?;
+    let layout = FacetLayout::new(
+        FACETS.iter().map(|s| s.to_string()).collect(),
+        vec![FACET_DIM; FACETS.len()],
+    )
+    .map_err(|e| format!("layout: {e}"))?;
+    router.set_layout(layout).map_err(|e| format!("attaching layout: {e}"))?;
+
+    // per-facet nDCG@10 under facet-isolating weights
+    let mut facet_ndcg = [0.0f64; 3];
+    for (f, name) in FACETS.iter().enumerate() {
+        let mut weights = vec![0.0f32; FACETS.len()];
+        weights[f] = 1.0;
+        let params = RerankParams { weights, lambda: 0.0, candidates: CANDIDATES };
+        let mut total = 0.0;
+        for (q, vector) in queries.vectors.iter().enumerate() {
+            let request = QueryRequest::new(vector.clone(), TOP_K).with_rerank(params.clone());
+            let response =
+                router.query_request(request).map_err(|e| format!("{name} query: {e}"))?;
+            let relevant: Vec<bool> = response
+                .hits
+                .iter()
+                .map(|h| docs.clusters[h.id][f] == queries.clusters[q][f])
+                .collect();
+            total += ndcg_at_k(&relevant, TOP_K);
+        }
+        facet_ndcg[f] = total / N_QUERIES as f64;
+    }
+
+    // coverage / relevance trade under the diversity sweep
+    let mut sweep = Vec::with_capacity(LAMBDAS.len());
+    for &lambda in &LAMBDAS {
+        let params =
+            RerankParams { weights: vec![1.0; FACETS.len()], lambda, candidates: CANDIDATES };
+        let (mut cov, mut score, mut ndcg) = (0.0, 0.0, 0.0);
+        for (q, vector) in queries.vectors.iter().enumerate() {
+            let request = QueryRequest::new(vector.clone(), TOP_K).with_rerank(params.clone());
+            let response =
+                router.query_request(request).map_err(|e| format!("sweep query: {e}"))?;
+            cov += coverage(&response.hits, &docs);
+            score += response.hits.iter().map(|h| h.score as f64).sum::<f64>()
+                / response.hits.len().max(1) as f64;
+            // fused relevance: a document sharing the query's cluster in
+            // at least two of three facets counts as a true neighbour
+            let relevant: Vec<bool> = response
+                .hits
+                .iter()
+                .map(|h| {
+                    (0..FACETS.len())
+                        .filter(|&f| docs.clusters[h.id][f] == queries.clusters[q][f])
+                        .count()
+                        >= 2
+                })
+                .collect();
+            ndcg += ndcg_at_k(&relevant, TOP_K);
+        }
+        sweep.push(SweepPoint {
+            lambda,
+            coverage: cov / N_QUERIES as f64,
+            mean_score: score / N_QUERIES as f64,
+            ndcg: ndcg / N_QUERIES as f64,
+        });
+    }
+
+    let mut ok = true;
+    let mut failures = Vec::new();
+    for (f, name) in FACETS.iter().enumerate() {
+        if facet_ndcg[f] < floor {
+            ok = false;
+            failures.push(format!("facet {name}: nDCG@10 {:.4} < floor {floor}", facet_ndcg[f]));
+        }
+    }
+    for pair in sweep.windows(2) {
+        if pair[1].coverage + 1e-12 < pair[0].coverage {
+            ok = false;
+            failures.push(format!(
+                "coverage not monotone: λ={} gives {:.4}, λ={} gives {:.4}",
+                pair[0].lambda, pair[0].coverage, pair[1].lambda, pair[1].coverage
+            ));
+        }
+        if pair[1].mean_score > pair[0].mean_score + 1e-6 {
+            ok = false;
+            failures.push(format!(
+                "mean score not traded down: λ={} gives {:.4}, λ={} gives {:.4}",
+                pair[0].lambda, pair[0].mean_score, pair[1].lambda, pair[1].mean_score
+            ));
+        }
+    }
+    let (first, last) = (&sweep[0], &sweep[sweep.len() - 1]);
+    if last.coverage <= first.coverage {
+        ok = false;
+        failures.push(format!(
+            "λ={} must strictly increase coverage over λ=0: {:.4} vs {:.4}",
+            last.lambda, last.coverage, first.coverage
+        ));
+    }
+
+    if json {
+        let facets: Vec<String> = FACETS
+            .iter()
+            .zip(&facet_ndcg)
+            .map(|(n, v)| format!("{{\"facet\":\"{n}\",\"ndcg_at_10\":{v:.6}}}"))
+            .collect();
+        let points: Vec<String> = sweep
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"lambda\":{},\"coverage\":{:.6},\"mean_score\":{:.6},\"ndcg_at_10\":{:.6}}}",
+                    p.lambda, p.coverage, p.mean_score, p.ndcg
+                )
+            })
+            .collect();
+        println!(
+            "{{\"seed\":{seed},\"floor\":{floor},\"ok\":{ok},\"per_facet\":[{}],\"sweep\":[{}]}}",
+            facets.join(","),
+            points.join(",")
+        );
+    } else {
+        println!("facet-eval: {N_DOCS} docs, {N_QUERIES} queries, {CLUSTERS} clusters/facet, seed {seed}");
+        println!();
+        println!("per-facet nDCG@10 (isolating weights, floor {floor}):");
+        for (name, v) in FACETS.iter().zip(&facet_ndcg) {
+            println!("  {name:<8} {v:.4}");
+        }
+        println!();
+        println!("diversity sweep (uniform weights, k={TOP_K}, C={CANDIDATES}):");
+        println!("  {:<8} {:>10} {:>12} {:>10}", "lambda", "coverage", "mean-score", "nDCG@10");
+        for p in &sweep {
+            println!(
+                "  {:<8} {:>10.4} {:>12.4} {:>10.4}",
+                p.lambda, p.coverage, p.mean_score, p.ndcg
+            );
+        }
+    }
+    for f in &failures {
+        eprintln!("facet-eval: FAIL: {f}");
+    }
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    let mut seed = 42u64;
+    let mut floor = 0.8f64;
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => return usage("--seed needs an integer"),
+            },
+            "--floor" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => floor = v,
+                None => return usage("--floor needs a number"),
+            },
+            "--json" => json = true,
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    match run(seed, floor, json) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("facet-eval: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("facet-eval: {msg}\nusage: facet_eval [--seed N] [--floor F] [--json]");
+    ExitCode::from(2)
+}

@@ -14,8 +14,9 @@ use std::time::{Duration, Instant};
 
 use sem_corpus::{Corpus, Paper, PaperId, Sentence, Subspace, NUM_SUBSPACES};
 use sem_serve::{
-    AnnIndex, DegradeReason, EngineConfig, IndexConfig, IndexStore, PaperEmbedder, QueryEngine,
-    QueryRequest, ShardConfig, ShardManifest, ShardRouter,
+    parse_weights, AnnIndex, DegradeReason, EngineConfig, FacetLayout, IndexConfig, IndexStore,
+    PaperEmbedder, QueryEngine, QueryRequest, RerankParams, ShardConfig, ShardManifest,
+    ShardRouter, DEFAULT_CANDIDATES,
 };
 use serde::Serialize;
 
@@ -23,6 +24,40 @@ use crate::commands::{load_model, Args, CliError};
 
 fn to_pretty<T: Serialize>(value: &T) -> Result<String, CliError> {
     serde_json::to_string_pretty(value).map_err(|e| CliError(format!("report serialisation: {e}")))
+}
+
+/// The `--facets WEIGHTS --diversity λ --candidates C` triple of `index
+/// query`, parsed but not yet resolved against an index's layout.
+struct FacetArgs {
+    facets: Option<String>,
+    diversity: f32,
+    candidates: usize,
+}
+
+impl FacetArgs {
+    fn from_args(args: &Args) -> Result<FacetArgs, CliError> {
+        Ok(FacetArgs {
+            facets: args.get("facets").map(str::to_string),
+            diversity: args.parse_num("diversity", 0.0f32)?,
+            candidates: args.parse_num("candidates", DEFAULT_CANDIDATES)?,
+        })
+    }
+
+    /// Resolves the flags against the layout the index actually serves.
+    /// No facet flags at all means the plain stage-1 path (`None`);
+    /// malformed specs are typed usage errors.
+    fn to_params(&self, layout: &FacetLayout) -> Result<Option<RerankParams>, CliError> {
+        if self.facets.is_none() && self.diversity == 0.0 && self.candidates == DEFAULT_CANDIDATES {
+            return Ok(None);
+        }
+        let weights = match &self.facets {
+            Some(spec) => parse_weights(spec, layout)?,
+            None => vec![1.0; layout.len()],
+        };
+        let params = RerankParams { weights, lambda: self.diversity, candidates: self.candidates };
+        params.validate(layout)?;
+        Ok(Some(params))
+    }
 }
 
 /// Dispatches `sem index <build|query|verify|probe> ...`.
@@ -75,6 +110,9 @@ fn index_build(args: &Args) -> Result<String, CliError> {
             vectors,
             ShardConfig { shards, index: config, ..Default::default() },
         )?;
+        // record the embedder's facet structure so `index query --facets`
+        // can rescore per subspace
+        router.set_layout(embedder.layout())?;
         router.attach_stores(std::path::Path::new(out))?;
         router.persist_all()?;
         BuildSummary {
@@ -86,7 +124,7 @@ fn index_build(args: &Args) -> Result<String, CliError> {
             out: out.to_string(),
         }
     } else {
-        let index = AnnIndex::try_build(vectors, config)?;
+        let index = AnnIndex::try_build(vectors, config)?.with_layout(embedder.layout())?;
         IndexStore::open(out).save_snapshot(&index)?;
         BuildSummary {
             papers: index.len(),
@@ -236,6 +274,7 @@ fn index_query_sharded(
     papers: &[usize],
     k: usize,
     deadline_ms: u64,
+    facet_args: &FacetArgs,
 ) -> Result<String, CliError> {
     let (router, recoveries) =
         ShardRouter::open(std::path::Path::new(base), ShardConfig::default())?;
@@ -246,12 +285,16 @@ fn index_query_sharded(
             embedder.dim()
         )));
     }
+    let rerank = facet_args.to_params(&router.layout())?;
     let requests: Vec<QueryRequest> = papers
         .iter()
         .map(|&p| {
             let mut r = QueryRequest::new(embedder.embed_indexed(corpus, PaperId::from(p)), k);
             r.deadline = (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms));
-            r
+            match &rerank {
+                Some(params) => r.with_rerank(params.clone()),
+                None => r,
+            }
         })
         .collect();
     let responses = router.query_batch(requests)?;
@@ -288,15 +331,21 @@ fn index_query_sharded(
 }
 
 /// `sem index query --model DIR --index index.snap --paper ID[,ID...]
-/// [--k K] [--deadline-ms MS]`: answers one coalesced batch of top-K
-/// queries and reports the engine counters. With a deadline, exhausted
-/// budgets yield partial results flagged `degraded` instead of blocking.
-/// A sharded family (manifest present) is served scatter-gather.
+/// [--k K] [--deadline-ms MS]
+/// [--facets bg=0.2,method=0.7,result=0.1] [--diversity λ]
+/// [--candidates C]`: answers one coalesced batch of top-K queries and
+/// reports the engine counters. With a deadline, exhausted budgets yield
+/// partial results flagged `degraded` instead of blocking. A sharded
+/// family (manifest present) is served scatter-gather. Any facet flag
+/// switches on the two-stage path: the top-C stage-1 candidates are
+/// rescored with the per-subspace weights, and `--diversity λ` trades
+/// relevance against facet coverage MMR-style.
 fn index_query(args: &Args) -> Result<String, CliError> {
     let dir = PathBuf::from(args.required("model")?);
     let index_path = args.required("index")?;
     let k: usize = args.parse_num("k", 5)?;
     let deadline_ms: u64 = args.parse_num("deadline-ms", 0)?;
+    let facet_args = FacetArgs::from_args(args)?;
     let papers: Vec<usize> = args
         .required("paper")?
         .split(',')
@@ -310,7 +359,15 @@ fn index_query(args: &Args) -> Result<String, CliError> {
     }
     let embedder = PaperEmbedder::new(&pipeline, &sem);
     if ShardManifest::exists(std::path::Path::new(index_path)) {
-        return index_query_sharded(index_path, &corpus, &embedder, &papers, k, deadline_ms);
+        return index_query_sharded(
+            index_path,
+            &corpus,
+            &embedder,
+            &papers,
+            k,
+            deadline_ms,
+            &facet_args,
+        );
     }
     let (index, recovery) = load_index(index_path)?;
     if index.dim() != embedder.dim() {
@@ -320,6 +377,7 @@ fn index_query(args: &Args) -> Result<String, CliError> {
             embedder.dim()
         )));
     }
+    let rerank = facet_args.to_params(&index.layout())?;
     let config = EngineConfig {
         default_deadline: (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms)),
         ..Default::default()
@@ -327,7 +385,13 @@ fn index_query(args: &Args) -> Result<String, CliError> {
     let engine = QueryEngine::new(index, config);
     let requests: Vec<QueryRequest> = papers
         .iter()
-        .map(|&p| QueryRequest::new(embedder.embed_indexed(&corpus, PaperId::from(p)), k))
+        .map(|&p| {
+            let r = QueryRequest::new(embedder.embed_indexed(&corpus, PaperId::from(p)), k);
+            match &rerank {
+                Some(params) => r.with_rerank(params.clone()),
+                None => r,
+            }
+        })
         .collect();
     let responses = engine.query_batch(requests)?;
     if let Some(path) = args.get("metrics-out") {
@@ -571,11 +635,15 @@ mod tests {
         assert!(built.contains("\"papers\": 130"), "{built}");
         assert!(built.contains("\"mode\": \"flat\""), "{built}");
 
-        // the fresh snapshot passes verification
+        // the fresh snapshot passes verification and reports the store
+        // format version plus per-facet segment checksums
         let verified =
             run(&argv(&["index", "verify", "--index", index_path.to_str().unwrap()])).unwrap();
         assert!(verified.contains("\"ok\": true"), "{verified}");
-        assert!(verified.contains("\"format\": \"v1\""), "{verified}");
+        assert!(verified.contains("\"format\": \"v2\""), "{verified}");
+        for facet in ["bg", "method", "result"] {
+            assert!(verified.contains(&format!("\"name\": \"{facet}\"")), "{verified}");
+        }
 
         // and the health probe, loaded as a one-shard family
         let probed =
@@ -620,6 +688,49 @@ mod tests {
         ]))
         .unwrap();
         assert!(qd.contains("\"degraded\": false"), "{qd}");
+
+        // the two-stage facet path: skewed per-subspace weights + MMR
+        // diversity answer cleanly (the re-weighted ranking legitimately
+        // differs from the fused one, so only the shape is asserted)
+        let qf = run(&argv(&[
+            "index",
+            "query",
+            "--model",
+            model_dir.to_str().unwrap(),
+            "--index",
+            index_path.to_str().unwrap(),
+            "--paper",
+            "3",
+            "--k",
+            "4",
+            "--facets",
+            "bg=0.2,method=0.7,result=0.1",
+            "--diversity",
+            "0.3",
+            "--candidates",
+            "50",
+        ]))
+        .unwrap();
+        assert!(qf.contains("\"paper\": 3"), "{qf}");
+        assert!(qf.contains("\"degraded\": false"), "{qf}");
+        assert_eq!(qf.matches("\"id\":").count(), 4, "{qf}");
+
+        // malformed facet specs are typed usage errors, not panics
+        let bad = run(&argv(&[
+            "index",
+            "query",
+            "--model",
+            model_dir.to_str().unwrap(),
+            "--index",
+            index_path.to_str().unwrap(),
+            "--paper",
+            "3",
+            "--facets",
+            "bogus=1.0",
+        ]))
+        .unwrap_err()
+        .to_string();
+        assert!(bad.contains("invalid facet spec"), "{bad}");
 
         let ing = run(&argv(&[
             "ingest",
@@ -752,6 +863,28 @@ mod tests {
         assert!(q.contains("\"id\": 7"), "{q}");
         assert!(q.contains("\"degraded\": false"), "{q}");
         assert!(q.contains("\"shards\": 3"), "{q}");
+
+        // the facet path also rides the scatter-gather fan-out
+        let qf = run(&argv(&[
+            "index",
+            "query",
+            "--model",
+            model_dir.to_str().unwrap(),
+            "--index",
+            index_path.to_str().unwrap(),
+            "--paper",
+            "7",
+            "--k",
+            "4",
+            "--facets",
+            "bg=0.2,method=0.7,result=0.1",
+            "--diversity",
+            "0.3",
+        ]))
+        .unwrap();
+        assert!(qf.contains("\"paper\": 7"), "{qf}");
+        assert!(qf.contains("\"degraded\": false"), "{qf}");
+        assert_eq!(qf.matches("\"id\":").count(), 4, "{qf}");
 
         // routed ingest: next global id is 90, owned by shard 0 (90 % 3)
         let ing = run(&argv(&[

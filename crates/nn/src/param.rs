@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use rayon::prelude::*;
 use sem_tensor::{Shape, Tape, Tensor, TensorId};
 use serde::{Deserialize, Serialize};
 
@@ -265,6 +266,71 @@ impl Gradients {
         }
     }
 
+    /// Sums `parts` into one accumulator, element-parallel across `lanes`.
+    ///
+    /// Bit-identical to folding [`Gradients::add_assign`] over `parts` in
+    /// the same order: every output element is the same left-to-right sum
+    /// over the contributing parts, merely computed on different lanes.
+    /// This removes the serial reduction from the data-parallel training
+    /// step — with big embedding-table gradients the O(parts × weights)
+    /// single-threaded fold is what kept N workers at 1-worker throughput.
+    /// `lanes <= 1` (or a single part) takes the serial reference path.
+    ///
+    /// # Panics
+    /// Panics when the same parameter carries differently-shaped gradients
+    /// across `parts`.
+    pub fn reduce_ordered<'a, I>(parts: I, lanes: usize) -> Gradients
+    where
+        I: IntoIterator<Item = &'a Gradients>,
+    {
+        let parts: Vec<&Gradients> = parts.into_iter().collect();
+        if lanes <= 1 || parts.len() <= 1 {
+            let mut acc = Gradients::empty();
+            for p in parts {
+                acc.add_assign(p);
+            }
+            return acc;
+        }
+        let n_params = parts.iter().map(|p| p.by_param.len()).max().unwrap_or(0);
+        let by_param: Vec<Option<Tensor>> = (0..n_params)
+            .map(|i| {
+                let contributors: Vec<&Tensor> = parts
+                    .iter()
+                    .filter_map(|p| p.by_param.get(i).and_then(Option::as_ref))
+                    .collect();
+                let first = contributors.first()?;
+                for c in &contributors {
+                    assert_eq!(
+                        c.shape(),
+                        first.shape(),
+                        "gradient shape mismatch in reduce_ordered"
+                    );
+                }
+                // seed with the first contributor (not zeros: 0.0 + -0.0
+                // would flip signed zeros the serial fold preserves), then
+                // left-fold the rest per element, chunk-parallel
+                let len = first.data().len();
+                let chunk = len.div_ceil(lanes).max(1);
+                let pieces: Vec<Vec<f32>> = (0..len.div_ceil(chunk))
+                    .into_par_iter()
+                    .map(|ci| {
+                        let base = ci * chunk;
+                        let end = (base + chunk).min(len);
+                        let mut out = first.data()[base..end].to_vec();
+                        for c in &contributors[1..] {
+                            for (o, x) in out.iter_mut().zip(&c.data()[base..end]) {
+                                *o += x;
+                            }
+                        }
+                        out
+                    })
+                    .collect();
+                Some(Tensor::from_vec(pieces.concat(), first.shape()))
+            })
+            .collect();
+        Gradients { by_param }
+    }
+
     /// Gradient for one parameter, if it flowed.
     pub fn get(&self, id: ParamId) -> Option<&Tensor> {
         self.by_param.get(id.0).and_then(|g| g.as_ref())
@@ -477,6 +543,44 @@ mod tests {
         acc.add_assign(&grads_for(3.0, true));
         assert_eq!(acc.get(a).unwrap().data(), &[5.0, 5.0]);
         assert_eq!(acc.get(b).unwrap().item(), 1.0);
+    }
+
+    #[test]
+    fn reduce_ordered_is_bit_identical_to_the_serial_fold() {
+        // sparse parts (some parameters missing from some parts), awkward
+        // values (signed zeros, subnormals, catastrophic cancellation) and
+        // a length that does not divide evenly across lanes
+        let mk = |vals: Vec<f32>, with_b: bool| Gradients {
+            by_param: vec![Some(Tensor::vector(&vals)), with_b.then(|| Tensor::scalar(0.25))],
+        };
+        let base: Vec<f32> = (0..37)
+            .map(|i| match i % 5 {
+                0 => -0.0,
+                1 => 1e30,
+                2 => -1e30,
+                3 => 1e-40,
+                _ => 0.1 * i as f32,
+            })
+            .collect();
+        let parts: Vec<Gradients> = (0..7)
+            .map(|p| mk(base.iter().map(|v| v * (p as f32 - 3.0)).collect(), p % 2 == 0))
+            .collect();
+        let mut serial = Gradients::empty();
+        for p in &parts {
+            serial.add_assign(p);
+        }
+        for lanes in [1usize, 2, 4, 8] {
+            let parallel = Gradients::reduce_ordered(parts.iter(), lanes);
+            for i in 0..2 {
+                let s = serial.by_param[i].as_ref().map(|t| t.data().to_vec());
+                let q = parallel.by_param[i].as_ref().map(|t| t.data().to_vec());
+                // bit-level comparison: NaN-safe, signed-zero-exact
+                let bits = |v: Option<Vec<f32>>| {
+                    v.map(|v| v.iter().map(|x| x.to_bits()).collect::<Vec<u32>>())
+                };
+                assert_eq!(bits(s), bits(q), "lanes={lanes} param={i}");
+            }
+        }
     }
 
     #[test]

@@ -38,8 +38,8 @@ struct Opts {
 
 fn usage() -> &'static str {
     "usage: loadgen [--papers N] [--dim D] [--shards S] [--nlist L] [--qps Q] \
-     [--duration-s SECS] [--batch-mix A,B,C] [--ingest-ratio R] [--k K] \
-     [--workers W] [--seed SEED] [--deadline-ms MS] [--max-pending N] \
+     [--duration-s SECS] [--batch-mix A,B,C] [--ingest-ratio R] [--facet-mix R] \
+     [--k K] [--workers W] [--seed SEED] [--deadline-ms MS] [--max-pending N] \
      [--retry-after-ms MS] [--hedge-soft-ms MS] [--chaos] [--store-dir DIR] \
      [--json-out PATH]"
 }
@@ -98,6 +98,7 @@ fn parse_opts(argv: &[String]) -> Result<Opts, String> {
                     .map_err(|e| bad(&e))?
             }
             "--ingest-ratio" => opts.load.ingest_ratio = value.parse().map_err(|e| bad(&e))?,
+            "--facet-mix" => opts.load.facet_mix = value.parse().map_err(|e| bad(&e))?,
             "--k" => opts.load.k = value.parse().map_err(|e| bad(&e))?,
             "--workers" => opts.load.workers = value.parse().map_err(|e| bad(&e))?,
             "--seed" => opts.load.seed = value.parse().map_err(|e| bad(&e))?,
@@ -146,6 +147,25 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if opts.load.facet_mix > 0.0 {
+        // split the dimension into three facets (bg/method/result) so the
+        // mixed queries exercise real multi-facet reranking, not a
+        // degenerate single-segment layout
+        let third = opts.dim / 3;
+        if third == 0 {
+            eprintln!("loadgen: --facet-mix needs --dim >= 3");
+            return ExitCode::FAILURE;
+        }
+        let layout = sem_serve::FacetLayout::new(
+            vec!["bg".into(), "method".into(), "result".into()],
+            vec![opts.dim - 2 * third, third, third],
+        )
+        .expect("three positive segments");
+        if let Err(e) = router.set_layout(layout) {
+            eprintln!("loadgen: attaching facet layout failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     if let Some(dir) = &opts.store_dir {
         let base = std::path::Path::new(dir).join("idx");
         if let Err(e) = router.attach_stores(&base).and_then(|()| router.persist_all()) {

@@ -18,6 +18,8 @@ use sem_core::{NpRecModel, SemModel, TextPipeline};
 use sem_corpus::{Corpus, Paper, PaperId, NUM_SUBSPACES};
 use sem_graph::HeteroGraph;
 
+use crate::facet::FacetLayout;
+
 /// The network-side context needed to add NPRec blocks to index vectors.
 pub struct NpRecContext<'a> {
     /// Trained recommendation model.
@@ -54,25 +56,44 @@ impl<'a> PaperEmbedder<'a> {
         text + net
     }
 
-    /// Index vector of a corpus paper. The SEM block comes from the
-    /// precomputed `c_p^k` when an NPRec context is attached (the exact
-    /// vectors the model trained against), otherwise from a fresh forward
-    /// pass.
-    pub fn embed_indexed(&self, corpus: &Corpus, p: PaperId) -> Vec<f32> {
-        let mut out = Vec::with_capacity(self.dim());
+    /// The facet layout of produced vectors: one segment per SEM subspace
+    /// (`bg` / `method` / `result`), plus a trailing `nprec` segment
+    /// covering the interest+influence block when an NPRec context is
+    /// attached. [`PaperEmbedder::embed_indexed`] is always the in-order
+    /// concatenation of exactly these segments.
+    pub fn layout(&self) -> FacetLayout {
+        match &self.nprec {
+            Some(ctx) => FacetLayout::sem_nprec(self.sem.embed_dim(), 2 * ctx.model.vec_dim()),
+            None => FacetLayout::sem(self.sem.embed_dim()),
+        }
+    }
+
+    /// Per-facet segments of a corpus paper's index vector, in
+    /// [`PaperEmbedder::layout`] order — the primary export; the fused
+    /// vector is derived from it by concatenation. The SEM segments come
+    /// from the precomputed `c_p^k` when an NPRec context is attached (the
+    /// exact vectors the model trained against), otherwise from a fresh
+    /// forward pass.
+    pub fn embed_segments(&self, corpus: &Corpus, p: PaperId) -> Vec<Vec<f32>> {
         match &self.nprec {
             Some(ctx) => {
-                for k in 0..NUM_SUBSPACES {
-                    out.extend_from_slice(&ctx.text[p.index()][k]);
-                }
-                out.extend(self.paper_dir(ctx, p, Direction::Interest));
-                out.extend(self.paper_dir(ctx, p, Direction::Influence));
+                let mut segments: Vec<Vec<f32>> =
+                    (0..NUM_SUBSPACES).map(|k| ctx.text[p.index()][k].clone()).collect();
+                let mut net = self.paper_dir(ctx, p, Direction::Interest);
+                net.extend(self.paper_dir(ctx, p, Direction::Influence));
+                segments.push(net);
+                segments
             }
-            None => {
-                for c in self.sem.embed_paper(self.pipeline, corpus.paper(p)) {
-                    out.extend(c);
-                }
-            }
+            None => self.sem.embed_paper(self.pipeline, corpus.paper(p)),
+        }
+    }
+
+    /// Index vector of a corpus paper: the fused view, i.e. the in-order
+    /// concatenation of [`PaperEmbedder::embed_segments`].
+    pub fn embed_indexed(&self, corpus: &Corpus, p: PaperId) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.dim());
+        for segment in self.embed_segments(corpus, p) {
+            out.extend(segment);
         }
         out
     }
@@ -162,6 +183,48 @@ mod tests {
         let d = model.vec_dim();
         let start = NUM_SUBSPACES * sem.embed_dim();
         assert_ne!(&v[start..start + d], &v[start + d..]);
+    }
+
+    #[test]
+    fn segments_match_layout_and_concatenate_to_the_fused_vector() {
+        let (corpus, pipeline, sem) = small();
+        let emb = PaperEmbedder::new(&pipeline, &sem);
+        let layout = emb.layout();
+        assert_eq!(layout.names(), ["bg", "method", "result"]);
+        assert_eq!(layout.dim(), emb.dim());
+        let segments = emb.embed_segments(&corpus, PaperId(7));
+        assert_eq!(segments.len(), layout.len());
+        for (seg, dim) in segments.iter().zip(layout.dims()) {
+            assert_eq!(seg.len(), *dim);
+        }
+        let fused: Vec<f32> = segments.concat();
+        assert_eq!(fused, emb.embed_indexed(&corpus, PaperId(7)), "fused view must be exact");
+
+        // with NPRec attached, the trailing segment is the network block
+        let labels = pipeline.label_corpus(&corpus);
+        let text = sem.embed_corpus(&pipeline, &corpus, &labels);
+        let graph = HeteroGraph::from_corpus(&corpus, None);
+        let model = NpRecModel::new(
+            graph.n_nodes(),
+            NpRecConfig {
+                embed_dim: 6,
+                text_dim: sem.embed_dim(),
+                neighbors: 3,
+                depth: 1,
+                ..Default::default()
+            },
+        );
+        let emb = PaperEmbedder::new(&pipeline, &sem).with_nprec(NpRecContext {
+            model: &model,
+            graph: &graph,
+            text: &text,
+        });
+        let layout = emb.layout();
+        assert_eq!(layout.names(), ["bg", "method", "result", "nprec"]);
+        assert_eq!(layout.dim(), emb.dim());
+        let segments = emb.embed_segments(&corpus, PaperId(7));
+        assert_eq!(segments.concat(), emb.embed_indexed(&corpus, PaperId(7)));
+        assert_eq!(segments[3].len(), 2 * model.vec_dim());
     }
 
     #[test]

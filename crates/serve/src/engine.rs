@@ -35,6 +35,7 @@ use serde::Serialize;
 
 use crate::cache::LruCache;
 use crate::error::ServeError;
+use crate::facet::RerankParams;
 use crate::index::{AnnIndex, Hit};
 use crate::store::{Durability, IndexStore};
 use rayon::prelude::*;
@@ -55,12 +56,16 @@ pub struct QueryRequest {
     /// budget and an already-expired request can be shed at admission.
     /// `None` means "arrived now".
     pub arrival: Option<Instant>,
+    /// Stage-2 rerank parameters (facet weights + MMR λ). `None` — the
+    /// canonical form of uniform weights with λ=0 — is the plain fused
+    /// scan, bit-identical to the pre-facet engine.
+    pub rerank: Option<RerankParams>,
 }
 
 impl QueryRequest {
     /// A request with no per-request deadline override.
     pub fn new(vector: Vec<f32>, k: usize) -> Self {
-        QueryRequest { vector, k, deadline: None, arrival: None }
+        QueryRequest { vector, k, deadline: None, arrival: None, rerank: None }
     }
 
     /// Sets a wall-clock budget for this request.
@@ -73,6 +78,14 @@ impl QueryRequest {
     /// from this instant rather than from enqueue.
     pub fn with_arrival(mut self, arrival: Instant) -> Self {
         self.arrival = Some(arrival);
+        self
+    }
+
+    /// Attaches stage-2 rerank parameters. Default parameters (uniform
+    /// weights, λ=0) canonicalise to `None` so they share cache entries —
+    /// and results, bit for bit — with plain queries.
+    pub fn with_rerank(mut self, params: RerankParams) -> Self {
+        self.rerank = params.canonical();
         self
     }
 }
@@ -160,16 +173,23 @@ pub struct IngestAck {
 }
 
 /// Exact f32 bit-pattern key: two queries share a cache entry only when
-/// their normalised vectors and `k` are identical.
+/// their normalised vectors, `k` and rerank fingerprint are identical.
+/// Default-weight queries carry `rerank: None`, so they keep sharing
+/// entries (and hit rates) with pre-facet traffic.
 #[derive(Clone, PartialEq, Eq, Hash)]
 struct CacheKey {
     bits: Vec<u32>,
     k: usize,
+    rerank: Option<Vec<u32>>,
 }
 
 impl CacheKey {
-    fn new(vector: &[f32], k: usize) -> Self {
-        CacheKey { bits: vector.iter().map(|v| v.to_bits()).collect(), k }
+    fn new(vector: &[f32], k: usize, rerank: Option<&RerankParams>) -> Self {
+        CacheKey {
+            bits: vector.iter().map(|v| v.to_bits()).collect(),
+            k,
+            rerank: rerank.map(RerankParams::fingerprint),
+        }
     }
 }
 
@@ -178,6 +198,10 @@ struct CacheEntry {
     query: Vec<f32>,
     k: usize,
     hits: Vec<Hit>,
+    /// Stage-2 (reranked) results cannot be invalidated by the cosine
+    /// bound — their k-th score is not a fused-scan score — so ingest
+    /// drops them unconditionally.
+    reranked: bool,
 }
 
 /// Latency distribution of one pipeline stage, extracted from its
@@ -322,6 +346,7 @@ struct Pending {
     vector: Vec<f32>,
     k: usize,
     deadline: Option<Instant>,
+    rerank: Option<RerankParams>,
 }
 
 /// The serving engine wrapping an [`AnnIndex`].
@@ -330,6 +355,10 @@ pub struct QueryEngine {
     /// Vector width, fixed at construction — lets `enqueue`/`ingest`
     /// type-check widths without touching the index lock.
     dim: usize,
+    /// The index's facet layout, mirrored outside the index lock so
+    /// `enqueue` can validate rerank parameters at the door. Updated on
+    /// [`QueryEngine::complete_recovery`].
+    layout: RwLock<crate::facet::FacetLayout>,
     config: EngineConfig,
     cache: Mutex<LruCache<CacheKey, CacheEntry>>,
     pending: Mutex<Vec<Pending>>,
@@ -366,6 +395,7 @@ impl QueryEngine {
     pub fn with_metrics(index: AnnIndex, config: EngineConfig, registry: Arc<Registry>) -> Self {
         QueryEngine {
             dim: index.dim(),
+            layout: RwLock::new(index.layout()),
             config,
             index: RwLock::new(IndexState::Ready(index)),
             cache: Mutex::new(LruCache::new(config.cache_capacity)),
@@ -398,6 +428,13 @@ impl QueryEngine {
         self.dim
     }
 
+    /// The facet layout the engine serves (single fused segment when the
+    /// index carries no facets) — what `--facets` specs are parsed
+    /// against.
+    pub fn layout(&self) -> crate::facet::FacetLayout {
+        self.layout.read().clone()
+    }
+
     /// Queues a query; the returned ticket redeems the result after a
     /// [`QueryEngine::flush`].
     ///
@@ -407,16 +444,21 @@ impl QueryEngine {
     ///
     /// # Errors
     /// [`ServeError::DimensionMismatch`] when the vector width is wrong —
-    /// caught at the door so the batch path stays infallible — and
-    /// [`ServeError::Overloaded`] when [`EngineConfig::max_pending`]
-    /// requests are already queued (admission control: shedding at the
-    /// door beats unbounded queue growth).
+    /// caught at the door so the batch path stays infallible —
+    /// [`ServeError::InvalidFacets`] when the request's rerank parameters
+    /// don't fit the index's facet layout, and [`ServeError::Overloaded`]
+    /// when [`EngineConfig::max_pending`] requests are already queued
+    /// (admission control: shedding at the door beats unbounded queue
+    /// growth).
     pub fn enqueue(&self, request: QueryRequest) -> Result<u64, ServeError> {
         if request.vector.len() != self.dim {
             return Err(ServeError::DimensionMismatch {
                 expected: self.dim,
                 got: request.vector.len(),
             });
+        }
+        if let Some(params) = &request.rerank {
+            params.validate(&self.layout.read())?;
         }
         let budget = request.deadline.or(self.config.default_deadline);
         let arrival = request.arrival.unwrap_or_else(Instant::now);
@@ -428,7 +470,13 @@ impl QueryEngine {
             self.metrics.shed_overload.inc();
             return Err(ServeError::Overloaded { retry_after_ms: self.config.retry_after_ms });
         }
-        pending.push(Pending { ticket, vector: request.vector, k: request.k, deadline });
+        pending.push(Pending {
+            ticket,
+            vector: request.vector,
+            k: request.k,
+            deadline,
+            rerank: request.rerank,
+        });
         Ok(ticket)
     }
 
@@ -471,7 +519,7 @@ impl QueryEngine {
             let mut cache = self.cache.lock();
             for mut p in batch {
                 p.vector = normalized(&p.vector);
-                let key = CacheKey::new(&p.vector, p.k);
+                let key = CacheKey::new(&p.vector, p.k, p.rerank.as_ref());
                 match cache.get(&key) {
                     Some(entry) if recovering => {
                         stale += 1;
@@ -526,19 +574,36 @@ impl QueryEngine {
                     );
                     return tickets;
                 };
+                let layout = index.layout();
                 let responses: Vec<QueryResponse> = misses
                     .par_iter()
                     .map(|p| {
-                        // widths were checked at enqueue, so the only
-                        // search outcome is (hits, degraded?)
-                        match index.search_deadline(&p.vector, p.k, p.deadline) {
-                            Ok((hits, false)) => QueryResponse::full(hits),
-                            Ok((hits, true)) => {
-                                QueryResponse::degraded(hits, DegradeReason::Deadline)
+                        // stage 1: a rerank request widens the fetch to
+                        // its candidate pool; widths were checked at
+                        // enqueue, so the only search outcome is
+                        // (hits, degraded?)
+                        let fetch = p.rerank.as_ref().map_or(p.k, |r| r.candidates.max(p.k));
+                        let (hits, outcome) =
+                            match index.search_deadline(&p.vector, fetch, p.deadline) {
+                                Ok((hits, degraded)) => (hits, Some(degraded)),
+                                Err(_) => (Vec::new(), None),
+                            };
+                        // stage 2: rescore the candidate pool with facet
+                        // weights + MMR diversity (partial pools rerank
+                        // too — a degraded answer should still be the
+                        // best ordering of what was scanned)
+                        let hits = match &p.rerank {
+                            Some(params) => {
+                                let pool: Vec<(Hit, &[f32])> =
+                                    hits.iter().map(|h| (*h, index.vector(h.id))).collect();
+                                crate::rerank::rerank(&p.vector, &layout, params, &pool, p.k)
                             }
-                            Err(_) => {
-                                QueryResponse::degraded(Vec::new(), DegradeReason::Unavailable)
-                            }
+                            None => hits,
+                        };
+                        match outcome {
+                            Some(false) => QueryResponse::full(hits),
+                            Some(true) => QueryResponse::degraded(hits, DegradeReason::Deadline),
+                            None => QueryResponse::degraded(Vec::new(), DegradeReason::Unavailable),
                         }
                     })
                     .collect();
@@ -550,8 +615,13 @@ impl QueryEngine {
                         // only full-fidelity results are worth caching —
                         // a partial result would be served as if complete
                         cache.insert(
-                            CacheKey::new(&p.vector, p.k),
-                            CacheEntry { query: p.vector, k: p.k, hits: response.hits.clone() },
+                            CacheKey::new(&p.vector, p.k, p.rerank.as_ref()),
+                            CacheEntry {
+                                query: p.vector,
+                                k: p.k,
+                                hits: response.hits.clone(),
+                                reranked: p.rerank.is_some(),
+                            },
                         );
                     }
                     answered.push((p.ticket, response));
@@ -705,6 +775,12 @@ impl QueryEngine {
             (id, durability)
         };
         let dropped = self.cache.lock().retain(|_, entry| {
+            if entry.reranked {
+                // a reranked entry's k-th score is a weighted/MMR value,
+                // not a fused cosine — the bound below doesn't apply, so
+                // the entry cannot be proven still-valid
+                return false;
+            }
             if entry.hits.len() < entry.k {
                 // short result list: the newcomer always joins it
                 return false;
@@ -767,6 +843,7 @@ impl QueryEngine {
         if index.dim() != self.dim {
             return Err(ServeError::DimensionMismatch { expected: self.dim, got: index.dim() });
         }
+        *self.layout.write() = index.layout();
         *self.index.write() = IndexState::Ready(index);
         self.cache.lock().clear();
         self.metrics.cache_len.set(0.0);
@@ -1024,6 +1101,99 @@ mod tests {
         let response = e.query(q.clone(), 5).unwrap();
         assert!(!response.degraded);
         assert_eq!(response.hits, e.with_index(|i| i.search(&normalized(&q), 5)).unwrap());
+    }
+
+    #[test]
+    fn default_rerank_params_share_cache_with_plain_queries() {
+        let e = engine(150, 30);
+        let q = random_vectors(1, 8, 31).pop().unwrap();
+        let plain = e.query(q.clone(), 5).unwrap();
+        // uniform weights + λ=0 canonicalise to None: same cache entry,
+        // same results, bit for bit
+        let layout = e.layout();
+        let req = QueryRequest::new(q, 5).with_rerank(RerankParams::uniform(layout.len()));
+        assert!(req.rerank.is_none(), "default params must canonicalise away");
+        let again = e.query_request(req).unwrap();
+        assert_eq!(again.hits, plain.hits);
+        assert_eq!(e.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn reranked_queries_cache_separately_and_die_on_ingest() {
+        let index = AnnIndex::build(random_vectors(200, 8, 32), IndexConfig::default())
+            .with_layout(
+                crate::facet::FacetLayout::new(vec!["a".into(), "b".into()], vec![4, 4]).unwrap(),
+            )
+            .unwrap();
+        let e = QueryEngine::new(index, EngineConfig::default());
+        let q = random_vectors(1, 8, 33).pop().unwrap();
+        let plain = e.query(q.clone(), 5).unwrap();
+        let params = RerankParams { weights: vec![1.0, 0.0], lambda: 0.0, candidates: 50 };
+        let faceted =
+            e.query_request(QueryRequest::new(q.clone(), 5).with_rerank(params.clone())).unwrap();
+        assert!(!faceted.degraded);
+        // two cache entries: the fused one and the fingerprinted one
+        assert_eq!(e.stats().cache_len, 2);
+        assert_eq!(e.stats().cache_misses, 2);
+        // repeating the faceted query hits its own entry
+        let again =
+            e.query_request(QueryRequest::new(q.clone(), 5).with_rerank(params.clone())).unwrap();
+        assert_eq!(again.hits, faceted.hits);
+        assert_eq!(e.stats().cache_hits, 1);
+        // an ingest far from the plain query's top-k keeps the fused
+        // entry but must drop every reranked entry unconditionally
+        let kth = plain.hits.last().unwrap().score;
+        let away: Vec<f32> = normalized(&q).iter().map(|x| -x).collect();
+        assert!(kth > 0.0, "top-5 of 200 random vectors has positive cosine");
+        e.ingest_vector(away).unwrap();
+        assert_eq!(e.stats().cache_len, 1, "only the fused entry survives");
+    }
+
+    #[test]
+    fn rerank_weights_restrict_scoring_to_a_facet() {
+        // facet a = first 4 dims, facet b = last 4; corpus has one paper
+        // aligned with each half
+        let mut vectors = random_vectors(60, 8, 34);
+        vectors[0] = vec![0.9, 0.1, 0.2, 0.1, 0.0, 0.0, 0.0, 0.0];
+        vectors[1] = vec![0.0, 0.0, 0.0, 0.0, 0.9, 0.2, 0.1, 0.1];
+        // damp the rest so the planted pair dominates
+        for v in vectors.iter_mut().skip(2) {
+            for x in v.iter_mut() {
+                *x *= 0.05;
+            }
+        }
+        let index = AnnIndex::build(vectors, IndexConfig::default())
+            .with_layout(
+                crate::facet::FacetLayout::new(vec!["a".into(), "b".into()], vec![4, 4]).unwrap(),
+            )
+            .unwrap();
+        let e = QueryEngine::new(index, EngineConfig::default());
+        let q = vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0];
+        let only_b = RerankParams { weights: vec![0.0, 1.0], lambda: 0.0, candidates: 60 };
+        let hits =
+            e.query_request(QueryRequest::new(q.clone(), 1).with_rerank(only_b)).unwrap().hits;
+        assert_eq!(hits[0].id, 1, "weighting facet b must surface the b-aligned paper");
+        let only_a = RerankParams { weights: vec![1.0, 0.0], lambda: 0.0, candidates: 60 };
+        let hits = e.query_request(QueryRequest::new(q, 1).with_rerank(only_a)).unwrap().hits;
+        assert_eq!(hits[0].id, 0);
+    }
+
+    #[test]
+    fn invalid_rerank_params_are_rejected_at_the_door() {
+        let e = engine(80, 35);
+        // engine without facets has a 1-segment layout: 3 weights is a
+        // typed usage error, not a panic or a silent truncation
+        let bad = RerankParams { weights: vec![1.0, 0.5, 0.1], lambda: 0.0, candidates: 10 };
+        let q = random_vectors(1, 8, 36).pop().unwrap();
+        assert!(matches!(
+            e.query_request(QueryRequest::new(q.clone(), 5).with_rerank(bad)),
+            Err(ServeError::InvalidFacets { .. })
+        ));
+        let bad_lambda = RerankParams { weights: vec![1.0], lambda: 2.0, candidates: 10 };
+        assert!(matches!(
+            e.query_request(QueryRequest::new(q, 5).with_rerank(bad_lambda)),
+            Err(ServeError::InvalidFacets { .. })
+        ));
     }
 
     #[test]

@@ -69,6 +69,14 @@ pub enum ServeError {
     /// the named crash point. On-disk state is exactly what a real crash
     /// would leave behind.
     InjectedCrash(&'static str),
+    /// A malformed facet-weight spec or rerank parameter set (unknown
+    /// facet name, negative weight, λ outside [0, 1], …) — a usage error,
+    /// reported before any work is done.
+    InvalidFacets {
+        /// What was wrong with the spec, including the valid facet names
+        /// where relevant.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -102,6 +110,7 @@ impl fmt::Display for ServeError {
                 )
             }
             ServeError::InjectedCrash(site) => write!(f, "injected crash at {site}"),
+            ServeError::InvalidFacets { detail } => write!(f, "invalid facet spec: {detail}"),
         }
     }
 }

@@ -1,0 +1,428 @@
+//! Faceted vector layout: the serve-side view of the paper's K=3 subspace
+//! structure (Sec. III — background / method / result), with the NPRec
+//! interest+influence block as an optional fourth segment.
+//!
+//! A [`FacetLayout`] describes how one contiguous `f32` vector splits into
+//! named per-subspace segments. Vectors themselves stay flat — the layout
+//! is pure metadata — so the stage-1 ANN scan over the fused view is
+//! *bit-identical* to the pre-facet scan (property-tested in
+//! `tests/props.rs`). The layout feeds stage 2: [`RerankParams`] carries
+//! per-facet weights and the MMR diversity knob λ consumed by
+//! [`crate::rerank::rerank`].
+//!
+//! [`parse_weights`] implements the CLI surface
+//! (`--facets bg=0.2,method=0.7,result=0.1`): facets not mentioned in the
+//! spec get weight **0** (the query is restricted to the named facets), and
+//! malformed specs are rejected with the typed
+//! [`ServeError::InvalidFacets`].
+
+use std::ops::Range;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ServeError;
+
+/// Default stage-1 candidate pool size handed to the stage-2 reranker.
+pub const DEFAULT_CANDIDATES: usize = 200;
+
+/// Canonical names for the SEM subspace facets, in subspace order.
+pub const SEM_FACET_NAMES: [&str; 3] = ["bg", "method", "result"];
+
+/// Name of the NPRec interest/influence segment when attached.
+pub const NPREC_FACET_NAME: &str = "nprec";
+
+/// How one flat vector splits into named per-facet segments.
+///
+/// Segment `j` occupies `range(j)` of the fused vector; segments are
+/// contiguous and cover the vector exactly, so the fused view is the
+/// vector itself — no gather, no copy.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FacetLayout {
+    names: Vec<String>,
+    dims: Vec<usize>,
+}
+
+impl FacetLayout {
+    /// Builds a layout from parallel `names`/`dims` lists.
+    ///
+    /// # Errors
+    /// [`ServeError::Invalid`] when the lists are empty or mismatched,
+    /// a segment is zero-width, or a name is empty or repeated.
+    pub fn new(names: Vec<String>, dims: Vec<usize>) -> Result<Self, ServeError> {
+        if names.is_empty() || names.len() != dims.len() {
+            return Err(ServeError::Invalid(format!(
+                "facet layout needs matching non-empty name/dim lists, got {} names / {} dims",
+                names.len(),
+                dims.len()
+            )));
+        }
+        if let Some(j) = dims.iter().position(|&d| d == 0) {
+            return Err(ServeError::Invalid(format!("facet {:?} has zero width", names[j])));
+        }
+        for (j, name) in names.iter().enumerate() {
+            if name.is_empty() {
+                return Err(ServeError::Invalid(format!("facet {j} has an empty name")));
+            }
+            if names[..j].contains(name) {
+                return Err(ServeError::Invalid(format!("duplicate facet name {name:?}")));
+            }
+        }
+        Ok(FacetLayout { names, dims })
+    }
+
+    /// The degenerate single-facet layout: one `"fused"` segment spanning
+    /// the whole vector. This is what v1 stores and plain `Vec<f32>`
+    /// corpora migrate to.
+    pub fn fused(dim: usize) -> Self {
+        FacetLayout { names: vec!["fused".into()], dims: vec![dim.max(1)] }
+    }
+
+    /// The SEM layout: one `embed_dim`-wide segment per subspace
+    /// (`bg` / `method` / `result`), in subspace order.
+    pub fn sem(embed_dim: usize) -> Self {
+        FacetLayout {
+            names: SEM_FACET_NAMES.iter().map(|s| s.to_string()).collect(),
+            dims: vec![embed_dim; SEM_FACET_NAMES.len()],
+        }
+    }
+
+    /// [`FacetLayout::sem`] plus the NPRec interest+influence block as a
+    /// trailing `nprec` segment of width `nprec_dim`.
+    pub fn sem_nprec(embed_dim: usize, nprec_dim: usize) -> Self {
+        let mut layout = Self::sem(embed_dim);
+        layout.names.push(NPREC_FACET_NAME.into());
+        layout.dims.push(nprec_dim.max(1));
+        layout
+    }
+
+    /// Total fused width (sum of segment widths).
+    pub fn dim(&self) -> usize {
+        self.dims.iter().sum()
+    }
+
+    /// Number of facets.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Always `false`: construction rejects empty layouts.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Facet names, in segment order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Segment widths, in segment order.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Byte range (element indices) of facet `j` within the fused vector.
+    ///
+    /// # Panics
+    /// Panics when `j >= self.len()`.
+    pub fn range(&self, j: usize) -> Range<usize> {
+        let start: usize = self.dims[..j].iter().sum();
+        start..start + self.dims[j]
+    }
+
+    /// Facet `j`'s segment of `vector`.
+    ///
+    /// # Panics
+    /// Panics when `j` is out of range or `vector` is narrower than the
+    /// layout.
+    pub fn segment<'a>(&self, vector: &'a [f32], j: usize) -> &'a [f32] {
+        &vector[self.range(j)]
+    }
+
+    /// Index of the facet called `name`, if any.
+    pub fn position(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+}
+
+/// CRC32 of one facet's segment across every vector of a shard, as
+/// reported by `index verify` (detects per-segment corruption that a
+/// whole-payload checksum would only localise to "somewhere").
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FacetChecksum {
+    /// Facet name from the layout.
+    pub name: String,
+    /// Segment width.
+    pub dim: usize,
+    /// CRC32 over the segment's little-endian bytes, all vectors in
+    /// insertion order.
+    pub crc32: u32,
+}
+
+/// Stage-2 rerank parameters: per-facet weights, the MMR diversity knob,
+/// and the stage-1 candidate pool size.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RerankParams {
+    /// One weight per facet, positional (layout order). Uniform `1.0`
+    /// reproduces the fused scan exactly.
+    pub weights: Vec<f32>,
+    /// MMR diversity λ ∈ [0, 1]: `0` is pure relevance order, `1` is pure
+    /// diversity.
+    pub lambda: f32,
+    /// Stage-1 candidates fetched for reranking (clamped up to `k`).
+    pub candidates: usize,
+}
+
+impl RerankParams {
+    /// Uniform weights over `facets` facets, λ=0, default candidate pool —
+    /// the parameter set that is a guaranteed no-op on result order.
+    pub fn uniform(facets: usize) -> Self {
+        RerankParams { weights: vec![1.0; facets], lambda: 0.0, candidates: DEFAULT_CANDIDATES }
+    }
+
+    /// Checks the parameters against a layout.
+    ///
+    /// # Errors
+    /// [`ServeError::InvalidFacets`] when the weight count does not match
+    /// the layout, a weight is negative or non-finite, every weight is
+    /// zero, λ is outside [0, 1], or the candidate pool is zero.
+    pub fn validate(&self, layout: &FacetLayout) -> Result<(), ServeError> {
+        if self.weights.len() != layout.len() {
+            return Err(ServeError::InvalidFacets {
+                detail: format!(
+                    "{} weights for a {}-facet layout ({})",
+                    self.weights.len(),
+                    layout.len(),
+                    layout.names().join(", ")
+                ),
+            });
+        }
+        for (j, &w) in self.weights.iter().enumerate() {
+            if !w.is_finite() || w < 0.0 {
+                return Err(ServeError::InvalidFacets {
+                    detail: format!(
+                        "weight for {:?} must be finite and >= 0, got {w}",
+                        layout.names()[j]
+                    ),
+                });
+            }
+        }
+        if self.weights.iter().all(|&w| w == 0.0) {
+            return Err(ServeError::InvalidFacets {
+                detail: "at least one facet weight must be positive".into(),
+            });
+        }
+        if !self.lambda.is_finite() || !(0.0..=1.0).contains(&self.lambda) {
+            return Err(ServeError::InvalidFacets {
+                detail: format!("diversity lambda must be in [0, 1], got {}", self.lambda),
+            });
+        }
+        if self.candidates == 0 {
+            return Err(ServeError::InvalidFacets {
+                detail: "candidate pool must be at least 1".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// `true` when these parameters cannot change any result: uniform
+    /// weights and λ=0 make stage 2 the identity on stage-1 order.
+    pub fn is_default(&self) -> bool {
+        self.weights.iter().all(|&w| w == 1.0) && self.lambda == 0.0
+    }
+
+    /// Canonical form for cache keys: default parameters collapse to
+    /// `None` so default-weight queries share cache entries (and hit
+    /// rates) with plain queries.
+    pub fn canonical(self) -> Option<Self> {
+        if self.is_default() {
+            None
+        } else {
+            Some(self)
+        }
+    }
+
+    /// Exact-bits fingerprint folded into cache keys: weight count, each
+    /// weight's bit pattern, λ's bit pattern, candidate pool.
+    pub fn fingerprint(&self) -> Vec<u32> {
+        let mut fp = Vec::with_capacity(self.weights.len() + 3);
+        fp.push(self.weights.len() as u32);
+        fp.extend(self.weights.iter().map(|w| w.to_bits()));
+        fp.push(self.lambda.to_bits());
+        fp.push(self.candidates as u32);
+        fp
+    }
+}
+
+/// Parses a `--facets` spec (`name=weight,name=weight,…`) against a
+/// layout. Facets not mentioned get weight `0.0` — the spec *selects*
+/// facets — so `bg=1` scores by the background subspace alone.
+///
+/// # Errors
+/// [`ServeError::InvalidFacets`] on an empty spec, a malformed pair, an
+/// unknown or repeated facet name, or a negative / non-finite /
+/// unparseable weight. The message lists the valid names.
+pub fn parse_weights(spec: &str, layout: &FacetLayout) -> Result<Vec<f32>, ServeError> {
+    let valid = || layout.names().join(", ");
+    if spec.trim().is_empty() {
+        return Err(ServeError::InvalidFacets {
+            detail: format!("empty facet spec (valid facets: {})", valid()),
+        });
+    }
+    let mut weights = vec![0.0f32; layout.len()];
+    let mut seen = vec![false; layout.len()];
+    for pair in spec.split(',') {
+        let pair = pair.trim();
+        let Some((name, value)) = pair.split_once('=') else {
+            return Err(ServeError::InvalidFacets {
+                detail: format!("expected name=weight, got {pair:?} (valid facets: {})", valid()),
+            });
+        };
+        let name = name.trim();
+        let Some(j) = layout.position(name) else {
+            return Err(ServeError::InvalidFacets {
+                detail: format!("unknown facet {name:?} (valid facets: {})", valid()),
+            });
+        };
+        if seen[j] {
+            return Err(ServeError::InvalidFacets {
+                detail: format!("facet {name:?} given twice"),
+            });
+        }
+        let w: f32 = value.trim().parse().map_err(|_| ServeError::InvalidFacets {
+            detail: format!("weight for {name:?} is not a number: {:?}", value.trim()),
+        })?;
+        if !w.is_finite() || w < 0.0 {
+            return Err(ServeError::InvalidFacets {
+                detail: format!("weight for {name:?} must be finite and >= 0, got {w}"),
+            });
+        }
+        seen[j] = true;
+        weights[j] = w;
+    }
+    if weights.iter().all(|&w| w == 0.0) {
+        return Err(ServeError::InvalidFacets {
+            detail: "at least one facet weight must be positive".into(),
+        });
+    }
+    Ok(weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_geometry_is_contiguous_and_exact() {
+        let layout = FacetLayout::sem_nprec(4, 6);
+        assert_eq!(layout.len(), 4);
+        assert_eq!(layout.dim(), 3 * 4 + 6);
+        assert_eq!(layout.names()[0], "bg");
+        assert_eq!(layout.names()[3], "nprec");
+        assert_eq!(layout.range(0), 0..4);
+        assert_eq!(layout.range(2), 8..12);
+        assert_eq!(layout.range(3), 12..18);
+        let v: Vec<f32> = (0..18).map(|i| i as f32).collect();
+        assert_eq!(layout.segment(&v, 1), &[4.0, 5.0, 6.0, 7.0]);
+        // segments tile the vector exactly
+        let covered: usize = (0..layout.len()).map(|j| layout.range(j).len()).sum();
+        assert_eq!(covered, v.len());
+    }
+
+    #[test]
+    fn fused_layout_is_single_segment() {
+        let layout = FacetLayout::fused(24);
+        assert_eq!(layout.len(), 1);
+        assert_eq!(layout.dim(), 24);
+        assert_eq!(layout.range(0), 0..24);
+        assert_eq!(layout.position("fused"), Some(0));
+    }
+
+    #[test]
+    fn bad_layouts_are_rejected() {
+        assert!(FacetLayout::new(vec![], vec![]).is_err());
+        assert!(FacetLayout::new(vec!["a".into()], vec![0]).is_err());
+        assert!(FacetLayout::new(vec!["a".into(), "a".into()], vec![2, 2]).is_err());
+        assert!(FacetLayout::new(vec!["a".into(), "".into()], vec![2, 2]).is_err());
+        assert!(FacetLayout::new(vec!["a".into()], vec![2, 3]).is_err());
+    }
+
+    #[test]
+    fn parse_weights_accepts_partial_specs() {
+        let layout = FacetLayout::sem(8);
+        let w = parse_weights("bg=0.2,method=0.7,result=0.1", &layout).unwrap();
+        assert_eq!(w, vec![0.2, 0.7, 0.1]);
+        // unmentioned facets are zeroed: the spec selects facets
+        let w = parse_weights("method=1", &layout).unwrap();
+        assert_eq!(w, vec![0.0, 1.0, 0.0]);
+        let w = parse_weights(" result = 2.5 ", &layout).unwrap();
+        assert_eq!(w, vec![0.0, 0.0, 2.5]);
+    }
+
+    #[test]
+    fn parse_weights_rejects_malformed_specs_with_typed_errors() {
+        let layout = FacetLayout::sem(8);
+        for bad in [
+            "",
+            "bg",
+            "bg=",
+            "bg=abc",
+            "novelty=1",
+            "bg=1,bg=2",
+            "bg=-0.5",
+            "bg=inf",
+            "bg=NaN",
+            "bg=0,method=0,result=0",
+        ] {
+            let err = parse_weights(bad, &layout).unwrap_err();
+            assert!(
+                matches!(err, ServeError::InvalidFacets { .. }),
+                "spec {bad:?} must be a typed InvalidFacets, got {err}"
+            );
+        }
+        // unknown-name errors list the valid names
+        let msg = parse_weights("novelty=1", &layout).unwrap_err().to_string();
+        assert!(msg.contains("bg") && msg.contains("method") && msg.contains("result"));
+    }
+
+    #[test]
+    fn rerank_params_validate_and_canonicalise() {
+        let layout = FacetLayout::sem(8);
+        let uniform = RerankParams::uniform(layout.len());
+        uniform.validate(&layout).unwrap();
+        assert!(uniform.is_default());
+        assert!(uniform.canonical().is_none());
+
+        let mut p = RerankParams::uniform(layout.len());
+        p.lambda = 0.3;
+        p.validate(&layout).unwrap();
+        assert!(!p.is_default());
+        let fp = p.clone().canonical().unwrap().fingerprint();
+        assert_eq!(fp[0], 3);
+        assert_eq!(fp[4], 0.3f32.to_bits());
+
+        let wrong_arity = RerankParams { weights: vec![1.0; 2], lambda: 0.0, candidates: 10 };
+        assert!(matches!(wrong_arity.validate(&layout), Err(ServeError::InvalidFacets { .. })));
+        let bad_lambda = RerankParams { weights: vec![1.0; 3], lambda: 1.5, candidates: 10 };
+        assert!(bad_lambda.validate(&layout).is_err());
+        let no_pool = RerankParams { weights: vec![1.0; 3], lambda: 0.0, candidates: 0 };
+        assert!(no_pool.validate(&layout).is_err());
+    }
+
+    #[test]
+    fn fingerprints_distinguish_parameter_sets() {
+        let a = RerankParams { weights: vec![1.0, 0.5, 0.0], lambda: 0.0, candidates: 200 };
+        let b = RerankParams { weights: vec![1.0, 0.5, 0.0], lambda: 0.25, candidates: 200 };
+        let c = RerankParams { weights: vec![0.5, 1.0, 0.0], lambda: 0.0, candidates: 200 };
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert_eq!(a.fingerprint(), a.clone().fingerprint());
+    }
+
+    #[test]
+    fn layout_json_roundtrips() {
+        let layout = FacetLayout::sem_nprec(6, 10);
+        let json = serde_json::to_string(&layout).unwrap();
+        let back: FacetLayout = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, layout);
+    }
+}

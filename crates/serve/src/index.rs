@@ -19,6 +19,7 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::error::ServeError;
+use crate::facet::{FacetChecksum, FacetLayout};
 
 /// Vectors scanned between deadline checks in flat (brute-force) mode —
 /// coarse enough that the `Instant::now` calls cost nothing against the
@@ -61,6 +62,12 @@ pub struct Hit {
 }
 
 /// The ANN index. `centroids` empty ⇔ exact brute-force mode.
+///
+/// `layout` is facet metadata over the *same* flat vectors — the fused
+/// scan never looks at it, so attaching a layout cannot change stage-1
+/// results. `None` means "one fused segment" (what v1 snapshots and
+/// plain corpora carry); serde tolerates the field's absence, which is
+/// the v1→v2 read-path migration.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct AnnIndex {
     config: IndexConfig,
@@ -69,6 +76,7 @@ pub struct AnnIndex {
     centroids: Vec<Vec<f32>>,
     lists: Vec<Vec<usize>>,
     generation: u64,
+    layout: Option<FacetLayout>,
 }
 
 /// L2-normalises in place; an all-zero vector is left as-is.
@@ -147,7 +155,7 @@ impl AnnIndex {
                     .clamp(1, n);
             Self::kmeans(&vectors, nlist, config.kmeans_iters, config.seed)
         };
-        Ok(AnnIndex { config, dim, vectors, centroids, lists, generation: 0 })
+        Ok(AnnIndex { config, dim, vectors, centroids, lists, generation: 0, layout: None })
     }
 
     /// Spherical k-means: parallel assignment, host-side centroid update.
@@ -234,6 +242,66 @@ impl AnnIndex {
     /// The stored (normalised) vector for `id`.
     pub fn vector(&self, id: usize) -> &[f32] {
         &self.vectors[id]
+    }
+
+    /// Attaches a facet layout (builder style). Pure metadata: stage-1
+    /// search results are unchanged, stage-2 rerank gains per-facet
+    /// segment boundaries.
+    ///
+    /// # Errors
+    /// [`ServeError::DimensionMismatch`] when the layout's total width
+    /// differs from the index width.
+    pub fn with_layout(mut self, layout: FacetLayout) -> Result<Self, ServeError> {
+        self.set_layout(layout)?;
+        Ok(self)
+    }
+
+    /// In-place form of [`AnnIndex::with_layout`].
+    ///
+    /// # Errors
+    /// [`ServeError::DimensionMismatch`] when the layout's total width
+    /// differs from the index width.
+    pub fn set_layout(&mut self, layout: FacetLayout) -> Result<(), ServeError> {
+        if layout.dim() != self.dim {
+            return Err(ServeError::DimensionMismatch { expected: self.dim, got: layout.dim() });
+        }
+        self.layout = Some(layout);
+        Ok(())
+    }
+
+    /// The facet layout: the stored one, or the single-segment fused
+    /// fallback for indexes (and migrated v1 stores) without facets.
+    pub fn layout(&self) -> FacetLayout {
+        self.layout.clone().unwrap_or_else(|| FacetLayout::fused(self.dim))
+    }
+
+    /// `true` when a multi-facet layout is attached.
+    pub fn has_facets(&self) -> bool {
+        self.layout.is_some()
+    }
+
+    /// Per-facet segment checksums: for each facet, the CRC32 of that
+    /// segment's little-endian bytes across all vectors in insertion
+    /// order. `index verify` reports these per shard so corruption can be
+    /// localised to a facet, not just a payload.
+    pub fn facet_checksums(&self) -> Vec<FacetChecksum> {
+        let layout = self.layout();
+        (0..layout.len())
+            .map(|j| {
+                let range = layout.range(j);
+                let mut bytes = Vec::with_capacity(self.vectors.len() * range.len() * 4);
+                for v in &self.vectors {
+                    for x in &v[range.clone()] {
+                        bytes.extend_from_slice(&x.to_le_bytes());
+                    }
+                }
+                FacetChecksum {
+                    name: layout.names()[j].clone(),
+                    dim: range.len(),
+                    crc32: crate::store::crc32(&bytes),
+                }
+            })
+            .collect()
     }
 
     /// Appends one vector without rebuilding; returns its id. In IVF mode
@@ -434,6 +502,15 @@ impl AnnIndex {
         if idx.lists.iter().flatten().any(|&id| id >= n) {
             return Err("cell entry out of range".into());
         }
+        if let Some(layout) = &idx.layout {
+            if layout.dim() != idx.dim {
+                return Err(format!(
+                    "facet layout covers {} elements but vectors are {}-wide",
+                    layout.dim(),
+                    idx.dim
+                ));
+            }
+        }
         Ok(idx)
     }
 }
@@ -563,6 +640,67 @@ mod tests {
         assert!(hits.is_empty());
         // width mismatch is a typed error, not a panic
         assert!(idx.search_deadline(&[0.0; 3], 5, None).is_err());
+    }
+
+    #[test]
+    fn layout_is_metadata_only_and_roundtrips() {
+        let vectors = random_vectors(300, 12, 30);
+        let plain = AnnIndex::build(vectors.clone(), IndexConfig::default());
+        let faceted = AnnIndex::build(vectors, IndexConfig::default())
+            .with_layout(FacetLayout::sem(4))
+            .unwrap();
+        assert!(faceted.has_facets());
+        assert!(!plain.has_facets());
+        // attaching a layout cannot change stage-1 results
+        let q = random_vectors(1, 12, 31).pop().unwrap();
+        assert_eq!(plain.search(&q, 10), faceted.search(&q, 10));
+        // fused fallback spans the whole vector
+        assert_eq!(plain.layout(), FacetLayout::fused(12));
+        // layout survives the JSON roundtrip (the snapshot payload)
+        let back = AnnIndex::from_json(&faceted.to_json().unwrap()).unwrap();
+        assert_eq!(back.layout(), faceted.layout());
+        // width mismatch is typed
+        let narrow = AnnIndex::build(random_vectors(10, 4, 32), IndexConfig::default());
+        assert!(matches!(
+            narrow.with_layout(FacetLayout::sem(4)),
+            Err(ServeError::DimensionMismatch { expected: 4, got: 12 })
+        ));
+    }
+
+    #[test]
+    fn facet_checksums_localise_corruption() {
+        // one-hot vectors have norm exactly 1.0, so normalisation is the
+        // bitwise identity and segments can be compared across builds
+        let one_hot = |hot: usize| {
+            let mut v = vec![0.0f32; 9];
+            v[hot] = 1.0;
+            v
+        };
+        let vectors: Vec<Vec<f32>> = (0..120).map(|i| one_hot(i % 9)).collect();
+        let idx = AnnIndex::build(vectors.clone(), IndexConfig::default())
+            .with_layout(FacetLayout::sem(3))
+            .unwrap();
+        let sums = idx.facet_checksums();
+        assert_eq!(sums.len(), 3);
+        assert_eq!(sums[0].name, "bg");
+        assert_eq!(sums[0].dim, 3);
+        // deterministic across identical builds
+        let again = AnnIndex::build(vectors.clone(), IndexConfig::default())
+            .with_layout(FacetLayout::sem(3))
+            .unwrap();
+        assert_eq!(again.facet_checksums(), sums);
+        // moving vector 4's hot element within the "method" segment
+        // (range 3..6) changes exactly that facet's checksum
+        let mut perturbed = vectors;
+        perturbed[4] = one_hot(5);
+        assert_eq!(perturbed[4][4], 0.0);
+        let other = AnnIndex::build(perturbed, IndexConfig::default())
+            .with_layout(FacetLayout::sem(3))
+            .unwrap();
+        let other_sums = other.facet_checksums();
+        assert_eq!(other_sums[0], sums[0], "bg segment untouched");
+        assert_ne!(other_sums[1], sums[1], "method segment must differ");
+        assert_eq!(other_sums[2], sums[2], "result segment untouched");
     }
 
     #[test]

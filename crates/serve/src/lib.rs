@@ -53,9 +53,11 @@ pub mod cache;
 pub mod embed;
 pub mod engine;
 pub mod error;
+pub mod facet;
 pub mod fault;
 pub mod index;
 pub mod loadgen;
+pub mod rerank;
 pub mod router;
 pub mod shard;
 pub mod store;
@@ -68,6 +70,10 @@ pub use engine::{
     RecoveryStats, StatsSnapshot,
 };
 pub use error::ServeError;
+pub use facet::{
+    parse_weights, FacetChecksum, FacetLayout, RerankParams, DEFAULT_CANDIDATES, NPREC_FACET_NAME,
+    SEM_FACET_NAMES,
+};
 pub use fault::{CrashPoint, FaultPlan};
 pub use index::{AnnIndex, Hit, IndexConfig};
 pub use loadgen::{

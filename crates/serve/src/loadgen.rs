@@ -25,6 +25,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::engine::{DegradeReason, QueryRequest};
 use crate::error::ServeError;
+use crate::facet::{RerankParams, DEFAULT_CANDIDATES};
 use crate::router::{HedgeConfig, ShardRouter};
 use crate::supervisor::{ShardSupervisor, SupervisorConfig, SupervisorEvent, SupervisorSnapshot};
 
@@ -41,6 +42,10 @@ pub struct LoadgenConfig {
     /// Fraction of operations that are ingests instead of queries, in
     /// `[0, 1]`.
     pub ingest_ratio: f64,
+    /// Fraction of *query* operations that carry facet-rerank parameters
+    /// (seeded random per-facet weights and diversity λ), in `[0, 1]`.
+    /// `0.0` keeps every query on the plain fused path.
+    pub facet_mix: f64,
     /// Top-K requested per query.
     pub k: usize,
     /// Worker threads draining the arrival queue.
@@ -60,6 +65,7 @@ impl Default for LoadgenConfig {
             duration: Duration::from_secs(2),
             batch_mix: vec![1, 1, 1, 4],
             ingest_ratio: 0.05,
+            facet_mix: 0.0,
             k: 10,
             workers: 4,
             seed: 42,
@@ -135,6 +141,9 @@ pub struct LoadReport {
     pub ops: u64,
     /// Query operations completed (a batch counts once).
     pub queries: u64,
+    /// Query operations that carried facet-rerank parameters (subset of
+    /// `queries`, scheduled by [`LoadgenConfig::facet_mix`]).
+    pub faceted: u64,
     /// Ingest operations completed.
     pub ingests: u64,
     /// Operations with at least one degraded response.
@@ -176,7 +185,7 @@ impl LoadReport {
 
 /// One scheduled operation, fully determined before the clock starts.
 enum Op {
-    Query { batch: Vec<Vec<f32>>, k: usize },
+    Query { batch: Vec<Vec<f32>>, k: usize, rerank: Option<RerankParams> },
     Ingest { vector: Vec<f32> },
 }
 
@@ -242,6 +251,9 @@ pub fn run(router: &ShardRouter, config: &LoadgenConfig) -> Result<LoadReport, S
     if !(0.0..=1.0).contains(&config.ingest_ratio) {
         return Err(ServeError::Invalid("loadgen ingest ratio must be within [0, 1]".into()));
     }
+    if !(0.0..=1.0).contains(&config.facet_mix) {
+        return Err(ServeError::Invalid("loadgen facet mix must be within [0, 1]".into()));
+    }
 
     let dim = router.dim();
     let total_ops = (config.qps * config.duration.as_secs_f64()).ceil().max(1.0) as usize;
@@ -252,15 +264,26 @@ pub fn run(router: &ShardRouter, config: &LoadgenConfig) -> Result<LoadReport, S
     let mut rng = StdRng::seed_from_u64(config.seed);
     let random_vector =
         |rng: &mut StdRng| -> Vec<f32> { (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect() };
+    let layout = router.layout();
     let mut schedule = Vec::with_capacity(total_ops);
     for _ in 0..total_ops {
         if rng.gen_bool(config.ingest_ratio) {
             schedule.push(Op::Ingest { vector: random_vector(&mut rng) });
         } else {
             let batch = config.batch_mix[rng.gen_range(0..config.batch_mix.len())];
+            // a facet-mix query exercises the two-stage path with seeded
+            // random weights and a moderate diversity λ; everything about
+            // the schedule stays reproducible from the seed alone
+            let rerank =
+                (config.facet_mix > 0.0 && rng.gen_bool(config.facet_mix)).then(|| RerankParams {
+                    weights: (0..layout.len()).map(|_| rng.gen_range(0.05f32..1.0)).collect(),
+                    lambda: rng.gen_range(0.0f32..0.5),
+                    candidates: DEFAULT_CANDIDATES,
+                });
             schedule.push(Op::Query {
                 batch: (0..batch).map(|_| random_vector(&mut rng)).collect(),
                 k: config.k,
+                rerank,
             });
         }
     }
@@ -271,6 +294,7 @@ pub fn run(router: &ShardRouter, config: &LoadgenConfig) -> Result<LoadReport, S
         closed: AtomicBool::new(false),
     });
     let queries = AtomicU64::new(0);
+    let faceted = AtomicU64::new(0);
     let ingests = AtomicU64::new(0);
     let degraded = AtomicU64::new(0);
     let shed = AtomicU64::new(0);
@@ -285,6 +309,7 @@ pub fn run(router: &ShardRouter, config: &LoadgenConfig) -> Result<LoadReport, S
         for _ in 0..config.workers {
             let queue = Arc::clone(&queue);
             let queries = &queries;
+            let faceted = &faceted;
             let ingests = &ingests;
             let degraded = &degraded;
             let shed = &shed;
@@ -294,7 +319,10 @@ pub fn run(router: &ShardRouter, config: &LoadgenConfig) -> Result<LoadReport, S
             scope.spawn(move || {
                 while let Some(work) = queue.pop() {
                     let outcome = match work.op {
-                        Op::Query { batch, k } => {
+                        Op::Query { batch, k, rerank } => {
+                            if rerank.is_some() {
+                                faceted.fetch_add(1, Ordering::Relaxed);
+                            }
                             // the scheduled arrival rides on the request:
                             // deadlines are measured from it, so a request
                             // that sat out its whole budget in this queue
@@ -305,6 +333,9 @@ pub fn run(router: &ShardRouter, config: &LoadgenConfig) -> Result<LoadReport, S
                                     let mut r = QueryRequest::new(v, k).with_arrival(work.arrival);
                                     if let Some(b) = deadline_budget {
                                         r = r.with_deadline(b);
+                                    }
+                                    if let Some(params) = &rerank {
+                                        r = r.with_rerank(params.clone());
                                     }
                                     r
                                 })
@@ -375,6 +406,7 @@ pub fn run(router: &ShardRouter, config: &LoadgenConfig) -> Result<LoadReport, S
     Ok(LoadReport {
         ops,
         queries: queries.into_inner(),
+        faceted: faceted.into_inner(),
         ingests: ingests.into_inner(),
         degraded: degraded.into_inner(),
         degraded_by_reason: reasons.snapshot(),
@@ -747,9 +779,41 @@ mod tests {
             LoadgenConfig { batch_mix: vec![0], ..Default::default() },
             LoadgenConfig { workers: 0, ..Default::default() },
             LoadgenConfig { ingest_ratio: 1.5, ..Default::default() },
+            LoadgenConfig { facet_mix: -0.1, ..Default::default() },
+            LoadgenConfig { facet_mix: 1.5, ..Default::default() },
         ] {
             assert!(run(&router, &bad).is_err());
         }
+    }
+
+    #[test]
+    fn facet_mix_routes_queries_through_the_rerank_path() {
+        let router = small_router();
+        router
+            .set_layout(
+                crate::facet::FacetLayout::new(
+                    vec!["bg".into(), "method".into(), "result".into()],
+                    vec![3, 3, 2],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let config = LoadgenConfig {
+            qps: 400.0,
+            duration: Duration::from_millis(250),
+            ingest_ratio: 0.1,
+            facet_mix: 1.0,
+            workers: 2,
+            ..Default::default()
+        };
+        let report = run(&router, &config).unwrap();
+        assert_eq!(report.errors, 0, "{report:?}");
+        assert_eq!(report.faceted, report.queries, "every query carries rerank params");
+        assert!(report.queries > 0);
+
+        // and a zero mix keeps the plain path untouched
+        let plain = run(&router, &LoadgenConfig { facet_mix: 0.0, ..config }).unwrap();
+        assert_eq!(plain.faceted, 0);
     }
 
     struct TempDir(std::path::PathBuf);

@@ -1,0 +1,196 @@
+//! Stage 2 of faceted retrieval: rescoring a stage-1 candidate pool with
+//! per-facet weights and an MMR-style diversity knob.
+//!
+//! Stage 1 (the existing ANN scan) is facet-blind: it scores the fused
+//! vector and returns the top-C candidates. This module rescores them:
+//!
+//! * **Relevance** re-weights the query per facet — `q_w[i] = q[i] ·
+//!   w_{facet(i)}` — so `rel(p) = ⟨q_w, v_p⟩ = Σ_j w_j · ⟨q_j, p_j⟩`, the
+//!   weighted sum of per-subspace cosines (vectors are L2-normalised at
+//!   the fused level). Uniform weights make `q_w` bit-identical to `q`,
+//!   so `rel` equals the stage-1 score exactly.
+//! * **Diversity** is greedy MMR: candidates are selected one at a time
+//!   maximising `(1-λ)·rel(p) − λ·max_{s∈S} ⟨v_p, v_s⟩` where `S` is the
+//!   already-selected set (empty-set max term is 0). λ=0 short-circuits
+//!   to a pure relevance sort, which on uniform weights is a guaranteed
+//!   no-op on the stage-1 order (property-tested in `tests/props.rs`).
+//!
+//! Ties break toward the earlier stage-1 rank (strict `>` comparison over
+//! a relevance-ordered scan), keeping the whole pipeline deterministic.
+
+use crate::facet::{FacetLayout, RerankParams};
+use crate::index::Hit;
+
+/// Sequential dot product — same associativity as the index scan, so
+/// uniform-weight relevance reproduces stage-1 scores bit-for-bit.
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Rescores `candidates` (stage-1 hits paired with their stored,
+/// normalised vectors) and returns the top-`k` in rerank order.
+///
+/// The returned [`Hit::score`] is the facet-weighted relevance
+/// `⟨q_w, v⟩`; with λ>0 the *order* additionally reflects the MMR
+/// diversity trade, so scores are not necessarily monotone down the list.
+///
+/// `query` must already be L2-normalised (stage 1 normalises before
+/// scanning; callers pass the same buffer through).
+pub fn rerank(
+    query: &[f32],
+    layout: &FacetLayout,
+    params: &RerankParams,
+    candidates: &[(Hit, &[f32])],
+    k: usize,
+) -> Vec<Hit> {
+    let uniform = params.weights.iter().all(|&w| w == 1.0);
+    // facet-weighted query; skipped entirely on uniform weights so the
+    // relevance arithmetic is literally the stage-1 arithmetic
+    let q_w: Vec<f32> = if uniform {
+        query.to_vec()
+    } else {
+        let mut q = query.to_vec();
+        for j in 0..layout.len() {
+            let w = params.weights[j];
+            for x in &mut q[layout.range(j)] {
+                *x *= w;
+            }
+        }
+        q
+    };
+
+    let mut scored: Vec<(Hit, &[f32])> =
+        candidates.iter().map(|&(h, v)| (Hit { id: h.id, score: dot(v, &q_w) }, v)).collect();
+    // relevance order: score desc, id asc — identical to the stage-1
+    // total order when weights are uniform
+    scored.sort_by(|a, b| b.0.score.total_cmp(&a.0.score).then(a.0.id.cmp(&b.0.id)));
+    let k = k.min(scored.len());
+
+    if params.lambda == 0.0 {
+        scored.truncate(k);
+        return scored.into_iter().map(|(h, _)| h).collect();
+    }
+
+    // greedy MMR: max_sim[i] tracks each remaining candidate's highest
+    // similarity to the selected set; O(k · C · dim)
+    let lambda = params.lambda;
+    let mut selected: Vec<Hit> = Vec::with_capacity(k);
+    let mut max_sim = vec![f32::NEG_INFINITY; scored.len()];
+    let mut taken = vec![false; scored.len()];
+    while selected.len() < k {
+        let mut best: Option<(usize, f32)> = None;
+        for (i, (h, _)) in scored.iter().enumerate() {
+            if taken[i] {
+                continue;
+            }
+            let penalty = if selected.is_empty() { 0.0 } else { max_sim[i] };
+            let mmr = (1.0 - lambda) * h.score - lambda * penalty;
+            // strict > keeps the earliest relevance rank on ties
+            if best.is_none_or(|(_, s)| mmr > s) {
+                best = Some((i, mmr));
+            }
+        }
+        let Some((i, _)) = best else { break };
+        taken[i] = true;
+        selected.push(scored[i].0);
+        let picked = scored[i].1;
+        for (j, (_, v)) in scored.iter().enumerate() {
+            if !taken[j] {
+                let s = dot(v, picked);
+                if s > max_sim[j] {
+                    max_sim[j] = s;
+                }
+            }
+        }
+    }
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout2() -> FacetLayout {
+        FacetLayout::new(vec!["a".into(), "b".into()], vec![2, 2]).unwrap()
+    }
+
+    fn normalized(v: &[f32]) -> Vec<f32> {
+        let n: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        v.iter().map(|x| x / n).collect()
+    }
+
+    #[test]
+    fn uniform_weights_lambda_zero_is_a_no_op() {
+        let layout = layout2();
+        let vecs: Vec<Vec<f32>> = vec![
+            normalized(&[1.0, 0.0, 0.0, 0.0]),
+            normalized(&[0.7, 0.1, 0.1, 0.0]),
+            normalized(&[0.0, 0.0, 1.0, 0.2]),
+            normalized(&[0.1, 0.9, 0.0, 0.3]),
+        ];
+        let q = normalized(&[1.0, 0.2, 0.1, 0.0]);
+        // stage-1 order: score desc, id asc
+        let mut hits: Vec<Hit> =
+            vecs.iter().enumerate().map(|(id, v)| Hit { id, score: dot(v, &q) }).collect();
+        hits.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.id.cmp(&b.id)));
+        let cands: Vec<(Hit, &[f32])> = hits.iter().map(|h| (*h, vecs[h.id].as_slice())).collect();
+        let out = rerank(&q, &layout, &RerankParams::uniform(2), &cands, 4);
+        assert_eq!(out, hits, "uniform weights + λ=0 must preserve order and scores exactly");
+    }
+
+    #[test]
+    fn facet_weights_redirect_relevance() {
+        let layout = layout2();
+        // candidate 0 matches the query on facet a, candidate 1 on facet b
+        let vecs: Vec<Vec<f32>> =
+            vec![normalized(&[1.0, 0.0, 0.0, 0.0]), normalized(&[0.0, 0.0, 1.0, 0.0])];
+        let q = normalized(&[1.0, 0.0, 1.0, 0.0]);
+        let cands: Vec<(Hit, &[f32])> = vecs
+            .iter()
+            .enumerate()
+            .map(|(id, v)| (Hit { id, score: dot(v, &q) }, v.as_slice()))
+            .collect();
+        let only_b = RerankParams { weights: vec![0.0, 1.0], lambda: 0.0, candidates: 10 };
+        let out = rerank(&q, &layout, &only_b, &cands, 2);
+        assert_eq!(out[0].id, 1, "weighting facet b alone must rank the b-matching paper first");
+        let only_a = RerankParams { weights: vec![1.0, 0.0], lambda: 0.0, candidates: 10 };
+        let out = rerank(&q, &layout, &only_a, &cands, 2);
+        assert_eq!(out[0].id, 0);
+    }
+
+    #[test]
+    fn diversity_penalises_near_duplicates() {
+        let layout = layout2();
+        // 0 and 1 are near-duplicates best-matching the query; 2 is a
+        // distinct direction with decent relevance. Pure relevance ranks
+        // the duplicate second; MMR must promote the distinct paper.
+        let vecs: Vec<Vec<f32>> = vec![
+            normalized(&[1.0, 0.0, 0.0, 0.0]),
+            normalized(&[0.99, 0.05, 0.0, 0.0]),
+            normalized(&[0.5, 0.0, 0.8, 0.0]),
+        ];
+        let q = normalized(&[1.0, 0.0, 0.3, 0.0]);
+        let cands: Vec<(Hit, &[f32])> = vecs
+            .iter()
+            .enumerate()
+            .map(|(id, v)| (Hit { id, score: dot(v, &q) }, v.as_slice()))
+            .collect();
+        let relevance = rerank(&q, &layout, &RerankParams::uniform(2), &cands, 3);
+        assert_eq!(relevance.iter().map(|h| h.id).collect::<Vec<_>>(), vec![0, 1, 2]);
+        let diverse = RerankParams { weights: vec![1.0, 1.0], lambda: 0.6, candidates: 10 };
+        let out = rerank(&q, &layout, &diverse, &cands, 3);
+        assert_eq!(out[0].id, 0, "first MMR pick is always the relevance leader");
+        assert_eq!(out[1].id, 2, "λ=0.6 must prefer the distinct paper over the near-duplicate");
+    }
+
+    #[test]
+    fn k_clamps_to_pool_and_empty_pool_is_empty() {
+        let layout = layout2();
+        let q = normalized(&[1.0, 0.0, 0.0, 0.0]);
+        assert!(rerank(&q, &layout, &RerankParams::uniform(2), &[], 5).is_empty());
+        let v = normalized(&[1.0, 0.0, 0.0, 0.0]);
+        let cands = vec![(Hit { id: 0, score: 1.0 }, v.as_slice())];
+        let mmr = RerankParams { weights: vec![1.0, 1.0], lambda: 0.5, candidates: 10 };
+        assert_eq!(rerank(&q, &layout, &mmr, &cands, 5).len(), 1);
+    }
+}

@@ -36,6 +36,7 @@ use crate::engine::{
     DegradeReason, IngestAck, LatencySummary, QueryRequest, QueryResponse, RecoveryStats,
 };
 use crate::error::ServeError;
+use crate::facet::FacetLayout;
 use crate::index::{AnnIndex, Hit};
 use crate::shard::{merge_top_k, shard_of, LocalHits, Shard, ShardConfig, ShardStatsSnapshot};
 use crate::store::{Durability, IndexStore, VerifyReport};
@@ -516,6 +517,29 @@ impl ShardRouter {
         &self.shards[i]
     }
 
+    /// The facet layout the family serves: the first healthy shard's (all
+    /// shards carry the same layout), or the single-fused-segment fallback
+    /// when none is attached / every shard is down.
+    pub fn layout(&self) -> FacetLayout {
+        self.shards
+            .iter()
+            .find_map(|s| s.with_index(|i| i.layout()).ok())
+            .unwrap_or_else(|| FacetLayout::fused(self.dim))
+    }
+
+    /// Attaches `layout` to every shard's index (pure metadata — stage-1
+    /// results are unchanged; persisted with each shard's next snapshot).
+    ///
+    /// # Errors
+    /// A width mismatch, or any shard being down (layouts must stay
+    /// family-uniform, so a partial attach is refused).
+    pub fn set_layout(&self, layout: FacetLayout) -> Result<(), ServeError> {
+        for shard in &self.shards {
+            shard.set_layout(layout.clone())?;
+        }
+        Ok(())
+    }
+
     /// Top-`k` across all shards for `vector`.
     ///
     /// # Errors
@@ -549,10 +573,15 @@ impl ShardRouter {
     /// response ([`DegradeReason::ShardsDown`]) instead of failing it;
     /// straggling shards past the hedge budget degrade it with
     /// [`DegradeReason::ShardSlow`]; deadline-truncated shard scans
-    /// degrade it with [`DegradeReason::Deadline`].
+    /// degrade it with [`DegradeReason::Deadline`]. A request carrying
+    /// [`QueryRequest::with_rerank`] parameters widens the fan-out to the
+    /// candidate pool and rescores the merged pool with facet weights +
+    /// MMR diversity (see [`crate::rerank`]).
     ///
     /// # Errors
     /// [`ServeError::DimensionMismatch`] on a width mismatch;
+    /// [`ServeError::InvalidFacets`] when rerank parameters do not fit
+    /// the family's layout;
     /// [`ServeError::DeadlineExceeded`] when the deadline (measured from
     /// [`QueryRequest::arrival`]) had already expired on entry — the
     /// request is shed before any shard is scanned;
@@ -564,6 +593,9 @@ impl ShardRouter {
                 expected: self.dim,
                 got: request.vector.len(),
             });
+        }
+        if let Some(params) = &request.rerank {
+            params.validate(&self.layout())?;
         }
         let now = Instant::now();
         let arrival = request.arrival.unwrap_or(now);
@@ -588,14 +620,42 @@ impl ShardRouter {
         // per-shard scores are bit-identical to the unsharded scan's
         let q = request.vector;
         let k = request.k;
+        // stage 1: a rerank request widens every shard's fetch to the
+        // candidate pool; with no rerank, fetch == k and the whole path
+        // is bit-identical to before
+        let fetch = request.rerank.as_ref().map_or(k, |r| r.candidates.max(k));
         let hedge = *self.hedge.lock();
         let gather = match hedge {
-            Some(h) => self.scatter_hedged(&q, k, deadline, h)?,
-            None => self.scatter_rayon(&q, k, deadline)?,
+            Some(h) => self.scatter_hedged(&q, fetch, deadline, h)?,
+            None => self.scatter_rayon(&q, fetch, deadline)?,
         };
         let t0 = Instant::now();
-        let hits = merge_top_k(&gather.lists, k);
+        let mut hits = merge_top_k(&gather.lists, fetch);
         self.metrics.merge_ns.record(t0.elapsed().as_nanos() as u64);
+        // stage 2: rescore the merged pool with facet weights + MMR.
+        // Candidate vectors live on their owning shards; one that died (or
+        // recovered shorter) mid-query simply contributes no candidates —
+        // the response is already flagged degraded for that.
+        if let Some(params) = &request.rerank {
+            let n = self.shards.len();
+            let layout = self.layout();
+            let qn = crate::engine::normalized(&q);
+            let owned: Vec<(Hit, Vec<f32>)> = hits
+                .iter()
+                .filter_map(|h| {
+                    let local = h.id / n;
+                    self.shards[shard_of(h.id, n)]
+                        .with_index(|i| (local < i.len()).then(|| i.vector(local).to_vec()))
+                        .ok()
+                        .flatten()
+                        .map(|v| (*h, v))
+                })
+                .collect();
+            let pool: Vec<(Hit, &[f32])> = owned.iter().map(|(h, v)| (*h, v.as_slice())).collect();
+            hits = crate::rerank::rerank(&qn, &layout, params, &pool, k);
+        } else {
+            hits.truncate(k);
+        }
         self.metrics.queries.inc();
         self.metrics.fanouts.add(gather.fanouts);
         self.metrics.hedges.add(gather.hedges);
@@ -868,6 +928,87 @@ mod tests {
                 assert_eq!(merged.hits, single.search(&q, 12), "n={n} q={qi}");
             }
         }
+    }
+
+    #[test]
+    fn faceted_default_weights_stay_bit_identical_across_shard_counts() {
+        use crate::facet::RerankParams;
+        let vectors = random_vectors(240, 10, 21);
+        let single = AnnIndex::build(
+            vectors.clone(),
+            IndexConfig { flat_threshold: usize::MAX, ..Default::default() },
+        );
+        let layout =
+            FacetLayout::new(vec!["bg".into(), "method".into(), "result".into()], vec![3, 4, 3])
+                .unwrap();
+        for n in [1usize, 2, 4, 8] {
+            let router = ShardRouter::try_build(vectors.clone(), flat_config(n)).unwrap();
+            router.set_layout(layout.clone()).unwrap();
+            assert_eq!(router.layout(), layout);
+            for (qi, q) in random_vectors(5, 10, 22).into_iter().enumerate() {
+                let req = QueryRequest::new(q.clone(), 12).with_rerank(RerankParams::uniform(3));
+                let merged = router.query_request(req).unwrap();
+                assert!(!merged.degraded);
+                assert_eq!(merged.hits, single.search(&q, 12), "n={n} q={qi}");
+            }
+        }
+    }
+
+    #[test]
+    fn rerank_redirects_relevance_across_shards_and_rejects_bad_params() {
+        use crate::facet::RerankParams;
+        // facet a is dims 0..2, facet b is dims 2..4; papers 0..6 align
+        // with a, papers 6..8 with b — round-robin places them on
+        // different shards
+        let mut vectors: Vec<Vec<f32>> =
+            (0..6).map(|i| vec![1.0, 0.01 * i as f32, 0.0, 0.0]).collect();
+        vectors.push(vec![0.0, 0.0, 1.0, 0.0]);
+        vectors.push(vec![0.0, 0.0, 0.9, 0.1]);
+        let router = ShardRouter::try_build(vectors, flat_config(4)).unwrap();
+        let layout = FacetLayout::new(vec!["a".into(), "b".into()], vec![2, 2]).unwrap();
+        router.set_layout(layout).unwrap();
+        let q = vec![1.0, 0.0, 0.5, 0.0];
+        // plain top-2 is a-aligned; weighting facet b alone must surface
+        // the b-aligned papers from whichever shards own them
+        let plain = router.query(q.clone(), 2).unwrap();
+        assert!(plain.hits.iter().all(|h| h.id < 6), "{:?}", plain.hits);
+        let only_b = RerankParams { weights: vec![0.0, 1.0], lambda: 0.0, candidates: 8 };
+        let out =
+            router.query_request(QueryRequest::new(q.clone(), 2).with_rerank(only_b)).unwrap();
+        assert_eq!(
+            out.hits.iter().map(|h| h.id).collect::<Vec<_>>(),
+            vec![6, 7],
+            "facet-b weighting must rank the b-aligned papers first"
+        );
+        // wrong arity and out-of-range λ are typed errors at the door
+        // (all-1.0 weights would canonicalise to the default path, so use
+        // a weight that survives canonicalisation)
+        let bad = RerankParams { weights: vec![0.5], lambda: 0.0, candidates: 8 };
+        assert!(matches!(
+            router.query_request(QueryRequest::new(q.clone(), 2).with_rerank(bad)),
+            Err(ServeError::InvalidFacets { .. })
+        ));
+        let bad_lambda = RerankParams { weights: vec![1.0, 1.0], lambda: 1.5, candidates: 8 };
+        assert!(matches!(
+            router.query_request(QueryRequest::new(q, 2).with_rerank(bad_lambda)),
+            Err(ServeError::InvalidFacets { .. })
+        ));
+    }
+
+    #[test]
+    fn family_layout_roundtrips_through_stores() {
+        let dir = std::env::temp_dir().join(format!("sem-router-facet-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("family.snap");
+        let vectors = random_vectors(60, 9, 23);
+        let router = ShardRouter::try_build(vectors, flat_config(3)).unwrap();
+        let layout = FacetLayout::sem(3);
+        router.set_layout(layout.clone()).unwrap();
+        router.attach_stores(&base).unwrap();
+        router.persist_all().unwrap();
+        let (reopened, _) = ShardRouter::open(&base, flat_config(3)).unwrap();
+        assert_eq!(reopened.layout(), layout, "layout must survive snapshot + reopen");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -526,6 +526,22 @@ impl Shard {
         Ok(stats)
     }
 
+    /// Attaches a facet layout to the shard's index (pure metadata — see
+    /// [`AnnIndex::with_layout`]). Local search results are unchanged.
+    ///
+    /// # Errors
+    /// [`ServeError::ShardDown`] while the shard is down, or a width
+    /// mismatch between the layout and the shard's vectors.
+    pub fn set_layout(&self, layout: crate::facet::FacetLayout) -> Result<(), ServeError> {
+        let mut guard = self.state.write();
+        match &mut *guard {
+            ShardState::Ready(index) => index.set_layout(layout),
+            ShardState::Down(reason) => {
+                Err(ServeError::ShardDown { shard: self.ordinal, detail: reason.clone() })
+            }
+        }
+    }
+
     /// Read access to the shard's index (tests/diagnostics).
     ///
     /// # Errors

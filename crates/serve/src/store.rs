@@ -1,7 +1,7 @@
 //! Crash-safe index persistence: versioned checksummed snapshots plus a
 //! write-ahead journal.
 //!
-//! **Snapshot format (v1).** A fixed 44-byte header — magic `SEMSNAP1`,
+//! **Snapshot format.** A fixed 44-byte header — magic `SEMSNAP1`,
 //! format version, vector width, cell count, vector count, payload length,
 //! payload CRC32 and a CRC32 over the header itself — followed by the JSON
 //! payload. Snapshots are written to a temp file in the same directory,
@@ -10,6 +10,14 @@
 //! never a half-written hybrid. Torn or bit-flipped snapshots fail the
 //! checksum and are **rejected**, never silently loaded. Legacy plain-JSON
 //! snapshots (pre-v1) are still readable.
+//!
+//! **Versions.** v2 (current) extends the JSON payload with the optional
+//! facet layout ([`crate::facet::FacetLayout`]) carried by the index;
+//! the header and framing are unchanged. v1 (fused) snapshots load via a
+//! read-path migration — the missing layout deserialises to the
+//! single-segment fused view — and the next [`IndexStore::save_snapshot`]
+//! rewrites them as v2. Writes always emit v2; versions above v2 are
+//! rejected, never guessed at.
 //!
 //! **Journal.** Each acknowledged ingest appends one length+CRC framed
 //! record (`{seq, vector}`) and fsyncs before reporting durability, so
@@ -38,7 +46,9 @@ use crate::fault::{CrashPoint, FaultPlan};
 use crate::index::AnnIndex;
 
 const MAGIC: &[u8; 8] = b"SEMSNAP1";
-const FORMAT_VERSION: u32 = 1;
+/// Newest snapshot format this build writes; every version from 1 up to
+/// here is readable (v1 payloads simply lack the facet layout).
+const FORMAT_VERSION: u32 = 2;
 const HEADER_LEN: usize = 44;
 
 const CRC_TABLE: [u32; 256] = crc_table();
@@ -120,9 +130,9 @@ pub struct Recovery {
 pub struct SnapshotReport {
     /// Snapshot file path.
     pub path: String,
-    /// `"v1"`, `"legacy-json"`, `"missing"` or `"corrupt"`.
+    /// `"v2"`, `"v1"`, `"legacy-json"`, `"missing"` or `"corrupt"`.
     pub format: String,
-    /// Format version from the header (v1 snapshots only).
+    /// Format version from the header (headered snapshots only).
     pub version: u32,
     /// Vector width from the header.
     pub dim: usize,
@@ -136,6 +146,10 @@ pub struct SnapshotReport {
     pub payload_ok: bool,
     /// Total file size in bytes.
     pub bytes: u64,
+    /// Per-facet segment checksums from the decoded payload (empty until
+    /// every integrity check passes). Fused/v1 stores report the single
+    /// `fused` segment.
+    pub facets: Vec<crate::facet::FacetChecksum>,
     /// First failed check, when any.
     pub error: Option<String>,
 }
@@ -519,6 +533,7 @@ impl IndexStore {
             header_ok: false,
             payload_ok: false,
             bytes: 0,
+            facets: Vec::new(),
             error: None,
         };
         let bytes = match std::fs::read(&self.snapshot_path) {
@@ -540,6 +555,7 @@ impl IndexStore {
                     r.count = idx.len() as u64;
                     r.header_ok = true;
                     r.payload_ok = true;
+                    r.facets = idx.facet_checksums();
                 }
                 Err(e) => r.error = Some(format!("not a v1 snapshot and not legacy JSON: {e}")),
             }
@@ -554,7 +570,7 @@ impl IndexStore {
         r.dim = read_u32(&bytes, 12) as usize;
         r.nlist = read_u32(&bytes, 16) as usize;
         r.count = read_u64(&bytes, 20);
-        if r.version != FORMAT_VERSION {
+        if r.version == 0 || r.version > FORMAT_VERSION {
             r.error = Some(format!("unsupported format version {}", r.version));
             return r;
         }
@@ -571,7 +587,17 @@ impl IndexStore {
             return r;
         }
         r.payload_ok = true;
-        r.format = "v1".into();
+        r.format = format!("v{}", r.version);
+        // decode the payload to report per-facet segment checksums; a
+        // payload the checksums accepted but the parser rejects is still
+        // an integrity failure worth surfacing
+        match std::str::from_utf8(&bytes[HEADER_LEN..])
+            .ok()
+            .and_then(|t| AnnIndex::from_json(t).ok())
+        {
+            Some(idx) => r.facets = idx.facet_checksums(),
+            None => r.error = Some("payload checksums pass but JSON is rejected".into()),
+        }
         r
     }
 
@@ -664,8 +690,11 @@ fn decode_snapshot(bytes: &[u8], path: &Path) -> Result<AnnIndex, ServeError> {
     if crc32(&bytes[..HEADER_LEN - 4]) != read_u32(bytes, HEADER_LEN - 4) {
         return Err(ServeError::corrupt(path, "header checksum mismatch"));
     }
+    // v1 payloads decode through the same path: the facet layout they
+    // lack deserialises as "no layout", i.e. the fused single-segment
+    // view — that *is* the migration. The next save rewrites as v2.
     let version = read_u32(bytes, 8);
-    if version != FORMAT_VERSION {
+    if version == 0 || version > FORMAT_VERSION {
         return Err(ServeError::corrupt(path, format!("unsupported format version {version}")));
     }
     let payload_len = read_u64(bytes, 28) as usize;
@@ -741,9 +770,34 @@ mod tests {
         assert_eq!(rec.index.search(&q, 5), idx.search(&q, 5));
         let report = store.verify();
         assert!(report.ok, "{report:?}");
-        assert_eq!(report.snapshot.format, "v1");
+        assert_eq!(report.snapshot.format, "v2");
+        assert_eq!(report.snapshot.version, 2);
         assert_eq!(report.snapshot.count, 300);
+        // an un-faceted index reports the single fused segment checksum
+        assert_eq!(report.snapshot.facets.len(), 1);
+        assert_eq!(report.snapshot.facets[0].name, "fused");
+        assert_eq!(report.snapshot.facets[0].dim, 8);
         assert!(!report.journal.present);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn faceted_layout_survives_snapshot_and_verify_reports_segments() {
+        let dir = tmp_dir("faceted");
+        let snap = dir.join("index.bin");
+        let idx = AnnIndex::build(random_vectors(120, 9, 40), IndexConfig::default())
+            .with_layout(crate::facet::FacetLayout::sem(3))
+            .unwrap();
+        let mut store = IndexStore::open(&snap);
+        store.save_snapshot(&idx).unwrap();
+        let rec = store.load().unwrap();
+        assert!(rec.index.has_facets());
+        assert_eq!(rec.index.layout(), idx.layout());
+        let report = store.verify();
+        assert!(report.ok, "{report:?}");
+        let names: Vec<&str> = report.snapshot.facets.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["bg", "method", "result"]);
+        assert_eq!(report.snapshot.facets, idx.facet_checksums());
         std::fs::remove_dir_all(&dir).ok();
     }
 

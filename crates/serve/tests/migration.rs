@@ -1,0 +1,138 @@
+//! Store-migration regression tests: a v1 (fused) snapshot + journal
+//! fixture must open through the new faceted store with identical top-k,
+//! the next snapshot must rewrite it as v2, and corruption must stay a
+//! typed error — never a silent downgrade.
+
+use std::path::{Path, PathBuf};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sem_serve::store::crc32;
+use sem_serve::{AnnIndex, FacetLayout, IndexConfig, IndexStore, ServeError};
+
+fn random_vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect()
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sem-migration-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+const HEADER_LEN: usize = 44;
+
+/// Rewrites a freshly written v2 snapshot as the exact bytes a v1 writer
+/// would have produced: `version = 1` in the header and no `layout` key
+/// in the JSON payload (v1 predates facet metadata entirely).
+fn rewrite_as_v1(path: &Path) {
+    let bytes = std::fs::read(path).unwrap();
+    assert_eq!(&bytes[..8], b"SEMSNAP1");
+    let text = std::str::from_utf8(&bytes[HEADER_LEN..]).unwrap();
+    let mut value = serde_json::parse(text).unwrap();
+    if let serde_json::JsonValue::Obj(fields) = &mut value {
+        fields.retain(|(k, _)| k != "layout");
+    }
+    let payload = serde_json::to_string(&value).unwrap().into_bytes();
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&bytes[..8]);
+    out.extend_from_slice(&1u32.to_le_bytes());
+    out.extend_from_slice(&bytes[12..28]); // dim, nlist, count are unchanged
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    let header_crc = crc32(&out);
+    out.extend_from_slice(&header_crc.to_le_bytes());
+    out.extend_from_slice(&payload);
+    std::fs::write(path, out).unwrap();
+}
+
+fn flat() -> IndexConfig {
+    IndexConfig { flat_threshold: usize::MAX, ..Default::default() }
+}
+
+#[test]
+fn v1_snapshot_and_journal_open_identically_and_rewrite_as_v2() {
+    let dir = tmp_dir("v1-open");
+    let path = dir.join("index.snap");
+    let vectors = random_vectors(40, 8, 7);
+    let mut reference = AnnIndex::try_build(vectors, flat()).unwrap();
+    IndexStore::open(&path).save_snapshot(&reference).unwrap();
+    rewrite_as_v1(&path);
+
+    // the fixture self-identifies as v1 and still verifies clean, with
+    // the single fused segment checksum reported
+    let report = IndexStore::open(&path).verify();
+    assert!(report.ok, "{report:?}");
+    assert_eq!(report.snapshot.format, "v1");
+    assert_eq!(report.snapshot.version, 1);
+    assert_eq!(report.snapshot.facets.len(), 1);
+    assert_eq!(report.snapshot.facets[0].name, "fused");
+
+    // journal one post-snapshot ingest, as a v1-era writer would have
+    // (the frame format did not change between versions)
+    let fresh = random_vectors(1, 8, 8).pop().unwrap();
+    IndexStore::open(&path).append_journal(40, &fresh).unwrap();
+
+    // opening through the new faceted store is a migration, not a
+    // rejection: the journal replays and the layout falls back to fused
+    let recovery = IndexStore::open(&path).load().unwrap();
+    assert_eq!(recovery.replayed, 1);
+    assert_eq!(recovery.skipped, 0);
+    assert!(!recovery.discarded_tail);
+    let migrated = recovery.index;
+    assert!(!migrated.has_facets());
+    assert_eq!(migrated.layout(), FacetLayout::fused(8));
+
+    // identical top-k to the pre-migration index grown the same way
+    reference.insert(fresh);
+    assert_eq!(migrated.len(), reference.len());
+    for q in random_vectors(5, 8, 9) {
+        assert_eq!(migrated.search(&q, 10), reference.search(&q, 10));
+    }
+
+    // the next snapshot rewrites the store as v2 and compacts the journal
+    IndexStore::open(&path).save_snapshot(&migrated).unwrap();
+    let report = IndexStore::open(&path).verify();
+    assert!(report.ok, "{report:?}");
+    assert_eq!(report.snapshot.format, "v2");
+    assert_eq!(report.snapshot.version, 2);
+    assert_eq!(report.snapshot.count, 41);
+    assert!(!report.journal.present, "save_snapshot compacts the journal");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_header_and_future_versions_stay_typed_errors() {
+    let dir = tmp_dir("corrupt");
+    let path = dir.join("index.snap");
+    let index = AnnIndex::try_build(random_vectors(20, 6, 11), flat()).unwrap();
+    IndexStore::open(&path).save_snapshot(&index).unwrap();
+    rewrite_as_v1(&path);
+
+    // flip one header byte: the header checksum must catch it
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[13] ^= 0xff;
+    std::fs::write(&path, &bytes).unwrap();
+    let err = IndexStore::open(&path).load().unwrap_err();
+    assert!(matches!(err, ServeError::CorruptSnapshot { .. }), "{err}");
+    let report = IndexStore::open(&path).verify();
+    assert!(!report.ok);
+    assert!(report.snapshot.facets.is_empty(), "no checksums from a corrupt store");
+
+    // a version from the future (valid checksums) is rejected, not guessed at
+    bytes[13] ^= 0xff; // restore
+    let payload_len = bytes.len() - 44;
+    bytes[8..12].copy_from_slice(&9u32.to_le_bytes());
+    let payload_crc = crc32(&bytes[44..]);
+    bytes[36..40].copy_from_slice(&payload_crc.to_le_bytes());
+    let _ = payload_len;
+    let header_crc = crc32(&bytes[..40]);
+    bytes[40..44].copy_from_slice(&header_crc.to_le_bytes());
+    std::fs::write(&path, &bytes).unwrap();
+    let err = IndexStore::open(&path).load().unwrap_err();
+    assert!(matches!(err, ServeError::CorruptSnapshot { .. }), "{err}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -408,13 +408,16 @@ impl Trainer {
                     let ctxs: Vec<BatchCtx> = microbatches(sched_epoch, steps, at..step_end, micro);
                     let (parts, busy_ns) = run_microbatches(model, &ctxs, workers);
                     // Reduce in microbatch index order — the fixed order that
-                    // makes the sum worker-count-independent.
-                    let mut grads = Gradients::empty();
+                    // makes the sum worker-count-independent. The reduction
+                    // itself runs element-parallel (and stays bit-identical
+                    // to the serial fold), so the step no longer serialises
+                    // on summing big embedding-table gradients.
                     let mut step_loss = 0.0f32;
-                    for (l, g) in &parts {
+                    for (l, _) in &parts {
                         step_loss += *l;
-                        grads.add_assign(g);
                     }
+                    let mut grads =
+                        Gradients::reduce_ordered(parts.iter().map(|(_, g)| g), workers);
                     if cfg.fault.nan_loss_fires(global_step) {
                         step_loss = f32::NAN;
                     }
