@@ -259,6 +259,46 @@ fn bench_faceted_query(c: &mut Criterion) {
     });
 }
 
+fn bench_quantized(c: &mut Criterion) {
+    // Stage-0 scan comparison at 100k, deliberately flat: `f32-scan` is
+    // the exact dot-product scan, `quant-scan` is the same search over
+    // SQ8 codes (symmetric u8·u8 stage-0 plus the exact top-128 f32
+    // rescore). The gate tracks both entries so the quantized path can't
+    // silently regress past the f32 baseline it exists to beat.
+    let flat = IndexConfig { flat_threshold: usize::MAX, ..Default::default() };
+    let vectors = corpus_vectors(100_000, 7);
+    let f32_index = AnnIndex::build(vectors.clone(), flat);
+    let sq8_index = AnnIndex::build(vectors, flat).with_sq8().expect("SQ8 fits this corpus");
+    let queries = corpus_vectors(64, 99);
+
+    let cursor = AtomicU64::new(0);
+    c.bench_function("serve/f32-scan-top10-100k-flat", |bench| {
+        bench.iter(|| {
+            let i = cursor.fetch_add(1, Ordering::Relaxed) as usize % queries.len();
+            black_box(f32_index.search(black_box(&queries[i]), 10))
+        })
+    });
+
+    let cursor = AtomicU64::new(0);
+    c.bench_function("serve/quant-scan-top10-100k-flat", |bench| {
+        bench.iter(|| {
+            let i = cursor.fetch_add(1, Ordering::Relaxed) as usize % queries.len();
+            black_box(sq8_index.search(black_box(&queries[i]), 10))
+        })
+    });
+
+    // The rescore stage under pressure: top-128 widens the exact pool to
+    // 4·k = 512 f32 dots, so this entry isolates what deepening the
+    // rescore costs over the default 128-deep pool measured above.
+    let cursor = AtomicU64::new(0);
+    c.bench_function("serve/quant-rescore-top128-100k-flat", |bench| {
+        bench.iter(|| {
+            let i = cursor.fetch_add(1, Ordering::Relaxed) as usize % queries.len();
+            black_box(sq8_index.search(black_box(&queries[i]), 128))
+        })
+    });
+}
+
 criterion_group!(
     benches,
     bench_build,
@@ -270,6 +310,7 @@ criterion_group!(
     bench_supervisor,
     bench_hedged_query,
     bench_rerank,
-    bench_faceted_query
+    bench_faceted_query,
+    bench_quantized
 );
 criterion_main!(benches);

@@ -11,9 +11,11 @@
 //! `{"id": ..., "mean_s": ..., "p50_s": ..., "p99_s": ...}`. Benchmarks
 //! present only in `current` are listed as new (not gated); benchmarks
 //! present only in the baseline fail the gate — losing coverage silently
-//! is itself a regression. Exit status: 0 clean, 1 regression, 2 usage or
-//! malformed current file, 3 missing/unparsable baseline (re-seed it with
-//! `scripts/bench_gate.sh --seed` rather than debugging the run).
+//! is itself a regression, and the failure names every missing key so CI
+//! logs point straight at the dropped bench. Exit status: 0 clean, 1 p99
+//! regression, 2 usage or malformed current file, 3 missing/unparsable
+//! baseline (re-seed it with `scripts/bench_gate.sh --seed` rather than
+//! debugging the run), 4 baseline entries missing from the current run.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -36,6 +38,10 @@ enum GateError {
     Input(String),
     /// Missing or unparsable *baseline* file (exit 3).
     Baseline(String),
+    /// Baseline entries absent from the current run (exit 4) — lost
+    /// coverage, named key by key so the CI log says exactly which bench
+    /// stopped running.
+    Missing(Vec<String>),
 }
 
 impl std::fmt::Display for GateError {
@@ -46,6 +52,13 @@ impl std::fmt::Display for GateError {
                 f,
                 "{msg}\n       the committed baseline is missing or unreadable — \
                  re-seed it with `scripts/bench_gate.sh --seed` and commit the result"
+            ),
+            GateError::Missing(keys) => write!(
+                f,
+                "baseline entries missing from the current run: {}\n       \
+                 a lost benchmark is lost coverage — restore it, or re-seed the \
+                 baseline if it was removed on purpose",
+                keys.join(", ")
             ),
         }
     }
@@ -106,6 +119,7 @@ fn run(argv: &[String]) -> Result<bool, GateError> {
     let current = load(current_path).map_err(GateError::Input)?;
 
     let mut ok = true;
+    let mut missing = Vec::new();
     println!(
         "{:<42} {:>12} {:>12} {:>8}  gate (threshold +{:.0}%)",
         "benchmark",
@@ -117,7 +131,7 @@ fn run(argv: &[String]) -> Result<bool, GateError> {
     for (id, base) in &baseline {
         match current.get(id) {
             None => {
-                ok = false;
+                missing.push(id.clone());
                 println!("{id:<42} {:>12} {:>12} {:>8}  MISSING", fmt_s(base.p99_s), "-", "-");
             }
             Some(now) => {
@@ -147,6 +161,11 @@ fn run(argv: &[String]) -> Result<bool, GateError> {
             );
         }
     }
+    // lost coverage outranks a mere regression: the table above still
+    // shows both, but the exit code names the structural problem
+    if !missing.is_empty() {
+        return Err(GateError::Missing(missing));
+    }
     Ok(ok)
 }
 
@@ -158,7 +177,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Ok(false) => {
-            eprintln!("bench gate: p99 regression (or lost coverage) detected");
+            eprintln!("bench gate: p99 regression detected");
             ExitCode::FAILURE
         }
         Err(e) => {
@@ -166,6 +185,7 @@ fn main() -> ExitCode {
             ExitCode::from(match e {
                 GateError::Input(_) => 2,
                 GateError::Baseline(_) => 3,
+                GateError::Missing(_) => 4,
             })
         }
     }
@@ -239,9 +259,27 @@ mod tests {
         // b regresses 10x past the default +25% threshold
         std::fs::write(&cur, format!("{}\n{}", record("a", 0.001), record("b", 0.02))).unwrap();
         assert!(!run(&argv(&[base.to_str().unwrap(), cur.to_str().unwrap()])).unwrap());
-        // losing a benchmark also fails the gate
+        std::fs::remove_file(&base).ok();
+        std::fs::remove_file(&cur).ok();
+    }
+
+    #[test]
+    fn lost_benchmarks_are_a_missing_error_naming_every_key() {
+        let base = tmp("base-missing.jsonl");
+        let cur = tmp("cur-missing.jsonl");
+        std::fs::write(
+            &base,
+            format!("{}\n{}\n{}", record("a", 0.001), record("b", 0.002), record("c", 0.003)),
+        )
+        .unwrap();
+        // b and c dropped out of the run — even though a is clean, the
+        // gate must name both missing keys and use the distinct exit path
         std::fs::write(&cur, record("a", 0.001)).unwrap();
-        assert!(!run(&argv(&[base.to_str().unwrap(), cur.to_str().unwrap()])).unwrap());
+        let err = run(&argv(&[base.to_str().unwrap(), cur.to_str().unwrap()])).unwrap_err();
+        assert_eq!(err, GateError::Missing(vec!["b".into(), "c".into()]));
+        let msg = err.to_string();
+        assert!(msg.contains("b, c"), "{msg}");
+        assert!(msg.contains("lost coverage"), "{msg}");
         std::fs::remove_file(&base).ok();
         std::fs::remove_file(&cur).ok();
     }

@@ -1,0 +1,159 @@
+//! SQ8 quantization evaluation: recall, speed and memory versus the f32
+//! scan, through the real sharded serving stack.
+//!
+//! Builds a synthetic corpus (100k × 32d by default), serves it through
+//! two identical 2-shard routers — one scanning f32 vectors, one scanning
+//! SQ8 codes with exact f32 rescore — and measures:
+//!
+//! - **recall@10** — fraction of the f32 scan's top-10 the quantized scan
+//!   reproduces (both routers are forced flat, so the f32 side is exact
+//!   ground truth and the gap is attributable to quantization alone);
+//! - **scan speedup** — mean per-query latency ratio f32 / SQ8 over the
+//!   same query stream;
+//! - **memory ratio** — bytes held by codes+scales over bytes held by the
+//!   f32 vectors (~0.25 expected for the 4x cut).
+//!
+//! ```text
+//! quant_eval [--seed N] [--papers N] [--floor F] [--max-memory R] [--json]
+//! ```
+//!
+//! Exit status: 0 when recall@10 ≥ the floor AND the memory ratio ≤ the
+//! bound, 1 on violation, 2 on usage error. The speedup is reported but
+//! not gated — CI runs on throttled shared runners where absolute timing
+//! is unstable; the p99 gate on the criterion benches covers regressions.
+//! CI runs this as the quant-eval job.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use sem_serve::{loadgen, Hit, IndexConfig, ShardConfig, ShardRouter};
+
+const DIM: usize = 32;
+const N_QUERIES: usize = 100;
+const TOP_K: usize = 10;
+
+/// Both routers scan flat: IVF probing would make recall depend on cell
+/// assignment noise, and the point here is to isolate the quantizer.
+fn flat_config() -> ShardConfig {
+    ShardConfig {
+        shards: 2,
+        index: IndexConfig { flat_threshold: usize::MAX, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+fn query_all(router: &ShardRouter, queries: &[Vec<f32>]) -> Result<(Vec<Vec<Hit>>, f64), String> {
+    let mut results = Vec::with_capacity(queries.len());
+    let t0 = Instant::now();
+    for q in queries {
+        let response = router.query(q.clone(), TOP_K).map_err(|e| format!("query: {e}"))?;
+        results.push(response.hits);
+    }
+    let mean_us = t0.elapsed().as_micros() as f64 / queries.len() as f64;
+    Ok((results, mean_us))
+}
+
+fn run(seed: u64, papers: usize, floor: f64, max_memory: f64, json: bool) -> Result<bool, String> {
+    let corpus = loadgen::synthetic_corpus(papers, DIM, seed);
+    let queries = loadgen::synthetic_corpus(N_QUERIES, DIM, seed ^ 0x5EED);
+
+    let f32_router = ShardRouter::try_build(corpus.clone(), flat_config())
+        .map_err(|e| format!("building f32 router: {e}"))?;
+    let sq8_router = ShardRouter::try_build(corpus, flat_config())
+        .map_err(|e| format!("building sq8 router: {e}"))?;
+    sq8_router.enable_sq8().map_err(|e| format!("enabling sq8: {e}"))?;
+
+    // warm both paths once so first-touch page faults don't skew timing
+    query_all(&f32_router, &queries[..1])?;
+    query_all(&sq8_router, &queries[..1])?;
+
+    let (exact, f32_mean_us) = query_all(&f32_router, &queries)?;
+    let (quant, sq8_mean_us) = query_all(&sq8_router, &queries)?;
+
+    let mut overlap = 0usize;
+    for (e, a) in exact.iter().zip(&quant) {
+        overlap += e.iter().filter(|t| a.iter().any(|h| h.id == t.id)).count();
+    }
+    let recall = overlap as f64 / (TOP_K * N_QUERIES) as f64;
+    let memory_ratio =
+        sq8_router.quant_memory_ratio().ok_or("quantized router reports no code bytes")?;
+    let speedup = f32_mean_us / sq8_mean_us.max(f64::EPSILON);
+
+    let mut ok = true;
+    let mut failures = Vec::new();
+    if recall < floor {
+        ok = false;
+        failures.push(format!("recall@10 {recall:.4} < floor {floor}"));
+    }
+    if memory_ratio > max_memory {
+        ok = false;
+        failures.push(format!("memory ratio {memory_ratio:.4} > bound {max_memory}"));
+    }
+
+    if json {
+        println!(
+            "{{\"seed\":{seed},\"papers\":{papers},\"floor\":{floor},\"max_memory\":{max_memory},\
+             \"ok\":{ok},\"recall_at_10\":{recall:.6},\"memory_ratio\":{memory_ratio:.6},\
+             \"speedup\":{speedup:.4},\"f32_mean_us\":{f32_mean_us:.1},\
+             \"sq8_mean_us\":{sq8_mean_us:.1}}}"
+        );
+    } else {
+        println!("quant-eval: {papers} docs × {DIM}d, {N_QUERIES} queries, 2 shards, seed {seed}");
+        println!();
+        println!("  recall@10 (vs f32 exact)  {recall:.4}  (floor {floor})");
+        println!("  memory ratio (sq8 / f32)  {memory_ratio:.4}  (bound {max_memory})");
+        println!("  mean query latency        {f32_mean_us:.0} µs f32, {sq8_mean_us:.0} µs sq8");
+        println!("  scan speedup              {speedup:.2}x (reported, not gated)");
+    }
+    for f in &failures {
+        eprintln!("quant-eval: FAIL: {f}");
+    }
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    let mut seed = 42u64;
+    let mut papers = 100_000usize;
+    let mut floor = 0.95f64;
+    let mut max_memory = 0.3f64;
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => return usage("--seed needs an integer"),
+            },
+            "--papers" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => papers = v,
+                None => return usage("--papers needs an integer"),
+            },
+            "--floor" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => floor = v,
+                None => return usage("--floor needs a number"),
+            },
+            "--max-memory" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => max_memory = v,
+                None => return usage("--max-memory needs a number"),
+            },
+            "--json" => json = true,
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    match run(seed, papers, floor, max_memory, json) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("quant-eval: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!(
+        "quant-eval: {msg}\nusage: quant_eval [--seed N] [--papers N] [--floor F] \
+         [--max-memory R] [--json]"
+    );
+    ExitCode::from(2)
+}

@@ -81,20 +81,30 @@ struct BuildSummary {
     dim: usize,
     mode: String,
     shards: usize,
+    quantized: bool,
     elapsed_ms: u64,
     out: String,
 }
 
 /// `sem index build --model DIR --out index.snap [--shards N] [--nlist N]
-/// [--nprobe N] [--flat-threshold N]`: embeds every corpus paper and
-/// builds the ANN index, persisted as a crash-safe snapshot. With
-/// `--shards N > 1` the corpus is partitioned round-robin into a sharded
-/// family (`index.snap.shard0..N-1` + `index.snap.manifest`) that `index
-/// query`, `ingest` and `index verify` detect automatically.
+/// [--nprobe N] [--flat-threshold N] [--quantize sq8]`: embeds every
+/// corpus paper and builds the ANN index, persisted as a crash-safe
+/// snapshot. With `--shards N > 1` the corpus is partitioned round-robin
+/// into a sharded family (`index.snap.shard0..N-1` + `index.snap.manifest`)
+/// that `index query`, `ingest` and `index verify` detect automatically.
+/// `--quantize sq8` stores SQ8 codes alongside the vectors and serves
+/// stage-0 scans from them (final scores stay exact via f32 rescore).
 fn index_build(args: &Args) -> Result<String, CliError> {
     let dir = PathBuf::from(args.required("model")?);
     let out = args.required("out")?;
     let shards: usize = args.parse_num("shards", 1usize)?;
+    let quantize = match args.get("quantize") {
+        None => false,
+        Some("sq8") => true,
+        Some(other) => {
+            return Err(CliError(format!("unknown --quantize scheme {other:?} (try sq8)")))
+        }
+    };
     let config = IndexConfig {
         nlist: args.parse_num("nlist", 0usize)?,
         nprobe: args.parse_num("nprobe", 0usize)?,
@@ -113,6 +123,11 @@ fn index_build(args: &Args) -> Result<String, CliError> {
         // record the embedder's facet structure so `index query --facets`
         // can rescore per subspace
         router.set_layout(embedder.layout())?;
+        if quantize {
+            // quantize before the stores attach so the persisted
+            // snapshots carry the codes
+            router.enable_sq8()?;
+        }
         router.attach_stores(std::path::Path::new(out))?;
         router.persist_all()?;
         BuildSummary {
@@ -120,17 +135,22 @@ fn index_build(args: &Args) -> Result<String, CliError> {
             dim: router.dim(),
             mode: "sharded".into(),
             shards,
+            quantized: quantize,
             elapsed_ms: t0.elapsed().as_millis() as u64,
             out: out.to_string(),
         }
     } else {
-        let index = AnnIndex::try_build(vectors, config)?.with_layout(embedder.layout())?;
+        let mut index = AnnIndex::try_build(vectors, config)?.with_layout(embedder.layout())?;
+        if quantize {
+            index.enable_sq8()?;
+        }
         IndexStore::open(out).save_snapshot(&index)?;
         BuildSummary {
             papers: index.len(),
             dim: index.dim(),
             mode: if index.is_flat() { "flat".into() } else { "ivf".into() },
             shards: 1,
+            quantized: quantize,
             elapsed_ms: t0.elapsed().as_millis() as u64,
             out: out.to_string(),
         }
@@ -640,7 +660,7 @@ mod tests {
         let verified =
             run(&argv(&["index", "verify", "--index", index_path.to_str().unwrap()])).unwrap();
         assert!(verified.contains("\"ok\": true"), "{verified}");
-        assert!(verified.contains("\"format\": \"v2\""), "{verified}");
+        assert!(verified.contains("\"format\": \"v3\""), "{verified}");
         for facet in ["bg", "method", "result"] {
             assert!(verified.contains(&format!("\"name\": \"{facet}\"")), "{verified}");
         }
@@ -807,6 +827,21 @@ mod tests {
         ]))
         .unwrap();
 
+        // an unknown quantization scheme is refused at the door
+        assert!(run(&argv(&[
+            "index",
+            "build",
+            "--model",
+            model_dir.to_str().unwrap(),
+            "--out",
+            index_path.to_str().unwrap(),
+            "--quantize",
+            "pq",
+        ]))
+        .is_err());
+
+        // the family is built quantized: SQ8 codes persist with each
+        // shard snapshot and serve the stage-0 scan below
         let built = run(&argv(&[
             "index",
             "build",
@@ -816,17 +851,22 @@ mod tests {
             index_path.to_str().unwrap(),
             "--shards",
             "3",
+            "--quantize",
+            "sq8",
         ]))
         .unwrap();
         assert!(built.contains("\"papers\": 90"), "{built}");
         assert!(built.contains("\"mode\": \"sharded\""), "{built}");
         assert!(built.contains("\"shards\": 3"), "{built}");
+        assert!(built.contains("\"quantized\": true"), "{built}");
 
-        // per-shard integrity report, all clean
+        // per-shard integrity report, all clean, with per-segment code
+        // checksums for the quantized payloads
         let verified =
             run(&argv(&["index", "verify", "--index", index_path.to_str().unwrap()])).unwrap();
         assert!(verified.contains("\"ok\": true"), "{verified}");
         assert!(verified.contains("\"shard\": 2"), "{verified}");
+        assert!(verified.contains("\"quant\""), "{verified}");
 
         // supervisor-style health probe: every shard self-queries clean,
         // and --check-store adds the per-shard on-disk verdict

@@ -34,6 +34,7 @@ struct Opts {
     max_pending: usize,
     retry_after_ms: u64,
     hedge_soft_ms: u64,
+    quantize: bool,
 }
 
 fn usage() -> &'static str {
@@ -41,7 +42,7 @@ fn usage() -> &'static str {
      [--duration-s SECS] [--batch-mix A,B,C] [--ingest-ratio R] [--facet-mix R] \
      [--k K] [--workers W] [--seed SEED] [--deadline-ms MS] [--max-pending N] \
      [--retry-after-ms MS] [--hedge-soft-ms MS] [--chaos] [--store-dir DIR] \
-     [--json-out PATH]"
+     [--quantize sq8] [--json-out PATH]"
 }
 
 fn parse_opts(argv: &[String]) -> Result<Opts, String> {
@@ -57,6 +58,7 @@ fn parse_opts(argv: &[String]) -> Result<Opts, String> {
         max_pending: 0,
         retry_after_ms: 100,
         hedge_soft_ms: 0,
+        quantize: false,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -110,6 +112,10 @@ fn parse_opts(argv: &[String]) -> Result<Opts, String> {
             "--retry-after-ms" => opts.retry_after_ms = value.parse().map_err(|e| bad(&e))?,
             "--hedge-soft-ms" => opts.hedge_soft_ms = value.parse().map_err(|e| bad(&e))?,
             "--store-dir" => opts.store_dir = Some(value),
+            "--quantize" => match value.as_str() {
+                "sq8" => opts.quantize = true,
+                other => return Err(format!("unknown --quantize scheme {other:?} (try sq8)")),
+            },
             "--json-out" => opts.json_out = Some(value),
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
@@ -166,6 +172,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    if opts.quantize {
+        // quantize before the stores attach so persisted snapshots (and
+        // any chaos-healed shard) carry the SQ8 codes
+        if let Err(e) = router.enable_sq8() {
+            eprintln!("loadgen: enabling SQ8 failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     if let Some(dir) = &opts.store_dir {
         let base = std::path::Path::new(dir).join("idx");
         if let Err(e) = router.attach_stores(&base).and_then(|()| router.persist_all()) {
@@ -183,11 +197,12 @@ fn main() -> ExitCode {
         }));
     }
     eprintln!(
-        "loadgen: open-loop {} qps for {:?} ({} workers, seed {}{})",
+        "loadgen: open-loop {} qps for {:?} ({} workers, seed {}, {} scan{})",
         opts.load.qps,
         opts.load.duration,
         opts.load.workers,
         opts.load.seed,
+        if opts.quantize { "sq8" } else { "f32" },
         if opts.chaos { ", chaos on" } else { "" }
     );
 

@@ -333,6 +333,10 @@ impl EngineMetrics {
 }
 
 /// Whether the engine's index is live or being rebuilt from durable state.
+// `Ready` is the steady state for the engine's whole lifetime; boxing the
+// index to shrink the transient `Recovering` variant would put a pointer
+// chase on every query for nothing.
+#[allow(clippy::large_enum_variant)]
 enum IndexState {
     Ready(AnnIndex),
     Recovering,

@@ -10,12 +10,24 @@
 //! Insertion is incremental: a new vector is appended and routed to its
 //! nearest existing centroid without touching the rest of the structure, so
 //! ingesting one paper is O(`nlist · dim`), not a rebuild.
+//!
+//! **Quantized scan mode.** [`AnnIndex::enable_sq8`] attaches per-facet
+//! SQ8 codes (see [`sem_tensor::quant`]): stage-0 candidate generation
+//! quantizes the query once and scans 1-byte codes with the symmetric
+//! u8·u8 integer distance (4× less memory traffic and a wider integer
+//! MAC than the f32 scan), keeps the top `C` candidates
+//! ([`AnnIndex::rescore_depth`]) and rescores exactly those in f32, so
+//! the final top-k scores are exact dot products — quantization can only
+//! cost recall (a true neighbour missing from the top `C`), never score
+//! fidelity. The f32 vectors are retained for the rescore and for
+//! stage-2 reranking, which is untouched.
 
 use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
+use sem_tensor::quant::{self, Sq8Scale};
 use serde::{Deserialize, Serialize};
 
 use crate::error::ServeError;
@@ -26,6 +38,13 @@ use crate::facet::{FacetChecksum, FacetLayout};
 /// scan itself, fine enough that an exhausted budget stops within
 /// microseconds.
 const FLAT_DEADLINE_STRIDE: usize = 1024;
+
+/// Floor on the exact-rescore pool of a quantized search: stage 0 keeps
+/// `max(DEFAULT_RESCORE, 4·k)` code-scored candidates for the f32
+/// rescore. At SQ8's error scale this holds recall@10 ≥ 0.95 on
+/// worst-case (uniform random) corpora while keeping the rescore two
+/// orders of magnitude cheaper than the scan it replaces.
+pub const DEFAULT_RESCORE: usize = 128;
 
 /// Index construction and probing parameters.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -67,7 +86,9 @@ pub struct Hit {
 /// scan never looks at it, so attaching a layout cannot change stage-1
 /// results. `None` means "one fused segment" (what v1 snapshots and
 /// plain corpora carry); serde tolerates the field's absence, which is
-/// the v1→v2 read-path migration.
+/// the v1→v2 read-path migration. `quant` follows the same pattern for
+/// v3: SQ8 codes + scales when quantized scan mode is enabled, absent on
+/// v1/v2 payloads and unquantized indexes.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct AnnIndex {
     config: IndexConfig,
@@ -77,6 +98,26 @@ pub struct AnnIndex {
     lists: Vec<Vec<usize>>,
     generation: u64,
     layout: Option<FacetLayout>,
+    quant: Option<Sq8Data>,
+}
+
+/// SQ8 sidecar of a quantized index: the per-segment scales fitted at
+/// [`AnnIndex::enable_sq8`] time, one code byte per stored element
+/// (row-major, parallel to `vectors`), and the rescore-pool floor.
+/// Segment geometry is frozen at fit time (`widths`), so later layout
+/// changes cannot desynchronise code boundaries.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct Sq8Data {
+    widths: Vec<usize>,
+    scales: Vec<Sq8Scale>,
+    codes: Vec<u8>,
+    rescore: usize,
+}
+
+impl Sq8Data {
+    fn codes_of(&self, id: usize, dim: usize) -> &[u8] {
+        &self.codes[id * dim..(id + 1) * dim]
+    }
 }
 
 /// L2-normalises in place; an all-zero vector is left as-is.
@@ -155,7 +196,16 @@ impl AnnIndex {
                     .clamp(1, n);
             Self::kmeans(&vectors, nlist, config.kmeans_iters, config.seed)
         };
-        Ok(AnnIndex { config, dim, vectors, centroids, lists, generation: 0, layout: None })
+        Ok(AnnIndex {
+            config,
+            dim,
+            vectors,
+            centroids,
+            lists,
+            generation: 0,
+            layout: None,
+            quant: None,
+        })
     }
 
     /// Spherical k-means: parallel assignment, host-side centroid update.
@@ -304,6 +354,99 @@ impl AnnIndex {
             .collect()
     }
 
+    /// Enables SQ8 quantized scan mode: fits one affine scale per facet
+    /// segment of the current [`AnnIndex::layout`] over the stored
+    /// (normalised) vectors and codes every element as one byte. Stage-0
+    /// scans run over the codes from here on, with the top
+    /// [`AnnIndex::rescore_depth`] candidates rescored in exact f32.
+    /// Idempotent: calling again re-fits over the current vectors.
+    ///
+    /// Enable *after* attaching a facet layout so the scales are
+    /// per-facet; the code geometry is frozen at fit time.
+    ///
+    /// # Errors
+    /// [`ServeError::Invalid`] when a stored value is non-finite.
+    pub fn enable_sq8(&mut self) -> Result<(), ServeError> {
+        let widths = self.layout().dims().to_vec();
+        let scales = quant::fit_scales(self.vectors.iter().map(|v| v.as_slice()), &widths)
+            .map_err(ServeError::Invalid)?;
+        let mut codes = Vec::with_capacity(self.vectors.len() * self.dim);
+        let mut buf = Vec::new();
+        for v in &self.vectors {
+            quant::quantize_into(v, &widths, &scales, &mut buf);
+            codes.extend_from_slice(&buf);
+        }
+        self.quant = Some(Sq8Data { widths, scales, codes, rescore: DEFAULT_RESCORE });
+        Ok(())
+    }
+
+    /// Builder form of [`AnnIndex::enable_sq8`].
+    ///
+    /// # Errors
+    /// [`ServeError::Invalid`] when a stored value is non-finite.
+    pub fn with_sq8(mut self) -> Result<Self, ServeError> {
+        self.enable_sq8()?;
+        Ok(self)
+    }
+
+    /// `true` when SQ8 quantized scan mode is enabled.
+    pub fn is_quantized(&self) -> bool {
+        self.quant.is_some()
+    }
+
+    /// Exact-rescore pool size of a quantized top-`k` search:
+    /// `max(DEFAULT_RESCORE, 4·k)`, clamped to the collection. `0` when
+    /// unquantized (no rescore stage runs).
+    pub fn rescore_depth(&self, k: usize) -> usize {
+        match &self.quant {
+            Some(sq) => sq.rescore.max(4 * k).min(self.vectors.len()),
+            None => 0,
+        }
+    }
+
+    /// Bytes held by the SQ8 sidecar (codes + scales + geometry), or
+    /// `None` when unquantized. Compare against
+    /// [`AnnIndex::vector_bytes`] for the ~4× memory story: serving the
+    /// scan needs the codes, while the f32 vectors back the exact
+    /// rescore.
+    pub fn quant_bytes(&self) -> Option<usize> {
+        self.quant.as_ref().map(|sq| sq.codes.len() + sq.scales.len() * 8 + sq.widths.len() * 8)
+    }
+
+    /// Bytes held by the stored f32 vectors.
+    pub fn vector_bytes(&self) -> usize {
+        self.vectors.len() * self.dim * 4
+    }
+
+    /// Per-segment CRC32 checksums over the SQ8 code bytes (insertion
+    /// order), mirroring [`AnnIndex::facet_checksums`] for the quantized
+    /// sidecar. Empty when unquantized. `index verify` reports these so
+    /// code corruption can be localised to a facet segment.
+    pub fn quant_checksums(&self) -> Vec<FacetChecksum> {
+        let Some(sq) = &self.quant else { return Vec::new() };
+        let layout = self.layout();
+        let names: Vec<String> = if layout.dims() == sq.widths.as_slice() {
+            layout.names().to_vec()
+        } else {
+            (0..sq.widths.len()).map(|j| format!("seg{j}")).collect()
+        };
+        let mut start = 0usize;
+        sq.widths
+            .iter()
+            .zip(names)
+            .map(|(&w, name)| {
+                let mut bytes = Vec::with_capacity(self.vectors.len() * w);
+                for id in 0..self.vectors.len() {
+                    bytes.extend_from_slice(
+                        &sq.codes[id * self.dim + start..id * self.dim + start + w],
+                    );
+                }
+                start += w;
+                FacetChecksum { name, dim: w, crc32: crate::store::crc32(&bytes) }
+            })
+            .collect()
+    }
+
     /// Appends one vector without rebuilding; returns its id. In IVF mode
     /// the vector joins its nearest centroid's cell.
     ///
@@ -331,9 +474,71 @@ impl AnnIndex {
             let c = nearest_centroid(&self.centroids, &vector);
             self.lists[c].push(id);
         }
+        if let Some(sq) = &mut self.quant {
+            // code the newcomer under the frozen corpus scales; values
+            // outside the fitted range saturate, and the exact rescore
+            // absorbs the resulting stage-0 score error
+            let mut buf = Vec::new();
+            quant::quantize_into(&vector, &sq.widths, &sq.scales, &mut buf);
+            sq.codes.extend_from_slice(&buf);
+        }
         self.vectors.push(vector);
         self.generation += 1;
         Ok(id)
+    }
+
+    /// The query prepared for the symmetric u8·u8 stage-0 scan (quantized
+    /// under the corpus scales, query-side terms folded), or `None` when
+    /// unquantized. Computed once per search.
+    fn quant_query(&self, q: &[f32]) -> Option<quant::Sq8Query> {
+        self.quant.as_ref().map(|sq| quant::Sq8Query::prepare(q, &sq.widths, &sq.scales))
+    }
+
+    /// Stage-0 score of vector `id` against the normalised query: the
+    /// symmetric code distance when quantized (`prepared` from
+    /// [`AnnIndex::quant_query`]), the exact f32 dot otherwise.
+    #[inline]
+    fn stage0_score(&self, id: usize, q: &[f32], prepared: Option<&quant::Sq8Query>) -> f32 {
+        match (&self.quant, prepared) {
+            (Some(sq), Some(prepared)) => prepared.score(sq.codes_of(id, self.dim)),
+            _ => dot(&self.vectors[id], q),
+        }
+    }
+
+    /// Stage-0 scores for the contiguous id range `start..end`, appended
+    /// to `scored`. Dispatches once per range instead of once per row:
+    /// the quantized arm walks the code matrix sequentially, which is
+    /// the access pattern the SSE2 kernel's speedup lives on.
+    fn stage0_scan_range(
+        &self,
+        scored: &mut Vec<Hit>,
+        start: usize,
+        end: usize,
+        q: &[f32],
+        prepared: Option<&quant::Sq8Query>,
+    ) {
+        match (&self.quant, prepared) {
+            (Some(sq), Some(prepared)) => scored.extend(
+                sq.codes[start * self.dim..end * self.dim]
+                    .chunks_exact(self.dim)
+                    .enumerate()
+                    .map(|(off, row)| Hit { id: start + off, score: prepared.score(row) }),
+            ),
+            _ => scored.extend((start..end).map(|id| Hit { id, score: dot(&self.vectors[id], q) })),
+        }
+    }
+
+    /// Exact-rescore stage of a quantized search: keep the top
+    /// [`AnnIndex::rescore_depth`] code-scored candidates and replace
+    /// their scores with exact f32 dots, so whatever the caller's final
+    /// `top_k` keeps is exact-rescore-backed. No-op when unquantized.
+    fn rescore_exact(&self, scored: &mut Vec<Hit>, q: &[f32], k: usize) {
+        if self.quant.is_some() {
+            top_k(scored, self.rescore_depth(k));
+            for h in scored.iter_mut() {
+                h.score = dot(&self.vectors[h.id], q);
+            }
+        }
     }
 
     /// Top-`k` most similar vectors, best first (score desc, id asc on
@@ -342,10 +547,12 @@ impl AnnIndex {
         assert_eq!(query.len(), self.dim, "query width mismatch");
         let mut q = query.to_vec();
         normalize(&mut q);
+        let prepared = self.quant_query(&q);
+        let prepared = prepared.as_ref();
         let mut scored: Vec<Hit> = if self.is_flat() {
-            (0..self.vectors.len())
-                .map(|id| Hit { id, score: dot(&self.vectors[id], &q) })
-                .collect()
+            let mut scored = Vec::with_capacity(self.vectors.len());
+            self.stage0_scan_range(&mut scored, 0, self.vectors.len(), &q, prepared);
+            scored
         } else {
             let nprobe = if self.config.nprobe == 0 {
                 self.centroids.len().div_ceil(2)
@@ -360,9 +567,10 @@ impl AnnIndex {
                 .iter()
                 .take(nprobe)
                 .flat_map(|&(_, c)| self.lists[c].iter())
-                .map(|&id| Hit { id, score: dot(&self.vectors[id], &q) })
+                .map(|&id| Hit { id, score: self.stage0_score(id, &q, prepared) })
                 .collect()
         };
+        self.rescore_exact(&mut scored, &q, k);
         top_k(&mut scored, k);
         scored
     }
@@ -396,6 +604,8 @@ impl AnnIndex {
         }
         let mut q = query.to_vec();
         normalize(&mut q);
+        let prepared = self.quant_query(&q);
+        let prepared = prepared.as_ref();
         let mut degraded = false;
         let mut scored: Vec<Hit> = if self.is_flat() {
             let mut scored = Vec::with_capacity(self.vectors.len());
@@ -405,9 +615,7 @@ impl AnnIndex {
                     break;
                 }
                 let end = (chunk_start + FLAT_DEADLINE_STRIDE).min(self.vectors.len());
-                scored.extend(
-                    (chunk_start..end).map(|id| Hit { id, score: dot(&self.vectors[id], &q) }),
-                );
+                self.stage0_scan_range(&mut scored, chunk_start, end, &q, prepared);
             }
             scored
         } else {
@@ -435,11 +643,16 @@ impl AnnIndex {
                     }
                 }
                 scored.extend(
-                    self.lists[c].iter().map(|&id| Hit { id, score: dot(&self.vectors[id], &q) }),
+                    self.lists[c]
+                        .iter()
+                        .map(|&id| Hit { id, score: self.stage0_score(id, &q, prepared) }),
                 );
             }
             scored
         };
+        // the rescore pool is a few hundred dots at most — even a blown
+        // budget affords it, and it keeps partial results exact-backed
+        self.rescore_exact(&mut scored, &q, k);
         top_k(&mut scored, k);
         Ok((scored, degraded))
     }
@@ -509,6 +722,40 @@ impl AnnIndex {
                     layout.dim(),
                     idx.dim
                 ));
+            }
+        }
+        if let Some(sq) = &idx.quant {
+            if sq.widths.is_empty() || sq.widths.contains(&0) {
+                return Err("quant segment widths must be non-empty and positive".into());
+            }
+            if sq.widths.iter().sum::<usize>() != idx.dim {
+                return Err(format!(
+                    "quant segments cover {} elements but vectors are {}-wide",
+                    sq.widths.iter().sum::<usize>(),
+                    idx.dim
+                ));
+            }
+            if sq.scales.len() != sq.widths.len() {
+                return Err(format!(
+                    "quant holds {} scales for {} segments",
+                    sq.scales.len(),
+                    sq.widths.len()
+                ));
+            }
+            if sq.codes.len() != n * idx.dim {
+                return Err(format!(
+                    "quant codes hold {} bytes for {} vectors of width {}",
+                    sq.codes.len(),
+                    n,
+                    idx.dim
+                ));
+            }
+            if sq.scales.iter().any(|s| !s.min.is_finite() || !s.delta.is_finite() || s.delta < 0.0)
+            {
+                return Err("quant scale is non-finite or has a negative step".into());
+            }
+            if sq.rescore == 0 {
+                return Err("quant rescore depth must be positive".into());
             }
         }
         Ok(idx)
@@ -701,6 +948,130 @@ mod tests {
         assert_eq!(other_sums[0], sums[0], "bg segment untouched");
         assert_ne!(other_sums[1], sums[1], "method segment must differ");
         assert_eq!(other_sums[2], sums[2], "result segment untouched");
+    }
+
+    #[test]
+    fn quantized_search_is_exact_rescore_backed() {
+        for (n, seed) in [(200usize, 40u64), (1500, 41)] {
+            // flat (small) and IVF (large) modes both take the SQ8 path
+            let idx = AnnIndex::build(random_vectors(n, 12, seed), IndexConfig::default())
+                .with_sq8()
+                .unwrap();
+            assert!(idx.is_quantized());
+            let q = idx.vector(7).to_vec();
+            let hits = idx.search(&q, 5);
+            assert_eq!(hits[0].id, 7, "self-query must survive quantization");
+            // scores come from the f32 rescore, not the codes: the top hit
+            // of a self-query is an exact cosine of 1.0
+            assert!((hits[0].score - 1.0).abs() < 1e-5);
+            let mut unit = q.clone();
+            normalize(&mut unit);
+            for h in &hits {
+                let exact = dot(idx.vector(h.id), &unit);
+                assert!((h.score - exact).abs() < 1e-5, "hit score must be the exact dot");
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_recall_stays_high() {
+        let vectors = random_vectors(2000, 16, 42);
+        let f32_idx = AnnIndex::build(vectors.clone(), IndexConfig::default());
+        let sq8_idx = AnnIndex::build(vectors, IndexConfig::default()).with_sq8().unwrap();
+        let queries = random_vectors(25, 16, 43);
+        let mut overlap = 0usize;
+        for q in &queries {
+            let ann: Vec<usize> = sq8_idx.search(q, 10).iter().map(|h| h.id).collect();
+            let exact: Vec<usize> = f32_idx.search_exact(q, 10).iter().map(|h| h.id).collect();
+            overlap += exact.iter().filter(|id| ann.contains(id)).count();
+        }
+        let recall = overlap as f64 / (10 * queries.len()) as f64;
+        assert!(recall >= 0.95, "quantized recall@10 {recall}");
+    }
+
+    #[test]
+    fn quantized_insert_and_json_roundtrip() {
+        let mut idx =
+            AnnIndex::build(random_vectors(400, 8, 44), IndexConfig::default()).with_sq8().unwrap();
+        // newcomers are quantized under the frozen scales and stay findable
+        let v = random_vectors(1, 8, 45).pop().unwrap();
+        let id = idx.insert(v.clone());
+        assert_eq!(idx.search(&v, 1)[0].id, id);
+        // quant sidecar survives the JSON roundtrip with identical results
+        let back = AnnIndex::from_json(&idx.to_json().unwrap()).unwrap();
+        assert!(back.is_quantized());
+        let q = random_vectors(1, 8, 46).pop().unwrap();
+        assert_eq!(back.search(&q, 7), idx.search(&q, 7));
+        assert_eq!(back.quant_checksums(), idx.quant_checksums());
+    }
+
+    #[test]
+    fn quantized_memory_is_a_quarter_of_f32() {
+        let idx = AnnIndex::build(random_vectors(1000, 32, 47), IndexConfig::default())
+            .with_sq8()
+            .unwrap();
+        let ratio = idx.quant_bytes().unwrap() as f64 / idx.vector_bytes() as f64;
+        assert!(ratio < 0.3, "codes/vectors byte ratio {ratio}");
+    }
+
+    #[test]
+    fn quant_checksums_follow_the_facet_layout() {
+        let vectors = random_vectors(150, 9, 48);
+        let idx = AnnIndex::build(vectors.clone(), IndexConfig::default())
+            .with_layout(FacetLayout::sem(3))
+            .unwrap()
+            .with_sq8()
+            .unwrap();
+        let sums = idx.quant_checksums();
+        assert_eq!(sums.len(), 3);
+        assert_eq!(sums[0].name, "bg");
+        assert_eq!(sums[0].dim, 3);
+        // deterministic across identical builds
+        let again = AnnIndex::build(vectors, IndexConfig::default())
+            .with_layout(FacetLayout::sem(3))
+            .unwrap()
+            .with_sq8()
+            .unwrap();
+        assert_eq!(again.quant_checksums(), sums);
+        // an unquantized index has no code checksums
+        let plain = AnnIndex::build(random_vectors(10, 9, 49), IndexConfig::default());
+        assert!(plain.quant_checksums().is_empty());
+    }
+
+    #[test]
+    fn corrupt_quant_sidecars_are_rejected() {
+        let idx =
+            AnnIndex::build(random_vectors(60, 8, 50), IndexConfig::default()).with_sq8().unwrap();
+        use serde_json::JsonValue;
+        fn obj_field<'a>(v: &'a mut JsonValue, name: &str) -> &'a mut JsonValue {
+            match v {
+                JsonValue::Obj(fields) => {
+                    &mut fields.iter_mut().find(|(k, _)| k == name).expect(name).1
+                }
+                other => panic!("expected object, got {}", other.kind()),
+            }
+        }
+        let val = serde_json::parse(&idx.to_json().unwrap()).unwrap();
+        // truncated code buffer
+        let mut truncated = val.clone();
+        match obj_field(obj_field(&mut truncated, "quant"), "codes") {
+            JsonValue::Arr(codes) => {
+                codes.pop();
+            }
+            other => panic!("expected array, got {}", other.kind()),
+        }
+        let err = AnnIndex::from_json(&serde_json::to_string(&truncated).unwrap()).unwrap_err();
+        assert!(err.contains("quant codes"), "{err}");
+        // negative quantization step
+        let mut negated = val;
+        match obj_field(obj_field(&mut negated, "quant"), "scales") {
+            JsonValue::Arr(scales) => {
+                *obj_field(&mut scales[0], "delta") = JsonValue::Float(-1.0);
+            }
+            other => panic!("expected array, got {}", other.kind()),
+        }
+        let err = AnnIndex::from_json(&serde_json::to_string(&negated).unwrap()).unwrap_err();
+        assert!(err.contains("negative step"), "{err}");
     }
 
     #[test]

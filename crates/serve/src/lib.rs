@@ -9,7 +9,9 @@
 //! * [`AnnIndex`] is an IVF-flat approximate-nearest-neighbour index with
 //!   rayon-parallel construction and an exact brute-force fallback for
 //!   small corpora; insertion routes a new vector to its nearest cell
-//!   without rebuilding.
+//!   without rebuilding. [`AnnIndex::enable_sq8`] switches the scan to
+//!   SQ8 quantized codes (~4x smaller) with an exact f32 rescore of the
+//!   top candidates, so final scores stay exact.
 //! * [`QueryEngine`] coalesces concurrently enqueued queries into
 //!   rayon-parallel batches, caches results in an LRU keyed by the exact
 //!   normalised query, invalidates precisely the entries an ingested paper
@@ -75,7 +77,7 @@ pub use facet::{
     SEM_FACET_NAMES,
 };
 pub use fault::{CrashPoint, FaultPlan};
-pub use index::{AnnIndex, Hit, IndexConfig};
+pub use index::{AnnIndex, Hit, IndexConfig, DEFAULT_RESCORE};
 pub use loadgen::{
     ChaosConfig, ChaosEvent, ChaosKind, ChaosRunReport, DegradeBreakdown, LoadReport, LoadgenConfig,
 };

@@ -172,6 +172,16 @@ pub struct LoadReport {
     pub max_us: u64,
     /// Corpus size when the run ended.
     pub corpus_len: usize,
+    /// Which distance path served the run: `"sq8"` (quantized stage-0
+    /// scan + exact rescore) or `"f32"` (plain exact scan).
+    pub scan_mode: String,
+    /// p99 attributable to the SQ8 path, microseconds (0 when the run
+    /// served f32). A run is mode-uniform, so this is `p99_us` under
+    /// SQ8 — kept as its own field so CI can assert both paths across
+    /// two runs of the same job.
+    pub p99_sq8_us: u64,
+    /// p99 attributable to the f32 path, microseconds (0 under SQ8).
+    pub p99_f32_us: u64,
 }
 
 impl LoadReport {
@@ -403,6 +413,7 @@ pub fn run(router: &ShardRouter, config: &LoadgenConfig) -> Result<LoadReport, S
     };
     let ops = samples.len() as u64;
     let (shed, failed) = (shed.into_inner(), failed.into_inner());
+    let quantized = router.is_quantized();
     Ok(LoadReport {
         ops,
         queries: queries.into_inner(),
@@ -420,6 +431,9 @@ pub fn run(router: &ShardRouter, config: &LoadgenConfig) -> Result<LoadReport, S
         p99_us: pct(0.99),
         max_us: samples.last().copied().unwrap_or(0),
         corpus_len: router.len(),
+        scan_mode: if quantized { "sq8".into() } else { "f32".into() },
+        p99_sq8_us: if quantized { pct(0.99) } else { 0 },
+        p99_f32_us: if quantized { 0 } else { pct(0.99) },
     })
 }
 
@@ -753,6 +767,27 @@ mod tests {
         assert!(report.max_us >= report.p99_us);
         assert!(report.sustained(0.5), "{report:?}");
         assert_eq!(report.corpus_len, 64 + report.ingests as usize);
+        assert_eq!(report.scan_mode, "f32");
+        assert_eq!(report.p99_f32_us, report.p99_us);
+        assert_eq!(report.p99_sq8_us, 0);
+    }
+
+    #[test]
+    fn quantized_run_reports_its_scan_mode() {
+        let router = small_router();
+        router.enable_sq8().unwrap();
+        let config = LoadgenConfig {
+            qps: 400.0,
+            duration: Duration::from_millis(250),
+            ingest_ratio: 0.1,
+            workers: 2,
+            ..Default::default()
+        };
+        let report = run(&router, &config).unwrap();
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.scan_mode, "sq8");
+        assert_eq!(report.p99_sq8_us, report.p99_us);
+        assert_eq!(report.p99_f32_us, 0);
     }
 
     #[test]

@@ -540,6 +540,48 @@ impl ShardRouter {
         Ok(())
     }
 
+    /// Switches every shard to SQ8 quantized scan mode (stage-0 candidate
+    /// generation over u8 codes, exact f32 rescore of the top candidates
+    /// before the merge — see [`AnnIndex::enable_sq8`]). Persisted with
+    /// each shard's next snapshot.
+    ///
+    /// # Errors
+    /// Any shard being down (scan modes must stay family-uniform, so a
+    /// partial switch is refused), or non-finite vectors.
+    pub fn enable_sq8(&self) -> Result<(), ServeError> {
+        for shard in &self.shards {
+            shard.enable_sq8()?;
+        }
+        Ok(())
+    }
+
+    /// `true` when every healthy shard scans quantized codes.
+    pub fn is_quantized(&self) -> bool {
+        let mut any = false;
+        for shard in &self.shards {
+            match shard.with_index(|i| i.is_quantized()) {
+                Ok(true) => any = true,
+                Ok(false) => return false,
+                Err(_) => {}
+            }
+        }
+        any
+    }
+
+    /// Bytes held by SQ8 codes+scales over bytes held by f32 vectors,
+    /// summed across healthy shards (`None` when unquantized). ~0.25 for
+    /// the expected 4x memory cut.
+    pub fn quant_memory_ratio(&self) -> Option<f64> {
+        let mut quant = 0usize;
+        let mut full = 0usize;
+        for shard in &self.shards {
+            let (q, f) = shard.with_index(|i| (i.quant_bytes(), i.vector_bytes())).ok()?;
+            quant += q?;
+            full += f;
+        }
+        (full > 0).then(|| quant as f64 / full as f64)
+    }
+
     /// Top-`k` across all shards for `vector`.
     ///
     /// # Errors
@@ -993,6 +1035,53 @@ mod tests {
             router.query_request(QueryRequest::new(q, 2).with_rerank(bad_lambda)),
             Err(ServeError::InvalidFacets { .. })
         ));
+    }
+
+    #[test]
+    fn quantized_scatter_gather_keeps_recall_and_exact_scores() {
+        let vectors = random_vectors(2000, 16, 70);
+        let single = AnnIndex::build(
+            vectors.clone(),
+            IndexConfig { flat_threshold: usize::MAX, ..Default::default() },
+        );
+        let router = ShardRouter::try_build(vectors, flat_config(2)).unwrap();
+        assert!(!router.is_quantized());
+        router.enable_sq8().unwrap();
+        assert!(router.is_quantized());
+        let ratio = router.quant_memory_ratio().unwrap();
+        assert!(ratio < 0.3, "codes/vectors byte ratio {ratio}");
+        let queries = random_vectors(20, 16, 71);
+        let mut overlap = 0usize;
+        for q in &queries {
+            let merged = router.query(q.clone(), 10).unwrap();
+            assert!(!merged.degraded);
+            let exact = single.search_exact(q, 10);
+            overlap += exact.iter().filter(|e| merged.hits.iter().any(|h| h.id == e.id)).count();
+            // merged scores are f32-rescore-backed: any id shared with the
+            // exact scan carries the identical exact score
+            for h in &merged.hits {
+                if let Some(e) = exact.iter().find(|e| e.id == h.id) {
+                    assert!((h.score - e.score).abs() < 1e-5);
+                }
+            }
+        }
+        let recall = overlap as f64 / (10 * queries.len()) as f64;
+        assert!(recall >= 0.95, "sharded quantized recall@10 {recall}");
+    }
+
+    #[test]
+    fn quantized_family_roundtrips_through_stores() {
+        let dir = std::env::temp_dir().join(format!("sem-router-quant-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("family.snap");
+        let vectors = random_vectors(80, 8, 72);
+        let router = ShardRouter::try_build(vectors, flat_config(2)).unwrap();
+        router.enable_sq8().unwrap();
+        router.attach_stores(&base).unwrap();
+        router.persist_all().unwrap();
+        let (reopened, _) = ShardRouter::open(&base, flat_config(2)).unwrap();
+        assert!(reopened.is_quantized(), "quantization must survive snapshot + reopen");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -86,6 +86,9 @@ struct ShardCacheEntry {
 /// Live or dead: a shard that lost its store (injected crash, corrupt
 /// journal) goes `Down` and keeps refusing work until
 /// [`Shard::recover_from_store`] heals it.
+// `Ready` is the steady state; boxing the index to shrink the rare `Down`
+// variant would cost a pointer chase on every scan.
+#[allow(clippy::large_enum_variant)]
 enum ShardState {
     Ready(AnnIndex),
     Down(String),
@@ -102,6 +105,11 @@ struct ShardMetrics {
     inflight: Arc<Gauge>,
     downs: Arc<Counter>,
     recoveries: Arc<Counter>,
+    // serve.quant.* is deliberately unprefixed by shard: every shard
+    // resolves the same registry handle, so the counters aggregate
+    // across the whole router
+    quant_scans: Arc<Counter>,
+    quant_rescored: Arc<Counter>,
 }
 
 impl ShardMetrics {
@@ -117,6 +125,8 @@ impl ShardMetrics {
             inflight: registry.gauge(&name("inflight")),
             downs: registry.counter(&name("downs")),
             recoveries: registry.counter(&name("recoveries")),
+            quant_scans: registry.counter("serve.quant.scans"),
+            quant_rescored: registry.counter("serve.quant.rescored"),
         }
     }
 }
@@ -310,6 +320,10 @@ impl Shard {
             return Err(ServeError::ShardDown { shard: self.ordinal, detail: reason });
         };
         self.metrics.inflight.add(1.0);
+        if index.is_quantized() {
+            self.metrics.quant_scans.inc();
+            self.metrics.quant_rescored.add(index.rescore_depth(k) as u64);
+        }
         let t0 = Instant::now();
         let result = index.search_deadline(query, k, deadline);
         self.metrics.scan_ns.record(t0.elapsed().as_nanos() as u64);
@@ -536,6 +550,24 @@ impl Shard {
         let mut guard = self.state.write();
         match &mut *guard {
             ShardState::Ready(index) => index.set_layout(layout),
+            ShardState::Down(reason) => {
+                Err(ServeError::ShardDown { shard: self.ordinal, detail: reason.clone() })
+            }
+        }
+    }
+
+    /// Switches the shard's index to SQ8 quantized scan mode (see
+    /// [`AnnIndex::enable_sq8`]). Final top-k scores stay exact because
+    /// candidates are rescored in f32 before the merge.
+    ///
+    /// # Errors
+    /// [`ServeError::ShardDown`] while the shard is down, or
+    /// [`ServeError::Invalid`] when the vectors cannot be scaled
+    /// (non-finite values).
+    pub fn enable_sq8(&self) -> Result<(), ServeError> {
+        let mut guard = self.state.write();
+        match &mut *guard {
+            ShardState::Ready(index) => index.enable_sq8(),
             ShardState::Down(reason) => {
                 Err(ServeError::ShardDown { shard: self.ordinal, detail: reason.clone() })
             }

@@ -11,13 +11,14 @@
 //! checksum and are **rejected**, never silently loaded. Legacy plain-JSON
 //! snapshots (pre-v1) are still readable.
 //!
-//! **Versions.** v2 (current) extends the JSON payload with the optional
-//! facet layout ([`crate::facet::FacetLayout`]) carried by the index;
-//! the header and framing are unchanged. v1 (fused) snapshots load via a
-//! read-path migration — the missing layout deserialises to the
-//! single-segment fused view — and the next [`IndexStore::save_snapshot`]
-//! rewrites them as v2. Writes always emit v2; versions above v2 are
-//! rejected, never guessed at.
+//! **Versions.** v3 (current) extends the JSON payload with the optional
+//! SQ8 quantization sidecar (per-segment scales plus the u8 code matrix);
+//! the header and framing are unchanged. v2 added the optional facet
+//! layout ([`crate::facet::FacetLayout`]); v1 is the original fused
+//! format. Both load via read-path migrations — absent fields
+//! deserialise to the fused, unquantized defaults — and the next
+//! [`IndexStore::save_snapshot`] rewrites them as v3. Writes always emit
+//! v3; versions above v3 are rejected, never guessed at.
 //!
 //! **Journal.** Each acknowledged ingest appends one length+CRC framed
 //! record (`{seq, vector}`) and fsyncs before reporting durability, so
@@ -47,8 +48,9 @@ use crate::index::AnnIndex;
 
 const MAGIC: &[u8; 8] = b"SEMSNAP1";
 /// Newest snapshot format this build writes; every version from 1 up to
-/// here is readable (v1 payloads simply lack the facet layout).
-const FORMAT_VERSION: u32 = 2;
+/// here is readable (v1 payloads lack the facet layout, v1/v2 lack the
+/// SQ8 quantization sidecar).
+const FORMAT_VERSION: u32 = 3;
 const HEADER_LEN: usize = 44;
 
 const CRC_TABLE: [u32; 256] = crc_table();
@@ -130,7 +132,7 @@ pub struct Recovery {
 pub struct SnapshotReport {
     /// Snapshot file path.
     pub path: String,
-    /// `"v2"`, `"v1"`, `"legacy-json"`, `"missing"` or `"corrupt"`.
+    /// `"v3"`, `"v2"`, `"v1"`, `"legacy-json"`, `"missing"` or `"corrupt"`.
     pub format: String,
     /// Format version from the header (headered snapshots only).
     pub version: u32,
@@ -150,6 +152,9 @@ pub struct SnapshotReport {
     /// every integrity check passes). Fused/v1 stores report the single
     /// `fused` segment.
     pub facets: Vec<crate::facet::FacetChecksum>,
+    /// Per-segment checksums over the SQ8 code matrix (empty for
+    /// unquantized stores or until every integrity check passes).
+    pub quant: Vec<crate::facet::FacetChecksum>,
     /// First failed check, when any.
     pub error: Option<String>,
 }
@@ -534,6 +539,7 @@ impl IndexStore {
             payload_ok: false,
             bytes: 0,
             facets: Vec::new(),
+            quant: Vec::new(),
             error: None,
         };
         let bytes = match std::fs::read(&self.snapshot_path) {
@@ -556,6 +562,7 @@ impl IndexStore {
                     r.header_ok = true;
                     r.payload_ok = true;
                     r.facets = idx.facet_checksums();
+                    r.quant = idx.quant_checksums();
                 }
                 Err(e) => r.error = Some(format!("not a v1 snapshot and not legacy JSON: {e}")),
             }
@@ -595,7 +602,10 @@ impl IndexStore {
             .ok()
             .and_then(|t| AnnIndex::from_json(t).ok())
         {
-            Some(idx) => r.facets = idx.facet_checksums(),
+            Some(idx) => {
+                r.facets = idx.facet_checksums();
+                r.quant = idx.quant_checksums();
+            }
             None => r.error = Some("payload checksums pass but JSON is rejected".into()),
         }
         r
@@ -770,14 +780,39 @@ mod tests {
         assert_eq!(rec.index.search(&q, 5), idx.search(&q, 5));
         let report = store.verify();
         assert!(report.ok, "{report:?}");
-        assert_eq!(report.snapshot.format, "v2");
-        assert_eq!(report.snapshot.version, 2);
+        assert_eq!(report.snapshot.format, "v3");
+        assert_eq!(report.snapshot.version, 3);
         assert_eq!(report.snapshot.count, 300);
         // an un-faceted index reports the single fused segment checksum
         assert_eq!(report.snapshot.facets.len(), 1);
         assert_eq!(report.snapshot.facets[0].name, "fused");
         assert_eq!(report.snapshot.facets[0].dim, 8);
+        // unquantized stores carry no code checksums
+        assert!(report.snapshot.quant.is_empty());
         assert!(!report.journal.present);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quantized_snapshot_survives_roundtrip_and_verify_reports_codes() {
+        let dir = tmp_dir("quantized");
+        let snap = dir.join("index.bin");
+        let idx = AnnIndex::build(random_vectors(200, 9, 60), IndexConfig::default())
+            .with_layout(crate::facet::FacetLayout::sem(3))
+            .unwrap()
+            .with_sq8()
+            .unwrap();
+        let mut store = IndexStore::open(&snap);
+        store.save_snapshot(&idx).unwrap();
+        let rec = store.load().unwrap();
+        assert!(rec.index.is_quantized());
+        let q = random_vectors(1, 9, 61).pop().unwrap();
+        assert_eq!(rec.index.search(&q, 5), idx.search(&q, 5));
+        let report = store.verify();
+        assert!(report.ok, "{report:?}");
+        let names: Vec<&str> = report.snapshot.quant.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["bg", "method", "result"]);
+        assert_eq!(report.snapshot.quant, idx.quant_checksums());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,7 +1,8 @@
-//! Store-migration regression tests: a v1 (fused) snapshot + journal
-//! fixture must open through the new faceted store with identical top-k,
-//! the next snapshot must rewrite it as v2, and corruption must stay a
-//! typed error — never a silent downgrade.
+//! Store-migration regression tests: v1 (fused) and v2 (faceted,
+//! unquantized) snapshot + journal fixtures must open through the
+//! current store with identical top-k, the next snapshot must rewrite
+//! them as v3, and corruption — header, payload, or the SQ8 sidecar —
+//! must stay a typed error, never a silent downgrade.
 
 use std::path::{Path, PathBuf};
 
@@ -23,21 +24,22 @@ fn tmp_dir(name: &str) -> PathBuf {
 
 const HEADER_LEN: usize = 44;
 
-/// Rewrites a freshly written v2 snapshot as the exact bytes a v1 writer
-/// would have produced: `version = 1` in the header and no `layout` key
-/// in the JSON payload (v1 predates facet metadata entirely).
-fn rewrite_as_v1(path: &Path) {
+/// Rewrites a freshly written v3 snapshot as the exact bytes an older
+/// writer would have produced: the target `version` in the header and
+/// the named keys absent from the JSON payload (v1 predates facet
+/// metadata entirely, v2 predates the SQ8 sidecar).
+fn rewrite_as_version(path: &Path, version: u32, strip: &[&str]) {
     let bytes = std::fs::read(path).unwrap();
     assert_eq!(&bytes[..8], b"SEMSNAP1");
     let text = std::str::from_utf8(&bytes[HEADER_LEN..]).unwrap();
     let mut value = serde_json::parse(text).unwrap();
     if let serde_json::JsonValue::Obj(fields) = &mut value {
-        fields.retain(|(k, _)| k != "layout");
+        fields.retain(|(k, _)| !strip.contains(&k.as_str()));
     }
     let payload = serde_json::to_string(&value).unwrap().into_bytes();
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
     out.extend_from_slice(&bytes[..8]);
-    out.extend_from_slice(&1u32.to_le_bytes());
+    out.extend_from_slice(&version.to_le_bytes());
     out.extend_from_slice(&bytes[12..28]); // dim, nlist, count are unchanged
     out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
     out.extend_from_slice(&crc32(&payload).to_le_bytes());
@@ -47,12 +49,51 @@ fn rewrite_as_v1(path: &Path) {
     std::fs::write(path, out).unwrap();
 }
 
+fn rewrite_as_v1(path: &Path) {
+    rewrite_as_version(path, 1, &["layout", "quant"]);
+}
+
+fn rewrite_as_v2(path: &Path) {
+    rewrite_as_version(path, 2, &["quant"]);
+}
+
+/// Parses the snapshot payload, lets `mutate` rewrite it, and writes the
+/// file back with both checksums recomputed — corruption that the CRC
+/// pass alone cannot catch, so the payload validators must.
+fn mutate_payload(path: &Path, mutate: impl FnOnce(&mut serde_json::JsonValue)) {
+    let bytes = std::fs::read(path).unwrap();
+    let mut value = serde_json::parse(std::str::from_utf8(&bytes[HEADER_LEN..]).unwrap()).unwrap();
+    mutate(&mut value);
+    let payload = serde_json::to_string(&value).unwrap().into_bytes();
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&bytes[..28]);
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    let header_crc = crc32(&out);
+    out.extend_from_slice(&header_crc.to_le_bytes());
+    out.extend_from_slice(&payload);
+    std::fs::write(path, out).unwrap();
+}
+
+/// Mutable reference to a named field of a JSON object value.
+fn obj_field<'a>(
+    value: &'a mut serde_json::JsonValue,
+    name: &str,
+) -> &'a mut serde_json::JsonValue {
+    match value {
+        serde_json::JsonValue::Obj(fields) => {
+            &mut fields.iter_mut().find(|(k, _)| k == name).expect("field present").1
+        }
+        other => panic!("expected object, got {}", other.kind()),
+    }
+}
+
 fn flat() -> IndexConfig {
     IndexConfig { flat_threshold: usize::MAX, ..Default::default() }
 }
 
 #[test]
-fn v1_snapshot_and_journal_open_identically_and_rewrite_as_v2() {
+fn v1_snapshot_and_journal_open_identically_and_resave_as_current() {
     let dir = tmp_dir("v1-open");
     let path = dir.join("index.snap");
     let vectors = random_vectors(40, 8, 7);
@@ -91,14 +132,104 @@ fn v1_snapshot_and_journal_open_identically_and_rewrite_as_v2() {
         assert_eq!(migrated.search(&q, 10), reference.search(&q, 10));
     }
 
-    // the next snapshot rewrites the store as v2 and compacts the journal
+    // the next snapshot rewrites the store at the current version (v3)
+    // and compacts the journal
     IndexStore::open(&path).save_snapshot(&migrated).unwrap();
+    let report = IndexStore::open(&path).verify();
+    assert!(report.ok, "{report:?}");
+    assert_eq!(report.snapshot.format, "v3");
+    assert_eq!(report.snapshot.version, 3);
+    assert_eq!(report.snapshot.count, 41);
+    assert!(!report.journal.present, "save_snapshot compacts the journal");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn v2_faceted_snapshot_opens_unquantized_and_resaves_as_v3() {
+    let dir = tmp_dir("v2-open");
+    let path = dir.join("index.snap");
+    let vectors = random_vectors(60, 9, 21);
+    let reference =
+        AnnIndex::try_build(vectors, flat()).unwrap().with_layout(FacetLayout::sem(3)).unwrap();
+    IndexStore::open(&path).save_snapshot(&reference).unwrap();
+    rewrite_as_v2(&path);
+
+    // the fixture self-identifies as v2, verifies clean, and reports its
+    // facet checksums but no quant checksums (v2 predates the sidecar)
     let report = IndexStore::open(&path).verify();
     assert!(report.ok, "{report:?}");
     assert_eq!(report.snapshot.format, "v2");
     assert_eq!(report.snapshot.version, 2);
-    assert_eq!(report.snapshot.count, 41);
-    assert!(!report.journal.present, "save_snapshot compacts the journal");
+    assert_eq!(report.snapshot.facets.len(), 3);
+    assert!(report.snapshot.quant.is_empty());
+
+    // opening is the v2→v3 migration: facets survive, quantization is
+    // simply absent, and top-k is byte-for-byte what the writer produced
+    let recovery = IndexStore::open(&path).load().unwrap();
+    let migrated = recovery.index;
+    assert!(migrated.has_facets());
+    assert!(!migrated.is_quantized());
+    assert_eq!(migrated.layout(), reference.layout());
+    for q in random_vectors(5, 9, 22) {
+        assert_eq!(migrated.search(&q, 10), reference.search(&q, 10));
+    }
+
+    // the next snapshot rewrites the store as v3
+    IndexStore::open(&path).save_snapshot(&migrated).unwrap();
+    let report = IndexStore::open(&path).verify();
+    assert!(report.ok, "{report:?}");
+    assert_eq!(report.snapshot.format, "v3");
+    assert_eq!(report.snapshot.version, 3);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_sq8_codes_and_scales_stay_typed_errors() {
+    use serde_json::JsonValue;
+
+    let dir = tmp_dir("quant-corrupt");
+    let path = dir.join("index.snap");
+    let index = AnnIndex::try_build(random_vectors(50, 9, 31), flat())
+        .unwrap()
+        .with_layout(FacetLayout::sem(3))
+        .unwrap()
+        .with_sq8()
+        .unwrap();
+    IndexStore::open(&path).save_snapshot(&index).unwrap();
+
+    // a truncated code matrix (checksums dutifully recomputed, as a
+    // buggy writer would) must be rejected by the payload validator
+    let pristine = std::fs::read(&path).unwrap();
+    mutate_payload(&path, |value| match obj_field(obj_field(value, "quant"), "codes") {
+        JsonValue::Arr(codes) => {
+            codes.pop();
+        }
+        other => panic!("expected array, got {}", other.kind()),
+    });
+    let err = IndexStore::open(&path).load().unwrap_err();
+    assert!(matches!(err, ServeError::CorruptSnapshot { .. }), "{err}");
+    assert!(err.to_string().contains("quant codes"), "{err}");
+    assert!(!IndexStore::open(&path).verify().ok);
+
+    // a negative quantization step is equally fatal
+    std::fs::write(&path, &pristine).unwrap();
+    mutate_payload(&path, |value| match obj_field(obj_field(value, "quant"), "scales") {
+        JsonValue::Arr(scales) => {
+            *obj_field(&mut scales[0], "delta") = JsonValue::Float(-1.0);
+        }
+        other => panic!("expected array, got {}", other.kind()),
+    });
+    let err = IndexStore::open(&path).load().unwrap_err();
+    assert!(matches!(err, ServeError::CorruptSnapshot { .. }), "{err}");
+    assert!(err.to_string().contains("negative step"), "{err}");
+    assert!(!IndexStore::open(&path).verify().ok);
+
+    // the pristine bytes still load, proving the harness only broke what
+    // it meant to break
+    std::fs::write(&path, &pristine).unwrap();
+    assert!(IndexStore::open(&path).load().unwrap().index.is_quantized());
 
     std::fs::remove_dir_all(&dir).ok();
 }

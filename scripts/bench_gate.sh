@@ -9,6 +9,11 @@
 #   --seed   re-seed benchmarks/baseline.json from this run instead of
 #            comparing against it
 #
+# Exit codes (from the bench_gate binary): 0 clean, 1 p99 regression,
+# 2 usage / malformed record file, 3 missing or unparsable baseline
+# (re-seed with --seed), 4 baseline entries missing from the current run
+# (the failure message names each missing benchmark key).
+#
 # Env: BENCH_OUT (record file path), SEM_BENCH_THRESHOLD (fraction, 0.25)
 set -euo pipefail
 cd "$(dirname "$0")/.."
