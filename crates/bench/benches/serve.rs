@@ -11,8 +11,9 @@ use std::time::{Duration, Instant};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::{Rng, SeedableRng};
 use sem_serve::{
-    loadgen, AnnIndex, EngineConfig, FacetLayout, HedgeConfig, Hit, IndexConfig, QueryEngine,
-    QueryRequest, RerankParams, ShardConfig, ShardRouter, ShardSupervisor, SupervisorConfig,
+    loadgen, AnnIndex, EngineConfig, FacetLayout, HedgeConfig, Hit, IndexConfig, Maintainer,
+    MaintenanceConfig, QueryEngine, QueryRequest, RerankParams, ShardConfig, ShardRouter,
+    ShardSupervisor, SupervisorConfig,
 };
 
 const DIM: usize = 24;
@@ -299,6 +300,103 @@ fn bench_quantized(c: &mut Criterion) {
     });
 }
 
+/// Self-cleaning scratch dir for the store-backed maintenance benches.
+struct BenchDir(std::path::PathBuf);
+
+impl BenchDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("sem-bench-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        BenchDir(dir)
+    }
+}
+
+impl Drop for BenchDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+fn bench_online_compaction(c: &mut Criterion) {
+    // One full online compaction of a freshly journalled 8-record tail on
+    // a 20k store-backed shard: snapshot clone, side-journal fold, and the
+    // brief ingest pause (the catch-up slice inside the op — reported per
+    // run as CompactionReport::pause_us and the compact.pause.ns
+    // histogram). The gate bounds the whole operation, which is what a
+    // maintenance tick actually spends.
+    let dir = BenchDir::new("compaction-pause");
+    let config = ShardConfig { shards: 1, index: ivf_config(), ..Default::default() };
+    let router = ShardRouter::try_build(corpus_vectors(20_000, 7), config)
+        .expect("20k corpus builds cleanly");
+    router.attach_stores(&dir.0.join("family.snap")).unwrap();
+    router.persist_all().unwrap();
+    let tail = corpus_vectors(8, 1234);
+    c.bench_function("serve/online-compaction-pause", |bench| {
+        bench.iter(|| {
+            for v in &tail {
+                router.ingest_vector(v.clone()).unwrap();
+            }
+            black_box(router.compact_shard_online(0).unwrap())
+        })
+    });
+}
+
+fn bench_ingest_sustained(c: &mut Criterion) {
+    // Backpressured streaming ingest end to end: 64 records submitted
+    // through the maintainer's bounded queues, then drained to the
+    // shards with journal appends batched 32 per fsync. Measures the
+    // steady-state cost of the queue hop + batched durability against
+    // `serve/sharded-ingest-100k-8shards` (direct, synced, no queue).
+    let dir = BenchDir::new("ingest-sustained");
+    let config = ShardConfig { shards: 2, index: ivf_config(), ..Default::default() };
+    let router = std::sync::Arc::new(
+        ShardRouter::try_build(corpus_vectors(20_000, 7), config)
+            .expect("20k corpus shards cleanly"),
+    );
+    router.attach_stores(&dir.0.join("family.snap")).unwrap();
+    router.persist_all().unwrap();
+    let maintainer = Maintainer::new(
+        std::sync::Arc::clone(&router),
+        MaintenanceConfig {
+            queue_capacity: 4096,
+            journal_batch: 32,
+            // keep the bench pure ingest: no compaction or drift checks
+            compact_after: usize::MAX,
+            ..Default::default()
+        },
+    );
+    let batch = corpus_vectors(64, 1234);
+    c.bench_function("serve/ingest-sustained", |bench| {
+        bench.iter(|| {
+            for v in &batch {
+                maintainer.submit(v.clone()).unwrap();
+            }
+            let drained = maintainer.drain_all();
+            assert_eq!(drained.applied, batch.len());
+            black_box(drained)
+        })
+    });
+}
+
+fn bench_recluster_handover(c: &mut Criterion) {
+    // A full drift re-cluster cycle on a 10k IVF shard: clone, k-means
+    // re-train off-lock, table comparison, and the handover decision. The
+    // corpus never drifts between iterations, so every cycle ends in the
+    // bit-identical no-swap branch — the steady-state cost a drift check
+    // pays when it fires spuriously, and an upper bound on the swap
+    // itself (which only adds the epoch bump + cache clear).
+    let config = ShardConfig { shards: 1, index: ivf_config(), ..Default::default() };
+    let router = ShardRouter::try_build(corpus_vectors(10_000, 7), config)
+        .expect("10k corpus builds cleanly");
+    c.bench_function("serve/recluster-handover", |bench| {
+        bench.iter(|| {
+            let report = router.recluster_shard(0).unwrap();
+            assert!(!report.changed);
+            black_box(report)
+        })
+    });
+}
+
 criterion_group!(
     benches,
     bench_build,
@@ -311,6 +409,9 @@ criterion_group!(
     bench_hedged_query,
     bench_rerank,
     bench_faceted_query,
-    bench_quantized
+    bench_quantized,
+    bench_online_compaction,
+    bench_ingest_sustained,
+    bench_recluster_handover
 );
 criterion_main!(benches);

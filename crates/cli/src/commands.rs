@@ -207,6 +207,8 @@ serving (JSON output):
   sem index query  --model model-dir --index index.snap --paper ID[,ID...] [--k K] [--deadline-ms MS]
                    [--metrics-out metrics.json]
   sem index verify --index index.snap
+  sem index probe  --index index.snap [--check-store true] [--max-journal-entries N]
+  sem index maintain --index index.snap [--compact] [--recluster] [--status]
   sem ingest       --model model-dir --index index.snap --title T --abstract TEXT [--year Y] [--k K]
                    [--out index.snap] [--metrics-out metrics.json]
 
@@ -221,7 +223,11 @@ budget returns a partial result flagged degraded instead of blocking.
 fan out across shards and merge, an ingest journals to exactly the owning
 shard, and `index verify` reports per-shard integrity (non-zero exit if
 any shard fails). The `loadgen` binary (sem-serve crate) drives the
-sharded path with open-loop fixed-QPS load and reports p50/p90/p99 JSON.
+sharded path with open-loop fixed-QPS load and reports p50/p90/p99 JSON;
+`--churn` soaks live maintenance (backpressured streaming ingest, online
+compaction, drift re-clustering). `index probe --check-store true
+--max-journal-entries N` alarms on journal tails that outgrew their
+compaction budget; `index maintain` compacts/re-clusters a family online.
 
 observability: `--metrics-out PATH` on train / index query / ingest writes
 the run's metrics snapshot as JSON at PATH and Prometheus text at

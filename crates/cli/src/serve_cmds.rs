@@ -60,11 +60,16 @@ impl FacetArgs {
     }
 }
 
-/// Dispatches `sem index <build|query|verify|probe> ...`.
+/// Dispatches `sem index <build|query|verify|probe|maintain> ...`.
 pub(crate) fn index(argv: &[String]) -> Result<String, CliError> {
     let Some(sub) = argv.first() else {
-        return Err(CliError("usage: sem index <build|query|verify|probe> ...".into()));
+        return Err(CliError("usage: sem index <build|query|verify|probe|maintain> ...".into()));
     };
+    if sub == "maintain" {
+        // maintenance actions are valueless switches: presence means "do it"
+        let args = Args::parse_with_switches(&argv[1..], &["compact", "recluster", "status"])?;
+        return index_maintain(&args);
+    }
     let args = Args::parse(&argv[1..])?;
     match sub.as_str() {
         "build" => index_build(&args),
@@ -191,17 +196,35 @@ struct ProbeSummary {
     mode: String,
     shards: usize,
     serving_ok: bool,
+    /// Ordinals whose journal tail exceeds `--max-journal-entries`
+    /// (empty without the flag or when every tail is within budget).
+    tail_alarms: Vec<usize>,
     probes: Vec<sem_serve::ProbeReport>,
 }
 
-/// `sem index probe --index index.snap [--check-store true]`: runs the
-/// supervisor's health probe against each shard of the family (or the
-/// single snapshot) and prints a JSON verdict. Exit status is an error
-/// when any serving probe fails — the operator-facing analogue of a
-/// supervisor trip.
+/// `sem index probe --index index.snap [--check-store true]
+/// [--max-journal-entries N]`: runs the supervisor's health probe against
+/// each shard of the family (or the single snapshot) and prints a JSON
+/// verdict. Exit status is an error when any serving probe fails — the
+/// operator-facing analogue of a supervisor trip. With `--check-store
+/// true --max-journal-entries N` an un-compacted journal tail longer than
+/// N also alarms: the shard serves fine today but recovery replay (and
+/// the next compaction pause) is growing without bound.
 fn index_probe(args: &Args) -> Result<String, CliError> {
     let path = args.required("index")?;
     let check_store = args.get("check-store").map(|v| v == "true").unwrap_or(false);
+    let max_tail: Option<usize> = match args.get("max-journal-entries") {
+        None => None,
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| CliError(format!("--max-journal-entries: cannot parse {v:?}")))?,
+        ),
+    };
+    if max_tail.is_some() && !check_store {
+        return Err(CliError(
+            "--max-journal-entries needs --check-store true (tails live on disk)".into(),
+        ));
+    }
     let base = std::path::Path::new(path);
     let (mode, router) = if ShardManifest::exists(base) {
         let (router, _recoveries) = ShardRouter::open(base, ShardConfig::default())?;
@@ -218,13 +241,80 @@ fn index_probe(args: &Args) -> Result<String, CliError> {
         .map(|i| router.shard(i).probe(check_store))
         .collect::<Result<_, _>>()?;
     let serving_ok = probes.iter().all(sem_serve::ProbeReport::serving_ok);
-    let report = ProbeSummary { mode, shards: router.num_shards(), serving_ok, probes };
+    let tail_alarms: Vec<usize> = match max_tail {
+        None => Vec::new(),
+        Some(max) => probes
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.journal_tail.is_some_and(|t| t > max))
+            .map(|(i, _)| i)
+            .collect(),
+    };
+    let ok = serving_ok && tail_alarms.is_empty();
+    let report =
+        ProbeSummary { mode, shards: router.num_shards(), serving_ok, tail_alarms, probes };
     let rendered = to_pretty(&report)?;
-    if serving_ok {
+    if ok {
         Ok(rendered)
     } else {
         Err(CliError(format!("index failed its health probe:\n{rendered}")))
     }
+}
+
+/// Report for `sem index maintain`: what ran plus the post-maintenance
+/// per-shard status.
+#[derive(Serialize)]
+struct MaintainSummary {
+    shards: usize,
+    compactions: Vec<sem_serve::CompactionReport>,
+    reclusters: Vec<sem_serve::ReclusterReport>,
+    status: Vec<sem_serve::MaintenanceStatus>,
+}
+
+/// `sem index maintain --index index.snap [--compact] [--recluster]
+/// [--status]`: operator-driven maintenance on a sharded family.
+/// `--compact` folds each shard's journal into a fresh snapshot online
+/// (the same protocol the background [`sem_serve::Maintainer`] uses),
+/// `--recluster` forces a drift re-train with epoch handover (persisted
+/// when the table actually changed), and the report always carries the
+/// per-shard maintenance status (`--status` alone is a pure read).
+fn index_maintain(args: &Args) -> Result<String, CliError> {
+    let path = args.required("index")?;
+    let base = std::path::Path::new(path);
+    if !ShardManifest::exists(base) {
+        return Err(CliError(
+            "index maintain needs a sharded family (build with --shards N > 1)".into(),
+        ));
+    }
+    if !(args.switch("compact") || args.switch("recluster") || args.switch("status")) {
+        return Err(CliError(
+            "usage: sem index maintain --index BASE [--compact] [--recluster] [--status]".into(),
+        ));
+    }
+    let (router, _recoveries) = ShardRouter::open(base, ShardConfig::default())?;
+    let mut compactions = Vec::new();
+    if args.switch("compact") {
+        for i in 0..router.num_shards() {
+            compactions.push(router.compact_shard_online(i)?);
+        }
+    }
+    let mut reclusters = Vec::new();
+    if args.switch("recluster") {
+        for i in 0..router.num_shards() {
+            reclusters.push(router.recluster_shard(i)?);
+        }
+        if reclusters.iter().any(|r| r.changed) {
+            // the new centroid table lives in memory until re-snapshotted
+            router.persist_all()?;
+        }
+    }
+    let report = MaintainSummary {
+        shards: router.num_shards(),
+        compactions,
+        reclusters,
+        status: router.maintenance_status(),
+    };
+    to_pretty(&report)
 }
 
 #[derive(Serialize)]
@@ -949,6 +1039,84 @@ mod tests {
         let v2 = run(&argv(&["index", "verify", "--index", index_path.to_str().unwrap()])).unwrap();
         assert!(v2.contains("\"ok\": true"), "{v2}");
 
+        // the routed ingest compacted on persist, so even a zero journal
+        // budget raises no tail alarm
+        let p2 = run(&argv(&[
+            "index",
+            "probe",
+            "--index",
+            index_path.to_str().unwrap(),
+            "--check-store",
+            "true",
+            "--max-journal-entries",
+            "0",
+        ]))
+        .unwrap();
+        assert!(p2.contains("\"tail_alarms\": []"), "{p2}");
+
+        // journal an ingest without compacting: the owning shard's tail
+        // outgrows a zero budget and the probe alarms on exactly it
+        let base = std::path::Path::new(index_path.to_str().unwrap());
+        let (router, _recoveries) =
+            sem_serve::ShardRouter::open(base, sem_serve::ShardConfig::default()).unwrap();
+        let dim = router.dim();
+        let owner = router.ingest_vector(vec![0.25; dim]).unwrap().id % 3;
+        drop(router);
+        let alarmed = run(&argv(&[
+            "index",
+            "probe",
+            "--index",
+            index_path.to_str().unwrap(),
+            "--check-store",
+            "true",
+            "--max-journal-entries",
+            "0",
+        ]))
+        .unwrap_err()
+        .to_string();
+        assert!(alarmed.contains(&format!("\"tail_alarms\": [\n    {owner}\n  ]")), "{alarmed}");
+        assert!(alarmed.contains("\"serving_ok\": true"), "{alarmed}");
+
+        // online maintenance folds the tail back into the snapshot …
+        let m = run(&argv(&[
+            "index",
+            "maintain",
+            "--index",
+            index_path.to_str().unwrap(),
+            "--compact",
+            "--status",
+        ]))
+        .unwrap();
+        assert_eq!(m.matches("\"pause_us\":").count(), 3, "{m}");
+        assert!(m.contains("\"journal_tail\": 0"), "{m}");
+        assert!(!m.contains("\"journal_tail\": 1"), "{m}");
+        // … and a forced re-cluster on an undrifted corpus is a no-swap:
+        // the table is bit-identical, so no handover epoch is burned
+        let r = run(&argv(&[
+            "index",
+            "maintain",
+            "--index",
+            index_path.to_str().unwrap(),
+            "--recluster",
+        ]))
+        .unwrap();
+        assert!(r.contains("\"changed\": false"), "{r}");
+        assert!(!r.contains("\"changed\": true"), "{r}");
+
+        // the probe is green again under the same zero budget
+        let p3 = run(&argv(&[
+            "index",
+            "probe",
+            "--index",
+            index_path.to_str().unwrap(),
+            "--check-store",
+            "true",
+            "--max-journal-entries",
+            "0",
+        ]))
+        .unwrap();
+        assert!(p3.contains("\"tail_alarms\": []"), "{p3}");
+
         std::fs::remove_file(&corpus_path).ok();
         std::fs::remove_dir_all(&model_dir).ok();
         for i in 0..3 {
@@ -969,6 +1137,20 @@ mod tests {
         assert!(run(&argv(&["ingest", "--model", "/nonexistent"])).is_err());
         assert!(run(&argv(&["index", "verify", "--index", "/nonexistent/index.snap"])).is_err());
         assert!(run(&argv(&["index", "probe", "--index", "/nonexistent/index.snap"])).is_err());
+        // tail budgets need the on-disk check switched on
+        let err = run(&argv(&[
+            "index",
+            "probe",
+            "--index",
+            "/nonexistent/index.snap",
+            "--max-journal-entries",
+            "5",
+        ]))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("--check-store"), "{err}");
+        // maintain refuses single snapshots and no-op invocations
+        assert!(run(&argv(&["index", "maintain", "--index", "/nonexistent/index.snap"])).is_err());
     }
 
     /// `index verify` detects a corrupted snapshot and fails loudly.

@@ -15,12 +15,22 @@
 //! corruption, latency spikes) is injected while the load runs. The exit
 //! code then reflects *hard* failures only — shed/degraded responses are
 //! the expected behaviour under fault and are reported, not fatal.
+//!
+//! With `--churn` (requires `--store-dir`) the run becomes a live
+//! maintenance soak instead: ingests stream through a
+//! [`sem_serve::Maintainer`]'s bounded queues (full queues shed with
+//! typed backpressure), the streamed distribution drifts on purpose, and
+//! online compaction + drift-triggered re-clustering must happen while
+//! the load runs. The JSON report carries the maintenance counters CI
+//! asserts on (`compactions`, `reclusters`, `self_recall`).
 
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
-use sem_serve::{loadgen, ChaosConfig, HedgeConfig, IndexConfig, ShardConfig, ShardRouter};
+use sem_serve::{
+    loadgen, ChaosConfig, ChurnConfig, HedgeConfig, IndexConfig, ShardConfig, ShardRouter,
+};
 
 struct Opts {
     papers: usize,
@@ -30,6 +40,8 @@ struct Opts {
     load: loadgen::LoadgenConfig,
     json_out: Option<String>,
     chaos: bool,
+    churn: bool,
+    churn_config: ChurnConfig,
     store_dir: Option<String>,
     max_pending: usize,
     retry_after_ms: u64,
@@ -41,7 +53,9 @@ fn usage() -> &'static str {
     "usage: loadgen [--papers N] [--dim D] [--shards S] [--nlist L] [--qps Q] \
      [--duration-s SECS] [--batch-mix A,B,C] [--ingest-ratio R] [--facet-mix R] \
      [--k K] [--workers W] [--seed SEED] [--deadline-ms MS] [--max-pending N] \
-     [--retry-after-ms MS] [--hedge-soft-ms MS] [--chaos] [--store-dir DIR] \
+     [--retry-after-ms MS] [--hedge-soft-ms MS] [--chaos] [--churn] \
+     [--queue-capacity N] [--journal-batch N] [--compact-after N] \
+     [--drift-offset F] [--drift-len-factor F] [--store-dir DIR] \
      [--quantize sq8] [--json-out PATH]"
 }
 
@@ -54,6 +68,8 @@ fn parse_opts(argv: &[String]) -> Result<Opts, String> {
         load: loadgen::LoadgenConfig::default(),
         json_out: None,
         chaos: false,
+        churn: false,
+        churn_config: ChurnConfig::default(),
         store_dir: None,
         max_pending: 0,
         retry_after_ms: 100,
@@ -75,6 +91,13 @@ fn parse_opts(argv: &[String]) -> Result<Opts, String> {
                 return Err("--chaos takes no value".to_string());
             }
             opts.chaos = true;
+            continue;
+        }
+        if flag == "--churn" {
+            if inline.is_some() {
+                return Err("--churn takes no value".to_string());
+            }
+            opts.churn = true;
             continue;
         }
         let value = match inline {
@@ -109,6 +132,22 @@ fn parse_opts(argv: &[String]) -> Result<Opts, String> {
                     Some(Duration::from_millis(value.parse().map_err(|e| bad(&e))?))
             }
             "--max-pending" => opts.max_pending = value.parse().map_err(|e| bad(&e))?,
+            "--queue-capacity" => {
+                opts.churn_config.maintenance.queue_capacity = value.parse().map_err(|e| bad(&e))?
+            }
+            "--journal-batch" => {
+                opts.churn_config.maintenance.journal_batch = value.parse().map_err(|e| bad(&e))?
+            }
+            "--compact-after" => {
+                opts.churn_config.maintenance.compact_after = value.parse().map_err(|e| bad(&e))?
+            }
+            "--drift-offset" => {
+                opts.churn_config.drift_offset = value.parse().map_err(|e| bad(&e))?
+            }
+            "--drift-len-factor" => {
+                opts.churn_config.maintenance.drift_len_factor =
+                    value.parse().map_err(|e| bad(&e))?
+            }
             "--retry-after-ms" => opts.retry_after_ms = value.parse().map_err(|e| bad(&e))?,
             "--hedge-soft-ms" => opts.hedge_soft_ms = value.parse().map_err(|e| bad(&e))?,
             "--store-dir" => opts.store_dir = Some(value),
@@ -122,6 +161,12 @@ fn parse_opts(argv: &[String]) -> Result<Opts, String> {
     }
     if opts.chaos && opts.store_dir.is_none() {
         return Err("--chaos needs --store-dir (shards must persist to heal)".to_string());
+    }
+    if opts.churn && opts.store_dir.is_none() {
+        return Err("--churn needs --store-dir (compaction needs persisted journals)".to_string());
+    }
+    if opts.churn && opts.chaos {
+        return Err("--churn and --chaos are mutually exclusive".to_string());
     }
     Ok(opts)
 }
@@ -203,10 +248,38 @@ fn main() -> ExitCode {
         opts.load.workers,
         opts.load.seed,
         if opts.quantize { "sq8" } else { "f32" },
-        if opts.chaos { ", chaos on" } else { "" }
+        if opts.chaos {
+            ", chaos on"
+        } else if opts.churn {
+            ", churn on"
+        } else {
+            ""
+        }
     );
 
-    let (json, hard_failures) = if opts.chaos {
+    let (json, hard_failures) = if opts.churn {
+        let report = match loadgen::run_churn(&router, &opts.load, &opts.churn_config, &corpus) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("loadgen: churn run failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut hard = report.load.failed;
+        if report.maintenance.compactions == 0 {
+            eprintln!("loadgen: no online compaction ran during the soak");
+            hard += 1;
+        }
+        if report.maintenance.reclusters == 0 {
+            eprintln!("loadgen: no drift re-cluster ran during the soak");
+            hard += 1;
+        }
+        if report.self_recall < 1.0 {
+            eprintln!("loadgen: original corpus lost data (self-recall {})", report.self_recall);
+            hard += 1;
+        }
+        (serde_json::to_string_pretty(&report).expect("report serialises"), hard)
+    } else if opts.chaos {
         let chaos = ChaosConfig::seeded(opts.load.seed, shards, opts.load.duration);
         let report = match loadgen::run_chaos(&router, &opts.load, &chaos, &corpus) {
             Ok(r) => r,

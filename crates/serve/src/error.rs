@@ -65,6 +65,16 @@ pub enum ServeError {
         /// Suggested client backoff before retrying, milliseconds.
         retry_after_ms: u64,
     },
+    /// The streaming-ingest queue is full: ingest is arriving faster than
+    /// the maintenance drainer applies it, and accepting more would grow
+    /// memory without bound. Distinct from [`ServeError::Overloaded`]
+    /// (query admission) so load reports can bound the two paths
+    /// independently. The producer should back off for roughly
+    /// `retry_after_ms` and retry.
+    IngestBackpressure {
+        /// Suggested producer backoff before retrying, milliseconds.
+        retry_after_ms: u64,
+    },
     /// A [`crate::fault::FaultPlan`] fired: the simulated machine died at
     /// the named crash point. On-disk state is exactly what a real crash
     /// would leave behind.
@@ -108,6 +118,9 @@ impl fmt::Display for ServeError {
                     f,
                     "overloaded: pending-work budget exhausted, retry after {retry_after_ms}ms"
                 )
+            }
+            ServeError::IngestBackpressure { retry_after_ms } => {
+                write!(f, "ingest backpressure: queue full, retry after {retry_after_ms}ms")
             }
             ServeError::InjectedCrash(site) => write!(f, "injected crash at {site}"),
             ServeError::InvalidFacets { detail } => write!(f, "invalid facet spec: {detail}"),
@@ -169,6 +182,10 @@ mod tests {
         assert!(!ServeError::DeadlineExceeded.is_injected());
         let e = ServeError::Overloaded { retry_after_ms: 250 };
         assert!(e.to_string().contains("250ms"));
+        assert!(!e.is_retryable_io());
+        let e = ServeError::IngestBackpressure { retry_after_ms: 40 };
+        assert!(e.to_string().contains("40ms"));
+        assert!(e.to_string().contains("backpressure"));
         assert!(!e.is_retryable_io());
     }
 

@@ -36,6 +36,15 @@ pub enum CrashPoint {
     /// With journal records buffered but not yet flushed (the buffered
     /// records are lost, and were never acknowledged as durable).
     UnflushedJournalBuffer,
+    /// Right after online compaction entered side-journal mode (main
+    /// buffer flushed, no compacted snapshot written yet — the previous
+    /// snapshot plus the main journal still hold everything).
+    SideJournalInstall,
+    /// During online compaction, after the compacted snapshot was renamed
+    /// in and the *main* journal deleted, but before the *side* journal
+    /// was deleted (its records are already inside the snapshot — replay
+    /// must skip them idempotently).
+    BeforeSideJournalTruncate,
 }
 
 impl CrashPoint {
@@ -46,6 +55,8 @@ impl CrashPoint {
             CrashPoint::BeforeJournalTruncate => "before journal truncate",
             CrashPoint::AfterJournalAppend => "after journal append",
             CrashPoint::UnflushedJournalBuffer => "unflushed journal buffer",
+            CrashPoint::SideJournalInstall => "side journal install",
+            CrashPoint::BeforeSideJournalTruncate => "before side journal truncate",
         }
     }
 }
@@ -66,6 +77,11 @@ pub struct FaultPlan {
     pub crash_after_append: Option<usize>,
     /// Die once the unflushed journal buffer holds this many records.
     pub crash_with_buffered: Option<usize>,
+    /// Die right after online compaction enters side-journal mode.
+    pub crash_on_side_install: bool,
+    /// Die after online compaction renamed the snapshot and deleted the
+    /// main journal, but before the side journal was deleted.
+    pub crash_before_side_truncate: bool,
     /// Fail this many journal-flush attempts with a *transient* (retryable)
     /// I/O error before letting writes through. Unlike the crash triggers,
     /// transient failures do not poison the store — they model an
@@ -94,6 +110,17 @@ impl FaultPlan {
     /// Die right after journal append number `n` (zero-based).
     pub fn crash_after_append(n: usize) -> Self {
         FaultPlan { crash_after_append: Some(n), ..Default::default() }
+    }
+
+    /// Die right after online compaction enters side-journal mode.
+    pub fn crash_on_side_install() -> Self {
+        FaultPlan { crash_on_side_install: true, ..Default::default() }
+    }
+
+    /// Die between the main-journal delete and the side-journal delete of
+    /// an online compaction's commit step.
+    pub fn crash_before_side_truncate() -> Self {
+        FaultPlan { crash_before_side_truncate: true, ..Default::default() }
     }
 
     /// Die once `n` journal records sit unflushed in the batch buffer.

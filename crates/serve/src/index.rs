@@ -2,10 +2,24 @@
 //!
 //! Vectors are L2-normalised on entry, so the inner product is cosine
 //! similarity. Large collections are partitioned into `nlist` Voronoi cells
-//! by k-means (built with rayon-parallel assignment passes); a query scores
-//! the `nprobe` nearest cells exhaustively. Small collections
+//! by spherical k-means — the shared trainer in [`sem_tensor::kmeans`]
+//! driven with a rayon-parallel assignment pass; a query scores the
+//! `nprobe` nearest cells exhaustively. Small collections
 //! (`flat_threshold` and below) skip clustering entirely and use an exact
 //! brute-force scan — at that size a scan is both faster and recall-perfect.
+//!
+//! **Online re-clustering.** The cell structure is trained once at build
+//! time, but a churning corpus drifts away from it: cells fill unevenly
+//! (assignment-count skew) and vectors sit further from their centroids
+//! (mean residual growth). [`AnnIndex::drift_stats`] exposes both signals;
+//! [`AnnIndex::train_recluster`] re-trains the centroid table *off-line*
+//! against a point-in-time clone and [`AnnIndex::install_recluster`]
+//! swaps it in, routing any vectors inserted since training to their
+//! nearest new centroid and re-fitting SQ8 scales when quantized. Because
+//! build and re-train share one k-means implementation, re-clustering an
+//! undrifted index with the build seed reproduces the centroid table
+//! bit-for-bit — the install is then a no-op (generation unchanged), the
+//! property the maintenance layer's handover test pins.
 //!
 //! Insertion is incremental: a new vector is appended and routed to its
 //! nearest existing centroid without touching the rest of the structure, so
@@ -24,9 +38,8 @@
 
 use std::time::Instant;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
+use sem_tensor::kmeans as tkmeans;
 use sem_tensor::quant::{self, Sq8Scale};
 use serde::{Deserialize, Serialize};
 
@@ -120,6 +133,65 @@ impl Sq8Data {
     }
 }
 
+/// Point-in-time clustering health of an index, the signals the
+/// maintenance layer's drift detector keys re-clustering off. Flat
+/// indexes report the neutral values (`skew` 1.0, `mean_residual` 0.0):
+/// a brute-force scan has no cluster structure to drift.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DriftStats {
+    /// Vectors indexed when the stats were taken.
+    pub len: usize,
+    /// IVF cells (0 in flat mode).
+    pub nlist: usize,
+    /// Assignment-count skew: largest cell size over the mean cell size.
+    /// 1.0 is perfectly balanced; growth means queries probing the hot
+    /// cells scan ever more of the corpus.
+    pub skew: f32,
+    /// Mean `1 − ⟨v, centroid(v)⟩` over all vectors — how far the corpus
+    /// sits from the centroid table trained for it.
+    pub mean_residual: f32,
+}
+
+/// A re-trained centroid table produced by [`AnnIndex::train_recluster`]
+/// against a point-in-time clone, waiting to be swapped in with
+/// [`AnnIndex::install_recluster`]. Training is the expensive part and
+/// holds no locks; the plan carries the length it was trained at so the
+/// install can route vectors inserted in the meantime.
+#[derive(Clone, Debug)]
+pub struct ReclusterPlan {
+    centroids: Vec<Vec<f32>>,
+    lists: Vec<Vec<usize>>,
+    trained_len: usize,
+}
+
+impl ReclusterPlan {
+    /// Vectors the plan was trained over.
+    pub fn trained_len(&self) -> usize {
+        self.trained_len
+    }
+
+    /// Cells in the re-trained table (0 when the plan keeps flat mode).
+    pub fn nlist(&self) -> usize {
+        self.centroids.len()
+    }
+}
+
+/// Outcome of [`AnnIndex::install_recluster`].
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ReclusterReport {
+    /// `false` when the re-trained table was bit-identical to the live one
+    /// and the install was skipped entirely (zero drift: generation and
+    /// caches stay valid).
+    pub changed: bool,
+    /// Cells after the install (0 in flat mode).
+    pub nlist: usize,
+    /// Vectors indexed at install time.
+    pub len: usize,
+    /// Vectors that were inserted after training and had to be routed to
+    /// their nearest new centroid during the install.
+    pub routed_tail: usize,
+}
+
 /// L2-normalises in place; an all-zero vector is left as-is.
 fn normalize(v: &mut [f32]) {
     let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
@@ -146,6 +218,12 @@ fn nearest_centroid(centroids: &[Vec<f32>], v: &[f32]) -> usize {
         }
     }
     best
+}
+
+/// Resolved cell count for `n` vectors under `config`: `~sqrt(n)` when
+/// `nlist` is 0, clamped to `1..=n`.
+fn resolved_nlist(config: &IndexConfig, n: usize) -> usize {
+    if config.nlist == 0 { (n as f64).sqrt().round() as usize } else { config.nlist }.clamp(1, n)
 }
 
 /// Keeps the best `k` hits in `scored`, sorted score-desc (id asc on ties).
@@ -191,9 +269,7 @@ impl AnnIndex {
         let (centroids, lists) = if n <= config.flat_threshold {
             (Vec::new(), Vec::new())
         } else {
-            let nlist =
-                if config.nlist == 0 { (n as f64).sqrt().round() as usize } else { config.nlist }
-                    .clamp(1, n);
+            let nlist = resolved_nlist(&config, n);
             Self::kmeans(&vectors, nlist, config.kmeans_iters, config.seed)
         };
         Ok(AnnIndex {
@@ -208,7 +284,9 @@ impl AnnIndex {
         })
     }
 
-    /// Spherical k-means: parallel assignment, host-side centroid update.
+    /// Spherical k-means via the shared trainer in [`sem_tensor::kmeans`],
+    /// with the assignment pass run rayon-parallel (per-point assignment is
+    /// independent, so the result is bit-identical to the serial trainer).
     /// Returns `(centroids, lists)`.
     fn kmeans(
         vectors: &[Vec<f32>],
@@ -216,46 +294,17 @@ impl AnnIndex {
         iters: usize,
         seed: u64,
     ) -> (Vec<Vec<f32>>, Vec<Vec<usize>>) {
-        let n = vectors.len();
-        let dim = vectors[0].len();
-        let mut rng = StdRng::seed_from_u64(seed);
-        // seed centroids from distinct data points
-        let mut picked = Vec::with_capacity(nlist);
-        while picked.len() < nlist {
-            let i = rng.gen_range(0..n);
-            if !picked.contains(&i) {
-                picked.push(i);
-            }
-        }
-        let mut centroids: Vec<Vec<f32>> = picked.iter().map(|&i| vectors[i].clone()).collect();
-        let mut assign: Vec<usize> = Vec::new();
-        for _ in 0..iters {
-            assign =
-                (0..n).into_par_iter().map(|i| nearest_centroid(&centroids, &vectors[i])).collect();
-            let mut sums = vec![vec![0.0f32; dim]; nlist];
-            let mut counts = vec![0usize; nlist];
-            for (i, &c) in assign.iter().enumerate() {
-                counts[c] += 1;
-                for (s, v) in sums[c].iter_mut().zip(&vectors[i]) {
-                    *s += v;
-                }
-            }
-            for (c, sum) in sums.iter_mut().enumerate() {
-                if counts[c] == 0 {
-                    // re-seed a dead cell from a random point so every
-                    // centroid keeps partitioning the data
-                    *sum = vectors[rng.gen_range(0..n)].clone();
-                } else {
-                    normalize(sum);
-                }
-            }
-            centroids = sums;
-        }
+        let model = tkmeans::spherical_kmeans_with(vectors, nlist, iters, seed, |centroids| {
+            (0..vectors.len())
+                .into_par_iter()
+                .map(|i| nearest_centroid(centroids, &vectors[i]))
+                .collect()
+        });
         let mut lists = vec![Vec::new(); nlist];
-        for (i, &c) in assign.iter().enumerate() {
+        for (i, &c) in model.assignments.iter().enumerate() {
             lists[c].push(i);
         }
-        (centroids, lists)
+        (model.centroids, lists)
     }
 
     /// Number of indexed vectors.
@@ -675,6 +724,109 @@ impl AnnIndex {
         scored
     }
 
+    /// Point-in-time clustering health: assignment-count skew and mean
+    /// residual (see [`DriftStats`]). O(`n · dim`) for the residual scan.
+    pub fn drift_stats(&self) -> DriftStats {
+        if self.is_flat() {
+            return DriftStats { len: self.vectors.len(), nlist: 0, skew: 1.0, mean_residual: 0.0 };
+        }
+        let n = self.vectors.len();
+        let mean_fill = n as f32 / self.lists.len() as f32;
+        let max_fill = self.lists.iter().map(Vec::len).max().unwrap_or(0) as f32;
+        let skew = if mean_fill > 0.0 { max_fill / mean_fill } else { 1.0 };
+        let mut residual = 0.0f32;
+        for (c, list) in self.lists.iter().enumerate() {
+            for &id in list {
+                residual += 1.0 - dot(&self.vectors[id], &self.centroids[c]);
+            }
+        }
+        DriftStats {
+            len: n,
+            nlist: self.lists.len(),
+            skew,
+            mean_residual: if n > 0 { residual / n as f32 } else { 0.0 },
+        }
+    }
+
+    /// Re-trains the centroid table over the current vectors with the
+    /// build config (seed, iteration count, `nlist` re-resolved for the
+    /// current size — a corpus that has grown past `~nlist²` gets more
+    /// cells). Pure: the index is not modified, so callers clone the index
+    /// and train on a maintenance thread while the live copy keeps
+    /// serving. Collections at or below `flat_threshold` yield an empty
+    /// plan that keeps (or returns the index to) exact flat mode.
+    pub fn train_recluster(&self) -> ReclusterPlan {
+        let n = self.vectors.len();
+        let (centroids, lists) = if n <= self.config.flat_threshold {
+            (Vec::new(), Vec::new())
+        } else {
+            let nlist = resolved_nlist(&self.config, n);
+            Self::kmeans(&self.vectors, nlist, self.config.kmeans_iters, self.config.seed)
+        };
+        ReclusterPlan { centroids, lists, trained_len: n }
+    }
+
+    /// Swaps a re-trained centroid table in. Vectors inserted after the
+    /// plan was trained are routed to their nearest new centroid, and SQ8
+    /// scales are re-fitted over the current vectors when quantized. When
+    /// the new table is identical to the live one (zero drift — guaranteed
+    /// for an unchanged corpus because build and re-train share one
+    /// k-means), the install is skipped entirely: generation is not
+    /// bumped, so cached results stay valid.
+    ///
+    /// # Errors
+    /// [`ServeError::Invalid`] when the plan was trained over more vectors
+    /// than the index holds (a plan from a different index), or when the
+    /// SQ8 re-fit encounters a non-finite value.
+    pub fn install_recluster(
+        &mut self,
+        mut plan: ReclusterPlan,
+    ) -> Result<ReclusterReport, ServeError> {
+        if plan.trained_len > self.vectors.len() {
+            return Err(ServeError::Invalid(format!(
+                "recluster plan trained over {} vectors but the index holds {}",
+                plan.trained_len,
+                self.vectors.len()
+            )));
+        }
+        let routed_tail = self.vectors.len() - plan.trained_len;
+        if !plan.centroids.is_empty() {
+            for id in plan.trained_len..self.vectors.len() {
+                let c = nearest_centroid(&plan.centroids, &self.vectors[id]);
+                plan.lists[c].push(id);
+            }
+        }
+        let changed = plan.centroids != self.centroids || plan.lists != self.lists;
+        if changed {
+            self.centroids = plan.centroids;
+            self.lists = plan.lists;
+            if self.quant.is_some() {
+                // the corpus the scales were fitted over has drifted too:
+                // re-fit so stage-0 code error tracks the current data
+                self.enable_sq8()?;
+            }
+            self.generation += 1;
+        }
+        Ok(ReclusterReport {
+            changed,
+            nlist: self.centroids.len(),
+            len: self.vectors.len(),
+            routed_tail,
+        })
+    }
+
+    /// [`AnnIndex::train_recluster`] + [`AnnIndex::install_recluster`] in
+    /// one synchronous call — the forced path (`force_recluster`) and the
+    /// test harness use this; the maintenance thread splits the two so
+    /// training holds no locks.
+    ///
+    /// # Errors
+    /// Propagates [`AnnIndex::install_recluster`] errors.
+    pub fn recluster(&mut self) -> Result<ReclusterReport, ServeError> {
+        let plan = self.train_recluster();
+        self.install_recluster(plan)
+    }
+
     /// Serialises the whole index to JSON.
     ///
     /// # Errors
@@ -765,6 +917,8 @@ impl AnnIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     fn random_vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -1072,6 +1226,110 @@ mod tests {
         }
         let err = AnnIndex::from_json(&serde_json::to_string(&negated).unwrap()).unwrap_err();
         assert!(err.contains("negative step"), "{err}");
+    }
+
+    #[test]
+    fn zero_drift_recluster_is_bit_identical_and_skipped() {
+        let idx = AnnIndex::build(random_vectors(1500, 12, 60), IndexConfig::default());
+        let json_before = idx.to_json().unwrap();
+        let mut again = idx.clone();
+        let report = again.recluster().unwrap();
+        assert!(!report.changed, "unchanged corpus must re-train to the same table");
+        assert_eq!(report.routed_tail, 0);
+        assert_eq!(again.generation(), idx.generation(), "no-op install must not bump");
+        assert_eq!(again.to_json().unwrap(), json_before, "snapshot must be byte-identical");
+    }
+
+    #[test]
+    fn recluster_after_churn_routes_tail_and_restores_recall() {
+        let mut idx = AnnIndex::build(random_vectors(1200, 12, 61), IndexConfig::default());
+        let plan = idx.train_recluster();
+        // corpus churns while training runs: drifted (offset) newcomers
+        let mut extra = random_vectors(300, 12, 62);
+        for v in &mut extra {
+            v[0] += 2.0;
+        }
+        for v in &extra {
+            idx.insert(v.clone());
+        }
+        let report = idx.install_recluster(plan).unwrap();
+        assert_eq!(report.routed_tail, 300, "post-training inserts must be routed");
+        assert_eq!(report.len, 1500);
+        // every vector — old and routed tail — must still self-query
+        for probe in [0usize, 599, 1200, 1499] {
+            let hits = idx.search(idx.vector(probe), 1);
+            assert_eq!(hits[0].id, probe, "self-query after recluster handover");
+        }
+        // a genuinely changed corpus re-trains to a different table
+        let report = idx.recluster().unwrap();
+        assert!(report.changed, "nlist re-resolves for the grown corpus");
+        assert_eq!(report.nlist, resolved_nlist(&IndexConfig::default(), 1500));
+    }
+
+    #[test]
+    fn recluster_refits_quant_scales() {
+        let mut idx = AnnIndex::build(random_vectors(1000, 8, 63), IndexConfig::default())
+            .with_sq8()
+            .unwrap();
+        let sums_before = idx.quant_checksums();
+        let mut extra = random_vectors(400, 8, 64);
+        for v in &mut extra {
+            v[2] -= 3.0;
+        }
+        for v in &extra {
+            idx.insert(v.clone());
+        }
+        let report = idx.recluster().unwrap();
+        assert!(report.changed);
+        assert!(idx.is_quantized(), "quant sidecar must survive the handover");
+        assert_ne!(idx.quant_checksums(), sums_before, "scales re-fit over the drifted corpus");
+        for probe in [0usize, 500, 1399] {
+            let hits = idx.search(idx.vector(probe), 1);
+            assert_eq!(hits[0].id, probe);
+        }
+    }
+
+    #[test]
+    fn drift_stats_track_skewed_ingest() {
+        let mut idx = AnnIndex::build(random_vectors(1200, 10, 65), IndexConfig::default());
+        let base = idx.drift_stats();
+        assert_eq!(base.len, 1200);
+        assert!(base.nlist > 0);
+        assert!(base.skew >= 1.0);
+        assert!(base.mean_residual > 0.0, "random data never sits on its centroids");
+        // pile drifted vectors into whatever cell attracts them: skew and
+        // residual must both grow
+        let mut extra = random_vectors(600, 10, 66);
+        for v in &mut extra {
+            v[0] += 4.0;
+        }
+        for v in &extra {
+            idx.insert(v.clone());
+        }
+        let after = idx.drift_stats();
+        assert!(after.skew > base.skew, "skew {} -> {}", base.skew, after.skew);
+        assert!(
+            after.mean_residual > base.mean_residual,
+            "residual {} -> {}",
+            base.mean_residual,
+            after.mean_residual
+        );
+        // re-clustering repairs both signals
+        idx.recluster().unwrap();
+        let repaired = idx.drift_stats();
+        assert!(repaired.mean_residual < after.mean_residual);
+        // flat indexes report neutral drift
+        let flat = AnnIndex::build(random_vectors(50, 10, 67), IndexConfig::default());
+        let stats = flat.drift_stats();
+        assert_eq!((stats.nlist, stats.skew, stats.mean_residual), (0, 1.0, 0.0));
+    }
+
+    #[test]
+    fn stale_plan_from_longer_index_is_rejected() {
+        let big = AnnIndex::build(random_vectors(900, 8, 68), IndexConfig::default());
+        let plan = big.train_recluster();
+        let mut small = AnnIndex::build(random_vectors(500, 8, 68), IndexConfig::default());
+        assert!(matches!(small.install_recluster(plan), Err(ServeError::Invalid(_))));
     }
 
     #[test]

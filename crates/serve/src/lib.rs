@@ -59,6 +59,7 @@ pub mod facet;
 pub mod fault;
 pub mod index;
 pub mod loadgen;
+pub mod maintenance;
 pub mod rerank;
 pub mod router;
 pub mod shard;
@@ -78,14 +79,22 @@ pub use facet::{
 };
 pub use fault::{CrashPoint, FaultPlan};
 pub use index::{AnnIndex, Hit, IndexConfig, DEFAULT_RESCORE};
+pub use index::{DriftStats, ReclusterPlan, ReclusterReport};
 pub use loadgen::{
-    ChaosConfig, ChaosEvent, ChaosKind, ChaosRunReport, DegradeBreakdown, LoadReport, LoadgenConfig,
+    ChaosConfig, ChaosEvent, ChaosKind, ChaosRunReport, ChurnConfig, ChurnRunReport,
+    DegradeBreakdown, LoadReport, LoadgenConfig,
+};
+pub use maintenance::{
+    DrainReport, IngestQueue, Maintainer, MaintainerStatus, MaintenanceConfig, TickReport,
 };
 pub use router::{
     manifest_path, shard_snapshot_path, verify_sharded, HedgeConfig, RouterStatsSnapshot,
     ShardManifest, ShardRouter, ShardVerifyEntry, ShardedVerifyReport,
 };
-pub use shard::{merge_top_k, shard_of, ProbeReport, Shard, ShardConfig, ShardStatsSnapshot};
+pub use shard::{
+    merge_top_k, shard_of, CompactionReport, MaintenanceStatus, ProbeReport, Shard, ShardConfig,
+    ShardStatsSnapshot,
+};
 pub use store::{Durability, IndexStore, Recovery, VerifyReport};
 pub use supervisor::{
     ShardHealth, ShardSupervisor, SupervisorConfig, SupervisorEvent, SupervisorSnapshot,

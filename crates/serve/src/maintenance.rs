@@ -1,0 +1,665 @@
+//! Live maintenance: backpressured streaming ingest, online-compaction
+//! scheduling and drift-triggered re-clustering.
+//!
+//! Serving a paper stream for months means three slow-burn problems the
+//! request path cannot solve on its own:
+//!
+//! 1. **Ingest arrives in bursts.** Applying every submission inline
+//!    (fsync per record) caps throughput at the disk; applying them
+//!    asynchronously without a bound grows memory until the process dies.
+//!    The [`Maintainer`] owns one bounded [`IngestQueue`] per shard:
+//!    submissions are routed to the least-loaded queue, acknowledged as
+//!    *queued*, and applied in journal batches by the maintenance thread.
+//!    A full queue sheds with the typed
+//!    [`ServeError::IngestBackpressure`] — the producer-side twin of the
+//!    query path's admission control — so overload degrades into honest
+//!    backpressure instead of latency collapse.
+//! 2. **Journals grow without bound.** Every applied record lengthens
+//!    recovery replay. Once `compact_after` records have been applied to
+//!    a shard, the maintainer runs [`Shard::compact_online`]: queries
+//!    never pause, ingest pauses only for the commit rename.
+//! 3. **Centroids go stale.** The IVF table was trained on the corpus at
+//!    build time; a drifting stream skews cell sizes and grows the mean
+//!    residual until recall and tail latency rot. The drift detector
+//!    compares each shard's [`DriftStats`] against the baseline captured
+//!    at the last (re-)train and schedules [`Shard::recluster`] — which
+//!    re-fits SQ8 scales when quantized and hands over by epoch, with
+//!    in-flight queries finishing on the old table.
+//!
+//! Everything is observable: `serve.ingest.{queued,shed,applied,lag}`
+//! count the streaming path, `serve.maint.{compactions,reclusters}` the
+//! background work. Like the failure supervisor, the maintainer exposes a
+//! deterministic [`Maintainer::tick`] for tests and a background thread
+//! ([`Maintainer::start`]) for production.
+//!
+//! [`Shard::compact_online`]: crate::shard::Shard::compact_online
+//! [`Shard::recluster`]: crate::shard::Shard::recluster
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use sem_obs::{Counter, Gauge, Registry};
+use serde::Serialize;
+
+use crate::error::ServeError;
+use crate::index::{DriftStats, ReclusterReport};
+use crate::router::ShardRouter;
+use crate::shard::{CompactionReport, MaintenanceStatus};
+
+/// Knobs for the live-maintenance loop.
+#[derive(Clone, Copy, Debug)]
+pub struct MaintenanceConfig {
+    /// Bounded depth of each per-shard ingest queue; a submission finding
+    /// its queue full is shed with [`ServeError::IngestBackpressure`].
+    pub queue_capacity: usize,
+    /// Suggested producer backoff carried by the shed error,
+    /// milliseconds.
+    pub retry_after_ms: u64,
+    /// Journal appends batched per fsync while streaming (`1` keeps every
+    /// ack `Synced`; larger values trade ack durability for throughput —
+    /// acks come back `Buffered` and harden at the next sync).
+    pub journal_batch: usize,
+    /// Schedule an online compaction on a shard once this many records
+    /// have been applied to it since its last compaction.
+    pub compact_after: usize,
+    /// Re-cluster when a shard's assignment-count skew (largest cell over
+    /// mean cell) reaches this factor.
+    pub drift_skew: f32,
+    /// Re-cluster when a shard's mean residual exceeds the baseline
+    /// captured at its last (re-)train by this factor.
+    pub drift_residual_factor: f32,
+    /// Re-cluster when a shard's corpus has grown by this factor over the
+    /// baseline length.
+    pub drift_len_factor: f32,
+    /// Pause between background maintenance passes.
+    pub tick_interval: Duration,
+}
+
+impl Default for MaintenanceConfig {
+    fn default() -> Self {
+        MaintenanceConfig {
+            queue_capacity: 1024,
+            retry_after_ms: 20,
+            journal_batch: 32,
+            compact_after: 512,
+            drift_skew: 3.0,
+            drift_residual_factor: 1.5,
+            drift_len_factor: 2.0,
+            tick_interval: Duration::from_millis(50),
+        }
+    }
+}
+
+/// A bounded FIFO of raw (pre-normalisation) vectors waiting to be
+/// applied to one shard. Push fails — never blocks, never grows — when
+/// the queue is at capacity: backpressure is the caller's signal, not a
+/// hidden stall.
+pub struct IngestQueue {
+    capacity: usize,
+    items: Mutex<VecDeque<Vec<f32>>>,
+}
+
+impl IngestQueue {
+    /// An empty queue bounded at `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        IngestQueue { capacity: capacity.max(1), items: Mutex::new(VecDeque::new()) }
+    }
+
+    /// Entries currently queued.
+    pub fn len(&self) -> usize {
+        self.items.lock().len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The bound push refuses past.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Enqueues `vector`, or returns it to the caller when the queue is
+    /// full (the shed path — nothing is dropped silently).
+    pub fn try_push(&self, vector: Vec<f32>) -> Result<(), Vec<f32>> {
+        let mut items = self.items.lock();
+        if items.len() >= self.capacity {
+            return Err(vector);
+        }
+        items.push_back(vector);
+        Ok(())
+    }
+
+    /// Pops the oldest entry.
+    pub fn pop(&self) -> Option<Vec<f32>> {
+        self.items.lock().pop_front()
+    }
+
+    /// Returns `vector` to the head of the queue (a failed apply keeps
+    /// its submission order; capacity is allowed to overshoot by the one
+    /// in-flight entry rather than lose it).
+    pub fn push_front(&self, vector: Vec<f32>) {
+        self.items.lock().push_front(vector);
+    }
+}
+
+/// What one [`Maintainer::drain_once`] pass did.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct DrainReport {
+    /// Records applied to their shards.
+    pub applied: usize,
+    /// Records popped but re-queued because the apply failed (shard down
+    /// or store fault — the supervisor's problem, not data loss).
+    pub requeued: usize,
+    /// Records still queued when the pass ended.
+    pub remaining: usize,
+}
+
+/// What one [`Maintainer::tick`] did.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct TickReport {
+    /// The drain pass that opened the tick.
+    pub drain: DrainReport,
+    /// Shards whose journals were compacted online this tick.
+    pub compacted: Vec<usize>,
+    /// Shards re-clustered this tick, with each install's outcome.
+    pub reclustered: Vec<(usize, ReclusterReport)>,
+}
+
+/// Point-in-time view of the whole maintenance plane.
+#[derive(Clone, Debug, Serialize)]
+pub struct MaintainerStatus {
+    /// Per-shard maintenance views (drift, epochs, journal tails).
+    pub shards: Vec<MaintenanceStatus>,
+    /// Per-shard ingest-queue depths.
+    pub queue_depths: Vec<usize>,
+    /// Submissions accepted into a queue, lifetime.
+    pub queued: u64,
+    /// Submissions shed with backpressure, lifetime.
+    pub shed: u64,
+    /// Records applied to shards, lifetime.
+    pub applied: u64,
+    /// Online compactions committed, lifetime.
+    pub compactions: u64,
+    /// Re-cluster installs that changed a table, lifetime.
+    pub reclusters: u64,
+}
+
+/// Drift baseline captured when a shard's table was (re-)trained.
+#[derive(Clone, Copy, Debug)]
+struct DriftBaseline {
+    len: usize,
+    residual: f32,
+}
+
+struct MaintMetrics {
+    queued: Arc<Counter>,
+    shed: Arc<Counter>,
+    applied: Arc<Counter>,
+    lag: Arc<Gauge>,
+    compactions: Arc<Counter>,
+    reclusters: Arc<Counter>,
+}
+
+impl MaintMetrics {
+    fn new(registry: &Registry) -> Self {
+        MaintMetrics {
+            queued: registry.counter("serve.ingest.queued"),
+            shed: registry.counter("serve.ingest.shed"),
+            applied: registry.counter("serve.ingest.applied"),
+            lag: registry.gauge("serve.ingest.lag"),
+            compactions: registry.counter("serve.maint.compactions"),
+            reclusters: registry.counter("serve.maint.reclusters"),
+        }
+    }
+}
+
+/// The maintenance plane over a [`ShardRouter`]: owns the per-shard
+/// ingest queues, applies them in journal batches, and schedules online
+/// compaction and drift-triggered re-clustering. Construct with
+/// [`Maintainer::new`], drive deterministically with
+/// [`Maintainer::tick`] or in the background with [`Maintainer::start`].
+pub struct Maintainer {
+    router: Arc<ShardRouter>,
+    config: MaintenanceConfig,
+    queues: Vec<IngestQueue>,
+    /// Records applied per shard since its last compaction — the
+    /// compaction scheduler's signal (cheaper than re-reading journal
+    /// tails from disk every tick).
+    applied_since_compaction: Vec<AtomicU64>,
+    baselines: Mutex<Vec<DriftBaseline>>,
+    metrics: MaintMetrics,
+    shutdown: Arc<AtomicBool>,
+    handle: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Maintainer {
+    /// Wires the maintenance plane onto `router`: switches every shard's
+    /// journal to batched appends (`config.journal_batch`) and captures
+    /// the drift baselines the detector compares against.
+    pub fn new(router: Arc<ShardRouter>, config: MaintenanceConfig) -> Self {
+        router.set_journal_batch(config.journal_batch);
+        let n = router.num_shards();
+        let queues = (0..n).map(|_| IngestQueue::new(config.queue_capacity)).collect();
+        let baselines = (0..n)
+            .map(|i| {
+                let drift = router.shard(i).drift_stats().unwrap_or(DriftStats {
+                    len: 0,
+                    nlist: 0,
+                    skew: 1.0,
+                    mean_residual: 0.0,
+                });
+                DriftBaseline { len: drift.len, residual: drift.mean_residual }
+            })
+            .collect();
+        let metrics = MaintMetrics::new(&router.metrics());
+        Maintainer {
+            config,
+            queues,
+            applied_since_compaction: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            baselines: Mutex::new(baselines),
+            metrics,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            handle: Mutex::new(None),
+            router,
+        }
+    }
+
+    /// The router this maintainer serves.
+    pub fn router(&self) -> &Arc<ShardRouter> {
+        &self.router
+    }
+
+    /// Submits one vector to the streaming-ingest plane: routed to the
+    /// least-loaded healthy shard's queue (by indexed + queued length,
+    /// the same min-rule the router's inline ingest uses) and applied by
+    /// a later drain pass.
+    ///
+    /// # Errors
+    /// [`ServeError::DimensionMismatch`] on a bad width,
+    /// [`ServeError::ShardDown`] when every shard is down, and
+    /// [`ServeError::IngestBackpressure`] when the target queue is full —
+    /// the producer should back off `retry_after_ms` and retry.
+    pub fn submit(&self, vector: Vec<f32>) -> Result<(), ServeError> {
+        if vector.len() != self.router.dim() {
+            return Err(ServeError::DimensionMismatch {
+                expected: self.router.dim(),
+                got: vector.len(),
+            });
+        }
+        let n = self.queues.len();
+        let target = (0..n)
+            .filter(|&i| !self.router.shard(i).is_down())
+            .min_by_key(|&i| (self.router.shard(i).len() + self.queues[i].len()) * n + i)
+            .ok_or_else(|| ServeError::ShardDown {
+                shard: 0,
+                detail: "every shard is down".into(),
+            })?;
+        match self.queues[target].try_push(vector) {
+            Ok(()) => {
+                self.metrics.queued.inc();
+                self.metrics.lag.set(self.queued_total() as f64);
+                Ok(())
+            }
+            Err(_rejected) => {
+                self.metrics.shed.inc();
+                Err(ServeError::IngestBackpressure { retry_after_ms: self.config.retry_after_ms })
+            }
+        }
+    }
+
+    /// Total entries across all queues (the `serve.ingest.lag` gauge).
+    pub fn queued_total(&self) -> usize {
+        self.queues.iter().map(IngestQueue::len).sum()
+    }
+
+    /// One bounded drain pass: pops the entries each queue held at entry
+    /// (later submissions wait for the next pass), applies them through
+    /// the router in round-robin order, and re-queues — at the head, to
+    /// keep order — anything whose apply failed.
+    pub fn drain_once(&self) -> DrainReport {
+        let budgets: Vec<usize> = self.queues.iter().map(IngestQueue::len).collect();
+        let mut report = DrainReport::default();
+        let n = self.queues.len();
+        let mut blocked = vec![false; n];
+        for round in 0..budgets.iter().copied().max().unwrap_or(0) {
+            for (i, queue) in self.queues.iter().enumerate() {
+                if round >= budgets[i] || blocked[i] {
+                    continue;
+                }
+                let Some(vector) = queue.pop() else { continue };
+                match self.router.ingest_vector(vector.clone()) {
+                    Ok(ack) => {
+                        let owner = ack.id % n;
+                        self.applied_since_compaction[owner].fetch_add(1, Ordering::Relaxed);
+                        self.metrics.applied.inc();
+                        report.applied += 1;
+                    }
+                    Err(_) => {
+                        // shard down or store fault: nothing was acked, so
+                        // the record goes back to the head of its queue
+                        // for a pass after the supervisor heals
+                        queue.push_front(vector);
+                        blocked[i] = true;
+                        report.requeued += 1;
+                    }
+                }
+            }
+        }
+        report.remaining = self.queued_total();
+        self.metrics.lag.set(report.remaining as f64);
+        report
+    }
+
+    /// Drains until every queue is empty or nothing can be applied any
+    /// more (all remaining targets down). The shutdown path.
+    pub fn drain_all(&self) -> DrainReport {
+        let mut total = DrainReport::default();
+        loop {
+            let pass = self.drain_once();
+            total.applied += pass.applied;
+            total.requeued += pass.requeued;
+            total.remaining = pass.remaining;
+            if pass.remaining == 0 || pass.applied == 0 {
+                return total;
+            }
+        }
+    }
+
+    /// `true` when `drift` warrants re-training `shard`'s table: the
+    /// corpus moved since the baseline AND (a flat index outgrew the flat
+    /// threshold, cell sizes skewed past `drift_skew`, the mean residual
+    /// grew past `drift_residual_factor`× the baseline, or the corpus
+    /// grew past `drift_len_factor`× the baseline length).
+    fn drift_exceeded(&self, shard: usize, drift: &DriftStats) -> bool {
+        let baseline = self.baselines.lock()[shard];
+        if drift.len <= baseline.len {
+            return false; // nothing new since the last train
+        }
+        let flat_threshold = self.router.config().index.flat_threshold;
+        if drift.nlist == 0 {
+            return drift.len > flat_threshold;
+        }
+        drift.skew >= self.config.drift_skew
+            || drift.mean_residual > baseline.residual * self.config.drift_residual_factor + 1e-3
+            || drift.len as f32 >= baseline.len.max(1) as f32 * self.config.drift_len_factor
+    }
+
+    /// Re-clusters `shard` now, regardless of drift, and re-baselines the
+    /// detector from the post-install stats (so the next trigger needs
+    /// fresh movement, preventing re-train loops on stubborn skew).
+    ///
+    /// # Errors
+    /// Out-of-range ordinal or the shard being down.
+    pub fn force_recluster(&self, shard: usize) -> Result<ReclusterReport, ServeError> {
+        let report = self.router.recluster_shard(shard)?;
+        if report.changed {
+            self.metrics.reclusters.inc();
+        }
+        if let Ok(drift) = self.router.shard(shard).drift_stats() {
+            self.baselines.lock()[shard] =
+                DriftBaseline { len: drift.len, residual: drift.mean_residual };
+        }
+        Ok(report)
+    }
+
+    /// Online-compacts `shard` now, regardless of the applied counter,
+    /// and resets its compaction budget.
+    ///
+    /// # Errors
+    /// Out-of-range ordinal, no store, shard down, or store failures.
+    pub fn force_compact(&self, shard: usize) -> Result<CompactionReport, ServeError> {
+        let report = self.router.compact_shard_online(shard)?;
+        self.applied_since_compaction[shard].store(0, Ordering::Relaxed);
+        self.metrics.compactions.inc();
+        Ok(report)
+    }
+
+    /// One deterministic maintenance pass: drain the queues, harden
+    /// buffered acks, compact any shard past its applied budget, and
+    /// re-cluster any shard past its drift thresholds. Individual shard
+    /// failures are skipped — the supervisor owns healing; the tick
+    /// retries on a later pass.
+    pub fn tick(&self) -> TickReport {
+        let mut report = TickReport { drain: self.drain_once(), ..TickReport::default() };
+        // buffered acks harden here: one fsync per tick, not per record
+        self.router.sync_stores().ok();
+        for i in 0..self.queues.len() {
+            if self.applied_since_compaction[i].load(Ordering::Relaxed)
+                >= self.config.compact_after as u64
+                && self.force_compact(i).is_ok()
+            {
+                report.compacted.push(i);
+            }
+            let Ok(drift) = self.router.shard(i).drift_stats() else { continue };
+            if self.drift_exceeded(i, &drift) {
+                if let Ok(r) = self.force_recluster(i) {
+                    report.reclustered.push((i, r));
+                }
+            }
+        }
+        report
+    }
+
+    /// Point-in-time view of queues, counters and per-shard drift.
+    pub fn status(&self) -> MaintainerStatus {
+        MaintainerStatus {
+            shards: self.router.maintenance_status(),
+            queue_depths: self.queues.iter().map(IngestQueue::len).collect(),
+            queued: self.metrics.queued.get(),
+            shed: self.metrics.shed.get(),
+            applied: self.metrics.applied.get(),
+            compactions: self.metrics.compactions.get(),
+            reclusters: self.metrics.reclusters.get(),
+        }
+    }
+
+    /// Spawns the background maintenance thread: `tick` every
+    /// `tick_interval` until [`Maintainer::shutdown`]. Idempotent — a
+    /// second call while running is a no-op.
+    pub fn start(self: &Arc<Self>) {
+        let mut handle = self.handle.lock();
+        if handle.is_some() {
+            return;
+        }
+        self.shutdown.store(false, Ordering::SeqCst);
+        let maintainer = Arc::clone(self);
+        *handle = Some(std::thread::spawn(move || {
+            while !maintainer.shutdown.load(Ordering::SeqCst) {
+                maintainer.tick();
+                // sleep in slices so shutdown stays responsive
+                let mut remaining = maintainer.config.tick_interval;
+                while !remaining.is_zero() && !maintainer.shutdown.load(Ordering::SeqCst) {
+                    let slice = remaining.min(Duration::from_millis(10));
+                    std::thread::sleep(slice);
+                    remaining = remaining.saturating_sub(slice);
+                }
+            }
+        }));
+    }
+
+    /// Stops the background thread, applies everything still queued and
+    /// hardens the journals — no accepted submission is lost to a clean
+    /// shutdown.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.lock().take() {
+            handle.join().ok();
+        }
+        self.drain_all();
+        self.router.sync_stores().ok();
+        self.metrics.lag.set(self.queued_total() as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexConfig;
+    use crate::shard::ShardConfig;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::path::PathBuf;
+
+    fn random_vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect()
+    }
+
+    fn flat_router(shards: usize, n: usize) -> Arc<ShardRouter> {
+        let config = ShardConfig {
+            shards,
+            index: IndexConfig { flat_threshold: usize::MAX, ..IndexConfig::default() },
+            cache_capacity: 64,
+        };
+        Arc::new(ShardRouter::try_build(random_vectors(n, 6, 11), config).unwrap())
+    }
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sem-maint-{name}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn queue_bounds_and_returns_rejects() {
+        let q = IngestQueue::new(2);
+        assert!(q.try_push(vec![1.0]).is_ok());
+        assert!(q.try_push(vec![2.0]).is_ok());
+        let rejected = q.try_push(vec![3.0]).unwrap_err();
+        assert_eq!(rejected, vec![3.0], "the shed vector comes back to the caller");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(vec![1.0]));
+        q.push_front(vec![0.5]);
+        assert_eq!(q.pop(), Some(vec![0.5]), "re-queued entries keep their order");
+    }
+
+    #[test]
+    fn submit_sheds_with_typed_backpressure_when_full() {
+        let router = flat_router(2, 8);
+        let config = MaintenanceConfig { queue_capacity: 3, ..MaintenanceConfig::default() };
+        let maintainer = Maintainer::new(router, config);
+        // capacity 3 per queue × 2 queues: 6 fit, the 7th sheds
+        let mut shed = 0;
+        for v in random_vectors(8, 6, 21) {
+            match maintainer.submit(v) {
+                Ok(()) => {}
+                Err(ServeError::IngestBackpressure { retry_after_ms }) => {
+                    assert_eq!(retry_after_ms, config.retry_after_ms);
+                    shed += 1;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert_eq!(shed, 2);
+        let status = maintainer.status();
+        assert_eq!(status.queued, 6);
+        assert_eq!(status.shed, 2);
+        assert!(maintainer
+            .submit(vec![1.0, 2.0])
+            .is_err_and(|e| matches!(e, ServeError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn drain_applies_queued_records_to_the_router() {
+        let router = flat_router(2, 10);
+        let maintainer = Maintainer::new(Arc::clone(&router), MaintenanceConfig::default());
+        for v in random_vectors(7, 6, 31) {
+            maintainer.submit(v).unwrap();
+        }
+        assert_eq!(router.len(), 10, "nothing applied before the drain");
+        let report = maintainer.drain_once();
+        assert_eq!(report.applied, 7);
+        assert_eq!(report.remaining, 0);
+        assert_eq!(router.len(), 17);
+        assert_eq!(maintainer.status().applied, 7);
+        // queries see the streamed vectors
+        assert!(!router.query(vec![0.1; 6], 3).unwrap().hits.is_empty());
+    }
+
+    #[test]
+    fn tick_compacts_once_the_applied_budget_is_spent() {
+        let dir = scratch("compact-budget");
+        let router = flat_router(2, 10);
+        router.attach_stores(&dir.join("idx")).unwrap();
+        router.persist_all().unwrap();
+        let config = MaintenanceConfig {
+            compact_after: 8,
+            journal_batch: 4,
+            ..MaintenanceConfig::default()
+        };
+        let maintainer = Maintainer::new(Arc::clone(&router), config);
+        for v in random_vectors(20, 6, 41) {
+            maintainer.submit(v).unwrap();
+        }
+        let report = maintainer.tick();
+        assert_eq!(report.drain.applied, 20);
+        assert!(!report.compacted.is_empty(), "10 records per shard > compact_after 8");
+        for status in router.maintenance_status() {
+            if report.compacted.contains(&status.shard) {
+                assert_eq!(status.journal_tail, Some(0), "compaction folded the journal");
+            }
+        }
+        let s = maintainer.status();
+        assert!(s.compactions >= 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn drift_triggers_recluster_and_rebaselines() {
+        // IVF from the start: small flat threshold, fixed nlist
+        let config = ShardConfig {
+            shards: 1,
+            index: IndexConfig { nlist: 4, nprobe: 4, flat_threshold: 1, kmeans_iters: 4, seed: 9 },
+            cache_capacity: 64,
+        };
+        let router = Arc::new(ShardRouter::try_build(random_vectors(60, 6, 51), config).unwrap());
+        let mcfg = MaintenanceConfig { drift_len_factor: 1.5, ..MaintenanceConfig::default() };
+        let maintainer = Maintainer::new(Arc::clone(&router), mcfg);
+        assert!(maintainer.tick().reclustered.is_empty(), "no drift yet");
+        // stream a shifted distribution to twice the baseline length
+        for mut v in random_vectors(70, 6, 61) {
+            v[0] += 2.0;
+            maintainer.submit(v).unwrap();
+        }
+        let report = maintainer.tick();
+        assert_eq!(report.reclustered.len(), 1, "len grew 1.5x past baseline");
+        assert!(report.reclustered[0].1.changed);
+        assert_eq!(router.shard(0).epoch(), 1);
+        assert!(maintainer.status().reclusters >= 1);
+        // re-baselined: an immediate second tick must not re-train again
+        assert!(maintainer.tick().reclustered.is_empty());
+    }
+
+    #[test]
+    fn background_thread_applies_submissions_and_shutdown_drains() {
+        let router = flat_router(2, 10);
+        let config = MaintenanceConfig {
+            tick_interval: Duration::from_millis(5),
+            ..MaintenanceConfig::default()
+        };
+        let maintainer = Arc::new(Maintainer::new(Arc::clone(&router), config));
+        maintainer.start();
+        maintainer.start(); // idempotent
+        for v in random_vectors(30, 6, 71) {
+            loop {
+                match maintainer.submit(v.clone()) {
+                    Ok(()) => break,
+                    Err(ServeError::IngestBackpressure { .. }) => {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(e) => panic!("unexpected error: {e}"),
+                }
+            }
+        }
+        maintainer.shutdown();
+        assert_eq!(maintainer.queued_total(), 0, "clean shutdown applies everything");
+        assert_eq!(router.len(), 40);
+    }
+}

@@ -37,8 +37,11 @@ use crate::engine::{
 };
 use crate::error::ServeError;
 use crate::facet::FacetLayout;
-use crate::index::{AnnIndex, Hit};
-use crate::shard::{merge_top_k, shard_of, LocalHits, Shard, ShardConfig, ShardStatsSnapshot};
+use crate::index::{AnnIndex, Hit, ReclusterReport};
+use crate::shard::{
+    merge_top_k, shard_of, CompactionReport, LocalHits, MaintenanceStatus, Shard, ShardConfig,
+    ShardStatsSnapshot,
+};
 use crate::store::{Durability, IndexStore, VerifyReport};
 
 /// Snapshot path of shard `i`: `base.shard<i>`.
@@ -903,6 +906,64 @@ impl ShardRouter {
             )));
         };
         shard.recover_from_store()
+    }
+
+    /// Online-compacts shard `i`'s journal: queries keep serving the whole
+    /// time, ingest pauses only for the final catch-up and commit (see
+    /// [`Shard::compact_online`]).
+    ///
+    /// # Errors
+    /// Out-of-range ordinal, no store attached, shard down, or the store's
+    /// own failures.
+    pub fn compact_shard_online(&self, i: usize) -> Result<CompactionReport, ServeError> {
+        self.checked_shard(i)?.compact_online()
+    }
+
+    /// Re-trains shard `i`'s centroid table against its live corpus and
+    /// swaps it in with epoch handover (see [`Shard::recluster`]). A
+    /// zero-drift re-train swaps nothing.
+    ///
+    /// # Errors
+    /// Out-of-range ordinal or the shard being down.
+    pub fn recluster_shard(&self, i: usize) -> Result<ReclusterReport, ServeError> {
+        self.checked_shard(i)?.recluster()
+    }
+
+    /// Point-in-time maintenance view of every shard (drift, handover
+    /// epochs, journal tails).
+    pub fn maintenance_status(&self) -> Vec<MaintenanceStatus> {
+        self.shards.iter().map(|s| s.maintenance_status()).collect()
+    }
+
+    /// Switches every shard's journal batching: `1` fsyncs per append,
+    /// larger values batch `n` appends per fsync — the streaming-ingest
+    /// mode (acks come back [`Durability::Buffered`]).
+    pub fn set_journal_batch(&self, flush_every: usize) {
+        for shard in &self.shards {
+            shard.set_journal_batch(flush_every);
+        }
+    }
+
+    /// Flushes buffered journal records on every shard (makes every
+    /// previously buffered ack durable). The first failure aborts the
+    /// sweep.
+    ///
+    /// # Errors
+    /// Any shard's store failing to flush.
+    pub fn sync_stores(&self) -> Result<(), ServeError> {
+        for shard in &self.shards {
+            shard.sync_store()?;
+        }
+        Ok(())
+    }
+
+    fn checked_shard(&self, i: usize) -> Result<&Shard, ServeError> {
+        self.shards.get(i).map(Arc::as_ref).ok_or_else(|| {
+            ServeError::Invalid(format!(
+                "shard {i} out of range (router has {})",
+                self.shards.len()
+            ))
+        })
     }
 
     /// Current router counters plus each shard's snapshot.

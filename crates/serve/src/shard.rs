@@ -20,6 +20,7 @@
 
 use std::collections::BinaryHeap;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -30,7 +31,7 @@ use serde::Serialize;
 use crate::cache::LruCache;
 use crate::engine::{dot, LatencySummary};
 use crate::error::ServeError;
-use crate::index::{AnnIndex, Hit, IndexConfig};
+use crate::index::{AnnIndex, DriftStats, Hit, IndexConfig, ReclusterReport};
 use crate::store::{Durability, IndexStore};
 
 /// Shard that owns global id `g` under an `n`-way partition.
@@ -105,6 +106,10 @@ struct ShardMetrics {
     inflight: Arc<Gauge>,
     downs: Arc<Counter>,
     recoveries: Arc<Counter>,
+    reclusters: Arc<Counter>,
+    /// Ingest-pause duration of the online compaction's commit phase —
+    /// the only window in which the protocol blocks writes.
+    compact_pause_ns: Arc<Histogram>,
     // serve.quant.* is deliberately unprefixed by shard: every shard
     // resolves the same registry handle, so the counters aggregate
     // across the whole router
@@ -125,6 +130,8 @@ impl ShardMetrics {
             inflight: registry.gauge(&name("inflight")),
             downs: registry.counter(&name("downs")),
             recoveries: registry.counter(&name("recoveries")),
+            reclusters: registry.counter(&name("reclusters")),
+            compact_pause_ns: registry.histogram(&name("compact.pause.ns")),
             quant_scans: registry.counter("serve.quant.scans"),
             quant_rescored: registry.counter("serve.quant.rescored"),
         }
@@ -168,6 +175,13 @@ pub struct ProbeReport {
     /// check was skipped, otherwise [`crate::store::IndexStore::verify`]'s
     /// overall `ok`.
     pub store_ok: Option<bool>,
+    /// Journal tail length (records appended since the last snapshot,
+    /// main + side journal), from the same store check as `store_ok`.
+    /// `None` when no store is attached or the check was skipped. A
+    /// growing tail means recovery replay — and therefore time-to-heal —
+    /// is growing unboundedly; the supervisor alarms past its
+    /// `max_journal_tail`.
+    pub journal_tail: Option<usize>,
 }
 
 impl ProbeReport {
@@ -179,6 +193,77 @@ impl ProbeReport {
     pub fn serving_ok(&self) -> bool {
         self.self_query_ok
     }
+}
+
+/// Outcome of one [`Shard::compact_online`] run.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct CompactionReport {
+    /// Shard compacted.
+    pub shard: usize,
+    /// Vectors in the point-in-time clone the compaction started from.
+    pub base_len: usize,
+    /// Side-journal records folded into the clone before the commit
+    /// (ingest that landed while the compaction ran).
+    pub folded: usize,
+    /// Of `folded`, how many arrived in the final ingest-paused catch-up —
+    /// the only records whose fold happened under the pause.
+    pub pause_catchup: usize,
+    /// How long ingest was paused for the catch-up + commit,
+    /// microseconds. Queries are never paused.
+    pub pause_us: u64,
+}
+
+/// Point-in-time maintenance view of one shard (drift, handover epoch,
+/// journal tail) — what `index maintain --status` and the maintenance
+/// scheduler read.
+#[derive(Clone, Debug, Serialize)]
+pub struct MaintenanceStatus {
+    /// Shard described.
+    pub shard: usize,
+    /// Vectors held (last known length while down).
+    pub len: usize,
+    /// Centroid-handover epoch: bumped once per re-cluster that actually
+    /// changed the table. A zero-drift re-train leaves it untouched.
+    pub epoch: u64,
+    /// Index mutation generation (see [`AnnIndex::generation`]).
+    pub generation: u64,
+    /// `true` when the shard scans SQ8 codes.
+    pub quantized: bool,
+    /// Clustering health, `None` while the shard is down.
+    pub drift: Option<DriftStats>,
+    /// Journal tail length (records not yet folded into a snapshot),
+    /// `None` when no store is attached.
+    pub journal_tail: Option<usize>,
+    /// `true` while an online compaction is in flight on the store.
+    pub compacting: bool,
+}
+
+/// Replays `(seq, raw_vector)` side-journal records into `clone` under
+/// recovery's idempotency rule: seqs the clone already holds are skipped,
+/// the next seq is inserted, a gap is a replay error. Returns how many
+/// records were inserted.
+fn fold_side_records(
+    clone: &mut AnnIndex,
+    records: Vec<(usize, Vec<f32>)>,
+) -> Result<usize, ServeError> {
+    let mut folded = 0usize;
+    for (record_no, (seq, vector)) in records.into_iter().enumerate() {
+        let n = clone.len();
+        if seq < n {
+            continue; // folded by an earlier round
+        }
+        if seq > n {
+            return Err(ServeError::JournalReplay {
+                record: record_no,
+                detail: format!("side-journal sequence gap: record {seq} onto {n} vectors"),
+            });
+        }
+        clone
+            .try_insert(vector)
+            .map_err(|e| ServeError::JournalReplay { record: record_no, detail: e.to_string() })?;
+        folded += 1;
+    }
+    Ok(folded)
 }
 
 /// What a local search produced.
@@ -203,6 +288,15 @@ pub struct Shard {
     last_len: Mutex<usize>,
     cache: Mutex<LruCache<ShardCacheKey, ShardCacheEntry>>,
     store: Mutex<Option<IndexStore>>,
+    /// Serialises the whole-store maintenance operations (persist, online
+    /// compaction, re-cluster, recovery) against each other. Ingest and
+    /// search never touch it — only one maintenance actor runs at a time,
+    /// and the lock order is always maintenance → state → store.
+    maintenance: Mutex<()>,
+    /// Centroid-handover epoch: bumped once per re-cluster that actually
+    /// changed the table, so tests and the maintenance scheduler can
+    /// observe handovers without inspecting centroids.
+    epoch: AtomicU64,
     /// Chaos/test hook: `(delay, remaining_scans)` — the next
     /// `remaining_scans` cache-missing searches sleep `delay` before
     /// scanning, simulating a straggler shard.
@@ -228,6 +322,8 @@ impl Shard {
             state: RwLock::new(ShardState::Ready(index)),
             cache: Mutex::new(LruCache::new(cache_capacity)),
             store: Mutex::new(None),
+            maintenance: Mutex::new(()),
+            epoch: AtomicU64::new(0),
             scan_delay: Mutex::new(None),
             metrics,
         }
@@ -407,6 +503,7 @@ impl Shard {
     /// # Errors
     /// No store attached, shard down, or the store's own failures.
     pub fn persist(&self) -> Result<(), ServeError> {
+        let _maint = self.maintenance.lock();
         let guard = self.state.read();
         let ShardState::Ready(index) = &*guard else {
             return Err(ServeError::ShardDown {
@@ -422,6 +519,196 @@ impl Shard {
             )));
         };
         store.save_snapshot(index)
+    }
+
+    /// Compacts the shard's journal **online**: queries keep serving the
+    /// whole time, and ingest is paused only for the final catch-up and
+    /// the commit rename — never for the snapshot encoding.
+    ///
+    /// Protocol (lock order maintenance → state → store throughout):
+    ///
+    /// 1. **Install** — under a brief state read lock, flip the store into
+    ///    side-journal mode and clone the index. Ingest that lands from
+    ///    here on journals to the side file.
+    /// 2. **Fold + encode (no pause)** — off the state lock, replay the
+    ///    side records accumulated so far into the clone and pre-encode
+    ///    the snapshot bytes. Ingest and queries run concurrently.
+    /// 3. **Catch-up + commit (ingest paused)** — re-take the state read
+    ///    lock (writers block, readers don't), fold the handful of records
+    ///    that arrived during step 2 — re-encoding only when there were
+    ///    any — and atomically commit. Both journals are then gone.
+    ///
+    /// A crash at any step is recoverable to exactly the acknowledged
+    /// state: the side journal's seqs continue the main journal's, so
+    /// recovery replay folds main-then-side idempotently (the store-level
+    /// fault tests pin this at every crash point).
+    ///
+    /// # Errors
+    /// No store attached, shard down, the store's own failures, or an
+    /// armed fault firing (the store is then poisoned and the next ingest
+    /// trips the shard down for the supervisor to heal).
+    pub fn compact_online(&self) -> Result<CompactionReport, ServeError> {
+        let _maint = self.maintenance.lock();
+        // step 1: enter side-journal mode and take a point-in-time clone
+        let mut clone = {
+            let guard = self.state.read();
+            let ShardState::Ready(index) = &*guard else {
+                return Err(ServeError::ShardDown {
+                    shard: self.ordinal,
+                    detail: self.down_reason().unwrap_or_default(),
+                });
+            };
+            let mut store = self.store.lock();
+            let Some(store) = store.as_mut() else {
+                return Err(ServeError::Invalid(format!(
+                    "shard {} has no store attached",
+                    self.ordinal
+                )));
+            };
+            store.begin_online_compaction()?;
+            index.clone()
+        };
+        let base_len = clone.len();
+        // step 2: fold what already accumulated and pre-encode, with
+        // ingest still flowing (into the side journal)
+        let mut folded = {
+            let mut store = self.store.lock();
+            let records = match store.as_mut() {
+                Some(store) => store.side_records()?,
+                None => Vec::new(),
+            };
+            drop(store);
+            fold_side_records(&mut clone, records)?
+        };
+        let mut bytes = crate::store::encode_snapshot(&clone)?;
+        // step 3: pause ingest (state read lock blocks writers only),
+        // catch up on the records step 2 raced with, commit
+        let guard = self.state.read();
+        let t0 = Instant::now();
+        let mut store = self.store.lock();
+        let Some(store_ref) = store.as_mut() else {
+            return Err(ServeError::Invalid(format!(
+                "shard {} store detached mid-compaction",
+                self.ordinal
+            )));
+        };
+        let pause_catchup = fold_side_records(&mut clone, store_ref.side_records()?)?;
+        if pause_catchup > 0 {
+            folded += pause_catchup;
+            bytes = crate::store::encode_snapshot(&clone)?;
+        }
+        store_ref.commit_online_compaction(&bytes)?;
+        let pause_us = t0.elapsed().as_micros() as u64;
+        drop(store);
+        drop(guard);
+        self.metrics.compact_pause_ns.record(pause_us.saturating_mul(1000));
+        Ok(CompactionReport { shard: self.ordinal, base_len, folded, pause_catchup, pause_us })
+    }
+
+    /// Re-trains the IVF centroid table against the live corpus and swaps
+    /// it in with epoch-based handover: training runs off-lock against a
+    /// point-in-time clone, the install takes the write lock only to route
+    /// the since-trained tail and swap pointers, and in-flight queries —
+    /// which hold the read lock — finish on the old table. When the
+    /// re-trained table is bit-identical (zero drift) nothing is swapped:
+    /// epoch, generation and the warm cache all survive.
+    ///
+    /// # Errors
+    /// [`ServeError::ShardDown`] while the shard is down.
+    pub fn recluster(&self) -> Result<ReclusterReport, ServeError> {
+        let _maint = self.maintenance.lock();
+        // train off-lock: the expensive k-means holds no shard lock
+        let clone = self.with_index(|index| index.clone())?;
+        let plan = clone.train_recluster();
+        drop(clone);
+        let report = {
+            let mut guard = self.state.write();
+            let ShardState::Ready(index) = &mut *guard else {
+                return Err(ServeError::ShardDown {
+                    shard: self.ordinal,
+                    detail: self.down_reason().unwrap_or_default(),
+                });
+            };
+            index.install_recluster(plan)?
+        };
+        if report.changed {
+            self.epoch.fetch_add(1, Ordering::SeqCst);
+            self.metrics.reclusters.inc();
+            // a new centroid table changes which cells a query probes, so
+            // cached approximate results are stale
+            let dropped = self.cache.lock().retain(|_, _| false);
+            self.metrics.invalidated.add(dropped as u64);
+        }
+        Ok(report)
+    }
+
+    /// Centroid-handover epoch (see [`MaintenanceStatus::epoch`]).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Clustering health of the shard's index.
+    ///
+    /// # Errors
+    /// [`ServeError::ShardDown`] while the shard is down.
+    pub fn drift_stats(&self) -> Result<DriftStats, ServeError> {
+        self.with_index(|index| index.drift_stats())
+    }
+
+    /// Journal tail length (records not yet folded into a snapshot, main
+    /// + side journal), `None` when no store is attached.
+    pub fn journal_tail(&self) -> Option<usize> {
+        self.store.lock().as_ref().map(|s| s.verify().tail_records)
+    }
+
+    /// Point-in-time maintenance view of the shard.
+    pub fn maintenance_status(&self) -> MaintenanceStatus {
+        let (len, generation, quantized, drift) = match &*self.state.read() {
+            ShardState::Ready(index) => {
+                (index.len(), index.generation(), index.is_quantized(), Some(index.drift_stats()))
+            }
+            ShardState::Down(_) => (*self.last_len.lock(), 0, false, None),
+        };
+        let (journal_tail, compacting) = {
+            let store = self.store.lock();
+            match store.as_ref() {
+                Some(s) => (Some(s.verify().tail_records), s.compacting()),
+                None => (None, false),
+            }
+        };
+        MaintenanceStatus {
+            shard: self.ordinal,
+            len,
+            epoch: self.epoch(),
+            generation,
+            quantized,
+            drift,
+            journal_tail,
+            compacting,
+        }
+    }
+
+    /// Switches the attached store's journal batching: `1` flushes every
+    /// append ([`Durability::Synced`]), larger values batch appends into
+    /// one fsync per `n` records ([`Durability::Buffered`]) — the
+    /// streaming-ingest mode. A no-op without a store.
+    pub fn set_journal_batch(&self, flush_every: usize) {
+        if let Some(store) = self.store.lock().as_mut() {
+            store.set_flush_every(flush_every);
+        }
+    }
+
+    /// Flushes any buffered journal records to disk (makes every
+    /// previously `Buffered` ack `Synced`-durable). A no-op without a
+    /// store.
+    ///
+    /// # Errors
+    /// The store's own flush failures.
+    pub fn sync_store(&self) -> Result<(), ServeError> {
+        match self.store.lock().as_mut() {
+            Some(store) => store.sync(),
+            None => Ok(()),
+        }
     }
 
     /// Forces the shard `Down` with the given reason — the supervisor's
@@ -459,9 +746,15 @@ impl Shard {
             let q = index.vector(0).to_vec();
             index.search(&q, 1).first().map(|h| h.id == 0).unwrap_or(false)
         })?;
-        let store_ok =
-            if check_store { self.store.lock().as_ref().map(|s| s.verify().ok) } else { None };
-        Ok(ProbeReport { shard: self.ordinal, self_query_ok, store_ok })
+        let (store_ok, journal_tail) = if check_store {
+            match self.store.lock().as_ref().map(|s| s.verify()) {
+                Some(report) => (Some(report.ok), Some(report.tail_records)),
+                None => (None, None),
+            }
+        } else {
+            (None, None)
+        };
+        Ok(ProbeReport { shard: self.ordinal, self_query_ok, store_ok, journal_tail })
     }
 
     /// Heals this shard — and only this shard — from its store: reopens
@@ -484,6 +777,7 @@ impl Shard {
     /// No store attached, or recovery itself failing (the shard then stays
     /// down with the failure as its reason).
     pub fn recover_from_store(&self) -> Result<crate::engine::RecoveryStats, ServeError> {
+        let _maint = self.maintenance.lock();
         if let ShardState::Ready(index) = &*self.state.read() {
             return Ok(crate::engine::RecoveryStats {
                 recovered_len: index.len(),
@@ -728,6 +1022,119 @@ mod tests {
         let s = shard.stats();
         assert_eq!(s.cache_hits, 1);
         assert_eq!(s.cache_misses, 1);
+    }
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sem-shard-{name}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn online_compaction_folds_journal_and_matches_recovery() {
+        let registry = Registry::new();
+        let dir = scratch("compact");
+        let index = AnnIndex::build(random_vectors(20, 6, 3), IndexConfig::default());
+        let shard = Shard::new(0, 2, index, 64, &registry);
+        // without a store the operation is a typed usage error
+        assert!(matches!(shard.compact_online(), Err(ServeError::Invalid(_))));
+        let mut store = IndexStore::open(dir.join("shard0.snap"));
+        let snap = shard.with_index(|i| i.clone()).unwrap();
+        store.save_snapshot(&snap).unwrap();
+        shard.attach_store(store);
+        for (i, v) in random_vectors(3, 6, 8).into_iter().enumerate() {
+            shard.ingest_local(global_id(0, 20 + i, 2), v).unwrap();
+        }
+        assert_eq!(shard.journal_tail(), Some(3));
+        let report = shard.compact_online().unwrap();
+        assert_eq!(report.base_len, 23, "clone taken after the appends");
+        assert_eq!(report.folded, 0, "nothing landed while compacting single-threaded");
+        assert_eq!(shard.journal_tail(), Some(0), "both journals gone after the commit");
+        let recovered = IndexStore::open(shard.store_path().unwrap()).load().unwrap();
+        assert_eq!(recovered.replayed, 0);
+        let live = shard.with_index(|i| i.to_json().unwrap()).unwrap();
+        assert_eq!(recovered.index.to_json().unwrap(), live);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn online_compaction_runs_under_concurrent_ingest_and_queries() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let registry = Registry::new();
+        let dir = scratch("compact-live");
+        let index = AnnIndex::build(random_vectors(30, 6, 7), IndexConfig::default());
+        let shard = Arc::new(Shard::new(0, 1, index, 64, &registry));
+        let mut store = IndexStore::open(dir.join("s.snap"));
+        let snap = shard.with_index(|i| i.clone()).unwrap();
+        store.save_snapshot(&snap).unwrap();
+        shard.attach_store(store);
+        let stop = Arc::new(AtomicBool::new(false));
+        let ingester = {
+            let (shard, stop) = (Arc::clone(&shard), Arc::clone(&stop));
+            std::thread::spawn(move || {
+                let mut next = 30usize;
+                let mut rng = StdRng::seed_from_u64(42);
+                while !stop.load(Ordering::SeqCst) {
+                    let v: Vec<f32> = (0..6).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+                    shard.ingest_local(next, v).unwrap();
+                    next += 1;
+                }
+            })
+        };
+        let querier = {
+            let (shard, stop) = (Arc::clone(&shard), Arc::clone(&stop));
+            std::thread::spawn(move || {
+                let q = crate::engine::normalized(&[0.3, -0.2, 0.5, 0.1, -0.4, 0.2]);
+                while !stop.load(Ordering::SeqCst) {
+                    assert!(!shard.search_local(&q, 5, None).unwrap().hits.is_empty());
+                }
+            })
+        };
+        for _ in 0..5 {
+            shard.compact_online().unwrap();
+        }
+        stop.store(true, Ordering::SeqCst);
+        ingester.join().unwrap();
+        querier.join().unwrap();
+        // every acknowledged ingest survives: recovery from disk is
+        // byte-identical to the live index
+        let recovered = IndexStore::open(shard.store_path().unwrap()).load().unwrap().index;
+        let live = shard.with_index(|i| i.to_json().unwrap()).unwrap();
+        assert_eq!(recovered.to_json().unwrap(), live);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recluster_bumps_epoch_only_when_the_table_changes() {
+        let registry = Registry::new();
+        let config =
+            IndexConfig { nlist: 4, nprobe: 4, flat_threshold: 1, kmeans_iters: 4, seed: 9 };
+        let index = AnnIndex::build(random_vectors(60, 8, 5), config);
+        let shard = Shard::new(0, 1, index, 64, &registry);
+        // zero drift: the same corpus re-trains to the bit-identical table
+        let r0 = shard.recluster().unwrap();
+        assert!(!r0.changed);
+        assert_eq!(shard.epoch(), 0);
+        // warm the cache, then drift the corpus well past its trained shape
+        let q = crate::engine::normalized(&random_vectors(1, 8, 6).pop().unwrap());
+        shard.search_local(&q, 5, None).unwrap();
+        for (i, mut v) in random_vectors(120, 8, 99).into_iter().enumerate() {
+            v[0] += 2.0; // shifted distribution
+            shard.ingest_local(60 + i, v).unwrap();
+        }
+        let drift = shard.drift_stats().unwrap();
+        assert!(drift.len == 180 && drift.nlist == 4);
+        let r1 = shard.recluster().unwrap();
+        assert!(r1.changed, "a drifted corpus must re-train to a different table");
+        assert_eq!(shard.epoch(), 1);
+        assert_eq!(shard.stats().cache_len, 0, "handover drops stale approximate results");
+        assert!(shard.probe(false).unwrap().self_query_ok, "still healthy after handover");
+        let status = shard.maintenance_status();
+        assert_eq!(status.epoch, 1);
+        assert_eq!(status.len, 180);
+        assert!(!status.compacting);
+        assert!(status.drift.is_some());
     }
 
     #[test]

@@ -30,6 +30,22 @@
 //! count are skipped, which makes replay idempotent when a crash lands
 //! between the snapshot rename and the journal truncation. Saving a
 //! snapshot compacts the journal back to empty.
+//!
+//! **Online compaction.** [`IndexStore::save_snapshot`] blocks ingest for
+//! the whole encode+write, which a live-maintenance deployment cannot
+//! afford. The online protocol splits the work:
+//! [`IndexStore::begin_online_compaction`] flushes the batch buffer and
+//! redirects subsequent appends to a *side journal*
+//! (`<snapshot>.journal.side`, same frame format) so ingest continues
+//! while the caller encodes a point-in-time clone off-lock; the side
+//! records are then replayed into the clone
+//! ([`IndexStore::side_records`]) and
+//! [`IndexStore::commit_online_compaction`] renames the fresh snapshot in
+//! and deletes first the main journal, then the side journal. Every step
+//! is crash-safe by seq-idempotent replay — [`IndexStore::load`] replays
+//! the main journal and then the side journal, skipping records the
+//! snapshot already holds — and every step has a [`FaultPlan`] crash
+//! point proving it.
 
 use std::fs::OpenOptions;
 use std::io::Write;
@@ -183,7 +199,16 @@ pub struct VerifyReport {
     pub snapshot: SnapshotReport,
     /// Journal checks.
     pub journal: JournalReport,
-    /// `true` when the pair would recover cleanly.
+    /// Side-journal checks (present only while an online compaction is in
+    /// flight or was interrupted by a crash; normally absent).
+    pub side_journal: JournalReport,
+    /// Journal tail length: records across both journals whose `seq` is
+    /// at or past the snapshot's vector count — i.e. entries since the
+    /// last snapshot, the work a compaction would fold in. This is the
+    /// signal the maintenance layer's compaction scheduler (and `index
+    /// probe --max-journal-entries`) keys off.
+    pub tail_records: usize,
+    /// `true` when the trio would recover cleanly.
     pub ok: bool,
 }
 
@@ -226,6 +251,10 @@ impl StoreMetrics {
 pub struct IndexStore {
     snapshot_path: PathBuf,
     journal_path: PathBuf,
+    side_path: PathBuf,
+    /// `true` while an online compaction is in flight: appends land in the
+    /// side journal instead of the main one.
+    side_mode: bool,
     flush_every: usize,
     buffer: Vec<u8>,
     buffered: usize,
@@ -240,9 +269,12 @@ impl IndexStore {
     pub fn open(snapshot_path: impl Into<PathBuf>) -> Self {
         let snapshot_path = snapshot_path.into();
         let journal_path = journal_path_for(&snapshot_path);
+        let side_path = side_journal_path_for(&snapshot_path);
         IndexStore {
             snapshot_path,
             journal_path,
+            side_path,
+            side_mode: false,
             flush_every: 1,
             buffer: Vec::new(),
             buffered: 0,
@@ -293,6 +325,23 @@ impl IndexStore {
         &self.journal_path
     }
 
+    /// Path of the side journal used while an online compaction runs.
+    pub fn side_journal_path(&self) -> &Path {
+        &self.side_path
+    }
+
+    /// `true` while an online compaction is in flight (appends are landing
+    /// in the side journal).
+    pub fn compacting(&self) -> bool {
+        self.side_mode
+    }
+
+    /// Overrides the journal batch size in place (the owning shard uses
+    /// this when streaming ingest switches to buffered durability).
+    pub fn set_flush_every(&mut self, n: usize) {
+        self.flush_every = n.max(1);
+    }
+
     /// Number of records currently buffered (not yet crash-durable).
     pub fn buffered_records(&self) -> usize {
         self.buffered
@@ -329,14 +378,18 @@ impl IndexStore {
             self.crashed = true;
             return Err(ServeError::InjectedCrash(CrashPoint::BeforeJournalTruncate.name()));
         }
-        // the snapshot now contains everything: compact the journal
+        // the snapshot now contains everything: compact the journal (and
+        // any side journal a crashed online compaction left behind)
         self.buffer.clear();
         self.buffered = 0;
-        let compacted = self.journal_path.exists();
-        if compacted {
-            std::fs::remove_file(&self.journal_path)
-                .map_err(|e| ServeError::io(&self.journal_path, e))?;
-            fsync_parent_dir(&self.journal_path);
+        self.side_mode = false;
+        let mut compacted = false;
+        for path in [&self.journal_path, &self.side_path] {
+            if path.exists() {
+                compacted = true;
+                std::fs::remove_file(path).map_err(|e| ServeError::io(path, e))?;
+                fsync_parent_dir(path);
+            }
         }
         if let Some(m) = &self.metrics {
             m.snapshot_saves.inc();
@@ -344,6 +397,141 @@ impl IndexStore {
             if compacted {
                 m.compactions.inc();
             }
+        }
+        Ok(())
+    }
+
+    /// Enters side-journal mode: the batch buffer is flushed to the main
+    /// journal, and every subsequent append lands in the side journal
+    /// while the caller compacts a point-in-time clone off-lock. Nothing
+    /// on disk is modified beyond the flush, so a crash here costs
+    /// nothing — recovery sees the old snapshot plus the main journal.
+    ///
+    /// # Errors
+    /// [`ServeError::Invalid`] when an online compaction is already in
+    /// flight; IO failures; an armed fault firing.
+    pub fn begin_online_compaction(&mut self) -> Result<(), ServeError> {
+        self.check_alive()?;
+        if self.side_mode {
+            return Err(ServeError::Invalid("online compaction already in progress".into()));
+        }
+        self.flush_buffer()?;
+        self.side_mode = true;
+        if self.plan.crash_on_side_install {
+            self.crashed = true;
+            return Err(ServeError::InjectedCrash(CrashPoint::SideJournalInstall.name()));
+        }
+        Ok(())
+    }
+
+    /// Flushes and reads back every record the side journal accumulated
+    /// while the compaction ran, as `(seq, raw_vector)` pairs for the
+    /// caller to replay into its clone before the commit.
+    ///
+    /// # Errors
+    /// [`ServeError::Invalid`] when no online compaction is in flight; IO
+    /// or parse failures (the process is alive, so unlike recovery a torn
+    /// or corrupt side record is an error, never tolerated).
+    pub fn side_records(&mut self) -> Result<Vec<(usize, Vec<f32>)>, ServeError> {
+        self.check_alive()?;
+        if !self.side_mode {
+            return Err(ServeError::Invalid("no online compaction in progress".into()));
+        }
+        self.flush_buffer()?;
+        let journal = match std::fs::read(&self.side_path) {
+            Ok(j) => j,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(ServeError::io(&self.side_path, e)),
+        };
+        let mut records = Vec::new();
+        let mut pos = 0usize;
+        while pos < journal.len() {
+            let Some((payload, next)) = frame_at(&journal, pos) else {
+                return Err(ServeError::JournalReplay {
+                    record: records.len(),
+                    detail: "partial side-journal frame while the store is live".into(),
+                });
+            };
+            if crc32(payload) != read_u32(&journal, pos + 4) {
+                return Err(ServeError::JournalReplay {
+                    record: records.len(),
+                    detail: "side-journal checksum mismatch while the store is live".into(),
+                });
+            }
+            let rec: JournalRecord = std::str::from_utf8(payload)
+                .ok()
+                .and_then(|t| serde_json::from_str(t).ok())
+                .ok_or_else(|| ServeError::JournalReplay {
+                    record: records.len(),
+                    detail: "bad side-journal payload".into(),
+                })?;
+            records.push((rec.seq as usize, rec.vector));
+            pos = next;
+        }
+        Ok(records)
+    }
+
+    /// Commits an online compaction: atomically renames the pre-encoded
+    /// snapshot (which must already contain every side record — see
+    /// [`IndexStore::side_records`]) over the live one, then deletes the
+    /// main journal and the side journal, in that order. Each step has a
+    /// crash point; all are recoverable because replay skips records the
+    /// snapshot already holds.
+    ///
+    /// The caller holds whatever lock blocks new appends for the duration
+    /// of this call — it is the only "pause" the protocol takes, and it
+    /// does no encoding work.
+    ///
+    /// # Errors
+    /// [`ServeError::Invalid`] when no online compaction is in flight; IO
+    /// failures; an armed fault firing.
+    pub fn commit_online_compaction(&mut self, bytes: &[u8]) -> Result<(), ServeError> {
+        self.check_alive()?;
+        if !self.side_mode {
+            return Err(ServeError::Invalid("no online compaction in progress".into()));
+        }
+        if self.buffered > 0 {
+            // the caller must read side_records() and block appends until
+            // the commit lands — a buffered record here would be absent
+            // from the snapshot it is about to delete the journals of
+            return Err(ServeError::Invalid(
+                "records appended between side_records() and commit".into(),
+            ));
+        }
+        let t0 = Instant::now();
+        if let Some(survives) = self.plan.torn_write_survives(bytes.len()) {
+            let tmp = tmp_path(&self.snapshot_path);
+            std::fs::write(&tmp, &bytes[..survives]).map_err(|e| ServeError::io(&tmp, e))?;
+            self.crashed = true;
+            return Err(ServeError::InjectedCrash(CrashPoint::SnapshotTempWrite.name()));
+        }
+        write_atomic_retry(&self.snapshot_path, bytes, &self.retry)
+            .map_err(|e| ServeError::io(&self.snapshot_path, e))?;
+        if self.plan.crash_before_journal_truncate {
+            self.crashed = true;
+            return Err(ServeError::InjectedCrash(CrashPoint::BeforeJournalTruncate.name()));
+        }
+        if self.journal_path.exists() {
+            std::fs::remove_file(&self.journal_path)
+                .map_err(|e| ServeError::io(&self.journal_path, e))?;
+            fsync_parent_dir(&self.journal_path);
+        }
+        if self.plan.crash_before_side_truncate {
+            self.crashed = true;
+            return Err(ServeError::InjectedCrash(CrashPoint::BeforeSideJournalTruncate.name()));
+        }
+        if self.side_path.exists() {
+            std::fs::remove_file(&self.side_path)
+                .map_err(|e| ServeError::io(&self.side_path, e))?;
+            fsync_parent_dir(&self.side_path);
+        }
+        self.side_mode = false;
+        self.buffer.clear();
+        self.buffered = 0;
+        if let Some(m) = &self.metrics {
+            m.snapshot_saves.inc();
+            m.snapshot_save_ns.record(t0.elapsed().as_nanos() as u64);
+            m.compactions.inc();
         }
         Ok(())
     }
@@ -400,7 +588,7 @@ impl IndexStore {
         if self.buffer.is_empty() {
             return Ok(());
         }
-        let path = &self.journal_path;
+        let path = if self.side_mode { &self.side_path } else { &self.journal_path };
         let plan = &self.plan;
         let buffer = &self.buffer;
         // Journal length before this flush. A failed attempt may have
@@ -433,9 +621,12 @@ impl IndexStore {
         Ok(())
     }
 
-    /// Recovers the index to the last durable state: snapshot + journal
-    /// replay. A torn tail record is discarded (it was never
-    /// acknowledged); corruption anywhere else is an error.
+    /// Recovers the index to the last durable state: snapshot, then main
+    /// journal replay, then side journal replay (in the order records
+    /// were written — the side journal only ever holds records appended
+    /// *after* everything in the main journal). A torn tail record is
+    /// discarded (it was never acknowledged); corruption anywhere else is
+    /// an error.
     ///
     /// # Errors
     /// Missing/corrupt snapshot or a journal that cannot be replayed.
@@ -444,61 +635,63 @@ impl IndexStore {
             .map_err(|e| ServeError::io(&self.snapshot_path, e))?;
         let mut index = decode_snapshot(&bytes, &self.snapshot_path)?;
         let (mut replayed, mut skipped, mut discarded_tail) = (0usize, 0usize, false);
-        let journal = match std::fs::read(&self.journal_path) {
-            Ok(j) => j,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                self.record_load(replayed, skipped, discarded_tail);
-                return Ok(Recovery { index, replayed, skipped, discarded_tail });
-            }
-            Err(e) => return Err(ServeError::io(&self.journal_path, e)),
-        };
-        let mut pos = 0usize;
-        let mut record_no = 0usize;
-        while pos < journal.len() {
-            let Some((payload, next)) = frame_at(&journal, pos) else {
-                // partial frame at EOF: torn tail, never acknowledged
-                discarded_tail = true;
-                break;
+        for path in [&self.journal_path, &self.side_path] {
+            let journal = match std::fs::read(path) {
+                Ok(j) => j,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(ServeError::io(path, e)),
             };
-            let stored_crc = read_u32(&journal, pos + 4);
-            if crc32(payload) != stored_crc {
-                if next == journal.len() {
-                    // final record, bad checksum: a torn write of the last
-                    // (unacknowledged) record
+            let mut pos = 0usize;
+            let mut record_no = 0usize;
+            while pos < journal.len() {
+                let Some((payload, next)) = frame_at(&journal, pos) else {
+                    // partial frame at EOF: torn tail, never acknowledged
                     discarded_tail = true;
                     break;
+                };
+                let stored_crc = read_u32(&journal, pos + 4);
+                if crc32(payload) != stored_crc {
+                    if next == journal.len() {
+                        // final record, bad checksum: a torn write of the
+                        // last (unacknowledged) record
+                        discarded_tail = true;
+                        break;
+                    }
+                    // corruption with acknowledged records after it —
+                    // losing them silently would break the durability
+                    // contract
+                    return Err(ServeError::JournalReplay {
+                        record: record_no,
+                        detail: "checksum mismatch before end of journal".into(),
+                    });
                 }
-                // corruption with acknowledged records after it — losing
-                // them silently would break the durability contract
-                return Err(ServeError::JournalReplay {
+                let text = std::str::from_utf8(payload).map_err(|_| ServeError::JournalReplay {
                     record: record_no,
-                    detail: "checksum mismatch before end of journal".into(),
-                });
-            }
-            let text = std::str::from_utf8(payload).map_err(|_| ServeError::JournalReplay {
-                record: record_no,
-                detail: "payload is not UTF-8".into(),
-            })?;
-            let rec: JournalRecord = serde_json::from_str(text).map_err(|e| {
-                ServeError::JournalReplay { record: record_no, detail: format!("bad payload: {e}") }
-            })?;
-            let n = index.len() as u64;
-            if rec.seq < n {
-                skipped += 1; // already compacted into the snapshot
-            } else if rec.seq == n {
-                index.try_insert(rec.vector).map_err(|e| ServeError::JournalReplay {
-                    record: record_no,
-                    detail: e.to_string(),
+                    detail: "payload is not UTF-8".into(),
                 })?;
-                replayed += 1;
-            } else {
-                return Err(ServeError::JournalReplay {
-                    record: record_no,
-                    detail: format!("sequence gap: record {} onto {} vectors", rec.seq, n),
-                });
+                let rec: JournalRecord =
+                    serde_json::from_str(text).map_err(|e| ServeError::JournalReplay {
+                        record: record_no,
+                        detail: format!("bad payload: {e}"),
+                    })?;
+                let n = index.len() as u64;
+                if rec.seq < n {
+                    skipped += 1; // already compacted into the snapshot
+                } else if rec.seq == n {
+                    index.try_insert(rec.vector).map_err(|e| ServeError::JournalReplay {
+                        record: record_no,
+                        detail: e.to_string(),
+                    })?;
+                    replayed += 1;
+                } else {
+                    return Err(ServeError::JournalReplay {
+                        record: record_no,
+                        detail: format!("sequence gap: record {} onto {} vectors", rec.seq, n),
+                    });
+                }
+                pos = next;
+                record_no += 1;
             }
-            pos = next;
-            record_no += 1;
         }
         self.record_load(replayed, skipped, discarded_tail);
         Ok(Recovery { index, replayed, skipped, discarded_tail })
@@ -517,13 +710,23 @@ impl IndexStore {
     }
 
     /// Integrity check without mutating anything: header + checksum of the
-    /// snapshot, frame scan of the journal.
+    /// snapshot, frame scan of the main and side journals, and the journal
+    /// tail length (records not yet folded into a snapshot).
     pub fn verify(&self) -> VerifyReport {
         let snapshot = self.verify_snapshot();
-        let journal = self.verify_journal();
-        let ok =
-            snapshot.error.is_none() && snapshot.format != "missing" && journal.error.is_none();
-        VerifyReport { snapshot, journal, ok }
+        let journal = self.verify_journal_at(&self.journal_path);
+        let side_journal = self.verify_journal_at(&self.side_path);
+        let tail_records = if snapshot.error.is_none() && snapshot.format != "missing" {
+            count_tail_records(&self.journal_path, snapshot.count)
+                + count_tail_records(&self.side_path, snapshot.count)
+        } else {
+            0
+        };
+        let ok = snapshot.error.is_none()
+            && snapshot.format != "missing"
+            && journal.error.is_none()
+            && side_journal.error.is_none();
+        VerifyReport { snapshot, journal, side_journal, tail_records, ok }
     }
 
     fn verify_snapshot(&self) -> SnapshotReport {
@@ -611,8 +814,8 @@ impl IndexStore {
         r
     }
 
-    fn verify_journal(&self) -> JournalReport {
-        let path = self.journal_path.display().to_string();
+    fn verify_journal_at(&self, journal_path: &Path) -> JournalReport {
+        let path = journal_path.display().to_string();
         let mut r = JournalReport {
             path,
             present: false,
@@ -621,7 +824,7 @@ impl IndexStore {
             torn_tail: false,
             error: None,
         };
-        let journal = match std::fs::read(&self.journal_path) {
+        let journal = match std::fs::read(journal_path) {
             Ok(j) => j,
             Err(_) => return r,
         };
@@ -659,6 +862,41 @@ pub fn journal_path_for(snapshot: &Path) -> PathBuf {
     PathBuf::from(name)
 }
 
+/// `<snapshot>.journal.side` — where appends land while an online
+/// compaction is in flight.
+pub fn side_journal_path_for(snapshot: &Path) -> PathBuf {
+    let mut name = snapshot.as_os_str().to_os_string();
+    name.push(".journal.side");
+    PathBuf::from(name)
+}
+
+/// Counts checksum-valid records in `path` whose `seq` is at or past
+/// `snapshot_count` — the journal tail a compaction would fold in.
+/// Unreadable frames and records stop the count (verification reports
+/// them separately); a missing file counts zero.
+fn count_tail_records(path: &Path, snapshot_count: u64) -> usize {
+    let Ok(journal) = std::fs::read(path) else { return 0 };
+    let mut tail = 0usize;
+    let mut pos = 0usize;
+    while pos < journal.len() {
+        let Some((payload, next)) = frame_at(&journal, pos) else { break };
+        if crc32(payload) != read_u32(&journal, pos + 4) {
+            break;
+        }
+        let Some(rec) = std::str::from_utf8(payload)
+            .ok()
+            .and_then(|t| serde_json::from_str::<JournalRecord>(t).ok())
+        else {
+            break;
+        };
+        if rec.seq >= snapshot_count {
+            tail += 1;
+        }
+        pos = next;
+    }
+    tail
+}
+
 /// Returns `(payload, next_offset)` for the frame at `pos`, or `None` when
 /// the remaining bytes cannot hold a complete frame.
 fn frame_at(journal: &[u8], pos: usize) -> Option<(&[u8], usize)> {
@@ -673,7 +911,10 @@ fn frame_at(journal: &[u8], pos: usize) -> Option<(&[u8], usize)> {
     Some((&journal[pos + 8..next], next))
 }
 
-fn encode_snapshot(index: &AnnIndex) -> Result<Vec<u8>, ServeError> {
+/// Encodes `index` as a headered v3 snapshot byte blob. `pub(crate)` so
+/// the shard's online compaction can do the expensive encode off-lock and
+/// hand the finished bytes to [`IndexStore::commit_online_compaction`].
+pub(crate) fn encode_snapshot(index: &AnnIndex) -> Result<Vec<u8>, ServeError> {
     let payload = index.to_json_bytes()?;
     let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
     bytes.extend_from_slice(MAGIC);
@@ -958,6 +1199,168 @@ mod tests {
         let report = store.verify();
         assert!(report.ok);
         assert_eq!(report.snapshot.format, "legacy-json");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Drives one full online compaction: 3 records already in the main
+    /// journal, 4 more appended into the side journal while the compaction
+    /// "runs". Returns the in-memory reference index over every
+    /// *acknowledged* operation, plus the injected crash when `plan` fired
+    /// — the recovery contract is stated over acknowledged records only.
+    fn online_compaction_roundtrip(dir: &Path, plan: FaultPlan) -> (AnnIndex, Option<ServeError>) {
+        let snap = dir.join("index.bin");
+        let idx = AnnIndex::build(random_vectors(60, 6, 70), IndexConfig::default());
+        let mut store = IndexStore::open(&snap);
+        store.save_snapshot(&idx).unwrap();
+        let mut live = idx;
+        // records already in the main journal before compaction starts
+        for v in random_vectors(3, 6, 71) {
+            store.append_journal(live.len(), &v).unwrap();
+            live.try_insert(v).unwrap();
+        }
+        drop(store);
+        let mut store = IndexStore::open(&snap).with_fault_plan(plan);
+        let mut clone = store.load().unwrap().index;
+        if let Err(e) = store.begin_online_compaction() {
+            return (live, Some(e));
+        }
+        // ingest continues while the encode runs: these land in the side
+        // journal (acknowledged one by one)
+        for v in random_vectors(4, 6, 72) {
+            if let Err(e) = store.append_journal(live.len(), &v) {
+                return (live, Some(e));
+            }
+            live.try_insert(v).unwrap();
+        }
+        let records = match store.side_records() {
+            Ok(r) => r,
+            Err(e) => return (live, Some(e)),
+        };
+        for (seq, v) in records {
+            assert_eq!(seq, clone.len());
+            clone.try_insert(v).unwrap();
+        }
+        let bytes = encode_snapshot(&clone).unwrap();
+        if let Err(e) = store.commit_online_compaction(&bytes) {
+            return (live, Some(e));
+        }
+        assert!(!store.compacting());
+        assert!(!store.journal_path().exists());
+        assert!(!store.side_journal_path().exists());
+        (live, None)
+    }
+
+    #[test]
+    fn online_compaction_folds_main_and_side_journals() {
+        let dir = tmp_dir("online-compact");
+        let (live, err) = online_compaction_roundtrip(&dir, FaultPlan::none());
+        assert!(err.is_none());
+        let rec = IndexStore::open(dir.join("index.bin")).load().unwrap();
+        assert_eq!(rec.replayed, 0, "everything is inside the snapshot");
+        assert_eq!(rec.index.len(), live.len());
+        // the compacted store is byte-identical to the never-compacted
+        // in-memory run
+        assert_eq!(rec.index.to_json().unwrap(), live.to_json().unwrap());
+        let q = random_vectors(1, 6, 73).pop().unwrap();
+        assert_eq!(rec.index.search(&q, 10), live.search(&q, 10));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_at_every_online_compaction_step_recovers_identically() {
+        for (name, plan) in [
+            ("side-install", FaultPlan::crash_on_side_install()),
+            ("torn-temp", FaultPlan::torn_snapshot(20)),
+            ("before-main-truncate", FaultPlan::crash_mid_compaction()),
+            ("before-side-truncate", FaultPlan::crash_before_side_truncate()),
+        ] {
+            let dir = tmp_dir(&format!("online-crash-{name}"));
+            let (live, err) = online_compaction_roundtrip(&dir, plan);
+            let err = err.expect(name);
+            assert!(err.is_injected(), "{name}: {err}");
+            // reboot: a fresh store over the same wreckage must recover
+            // exactly the acknowledged state, byte for byte
+            let rec = IndexStore::open(dir.join("index.bin")).load().unwrap();
+            assert_eq!(rec.index.len(), live.len(), "{name} lost acknowledged records");
+            assert_eq!(
+                rec.index.to_json().unwrap(),
+                live.to_json().unwrap(),
+                "{name}: recovery must be byte-identical to the never-crashed reference"
+            );
+            // and the wreckage itself verifies as recoverable
+            assert!(IndexStore::open(dir.join("index.bin")).verify().ok, "{name}");
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn verify_reports_journal_tail_and_side_journal() {
+        let dir = tmp_dir("tail");
+        let snap = dir.join("index.bin");
+        let idx = AnnIndex::build(random_vectors(40, 4, 75), IndexConfig::default());
+        let mut store = IndexStore::open(&snap);
+        store.save_snapshot(&idx).unwrap();
+        assert_eq!(store.verify().tail_records, 0);
+        let mut live = idx;
+        for v in random_vectors(5, 4, 76) {
+            store.append_journal(live.len(), &v).unwrap();
+            live.try_insert(v).unwrap();
+        }
+        let report = store.verify();
+        assert_eq!(report.tail_records, 5, "five entries since the last snapshot");
+        assert!(!report.side_journal.present);
+        // mid-compaction, side records count toward the tail too
+        store.begin_online_compaction().unwrap();
+        for v in random_vectors(2, 4, 77) {
+            store.append_journal(live.len(), &v).unwrap();
+            live.try_insert(v).unwrap();
+        }
+        let report = store.verify();
+        assert!(report.side_journal.present);
+        assert_eq!(report.side_journal.valid_records, 2);
+        assert_eq!(report.tail_records, 7);
+        assert!(report.ok);
+        // a blocking save folds everything and clears both journals
+        store.save_snapshot(&live).unwrap();
+        let report = store.verify();
+        assert_eq!(report.tail_records, 0);
+        assert!(!report.journal.present);
+        assert!(!report.side_journal.present);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn online_compaction_misuse_is_typed() {
+        let dir = tmp_dir("online-misuse");
+        let snap = dir.join("index.bin");
+        let idx = AnnIndex::build(random_vectors(30, 4, 78), IndexConfig::default());
+        let mut store = IndexStore::open(&snap);
+        store.save_snapshot(&idx).unwrap();
+        // commit/side_records without begin
+        assert!(matches!(store.side_records(), Err(ServeError::Invalid(_))));
+        assert!(matches!(store.commit_online_compaction(&[]), Err(ServeError::Invalid(_))));
+        store.begin_online_compaction().unwrap();
+        // double begin
+        assert!(matches!(store.begin_online_compaction(), Err(ServeError::Invalid(_))));
+        let mut clone = idx.clone();
+        store.append_journal(30, &random_vectors(1, 4, 79)[0]).unwrap();
+        for (seq, vec) in store.side_records().unwrap() {
+            assert_eq!(seq, clone.len());
+            clone.try_insert(vec).unwrap();
+        }
+        let bytes = encode_snapshot(&clone).unwrap();
+        // a record still buffered between side_records() and commit is
+        // refused — the snapshot about to land would not contain it
+        let mut batched = IndexStore::open(dir.join("other.bin")).with_flush_every(8);
+        batched.save_snapshot(&idx).unwrap();
+        batched.begin_online_compaction().unwrap();
+        batched.append_journal(30, &random_vectors(1, 4, 80)[0]).unwrap();
+        assert!(matches!(batched.commit_online_compaction(&bytes), Err(ServeError::Invalid(_))));
+        // the well-behaved store commits fine
+        store.commit_online_compaction(&bytes).unwrap();
+        let rec = IndexStore::open(&snap).load().unwrap();
+        assert_eq!(rec.index.len(), 31);
+        assert_eq!(rec.replayed, 0);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -54,6 +54,11 @@ pub struct SupervisorConfig {
     /// Whether probes also verify the attached store's on-disk integrity
     /// (snapshot + journal checksums). Costs file reads per probe.
     pub check_store: bool,
+    /// With `check_store`, alarm when a shard's un-compacted journal tail
+    /// exceeds this many records (`None` disables the check). Like store
+    /// alarms this never trips the shard — it serves fine today, but
+    /// recovery replay and the next compaction pause grow with the tail.
+    pub max_journal_tail: Option<usize>,
     /// Backoff pacing between heal attempts (jitter is deterministic in
     /// the policy's seed). `max_attempts` caps the *delay growth*, not
     /// the attempts — the supervisor never gives up on a shard.
@@ -66,6 +71,7 @@ impl Default for SupervisorConfig {
             probe_interval: Duration::from_millis(250),
             trip_after: 2,
             check_store: false,
+            max_journal_tail: None,
             heal_backoff: RetryPolicy {
                 max_attempts: 8,
                 base_delay_ms: 50,
@@ -153,6 +159,17 @@ pub enum SupervisorEvent {
         /// Shard ordinal.
         shard: usize,
     },
+    /// A `Ready` shard's journal tail outgrew
+    /// [`SupervisorConfig::max_journal_tail`] — compaction is overdue.
+    /// An operator alarm, not a trip.
+    JournalTailAlarm {
+        /// Shard ordinal.
+        shard: usize,
+        /// Un-compacted journal records found.
+        tail: usize,
+        /// The configured budget it exceeded.
+        max: usize,
+    },
 }
 
 impl Serialize for SupervisorEvent {
@@ -184,6 +201,12 @@ impl Serialize for SupervisorEvent {
             SupervisorEvent::StoreAlarm { shard } => {
                 Value::Obj(vec![ev("store_alarm"), int("shard", *shard)])
             }
+            SupervisorEvent::JournalTailAlarm { shard, tail, max } => Value::Obj(vec![
+                ev("journal_tail_alarm"),
+                int("shard", *shard),
+                int("tail", *tail),
+                int("max", *max),
+            ]),
         }
     }
 }
@@ -201,6 +224,8 @@ pub struct SupervisorSnapshot {
     pub heal_failures: u64,
     /// Store-integrity alarms raised on serving shards.
     pub store_alarms: u64,
+    /// Journal-tail (compaction overdue) alarms raised on serving shards.
+    pub tail_alarms: u64,
     /// Current per-shard health.
     pub health: Vec<ShardHealth>,
 }
@@ -223,6 +248,7 @@ pub struct ShardSupervisor {
     heals: Arc<Counter>,
     heal_failures: Arc<Counter>,
     store_alarms: Arc<Counter>,
+    tail_alarms: Arc<Counter>,
     stop: AtomicBool,
 }
 
@@ -246,6 +272,7 @@ impl ShardSupervisor {
             heals: registry.counter("serve.supervisor.heals"),
             heal_failures: registry.counter("serve.supervisor.heal_failures"),
             store_alarms: registry.counter("serve.supervisor.store_alarms"),
+            tail_alarms: registry.counter("serve.supervisor.tail_alarms"),
             stop: AtomicBool::new(false),
         }
     }
@@ -277,22 +304,30 @@ impl ShardSupervisor {
     fn probe_shard(&self, i: usize, health: ShardHealth) {
         self.probes.inc();
         let shard = self.router.shard(i);
-        let (serving_ok, store_ok, detail) = match shard.probe(self.config.check_store) {
-            Ok(report) => {
-                let detail = if report.serving_ok() {
-                    String::new()
-                } else {
-                    "self-query missed its own vector".to_string()
-                };
-                (report.serving_ok(), report.store_ok, detail)
-            }
-            Err(e) => (false, None, e.to_string()),
-        };
+        let (serving_ok, store_ok, journal_tail, detail) =
+            match shard.probe(self.config.check_store) {
+                Ok(report) => {
+                    let detail = if report.serving_ok() {
+                        String::new()
+                    } else {
+                        "self-query missed its own vector".to_string()
+                    };
+                    (report.serving_ok(), report.store_ok, report.journal_tail, detail)
+                }
+                Err(e) => (false, None, None, e.to_string()),
+            };
         if serving_ok {
             if store_ok == Some(false) {
                 // serving fine, durable copy corrupt: alarm, don't trip
                 self.store_alarms.inc();
                 self.push_event(SupervisorEvent::StoreAlarm { shard: i });
+            }
+            if let (Some(max), Some(tail)) = (self.config.max_journal_tail, journal_tail) {
+                if tail > max {
+                    // serving fine, compaction overdue: alarm, don't trip
+                    self.tail_alarms.inc();
+                    self.push_event(SupervisorEvent::JournalTailAlarm { shard: i, tail, max });
+                }
             }
             self.tracks.lock()[i].health = ShardHealth::Healthy;
             return;
@@ -369,6 +404,7 @@ impl ShardSupervisor {
             heals: self.heals.get(),
             heal_failures: self.heal_failures.get(),
             store_alarms: self.store_alarms.get(),
+            tail_alarms: self.tail_alarms.get(),
             health: self.tracks.lock().iter().map(|t| t.health).collect(),
         }
     }
@@ -455,6 +491,7 @@ mod tests {
             probe_interval: Duration::from_millis(5),
             trip_after,
             check_store: false,
+            max_journal_tail: None,
             heal_backoff: RetryPolicy {
                 max_attempts: 4,
                 base_delay_ms: 0,
@@ -567,6 +604,34 @@ mod tests {
         assert!(snap.heal_failures >= 1);
         let events = sup.drain_events();
         assert!(events.iter().any(|e| matches!(e, SupervisorEvent::HealFailed { .. })));
+    }
+
+    #[test]
+    fn overgrown_journal_tail_alarms_without_tripping() {
+        let dir = TempDir::new("tail-alarm");
+        let router = stored_router(dir.path(), 2);
+        let sup = ShardSupervisor::new(
+            Arc::clone(&router),
+            SupervisorConfig { check_store: true, max_journal_tail: Some(0), ..fast_config(2) },
+        );
+        // a journalled ingest leaves a 1-record tail on the owning shard
+        let ack = router.ingest_vector(vec![0.5; 6]).unwrap();
+        let owner = ack.id % 2;
+        sup.tick();
+        let snap = sup.snapshot();
+        assert_eq!(snap.tail_alarms, 1, "{snap:?}");
+        assert_eq!(snap.trips, 0);
+        assert!(snap.health.iter().all(|h| *h == ShardHealth::Healthy));
+        let events = sup.drain_events();
+        assert_eq!(
+            events,
+            vec![SupervisorEvent::JournalTailAlarm { shard: owner, tail: 1, max: 0 }]
+        );
+        // online compaction folds the tail; the alarm clears
+        router.compact_shard_online(owner).unwrap();
+        sup.tick();
+        assert_eq!(sup.snapshot().tail_alarms, 1);
+        assert!(sup.drain_events().is_empty());
     }
 
     #[test]

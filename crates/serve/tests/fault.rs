@@ -14,7 +14,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sem_serve::fault::{flip_bit, truncate_file};
 use sem_serve::{
-    AnnIndex, EngineConfig, FaultPlan, IndexConfig, IndexStore, QueryEngine, ServeError,
+    shard_snapshot_path, AnnIndex, EngineConfig, FaultPlan, IndexConfig, IndexStore, QueryEngine,
+    ServeError, ShardConfig, ShardRouter,
 };
 
 static CASE: AtomicUsize = AtomicUsize::new(0);
@@ -293,5 +294,127 @@ proptest! {
             prop_assert_eq!(&got, &want);
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Crash mid-online-compaction, with queries hammering the shard the
+    /// whole time. Three contracts, at every scripted crash point:
+    ///
+    /// 1. no torn views — every concurrent (and post-crash) query serves
+    ///    the full corpus from the intact in-memory index;
+    /// 2. recovery equals a never-compacted, never-crashed reference —
+    ///    the reopened store's index is byte-identical to a pure in-memory
+    ///    run of the same build + inserts;
+    /// 3. the interrupted compaction is resumable — a fresh store over
+    ///    the same paths compacts to a clean zero-tail state.
+    #[test]
+    fn crash_mid_online_compaction_recovers_byte_identical(
+        n in 30usize..90,
+        dim in 4usize..10,
+        extra in 1usize..8,
+        seed in 0u64..1_000,
+        fault_kind in 0usize..3,
+    ) {
+        let dir = scratch("prop-online-compaction");
+        let base = random_vectors(n, dim, seed);
+        let extras = random_vectors(extra, dim, seed ^ 0xfeed);
+
+        // reference: same build + same inserts, never touches disk and
+        // never compacts
+        let mut reference = AnnIndex::build(base.clone(), IndexConfig::default());
+        for v in &extras {
+            reference.try_insert(v.clone()).unwrap();
+        }
+        let want = reference.to_json().unwrap();
+
+        // live path: one shard over a real store, extras journalled
+        let router = ShardRouter::try_build(
+            base,
+            ShardConfig { shards: 1, ..Default::default() },
+        ).unwrap();
+        let family = dir.join("family.snap");
+        router.attach_stores(&family).unwrap();
+        router.persist_all().unwrap();
+        for v in &extras {
+            prop_assert!(router.ingest_vector(v.clone()).unwrap().durable);
+        }
+
+        // swap in a store scripted to die mid-commit at one of the
+        // online-compaction crash points
+        let snap = shard_snapshot_path(&family, 0);
+        let plan = match fault_kind {
+            0 => FaultPlan::torn_snapshot(60),
+            1 => FaultPlan::crash_mid_compaction(),
+            _ => FaultPlan::crash_before_side_truncate(),
+        };
+        router.shard(0).attach_store(IndexStore::open(&snap).with_fault_plan(plan));
+
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        let crash_seen = std::thread::scope(|scope| {
+            let querier = scope.spawn(|| {
+                // no torn views: the self-query stays exact throughout
+                let mut served = 0u64;
+                while served == 0 || !stop.load(Ordering::Acquire) {
+                    let response = router.query(extras[0].clone(), 1).unwrap();
+                    assert!(!response.degraded);
+                    assert_eq!(response.hits[0].id, n);
+                    served += 1;
+                }
+                served
+            });
+            let err = router.compact_shard_online(0).unwrap_err();
+            let crashed = err.is_injected();
+            stop.store(true, Ordering::Release);
+            assert!(querier.join().unwrap() > 0, "queries must flow during compaction");
+            crashed
+        });
+        prop_assert!(crash_seen, "the scripted crash point must fire");
+        // the in-memory view is still whole after the crash
+        prop_assert_eq!(router.len(), n + extra);
+
+        // reboot: whatever mix of old/new snapshot + journals the crash
+        // left behind recovers to exactly the reference
+        let recovery = IndexStore::open(&snap).load().unwrap();
+        prop_assert_eq!(recovery.index.len(), n + extra);
+        prop_assert_eq!(recovery.index.to_json().unwrap(), want.clone());
+
+        // and the interrupted compaction is resumable: a fresh store
+        // (same paths) folds everything into a clean zero-tail snapshot
+        router.shard(0).attach_store(IndexStore::open(&snap));
+        router.compact_shard_online(0).unwrap();
+        prop_assert_eq!(router.shard(0).journal_tail(), Some(0));
+        let compacted = IndexStore::open(&snap).load().unwrap();
+        prop_assert_eq!(compacted.index.to_json().unwrap(), want);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Zero-drift handover safety: forcing a re-cluster on an unchanged
+    /// corpus is a no-swap — the k-means re-train is deterministic, so the
+    /// rebuilt table is bit-identical, `changed` is false, and no handover
+    /// epoch is burned.
+    #[test]
+    fn recluster_without_drift_is_bit_identical_no_swap(
+        n in 40usize..160,
+        dim in 4usize..12,
+        nlist in 2usize..6,
+        seed in 0u64..1_000,
+    ) {
+        let router = ShardRouter::try_build(
+            random_vectors(n, dim, seed),
+            ShardConfig {
+                shards: 1,
+                index: IndexConfig { nlist, nprobe: nlist, flat_threshold: 1, ..Default::default() },
+                ..Default::default()
+            },
+        ).unwrap();
+        let before = router.shard(0).with_index(|i| i.to_json().unwrap()).unwrap();
+        let report = router.recluster_shard(0).unwrap();
+        prop_assert!(!report.changed, "{report:?}");
+        prop_assert_eq!(router.shard(0).epoch(), 0);
+        let after = router.shard(0).with_index(|i| i.to_json().unwrap()).unwrap();
+        prop_assert_eq!(before, after);
     }
 }

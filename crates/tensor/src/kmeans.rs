@@ -1,0 +1,225 @@
+//! Spherical k-means shared by index construction and online
+//! re-clustering.
+//!
+//! The serving layer's IVF index partitions the corpus with spherical
+//! k-means at build time and — since live maintenance landed — re-trains
+//! the same model in the background when cluster drift is detected. Both
+//! call sites must produce **bit-identical** centroids given the same
+//! vectors, seed and iteration count, because the drift-handover property
+//! test pins "re-cluster with zero drift" to a byte-equal centroid table.
+//! Sharing one implementation here is what makes that guarantee hold by
+//! construction instead of by careful duplication.
+//!
+//! The assignment pass (nearest centroid per point) is the only
+//! data-parallel step, and this crate is deliberately dependency-free, so
+//! [`spherical_kmeans_with`] takes the assignment as a closure: callers
+//! with a thread pool plug in a parallel assigner, everyone else uses
+//! [`spherical_kmeans`]'s serial one. Per-point assignment is independent
+//! and the centroid update accumulates in index order either way, so both
+//! paths yield identical results.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Output of one k-means training run.
+#[derive(Clone, Debug)]
+pub struct KmeansModel {
+    /// `k` unit-norm centroids (dead cells re-seeded from data points).
+    pub centroids: Vec<Vec<f32>>,
+    /// Final cluster assignment of every input vector.
+    pub assignments: Vec<usize>,
+}
+
+/// L2-normalises `v` in place; an all-zero vector is left as-is.
+pub fn normalize(v: &mut [f32]) {
+    let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 1e-12 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+}
+
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Index of the centroid nearest to `v` (highest inner product; ties go to
+/// the lowest index).
+pub fn nearest_centroid(centroids: &[Vec<f32>], v: &[f32]) -> usize {
+    let mut best = 0;
+    let mut best_score = f32::NEG_INFINITY;
+    for (c, cen) in centroids.iter().enumerate() {
+        let s = dot(cen, v);
+        if s > best_score {
+            best_score = s;
+            best = c;
+        }
+    }
+    best
+}
+
+/// Spherical k-means with a caller-supplied assignment pass.
+///
+/// `assign(centroids)` must return, for every input vector in order, the
+/// index of its nearest centroid under the inner product (exactly what
+/// [`nearest_centroid`] computes) — the closure exists so callers can run
+/// that embarrassingly parallel step on their own pool. Centroids are
+/// seeded from `k` distinct data points drawn with `seed`, refined for
+/// `iters` passes, and dead cells are re-seeded from random points so
+/// every centroid keeps partitioning the data.
+///
+/// # Panics
+/// Panics when `vectors` is empty or `k` is zero or exceeds the number of
+/// vectors — callers validate shapes before training.
+pub fn spherical_kmeans_with<F>(
+    vectors: &[Vec<f32>],
+    k: usize,
+    iters: usize,
+    seed: u64,
+    mut assign: F,
+) -> KmeansModel
+where
+    F: FnMut(&[Vec<f32>]) -> Vec<usize>,
+{
+    let n = vectors.len();
+    assert!(n > 0, "k-means needs at least one vector");
+    assert!(k >= 1 && k <= n, "k must be in 1..={n}, got {k}");
+    let dim = vectors[0].len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    // seed centroids from distinct data points
+    let mut picked = Vec::with_capacity(k);
+    while picked.len() < k {
+        let i = rng.gen_range(0..n);
+        if !picked.contains(&i) {
+            picked.push(i);
+        }
+    }
+    let mut centroids: Vec<Vec<f32>> = picked.iter().map(|&i| vectors[i].clone()).collect();
+    let mut assignments: Vec<usize> = Vec::new();
+    for _ in 0..iters {
+        assignments = assign(&centroids);
+        debug_assert_eq!(assignments.len(), n, "assignment pass must cover every vector");
+        let mut sums = vec![vec![0.0f32; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (i, &c) in assignments.iter().enumerate() {
+            counts[c] += 1;
+            for (s, v) in sums[c].iter_mut().zip(&vectors[i]) {
+                *s += v;
+            }
+        }
+        for (c, sum) in sums.iter_mut().enumerate() {
+            if counts[c] == 0 {
+                // re-seed a dead cell from a random point so every
+                // centroid keeps partitioning the data
+                *sum = vectors[rng.gen_range(0..n)].clone();
+            } else {
+                normalize(sum);
+            }
+        }
+        centroids = sums;
+    }
+    KmeansModel { centroids, assignments }
+}
+
+/// [`spherical_kmeans_with`] using the built-in serial assignment pass.
+pub fn spherical_kmeans(vectors: &[Vec<f32>], k: usize, iters: usize, seed: u64) -> KmeansModel {
+    spherical_kmeans_with(vectors, k, iters, seed, |centroids| {
+        vectors.iter().map(|v| nearest_centroid(centroids, v)).collect()
+    })
+}
+
+/// Mean angular residual of an assignment: the average of
+/// `1 − ⟨v, centroid(v)⟩` over all vectors. Zero means every vector sits
+/// exactly on its centroid; growth over the value recorded at build time
+/// is the drift signal online maintenance keys re-clustering off.
+pub fn mean_residual(vectors: &[Vec<f32>], centroids: &[Vec<f32>], assignments: &[usize]) -> f32 {
+    if vectors.is_empty() {
+        return 0.0;
+    }
+    let total: f32 =
+        vectors.iter().zip(assignments).map(|(v, &c)| 1.0 - dot(v, &centroids[c])).sum();
+    total / vectors.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let mut v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+                normalize(&mut v);
+                v
+            })
+            .collect()
+    }
+
+    #[test]
+    fn serial_and_custom_assigners_are_bit_identical() {
+        let vectors = unit_vectors(400, 12, 7);
+        let a = spherical_kmeans(&vectors, 20, 8, 0x5e7e);
+        // a "parallel" assigner computed in reverse order still yields the
+        // same per-point result, so training is bit-identical
+        let b = spherical_kmeans_with(&vectors, 20, 8, 0x5e7e, |centroids| {
+            let mut out: Vec<usize> = vec![0; vectors.len()];
+            for i in (0..vectors.len()).rev() {
+                out[i] = nearest_centroid(centroids, &vectors[i]);
+            }
+            out
+        });
+        assert_eq!(a.assignments, b.assignments);
+        for (ca, cb) in a.centroids.iter().zip(&b.centroids) {
+            let bits_a: Vec<u32> = ca.iter().map(|x| x.to_bits()).collect();
+            let bits_b: Vec<u32> = cb.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(bits_a, bits_b);
+        }
+    }
+
+    #[test]
+    fn same_seed_reproduces_and_seeds_differ() {
+        let vectors = unit_vectors(300, 8, 9);
+        let a = spherical_kmeans(&vectors, 15, 6, 1);
+        let b = spherical_kmeans(&vectors, 15, 6, 1);
+        assert_eq!(a.assignments, b.assignments);
+        let c = spherical_kmeans(&vectors, 15, 6, 2);
+        assert_ne!(a.assignments, c.assignments, "different seeds should diverge");
+    }
+
+    #[test]
+    fn assignments_are_nearest_and_residual_shrinks_with_refinement() {
+        let vectors = unit_vectors(500, 10, 11);
+        let trained = spherical_kmeans(&vectors, 12, 8, 3);
+        // assignments come from the final pass (centroids then get one
+        // more update, mirroring how the index builds its cell lists), so
+        // check shape and coverage rather than exact nearest-ness
+        assert_eq!(trained.assignments.len(), vectors.len());
+        assert!(trained.assignments.iter().all(|&c| c < 12));
+        let rough = spherical_kmeans(&vectors, 12, 1, 3);
+        let r_rough = mean_residual(&vectors, &rough.centroids, &rough.assignments);
+        let r_refined = mean_residual(&vectors, &trained.centroids, &trained.assignments);
+        assert!(
+            r_refined <= r_rough + 1e-6,
+            "refinement must not worsen the residual ({r_refined} vs {r_rough})"
+        );
+    }
+
+    #[test]
+    fn mean_residual_is_zero_on_centroid_aligned_data() {
+        // every vector is a one-hot axis: k = dim recovers the axes exactly
+        let dim = 6;
+        let vectors: Vec<Vec<f32>> = (0..60)
+            .map(|i| {
+                let mut v = vec![0.0f32; dim];
+                v[i % dim] = 1.0;
+                v
+            })
+            .collect();
+        let trained = spherical_kmeans(&vectors, dim, 10, 5);
+        let r = mean_residual(&vectors, &trained.centroids, &trained.assignments);
+        assert!(r.abs() < 1e-5, "residual {r} on perfectly clusterable data");
+        assert!(mean_residual(&[], &trained.centroids, &[]).abs() < f32::EPSILON);
+    }
+}

@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod grad_check;
+pub mod kmeans;
 pub mod ops;
 pub mod quant;
 mod shape;
